@@ -1,0 +1,112 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation (one group per artifact — see the experiment index
+    in DESIGN.md §4) and wraps the compile-time measurements in Bechamel
+    so the wall-clock ratios are measured properly (OLS over repeated
+    runs), not single-shot.
+
+    Groups:
+    - [fig4]     — the node cost model example (§5.3)
+    - [fig5..8]  — the four suite tables (peak / compile time / code size
+                   for DBDS and dupalot vs baseline)
+    - [headline] — the abstract's aggregate numbers
+    - [ablation-backtracking] — Algorithm 1 vs DBDS compile effort (§3.1)
+    - [ablation-iterations]   — DBDS iteration count sweep (§5.2)
+    - [ablation-budget]       — benefit-scale / size-budget sweep (§5.4)
+    - [bechamel] — wall-clock compile-time of one representative benchmark
+                   per suite under each configuration *)
+
+open Bechamel
+
+let section title = Format.printf "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock compile-time measurements                       *)
+(* ------------------------------------------------------------------ *)
+
+let compile_test ~suite_tag (b : Workloads.Suite.benchmark) config label =
+  Test.make
+    ~name:(Printf.sprintf "%s/%s/%s" suite_tag b.Workloads.Suite.name label)
+    (Staged.stage (fun () ->
+         let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+         ignore (Dbds.Driver.optimize_program ~config prog)))
+
+let representative (s : Workloads.Suite.t) =
+  List.nth s.Workloads.Suite.benchmarks 0
+
+let bechamel_tests () =
+  let tags = [ "fig5"; "fig6"; "fig7"; "fig8" ] in
+  let groups =
+    List.map2
+      (fun tag suite ->
+        let b = representative suite in
+        Test.make_grouped ~name:tag
+          [
+            compile_test ~suite_tag:tag b Dbds.Config.off "baseline";
+            compile_test ~suite_tag:tag b Dbds.Config.dbds "dbds";
+            compile_test ~suite_tag:tag b Dbds.Config.dupalot "dupalot";
+          ])
+      tags Workloads.Registry.all
+  in
+  let backtracking_group =
+    let b = representative Workloads.Micro.suite in
+    Test.make_grouped ~name:"ablation-backtracking"
+      [
+        compile_test ~suite_tag:"abl" b Dbds.Config.dbds "dbds";
+        compile_test ~suite_tag:"abl" b Dbds.Config.backtracking "backtracking";
+      ]
+  in
+  Test.make_grouped ~name:"compile-time" (groups @ [ backtracking_group ])
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols (List.hd instances) raw in
+  section "Bechamel: wall-clock compilation time (ns per compile, OLS)";
+  Format.printf "%-36s %16s@." "test" "ns/compile";
+  (* Collect and sort by name for stable output. *)
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Format.printf "%-36s %16.0f@." name est
+      | _ -> Format.printf "%-36s %16s@." name "-")
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  section "Figure 4: node cost model example";
+  Format.printf "%a@." Harness.Experiments.pp_figure4
+    (Harness.Experiments.figure4 ());
+  let summaries = Harness.Experiments.run_all_figures () in
+  List.iter
+    (fun s ->
+      section
+        (Printf.sprintf "%s: %s" s.Harness.Report.figure
+           s.Harness.Report.suite_name);
+      Format.printf "%a@." Harness.Report.pp_suite s)
+    summaries;
+  section "Headline (paper abstract)";
+  Format.printf "%a@." Harness.Report.pp_headline
+    (Harness.Report.headline_of summaries);
+  section "Ablation: backtracking vs simulation (paper 3.1)";
+  Format.printf "%a@." Harness.Experiments.pp_backtracking
+    (Harness.Experiments.run_backtracking_ablation ());
+  section "Ablation: DBDS iterations (paper 5.2)";
+  Format.printf "%a@." Harness.Experiments.pp_iterations
+    (Harness.Experiments.run_iteration_ablation ());
+  section "Ablation: trade-off constants (paper 5.4)";
+  Format.printf "%a@." Harness.Experiments.pp_budget
+    (Harness.Experiments.run_budget_ablation ());
+  section "Extension: path-based duplication (paper 8)";
+  Format.printf "%a@." Harness.Experiments.pp_path_ablation
+    (Harness.Experiments.run_path_ablation ());
+  run_bechamel ()

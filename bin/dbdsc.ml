@@ -1,0 +1,144 @@
+(** [dbdsc] — the command-line compiler driver.
+
+    Compiles a mini-language source file, optimizes it under a chosen
+    configuration (baseline / dbds / dupalot / backtracking), optionally
+    dumps the IR before and after, reports statistics, and can run the
+    program on the cost-model interpreter. *)
+
+open Cmdliner
+
+type dump = No_dump | Dump_before | Dump_after | Dump_both
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let mode_conv =
+  Arg.enum
+    [
+      ("baseline", Dbds.Config.Off);
+      ("off", Dbds.Config.Off);
+      ("dbds", Dbds.Config.Dbds);
+      ("dupalot", Dbds.Config.Dupalot);
+      ("backtracking", Dbds.Config.Backtracking);
+    ]
+
+let run_compiler file mode dump dot run args stats icache_off =
+  match
+    let src = read_file file in
+    let prog = Lang.Frontend.compile src in
+    if dump = Dump_before || dump = Dump_both then begin
+      Format.printf "=== IR before optimization ===@.";
+      Ir.Program.iter_functions prog (fun g ->
+          Format.printf "%s@." (Ir.Printer.graph_to_string g))
+    end;
+    let config = { Dbds.Config.default with Dbds.Config.mode } in
+    let ctx, per_fn = Dbds.Driver.optimize_program ~config prog in
+    if dump = Dump_after || dump = Dump_both then begin
+      Format.printf "=== IR after %s ===@." (Dbds.Config.mode_to_string mode);
+      Ir.Program.iter_functions prog (fun g ->
+          Format.printf "%s@." (Ir.Printer.graph_to_string g))
+    end;
+    (match dot with
+    | None -> ()
+    | Some base ->
+        Ir.Program.iter_functions prog (fun g ->
+            let path = Printf.sprintf "%s.%s.dot" base (Ir.Graph.name g) in
+            Ir.Dot.write_file path g;
+            Format.printf "wrote %s@." path));
+    if stats then begin
+      Format.printf "=== statistics ===@.";
+      List.iter
+        (fun (name, s) ->
+          Format.printf "%-20s %a@." name Dbds.Driver.pp_stats s)
+        per_fn;
+      let size = ref 0 in
+      Ir.Program.iter_functions prog (fun g ->
+          size := !size + Costmodel.Estimate.graph_size g);
+      Format.printf "code size: %d bytes (cost model), compile work: %d units@."
+        !size ctx.Opt.Phase.work
+    end;
+    if run then begin
+      let icache =
+        if icache_off then Interp.Machine.no_icache
+        else Interp.Machine.default_icache
+      in
+      let result, rstats =
+        Interp.Machine.run ~icache prog ~args:(Array.of_list args)
+      in
+      Format.printf "result: %s@." (Interp.Machine.result_to_string result);
+      Format.printf
+        "cycles: %.1f, instructions: %d, icache misses: %d, allocations: %d@."
+        rstats.Interp.Machine.cycles rstats.Interp.Machine.instrs_executed
+        rstats.Interp.Machine.icache_misses rstats.Interp.Machine.allocations
+    end
+  with
+  | () -> 0
+  | exception Lang.Frontend.Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | exception Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | exception Interp.Machine.Runtime_error msg ->
+      Format.eprintf "runtime error: %s@." msg;
+      1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Dbds.Config.Dbds
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Optimization mode: baseline, dbds, dupalot or backtracking.")
+
+let dump_conv =
+  Arg.enum
+    [
+      ("none", No_dump);
+      ("before", Dump_before);
+      ("after", Dump_after);
+      ("both", Dump_both);
+    ]
+
+let dump_arg =
+  Arg.(
+    value & opt dump_conv No_dump
+    & info [ "d"; "dump" ] ~docv:"WHEN"
+        ~doc:"Dump IR: none, before, after or both.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"BASE"
+        ~doc:"Write Graphviz files BASE.<function>.dot after optimization.")
+
+let run_arg =
+  Arg.(value & flag & info [ "r"; "run" ] ~doc:"Run main on the interpreter.")
+
+let args_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "a"; "args" ] ~docv:"INTS" ~doc:"Comma-separated integer arguments.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print duplication statistics.")
+
+let no_icache_arg =
+  Arg.(value & flag & info [ "no-icache" ] ~doc:"Disable the i-cache model.")
+
+let cmd =
+  let doc = "SSA compiler with dominance-based duplication simulation" in
+  Cmd.v
+    (Cmd.info "dbdsc" ~version:"1.0.0" ~doc)
+    Term.(
+      const run_compiler $ file_arg $ mode_arg $ dump_arg $ dot_arg $ run_arg
+      $ args_arg $ stats_arg $ no_icache_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,32 @@
+(** Regenerates every table and figure of the paper's evaluation
+    (Figures 4–8, the headline numbers, and the three ablations).
+    Output of this binary is recorded in EXPERIMENTS.md. *)
+
+let () =
+  let section title = Format.printf "@.=== %s ===@.@." title in
+  section "Figure 4";
+  Format.printf "%a@." Harness.Experiments.pp_figure4
+    (Harness.Experiments.figure4 ());
+  let summaries = Harness.Experiments.run_all_figures () in
+  List.iter
+    (fun s ->
+      section
+        (Printf.sprintf "%s: %s" s.Harness.Report.figure
+           s.Harness.Report.suite_name);
+      Format.printf "%a@." Harness.Report.pp_suite s)
+    summaries;
+  section "Headline";
+  Format.printf "%a@." Harness.Report.pp_headline
+    (Harness.Report.headline_of summaries);
+  section "Ablation: backtracking";
+  Format.printf "%a@." Harness.Experiments.pp_backtracking
+    (Harness.Experiments.run_backtracking_ablation ());
+  section "Ablation: iterations";
+  Format.printf "%a@." Harness.Experiments.pp_iterations
+    (Harness.Experiments.run_iteration_ablation ());
+  section "Ablation: trade-off constants";
+  Format.printf "%a@." Harness.Experiments.pp_budget
+    (Harness.Experiments.run_budget_ablation ());
+  section "Extension: path-based duplication";
+  Format.printf "%a@." Harness.Experiments.pp_path_ablation
+    (Harness.Experiments.run_path_ablation ())

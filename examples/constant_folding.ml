@@ -1,0 +1,47 @@
+(** The paper's Figure 3 walkthrough: strength reduction of [x / phi]
+    discovered by duplication simulation.
+
+    Program f:  if (a > b) { phi = x; } else { phi = 2; }  return x / phi;
+
+    The simulation tier binds phi to 2 along the false predecessor; the
+    strength-reduction applicability check rewrites the division into a
+    shift and reports 32 - 1 = 31 cycles saved — the exact numbers of the
+    paper's Figure 3d.
+
+    Run with: [dune exec examples/constant_folding.exe] *)
+
+let source =
+  {|
+  int f(int a, int b, int x) {
+    int phi;
+    if (a > b) { phi = x; } else { phi = 2; }
+    return x / phi;
+  }
+  int main(int a, int b, int x) { return f(a, b, x); }
+  |}
+
+let () =
+  let prog = Lang.Frontend.compile source in
+  let g = Option.get (Ir.Program.find_function prog "f") in
+  Format.printf "=== program f (Figure 3a) ===@.%s@."
+    (Ir.Printer.graph_to_string g);
+
+  let ctx = Opt.Phase.create ~program:prog () in
+  let candidates = Dbds.Simulation.simulate ctx Dbds.Config.default g in
+  Format.printf "=== simulation results ===@.";
+  List.iter (fun c -> Format.printf "  %a@." Dbds.Candidate.pp c) candidates;
+  Format.printf
+    "(the false-branch candidate saves ~31 cycles: division 32, shift 1)@.";
+
+  let _ = Dbds.Driver.optimize_graph ctx g in
+  Format.printf "@.=== after duplication (Figure 3e) ===@.%s@."
+    (Ir.Printer.graph_to_string g);
+
+  (* Check semantics on both paths: a>b takes the division by x, the
+     other path takes the shift. *)
+  List.iter
+    (fun (a, b, x) ->
+      let result, _ = Interp.Machine.run prog ~args:[| a; b; x |] in
+      Format.printf "f(%d, %d, %d) = %s@." a b x
+        (Interp.Machine.result_to_string result))
+    [ (3, 1, 10); (1, 3, 10); (1, 3, -9) ]

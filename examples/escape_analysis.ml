@@ -1,0 +1,66 @@
+(** The paper's Listings 3 and 4: partial escape analysis enabled by
+    duplication.
+
+    The allocation [new A(0)] escapes only through the phi at the merge.
+    Duplicating the merge block into the null-branch predecessor makes the
+    allocation local to that path; scalar replacement then deletes it and
+    the field read becomes the constant 0 — Listing 4's residual program.
+
+    Run with: [dune exec examples/escape_analysis.exe] *)
+
+let source =
+  {|
+  class A { int x; }
+  int foo(A a) {
+    A p;
+    if (a == null) { p = new A(0); } else { p = a; }
+    return p.x;
+  }
+  int main(int k) {
+    if (k > 0) { return foo(new A(k)); }
+    return foo(null);
+  }
+  |}
+
+let count_allocations g =
+  Ir.Graph.fold_instrs g
+    (fun n i ->
+      match i.Ir.Graph.kind with Ir.Types.New _ -> n + 1 | _ -> n)
+    0
+
+let () =
+  let prog = Lang.Frontend.compile source in
+  let g = Option.get (Ir.Program.find_function prog "foo") in
+  Format.printf "=== Listing 3 ===@.%s@." (Ir.Printer.graph_to_string g);
+  Format.printf "allocations in foo before: %d@." (count_allocations g);
+
+  (* The allocation escapes only through the phi — the exact situation
+     the PEA applicability check looks for. *)
+  let alloc =
+    Ir.Graph.fold_instrs g
+      (fun acc i ->
+        match i.Ir.Graph.kind with
+        | Ir.Types.New _ -> Some i.Ir.Graph.ins_id
+        | _ -> acc)
+      None
+    |> Option.get
+  in
+  (match Opt.Pea.escape_state g alloc with
+  | Opt.Pea.Through_phi_only -> Format.printf "escape state: through phi only@."
+  | Opt.Pea.No_escape -> Format.printf "escape state: no escape@."
+  | Opt.Pea.Escapes -> Format.printf "escape state: escapes@.");
+
+  let ctx = Opt.Phase.create ~program:prog () in
+  let stats = Dbds.Driver.optimize_graph ctx g in
+  Format.printf "@.=== after DBDS (%a) ===@.%s@." Dbds.Driver.pp_stats stats
+    (Ir.Printer.graph_to_string g);
+  Format.printf "allocations in foo after: %d@." (count_allocations g);
+
+  (* Behaviour preserved, and the null path allocates nothing at all. *)
+  List.iter
+    (fun k ->
+      let result, rstats = Interp.Machine.run prog ~args:[| k |] in
+      Format.printf "main(%d) = %s  (allocations at run time: %d)@." k
+        (Interp.Machine.result_to_string result)
+        rstats.Interp.Machine.allocations)
+    [ 7; 0 ]

@@ -1,0 +1,50 @@
+(** A duplication candidate: the outcome of simulating the duplication of
+    one merge block into one of its predecessors (one "Sim Result" box of
+    the paper's Figure 2). *)
+
+type opportunity =
+  | Constant_fold
+  | Strength_reduce
+  | Copy_propagation
+  | Value_numbering
+  | Read_elimination
+  | Conditional_elimination
+  | Escape_analysis
+
+let opportunity_to_string = function
+  | Constant_fold -> "constant-fold"
+  | Strength_reduce -> "strength-reduce"
+  | Copy_propagation -> "copy-propagation"
+  | Value_numbering -> "value-numbering"
+  | Read_elimination -> "read-elimination"
+  | Conditional_elimination -> "conditional-elimination"
+  | Escape_analysis -> "escape-analysis"
+
+type t = {
+  merge : Ir.Types.block_id;
+  pred : Ir.Types.block_id;
+  path : Ir.Types.block_id list;
+      (** merges beyond [merge] along a straight path (paper §8's
+          future-work extension); [] for ordinary tail duplication.
+          Applying the candidate duplicates [merge] into [pred], then
+          each path merge into the previous duplicate. *)
+  benefit : float;  (** estimated cycles saved (unscaled) *)
+  probability : float;
+      (** the predecessor's execution frequency relative to the hottest
+          block of the compilation unit (paper §5.4 factor p) *)
+  size_delta : int;  (** estimated code-size increase, abstract bytes *)
+  opportunities : opportunity list;
+}
+
+(** The sort key of the trade-off tier: expected cycles saved per unit of
+    execution, i.e. benefit scaled by relative frequency. *)
+let scaled_benefit c = c.benefit *. c.probability
+
+let pp ppf c =
+  Fmt.pf ppf "b%d->b%d%s benefit=%.1f p=%.3f size=%+d [%s]" c.pred c.merge
+    (match c.path with
+    | [] -> ""
+    | path ->
+        "~>" ^ String.concat "~>" (List.map (Printf.sprintf "b%d") path))
+    c.benefit c.probability c.size_delta
+    (String.concat ", " (List.map opportunity_to_string c.opportunities))

@@ -1,0 +1,57 @@
+(** DBDS configuration: the trade-off constants of paper §5.4 and the
+    evaluation configurations of §6.1. *)
+
+type mode =
+  | Off  (** baseline: classic optimizations only, no duplication *)
+  | Dbds  (** full simulate → trade-off → optimize pipeline *)
+  | Dupalot
+      (** simulation tier finds opportunities; every candidate with any
+          benefit is duplicated, ignoring cost (paper's dupalot) *)
+  | Backtracking
+      (** Algorithm 1: tentatively duplicate, optimize, keep on progress,
+          restore otherwise — the expensive strategy DBDS replaces *)
+
+type t = {
+  mode : mode;
+  benefit_scale : float;  (** BS; the paper derived 256 empirically *)
+  size_budget : float;  (** IB; 1.5 = max 150% of the initial code size *)
+  max_unit_size : int;  (** MS; the VM's installed-code limit *)
+  max_iterations : int;  (** iterative DBDS applications; paper uses 3 *)
+  iteration_benefit_threshold : float;
+      (** run another iteration only if the previous one's cumulative
+          accepted benefit exceeds this (paper §5.2: ~20% of units
+          re-iterate) *)
+  loop_factor : float;  (** assumed loop trip count for frequencies *)
+  path_duplication : bool;
+      (** §8 future-work extension: let the simulation continue through a
+          straight chain of merges and apply the whole path as one
+          candidate (up to [max_path_length] merges) *)
+  max_path_length : int;
+}
+
+let default =
+  {
+    mode = Dbds;
+    benefit_scale = 256.0;
+    size_budget = 1.5;
+    max_unit_size = 65_536;
+    max_iterations = 3;
+    iteration_benefit_threshold = 20.0;
+    loop_factor = Ir.Frequency.default_loop_factor;
+    path_duplication = false;
+    max_path_length = 3;
+  }
+
+let dbds = default
+let off = { default with mode = Off }
+let dupalot = { default with mode = Dupalot }
+let backtracking = { default with mode = Backtracking }
+
+(** DBDS with the §8 path extension enabled. *)
+let dbds_paths = { default with path_duplication = true }
+
+let mode_to_string = function
+  | Off -> "baseline"
+  | Dbds -> "dbds"
+  | Dupalot -> "dupalot"
+  | Backtracking -> "backtracking"

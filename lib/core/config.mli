@@ -1,0 +1,43 @@
+(** DBDS configuration: the trade-off constants of paper §5.4 and the
+    evaluation configurations of §6.1. *)
+
+type mode =
+  | Off  (** baseline: classic optimizations only, no duplication *)
+  | Dbds  (** full simulate → trade-off → optimize pipeline *)
+  | Dupalot
+      (** simulation tier finds opportunities; every candidate with any
+          benefit is duplicated, ignoring cost (paper's dupalot) *)
+  | Backtracking
+      (** Algorithm 1: tentatively duplicate, optimize, keep on progress,
+          restore otherwise — the expensive strategy DBDS replaces *)
+
+type t = {
+  mode : mode;
+  benefit_scale : float;  (** BS; the paper derived 256 empirically *)
+  size_budget : float;  (** IB; 1.5 = max 150% of the initial code size *)
+  max_unit_size : int;  (** MS; the VM's installed-code limit *)
+  max_iterations : int;  (** iterative DBDS applications; paper uses 3 *)
+  iteration_benefit_threshold : float;
+      (** run another iteration only if the previous one's cumulative
+          accepted benefit exceeds this (paper §5.2: ~20% of units
+          re-iterate) *)
+  loop_factor : float;  (** assumed loop trip count for frequencies *)
+  path_duplication : bool;
+      (** §8 future-work extension: let the simulation continue through a
+          straight chain of merges and apply the whole path as one
+          candidate (up to [max_path_length] merges) *)
+  max_path_length : int;
+}
+
+(** Mode [Dbds], BS=256, IB=1.5, MS=65536, 3 iterations, paths off. *)
+val default : t
+
+val dbds : t
+val off : t
+val dupalot : t
+val backtracking : t
+
+(** DBDS with the §8 path extension enabled. *)
+val dbds_paths : t
+
+val mode_to_string : mode -> string

@@ -1,0 +1,191 @@
+(** The DBDS driver: the iterative simulate → trade-off → optimize
+    pipeline (paper §5.2), plus the two comparator strategies of the
+    evaluation — dupalot (trade-off disabled) and backtracking
+    (Algorithm 1 of §3.1).
+
+    The driver is applied per compilation unit (function graph).  After
+    each batch of duplications the classic optimization phases run — the
+    action steps whose potential the simulation tier detected.  Up to
+    [max_iterations] rounds are performed; a new round only starts if the
+    previous round's cumulative accepted benefit clears a threshold. *)
+
+module G = Ir.Graph
+
+type stats = {
+  mutable candidates_found : int;
+  mutable duplications_performed : int;
+  mutable iterations_run : int;
+  mutable benefit_accepted : float;
+  mutable backtrack_attempts : int;
+  mutable backtrack_kept : int;
+}
+
+let fresh_stats () =
+  {
+    candidates_found = 0;
+    duplications_performed = 0;
+    iterations_run = 0;
+    benefit_accepted = 0.0;
+    backtrack_attempts = 0;
+    backtrack_kept = 0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "candidates=%d duplicated=%d iterations=%d benefit=%.1f backtrack=%d/%d"
+    s.candidates_found s.duplications_performed s.iterations_run
+    s.benefit_accepted s.backtrack_kept s.backtrack_attempts
+
+(* One simulate → trade-off → optimize round.  Returns the cumulative
+   accepted benefit and the number of accepted candidates that had gone
+   stale (an earlier duplication in the round moved their edge). *)
+let run_round config ctx stats g =
+  let candidates = Simulation.simulate ctx config g in
+  stats.candidates_found <- stats.candidates_found + List.length candidates;
+  let budget = Tradeoff.budget_for g in
+  let round_benefit = ref 0.0 in
+  let stale = ref 0 in
+  List.iter
+    (fun c ->
+      if Tradeoff.should_duplicate config budget c then
+        match Transform.duplicate g ~merge:c.Candidate.merge ~pred:c.Candidate.pred with
+        | bm' ->
+            Tradeoff.commit budget c;
+            stats.duplications_performed <- stats.duplications_performed + 1;
+            round_benefit := !round_benefit +. Candidate.scaled_benefit c;
+            (* §8 path extension: continue the duplication along the
+               simulated merge chain — each previous duplicate becomes
+               the predecessor of the next merge.  A step that went stale
+               just truncates the path (each step is independently
+               sound). *)
+            let pred = ref bm' in
+            (try
+               List.iter
+                 (fun m2 ->
+                    let d = Transform.duplicate g ~merge:m2 ~pred:!pred in
+                    stats.duplications_performed <-
+                      stats.duplications_performed + 1;
+                    pred := d)
+                 c.Candidate.path
+             with Transform.Not_applicable _ -> ());
+            Opt.Phase.charge ctx (G.live_instr_count g)
+        | exception Transform.Not_applicable _ ->
+            (* An earlier duplication in this round invalidated the
+               candidate (its edge moved); rediscovered next round. *)
+            incr stale)
+    (Tradeoff.rank candidates);
+  (* Action steps: run the classic optimizations over the transformed
+     graph (the per-candidate opportunities all fall out of these). *)
+  if !round_benefit > 0.0 then ignore (Opt.Pipeline.optimize ctx g);
+  stats.benefit_accepted <- stats.benefit_accepted +. !round_benefit;
+  (!round_benefit, !stale)
+
+(* Algorithm 1: tentative duplication with backtracking.  For every
+   (merge, predecessor) pair: copy the graph, duplicate, run the full
+   optimizer, keep the result only if the static performance estimate
+   improved. *)
+let run_backtracking config ctx stats g =
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < config.Config.max_iterations do
+    incr rounds;
+    progress := false;
+    let merges =
+      G.fold_blocks g
+        (fun acc b ->
+          if
+            List.length b.G.preds >= 2
+            && not (List.mem b.G.blk_id (G.succs g b.G.blk_id))
+          then b.G.blk_id :: acc
+          else acc)
+        []
+    in
+    List.iter
+      (fun bm ->
+        if G.block_exists g bm then
+          List.iter
+            (fun bp ->
+              if
+                G.block_exists g bm
+                && List.mem bp (G.preds g bm)
+                && List.length (G.preds g bm) >= 2
+              then begin
+                stats.backtrack_attempts <- stats.backtrack_attempts + 1;
+                let backup = G.copy g in
+                Opt.Phase.charge ctx (G.live_instr_count g);
+                let before = Costmodel.Estimate.weighted_cycles g in
+                match Transform.duplicate g ~merge:bm ~pred:bp with
+                | _ ->
+                    ignore (Opt.Pipeline.optimize ctx g);
+                    let after = Costmodel.Estimate.weighted_cycles g in
+                    let size_after = Costmodel.Estimate.graph_size g in
+                    if
+                      after < before
+                      && size_after < config.Config.max_unit_size
+                    then begin
+                      stats.backtrack_kept <- stats.backtrack_kept + 1;
+                      stats.duplications_performed <-
+                        stats.duplications_performed + 1;
+                      progress := true
+                    end
+                    else G.restore g ~backup
+                | exception Transform.Not_applicable _ ->
+                    G.restore g ~backup
+              end)
+            (G.preds g bm))
+      merges
+  done
+
+(** Optimize one graph under the given configuration.  Returns statistics
+    about the duplication work performed. *)
+let optimize_graph ?(config = Config.default) ctx g =
+  let stats = fresh_stats () in
+  (match config.Config.mode with
+  | Config.Off -> ignore (Opt.Pipeline.optimize ctx g)
+  | Config.Backtracking ->
+      ignore (Opt.Pipeline.optimize ctx g);
+      run_backtracking config ctx stats g;
+      ignore (Opt.Pipeline.optimize ctx g)
+  | Config.Dbds | Config.Dupalot ->
+      ignore (Opt.Pipeline.optimize ctx g);
+      let continue_ = ref true in
+      let iter = ref 0 in
+      while !continue_ && !iter < config.Config.max_iterations do
+        incr iter;
+        stats.iterations_run <- !iter;
+        let benefit, stale = run_round config ctx stats g in
+        (* Another round pays off when this one's accepted benefit was
+           high enough (paper §5.2) or when ranked candidates went stale
+           mid-round and deserve a fresh simulation. *)
+        if benefit <= config.Config.iteration_benefit_threshold && stale = 0
+        then continue_ := false
+      done);
+  stats
+
+(** Optimize a whole program: inline first (compilation units in the
+    evaluation are post-inlining, as in Graal), then run the configured
+    per-function pipeline.  Returns the phase context (for work-unit
+    accounting) and per-function statistics. *)
+let optimize_program ?(config = Config.default) ?(inline = true) program =
+  let ctx = Opt.Phase.create ~program () in
+  if inline then ignore (Opt.Inline.inline_program ctx program);
+  let stats = ref [] in
+  Ir.Program.iter_functions program (fun g ->
+      let s = optimize_graph ~config ctx g in
+      stats := (Ir.Graph.name g, s) :: !stats);
+  (ctx, List.rev !stats)
+
+(** Aggregate statistics over a program run. *)
+let total_stats per_function =
+  let t = fresh_stats () in
+  List.iter
+    (fun (_, s) ->
+      t.candidates_found <- t.candidates_found + s.candidates_found;
+      t.duplications_performed <-
+        t.duplications_performed + s.duplications_performed;
+      t.iterations_run <- max t.iterations_run s.iterations_run;
+      t.benefit_accepted <- t.benefit_accepted +. s.benefit_accepted;
+      t.backtrack_attempts <- t.backtrack_attempts + s.backtrack_attempts;
+      t.backtrack_kept <- t.backtrack_kept + s.backtrack_kept)
+    per_function;
+  t

@@ -1,0 +1,41 @@
+(** The DBDS driver: the iterative simulate → trade-off → optimize
+    pipeline (paper §5.2), plus the two comparator strategies of the
+    evaluation — dupalot (trade-off disabled) and backtracking
+    (Algorithm 1 of §3.1).
+
+    The driver is applied per compilation unit (function graph).  After
+    each batch of duplications the classic optimization phases run — the
+    action steps whose potential the simulation tier detected.  Up to
+    [max_iterations] rounds are performed; a new round only starts if the
+    previous round's cumulative accepted benefit clears a threshold (or
+    ranked candidates went stale mid-round). *)
+
+type stats = {
+  mutable candidates_found : int;
+  mutable duplications_performed : int;
+  mutable iterations_run : int;
+  mutable benefit_accepted : float;
+  mutable backtrack_attempts : int;
+  mutable backtrack_kept : int;
+}
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Optimize one graph under the given configuration. *)
+val optimize_graph :
+  ?config:Config.t -> Opt.Phase.ctx -> Ir.Graph.t -> stats
+
+(** Optimize a whole program: inline first (compilation units in the
+    evaluation are post-inlining, as in Graal; disable with
+    [~inline:false]), then run the configured per-function pipeline.
+    Returns the phase context (work-unit accounting) and per-function
+    statistics. *)
+val optimize_program :
+  ?config:Config.t ->
+  ?inline:bool ->
+  Ir.Program.t ->
+  Opt.Phase.ctx * (string * stats) list
+
+(** Aggregate statistics over a program run. *)
+val total_stats : (string * stats) list -> stats

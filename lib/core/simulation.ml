@@ -1,0 +1,332 @@
+(** The DBDS simulation tier (paper §4.1).
+
+    A depth-first traversal of the dominator tree carries three kinds of
+    context: condition facts from dominating branches (shared with
+    {!Opt.Condelim}), memory-availability state (shared with
+    {!Opt.Readelim} via {!Opt.Memstate}), and available pure expressions
+    (value numbering).  Whenever the current block [bp] has a CFG
+    successor [bm] that is a merge, the traversal pauses and runs a
+    {e duplication simulation traversal} (DST): [bm]'s instructions are
+    processed as if appended to [bp], with a {e synonym map} binding each
+    of [bm]'s phis to its input along the [bp] edge.  Applicability
+    checks — the precondition/action pairs of the optimizations from
+    paper §2 — run against this synonym-resolved view and report the
+    cycles the optimization would save and the code size it would add or
+    remove, using the static node cost model.  No IR is mutated (apart
+    from hash-consed integer constants materialized in the entry block,
+    which are semantically inert and collected by DCE if unused).
+
+    Loop headers are merges too, but duplicating into a back edge is loop
+    peeling rather than tail duplication, so they are skipped — as is the
+    paper's implicit behaviour for Graal loop-begin nodes. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+type dst_context = {
+  env : Opt.Condelim.env;
+  mem : Opt.Memstate.t;
+  exprs : (instr_kind, value) Hashtbl.t;
+}
+
+let class_fields ctx cls =
+  match ctx.Opt.Phase.program with
+  | None -> None
+  | Some p ->
+      Option.map (fun c -> c.Ir.Program.fields) (Ir.Program.find_class p cls)
+
+(* The cost of an instruction kind. *)
+let cycles k = Costmodel.Cost.cycles_of_kind k
+let size k = Costmodel.Cost.size_of_kind k
+
+(** Simulate duplicating merge [bm] into predecessor [bp] given the
+    traversal context at the end of [bp].  Returns a candidate when any
+    applicability check fires with positive benefit — and, when the §8
+    path extension is enabled and [bm] jumps straight into further
+    merges, additional path candidates covering the chain. *)
+let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
+  Opt.Phase.charge ctx (List.length (G.block_instrs g bm));
+  let synonyms : (value, value) Hashtbl.t = Hashtbl.create 8 in
+  let overlay : (value, instr_kind) Hashtbl.t = Hashtbl.create 8 in
+  let rec resolve v =
+    match Hashtbl.find_opt synonyms v with Some v' -> resolve v' | None -> v
+  in
+  let kind_of v =
+    let v = resolve v in
+    match Hashtbl.find_opt overlay v with Some k -> k | None -> G.kind g v
+  in
+  let bind_phis merge pred =
+    let pred_idx = G.pred_index g merge pred in
+    List.iter
+      (fun phi ->
+        match G.kind g phi with
+        | Phi inputs -> Hashtbl.replace synonyms phi inputs.(pred_idx)
+        | _ -> assert false)
+      (G.block g merge).G.phis
+  in
+  bind_phis bm bp;
+  let benefit = ref 0.0 in
+  let size_delta = ref 0 in
+  let opps = ref [] in
+  let mem = ref dctx.mem in
+  let counted_allocs = Hashtbl.create 4 in
+  let fire opp ~saved_cycles ~saved_size =
+    benefit := !benefit +. saved_cycles;
+    size_delta := !size_delta - saved_size;
+    if not (List.mem opp !opps) then opps := opp :: !opps
+  in
+  (* PEA check: a memory access through a synonym that turns out to be an
+     allocation which currently escapes only through phis. *)
+  let check_pea base =
+    let base = resolve base in
+    match G.kind g base with
+    | New (_, _)
+      when Opt.Pea.escape_state g base = Opt.Pea.Through_phi_only ->
+        if not (Hashtbl.mem counted_allocs base) then begin
+          Hashtbl.add counted_allocs base ();
+          (* Scalar replacement would remove the allocation itself. *)
+          fire Candidate.Escape_analysis
+            ~saved_cycles:(cycles (G.kind g base))
+            ~saved_size:0
+        end;
+        true
+    | _ -> false
+  in
+  let process_body block_id =
+   List.iter
+    (fun id ->
+      let orig = G.kind g id in
+      (* The duplication copies this instruction: count its size. *)
+      size_delta := !size_delta + size orig;
+      let resolved = map_inputs resolve orig in
+      let action = Opt.Canonicalize.simplify ~kind_of ~mk_const resolved in
+      match action with
+      | Opt.Canonicalize.Fold n ->
+          fire
+            (match resolved with
+            | Cmp _ -> Candidate.Conditional_elimination
+            | _ -> Candidate.Constant_fold)
+            ~saved_cycles:(cycles orig -. cycles (Const n))
+            ~saved_size:(size orig - size (Const n));
+          Hashtbl.replace overlay id (Const n)
+      | Opt.Canonicalize.Fold_null ->
+          fire Candidate.Constant_fold
+            ~saved_cycles:(cycles orig)
+            ~saved_size:(size orig - 1);
+          Hashtbl.replace overlay id Null
+      | Opt.Canonicalize.Alias v ->
+          fire Candidate.Copy_propagation ~saved_cycles:(cycles orig)
+            ~saved_size:(size orig);
+          Hashtbl.replace synonyms id v
+      | Opt.Canonicalize.Rewrite k ->
+          fire Candidate.Strength_reduce
+            ~saved_cycles:(cycles orig -. cycles k)
+            ~saved_size:(size orig - size k);
+          Hashtbl.replace overlay id k
+      | Opt.Canonicalize.Unchanged -> (
+          (* Conditional elimination: facts from dominating branches. *)
+          match
+            match resolved with
+            | Cmp _ -> Opt.Condelim.implied ~kind_of dctx.env id resolved
+            | _ -> None
+          with
+          | Some t ->
+              fire Candidate.Conditional_elimination
+                ~saved_cycles:(cycles orig -. cycles (Const 0))
+                ~saved_size:(size orig - 1);
+              Hashtbl.replace overlay id (Const (if t then 1 else 0))
+          | None ->
+              (* Value numbering against dominating expressions. *)
+              let gvn_hit =
+                if Opt.Gvn.is_candidate resolved then
+                  Hashtbl.find_opt dctx.exprs (Opt.Gvn.key_of_kind resolved)
+                else None
+              in
+              (match gvn_hit with
+              | Some earlier ->
+                  fire Candidate.Value_numbering ~saved_cycles:(cycles orig)
+                    ~saved_size:(size orig);
+                  Hashtbl.replace synonyms id earlier
+              | None -> (
+                  (* Read elimination over the threaded memory state. *)
+                  match resolved with
+                  | Load (base, _field) ->
+                      let st, redundant =
+                        Opt.Memstate.transfer !mem id resolved
+                      in
+                      (* An access through a phi-escaping allocation is a
+                         scalar-replacement opportunity whether or not the
+                         read is also directly redundant. *)
+                      ignore (check_pea base);
+                      (match redundant with
+                      | Some v ->
+                          fire Candidate.Read_elimination
+                            ~saved_cycles:(cycles orig) ~saved_size:(size orig);
+                          Hashtbl.replace synonyms id v
+                      | None -> ());
+                      mem := st
+                  | Load_global _ ->
+                      let st, redundant =
+                        Opt.Memstate.transfer !mem id resolved
+                      in
+                      (match redundant with
+                      | Some v ->
+                          fire Candidate.Read_elimination
+                            ~saved_cycles:(cycles orig) ~saved_size:(size orig);
+                          Hashtbl.replace synonyms id v
+                      | None -> ());
+                      mem := st
+                  | Store (base, _, _) ->
+                      ignore (check_pea base);
+                      let st, _ = Opt.Memstate.transfer !mem id resolved in
+                      mem := st
+                  | New (cls, args) ->
+                      let st, _ = Opt.Memstate.transfer !mem id resolved in
+                      mem :=
+                        (match class_fields ctx cls with
+                        | Some fields ->
+                            Opt.Memstate.seed_new st ~fields id args
+                        | None -> st)
+                  | k ->
+                      let st, _ = Opt.Memstate.transfer !mem id k in
+                      mem := st))))
+    (G.block g block_id).G.body
+  in
+  (* The duplicated terminator: count its size; a branch whose condition
+     resolves to a constant or is implied folds into a jump and unlocks
+     downstream simplification. *)
+  let process_term block_id =
+    match G.term g block_id with
+    | Branch { cond; _ } as t ->
+        size_delta :=
+          !size_delta + (Costmodel.Cost.of_term t).Costmodel.Cost.size;
+        let decided =
+          match kind_of (resolve cond) with
+          | Const _ -> true
+          | k -> (
+              match k with
+              | Cmp _ ->
+                  Opt.Condelim.implied ~kind_of dctx.env (resolve cond) k <> None
+              | _ -> false)
+        in
+        if decided then
+          fire Candidate.Conditional_elimination ~saved_cycles:1.0 ~saved_size:1
+    | t ->
+        size_delta :=
+          !size_delta + (Costmodel.Cost.of_term t).Costmodel.Cost.size
+  in
+  let probability = Ir.Frequency.relative freq bp in
+  let mk_candidate path =
+    {
+      Candidate.merge = bm;
+      pred = bp;
+      path = List.rev path;
+      benefit = !benefit;
+      probability;
+      size_delta = !size_delta;
+      opportunities = List.rev !opps;
+    }
+  in
+  process_body bm;
+  process_term bm;
+  let results = ref [] in
+  if !benefit > 0.0 then results := [ mk_candidate [] ];
+  (* §8 path extension: continue the DST through a straight chain of
+     further merges; each extension that adds benefit becomes its own
+     candidate, priced with the cumulative cost of the whole path. *)
+  if config.Config.path_duplication then begin
+    let cur = ref bm in
+    let path = ref [] in
+    let continue_ = ref true in
+    while !continue_ && List.length !path < config.Config.max_path_length - 1 do
+      match G.term g !cur with
+      | Jump next
+        when next <> !cur
+             && List.length (G.preds g next) >= 2
+             && (not (Ir.Loops.is_header loops next))
+             && next <> bm
+             && not (List.mem next !path) ->
+          Opt.Phase.charge ctx (List.length (G.block_instrs g next));
+          let benefit_before = !benefit in
+          bind_phis next !cur;
+          process_body next;
+          process_term next;
+          path := next :: !path;
+          if !benefit > benefit_before then
+            results := mk_candidate !path :: !results;
+          cur := next
+      | _ -> continue_ := false
+    done
+  end;
+  !results
+
+(** Run the simulation tier over one graph: returns all candidates with
+    positive estimated benefit, one per (predecessor, merge) pair. *)
+let simulate ctx (config : Config.t) g =
+  Opt.Phase.charge_graph ctx g;
+  let dom = Ir.Dom.compute g in
+  let loops = Ir.Loops.compute dom in
+  let freq = Ir.Frequency.compute ~loop_factor:config.Config.loop_factor dom loops in
+  let mk_const = Opt.Canonicalize.materialize_const g in
+  let exprs : (instr_kind, value) Hashtbl.t = Hashtbl.create 64 in
+  let candidates = ref [] in
+  let kind_of v = G.kind g v in
+  let rec visit env mem bid =
+    (* Process this block's instructions into the traversal context. *)
+    let added = ref [] in
+    let mem_out =
+      List.fold_left
+        (fun st id ->
+          let kind = G.kind g id in
+          if Opt.Gvn.is_candidate kind then begin
+            let key = Opt.Gvn.key_of_kind kind in
+            if not (Hashtbl.mem exprs key) then begin
+              Hashtbl.add exprs key id;
+              added := key :: !added
+            end
+          end;
+          let st, _ = Opt.Memstate.transfer st id kind in
+          match kind with
+          | New (cls, args) -> (
+              match class_fields ctx cls with
+              | Some fields -> Opt.Memstate.seed_new st ~fields id args
+              | None -> st)
+          | _ -> st)
+        mem (G.block_instrs g bid)
+    in
+    (* Pause at predecessor→merge pairs and run DSTs. *)
+    List.iter
+      (fun s ->
+        if
+          s <> bid
+          && List.length (G.preds g s) >= 2
+          && not (Ir.Loops.is_header loops s)
+        then
+          candidates :=
+            simulate_dst ctx config g ~loops ~mk_const ~freq
+              { env; mem = mem_out; exprs }
+              bid s
+            @ !candidates)
+      (G.succs g bid);
+    (* Descend the dominator tree with gated facts/state. *)
+    List.iter
+      (fun child ->
+        let child_env =
+          match G.term g bid with
+          | Branch { cond; if_true; if_false; _ } ->
+              if child = if_true && G.preds g if_true = [ bid ] then
+                Opt.Condelim.assume ~kind_of env cond true
+              else if child = if_false && G.preds g if_false = [ bid ] then
+                Opt.Condelim.assume ~kind_of env cond false
+              else env
+          | Jump _ | Return _ | Unreachable -> env
+        in
+        let child_mem =
+          if G.preds g child = [ bid ] then mem_out else Opt.Memstate.empty
+        in
+        visit child_env child_mem child)
+      (Ir.Dom.children dom bid);
+    List.iter (Hashtbl.remove exprs) !added
+  in
+  visit Opt.Condelim.empty_env Opt.Memstate.empty (G.entry g);
+  List.rev !candidates

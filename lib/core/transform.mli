@@ -1,0 +1,26 @@
+(** The duplication transformation (the optimization tier's primitive,
+    paper §4.3): copy a merge block into one of its predecessors.
+
+    Given merge [bm] and predecessor [bp]:
+    + a fresh block [bm'] receives a copy of [bm]'s body, with [bm]'s
+      phis resolved to their inputs along the [bp] edge;
+    + [bm']'s terminator replicates [bm]'s, so [bm]'s successors gain
+      [bm'] as a predecessor (their phis receive the copied values);
+    + the [bp → bm] edge is redirected to [bm'];
+    + SSA is reconstructed: every value defined in [bm] (including its
+      phis) now has an alternate definition on the duplicated path, and
+      uses in blocks [bm] no longer dominates are rewritten through
+      freshly placed phis ({!Ir.Ssa_repair}).
+
+    Loop headers are rejected: duplicating one is loop peeling/rotation,
+    not tail duplication (see the regression test for the off-by-one-
+    iteration hazard). *)
+
+exception Not_applicable of string
+
+(** Perform the transformation; returns the duplicate block's id.
+    @raise Not_applicable when the edge is gone, the merge degenerated,
+    or the merge is a loop header. *)
+val duplicate :
+  Ir.Graph.t -> merge:Ir.Types.block_id -> pred:Ir.Types.block_id ->
+  Ir.Types.block_id

@@ -1,0 +1,278 @@
+(** The experiment definitions: one entry per paper artifact (see the
+    experiment index in DESIGN.md §4), each able to regenerate its rows.
+    [bin/experiments.exe] prints all of them; [bench/main.exe] wraps the
+    compile-time measurements in Bechamel. *)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5–8                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_figure suite =
+  let rows = Runner.run_suite suite in
+  Report.summarize suite rows
+
+let run_all_figures () = List.map run_figure Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: backtracking vs simulation compile time (paper §3.1)      *)
+(* ------------------------------------------------------------------ *)
+
+type backtracking_row = {
+  bt_benchmark : string;
+  dbds_work : int;
+  backtracking_work : int;
+  ratio : float;
+}
+
+(** The paper reports that the graph-copying backtracking strategy
+    increased compilation time ~10x; this reproduces the comparison on a
+    sample of benchmarks (backtracking is expensive — that is the
+    point). *)
+let run_backtracking_ablation ?(benchmarks_per_suite = 2) () =
+  let sample (s : Workloads.Suite.t) =
+    List.filteri (fun i _ -> i < benchmarks_per_suite) s.Workloads.Suite.benchmarks
+  in
+  let benchmarks = List.concat_map sample Workloads.Registry.all in
+  List.map
+    (fun b ->
+      let dbds = Runner.measure ~config:Dbds.Config.dbds b in
+      let bt = Runner.measure ~config:Dbds.Config.backtracking b in
+      {
+        bt_benchmark = b.Workloads.Suite.name;
+        dbds_work = dbds.Metrics.compile_work;
+        backtracking_work = bt.Metrics.compile_work;
+        ratio =
+          float_of_int bt.Metrics.compile_work
+          /. float_of_int (max dbds.Metrics.compile_work 1);
+      })
+    benchmarks
+
+let pp_backtracking ppf rows =
+  Fmt.pf ppf "Ablation (paper §3.1): backtracking vs DBDS compile effort@\n";
+  Fmt.pf ppf "%-14s | %12s | %14s | %7s@\n" "benchmark" "DBDS work"
+    "backtrack work" "ratio";
+  Fmt.pf ppf "%s@\n" (String.make 56 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s | %12d | %14d | %6.1fx@\n" r.bt_benchmark r.dbds_work
+        r.backtracking_work r.ratio)
+    rows;
+  let geo =
+    Metrics.geomean_pct (List.map (fun r -> (r.ratio -. 1.0) *. 100.0) rows)
+  in
+  Fmt.pf ppf "%s@\n" (String.make 56 '-');
+  Fmt.pf ppf "%-14s | %43.1fx@\n" "geomean" (1.0 +. (geo /. 100.0))
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: DBDS iteration count (paper §5.2)                         *)
+(* ------------------------------------------------------------------ *)
+
+type iteration_row = {
+  it_iterations : int;
+  it_peak : float;  (** geomean peak delta vs baseline *)
+  it_compile : float;
+  it_size : float;
+}
+
+let run_iteration_ablation ?(suite = Workloads.Micro.suite) () =
+  let measure_config config b =
+    Runner.measure ~config b
+  in
+  let baseline =
+    List.map (measure_config Dbds.Config.off) suite.Workloads.Suite.benchmarks
+  in
+  List.map
+    (fun iters ->
+      let config = { Dbds.Config.default with Dbds.Config.max_iterations = iters } in
+      let ms =
+        List.map (measure_config config) suite.Workloads.Suite.benchmarks
+      in
+      let deltas f = List.map2 f baseline ms in
+      {
+        it_iterations = iters;
+        it_peak =
+          Metrics.geomean_pct
+            (deltas (fun b m -> Metrics.peak_delta ~baseline:b m));
+        it_compile =
+          Metrics.geomean_pct
+            (deltas (fun b m -> Metrics.compile_delta ~baseline:b m));
+        it_size =
+          Metrics.geomean_pct
+            (deltas (fun b m -> Metrics.size_delta ~baseline:b m));
+      })
+    [ 1; 2; 3; 4 ]
+
+let pp_iterations ppf rows =
+  Fmt.pf ppf "Ablation (paper §5.2): DBDS iteration count (micro suite)@\n";
+  Fmt.pf ppf "%10s | %10s | %14s | %11s@\n" "iterations" "peak %" "compile %"
+    "size %";
+  Fmt.pf ppf "%s@\n" (String.make 54 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%10d | %+10.2f | %+14.2f | %+11.2f@\n" r.it_iterations
+        r.it_peak r.it_compile r.it_size)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: trade-off constants (paper §5.4)                          *)
+(* ------------------------------------------------------------------ *)
+
+type budget_row = {
+  bd_label : string;
+  bd_peak : float;
+  bd_size : float;
+  bd_duplications : int;
+}
+
+let run_budget_ablation ?(suite = Workloads.Micro.suite) () =
+  let baseline =
+    List.map
+      (fun b -> Runner.measure ~config:Dbds.Config.off b)
+      suite.Workloads.Suite.benchmarks
+  in
+  let eval label config =
+    let ms =
+      List.map
+        (fun b -> Runner.measure ~config b)
+        suite.Workloads.Suite.benchmarks
+    in
+    {
+      bd_label = label;
+      bd_peak =
+        Metrics.geomean_pct
+          (List.map2 (fun b m -> Metrics.peak_delta ~baseline:b m) baseline ms);
+      bd_size =
+        Metrics.geomean_pct
+          (List.map2 (fun b m -> Metrics.size_delta ~baseline:b m) baseline ms);
+      bd_duplications =
+        List.fold_left (fun n m -> n + m.Metrics.duplications) 0 ms;
+    }
+  in
+  List.map
+    (fun (label, bs, ib) ->
+      eval label
+        {
+          Dbds.Config.default with
+          Dbds.Config.benefit_scale = bs;
+          Dbds.Config.size_budget = ib;
+        })
+    [
+      ("BS=1    IB=1.5", 1.0, 1.5);
+      ("BS=16   IB=1.5", 16.0, 1.5);
+      ("BS=256  IB=1.5", 256.0, 1.5);
+      ("BS=4096 IB=1.5", 4096.0, 1.5);
+      ("BS=256  IB=1.1", 256.0, 1.1);
+      ("BS=256  IB=3.0", 256.0, 3.0);
+    ]
+
+let pp_budget ppf rows =
+  Fmt.pf ppf
+    "Ablation (paper §5.4): benefit scale BS and size budget IB (micro suite)@\n";
+  Fmt.pf ppf "%-16s | %10s | %11s | %13s@\n" "config" "peak %" "size %"
+    "duplications";
+  Fmt.pf ppf "%s@\n" (String.make 58 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-16s | %+10.2f | %+11.2f | %13d@\n" r.bd_label r.bd_peak
+        r.bd_size r.bd_duplications)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: path-based duplication (paper §8 future work)            *)
+(* ------------------------------------------------------------------ *)
+
+type path_row = {
+  pd_suite : string;
+  pd_peak_plain : float;
+  pd_peak_paths : float;
+  pd_compile_plain : float;
+  pd_compile_paths : float;
+  pd_size_plain : float;
+  pd_size_paths : float;
+}
+
+(** The paper's §8 asks whether duplicating over multiple merges along
+    paths can "increase peak performance even further": compare plain
+    DBDS against DBDS with the path extension on every suite. *)
+let run_path_ablation () =
+  List.map
+    (fun (suite : Workloads.Suite.t) ->
+      let baseline =
+        List.map
+          (fun b -> Runner.measure ~config:Dbds.Config.off b)
+          suite.Workloads.Suite.benchmarks
+      in
+      let eval config =
+        List.map
+          (fun b -> Runner.measure ~config b)
+          suite.Workloads.Suite.benchmarks
+      in
+      let plain = eval Dbds.Config.dbds in
+      let paths = eval Dbds.Config.dbds_paths in
+      let geo f ms =
+        Metrics.geomean_pct (List.map2 (fun b m -> f b m) baseline ms)
+      in
+      {
+        pd_suite = suite.Workloads.Suite.suite_name;
+        pd_peak_plain = geo (fun b m -> Metrics.peak_delta ~baseline:b m) plain;
+        pd_peak_paths = geo (fun b m -> Metrics.peak_delta ~baseline:b m) paths;
+        pd_compile_plain =
+          geo (fun b m -> Metrics.compile_delta ~baseline:b m) plain;
+        pd_compile_paths =
+          geo (fun b m -> Metrics.compile_delta ~baseline:b m) paths;
+        pd_size_plain = geo (fun b m -> Metrics.size_delta ~baseline:b m) plain;
+        pd_size_paths = geo (fun b m -> Metrics.size_delta ~baseline:b m) paths;
+      })
+    Workloads.Registry.all
+
+let pp_path_ablation ppf rows =
+  Fmt.pf ppf
+    "Extension (paper §8): path-based duplication vs plain DBDS (geomeans vs \
+     baseline)@\n";
+  Fmt.pf ppf "%-16s | %9s %9s | %9s %9s | %9s %9s@\n" "suite" "pk-dbds"
+    "pk-paths" "ct-dbds" "ct-paths" "sz-dbds" "sz-paths";
+  Fmt.pf ppf "%s@\n" (String.make 80 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-16s | %+9.2f %+9.2f | %+9.2f %+9.2f | %+9.2f %+9.2f@\n"
+        r.pd_suite r.pd_peak_plain r.pd_peak_paths r.pd_compile_plain
+        r.pd_compile_paths r.pd_size_plain r.pd_size_paths)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: the node cost model example                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebuild Figure 4's two-block example and report the estimated times
+    before and after duplication (the paper's table computes 14 → 12.2
+    cycles with its node costs; the mechanism — constant folding removes
+    the multiply from the 90% path — is identical under our table). *)
+let figure4 () =
+  let src =
+    {|
+    global int sink;
+    int main(int p0) {
+      int phi;
+      if (p0 > 0) @0.9 { phi = 3; } else { phi = p0; }
+      int m = phi * 3;
+      sink = m;
+      return m;
+    }
+    |}
+  in
+  let before = Lang.Frontend.compile src in
+  let after = Ir.Program.copy before in
+  let _ = Dbds.Driver.optimize_program ~config:Dbds.Config.off before in
+  let _ = Dbds.Driver.optimize_program ~config:Dbds.Config.dbds after in
+  let cycles p =
+    Costmodel.Estimate.weighted_cycles
+      (Option.get (Ir.Program.find_function p "main"))
+  in
+  (cycles before, cycles after)
+
+let pp_figure4 ppf (before, after) =
+  Fmt.pf ppf
+    "Figure 4 (node cost model example): estimated %.1f cycles before, %.1f \
+     after duplication (saving %.1f; the paper's instance saves 1.8 with its \
+     store=10/mul=2/return=2 table)@\n"
+    before after (before -. after)

@@ -1,0 +1,56 @@
+(** Measurement records and derived statistics for the evaluation
+    harness.  The three metrics mirror paper §6.1:
+
+    - {e peak performance}: total cost-model cycles charged by the
+      interpreter (with the i-cache model active) running the benchmark's
+      workload — lower is better, reported as speedup vs. baseline;
+    - {e compile time}: deterministic work units accumulated by all
+      phases (wall-clock is measured separately by the Bechamel benches);
+    - {e code size}: cost-model size of all optimized functions. *)
+
+type measurement = {
+  peak_cycles : float;
+  code_size : int;
+  compile_work : int;
+  compile_wall_s : float;
+  duplications : int;
+  candidates : int;
+  result_value : string;  (** for cross-configuration sanity checking *)
+}
+
+type row = {
+  benchmark : string;
+  baseline : measurement;
+  dbds : measurement;
+  dupalot : measurement;
+}
+
+(** Relative change of [v] against [base], as a percentage; positive =
+    larger than baseline. *)
+let pct_change ~base v = (v /. base -. 1.0) *. 100.0
+
+(** Peak performance delta (%); positive = faster than baseline (the
+    paper plots speedups as positive). *)
+let peak_delta ~baseline m =
+  (baseline.peak_cycles /. m.peak_cycles -. 1.0) *. 100.0
+
+let compile_delta ~baseline m =
+  pct_change
+    ~base:(float_of_int (max baseline.compile_work 1))
+    (float_of_int m.compile_work)
+
+let size_delta ~baseline m =
+  pct_change
+    ~base:(float_of_int (max baseline.code_size 1))
+    (float_of_int m.code_size)
+
+(** Geometric mean of percentage deltas: geomean of the ratios (1 + d/100)
+    minus one, as the paper's tables report. *)
+let geomean_pct deltas =
+  match deltas with
+  | [] -> 0.0
+  | _ ->
+      let log_sum =
+        List.fold_left (fun acc d -> acc +. log (1.0 +. (d /. 100.0))) 0.0 deltas
+      in
+      (exp (log_sum /. float_of_int (List.length deltas)) -. 1.0) *. 100.0

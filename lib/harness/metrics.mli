@@ -1,0 +1,40 @@
+(** Measurement records and derived statistics for the evaluation
+    harness.  The three metrics mirror paper §6.1:
+
+    - {e peak performance}: total cost-model cycles charged by the
+      interpreter (with the i-cache model active) running the benchmark's
+      workload — lower is better, reported as speedup vs. baseline;
+    - {e compile time}: deterministic work units accumulated by all
+      phases plus a backend charge over the final IR (wall-clock is
+      measured separately by the Bechamel benches);
+    - {e code size}: cost-model size of all optimized functions. *)
+
+type measurement = {
+  peak_cycles : float;
+  code_size : int;
+  compile_work : int;
+  compile_wall_s : float;
+  duplications : int;
+  candidates : int;
+  result_value : string;  (** for cross-configuration sanity checking *)
+}
+
+type row = {
+  benchmark : string;
+  baseline : measurement;
+  dbds : measurement;
+  dupalot : measurement;
+}
+
+(** Relative change against a base value, as a percentage. *)
+val pct_change : base:float -> float -> float
+
+(** Peak performance delta (%); positive = faster than baseline. *)
+val peak_delta : baseline:measurement -> measurement -> float
+
+val compile_delta : baseline:measurement -> measurement -> float
+val size_delta : baseline:measurement -> measurement -> float
+
+(** Geometric mean of percentage deltas: geomean of the ratios
+    (1 + d/100) minus one, as the paper's tables report. *)
+val geomean_pct : float list -> float

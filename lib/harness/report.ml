@@ -1,0 +1,106 @@
+(** Paper-style table rendering: one row per benchmark with the three
+    metrics for DBDS and dupalot normalized to baseline, plus the
+    geometric-mean footer matching the tables under Figures 5–8. *)
+
+open Metrics
+
+type suite_summary = {
+  suite_name : string;
+  figure : string;
+  rows : row list;
+  geo_peak_dbds : float;
+  geo_peak_dupalot : float;
+  geo_compile_dbds : float;
+  geo_compile_dupalot : float;
+  geo_size_dbds : float;
+  geo_size_dupalot : float;
+}
+
+let summarize (suite : Workloads.Suite.t) rows =
+  let collect f = List.map f rows in
+  {
+    suite_name = suite.Workloads.Suite.suite_name;
+    figure = suite.Workloads.Suite.figure;
+    rows;
+    geo_peak_dbds =
+      geomean_pct (collect (fun r -> peak_delta ~baseline:r.baseline r.dbds));
+    geo_peak_dupalot =
+      geomean_pct (collect (fun r -> peak_delta ~baseline:r.baseline r.dupalot));
+    geo_compile_dbds =
+      geomean_pct (collect (fun r -> compile_delta ~baseline:r.baseline r.dbds));
+    geo_compile_dupalot =
+      geomean_pct
+        (collect (fun r -> compile_delta ~baseline:r.baseline r.dupalot));
+    geo_size_dbds =
+      geomean_pct (collect (fun r -> size_delta ~baseline:r.baseline r.dbds));
+    geo_size_dupalot =
+      geomean_pct (collect (fun r -> size_delta ~baseline:r.baseline r.dupalot));
+  }
+
+let pp_suite ppf (s : suite_summary) =
+  Fmt.pf ppf "%s: %s (normalized to baseline; peak higher is better,@\n"
+    s.figure s.suite_name;
+  Fmt.pf ppf "compile time and code size lower is better)@\n";
+  Fmt.pf ppf
+    "%-14s | %22s | %22s | %22s@\n" "benchmark" "peak perf %" "compile time %"
+    "code size %";
+  Fmt.pf ppf "%-14s | %10s %11s | %10s %11s | %10s %11s@\n" "" "DBDS" "dupalot"
+    "DBDS" "dupalot" "DBDS" "dupalot";
+  Fmt.pf ppf "%s@\n" (String.make 88 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s | %+10.2f %+11.2f | %+10.2f %+11.2f | %+10.2f %+11.2f@\n"
+        r.benchmark
+        (peak_delta ~baseline:r.baseline r.dbds)
+        (peak_delta ~baseline:r.baseline r.dupalot)
+        (compile_delta ~baseline:r.baseline r.dbds)
+        (compile_delta ~baseline:r.baseline r.dupalot)
+        (size_delta ~baseline:r.baseline r.dbds)
+        (size_delta ~baseline:r.baseline r.dupalot))
+    s.rows;
+  Fmt.pf ppf "%s@\n" (String.make 88 '-');
+  Fmt.pf ppf "%-14s | %+10.2f %+11.2f | %+10.2f %+11.2f | %+10.2f %+11.2f@\n"
+    "geomean" s.geo_peak_dbds s.geo_peak_dupalot s.geo_compile_dbds
+    s.geo_compile_dupalot s.geo_size_dbds s.geo_size_dupalot
+
+(** The headline aggregate of the abstract: mean peak-performance
+    increase, mean code-size increase, mean compile-time increase over
+    every benchmark of every suite, plus the best individual speedup. *)
+type headline = {
+  mean_peak : float;
+  mean_size : float;
+  mean_compile : float;
+  max_peak : float;
+  max_peak_benchmark : string;
+}
+
+let headline_of summaries =
+  let all_rows = List.concat_map (fun s -> s.rows) summaries in
+  let peaks =
+    List.map (fun r -> (peak_delta ~baseline:r.baseline r.dbds, r.benchmark)) all_rows
+  in
+  let max_peak, max_peak_benchmark =
+    List.fold_left
+      (fun (bm, bn) (m, n) -> if m > bm then (m, n) else (bm, bn))
+      (neg_infinity, "-") peaks
+  in
+  {
+    mean_peak = geomean_pct (List.map fst peaks);
+    mean_size =
+      geomean_pct
+        (List.map (fun r -> size_delta ~baseline:r.baseline r.dbds) all_rows);
+    mean_compile =
+      geomean_pct
+        (List.map (fun r -> compile_delta ~baseline:r.baseline r.dbds) all_rows);
+    max_peak;
+    max_peak_benchmark;
+  }
+
+let pp_headline ppf h =
+  Fmt.pf ppf
+    "headline (DBDS vs baseline over all suites):@\n\
+    \  mean peak performance:  %+.2f%%   (paper: +5.89%%)@\n\
+    \  best peak performance:  %+.2f%% on %s (paper: up to ~40%%)@\n\
+    \  mean code size:         %+.2f%%   (paper: +9.93%%)@\n\
+    \  mean compile time:      %+.2f%%   (paper: +18.44%%)@\n"
+    h.mean_peak h.max_peak h.max_peak_benchmark h.mean_size h.mean_compile

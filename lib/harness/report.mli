@@ -1,0 +1,32 @@
+(** Paper-style table rendering: one row per benchmark with the three
+    metrics for DBDS and dupalot normalized to baseline, plus the
+    geometric-mean footer matching the tables under Figures 5–8. *)
+
+type suite_summary = {
+  suite_name : string;
+  figure : string;
+  rows : Metrics.row list;
+  geo_peak_dbds : float;
+  geo_peak_dupalot : float;
+  geo_compile_dbds : float;
+  geo_compile_dupalot : float;
+  geo_size_dbds : float;
+  geo_size_dupalot : float;
+}
+
+val summarize : Workloads.Suite.t -> Metrics.row list -> suite_summary
+val pp_suite : Format.formatter -> suite_summary -> unit
+
+(** The headline aggregate of the abstract: mean peak-performance
+    increase, mean code-size increase, mean compile-time increase over
+    every benchmark of every suite, plus the best individual speedup. *)
+type headline = {
+  mean_peak : float;
+  mean_size : float;
+  mean_compile : float;
+  max_peak : float;
+  max_peak_benchmark : string;
+}
+
+val headline_of : suite_summary list -> headline
+val pp_headline : Format.formatter -> headline -> unit

@@ -1,0 +1,27 @@
+(** Compiles and measures one benchmark under one configuration. *)
+
+exception Benchmark_failed of string * string
+
+val compile_benchmark : Workloads.Suite.benchmark -> Ir.Program.t
+val program_code_size : Ir.Program.t -> int
+
+(** Compile under [config], then execute the workload on the cost
+    interpreter.  Fresh frontend output per call so configurations never
+    share IR.
+    @raise Benchmark_failed when compilation or execution fails. *)
+val measure :
+  ?icache:Interp.Machine.icache_config ->
+  config:Dbds.Config.t ->
+  Workloads.Suite.benchmark ->
+  Metrics.measurement
+
+(** Measure a benchmark under the three paper configurations, checking
+    that all three compute the same result.
+    @raise Benchmark_failed when the configurations disagree. *)
+val run_benchmark :
+  ?icache:Interp.Machine.icache_config ->
+  Workloads.Suite.benchmark ->
+  Metrics.row
+
+val run_suite :
+  ?icache:Interp.Machine.icache_config -> Workloads.Suite.t -> Metrics.row list

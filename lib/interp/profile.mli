@@ -1,0 +1,29 @@
+(** Branch profiling — the interpreter-side half of a tiered VM.
+
+    The paper's branch probabilities come from HotSpot's interpreter
+    profiles (§5.3); run a program under {!Machine.run} with a profile
+    attached, then {!apply} the observed frequencies back onto the IR's
+    [Branch] probabilities before compiling — the interpret-then-JIT flow
+    of a tiered VM. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one execution of the branch terminating [bid] in function
+    [fn]. *)
+val record : t -> fn:string -> bid:Ir.Types.block_id -> taken_true:bool -> unit
+
+(** Observed probability of the true edge, if the branch executed at
+    least [min_samples] times (default 8). *)
+val observed :
+  ?min_samples:int -> t -> fn:string -> bid:Ir.Types.block_id -> float option
+
+(** Total branch executions recorded. *)
+val samples : t -> int
+
+(** Rewrite every profiled [Branch] probability in the program from the
+    recorded counts.  Unreached branches keep their static estimate;
+    probabilities are clamped away from 0/1 (default 1e-4) so cold paths
+    keep a nonzero frequency, as HotSpot does. *)
+val apply : ?min_samples:int -> ?clamp:float -> t -> Ir.Program.t -> unit

@@ -1,0 +1,146 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm,
+    plus dominance queries, tree children, depths and dominance frontiers
+    (the latter feed SSA repair after duplication). *)
+
+type t = {
+  graph : Graph.t;
+  idom : int array;  (** immediate dominator per block; entry maps to itself;
+                         -1 for unreachable blocks *)
+  rpo_index : int array;  (** position in reverse postorder; -1 unreachable *)
+  order : Types.block_id list;  (** reverse postorder *)
+  children : Types.block_id list array;  (** dominator-tree children *)
+  depth : int array;  (** dominator-tree depth, entry = 0 *)
+}
+
+let graph t = t.graph
+let order t = t.order
+
+let compute (g : Graph.t) =
+  let n = g.Graph.n_blocks in
+  let order = Graph.rpo g in
+  let rpo_index = Array.make (max 1 n) (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) order;
+  let idom = Array.make (max 1 n) (-1) in
+  let entry = Graph.entry g in
+  idom.(entry) <- entry;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_index.(!f1) > rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_index.(!f2) > rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let preds =
+            List.filter (fun p -> rpo_index.(p) >= 0) (Graph.preds g b)
+          in
+          match List.filter (fun p -> idom.(p) >= 0) preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  let children = Array.make (max 1 n) [] in
+  let depth = Array.make (max 1 n) 0 in
+  (* Children in reverse postorder: iterate the order backwards so the
+     consed lists come out forwards. *)
+  List.iter
+    (fun b ->
+      if b <> entry && idom.(b) >= 0 then
+        children.(idom.(b)) <- b :: children.(idom.(b)))
+    (List.rev order);
+  List.iter
+    (fun b -> if b <> entry && idom.(b) >= 0 then depth.(b) <- depth.(idom.(b)) + 1)
+    order;
+  { graph = g; idom; rpo_index; order; children; depth }
+
+let idom t b = if b = Graph.entry t.graph then None else Some t.idom.(b)
+let children t b = t.children.(b)
+let depth t b = t.depth.(b)
+let is_reachable t b = b < Array.length t.rpo_index && t.rpo_index.(b) >= 0
+
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+let dominates t a b =
+  if not (is_reachable t a && is_reachable t b) then false
+  else begin
+    let b = ref b in
+    while t.depth.(!b) > t.depth.(a) do
+      b := t.idom.(!b)
+    done;
+    !b = a
+  end
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(** Preorder traversal of the dominator tree with entry/exit callbacks —
+    the skeleton of both the DBDS simulation tier and the dominator-scoped
+    optimizations. *)
+let walk t ~enter ~exit =
+  let rec go b =
+    enter b;
+    List.iter go t.children.(b);
+    exit b
+  in
+  if is_reachable t (Graph.entry t.graph) then go (Graph.entry t.graph)
+
+(** Blocks in dominator-tree preorder. *)
+let preorder t =
+  let acc = ref [] in
+  walk t ~enter:(fun b -> acc := b :: !acc) ~exit:(fun _ -> ());
+  List.rev !acc
+
+(** Dominance frontiers (Cooper–Harvey–Kennedy's simple algorithm). *)
+let frontiers t =
+  let g = t.graph in
+  let df = Array.make (max 1 g.Graph.n_blocks) [] in
+  List.iter
+    (fun b ->
+      let preds = List.filter (is_reachable t) (Graph.preds g b) in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              if not (List.mem b df.(!runner)) then
+                df.(!runner) <- b :: df.(!runner);
+              runner := t.idom.(!runner)
+            done)
+          preds)
+    t.order;
+  df
+
+(** Iterated dominance frontier of a set of blocks — the phi-placement set
+    for SSA construction/repair. *)
+let iterated_frontier t ~frontiers:df blocks =
+  let in_result = Hashtbl.create 16 in
+  let worklist = Queue.create () in
+  List.iter (fun b -> Queue.add b worklist) blocks;
+  let result = ref [] in
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    if is_reachable t b then
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem in_result d) then begin
+            Hashtbl.add in_result d ();
+            result := d :: !result;
+            Queue.add d worklist
+          end)
+        df.(b)
+  done;
+  !result

@@ -1,0 +1,63 @@
+(** Graphviz export of a function graph: control flow as solid edges
+    (true/false branch edges labelled with their profile probability),
+    one record-shaped node per basic block listing its instructions.
+    Handy for inspecting IR before/after duplication:
+    [dbdsc file.mj --dot out.dot && dot -Tsvg out.dot]. *)
+
+open Types
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' | '>' | '{' | '}' | '|' | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let block_label g bid =
+  let b = Graph.block g bid in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "b%d" bid);
+  List.iter
+    (fun id ->
+      Buffer.add_string buf "\\l";
+      Buffer.add_string buf
+        (escape (Fmt.str "v%d = %a" id Printer.pp_kind (Graph.kind g id))))
+    (Graph.block_instrs g bid);
+  Buffer.add_string buf "\\l";
+  Buffer.add_string buf (escape (Fmt.str "%a" Printer.pp_term b.Graph.term));
+  Buffer.add_string buf "\\l";
+  Buffer.contents buf
+
+let pp ppf g =
+  Fmt.pf ppf "digraph %S {@." (Graph.name g);
+  Fmt.pf ppf "  node [shape=box, fontname=\"monospace\", fontsize=9];@.";
+  List.iter
+    (fun bid ->
+      let attrs =
+        if bid = Graph.entry g then ", style=bold" else ""
+      in
+      Fmt.pf ppf "  b%d [label=\"%s\"%s];@." bid (block_label g bid) attrs;
+      match (Graph.block g bid).Graph.term with
+      | Jump t -> Fmt.pf ppf "  b%d -> b%d;@." bid t
+      | Branch { if_true; if_false; prob; _ } ->
+          Fmt.pf ppf "  b%d -> b%d [label=\"T %.2f\", color=darkgreen];@." bid
+            if_true prob;
+          Fmt.pf ppf "  b%d -> b%d [label=\"F %.2f\", color=firebrick];@." bid
+            if_false (1.0 -. prob)
+      | Return _ | Unreachable -> ())
+    (Graph.rpo g);
+  Fmt.pf ppf "}@."
+
+let to_string g = Fmt.str "%a" pp g
+
+(** Write a function's graph to a .dot file. *)
+let write_file path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc

@@ -1,0 +1,52 @@
+(** Static block execution-frequency estimation.
+
+    The entry block has frequency 1.  Frequencies propagate along forward
+    edges in reverse postorder, split by branch probabilities; each loop
+    level multiplies its header's incoming frequency by [loop_factor]
+    (approximating an average trip count, as JIT profiles would).  DBDS
+    consumes the frequency of a block *relative to the maximum frequency
+    in the compilation unit* (paper §5.3–5.4). *)
+
+type t = {
+  freq : float array;
+  max_freq : float;
+}
+
+let default_loop_factor = 10.0
+
+let edge_prob g p s =
+  match Graph.term g p with
+  | Types.Jump _ -> 1.0
+  | Types.Branch { if_true; if_false; prob; _ } ->
+      if if_true = s then prob else if if_false = s then 1.0 -. prob else 0.0
+  | Types.Return _ | Types.Unreachable -> 0.0
+
+let compute ?(loop_factor = default_loop_factor) (dom : Dom.t) (loops : Loops.t) =
+  let g = Dom.graph dom in
+  let n = g.Graph.n_blocks in
+  let freq = Array.make (max 1 n) 0.0 in
+  let is_back_edge p s = Dom.dominates dom s p in
+  List.iter
+    (fun b ->
+      if b = Graph.entry g then
+        freq.(b) <- 1.0
+      else begin
+        let incoming =
+          List.fold_left
+            (fun acc p ->
+              if Dom.is_reachable dom p && not (is_back_edge p b) then
+                acc +. (freq.(p) *. edge_prob g p b)
+              else acc)
+            0.0 (Graph.preds g b)
+        in
+        let f = if Loops.is_header loops b then incoming *. loop_factor else incoming in
+        freq.(b) <- f
+      end)
+    (Dom.order dom);
+  let max_freq = Array.fold_left max 1e-9 freq in
+  { freq; max_freq }
+
+let frequency t b = if b < Array.length t.freq then t.freq.(b) else 0.0
+
+(** Frequency relative to the hottest block of the unit, in (0, 1]. *)
+let relative t b = frequency t b /. t.max_freq

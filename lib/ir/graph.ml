@@ -1,0 +1,509 @@
+(** The function graph: an arena of instructions and basic blocks with
+    maintained def-use chains and predecessor lists.
+
+    Invariants maintained by this module's mutation API (and checked by
+    {!Verifier}):
+    - [preds] of a block lists exactly the blocks whose terminator targets
+      it, in a stable order;
+    - every [Phi] has exactly one input per predecessor, aligned with the
+      predecessor order;
+    - use lists record every instruction and terminator referencing a
+      value. *)
+
+open Types
+
+type user = U_instr of instr_id | U_term of block_id
+
+type instr = {
+  ins_id : instr_id;
+  mutable kind : instr_kind;
+  mutable ins_block : block_id;  (** -1 when detached *)
+}
+
+type block = {
+  blk_id : block_id;
+  mutable phis : instr_id list;
+  mutable body : instr_id list;
+  mutable term : terminator;
+  mutable preds : block_id list;
+}
+
+type t = {
+  name : string;
+  n_params : int;
+  mutable instrs : instr option array;
+  mutable n_instrs : int;
+  mutable blocks : block option array;
+  mutable n_blocks : int;
+  mutable entry : block_id;
+  mutable uses : user list array;
+}
+
+let name g = g.name
+let n_params g = g.n_params
+let entry g = g.entry
+
+let create ?(name = "fn") ~n_params () =
+  {
+    name;
+    n_params;
+    instrs = Array.make 16 None;
+    n_instrs = 0;
+    blocks = Array.make 8 None;
+    n_blocks = 0;
+    entry = -1;
+    uses = Array.make 16 [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Arena access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let instr g id =
+  match g.instrs.(id) with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Graph.instr: dead instruction %d" id)
+
+let block g id =
+  match g.blocks.(id) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Graph.block: dead block %d" id)
+
+let instr_exists g id =
+  id >= 0 && id < g.n_instrs && g.instrs.(id) <> None
+
+let block_exists g id =
+  id >= 0 && id < g.n_blocks && g.blocks.(id) <> None
+
+let kind g id = (instr g id).kind
+let block_of g id = (instr g id).ins_block
+
+let uses g id = g.uses.(id)
+
+let is_phi g id = match kind g id with Phi _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Use-list maintenance                                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_use g v user =
+  if v >= 0 then g.uses.(v) <- user :: g.uses.(v)
+
+let remove_use g v user =
+  if v >= 0 then
+    let rec drop = function
+      | [] -> []
+      | u :: rest -> if u = user then rest else u :: drop rest
+    in
+    g.uses.(v) <- drop g.uses.(v)
+
+let term_inputs = function
+  | Jump _ | Unreachable | Return None -> []
+  | Return (Some v) -> [ v ]
+  | Branch { cond; _ } -> [ cond ]
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let grow_instrs g =
+  if g.n_instrs = Array.length g.instrs then begin
+    let instrs = Array.make (2 * Array.length g.instrs) None in
+    Array.blit g.instrs 0 instrs 0 g.n_instrs;
+    g.instrs <- instrs;
+    let uses = Array.make (2 * Array.length g.uses) [] in
+    Array.blit g.uses 0 uses 0 g.n_instrs;
+    g.uses <- uses
+  end
+
+let grow_blocks g =
+  if g.n_blocks = Array.length g.blocks then begin
+    let blocks = Array.make (2 * Array.length g.blocks) None in
+    Array.blit g.blocks 0 blocks 0 g.n_blocks;
+    g.blocks <- blocks
+  end
+
+let add_block g =
+  grow_blocks g;
+  let id = g.n_blocks in
+  g.blocks.(id) <-
+    Some { blk_id = id; phis = []; body = []; term = Unreachable; preds = [] };
+  g.n_blocks <- id + 1;
+  if g.entry = -1 then g.entry <- id;
+  id
+
+let set_entry g bid = g.entry <- bid
+
+(* Allocates the instruction without attaching it to a block. *)
+let alloc_instr g kind =
+  grow_instrs g;
+  let id = g.n_instrs in
+  g.instrs.(id) <- Some { ins_id = id; kind; ins_block = -1 };
+  g.n_instrs <- id + 1;
+  List.iter (fun v -> add_use g v (U_instr id)) (inputs_of_kind kind);
+  id
+
+(** Append an instruction to a block's body (or phi list for [Phi]). *)
+let append g bid kind =
+  let id = alloc_instr g kind in
+  let b = block g bid in
+  (instr g id).ins_block <- bid;
+  (match kind with
+  | Phi _ -> b.phis <- b.phis @ [ id ]
+  | _ -> b.body <- b.body @ [ id ]);
+  id
+
+(** Insert an instruction at the head of a block's body. *)
+let prepend g bid kind =
+  let id = alloc_instr g kind in
+  let b = block g bid in
+  (instr g id).ins_block <- bid;
+  (match kind with
+  | Phi _ -> b.phis <- id :: b.phis
+  | _ -> b.body <- id :: b.body);
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let set_kind g id new_kind =
+  let i = instr g id in
+  List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
+  i.kind <- new_kind;
+  List.iter (fun v -> add_use g v (U_instr id)) (inputs_of_kind new_kind)
+
+let succs_of_term = function
+  | Jump b -> [ b ]
+  | Branch { if_true; if_false; _ } ->
+      if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+  | Return _ | Unreachable -> []
+
+let succs g bid = succs_of_term (block g bid).term
+let preds g bid = (block g bid).preds
+
+let pred_index g bid pred =
+  let rec find i = function
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Graph.pred_index: b%d is not a predecessor of b%d"
+             pred bid)
+    | p :: rest -> if p = pred then i else find (i + 1) rest
+  in
+  find 0 (block g bid).preds
+
+(* Drop predecessor [pred] from [bid], removing the matching phi input. *)
+let remove_pred g bid pred =
+  let b = block g bid in
+  let idx = pred_index g bid pred in
+  b.preds <- List.filteri (fun i _ -> i <> idx) b.preds;
+  List.iter
+    (fun phi_id ->
+      match kind g phi_id with
+      | Phi inputs ->
+          let inputs' =
+            Array.init
+              (Array.length inputs - 1)
+              (fun i -> if i < idx then inputs.(i) else inputs.(i + 1))
+          in
+          set_kind g phi_id (Phi inputs')
+      | _ -> assert false)
+    b.phis
+
+(* Add [pred] as a new predecessor of [bid]; each phi gets [filler] as its
+   input for the new edge (callers typically pass a real value or
+   [invalid_value] and patch afterwards). *)
+let add_pred g bid pred ~filler =
+  let b = block g bid in
+  b.preds <- b.preds @ [ pred ];
+  List.iteri
+    (fun i phi_id ->
+      match kind g phi_id with
+      | Phi inputs ->
+          let f = filler i phi_id in
+          set_kind g phi_id (Phi (Array.append inputs [| f |]))
+      | _ -> assert false)
+    b.phis
+
+(** Set a block's terminator, keeping predecessor lists of the old and new
+    successors consistent.  Phis of newly-gained successors receive
+    [invalid_value] inputs which the caller must fill. *)
+let set_term g bid term =
+  (* Canonicalize a branch with identical targets into a jump so successor
+     lists never contain duplicates. *)
+  let term =
+    match term with
+    | Branch { if_true; if_false; _ } when if_true = if_false -> Jump if_true
+    | t -> t
+  in
+  let b = block g bid in
+  let old_succs = succs_of_term b.term in
+  let new_succs = succs_of_term term in
+  List.iter (fun v -> remove_use g v (U_term bid)) (term_inputs b.term);
+  List.iter
+    (fun s -> if not (List.mem s new_succs) then remove_pred g s bid)
+    old_succs;
+  b.term <- term;
+  List.iter (fun v -> add_use g v (U_term bid)) (term_inputs term);
+  List.iter
+    (fun s ->
+      if not (List.mem s old_succs) then
+        add_pred g s bid ~filler:(fun _ _ -> invalid_value))
+    new_succs
+
+let term g bid = (block g bid).term
+
+(** Redirect the edge [from_block -> old_target] to [new_target].  The phi
+    inputs that [old_target] held for this edge are dropped; phis of
+    [new_target] (if any) receive [invalid_value] for the new edge. *)
+let redirect_edge g ~from_block ~old_target ~new_target =
+  if old_target <> new_target then begin
+    let b = block g from_block in
+    (match b.term with
+    | Jump t when t = old_target -> b.term <- Jump new_target
+    | Branch br when br.if_true = old_target && br.if_false = old_target ->
+        b.term <- Branch { br with if_true = new_target; if_false = new_target }
+    | Branch br when br.if_true = old_target ->
+        b.term <- Branch { br with if_true = new_target }
+    | Branch br when br.if_false = old_target ->
+        b.term <- Branch { br with if_false = new_target }
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Graph.redirect_edge: b%d does not target b%d"
+             from_block old_target));
+    remove_pred g old_target from_block;
+    add_pred g new_target from_block ~filler:(fun _ _ -> invalid_value)
+  end
+
+(** Replace every use of [v] by [by] (in instructions and terminators). *)
+let replace_uses g v ~by =
+  let users = g.uses.(v) in
+  List.iter
+    (fun user ->
+      match user with
+      | U_instr id ->
+          set_kind g id (map_inputs (fun x -> if x = v then by else x) (kind g id))
+      | U_term bid -> (
+          let b = block g bid in
+          match b.term with
+          | Return (Some x) when x = v ->
+              remove_use g v (U_term bid);
+              b.term <- Return (Some by);
+              add_use g by (U_term bid)
+          | Branch br when br.cond = v ->
+              remove_use g v (U_term bid);
+              b.term <- Branch { br with cond = by };
+              add_use g by (U_term bid)
+          | _ -> ()))
+    users
+
+(** Detach and delete an instruction.  The instruction must be unused. *)
+let remove_instr g id =
+  let i = instr g id in
+  (match g.uses.(id) with
+  | [] -> ()
+  | _ -> invalid_arg (Printf.sprintf "Graph.remove_instr: %d still has uses" id));
+  List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
+  if i.ins_block >= 0 then begin
+    let b = block g i.ins_block in
+    b.phis <- List.filter (fun x -> x <> id) b.phis;
+    b.body <- List.filter (fun x -> x <> id) b.body
+  end;
+  g.instrs.(id) <- None;
+  g.uses.(id) <- []
+
+(** Detach an instruction from its block without deleting it (it keeps its
+    kind and uses; it can be re-attached with [attach]). *)
+let detach g id =
+  let i = instr g id in
+  if i.ins_block >= 0 then begin
+    let b = block g i.ins_block in
+    b.phis <- List.filter (fun x -> x <> id) b.phis;
+    b.body <- List.filter (fun x -> x <> id) b.body;
+    i.ins_block <- -1
+  end
+
+(** Re-attach a detached instruction at the end of [bid]'s body. *)
+let attach g id bid =
+  let i = instr g id in
+  assert (i.ins_block = -1);
+  i.ins_block <- bid;
+  let b = block g bid in
+  match i.kind with
+  | Phi _ -> b.phis <- b.phis @ [ id ]
+  | _ -> b.body <- b.body @ [ id ]
+
+(** Delete a whole block: its phis and body are removed (uses of the
+    removed instructions must already be gone), edges to successors are
+    dropped. *)
+let remove_block g bid =
+  let b = block g bid in
+  set_term g bid Unreachable;
+  List.iter
+    (fun id ->
+      let i = instr g id in
+      List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
+      g.instrs.(id) <- None;
+      g.uses.(id) <- [])
+    (b.phis @ b.body);
+  (* Predecessor edges must have been redirected already. *)
+  assert (b.preds = []);
+  g.blocks.(bid) <- None
+
+(* ------------------------------------------------------------------ *)
+(* Iteration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let iter_blocks g f =
+  for id = 0 to g.n_blocks - 1 do
+    match g.blocks.(id) with Some b -> f b | None -> ()
+  done
+
+let fold_blocks g f acc =
+  let acc = ref acc in
+  iter_blocks g (fun b -> acc := f !acc b);
+  !acc
+
+let block_ids g = fold_blocks g (fun acc b -> b.blk_id :: acc) [] |> List.rev
+
+let iter_instrs g f =
+  for id = 0 to g.n_instrs - 1 do
+    match g.instrs.(id) with Some i -> f i | None -> ()
+  done
+
+let fold_instrs g f acc =
+  let acc = ref acc in
+  iter_instrs g (fun i -> acc := f !acc i);
+  !acc
+
+(** All instruction ids of a block in execution order: phis then body. *)
+let block_instrs g bid =
+  let b = block g bid in
+  b.phis @ b.body
+
+let live_instr_count g = fold_instrs g (fun n _ -> n + 1) 0
+let live_block_count g = fold_blocks g (fun n _ -> n + 1) 0
+
+(** Rename a predecessor entry of [bid] from [old_pred] to [new_pred],
+    keeping the phi inputs of [bid] untouched (used when a jump-only
+    block is merged into its predecessor). *)
+let replace_pred g bid ~old_pred ~new_pred =
+  let b = block g bid in
+  b.preds <- List.map (fun p -> if p = old_pred then new_pred else p) b.preds
+
+(* ------------------------------------------------------------------ *)
+(* Orders                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Reverse postorder over reachable blocks. *)
+let rpo g =
+  let visited = Array.make g.n_blocks false in
+  let order = ref [] in
+  let rec dfs bid =
+    if not visited.(bid) then begin
+      visited.(bid) <- true;
+      List.iter dfs (succs g bid);
+      order := bid :: !order
+    end
+  in
+  if g.entry >= 0 then dfs g.entry;
+  !order
+
+let reachable g =
+  let set = Array.make (max 1 g.n_blocks) false in
+  List.iter (fun b -> set.(b) <- true) (rpo g);
+  set
+
+(** Delete every block not reachable from the entry (dropping their edges
+    into reachable blocks, with the matching phi inputs).  Returns true if
+    anything was removed. *)
+let remove_unreachable_blocks g =
+  let reach = reachable g in
+  let dead =
+    fold_blocks g
+      (fun acc b -> if reach.(b.blk_id) then acc else b.blk_id :: acc)
+      []
+  in
+  if dead = [] then false
+  else begin
+    (* Drop all edges out of dead blocks (this also removes phi inputs
+       that reachable merge blocks held for them). *)
+    List.iter (fun bid -> set_term g bid Unreachable) dead;
+    (* Clear def-use edges among dead instructions, then delete them. *)
+    List.iter
+      (fun bid ->
+        List.iter (fun id -> set_kind g id (Const 0)) (block_instrs g bid))
+      dead;
+    List.iter
+      (fun bid ->
+        let b = block g bid in
+        List.iter
+          (fun id ->
+            g.instrs.(id) <- None;
+            g.uses.(id) <- [])
+          (b.phis @ b.body);
+        b.phis <- [];
+        b.body <- [];
+        b.preds <- [];
+        g.blocks.(bid) <- None)
+      dead;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deep copy                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Overwrite [g]'s contents with those of [backup] (a graph produced by
+    {!copy}).  Used by the backtracking duplication strategy to undo a
+    tentative transformation while keeping the same graph identity. *)
+let restore g ~backup =
+  g.instrs <-
+    Array.map
+      (Option.map (fun i ->
+           { ins_id = i.ins_id; kind = i.kind; ins_block = i.ins_block }))
+      backup.instrs;
+  g.n_instrs <- backup.n_instrs;
+  g.blocks <-
+    Array.map
+      (Option.map (fun b ->
+           {
+             blk_id = b.blk_id;
+             phis = b.phis;
+             body = b.body;
+             term = b.term;
+             preds = b.preds;
+           }))
+      backup.blocks;
+  g.n_blocks <- backup.n_blocks;
+  g.entry <- backup.entry;
+  g.uses <- Array.copy backup.uses
+
+(** Deep copy of a graph.  Instruction and block ids are preserved, which
+    keeps external id-keyed tables meaningful across a copy (used by the
+    backtracking comparator). *)
+let copy g =
+  {
+    name = g.name;
+    n_params = g.n_params;
+    instrs =
+      Array.map
+        (Option.map (fun i ->
+             { ins_id = i.ins_id; kind = i.kind; ins_block = i.ins_block }))
+        g.instrs;
+    n_instrs = g.n_instrs;
+    blocks =
+      Array.map
+        (Option.map (fun b ->
+             {
+               blk_id = b.blk_id;
+               phis = b.phis;
+               body = b.body;
+               term = b.term;
+               preds = b.preds;
+             }))
+        g.blocks;
+    n_blocks = g.n_blocks;
+    entry = g.entry;
+    uses = Array.copy g.uses;
+  }

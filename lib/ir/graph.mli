@@ -1,0 +1,173 @@
+(** The function graph: an arena of instructions and basic blocks with
+    maintained def-use chains and predecessor lists.
+
+    Invariants maintained by this module's mutation API (and checked by
+    {!Verifier}):
+    - [preds] of a block lists exactly the blocks whose terminator targets
+      it, in a stable order;
+    - every [Phi] has exactly one input per predecessor, aligned with the
+      predecessor order;
+    - use lists record every instruction and terminator referencing a
+      value.
+
+    The record types are transparent: analyses throughout the code base
+    read fields directly; all {e mutation} must go through this API so the
+    invariants hold. *)
+
+open Types
+
+type user = U_instr of instr_id | U_term of block_id
+
+type instr = {
+  ins_id : instr_id;
+  mutable kind : instr_kind;
+  mutable ins_block : block_id;  (** -1 when detached *)
+}
+
+type block = {
+  blk_id : block_id;
+  mutable phis : instr_id list;
+  mutable body : instr_id list;
+  mutable term : terminator;
+  mutable preds : block_id list;
+}
+
+type t = {
+  name : string;
+  n_params : int;
+  mutable instrs : instr option array;
+  mutable n_instrs : int;
+  mutable blocks : block option array;
+  mutable n_blocks : int;
+  mutable entry : block_id;
+  mutable uses : user list array;
+}
+
+val name : t -> string
+val n_params : t -> int
+val entry : t -> block_id
+val create : ?name:string -> n_params:int -> unit -> t
+
+(** {2 Arena access} *)
+
+(** @raise Invalid_argument on a dead id. *)
+val instr : t -> instr_id -> instr
+
+(** @raise Invalid_argument on a dead id. *)
+val block : t -> block_id -> block
+
+val instr_exists : t -> instr_id -> bool
+val block_exists : t -> block_id -> bool
+val kind : t -> instr_id -> instr_kind
+
+(** The block an instruction lives in (-1 when detached). *)
+val block_of : t -> instr_id -> block_id
+
+(** All recorded users of a value (duplicates appear once per read). *)
+val uses : t -> value -> user list
+
+val is_phi : t -> instr_id -> bool
+
+(** {2 Low-level use bookkeeping}
+
+    Exposed for transforms that move terminators by hand (the inliner);
+    ordinary code never needs them. *)
+
+val add_use : t -> value -> user -> unit
+val remove_use : t -> value -> user -> unit
+
+(** {2 Creation} *)
+
+val add_block : t -> block_id
+val set_entry : t -> block_id -> unit
+
+(** Append an instruction to a block's body (or phi list for [Phi]). *)
+val append : t -> block_id -> instr_kind -> instr_id
+
+(** Insert an instruction at the head of a block's body (or phi list). *)
+val prepend : t -> block_id -> instr_kind -> instr_id
+
+(** {2 Mutation} *)
+
+(** Replace an instruction's kind, keeping use lists consistent. *)
+val set_kind : t -> instr_id -> instr_kind -> unit
+
+val succs_of_term : terminator -> block_id list
+val succs : t -> block_id -> block_id list
+val preds : t -> block_id -> block_id list
+
+(** Position of [pred] in the predecessor list (= the phi input index).
+    @raise Invalid_argument when absent. *)
+val pred_index : t -> block_id -> block_id -> int
+
+(** Set a block's terminator, keeping predecessor lists of the old and new
+    successors consistent.  Phis of newly-gained successors receive
+    {!Types.invalid_value} inputs which the caller must fill. *)
+val set_term : t -> block_id -> terminator -> unit
+
+val term : t -> block_id -> terminator
+
+(** Redirect the edge [from_block -> old_target] to [new_target].  The phi
+    inputs that [old_target] held for this edge are dropped; phis of
+    [new_target] (if any) receive {!Types.invalid_value} for the new
+    edge. *)
+val redirect_edge :
+  t -> from_block:block_id -> old_target:block_id -> new_target:block_id -> unit
+
+(** Replace every use of a value (in instructions and terminators). *)
+val replace_uses : t -> value -> by:value -> unit
+
+(** Detach and delete an instruction.
+    @raise Invalid_argument when it still has uses. *)
+val remove_instr : t -> instr_id -> unit
+
+(** Detach an instruction from its block without deleting it. *)
+val detach : t -> instr_id -> unit
+
+(** Re-attach a detached instruction at the end of a block's body (or phi
+    list). *)
+val attach : t -> instr_id -> block_id -> unit
+
+(** Delete a whole block; its predecessor edges must already be gone. *)
+val remove_block : t -> block_id -> unit
+
+(** Rename a predecessor entry of a block, keeping its phi inputs
+    untouched (used when a jump-only block is merged into its
+    predecessor). *)
+val replace_pred : t -> block_id -> old_pred:block_id -> new_pred:block_id -> unit
+
+(** {2 Iteration} *)
+
+val iter_blocks : t -> (block -> unit) -> unit
+val fold_blocks : t -> ('a -> block -> 'a) -> 'a -> 'a
+val block_ids : t -> block_id list
+val iter_instrs : t -> (instr -> unit) -> unit
+val fold_instrs : t -> ('a -> instr -> 'a) -> 'a -> 'a
+
+(** All instruction ids of a block in execution order: phis then body. *)
+val block_instrs : t -> block_id -> instr_id list
+
+val live_instr_count : t -> int
+val live_block_count : t -> int
+
+(** {2 Orders} *)
+
+(** Reverse postorder over reachable blocks. *)
+val rpo : t -> block_id list
+
+(** Per-block reachability flags (indexed by block id). *)
+val reachable : t -> bool array
+
+(** Delete every block not reachable from the entry (dropping their edges
+    into reachable blocks, with the matching phi inputs).  Returns true if
+    anything was removed. *)
+val remove_unreachable_blocks : t -> bool
+
+(** {2 Copy / restore} *)
+
+(** Overwrite a graph's contents with those of a {!copy} (the
+    backtracking strategy's undo). *)
+val restore : t -> backup:t -> unit
+
+(** Deep copy; instruction and block ids are preserved. *)
+val copy : t -> t

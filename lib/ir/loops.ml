@@ -1,0 +1,70 @@
+(** Natural-loop detection.  A back edge is an edge [t -> h] where [h]
+    dominates [t]; the loop body is found by walking predecessors backwards
+    from the tail.  Per-block loop nesting depth feeds the block-frequency
+    estimator. *)
+
+type loop = {
+  header : Types.block_id;
+  body : Types.block_id list;  (** includes the header *)
+  back_edges : (Types.block_id * Types.block_id) list;
+}
+
+type t = {
+  loops : loop list;
+  loop_depth : int array;  (** nesting depth per block; 0 = not in a loop *)
+  loop_header : bool array;
+}
+
+let loops t = t.loops
+let depth t b = if b < Array.length t.loop_depth then t.loop_depth.(b) else 0
+let is_header t b = b < Array.length t.loop_header && t.loop_header.(b)
+
+let compute (dom : Dom.t) =
+  let g = Dom.graph dom in
+  let n = g.Graph.n_blocks in
+  let back_edges = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s -> if Dom.dominates dom s b then back_edges := (b, s) :: !back_edges)
+        (Graph.succs g b))
+    (Dom.order dom);
+  (* Group back edges by header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (tail, header) ->
+      let cur = try Hashtbl.find by_header header with Not_found -> [] in
+      Hashtbl.replace by_header header ((tail, header) :: cur))
+    !back_edges;
+  let loop_depth = Array.make (max 1 n) 0 in
+  let loop_header = Array.make (max 1 n) false in
+  let loops =
+    Hashtbl.fold
+      (fun header edges acc ->
+        loop_header.(header) <- true;
+        let in_body = Hashtbl.create 8 in
+        Hashtbl.add in_body header ();
+        let worklist = Queue.create () in
+        List.iter
+          (fun (tail, _) ->
+            if not (Hashtbl.mem in_body tail) then begin
+              Hashtbl.add in_body tail ();
+              Queue.add tail worklist
+            end)
+          edges;
+        while not (Queue.is_empty worklist) do
+          let b = Queue.pop worklist in
+          List.iter
+            (fun p ->
+              if Dom.is_reachable dom p && not (Hashtbl.mem in_body p) then begin
+                Hashtbl.add in_body p ();
+                Queue.add p worklist
+              end)
+            (Graph.preds g b)
+        done;
+        let body = Hashtbl.fold (fun b () acc -> b :: acc) in_body [] in
+        List.iter (fun b -> loop_depth.(b) <- loop_depth.(b) + 1) body;
+        { header; body; back_edges = edges } :: acc)
+      by_header []
+  in
+  { loops; loop_depth; loop_header }

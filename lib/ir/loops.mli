@@ -1,0 +1,20 @@
+(** Natural-loop detection.  A back edge is an edge [t -> h] where [h]
+    dominates [t]; the loop body is found by walking predecessors backwards
+    from the tail.  Per-block loop nesting depth feeds the block-frequency
+    estimator. *)
+
+type loop = {
+  header : Types.block_id;
+  body : Types.block_id list;  (** includes the header *)
+  back_edges : (Types.block_id * Types.block_id) list;
+}
+
+type t
+
+val loops : t -> loop list
+
+(** Nesting depth; 0 = not in a loop. *)
+val depth : t -> Types.block_id -> int
+
+val is_header : t -> Types.block_id -> bool
+val compute : Dom.t -> t

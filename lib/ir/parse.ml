@@ -1,0 +1,381 @@
+(** Parser for the textual IR format produced by {!Printer} — the
+    round-trip partner of [pp_graph].  Lets tests and tools author IR
+    fixtures directly and guards the printer against ambiguity (see the
+    round-trip property in the test suite).
+
+    Reconstruction order matters: blocks are created first, then
+    placeholder instructions (so every value id exists), then terminators
+    (establishing predecessor lists), then the real instruction kinds —
+    and finally phi inputs are permuted from the textual predecessor
+    order (recorded in the "; preds:" comments) to the reconstructed
+    one. *)
+
+open Types
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing helpers (line oriented, whitespace separated)            *)
+(* ------------------------------------------------------------------ *)
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+let split_on_string ~sep s =
+  (* Split on the first occurrence; [None] when absent. *)
+  let sl = String.length sep and n = String.length s in
+  let rec go i =
+    if i + sl > n then None
+    else if String.sub s i sl = sep then
+      Some (String.sub s 0 i, String.sub s (i + sl) (n - i - sl))
+    else go (i + 1)
+  in
+  go 0
+
+let int_of ~what s =
+  match int_of_string_opt (strip s) with
+  | Some n -> n
+  | None -> fail "expected %s, got %S" what s
+
+let value_of s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> 'v' then fail "expected a value, got %S" s
+  else int_of ~what:"value id" (String.sub s 1 (String.length s - 1))
+
+let block_ref s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> 'b' then fail "expected a block, got %S" s
+  else
+    (* tolerate a trailing ':' *)
+    let s = String.sub s 1 (String.length s - 1) in
+    let s = match split_on_string ~sep:":" s with Some (a, _) -> a | None -> s in
+    int_of ~what:"block id" s
+
+let comma_list s =
+  String.split_on_char ',' s |> List.map strip
+  |> List.filter (fun x -> x <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Kind / terminator parsing over textual value ids                    *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "div" -> Some Div
+  | "rem" -> Some Rem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | _ -> None
+
+let cmpop_of_string = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "lt" -> Some Lt
+  | "le" -> Some Le
+  | "gt" -> Some Gt
+  | "ge" -> Some Ge
+  | _ -> None
+
+(* "new Cls(v1, v2)" / "call f(v1)" argument lists *)
+let parse_call_like s =
+  match split_on_string ~sep:"(" s with
+  | None -> fail "expected '(' in %S" s
+  | Some (name, rest) -> (
+      match split_on_string ~sep:")" rest with
+      | None -> fail "expected ')' in %S" s
+      | Some (args, _) ->
+          (strip name, Array.of_list (List.map value_of (comma_list args))))
+
+(** Parse one instruction right-hand side into a kind over {e textual}
+    value ids (remapped by the caller). *)
+let parse_kind rhs =
+  let rhs = strip rhs in
+  match String.index_opt rhs ' ' with
+  | None -> (
+      match rhs with
+      | "null" -> Null
+      | _ -> fail "cannot parse instruction %S" rhs)
+  | Some sp -> (
+      let head = String.sub rhs 0 sp in
+      let rest = strip (String.sub rhs sp (String.length rhs - sp)) in
+      match head with
+      | "const" -> Const (int_of ~what:"constant" rest)
+      | "param" -> Param (int_of ~what:"parameter index" rest)
+      | "neg" -> Neg (value_of rest)
+      | "not" -> Not (value_of rest)
+      | "phi" ->
+          let inner =
+            match (split_on_string ~sep:"[" rest, split_on_string ~sep:"]" rest) with
+            | Some (_, r), Some _ -> (
+                match split_on_string ~sep:"]" r with
+                | Some (l, _) -> l
+                | None -> fail "unterminated phi list %S" rest)
+            | _ -> fail "expected phi [..] in %S" rest
+          in
+          Phi (Array.of_list (List.map value_of (comma_list inner)))
+      | "new" ->
+          let cls, args = parse_call_like rest in
+          New (cls, args)
+      | "call" ->
+          let fn, args = parse_call_like rest in
+          Call (fn, args)
+      | "load" -> (
+          match split_on_string ~sep:"." rest with
+          | Some (obj, field) -> Load (value_of obj, strip field)
+          | None -> fail "expected obj.field in %S" rest)
+      | "store" -> (
+          match split_on_string ~sep:"<-" rest with
+          | Some (lhs, v) -> (
+              match split_on_string ~sep:"." lhs with
+              | Some (obj, field) ->
+                  Store (value_of obj, strip field, value_of v)
+              | None -> fail "expected obj.field in %S" rest)
+          | None -> fail "expected '<-' in %S" rest)
+      | "gload" -> Load_global (strip rest)
+      | "gstore" -> (
+          match split_on_string ~sep:"<-" rest with
+          | Some (g, v) -> Store_global (strip g, value_of v)
+          | None -> fail "expected '<-' in %S" rest)
+      | _ -> (
+          (* "add v1, v2" / "cmp.lt v1, v2" *)
+          match binop_of_string head with
+          | Some op -> (
+              match comma_list rest with
+              | [ a; b ] -> Binop (op, value_of a, value_of b)
+              | _ -> fail "expected two operands in %S" rhs)
+          | None -> (
+              match split_on_string ~sep:"." head with
+              | Some ("cmp", opname) -> (
+                  match cmpop_of_string opname with
+                  | Some op -> (
+                      match comma_list rest with
+                      | [ a; b ] -> Cmp (op, value_of a, value_of b)
+                      | _ -> fail "expected two operands in %S" rhs)
+                  | None -> fail "unknown comparison %S" opname)
+              | _ -> fail "unknown instruction %S" rhs)))
+
+(** Parse a terminator line (over textual value/block ids). *)
+let parse_term line =
+  let line = strip line in
+  match String.index_opt line ' ' with
+  | None -> (
+      match line with
+      | "return" -> Return None
+      | "unreachable" -> Unreachable
+      | _ -> fail "cannot parse terminator %S" line)
+  | Some sp -> (
+      let head = String.sub line 0 sp in
+      let rest = strip (String.sub line sp (String.length line - sp)) in
+      match head with
+      | "jump" -> Jump (block_ref rest)
+      | "return" -> Return (Some (value_of rest))
+      | "branch" -> (
+          (* "branch v3 ? b1 : b2  @0.50" *)
+          match split_on_string ~sep:"?" rest with
+          | None -> fail "expected '?' in %S" line
+          | Some (cond, targets) -> (
+              match split_on_string ~sep:":" targets with
+              | None -> fail "expected ':' in %S" line
+              | Some (t, rest2) ->
+                  let f, prob =
+                    match split_on_string ~sep:"@" rest2 with
+                    | Some (f, p) -> (f, float_of_string (strip p))
+                    | None -> (rest2, 0.5)
+                  in
+                  Branch
+                    {
+                      cond = value_of cond;
+                      if_true = block_ref t;
+                      if_false = block_ref f;
+                      prob;
+                    }))
+      | _ -> fail "cannot parse terminator %S" line)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-graph parsing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type parsed_block = {
+  pb_id : int;  (** textual id *)
+  pb_preds : int list;  (** textual ids from the "; preds:" comment *)
+  mutable pb_instrs : (int * string) list;  (** textual vid, rhs (reversed) *)
+  mutable pb_term : string option;
+}
+
+let parse_header line =
+  (* "fn name(N params) entry=bK" *)
+  match split_on_string ~sep:"fn " line with
+  | Some ("", rest) -> (
+      match split_on_string ~sep:"(" rest with
+      | None -> fail "malformed header %S" line
+      | Some (name, rest) -> (
+          match split_on_string ~sep:" params)" rest with
+          | None -> fail "malformed header %S" line
+          | Some (n, rest) -> (
+              match split_on_string ~sep:"entry=" rest with
+              | None -> fail "missing entry in %S" line
+              | Some (_, e) ->
+                  (strip name, int_of ~what:"param count" n, block_ref e))))
+  | _ -> fail "expected 'fn' header, got %S" line
+
+(** Parse a graph printed by {!Printer.pp_graph}.
+    @raise Parse_error on malformed input. *)
+let parse_graph text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let blocks : parsed_block list ref = ref [] in
+  let current = ref None in
+  let finish_current () =
+    match !current with
+    | Some pb -> blocks := pb :: !blocks
+    | None -> ()
+  in
+  List.iter
+    (fun raw ->
+      let line = strip raw in
+      if line = "" || line = "; unreachable:" then ()
+      else if String.length line >= 3 && String.sub line 0 3 = "fn " then
+        header := Some (parse_header line)
+      else if
+        (* block header: 'b' followed by digits then ':' (not "branch") *)
+        line.[0] = 'b'
+        && String.length line > 1
+        && (let rec digits i =
+              if i >= String.length line then false
+              else if line.[i] = ':' then i > 1
+              else if line.[i] >= '0' && line.[i] <= '9' then digits (i + 1)
+              else false
+            in
+            digits 1)
+      then begin
+        (* block header: "bK:" or "bK:  ; preds: b1, b2" *)
+        finish_current ();
+        let bid = block_ref line in
+        let preds =
+          match split_on_string ~sep:"; preds:" line with
+          | Some (_, l) -> List.map block_ref (comma_list l)
+          | None -> []
+        in
+        current := Some { pb_id = bid; pb_preds = preds; pb_instrs = []; pb_term = None }
+      end
+      else
+        match !current with
+        | None -> fail "instruction outside a block: %S" line
+        | Some pb -> (
+            match split_on_string ~sep:" = " line with
+            | Some (v, rhs) when String.length (strip v) > 1 && (strip v).[0] = 'v'
+              ->
+                pb.pb_instrs <- (value_of v, strip rhs) :: pb.pb_instrs
+            | _ ->
+                if pb.pb_term <> None then
+                  fail "two terminators in b%d (%S)" pb.pb_id line
+                else pb.pb_term <- Some line))
+    lines;
+  finish_current ();
+  let name, n_params, entry_text =
+    match !header with Some h -> h | None -> fail "missing 'fn' header"
+  in
+  let parsed = List.rev !blocks in
+  (* Pass 1: blocks. *)
+  let g = Graph.create ~name ~n_params () in
+  let block_map = Hashtbl.create 16 in
+  List.iter
+    (fun pb ->
+      if Hashtbl.mem block_map pb.pb_id then fail "duplicate block b%d" pb.pb_id;
+      Hashtbl.replace block_map pb.pb_id (Graph.add_block g))
+    parsed;
+  let real_block tb =
+    match Hashtbl.find_opt block_map tb with
+    | Some b -> b
+    | None -> fail "reference to undefined block b%d" tb
+  in
+  Graph.set_entry g (real_block entry_text);
+  (* Pass 2: placeholder instructions (every value id gets a slot). *)
+  let value_map = Hashtbl.create 64 in
+  List.iter
+    (fun pb ->
+      List.iter
+        (fun (tv, rhs) ->
+          if Hashtbl.mem value_map tv then fail "duplicate value v%d" tv;
+          let placeholder =
+            (* phis must sit in the phi list from the start *)
+            if String.length rhs >= 4 && String.sub rhs 0 4 = "phi " then
+              Phi [||]
+            else Const 0
+          in
+          Hashtbl.replace value_map tv
+            (Graph.append g (real_block pb.pb_id) placeholder))
+        (List.rev pb.pb_instrs))
+    parsed;
+  let real_value tv =
+    match Hashtbl.find_opt value_map tv with
+    | Some v -> v
+    | None -> fail "reference to undefined value v%d" tv
+  in
+  (* Pass 3: terminators (establishes predecessor lists). *)
+  List.iter
+    (fun pb ->
+      match pb.pb_term with
+      | None -> fail "block b%d has no terminator" pb.pb_id
+      | Some t -> (
+          match parse_term t with
+          | Jump tb -> Graph.set_term g (real_block pb.pb_id) (Jump (real_block tb))
+          | Branch { cond; if_true; if_false; prob } ->
+              Graph.set_term g (real_block pb.pb_id)
+                (Branch
+                   {
+                     cond = real_value cond;
+                     if_true = real_block if_true;
+                     if_false = real_block if_false;
+                     prob;
+                   })
+          | Return (Some v) ->
+              Graph.set_term g (real_block pb.pb_id) (Return (Some (real_value v)))
+          | Return None -> Graph.set_term g (real_block pb.pb_id) (Return None)
+          | Unreachable -> ()))
+    parsed;
+  (* Pass 4: real kinds.  Phi inputs arrive in the *textual* predecessor
+     order and are permuted to the reconstructed one. *)
+  List.iter
+    (fun pb ->
+      let bid = real_block pb.pb_id in
+      let actual_preds = Graph.preds g bid in
+      let permute inputs =
+        if pb.pb_preds = [] then inputs
+        else begin
+          let textual = List.map real_block pb.pb_preds in
+          if List.length textual <> Array.length inputs then
+            fail "phi arity mismatch in b%d" pb.pb_id;
+          Array.of_list
+            (List.map
+               (fun p ->
+                 let rec find i = function
+                   | [] -> fail "predecessor mismatch in b%d" pb.pb_id
+                   | q :: rest -> if q = p then i else find (i + 1) rest
+                 in
+                 inputs.(find 0 textual))
+               actual_preds)
+        end
+      in
+      List.iter
+        (fun (tv, rhs) ->
+          let kind = map_inputs real_value (parse_kind rhs) in
+          let kind =
+            match kind with Phi inputs -> Phi (permute inputs) | k -> k
+          in
+          Graph.set_kind g (real_value tv) kind)
+        (List.rev pb.pb_instrs))
+    parsed;
+  g

@@ -1,0 +1,13 @@
+(** Parser for the textual IR format produced by {!Printer} — the
+    round-trip partner of [pp_graph].  Lets tests and tools author IR
+    fixtures directly and guards the printer against ambiguity.
+
+    Instruction and block {e numbering} need not be dense: textual ids are
+    remapped to fresh arena ids (so a round-trip preserves structure and
+    semantics, not literal ids). *)
+
+exception Parse_error of string
+
+(** Parse a graph printed by {!Printer.pp_graph}.
+    @raise Parse_error on malformed input. *)
+val parse_graph : string -> Graph.t

@@ -1,0 +1,69 @@
+(** Textual dump of IR graphs, for the CLI driver, tests and debugging. *)
+
+open Types
+
+let pp_value ppf v =
+  if v = invalid_value then Fmt.string ppf "<invalid>" else Fmt.pf ppf "v%d" v
+
+let pp_values ppf vs =
+  Fmt.(array ~sep:(any ", ") pp_value) ppf vs
+
+let pp_kind ppf = function
+  | Const n -> Fmt.pf ppf "const %d" n
+  | Null -> Fmt.string ppf "null"
+  | Param i -> Fmt.pf ppf "param %d" i
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "%s %a, %a" (binop_to_string op) pp_value a pp_value b
+  | Cmp (op, a, b) ->
+      Fmt.pf ppf "cmp.%s %a, %a" (cmpop_to_string op) pp_value a pp_value b
+  | Neg a -> Fmt.pf ppf "neg %a" pp_value a
+  | Not a -> Fmt.pf ppf "not %a" pp_value a
+  | Phi inputs -> Fmt.pf ppf "phi [%a]" pp_values inputs
+  | New (cls, args) -> Fmt.pf ppf "new %s(%a)" cls pp_values args
+  | Load (o, f) -> Fmt.pf ppf "load %a.%s" pp_value o f
+  | Store (o, f, v) -> Fmt.pf ppf "store %a.%s <- %a" pp_value o f pp_value v
+  | Load_global gl -> Fmt.pf ppf "gload %s" gl
+  | Store_global (gl, v) -> Fmt.pf ppf "gstore %s <- %a" gl pp_value v
+  | Call (fn, args) -> Fmt.pf ppf "call %s(%a)" fn pp_values args
+
+let pp_term ppf = function
+  | Jump b -> Fmt.pf ppf "jump b%d" b
+  | Branch { cond; if_true; if_false; prob } ->
+      Fmt.pf ppf "branch %a ? b%d : b%d  @%.2f" pp_value cond if_true if_false
+        prob
+  | Return None -> Fmt.string ppf "return"
+  | Return (Some v) -> Fmt.pf ppf "return %a" pp_value v
+  | Unreachable -> Fmt.string ppf "unreachable"
+
+let pp_block g ppf bid =
+  let b = Graph.block g bid in
+  Fmt.pf ppf "b%d:" bid;
+  (match b.Graph.preds with
+  | [] -> ()
+  | preds ->
+      Fmt.pf ppf "  ; preds: %a"
+        Fmt.(list ~sep:(any ", ") (fmt "b%d"))
+        preds);
+  Fmt.pf ppf "@\n";
+  List.iter
+    (fun id -> Fmt.pf ppf "  v%d = %a@\n" id pp_kind (Graph.kind g id))
+    (Graph.block_instrs g bid);
+  Fmt.pf ppf "  %a@\n" pp_term b.Graph.term
+
+let pp_graph ppf g =
+  Fmt.pf ppf "fn %s(%d params) entry=b%d@\n" (Graph.name g) (Graph.n_params g)
+    (Graph.entry g);
+  (* Print reachable blocks in reverse postorder, then any detached ones. *)
+  let printed = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      Hashtbl.add printed bid ();
+      pp_block g ppf bid)
+    (Graph.rpo g);
+  Graph.iter_blocks g (fun b ->
+      if not (Hashtbl.mem printed b.Graph.blk_id) then begin
+        Fmt.pf ppf "; unreachable:@\n";
+        pp_block g ppf b.Graph.blk_id
+      end)
+
+let graph_to_string g = Fmt.str "%a" pp_graph g

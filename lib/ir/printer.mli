@@ -1,0 +1,14 @@
+(** Textual dump of IR graphs, for the CLI driver, tests and debugging. *)
+
+val pp_value : Format.formatter -> Types.value -> unit
+val pp_kind : Format.formatter -> Types.instr_kind -> unit
+val pp_term : Format.formatter -> Types.terminator -> unit
+
+(** One block: header with predecessors, instructions, terminator. *)
+val pp_block : Graph.t -> Format.formatter -> Types.block_id -> unit
+
+(** Whole graph, reachable blocks in reverse postorder (unreachable ones
+    flagged at the end). *)
+val pp_graph : Format.formatter -> Graph.t -> unit
+
+val graph_to_string : Graph.t -> string

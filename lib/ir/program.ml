@@ -1,0 +1,57 @@
+(** A compilation unit collection: class declarations, globals and
+    functions.  Produced by the frontend, consumed by the optimizer (field
+    layouts for scalar replacement), the interpreter and the harness. *)
+
+type class_decl = { cls_name : string; fields : string list }
+
+type t = {
+  classes : (string, class_decl) Hashtbl.t;
+  globals : string list;
+  functions : (string, Graph.t) Hashtbl.t;
+  main : string;  (** entry function name *)
+}
+
+let create ?(main = "main") () =
+  { classes = Hashtbl.create 8; globals = []; functions = Hashtbl.create 8; main }
+
+let add_class p cls = Hashtbl.replace p.classes cls.cls_name cls
+let find_class p name = Hashtbl.find_opt p.classes name
+
+let field_index p cls field =
+  match find_class p cls with
+  | None -> None
+  | Some c ->
+      let rec idx i = function
+        | [] -> None
+        | f :: rest -> if f = field then Some i else idx (i + 1) rest
+      in
+      idx 0 c.fields
+
+let add_function p g = Hashtbl.replace p.functions (Graph.name g) g
+let find_function p name = Hashtbl.find_opt p.functions name
+
+let function_names p =
+  Hashtbl.fold (fun name _ acc -> name :: acc) p.functions []
+  |> List.sort compare
+
+let iter_functions p f =
+  List.iter (fun name -> f (Hashtbl.find p.functions name)) (function_names p)
+
+(** Deep copy (graphs are copied; metadata shared structurally). *)
+let copy p =
+  {
+    classes = Hashtbl.copy p.classes;
+    globals = p.globals;
+    functions =
+      (let h = Hashtbl.create (Hashtbl.length p.functions) in
+       Hashtbl.iter (fun name g -> Hashtbl.add h name (Graph.copy g)) p.functions;
+       h);
+    main = p.main;
+  }
+
+(** A single-function program wrapper, convenient in tests/examples. *)
+let of_graph ?(classes = []) ?(globals = []) g =
+  let p = create ~main:(Graph.name g) () in
+  List.iter (add_class p) classes;
+  add_function p g;
+  { p with globals }

@@ -1,0 +1,36 @@
+(** A compilation unit collection: class declarations, globals and
+    functions.  Produced by the frontend, consumed by the optimizer (field
+    layouts for scalar replacement), the interpreter and the harness. *)
+
+type class_decl = { cls_name : string; fields : string list }
+
+type t = {
+  classes : (string, class_decl) Hashtbl.t;
+  globals : string list;
+  functions : (string, Graph.t) Hashtbl.t;
+  main : string;  (** entry function name *)
+}
+
+val create : ?main:string -> unit -> t
+val add_class : t -> class_decl -> unit
+val find_class : t -> string -> class_decl option
+
+(** Position of a field within its class's layout. *)
+val field_index : t -> string -> string -> int option
+
+(** Register a function under its graph name (replaces any previous). *)
+val add_function : t -> Graph.t -> unit
+
+val find_function : t -> string -> Graph.t option
+
+(** Sorted function names. *)
+val function_names : t -> string list
+
+(** Visit every function, in name order. *)
+val iter_functions : t -> (Graph.t -> unit) -> unit
+
+(** Deep copy (graphs are copied; metadata shared structurally). *)
+val copy : t -> t
+
+(** A single-function program wrapper, convenient in tests/examples. *)
+val of_graph : ?classes:class_decl list -> ?globals:string list -> Graph.t -> t

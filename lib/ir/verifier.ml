@@ -1,0 +1,189 @@
+(** Structural and SSA well-formedness checks.  Tests run the verifier
+    after every transformation; a failure message pinpoints the broken
+    invariant. *)
+
+open Types
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let check_edges g =
+  (* succs/preds must be mutually consistent over reachable blocks. *)
+  Graph.iter_blocks g (fun b ->
+      let bid = b.Graph.blk_id in
+      List.iter
+        (fun s ->
+          if not (Graph.block_exists g s) then
+            fail "b%d targets dead block b%d" bid s;
+          if not (List.mem bid (Graph.preds g s)) then
+            fail "b%d -> b%d edge missing from preds of b%d" bid s s)
+        (Graph.succs g bid);
+      List.iter
+        (fun p ->
+          if not (Graph.block_exists g p) then
+            fail "b%d lists dead predecessor b%d" bid p;
+          if not (List.mem bid (Graph.succs g p)) then
+            fail "b%d lists b%d as predecessor but b%d does not target it" bid
+              p p)
+        b.Graph.preds)
+
+let check_instr_placement g =
+  Graph.iter_blocks g (fun b ->
+      let bid = b.Graph.blk_id in
+      List.iter
+        (fun id ->
+          if not (Graph.instr_exists g id) then
+            fail "b%d contains dead instruction v%d" bid id;
+          if Graph.block_of g id <> bid then
+            fail "v%d listed in b%d but claims block b%d" id bid
+              (Graph.block_of g id))
+        (Graph.block_instrs g bid);
+      List.iter
+        (fun id ->
+          match Graph.kind g id with
+          | Phi _ -> ()
+          | _ -> fail "v%d is in the phi list of b%d but is not a phi" id bid)
+        b.Graph.phis;
+      List.iter
+        (fun id ->
+          match Graph.kind g id with
+          | Phi _ -> fail "phi v%d appears in the body of b%d" id bid
+          | _ -> ())
+        b.Graph.body)
+
+let check_phi_arity g =
+  Graph.iter_blocks g (fun b ->
+      let n_preds = List.length b.Graph.preds in
+      List.iter
+        (fun id ->
+          match Graph.kind g id with
+          | Phi inputs ->
+              if Array.length inputs <> n_preds then
+                fail "phi v%d in b%d has %d inputs for %d predecessors" id
+                  b.Graph.blk_id (Array.length inputs) n_preds;
+              Array.iter
+                (fun v ->
+                  if v = invalid_value then
+                    fail "phi v%d in b%d has an unfilled input" id b.Graph.blk_id)
+                inputs
+          | _ -> ())
+        b.Graph.phis)
+
+let check_input_validity g =
+  Graph.iter_instrs g (fun i ->
+      List.iter
+        (fun v ->
+          if v = invalid_value then
+            fail "v%d has an invalid input" i.Graph.ins_id
+          else if not (Graph.instr_exists g v) then
+            fail "v%d reads dead value v%d" i.Graph.ins_id v)
+        (inputs_of_kind i.Graph.kind));
+  Graph.iter_blocks g (fun b ->
+      let check v =
+        if v = invalid_value || not (Graph.instr_exists g v) then
+          fail "terminator of b%d reads invalid value" b.Graph.blk_id
+      in
+      match b.Graph.term with
+      | Return (Some v) -> check v
+      | Branch { cond; _ } -> check cond
+      | Jump _ | Return None | Unreachable -> ())
+
+(* SSA dominance property: every non-phi use is dominated by its def;
+   every phi input is defined at the end of the corresponding predecessor
+   (i.e. its def dominates that predecessor). *)
+let check_dominance g =
+  let dom = Dom.compute g in
+  Graph.iter_blocks g (fun b ->
+      let bid = b.Graph.blk_id in
+      if Dom.is_reachable dom bid then begin
+        (* Position map for same-block ordering checks. *)
+        let pos = Hashtbl.create 16 in
+        List.iteri (fun i id -> Hashtbl.add pos id i) (Graph.block_instrs g bid);
+        let def_ok use_id v =
+          let def_block = Graph.block_of g v in
+          if def_block = bid then
+            (* Same-block: def must come first. *)
+            let p_use = Hashtbl.find pos use_id in
+            match Hashtbl.find_opt pos v with
+            | Some p_def when p_def < p_use -> ()
+            | _ -> fail "v%d uses v%d before its definition in b%d" use_id v bid
+          else if not (Dom.strictly_dominates dom def_block bid) then
+            fail "use of v%d (def b%d) in v%d (b%d) violates dominance" v
+              def_block use_id bid
+        in
+        List.iter
+          (fun id ->
+            match Graph.kind g id with
+            | Phi inputs ->
+                List.iteri
+                  (fun pred_i pred ->
+                    let v = inputs.(pred_i) in
+                    let def_block = Graph.block_of g v in
+                    if not (Dom.dominates dom def_block pred) then
+                      fail
+                        "phi v%d input v%d (def b%d) does not dominate \
+                         predecessor b%d"
+                        id v def_block pred)
+                  b.Graph.preds
+            | k -> List.iter (def_ok id) (inputs_of_kind k))
+          (Graph.block_instrs g bid);
+        match b.Graph.term with
+        | Return (Some v) ->
+            let db = Graph.block_of g v in
+            if db <> bid && not (Dom.strictly_dominates dom db bid) then
+              fail "return in b%d uses non-dominating v%d" bid v
+        | Branch { cond; _ } ->
+            let db = Graph.block_of g cond in
+            if db <> bid && not (Dom.strictly_dominates dom db bid) then
+              fail "branch in b%d uses non-dominating v%d" bid cond
+        | Jump _ | Return None | Unreachable -> ()
+      end)
+
+let check_uses g =
+  (* Use lists must match actual references. *)
+  let expected = Hashtbl.create 64 in
+  let record v user =
+    if v >= 0 then
+      Hashtbl.replace expected (v, user)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt expected (v, user)))
+  in
+  Graph.iter_instrs g (fun i ->
+      List.iter
+        (fun v -> record v (Graph.U_instr i.Graph.ins_id))
+        (inputs_of_kind i.Graph.kind));
+  Graph.iter_blocks g (fun b ->
+      match b.Graph.term with
+      | Return (Some v) -> record v (Graph.U_term b.Graph.blk_id)
+      | Branch { cond; _ } -> record cond (Graph.U_term b.Graph.blk_id)
+      | Jump _ | Return None | Unreachable -> ());
+  Graph.iter_instrs g (fun i ->
+      let v = i.Graph.ins_id in
+      List.iter
+        (fun user ->
+          match Hashtbl.find_opt expected (v, user) with
+          | Some n when n > 0 -> Hashtbl.replace expected (v, user) (n - 1)
+          | _ -> fail "use list of v%d has a stale entry" v)
+        (Graph.uses g v));
+  Hashtbl.iter
+    (fun (v, _) n -> if n > 0 then fail "use list of v%d is missing an entry" v)
+    expected
+
+let check_entry g =
+  let entry = Graph.entry g in
+  if not (Graph.block_exists g entry) then fail "entry block b%d is dead" entry;
+  if (Graph.block g entry).Graph.phis <> [] then fail "entry block has phis"
+
+(** Run all checks; raises {!Invalid} with a description on failure. *)
+let verify g =
+  check_entry g;
+  check_edges g;
+  check_instr_placement g;
+  check_phi_arity g;
+  check_input_validity g;
+  check_uses g;
+  check_dominance g
+
+(** [verify_result g] is [Ok ()] or [Error message]. *)
+let verify_result g =
+  match verify g with () -> Ok () | exception Invalid m -> Error m

@@ -1,0 +1,74 @@
+(** Abstract syntax of the mini source language.
+
+    A small statically-typed imperative language designed to exhibit every
+    optimization opportunity from the paper's Section 2: integers and
+    booleans, classes with mutable fields ([new], [.field]), global
+    variables, functions, [if]/[while] with optional branch probability
+    annotations ([@0.9], standing in for JIT profiles), and short-circuit
+    [&&]/[||] (which lower to control flow and thus create merges with
+    phis). *)
+
+type typ = TInt | TBool | TVoid | TClass of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | BitAnd
+  | BitOr
+  | BitXor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | AndAlso  (** short-circuit && *)
+  | OrElse  (** short-circuit || *)
+
+type unop = Neg | Not
+
+type expr =
+  | EInt of int
+  | EBool of bool
+  | ENull
+  | EVar of string  (** local or global, resolved during lowering *)
+  | EBinop of binop * expr * expr
+  | EUnop of unop * expr
+  | EField of expr * string
+  | ENew of string * expr list
+  | ECall of string * expr list
+
+type lvalue = LVar of string | LField of expr * string
+
+type stmt =
+  | SDecl of typ * string * expr option
+  | SAssign of lvalue * expr
+  | SIf of { cond : expr; prob : float option; then_ : stmt list; else_ : stmt list }
+  | SWhile of { cond : expr; prob : float option; body : stmt list }
+  | SReturn of expr option
+  | SExpr of expr
+  | SBlock of stmt list
+
+type func = {
+  fn_name : string;
+  fn_ret : typ;
+  fn_params : (typ * string) list;
+  fn_body : stmt list;
+}
+
+type class_decl = { cd_name : string; cd_fields : (typ * string) list }
+type global_decl = { gd_name : string; gd_type : typ }
+
+type program = {
+  classes : class_decl list;
+  globals : global_decl list;
+  functions : func list;
+}
+
+val typ_to_string : typ -> string
+val binop_to_string : binop -> string

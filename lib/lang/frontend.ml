@@ -1,0 +1,36 @@
+(** Frontend driver: source text → verified SSA program. *)
+
+exception Error of string
+
+(** Parse, type-check and lower a source string.  Raises {!Error} with a
+    located message on any frontend failure; the produced IR is verified. *)
+let compile ?(verify = true) src =
+  let ast =
+    try Parser.parse_program src with
+    | Lexer.Lex_error (msg, line, col) ->
+        raise (Error (Printf.sprintf "lex error at %d:%d: %s" line col msg))
+    | Parser.Parse_error (msg, line, col) ->
+        raise (Error (Printf.sprintf "parse error at %d:%d: %s" line col msg))
+  in
+  (try Typecheck.check_program ast
+   with Typecheck.Type_error msg ->
+     raise (Error (Printf.sprintf "type error: %s" msg)));
+  let prog =
+    try Lower.lower_program ast
+    with Lower.Lower_error msg ->
+      raise (Error (Printf.sprintf "lowering error: %s" msg))
+  in
+  if verify then
+    Ir.Program.iter_functions prog (fun g ->
+        match Ir.Verifier.verify_result g with
+        | Ok () -> ()
+        | Error msg ->
+            raise
+              (Error
+                 (Printf.sprintf "internal error: lowering of %s produced \
+                                  invalid IR: %s"
+                    (Ir.Graph.name g) msg)));
+  prog
+
+(** Parse and type-check only (for tests that inspect the AST). *)
+let parse src = Parser.parse_program src

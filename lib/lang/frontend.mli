@@ -1,0 +1,12 @@
+(** Frontend driver: source text → verified SSA program. *)
+
+exception Error of string
+
+(** Parse, type-check and lower a source string.  The produced IR is
+    verified unless [verify:false].
+    @raise Error with a located message on any frontend failure. *)
+val compile : ?verify:bool -> string -> Ir.Program.t
+
+(** Parse only (for tests that inspect the AST).
+    @raise Parser.Parse_error / Lexer.Lex_error on malformed input. *)
+val parse : string -> Ast.program

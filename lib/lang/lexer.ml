@@ -1,0 +1,226 @@
+(** Hand-written lexer with line/column tracking. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_CLASS
+  | KW_GLOBAL
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_NEW
+  | KW_NULL
+  | KW_TRUE
+  | KW_FALSE
+  | KW_INT
+  | KW_BOOL
+  | KW_VOID
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOT
+  | AT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | AMPAMP
+  | PIPE
+  | PIPEPIPE
+  | CARET
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | BANG
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keyword_of_string = function
+  | "class" -> Some KW_CLASS
+  | "global" -> Some KW_GLOBAL
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | "new" -> Some KW_NEW
+  | "null" -> Some KW_NULL
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "int" -> Some KW_INT
+  | "bool" -> Some KW_BOOL
+  | "void" -> Some KW_VOID
+  | _ -> None
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW_CLASS -> "class"
+  | KW_GLOBAL -> "global"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_NEW -> "new"
+  | KW_NULL -> "null"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_INT -> "int"
+  | KW_BOOL -> "bool"
+  | KW_VOID -> "void"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | AT -> "@"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | AMPAMP -> "&&"
+  | PIPE -> "|"
+  | PIPEPIPE -> "||"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(** Tokenize a whole source string.  ["// ..."] and ["/* ... */"] comments
+    are skipped. *)
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let tokens = ref [] in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  let advance () =
+    (if src.[!pos] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr pos
+  in
+  let error msg = raise (Lex_error (msg, !line, !col)) in
+  let emit tok ~line ~col = tokens := { tok; line; col } :: !tokens in
+  while !pos < n do
+    let c = src.[!pos] in
+    let tl = !line and tc = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then error "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      if !pos < n && src.[!pos] = '.' && peek 1 <> None
+         && is_digit (Option.get (peek 1))
+      then begin
+        advance ();
+        while !pos < n && is_digit src.[!pos] do
+          advance ()
+        done;
+        emit
+          (FLOAT (float_of_string (String.sub src start (!pos - start))))
+          ~line:tl ~col:tc
+      end
+      else
+        emit
+          (INT (int_of_string (String.sub src start (!pos - start))))
+          ~line:tl ~col:tc
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      match keyword_of_string word with
+      | Some kw -> emit kw ~line:tl ~col:tc
+      | None -> emit (IDENT word) ~line:tl ~col:tc
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok ~line:tl ~col:tc in
+      let one tok = advance (); emit tok ~line:tl ~col:tc in
+      match (c, peek 1) with
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two PIPEPIPE
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '.', _ -> one DOT
+      | '@', _ -> one AT
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | _ -> error (Printf.sprintf "unexpected character %c" c)
+    end
+  done;
+  List.rev ({ tok = EOF; line = !line; col = !col } :: !tokens)

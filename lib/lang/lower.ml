@@ -1,0 +1,403 @@
+(** AST → SSA lowering, using the on-the-fly SSA construction of
+    Braun et al. ("Simple and Efficient Construction of Static Single
+    Assignment Form", CC 2013): local variables are written and read
+    per-block; reads in unsealed blocks create operandless phis that are
+    completed when the block's predecessors are final; trivial phis are
+    removed recursively.
+
+    Short-circuit [&&]/[||] lower to control flow and therefore introduce
+    merges with phis — prime duplication candidates, mirroring how Java
+    bytecode produces them. *)
+
+open Ast
+module G = Ir.Graph
+module T = Ir.Types
+
+exception Lower_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+type ctx = {
+  g : G.t;
+  prog : Ast.program;
+  locals : (string, unit) Hashtbl.t;  (** names that are function-local *)
+  current_defs : (T.block_id * string, T.value) Hashtbl.t;
+  sealed : (T.block_id, unit) Hashtbl.t;
+  incomplete : (T.block_id, (string * T.value) list ref) Hashtbl.t;
+  resolved : (T.value, T.value) Hashtbl.t;
+      (** forwarding for removed trivial phis *)
+  mutable cur : T.block_id;
+  mutable terminated : bool;
+      (** the current linear flow ended in a return; skip dead code *)
+}
+
+let rec resolve ctx v =
+  match Hashtbl.find_opt ctx.resolved v with
+  | Some v' ->
+      let final = resolve ctx v' in
+      if final <> v' then Hashtbl.replace ctx.resolved v final;
+      final
+  | None -> v
+
+let write_var ctx block name value =
+  Hashtbl.replace ctx.current_defs (block, name) value
+
+let rec read_var ctx block name =
+  match Hashtbl.find_opt ctx.current_defs (block, name) with
+  | Some v -> resolve ctx v
+  | None -> read_var_recursive ctx block name
+
+and read_var_recursive ctx block name =
+  let value =
+    if not (Hashtbl.mem ctx.sealed block) then begin
+      (* Incomplete CFG: create an operandless phi and complete it when
+         the block is sealed. *)
+      let phi = G.append ctx.g block (T.Phi [||]) in
+      let pending =
+        match Hashtbl.find_opt ctx.incomplete block with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace ctx.incomplete block l;
+            l
+      in
+      pending := (name, phi) :: !pending;
+      phi
+    end
+    else
+      match G.preds ctx.g block with
+      | [] -> err "variable '%s' read before assignment" name
+      | [ p ] -> read_var ctx p name
+      | _ ->
+          (* Break potential cycles with an operandless phi first. *)
+          let phi = G.append ctx.g block (T.Phi [||]) in
+          write_var ctx block name phi;
+          add_phi_operands ctx block name phi
+  in
+  write_var ctx block name value;
+  value
+
+and add_phi_operands ctx block name phi =
+  let inputs =
+    List.map (fun p -> read_var ctx p name) (G.preds ctx.g block)
+  in
+  G.set_kind ctx.g phi (T.Phi (Array.of_list inputs));
+  try_remove_trivial ctx phi
+
+and try_remove_trivial ctx phi =
+  match G.kind ctx.g phi with
+  | T.Phi inputs ->
+      let distinct =
+        Array.to_list inputs
+        |> List.map (resolve ctx)
+        |> List.filter (fun v -> v <> phi)
+        |> List.sort_uniq compare
+      in
+      (match distinct with
+      | [ same ] ->
+          (* Collect phi users before rewriting; they may become trivial. *)
+          let phi_users =
+            List.filter_map
+              (function
+                | G.U_instr u when u <> phi && G.instr_exists ctx.g u -> (
+                    match G.kind ctx.g u with T.Phi _ -> Some u | _ -> None)
+                | _ -> None)
+              (G.uses ctx.g phi)
+          in
+          G.replace_uses ctx.g phi ~by:same;
+          Hashtbl.replace ctx.resolved phi same;
+          G.remove_instr ctx.g phi;
+          List.iter
+            (fun u ->
+              if G.instr_exists ctx.g u then ignore (try_remove_trivial ctx u))
+            phi_users;
+          resolve ctx same
+      | _ -> phi)
+  | _ -> phi
+
+let seal_block ctx block =
+  (match Hashtbl.find_opt ctx.incomplete block with
+  | Some pending ->
+      List.iter
+        (fun (name, phi) ->
+          if G.instr_exists ctx.g phi then
+            ignore (add_phi_operands ctx block name phi))
+        !pending;
+      Hashtbl.remove ctx.incomplete block
+  | None -> ());
+  Hashtbl.replace ctx.sealed block ()
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let append ctx kind = G.append ctx.g ctx.cur kind
+
+let is_global ctx name =
+  List.exists (fun gd -> gd.gd_name = name) ctx.prog.Ast.globals
+
+let ir_binop : Ast.binop -> T.binop option = function
+  | Add -> Some T.Add
+  | Sub -> Some T.Sub
+  | Mul -> Some T.Mul
+  | Div -> Some T.Div
+  | Rem -> Some T.Rem
+  | BitAnd -> Some T.And
+  | BitOr -> Some T.Or
+  | BitXor -> Some T.Xor
+  | Shl -> Some T.Shl
+  | Shr -> Some T.Shr
+  | _ -> None
+
+let ir_cmpop : Ast.binop -> T.cmpop option = function
+  | Eq -> Some T.Eq
+  | Ne -> Some T.Ne
+  | Lt -> Some T.Lt
+  | Le -> Some T.Le
+  | Gt -> Some T.Gt
+  | Ge -> Some T.Ge
+  | _ -> None
+
+let rec lower_expr ctx = function
+  | EInt n -> append ctx (T.Const n)
+  | EBool b -> append ctx (T.Const (if b then 1 else 0))
+  | ENull -> append ctx T.Null
+  | EVar name ->
+      if Hashtbl.mem ctx.locals name then read_var ctx ctx.cur name
+      else if is_global ctx name then append ctx (T.Load_global name)
+      else err "unknown variable '%s'" name
+  | EUnop (Neg, e) ->
+      let v = lower_expr ctx e in
+      append ctx (T.Neg v)
+  | EUnop (Not, e) ->
+      let v = lower_expr ctx e in
+      append ctx (T.Not v)
+  | EBinop (AndAlso, a, b) -> lower_short_circuit ctx ~is_and:true a b
+  | EBinop (OrElse, a, b) -> lower_short_circuit ctx ~is_and:false a b
+  | EBinop (op, a, b) -> (
+      let va = lower_expr ctx a in
+      let vb = lower_expr ctx b in
+      match (ir_binop op, ir_cmpop op) with
+      | Some bop, _ -> append ctx (T.Binop (bop, va, vb))
+      | _, Some cop -> append ctx (T.Cmp (cop, va, vb))
+      | None, None -> assert false)
+  | EField (e, field) ->
+      let v = lower_expr ctx e in
+      append ctx (T.Load (v, field))
+  | ENew (cls, args) ->
+      let vargs = List.map (lower_expr ctx) args in
+      append ctx (T.New (cls, Array.of_list vargs))
+  | ECall (name, args) ->
+      let vargs = List.map (lower_expr ctx) args in
+      append ctx (T.Call (name, Array.of_list vargs))
+
+and lower_short_circuit ctx ~is_and a b =
+  (* a && b:  branch a ? eval_b : short;  merge with phi [vb, false]
+     a || b:  branch a ? short : eval_b;  merge with phi [vb, true] *)
+  let va = lower_expr ctx a in
+  let eval_b = G.add_block ctx.g in
+  let short = G.add_block ctx.g in
+  let merge = G.add_block ctx.g in
+  (if is_and then
+     G.set_term ctx.g ctx.cur
+       (T.Branch { cond = va; if_true = eval_b; if_false = short; prob = 0.5 })
+   else
+     G.set_term ctx.g ctx.cur
+       (T.Branch { cond = va; if_true = short; if_false = eval_b; prob = 0.5 }));
+  seal_block ctx eval_b;
+  seal_block ctx short;
+  ctx.cur <- eval_b;
+  let vb = lower_expr ctx b in
+  let b_end = ctx.cur in
+  G.set_term ctx.g b_end (T.Jump merge);
+  let short_const =
+    G.append ctx.g short (T.Const (if is_and then 0 else 1))
+  in
+  G.set_term ctx.g short (T.Jump merge);
+  seal_block ctx merge;
+  ctx.cur <- merge;
+  (* Predecessor order of [merge] is [b_end; short] (edges added in that
+     order by the set_term calls above). *)
+  let inputs =
+    List.map
+      (fun p ->
+        if p = b_end then vb
+        else if p = short then short_const
+        else assert false)
+      (G.preds ctx.g merge)
+  in
+  G.append ctx.g merge (T.Phi (Array.of_list inputs))
+
+(* ------------------------------------------------------------------ *)
+(* Statement lowering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_value ctx = function
+  | TClass _ -> append ctx T.Null
+  | TInt | TBool | TVoid -> append ctx (T.Const 0)
+
+let rec lower_stmt ctx ~ret_type stmt =
+  if ctx.terminated then () (* dead code after return: skip *)
+  else
+    match stmt with
+    | SDecl (ty, name, init) ->
+        let v =
+          match init with
+          | Some e -> lower_expr ctx e
+          | None -> default_value ctx ty
+        in
+        write_var ctx ctx.cur name v
+    | SAssign (LVar name, e) ->
+        let v = lower_expr ctx e in
+        if Hashtbl.mem ctx.locals name then write_var ctx ctx.cur name v
+        else if is_global ctx name then
+          ignore (append ctx (T.Store_global (name, v)))
+        else err "unknown variable '%s'" name
+    | SAssign (LField (obj, field), e) ->
+        let vo = lower_expr ctx obj in
+        let v = lower_expr ctx e in
+        ignore (append ctx (T.Store (vo, field, v)))
+    | SExpr e -> ignore (lower_expr ctx e)
+    | SBlock stmts -> List.iter (lower_stmt ctx ~ret_type) stmts
+    | SReturn None ->
+        G.set_term ctx.g ctx.cur (T.Return None);
+        ctx.terminated <- true
+    | SReturn (Some e) ->
+        let v = lower_expr ctx e in
+        G.set_term ctx.g ctx.cur (T.Return (Some v));
+        ctx.terminated <- true
+    | SIf { cond; prob; then_; else_ } -> (
+        let vc = lower_expr ctx cond in
+        let bt = G.add_block ctx.g in
+        let bf = G.add_block ctx.g in
+        let prob = Option.value ~default:0.5 prob in
+        G.set_term ctx.g ctx.cur
+          (T.Branch { cond = vc; if_true = bt; if_false = bf; prob });
+        seal_block ctx bt;
+        seal_block ctx bf;
+        ctx.cur <- bt;
+        ctx.terminated <- false;
+        List.iter (lower_stmt ctx ~ret_type) then_;
+        let t_end = ctx.cur and t_term = ctx.terminated in
+        ctx.cur <- bf;
+        ctx.terminated <- false;
+        List.iter (lower_stmt ctx ~ret_type) else_;
+        let f_end = ctx.cur and f_term = ctx.terminated in
+        match (t_term, f_term) with
+        | true, true -> ctx.terminated <- true
+        | true, false ->
+            ctx.cur <- f_end;
+            ctx.terminated <- false
+        | false, true ->
+            ctx.cur <- t_end;
+            ctx.terminated <- false
+        | false, false ->
+            let merge = G.add_block ctx.g in
+            G.set_term ctx.g t_end (T.Jump merge);
+            G.set_term ctx.g f_end (T.Jump merge);
+            seal_block ctx merge;
+            ctx.cur <- merge;
+            ctx.terminated <- false)
+    | SWhile { cond; prob; body } ->
+        let header = G.add_block ctx.g in
+        G.set_term ctx.g ctx.cur (T.Jump header);
+        (* header is not sealed yet: the back edge is still missing. *)
+        ctx.cur <- header;
+        let vc = lower_expr ctx cond in
+        let cond_end = ctx.cur in
+        let body_b = G.add_block ctx.g in
+        let exit_b = G.add_block ctx.g in
+        let prob = Option.value ~default:0.9 prob in
+        G.set_term ctx.g cond_end
+          (T.Branch { cond = vc; if_true = body_b; if_false = exit_b; prob });
+        seal_block ctx body_b;
+        ctx.cur <- body_b;
+        ctx.terminated <- false;
+        List.iter (lower_stmt ctx ~ret_type) body;
+        if not ctx.terminated then G.set_term ctx.g ctx.cur (T.Jump header);
+        seal_block ctx header;
+        (* Blocks between header and cond_end created by &&/|| in the
+           condition were sealed when created. *)
+        seal_block ctx exit_b;
+        ctx.cur <- exit_b;
+        ctx.terminated <- false
+
+(* ------------------------------------------------------------------ *)
+(* Function / program lowering                                         *)
+(* ------------------------------------------------------------------ *)
+
+let collect_locals f =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (_, name) -> Hashtbl.replace tbl name ()) f.fn_params;
+  let rec scan_stmt = function
+    | SDecl (_, name, _) -> Hashtbl.replace tbl name ()
+    | SIf { then_; else_; _ } ->
+        List.iter scan_stmt then_;
+        List.iter scan_stmt else_
+    | SWhile { body; _ } -> List.iter scan_stmt body
+    | SBlock stmts -> List.iter scan_stmt stmts
+    | SAssign _ | SReturn _ | SExpr _ -> ()
+  in
+  List.iter scan_stmt f.fn_body;
+  tbl
+
+let lower_function prog f =
+  let g = G.create ~name:f.fn_name ~n_params:(List.length f.fn_params) () in
+  let entry = G.add_block g in
+  G.set_entry g entry;
+  let ctx =
+    {
+      g;
+      prog;
+      locals = collect_locals f;
+      current_defs = Hashtbl.create 64;
+      sealed = Hashtbl.create 16;
+      incomplete = Hashtbl.create 8;
+      resolved = Hashtbl.create 16;
+      cur = entry;
+      terminated = false;
+    }
+  in
+  seal_block ctx entry;
+  List.iteri
+    (fun i (_, name) ->
+      let p = G.append g entry (T.Param i) in
+      write_var ctx entry name p)
+    f.fn_params;
+  List.iter (lower_stmt ctx ~ret_type:f.fn_ret) f.fn_body;
+  (* Falling off the end: return the type's default. *)
+  if not ctx.terminated then begin
+    match f.fn_ret with
+    | TVoid -> G.set_term ctx.g ctx.cur (T.Return None)
+    | TClass _ ->
+        let v = append ctx T.Null in
+        G.set_term ctx.g ctx.cur (T.Return (Some v))
+    | TInt | TBool ->
+        let v = append ctx (T.Const 0) in
+        G.set_term ctx.g ctx.cur (T.Return (Some v))
+  end;
+  g
+
+(** Lower a type-checked program to an IR program. *)
+let lower_program (p : Ast.program) =
+  let main =
+    match p.functions with
+    | [] -> "main"
+    | f :: _ ->
+        if List.exists (fun f -> f.fn_name = "main") p.functions then "main"
+        else f.fn_name
+  in
+  let prog = Ir.Program.create ~main () in
+  List.iter
+    (fun cd ->
+      Ir.Program.add_class prog
+        {
+          Ir.Program.cls_name = cd.cd_name;
+          fields = List.map snd cd.cd_fields;
+        })
+    p.classes;
+  let prog =
+    { prog with Ir.Program.globals = List.map (fun gd -> gd.gd_name) p.globals }
+  in
+  List.iter (fun f -> Ir.Program.add_function prog (lower_function p f)) p.functions;
+  prog

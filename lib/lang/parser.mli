@@ -1,0 +1,10 @@
+(** Recursive-descent parser.  Precedence, lowest to highest:
+    [||] < [&&] < [|] < [^] < [&] < [== !=] < [< <= > >=] < [<< >>]
+    < [+ -] < [* / %] < unary < postfix field access. *)
+
+exception Parse_error of string * int * int
+
+(** Parse a whole program.
+    @raise Parse_error with a position and the offending token.
+    @raise Lexer.Lex_error on lexical errors. *)
+val parse_program : string -> Ast.program

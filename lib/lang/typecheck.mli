@@ -1,0 +1,15 @@
+(** Static type checker.  Ensures that programs accepted by the frontend
+    cannot fault in the interpreter (other than null dereferences, which
+    remain runtime errors as in the JVM).
+
+    Enforced rules include: declared-before-use with block scoping, no
+    duplicate or global-shadowing locals (lowering resolves names by
+    whole-function scope), class/field existence, constructor arity,
+    [bool] conditions, return-type agreement, and probability annotations
+    within [0, 1]. *)
+
+exception Type_error of string
+
+(** Check a whole program.
+    @raise Type_error describing the first violation. *)
+val check_program : Ast.program -> unit

@@ -1,0 +1,171 @@
+(** Conditional elimination (paper §2, after Stadler et al.): walk the
+    dominator tree maintaining facts established by dominating branches —
+    the truth of condition values, integer ranges of values compared
+    against constants, and non-nullness — and fold comparisons (and hence
+    branches) that the facts imply.
+
+    A fact from branch [p: branch c ? t : f] holds in the dominator
+    subtree of [t] provided [t]'s only predecessor is [p] (otherwise other
+    paths enter [t] without establishing the fact).
+
+    The fact environment is exposed so the DBDS simulation tier can reuse
+    the same implication engine as its conditional-elimination
+    applicability check. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+type range = { lo : int; hi : int }
+
+let full_range = { lo = min_int; hi = max_int }
+
+(* The fact environment is scoped: entering a dominator subtree pushes
+   facts, leaving pops them.  Implemented as persistent maps held in a
+   mutable binding per walk level. *)
+module VMap = Map.Make (Int)
+
+type env = {
+  truths : bool VMap.t;  (** condition value -> known truth *)
+  ranges : range VMap.t;  (** value -> integer range *)
+  non_null : unit VMap.t;  (** values known non-null *)
+}
+
+let empty_env =
+  { truths = VMap.empty; ranges = VMap.empty; non_null = VMap.empty }
+
+let range_of env v = Option.value ~default:full_range (VMap.find_opt v env.ranges)
+
+let meet_range env v r =
+  let cur = range_of env v in
+  let merged = { lo = max cur.lo r.lo; hi = min cur.hi r.hi } in
+  { env with ranges = VMap.add v merged env.ranges }
+
+(** Add the facts implied by [cond = truth] to the environment.
+    [kind_of] resolves operand kinds (synonym-aware in simulation). *)
+let assume ~kind_of env cond truth =
+  let env = { env with truths = VMap.add cond truth env.truths } in
+  match kind_of cond with
+  | Cmp (op, a, b) -> (
+      let op = if truth then op else negate_cmp op in
+      let const_of v = match kind_of v with Const n -> Some n | _ -> None in
+      let is_null v = match kind_of v with Null -> true | _ -> false in
+      match (const_of a, const_of b) with
+      | None, Some c -> (
+          match op with
+          | Lt -> meet_range env a { lo = min_int; hi = c - 1 }
+          | Le -> meet_range env a { lo = min_int; hi = c }
+          | Gt -> meet_range env a { lo = c + 1; hi = max_int }
+          | Ge -> meet_range env a { lo = c; hi = max_int }
+          | Eq -> meet_range env a { lo = c; hi = c }
+          | Ne -> env)
+      | Some c, None -> (
+          match swap_cmp op with
+          | Lt -> meet_range env b { lo = min_int; hi = c - 1 }
+          | Le -> meet_range env b { lo = min_int; hi = c }
+          | Gt -> meet_range env b { lo = c + 1; hi = max_int }
+          | Ge -> meet_range env b { lo = c; hi = max_int }
+          | Eq -> meet_range env b { lo = c; hi = c }
+          | Ne -> env)
+      | _ ->
+          (* x != null / x == null facts *)
+          if is_null b && op = Ne then
+            { env with non_null = VMap.add a () env.non_null }
+          else if is_null a && op = Ne then
+            { env with non_null = VMap.add b () env.non_null }
+          else env)
+  | _ -> env
+
+(* Does the range prove the comparison?  Returns Some truth if decided. *)
+let decide_range op r c =
+  match op with
+  | Lt -> if r.hi < c then Some true else if r.lo >= c then Some false else None
+  | Le -> if r.hi <= c then Some true else if r.lo > c then Some false else None
+  | Gt -> if r.lo > c then Some true else if r.hi <= c then Some false else None
+  | Ge -> if r.lo >= c then Some true else if r.hi < c then Some false else None
+  | Eq ->
+      if r.lo = c && r.hi = c then Some true
+      else if r.hi < c || r.lo > c then Some false
+      else None
+  | Ne ->
+      if r.hi < c || r.lo > c then Some true
+      else if r.lo = c && r.hi = c then Some false
+      else None
+
+(** Can the environment decide this condition value?  [v] is the value id
+    of the condition (for direct truth lookups); [kind] its (resolved)
+    kind. *)
+let implied ~kind_of env v kind =
+  match VMap.find_opt v env.truths with
+  | Some t -> Some t
+  | None -> (
+      match kind with
+      | Cmp (op, a, b) -> (
+          let const_of x = match kind_of x with Const n -> Some n | _ -> None in
+          let is_null x = match kind_of x with Null -> true | _ -> false in
+          match (const_of a, const_of b) with
+          | None, Some c -> (
+              match decide_range op (range_of env a) c with
+              | Some t -> Some t
+              | None -> None)
+          | Some c, None -> decide_range (swap_cmp op) (range_of env b) c
+          | _ ->
+              if is_null b && VMap.mem a env.non_null then
+                match op with
+                | Eq -> Some false
+                | Ne -> Some true
+                | _ -> None
+              else if is_null a && VMap.mem b env.non_null then
+                match op with
+                | Eq -> Some false
+                | Ne -> Some true
+                | _ -> None
+              else None)
+      | _ -> None)
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let dom = Ir.Dom.compute g in
+  let changed = ref false in
+  let kind_of v = G.kind g v in
+  let rec visit env bid =
+    (* Fold comparisons implied by dominating facts. *)
+    List.iter
+      (fun id ->
+        match G.kind g id with
+        | Cmp _ as kind -> (
+            match implied ~kind_of env id kind with
+            | Some t ->
+                G.set_kind g id (Const (if t then 1 else 0));
+                changed := true
+            | None -> ())
+        | _ -> ())
+      (G.block_instrs g bid);
+    (* Fold a branch whose condition is decided by the facts (typically
+       the condition was GVN-deduplicated to a dominating compare). *)
+    (match G.term g bid with
+    | Branch { cond; if_true; if_false; _ } -> (
+        match implied ~kind_of env cond (kind_of cond) with
+        | Some t ->
+            G.set_term g bid (Jump (if t then if_true else if_false));
+            changed := true
+        | None -> ())
+    | Jump _ | Return _ | Unreachable -> ());
+    (* Derive per-successor facts from this block's branch. *)
+    let env_for_child child =
+      match G.term g bid with
+      | Branch { cond; if_true; if_false; _ } ->
+          if child = if_true && G.preds g if_true = [ bid ] then
+            assume ~kind_of env cond true
+          else if child = if_false && G.preds g if_false = [ bid ] then
+            assume ~kind_of env cond false
+          else env
+      | Jump _ | Return _ | Unreachable -> env
+    in
+    List.iter
+      (fun child -> visit (env_for_child child) child)
+      (Ir.Dom.children dom bid)
+  in
+  visit empty_env (G.entry g);
+  !changed
+
+let phase = Phase.make "condelim" run

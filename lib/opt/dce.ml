@@ -1,0 +1,52 @@
+(** Dead code elimination, as mark-and-sweep so that dead cyclic structures
+    (an unused induction variable: [i = phi(0, i+1)] where the add only
+    feeds the phi) are collected too.
+
+    Roots: side-effecting instructions and terminator inputs.  Allocations
+    count as effects here — removing a provably useless allocation is
+    escape analysis' job ({!Pea}), not DCE's. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let changed = ref (G.remove_unreachable_blocks g) in
+  let marked = Hashtbl.create 64 in
+  let worklist = Queue.create () in
+  let mark v =
+    if not (Hashtbl.mem marked v) then begin
+      Hashtbl.add marked v ();
+      Queue.add v worklist
+    end
+  in
+  G.iter_instrs g (fun i ->
+      if has_side_effect i.G.kind then mark i.G.ins_id);
+  G.iter_blocks g (fun b ->
+      match b.G.term with
+      | Return (Some v) -> mark v
+      | Branch { cond; _ } -> mark cond
+      | Jump _ | Return None | Unreachable -> ());
+  while not (Queue.is_empty worklist) do
+    let v = Queue.pop worklist in
+    List.iter mark (inputs_of_kind (G.kind g v))
+  done;
+  let dead =
+    G.fold_instrs g
+      (fun acc i ->
+        if Hashtbl.mem marked i.G.ins_id then acc else i.G.ins_id :: acc)
+      []
+  in
+  (* Clear inputs first so mutually-referencing dead instructions can be
+     removed, then delete. *)
+  List.iter (fun id -> G.set_kind g id (Const 0)) dead;
+  List.iter
+    (fun id ->
+      (* A dead phi sits in a phi list but now has kind Const 0; detach
+         explicitly before removal. *)
+      G.remove_instr g id)
+    dead;
+  if dead <> [] then changed := true;
+  !changed
+
+let phase = Phase.make "dce" run

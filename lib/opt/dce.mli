@@ -1,0 +1,11 @@
+(** Dead code elimination, as mark-and-sweep so that dead cyclic
+    structures (an unused induction variable: [i = phi(0, i+1)] where the
+    add only feeds the phi) are collected too.  Also removes unreachable
+    blocks.
+
+    Roots: side-effecting instructions and terminator inputs.  Allocations
+    count as effects here — removing a provably useless allocation is
+    escape analysis' job ({!Pea}), not DCE's. *)
+
+val run : Phase.ctx -> Ir.Graph.t -> bool
+val phase : Phase.t

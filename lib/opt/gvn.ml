@@ -1,0 +1,55 @@
+(** Dominator-scoped global value numbering: a pure instruction whose
+    (kind, operands) key already has a definition in a dominating block is
+    replaced by that definition.  Keys use canonicalized operand order for
+    commutative operators (the canonicalizer normalizes constants to the
+    right; GVN additionally sorts operands of commutative kinds). *)
+
+open Ir.Types
+module G = Ir.Graph
+
+(* A hashable key for a pure instruction. *)
+let key_of_kind kind =
+  match kind with
+  | Binop (((Add | Mul | And | Or | Xor) as op), a, b) ->
+      Binop (op, min a b, max a b)
+  | Cmp (op, a, b) when a > b -> Cmp (swap_cmp op, b, a)
+  | k -> k
+
+(* GVN candidates: pure and non-phi (phis are position-dependent).
+   Constants and parameters participate so that duplicated literals unify,
+   which in turn lets compound expressions over them match. *)
+let is_candidate = function
+  | Binop _ | Cmp _ | Neg _ | Not _ | Const _ | Null | Param _ -> true
+  | Phi _ | New _ | Load _ | Store _ | Load_global _ | Store_global _
+  | Call _ ->
+      false
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let dom = Ir.Dom.compute g in
+  let table : (instr_kind, value) Hashtbl.t = Hashtbl.create 64 in
+  let changed = ref false in
+  let rec visit bid =
+    let added = ref [] in
+    List.iter
+      (fun id ->
+        let kind = G.kind g id in
+        if is_candidate kind then begin
+          let key = key_of_kind kind in
+          match Hashtbl.find_opt table key with
+          | Some earlier ->
+              G.replace_uses g id ~by:earlier;
+              G.remove_instr g id;
+              changed := true
+          | None ->
+              Hashtbl.add table key id;
+              added := key :: !added
+        end)
+      (G.block_instrs g bid);
+    List.iter visit (Ir.Dom.children dom bid);
+    List.iter (Hashtbl.remove table) !added
+  in
+  visit (G.entry g);
+  !changed
+
+let phase = Phase.make "gvn" run

@@ -1,0 +1,44 @@
+(** Phase framework: every optimization is a function [ctx -> Graph.t ->
+    bool] (did it change anything?).  The context carries program
+    metadata (class layouts for scalar replacement) and a deterministic
+    work-unit counter — the compile-time proxy used by the evaluation
+    harness alongside wall-clock measurements. *)
+
+type ctx = {
+  program : Ir.Program.t option;
+      (** metadata for inter-procedural facts; [None] for lone graphs *)
+  mutable work : int;  (** deterministic compile-effort counter *)
+}
+
+let create ?program () = { program; work = 0 }
+
+(** Charge [n] work units (roughly: IR nodes examined). *)
+let charge ctx n = ctx.work <- ctx.work + n
+
+let charge_graph ctx g = charge ctx (Ir.Graph.live_instr_count g)
+
+type t = {
+  phase_name : string;
+  run : ctx -> Ir.Graph.t -> bool;
+}
+
+let make phase_name run = { phase_name; run }
+
+(** Run phases in order repeatedly until a full pass changes nothing (or
+    [max_rounds] is hit).  Returns true if any phase ever fired. *)
+let fixpoint ?(max_rounds = 8) phases ctx g =
+  let any = ref false in
+  let round = ref 0 in
+  let changed = ref true in
+  while !changed && !round < max_rounds do
+    incr round;
+    changed := false;
+    List.iter
+      (fun p ->
+        if p.run ctx g then begin
+          changed := true;
+          any := true
+        end)
+      phases
+  done;
+  !any

@@ -1,0 +1,30 @@
+(** Phase framework: every optimization is a function [ctx -> Graph.t ->
+    bool] (did it change anything?).  The context carries program
+    metadata (class layouts for scalar replacement) and a deterministic
+    work-unit counter — the compile-time proxy used by the evaluation
+    harness alongside wall-clock measurements. *)
+
+type ctx = {
+  program : Ir.Program.t option;
+      (** metadata for inter-procedural facts; [None] for lone graphs *)
+  mutable work : int;  (** deterministic compile-effort counter *)
+}
+
+val create : ?program:Ir.Program.t -> unit -> ctx
+
+(** Charge [n] work units (roughly: IR nodes examined). *)
+val charge : ctx -> int -> unit
+
+(** Charge one pass over the graph's live instructions. *)
+val charge_graph : ctx -> Ir.Graph.t -> unit
+
+type t = {
+  phase_name : string;
+  run : ctx -> Ir.Graph.t -> bool;
+}
+
+val make : string -> (ctx -> Ir.Graph.t -> bool) -> t
+
+(** Run phases in order repeatedly until a full pass changes nothing (or
+    [max_rounds] is hit).  Returns true if any phase ever fired. *)
+val fixpoint : ?max_rounds:int -> t list -> ctx -> Ir.Graph.t -> bool

@@ -1,0 +1,31 @@
+(** Standard optimization pipelines.
+
+    [baseline] is the paper's duplication-disabled configuration: all the
+    classic optimizations run, only DBDS is off.  The DBDS driver composes
+    the same phases after its duplication transformations. *)
+
+let all_phases =
+  [
+    Canonicalize.phase;
+    Simplify_cfg.phase;
+    Sccp.phase;
+    Gvn.phase;
+    Condelim.phase;
+    Readelim.phase;
+    Pea.phase;
+    Dce.phase;
+  ]
+
+(** Run the classic optimizations to a fixpoint on one graph.  [licm]
+    additionally enables loop-invariant code motion (off in the
+    calibrated evaluation plan — see {!Licm}). *)
+let optimize ?(max_rounds = 8) ?(licm = false) ctx g =
+  let phases = if licm then all_phases @ [ Licm.phase ] else all_phases in
+  Phase.fixpoint ~max_rounds phases ctx g
+
+(** Optimize every function of a program (baseline configuration). *)
+let optimize_program ?max_rounds ?licm program =
+  let ctx = Phase.create ~program () in
+  Ir.Program.iter_functions program (fun g ->
+      ignore (optimize ?max_rounds ?licm ctx g));
+  ctx

@@ -1,0 +1,19 @@
+(** Standard optimization pipelines.
+
+    The phase plan — canonicalize, CFG simplification, SCCP, GVN,
+    conditional elimination, read elimination, escape analysis, DCE,
+    iterated to a fixpoint — is the paper's {e baseline} configuration:
+    all the classic optimizations run, only DBDS is off.  The DBDS driver
+    composes the same phases after its duplication transformations. *)
+
+val all_phases : Phase.t list
+
+(** Run the classic optimizations to a fixpoint on one graph.  [licm]
+    additionally enables loop-invariant code motion (off in the
+    calibrated evaluation plan — see {!Licm}). *)
+val optimize : ?max_rounds:int -> ?licm:bool -> Phase.ctx -> Ir.Graph.t -> bool
+
+(** Optimize every function of a program (baseline configuration);
+    returns the context with the accumulated work units. *)
+val optimize_program :
+  ?max_rounds:int -> ?licm:bool -> Ir.Program.t -> Phase.ctx

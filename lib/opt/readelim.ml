@@ -1,0 +1,70 @@
+(** Read elimination (paper §2): replace a load that is fully redundant —
+    an available load or store of the same location dominates it with no
+    intervening kill — by the available value.
+
+    Availability is propagated along the dominator tree, but only into
+    children whose sole CFG predecessor is the current block (through a
+    merge, facts from one side would be unsound).  Partially redundant
+    reads therefore survive this phase — duplication promotes them to
+    fully redundant, which is exactly the paper's Listing 5/6 scenario. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+let class_fields ctx cls =
+  match ctx.Phase.program with
+  | None -> None
+  | Some p ->
+      Option.map
+        (fun c -> c.Ir.Program.fields)
+        (Ir.Program.find_class p cls)
+
+(** Process one block's instructions over an incoming state; applies
+    replacements.  Returns the outgoing state and whether anything
+    changed. *)
+let process_block ctx g bid st =
+  let changed = ref false in
+  let state = ref st in
+  List.iter
+    (fun id ->
+      if G.instr_exists g id then begin
+        let kind = G.kind g id in
+        let st', redundant = Memstate.transfer !state id kind in
+        (match redundant with
+        | Some v ->
+            G.replace_uses g id ~by:v;
+            G.remove_instr g id;
+            changed := true
+        | None -> ());
+        let st' =
+          match kind with
+          | New (cls, args) -> (
+              match class_fields ctx cls with
+              | Some fields -> Memstate.seed_new st' ~fields id args
+              | None -> st')
+          | _ -> st'
+        in
+        state := st'
+      end)
+    (G.block_instrs g bid);
+  (!state, !changed)
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let dom = Ir.Dom.compute g in
+  let changed = ref false in
+  let rec visit st bid =
+    let st_out, c = process_block ctx g bid st in
+    if c then changed := true;
+    List.iter
+      (fun child ->
+        let st_in =
+          if G.preds g child = [ bid ] then st_out else Memstate.empty
+        in
+        visit st_in child)
+      (Ir.Dom.children dom bid)
+  in
+  visit Memstate.empty (G.entry g);
+  !changed
+
+let phase = Phase.make "readelim" run

@@ -1,0 +1,237 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck).
+
+    Runs the classic two-worklist algorithm over the CFG and SSA edges:
+    values live in the lattice Top → Const → Bottom, branch conditions
+    that evaluate to lattice constants keep their dead successor edge
+    non-executable, and phis meet only over executable incoming edges.
+    This catches what the per-instruction canonicalizer cannot: constants
+    threaded through cycles and through branches whose direction is
+    itself determined by constants.
+
+    The transformation step replaces lattice-constant instructions with
+    [Const] nodes and folds decided branches; unreachable blocks are then
+    swept by the CFG simplifier / DCE. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+type lattice = Top | Cint of int | Cnull | Bottom
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Cint m, Cint n when m = n -> a
+  | Cnull, Cnull -> Cnull
+  | _ -> Bottom
+
+let equal_lattice a b =
+  match (a, b) with
+  | Top, Top | Cnull, Cnull | Bottom, Bottom -> true
+  | Cint m, Cint n -> m = n
+  | _ -> false
+
+(* Evaluate one instruction over the lattice. *)
+let eval_kind value kind =
+  match kind with
+  | Const n -> Cint n
+  | Null -> Cnull
+  | Param _ | New _ | Load _ | Store _ | Load_global _ | Store_global _
+  | Call _ ->
+      Bottom
+  | Neg a -> (
+      match value a with
+      | Cint n -> Cint (-n)
+      | Top -> Top
+      | Cnull | Bottom -> Bottom)
+  | Not a -> (
+      match value a with
+      | Cint n -> Cint (if n = 0 then 1 else 0)
+      | Top -> Top
+      | Cnull | Bottom -> Bottom)
+  | Binop (op, a, b) -> (
+      match (value a, value b) with
+      | Cint x, Cint y -> Cint (eval_binop op x y)
+      | Top, _ | _, Top -> Top
+      | _ -> Bottom)
+  | Cmp (op, a, b) -> (
+      match (value a, value b) with
+      | Cint x, Cint y -> Cint (eval_cmp op x y)
+      | Cnull, Cnull -> (
+          match op with
+          | Eq -> Cint 1
+          | Ne -> Cint 0
+          | Lt | Le | Gt | Ge -> Bottom)
+      | Top, _ | _, Top -> Top
+      | _ -> Bottom)
+  | Phi _ -> assert false (* handled separately: depends on edges *)
+
+type state = {
+  g : G.t;
+  value : lattice array;
+  edge_executable : (block_id * block_id, unit) Hashtbl.t;
+  block_visited : (block_id, unit) Hashtbl.t;
+  flow_worklist : (block_id * block_id) Queue.t;
+  ssa_worklist : value Queue.t;
+}
+
+let lattice_of st v = st.value.(v)
+
+let set_value st v l =
+  if not (equal_lattice st.value.(v) l) then begin
+    st.value.(v) <- l;
+    Queue.add v st.ssa_worklist
+  end
+
+let edge_is_executable st p s = Hashtbl.mem st.edge_executable (p, s)
+
+let eval_phi st phi =
+  let bid = G.block_of st.g phi in
+  match G.kind st.g phi with
+  | Phi inputs ->
+      let preds = G.preds st.g bid in
+      let l = ref Top in
+      List.iteri
+        (fun i p ->
+          if edge_is_executable st p bid then
+            l := meet !l (lattice_of st inputs.(i)))
+        preds;
+      set_value st phi !l
+  | _ -> assert false
+
+let eval_instr st id =
+  match G.kind st.g id with
+  | Phi _ -> eval_phi st id
+  | k -> set_value st id (eval_kind (lattice_of st) k)
+
+let eval_terminator st bid =
+  match G.term st.g bid with
+  | Jump t -> Queue.add (bid, t) st.flow_worklist
+  | Branch { cond; if_true; if_false; _ } -> (
+      match lattice_of st cond with
+      | Cint 0 -> Queue.add (bid, if_false) st.flow_worklist
+      | Cint _ -> Queue.add (bid, if_true) st.flow_worklist
+      | Cnull ->
+          (* null is falsy in the interpreter; a type-checked program
+             never branches on a reference, stay conservative. *)
+          Queue.add (bid, if_true) st.flow_worklist;
+          Queue.add (bid, if_false) st.flow_worklist
+      | Top -> () (* not yet known: wait for more information *)
+      | Bottom ->
+          Queue.add (bid, if_true) st.flow_worklist;
+          Queue.add (bid, if_false) st.flow_worklist)
+  | Return _ | Unreachable -> ()
+
+let analyze g =
+  let st =
+    {
+      g;
+      value = Array.make g.G.n_instrs Top;
+      edge_executable = Hashtbl.create 32;
+      block_visited = Hashtbl.create 16;
+      flow_worklist = Queue.create ();
+      ssa_worklist = Queue.create ();
+    }
+  in
+  (* Parameters and effects are Bottom from the start. *)
+  G.iter_instrs g (fun i ->
+      match i.G.kind with
+      | Param _ | New _ | Load _ | Store _ | Load_global _ | Store_global _
+      | Call _ ->
+          st.value.(i.G.ins_id) <- Bottom
+      | _ -> ());
+  let entry = G.entry g in
+  Hashtbl.replace st.block_visited entry ();
+  List.iter (fun id -> eval_instr st id) (G.block_instrs g entry);
+  eval_terminator st entry;
+  let process_block bid =
+    List.iter (fun id -> eval_instr st id) (G.block_instrs g bid);
+    eval_terminator st bid
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    while not (Queue.is_empty st.flow_worklist) do
+      continue_ := true;
+      let p, s = Queue.pop st.flow_worklist in
+      if not (edge_is_executable st p s) then begin
+        Hashtbl.replace st.edge_executable (p, s) ();
+        (* A newly executable edge re-evaluates the target's phis (their
+           meet now includes this edge). *)
+        List.iter (fun phi -> eval_phi st phi) (G.block g s).G.phis;
+        if not (Hashtbl.mem st.block_visited s) then begin
+          Hashtbl.replace st.block_visited s ();
+          process_block s
+        end
+      end
+    done;
+    while not (Queue.is_empty st.ssa_worklist) do
+      continue_ := true;
+      let v = Queue.pop st.ssa_worklist in
+      List.iter
+        (fun user ->
+          match user with
+          | G.U_instr u ->
+              if Hashtbl.mem st.block_visited (G.block_of g u) then
+                eval_instr st u
+          | G.U_term bid ->
+              if Hashtbl.mem st.block_visited bid then eval_terminator st bid)
+        (G.uses g v)
+    done
+  done;
+  st
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let st = analyze g in
+  let changed = ref false in
+  let mk_const = Canonicalize.materialize_const g in
+  (* Replace lattice constants.  A phi cannot simply change kind (it
+     lives in the block's phi list); its uses are redirected to a
+     materialized constant instead and DCE collects it. *)
+  G.iter_instrs g (fun i ->
+      let id = i.G.ins_id in
+      (* Constants materialized during this very loop have no lattice
+         entry (and need none). *)
+      if
+        id < Array.length st.value
+        && G.instr_exists g id
+        && Hashtbl.mem st.block_visited (G.block_of g id)
+      then
+        match (st.value.(id), i.G.kind) with
+        | Cint n, Phi _ ->
+            let c = mk_const n in
+            if G.uses g id <> [] then begin
+              G.replace_uses g id ~by:c;
+              changed := true
+            end
+        | Cint n, kind when is_pure kind && kind <> Const n ->
+            G.set_kind g id (Const n);
+            changed := true
+        | Cnull, kind when is_pure kind && kind <> Null && (match kind with Phi _ -> false | _ -> true) ->
+            G.set_kind g id Null;
+            changed := true
+        | _ -> ());
+  (* Fold branches whose direction the analysis decided.  A condition
+     may just have been redirected to a freshly materialized constant
+     (no lattice entry): read the constant directly in that case. *)
+  let cond_value c =
+    if c < Array.length st.value then st.value.(c)
+    else match G.kind g c with Const n -> Cint n | _ -> Bottom
+  in
+  G.iter_blocks g (fun b ->
+      if Hashtbl.mem st.block_visited b.G.blk_id then
+        match b.G.term with
+        | Branch { cond; if_true; if_false; _ } -> (
+            match cond_value cond with
+            | Cint 0 ->
+                G.set_term g b.G.blk_id (Jump if_false);
+                changed := true
+            | Cint _ ->
+                G.set_term g b.G.blk_id (Jump if_true);
+                changed := true
+            | Top | Cnull | Bottom -> ())
+        | Jump _ | Return _ | Unreachable -> ());
+  if !changed then ignore (G.remove_unreachable_blocks g);
+  !changed
+
+let phase = Phase.make "sccp" run

@@ -1,0 +1,8 @@
+(** Control-flow simplification: fold branches on constants, remove
+    unreachable blocks, collapse single-predecessor phis, and merge
+    straight-line block pairs.  Runs after duplication to clean up
+    degenerate shapes (a merge block left with one predecessor, dead
+    branches revealed by folding). *)
+
+val run : Phase.ctx -> Ir.Graph.t -> bool
+val phase : Phase.t

@@ -1,0 +1,450 @@
+(** The Java-DaCapo-like suite (reproduces Figure 5).
+
+    The paper finds Java workloads benefit least from duplication (geomean
+    +0.99% peak performance; jython ~+3%, luindex ~+4%, most others flat;
+    dupalot's geomean is slightly negative at ~4x the code growth).
+    Accordingly, each program couples a realistic hot kernel (hashing,
+    scanning, dispatch — the "neutral" cycles that dominate real Java
+    iterations) with at most one duplication-unlockable pattern, plus cold
+    {e bait} merges: joins whose tails are bulky but offer only token
+    benefit, which dupalot duplicates (paying code size and compile time)
+    while the DBDS trade-off declines. *)
+
+open Suite
+
+(* avrora: a microcontroller simulator — dispatch merges with no
+   optimizable tails; DBDS finds nothing, dupalot buys dead weight. *)
+let avrora =
+  bench ~name:"avrora" ~args:[| 3000 |]
+    ~description:"interrupt-driven state machine, no unlockable tails"
+    {|
+    global int cycles;
+    global int sreg;
+    int main(int n) {
+      int seed = 12345;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 1103515245 + 12345) & 1048575;
+        int op = seed & 15;
+        int r;
+        if (op < 6) @0.4 { r = acc + 3; } else {
+          if (op < 10) @0.45 { r = acc ^ 21; } else {
+            if (op < 13) @0.6 { r = acc - 7; } else { r = acc * 3; }
+          }
+        }
+        acc = (r + seed % 251) & 16777215;
+        cycles = cycles + acc % 101;
+        if (seed % 128 == 0) @0.008 {
+          int m;
+          if (seed % 256 == 0) @0.5 { m = 0; } else { m = 5; }
+          int z1 = acc ^ m;
+          int z2 = z1 * 13 % 257;
+          int z3 = z2 + z1 * 29 % 127;
+          int z4 = z3 ^ (z2 * 7 + 5) % 511;
+          int z5 = z4 + z3 * 11 % 61;
+          sreg = sreg + z5 % 31;
+        }
+        i = i + 1;
+      }
+      return acc + sreg + cycles % 7;
+    }
+    |}
+
+(* batik: vector rasterization — fixed-point blending with constants
+   strength reduction cannot touch; two cold baits. *)
+let batik =
+  bench ~name:"batik" ~args:[| 2500 |]
+    ~description:"fixed-point rasterizer, awkward constants, two baits"
+    {|
+    global int coverage;
+    global int spans;
+    int main(int n) {
+      int x = 17;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        x = (x * 29 + 111) % 65521;
+        int alpha = x % 255;
+        int blended = (x % 256 * alpha + acc % 256 * (255 - alpha)) / 255;
+        acc = (acc + blended + x % 739) & 16777215;
+        coverage = coverage + blended % 97;
+        if (x % 96 == 0) @0.01 {
+          int m;
+          if (x % 192 == 0) @0.5 { m = 0; } else { m = 2; }
+          int z1 = acc + m;
+          int z2 = z1 * 23 % 509;
+          int z3 = z2 ^ (z1 * 17 + 3) % 251;
+          int z4 = z3 + z2 * 19 % 113;
+          spans = spans + z4 % 29;
+        }
+        if (x % 144 == 0) @0.007 {
+          int q;
+          if (x % 288 == 0) @0.5 { q = 0; } else { q = 7; }
+          int y1 = coverage ^ q;
+          int y2 = y1 * 31 % 241;
+          int y3 = y2 + y1 * 37 % 199;
+          int y4 = y3 ^ (y2 * 5 + 11) % 83;
+          spans = spans + y4 % 23;
+        }
+        i = i + 1;
+      }
+      return acc + coverage % 13 + spans;
+    }
+    |}
+
+(* fop: line breaking — a justification pass per line (the neutral bulk)
+   and a divisor that merges as phi(2, k) on a quarter of the lines. *)
+let fop =
+  bench ~name:"fop" ~args:[| 900 |]
+    ~description:"line breaker; occasional division by phi(2, k)"
+    {|
+    global int lines;
+    int main(int n) {
+      int w = 400;
+      int acc = 0;
+      int checksum = 7;
+      int i = 0;
+      while (i < n) @0.999 {
+        w = (w * 31 + 7) & 1023;
+        /* justify: per-word glue computation (neutral) */
+        int k = 0;
+        while (k < 9) @0.89 {
+          checksum = (checksum * 2654435761 + w + k) & 1048575;
+          checksum = checksum + w % 641;
+          k = k + 1;
+        }
+        /* hyphenation splits every 4th line; divisor is 2 when the
+           break is even (the duplication opportunity) */
+        if (w % 4 == 0) @0.25 {
+          int divisor;
+          if (w % 32 < 28) @0.87 { divisor = 2; } else { divisor = w % 7 + 3; }
+          acc = (acc + w / divisor) & 16777215;
+        }
+        if (w % 64 == 0) @0.015 {
+          int m;
+          if (w % 128 == 0) @0.5 { m = 0; } else { m = 3; }
+          int z1 = acc ^ m;
+          int z2 = z1 * 13 % 257;
+          int z3 = z2 + z1 * 29 % 127;
+          int z4 = z3 ^ (z2 * 7 + 5) % 511;
+          int z5 = z4 + z3 * 11 % 61;
+          lines = lines + z5 % 31;
+        }
+        i = i + 1;
+      }
+      return acc + checksum % 1000 + lines;
+    }
+    |}
+
+(* h2: an in-memory row scan — loads dominate, nothing duplicable. *)
+let h2 =
+  bench ~name:"h2" ~args:[| 500 |]
+    ~description:"row-store scan with predicate, load-bound"
+    {|
+    class Row { int key; int value; Row next; }
+    global int matches;
+    int main(int n) {
+      Row head = null;
+      int seed = 7;
+      int i = 0;
+      while (i < n) @0.99 {
+        seed = (seed * 137 + 31) & 8191;
+        head = new Row(seed, i, head);
+        i = i + 1;
+      }
+      int total = 0;
+      int q = 0;
+      while (q < 12) @0.9 {
+        int lo = q * 512;
+        Row cur = head;
+        while (cur != null) @0.97 {
+          int k = cur.key;
+          if (k >= lo) @0.5 {
+            if (k <= lo + 900) @0.4 { total = total + cur.value; matches = matches + 1; }
+          }
+          if (k % 2048 == 0) @0.004 {
+            int m;
+            if (k % 4096 == 0) @0.5 { m = 0; } else { m = 9; }
+            int z1 = total ^ m;
+            int z2 = z1 * 43 % 337;
+            int z3 = z2 + z1 * 7 % 149;
+            int z4 = z3 ^ (z2 * 3 + 2) % 73;
+            matches = matches + z4 % 11;
+          }
+          cur = cur.next;
+        }
+        q = q + 1;
+      }
+      return total + matches % 17;
+    }
+    |}
+
+(* jython: a bytecode interpreter — operands are boxed per instruction
+   and merge through a phi; the hot opcode unboxes after duplication. *)
+let jython =
+  bench ~name:"jython" ~args:[| 1200 |]
+    ~description:"interpreter dispatch with boxed operands"
+    {|
+    class Cell { int tag; int payload; }
+    global int heat;
+    int main(int n) {
+      int seed = 99;
+      int tos = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 75 + 74) & 65535;
+        /* frame bookkeeping (neutral) */
+        int pc = 0;
+        while (pc < 6) @0.84 {
+          tos = (tos + seed % 919) & 1048575;
+          tos = tos ^ (tos >> 5) % 433;
+          pc = pc + 1;
+        }
+        /* operand fetch: boxed; hot opcodes use a unit operand */
+        Cell operand;
+        if (seed % 8 < 7) @0.87 { operand = new Cell(0, 1); } else { operand = new Cell(seed % 7, seed & 63); }
+        int t = operand.tag;
+        if (t == 0) @0.87 { tos = tos + operand.payload; } else { tos = tos - operand.payload; }
+        /* stack maintenance after the dispatch merge (neutral, gets
+           duplicated along with the opportunity) */
+        tos = (tos * 3 + seed % 127) & 1048575;
+        tos = tos ^ (tos >> 3) % 359;
+        tos = tos + (tos >> 7) % 241;
+        tos = (tos ^ seed % 179) & 1048575;
+        if (tos % 4096 == 0) @0.002 { heat = heat + 1; }
+        if (seed % 192 == 0) @0.006 {
+          int m;
+          if (seed % 384 == 0) @0.5 { m = 0; } else { m = 4; }
+          int z1 = tos + m;
+          int z2 = z1 * 21 % 419;
+          int z3 = z2 ^ (z1 * 9 + 1) % 211;
+          int z4 = z3 + z2 * 5 % 109;
+          heat = heat + z4 % 19;
+        }
+        i = i + 1;
+      }
+      return tos + heat;
+    }
+    |}
+
+(* luindex: text indexing — the Listing 5 shape (a partially redundant
+   field read made fully redundant by duplication) on the hot loop. *)
+let luindex =
+  bench ~name:"luindex" ~args:[| 2500 |]
+    ~description:"token indexer; partially redundant field reads"
+    {|
+    class Doc { int hash; int length; }
+    global Doc current;
+    global int indexed;
+    int main(int n) {
+      int seed = 3;
+      int acc = 0;
+      current = new Doc(0, 0);
+      Doc d = current;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 61 + 17) & 32767;
+        d.hash = seed * 31 % 7919;
+        d.length = seed % 40;
+        /* token normalization (neutral) */
+        acc = (acc + seed % 467) & 16777215;
+        acc = acc ^ (acc >> 4) % 131;
+        /* Read1 on the hot branch, Read2 after the merge (Listing 5) */
+        if (seed % 16 != 0) @0.93 {
+          indexed = indexed + d.hash;
+        } else {
+          indexed = indexed + 1;
+        }
+        acc = (acc + d.hash % 1024 + d.length) & 16777215;
+        i = i + 1;
+      }
+      return acc + indexed % 4093;
+    }
+    |}
+
+(* lusearch: query scoring — a rare division whose divisor merges as
+   phi(1, df); mostly neutral scoring arithmetic. *)
+let lusearch =
+  bench ~name:"lusearch" ~args:[| 1100 |]
+    ~description:"query scorer; rare division by phi(1, df)"
+    {|
+    global int hits;
+    int main(int n) {
+      int seed = 41;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 89 + 5) & 65535;
+        /* term frequency mix (neutral) */
+        int t = 0;
+        while (t < 7) @0.86 {
+          acc = (acc + seed % 827 + t * 3) & 33554431;
+          acc = acc ^ (acc >> 7) % 229;
+          t = t + 1;
+        }
+        /* idf normalization on every 8th term */
+        if (seed % 8 == 0) @0.125 {
+          int idf;
+          if (seed % 64 < 56) @0.88 { idf = 1; } else { idf = seed % 6 + 2; }
+          acc = (acc + (seed & 255) * 16 / idf) & 33554431;
+        }
+        if (acc % 8192 < 8) @0.001 { hits = hits + 1; }
+        if (seed % 160 == 0) @0.006 {
+          int m;
+          if (seed % 320 == 0) @0.5 { m = 0; } else { m = 6; }
+          int z1 = acc ^ m;
+          int z2 = z1 * 27 % 283;
+          int z3 = z2 + z1 * 15 % 131;
+          int z4 = z3 ^ (z2 * 7 + 9) % 67;
+          hits = hits + z4 % 13;
+        }
+        i = i + 1;
+      }
+      return acc + hits;
+    }
+    |}
+
+(* pmd: AST rule matcher — recursive tree walk (stays a real call);
+   merges are cold relative to the walk itself. *)
+let pmd =
+  bench ~name:"pmd" ~args:[| 260 |]
+    ~description:"rule matcher over a binary tree, recursion-bound"
+    {|
+    class Node { int kind; Node left; Node right; }
+    global int violations;
+    Node build(int depth, int seed) {
+      if (depth <= 0) @0.3 { return null; }
+      return new Node(seed % 11, build(depth - 1, seed * 31 + 1), build(depth - 1, seed * 17 + 3));
+    }
+    int check(Node t) {
+      if (t == null) @0.3 { return 0; }
+      int k = t.kind;
+      if (k == 3) @0.2 { violations = violations + 1; }
+      int weight = k * 7 % 23;
+      return weight % 2 + check(t.left) + check(t.right);
+    }
+    int main(int n) {
+      int total = 0;
+      int i = 0;
+      while (i < n) @0.99 {
+        Node t = build(6, i * 7 + 1);
+        total = total + check(t);
+        if (total % 128 == 0) @0.008 {
+          int m;
+          if (total % 256 == 0) @0.5 { m = 0; } else { m = 5; }
+          int z1 = total ^ m;
+          int z2 = z1 * 19 % 313;
+          int z3 = z2 + z1 * 23 % 163;
+          int z4 = z3 ^ (z2 * 3 + 5) % 89;
+          violations = violations + z4 % 7;
+        }
+        i = i + 1;
+      }
+      return total + violations;
+    }
+    |}
+
+(* sunflow: a render kernel with two bulky alternating shading branches
+   joined by a merge whose tail holds a token opportunity — blanket
+   duplication inflates the hot working set for ~nothing. *)
+let sunflow =
+  bench ~name:"sunflow" ~args:[| 2200 |]
+    ~description:"alternating bulky shading branches, marginal merges"
+    {|
+    global int photons;
+    int main(int n) {
+      int seed = 1234;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 213 + 453) & 65535;
+        int c;
+        int bias;
+        if (i % 2 == 0) @0.5 {
+          int d1 = seed * 3 + 11;  int d2 = d1 ^ (seed >> 2);
+          int d3 = d2 * 5 % 8191;  int d4 = d3 + d1 % 97;
+          int d5 = d4 * 3 & 16383; int d6 = d5 - d2 % 29;
+          int d7 = d6 ^ d3;        int d8 = d7 + d4 % 53;
+          c = d8 & 8191; bias = 1;
+        } else {
+          int e1 = seed * 7 - 3;   int e2 = e1 ^ (seed >> 3);
+          int e3 = e2 * 9 % 8191;  int e4 = e3 + e1 % 89;
+          int e5 = e4 * 5 & 16383; int e6 = e5 - e2 % 31;
+          int e7 = e6 ^ e3;        int e8 = e7 + e4 % 59;
+          c = e8 & 8191; bias = 2;
+        }
+        /* absorbed rays take a cold shortcut whose merge tail is bulky
+           with token benefit — DBDS declines, dupalot duplicates */
+        if (seed % 80 == 0) @0.012 {
+          int m;
+          if (seed % 160 == 0) @0.5 { m = 0; } else { m = 3; }
+          int y1 = c ^ m;
+          int y2 = y1 * 41 % 349;
+          int y3 = y2 + y1 * 13 % 181;
+          int y4 = y3 ^ (y2 * 7 + 3) % 97;
+          int y5 = y4 + y3 * 5 % 59;
+          photons = photons + y5 % 11;
+        }
+        int t1 = c + bias;
+        int t2 = t1 * 13 % 2039;
+        int t3 = t2 ^ (t1 >> 4) % 227;
+        int t4 = t3 + t2 * 7 % 173;
+        int t5 = t4 ^ (t3 * 3 + 1) % 157;
+        int t6 = t5 + t4 % 139;
+        int t7 = t6 ^ t5 % 101;
+        acc = (acc + t7) & 16777215;
+        photons = photons + t7 % 7;
+        i = i + 1;
+      }
+      return acc + photons;
+    }
+    |}
+
+(* xalan: a transformation pipeline — duplication saves one global
+   reload on the hot path; everything else is neutral string math. *)
+let xalan =
+  bench ~name:"xalan" ~args:[| 2200 |]
+    ~description:"transform pipeline; one global reload saved"
+    {|
+    global int cache;
+    global int flushes;
+    int main(int n) {
+      int seed = 5;
+      int out = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 171 + 11) & 32767;
+        /* entity encoding (neutral) */
+        out = (out + seed % 769 + seed % 83) & 33554431;
+        out = out ^ (out >> 6) % 311;
+        /* cache update: the hot arm stores, the tail reloads */
+        if (seed % 128 != 0) @0.95 {
+          cache = cache + (seed & 511);
+        } else {
+          cache = 0;
+          flushes = flushes + 1;
+        }
+        out = (out + cache % 1021) & 33554431;
+        if (seed % 224 == 0) @0.005 {
+          int m;
+          if (seed % 448 == 0) @0.5 { m = 0; } else { m = 8; }
+          int z1 = out ^ m;
+          int z2 = z1 * 33 % 467;
+          int z3 = z2 + z1 * 11 % 239;
+          int z4 = z3 ^ (z2 * 5 + 7) % 127;
+          flushes = flushes + z4 % 17;
+        }
+        i = i + 1;
+      }
+      return out + flushes;
+    }
+    |}
+
+let suite =
+  {
+    suite_name = "Java DaCapo";
+    figure = "Figure 5";
+    benchmarks =
+      [ avrora; batik; fop; h2; jython; luindex; lusearch; pmd; sunflow; xalan ];
+  }

@@ -1,0 +1,5 @@
+(** One of the four synthetic benchmark suites; see {!Suite} and
+    DESIGN.md §2 for the substitution rationale, and the module's .ml for
+    the per-benchmark design notes. *)
+
+val suite : Suite.t

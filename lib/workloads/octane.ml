@@ -1,0 +1,770 @@
+(** The JavaScript-Octane-like suite (reproduces Figure 8).
+
+    Octane stresses JIT compilation of dynamic-language idioms:
+    megamorphic dispatch, boxed numbers, global mutable state and large
+    generated bodies.  The paper reports the biggest DBDS wins here
+    (geomean +8.81%) and its cautionary tale: under dupalot, raytrace
+    loses ~15% against the baseline.  The [raytrace] program reconstructs
+    that mechanism exactly: its hot merge tails are bulky (~140 cost-model
+    bytes) with token benefit, so the DBDS trade-off ([b x p x 256 > c])
+    declines them while dupalot duplicates every one — pushing the hot
+    working set past the simulated instruction cache and onto the LRU
+    cliff. *)
+
+open Suite
+
+(* box2d: physics step; the inverse-mass divisor merges as phi(2, m). *)
+let box2d =
+  bench ~name:"box2d" ~args:[| 2000 |]
+    ~description:"impulse solver; hot division by phi(2, mass)"
+    {|
+    global int contacts;
+    int main(int n) {
+      int seed = 44;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 59 + 3) & 16383;
+        /* broad-phase pair test (neutral) */
+        int bp = 0;
+        while (bp < 3) @0.72 {
+          acc = (acc + seed % 541 + bp * 7) & 33554431;
+          acc = acc ^ (acc >> 5) % 191;
+          bp = bp + 1;
+        }
+        int m;
+        if ((seed >> 6) % 16 != 0) @0.92 { m = 2; } else { m = seed % 9 + 3; }
+        int j = (seed & 511) * 3 / m;
+        acc = (acc + j) & 33554431;
+        if (j > 700) @0.1 { contacts = contacts + 1; }
+        if ((seed >> 9) % 96 == 0) @0.01 {
+          int bm;
+          if ((seed >> 12) % 2 == 0) @0.5 { bm = 0; } else { bm = 4; }
+          int b1 = acc ^ bm;
+          int b2 = b1 * 19 % 401;
+          int b3 = b2 + b1 * 7 % 197;
+          int b4 = b3 ^ (b2 * 3 + 5) % 103;
+          contacts = contacts + b4 % 7;
+        }
+        i = i + 1;
+      }
+      return acc + contacts;
+    }
+    |}
+
+(* code-load: many small functions each holding one merge — a swarm of
+   small candidates; compile-time pressure, little peak payoff. *)
+let code_load =
+  bench ~name:"code-load" ~args:[| 1200 |]
+    ~description:"many small compilation units with one merge each"
+    {|
+    global int loaded;
+    int u1(int x) { int r; if (x % 2 == 0) @0.6 { r = x + 1; } else { r = x - 1; } return r * 2 + x % 89; }
+    int u2(int x) { int r; if (x % 3 == 0) @0.4 { r = x ^ 5; } else { r = x + 5; } return (r & 4095) + x % 97; }
+    int u3(int x) { int r; if (x % 5 == 0) @0.3 { r = x * 3; } else { r = x / 3; } return r + 7 + x % 61; }
+    int u4(int x) { int r; if (x % 7 == 0) @0.2 { r = x << 1; } else { r = x >> 1; } return (r ^ 9) + x % 53; }
+    int u5(int x) { int r; if (x > 512) @0.5 { r = x - 512; } else { r = x + 512; } return r % 771 + x % 43; }
+    int u6(int x) { int r; if (x % 4 == 1) @0.3 { r = x * 5; } else { r = x + 3; } return (r & 8191) + x % 37; }
+    int u7(int x) { int r; if (x % 9 == 0) @0.15 { r = 0; } else { r = x; } return r + 11 + x % 29; }
+    int u8(int x) { int r; if (x % 11 == 0) @0.1 { r = x % 13; } else { r = x % 17; } return r * 4 + x % 23; }
+    int main(int n) {
+      int seed = 21;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 101 + 33) & 16383;
+        acc = (acc + u1(seed) + u2(seed) + u3(seed) + u4(seed)
+               + u5(seed) + u6(seed) + u7(seed) + u8(seed)) & 33554431;
+        loaded = loaded + 1;
+        i = i + 1;
+      }
+      return acc + loaded;
+    }
+    |}
+
+(* deltablue: constraint propagation; the strength tag is re-tested after
+   the planning merge (conditional elimination). *)
+let deltablue =
+  bench ~name:"deltablue" ~args:[| 1800 |]
+    ~description:"constraint planner re-testing strength tags"
+    {|
+    global int satisfied;
+    int main(int n) {
+      int seed = 66;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 85 + 27) & 65535;
+        /* plan walk (neutral) */
+        int pw = 0;
+        while (pw < 2) @0.63 {
+          acc = (acc + seed % 613 + pw) & 33554431;
+          acc = acc ^ (acc >> 4) % 283;
+          pw = pw + 1;
+        }
+        int strength;
+        if ((seed >> 5) % 8 < 6) @0.8 { strength = 0; } else { strength = seed % 3 + 1; }
+        int out;
+        if (strength == 0) @0.8 { out = acc + 1; } else { out = acc * strength % 4093; }
+        int walk = out / (strength + 2);
+        if (strength == 0) @0.8 { satisfied = satisfied + 1; }
+        acc = (out + walk) & 33554431;
+        i = i + 1;
+      }
+      return acc + satisfied;
+    }
+    |}
+
+(* earley-boyer: symbolic rewriting with boxed cons cells escaping only
+   through the merge phi. *)
+let earley_boyer =
+  bench ~name:"earley-boyer" ~args:[| 1600 |]
+    ~description:"term rewriter over boxed cons cells"
+    {|
+    class Cons { int head; int tail_hash; }
+    global int rewrites;
+    int main(int n) {
+      int seed = 71;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 113 + 9) & 32767;
+        /* memo-table probe (neutral) */
+        int mp = 0;
+        while (mp < 3) @0.72 {
+          acc = (acc + seed % 677 + mp * 5) & 16777215;
+          acc = acc ^ (acc >> 6) % 239;
+          mp = mp + 1;
+        }
+        Cons c;
+        if ((seed >> 3) % 4 != 3) @0.75 { c = new Cons(seed & 255, 0); } else { c = new Cons(seed & 63, seed >> 6); }
+        int h;
+        if (c.tail_hash == 0) @0.75 { h = c.head * 2 + 1; } else { h = c.head * 31 + c.tail_hash; }
+        acc = (acc + h % 2011) & 16777215;
+        acc = acc + (acc >> 4) % 127;
+        acc = (acc ^ seed % 53) & 16777215;
+        acc = acc + (acc >> 7) % 117;
+        acc = (acc ^ (seed + 9) % 87) & 16777215;
+        acc = acc + (acc >> 2) % 63;
+        rewrites = rewrites + 1;
+        i = i + 1;
+      }
+      return acc + rewrites;
+    }
+    |}
+
+(* gameboy: emulator core; flags recomputed through a merge then
+   re-tested (CE plus read elimination of the flags global). *)
+let gameboy =
+  bench ~name:"gameboy" ~args:[| 1800 |]
+    ~description:"CPU emulation with flag recomputation"
+    {|
+    global int flags;
+    global int frames;
+    int main(int n) {
+      int seed = 83;
+      int a = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 69 + 37) & 65535;
+        /* memory-mapped fetch (neutral) */
+        int mf = 0;
+        while (mf < 2) @0.63 {
+          a = (a + seed % 491 + mf) & 1048575;
+          a = a ^ (a >> 3) % 217;
+          mf = mf + 1;
+        }
+        int op = (seed >> 4) & 15;
+        if (op % 4 == 0) @0.7 { a = a + 1; flags = 0; } else { a = a - op % 4; flags = 1; }
+        if (flags == 0) @0.7 {
+          a = a & 255;
+        } else {
+          a = a & 127;
+          if (a == 0) @0.01 { frames = frames + 1; }
+        }
+        a = a + (a >> 4) % 131;
+        a = (a ^ seed % 67) & 1048575;
+        i = i + 1;
+      }
+      return a + frames;
+    }
+    |}
+
+(* mandreel: compiled-from-C++ numeric kernel; wide integer math with
+   nothing for DBDS (flat), one bait for dupalot. *)
+let mandreel =
+  bench ~name:"mandreel" ~args:[| 2000 |]
+    ~description:"flat numeric kernel, one bait"
+    {|
+    global int iterations;
+    int main(int n) {
+      int seed = 101;
+      int z = 1;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 53 + 79) & 1048575;
+        int zr = z & 1023;
+        int zi = z >> 10 & 1023;
+        int r2 = zr * zr % 4093;
+        int i2 = zi * zi % 4093;
+        int cross = zr * zi % 2039;
+        z = (r2 - i2 + (seed & 255) + cross * 2) & 1048575;
+        iterations = iterations + 1;
+        if ((seed >> 10) % 128 == 0) @0.008 {
+          int bm;
+          if ((seed >> 14) % 2 == 0) @0.5 { bm = 0; } else { bm = 6; }
+          int b1 = z ^ bm;
+          int b2 = b1 * 21 % 433;
+          int b3 = b2 + b1 * 9 % 201;
+          int b4 = b3 ^ (b2 * 5 + 7) % 107;
+          iterations = iterations + b4 % 5;
+        }
+        i = i + 1;
+      }
+      return z + iterations;
+    }
+    |}
+
+(* navier-stokes: stencil indexing; the grid stride merges as phi(32, s)
+   feeding div and mod on the hot path — the suite's big winner. *)
+let navier_stokes =
+  bench ~name:"navier-stokes" ~args:[| 2000 |]
+    ~description:"stencil indexing; hot div+mod by phi(32, s)"
+    {|
+    global int cells;
+    int main(int n) {
+      int seed = 7;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 201 + 129) & 65535;
+        /* velocity diffusion (neutral) */
+        int vd = 0;
+        while (vd < 3) @0.72 {
+          acc = (acc + seed % 463 + vd * 3) & 33554431;
+          acc = acc ^ (acc >> 4) % 181;
+          vd = vd + 1;
+        }
+        int stride;
+        if ((seed >> 7) % 16 != 0) @0.93 { stride = 32; } else { stride = seed % 7 + 30; }
+        int pos = seed & 4095;
+        int row = pos / stride;
+        int col = pos % stride;
+        acc = (acc + row * 64 + col) & 33554431;
+        cells = cells + 1;
+        i = i + 1;
+      }
+      return acc + cells;
+    }
+    |}
+
+(* pdfjs: stream decoding with boxed span descriptors. *)
+let pdfjs =
+  bench ~name:"pdfjs" ~args:[| 1700 |]
+    ~description:"span decoder with boxed descriptors"
+    {|
+    class Span { int offset; int len; }
+    global int decoded;
+    int main(int n) {
+      int seed = 37;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 149 + 57) & 32767;
+        /* huffman-table lookup (neutral) */
+        int hl = 0;
+        while (hl < 3) @0.72 {
+          acc = (acc + seed % 587 + hl * 3) & 16777215;
+          acc = acc ^ (acc >> 5) % 263;
+          hl = hl + 1;
+        }
+        Span sp;
+        if ((seed >> 4) % 8 < 7) @0.88 { sp = new Span(seed & 1023, 4); } else { sp = new Span(seed & 255, seed % 9 + 1); }
+        int end_ = sp.offset + sp.len;
+        acc = (acc + end_ * 2 + sp.len / 4) & 16777215;
+        acc = acc + (acc >> 5) % 119;
+        acc = (acc ^ seed % 41) & 16777215;
+        decoded = decoded + 1;
+        i = i + 1;
+      }
+      return acc + decoded;
+    }
+    |}
+
+(* raytrace: THE dupalot cautionary tale (see module comment).  Two
+   alternating bulky shading branches merge into fat tone-mapping tails
+   whose first operation folds on one predecessor (benefit ~1 cycle).
+   b x p x 256 < c, so DBDS declines; dupalot duplicates both constructs,
+   and the duplicated hot code overflows the i-cache. *)
+let raytrace =
+  bench ~name:"raytrace" ~args:[| 2000 |]
+    ~description:"bulky shading tails; dupalot blows the i-cache"
+    {|
+    global int bounces;
+    int main(int n) {
+      int seed = 55;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 97 + 43) & 65535;
+        /* shading stage 1: two material arms, fat tone-mapping tail */
+        int c1;
+        int m1;
+        if ((seed >> 2) % 16 < 7) @0.45 {
+          int ta1 = seed * 3 + 7;
+          int ta2 = ta1 ^ (seed >> 2);
+          int ta3 = ta2 * 3 % 8191;
+          c1 = ta3 & 8191; m1 = 0;
+        } else {
+          int tb1 = seed * 5 - 7;
+          int tb2 = tb1 ^ (seed >> 3);
+          int tb3 = tb2 * 7 % 8191;
+          c1 = tb3 & 8191; m1 = 1;
+        }
+        int t1 = c1 ^ m1;
+        int t2 = t1 ^ (t1 + 5);
+        int t3 = t2 + (t1 >> 1);
+        int t4 = t3 + t2 * 11 % 139;
+        int t5 = t4 + (t3 >> 3);
+        int t6 = t5 ^ (t4 + 5);
+        int t7 = t6 + (t5 >> 2);
+        int t8 = t7 + t6 * 7 % 79;
+        int t9 = t8 + (t7 >> 1);
+        int t10 = t9 ^ (t8 + 5);
+        int t11 = t10 + (t9 >> 3);
+        int t12 = t11 + t10 * 3 % 61;
+        int t13 = t12 + (t11 >> 2);
+        int t14 = t13 ^ (t12 + 5);
+        int t15 = t14 + (t13 >> 1);
+        int t16 = t15 + t14 * 11 % 227;
+        int t17 = t16 + (t15 >> 3);
+        int t18 = t17 ^ (t16 + 5);
+        int t19 = t18 + (t17 >> 2);
+        int t20 = t19 + t18 * 7 % 101;
+        int t21 = t20 + (t19 >> 1);
+        int t22 = t21 ^ (t20 + 5);
+        int t23 = t22 + (t21 >> 3);
+        int t24 = t23 + t22 * 3 % 73;
+        int t25 = t24 + (t23 >> 2);
+        int t26 = t25 ^ (t24 + 5);
+        int t27 = t26 + (t25 >> 1);
+        int t28 = t27 + t26 * 11 % 59;
+        int t29 = t28 + (t27 >> 3);
+        int t30 = t29 ^ (t28 + 5);
+        int t31 = t30 + (t29 >> 2);
+        int t32 = t31 + t30 * 7 % 173;
+        int t33 = t32 + (t31 >> 1);
+        int t34 = t33 ^ (t32 + 5);
+        int t35 = t34 + (t33 >> 3);
+        int t36 = t35 + t34 * 3 % 97;
+        int t37 = t36 + (t35 >> 2);
+        int t38 = t37 ^ (t36 + 5);
+        int t39 = t38 + (t37 >> 1);
+        int t40 = t39 + t38 * 11 % 71;
+        int t41 = t40 + (t39 >> 3);
+        int t42 = t41 ^ (t40 + 5);
+        int t43 = t42 + (t41 >> 2);
+        int t44 = t43 + t42 * 7 % 53;
+        int t45 = t44 + (t43 >> 1);
+        int t46 = t45 ^ (t44 + 5);
+        int t47 = t46 + (t45 >> 3);
+        int t48 = t47 + t46 * 3 % 157;
+        acc = (acc + t48) & 16777215;
+        /* shading stage 2: two material arms, fat tone-mapping tail */
+        int c2;
+        int m2;
+        if ((seed >> 5) % 16 < 7) @0.45 {
+          int ua1 = seed * 7 + 13;
+          int ua2 = ua1 ^ (seed >> 3);
+          int ua3 = ua2 * 7 % 8191;
+          c2 = ua3 & 8191; m2 = 0;
+        } else {
+          int ub1 = seed * 9 - 13;
+          int ub2 = ub1 ^ (seed >> 4);
+          int ub3 = ub2 * 11 % 8191;
+          c2 = ub3 & 8191; m2 = 2;
+        }
+        int u1 = c2 ^ m2;
+        int u2 = u1 ^ (u1 + 5);
+        int u3 = u2 + (u1 >> 1);
+        int u4 = u3 + u2 * 11 % 137;
+        int u5 = u4 + (u3 >> 3);
+        int u6 = u5 ^ (u4 + 5);
+        int u7 = u6 + (u5 >> 2);
+        int u8 = u7 + u6 * 7 % 73;
+        int u9 = u8 + (u7 >> 1);
+        int u10 = u9 ^ (u8 + 5);
+        int u11 = u10 + (u9 >> 3);
+        int u12 = u11 + u10 * 3 % 59;
+        int u13 = u12 + (u11 >> 2);
+        int u14 = u13 ^ (u12 + 5);
+        int u15 = u14 + (u13 >> 1);
+        int u16 = u15 + u14 * 11 % 229;
+        int u17 = u16 + (u15 >> 3);
+        int u18 = u17 ^ (u16 + 5);
+        int u19 = u18 + (u17 >> 2);
+        int u20 = u19 + u18 * 7 % 109;
+        int u21 = u20 + (u19 >> 1);
+        int u22 = u21 ^ (u20 + 5);
+        int u23 = u22 + (u21 >> 3);
+        int u24 = u23 + u22 * 3 % 71;
+        int u25 = u24 + (u23 >> 2);
+        int u26 = u25 ^ (u24 + 5);
+        int u27 = u26 + (u25 >> 1);
+        int u28 = u27 + u26 * 11 % 53;
+        int u29 = u28 + (u27 >> 3);
+        int u30 = u29 ^ (u28 + 5);
+        int u31 = u30 + (u29 >> 2);
+        int u32 = u31 + u30 * 7 % 181;
+        int u33 = u32 + (u31 >> 1);
+        int u34 = u33 ^ (u32 + 5);
+        int u35 = u34 + (u33 >> 3);
+        int u36 = u35 + u34 * 3 % 103;
+        int u37 = u36 + (u35 >> 2);
+        int u38 = u37 ^ (u36 + 5);
+        int u39 = u38 + (u37 >> 1);
+        int u40 = u39 + u38 * 11 % 67;
+        int u41 = u40 + (u39 >> 3);
+        int u42 = u41 ^ (u40 + 5);
+        int u43 = u42 + (u41 >> 2);
+        int u44 = u43 + u42 * 7 % 47;
+        int u45 = u44 + (u43 >> 1);
+        int u46 = u45 ^ (u44 + 5);
+        int u47 = u46 + (u45 >> 3);
+        int u48 = u47 + u46 * 3 % 151;
+        acc = (acc + u48) & 16777215;
+        /* shading stage 3: two material arms, fat tone-mapping tail */
+        int c3;
+        int m3;
+        if ((seed >> 8) % 16 < 7) @0.45 {
+          int va1 = seed * 11 + 19;
+          int va2 = va1 ^ (seed >> 4);
+          int va3 = va2 * 11 % 8191;
+          c3 = va3 & 8191; m3 = 0;
+        } else {
+          int vb1 = seed * 13 - 19;
+          int vb2 = vb1 ^ (seed >> 5);
+          int vb3 = vb2 * 15 % 8191;
+          c3 = vb3 & 8191; m3 = 3;
+        }
+        int v1 = c3 ^ m3;
+        int v2 = v1 ^ (v1 + 5);
+        int v3 = v2 + (v1 >> 1);
+        int v4 = v3 + v2 * 11 % 131;
+        int v5 = v4 + (v3 >> 3);
+        int v6 = v5 ^ (v4 + 5);
+        int v7 = v6 + (v5 >> 2);
+        int v8 = v7 + v6 * 7 % 71;
+        int v9 = v8 + (v7 >> 1);
+        int v10 = v9 ^ (v8 + 5);
+        int v11 = v10 + (v9 >> 3);
+        int v12 = v11 + v10 * 3 % 51;
+        int v13 = v12 + (v11 >> 2);
+        int v14 = v13 ^ (v12 + 5);
+        int v15 = v14 + (v13 >> 1);
+        int v16 = v15 + v14 * 11 % 251;
+        int v17 = v16 + (v15 >> 3);
+        int v18 = v17 ^ (v16 + 5);
+        int v19 = v18 + (v17 >> 2);
+        int v20 = v19 + v18 * 7 % 113;
+        int v21 = v20 + (v19 >> 1);
+        int v22 = v21 ^ (v20 + 5);
+        int v23 = v22 + (v21 >> 3);
+        int v24 = v23 + v22 * 3 % 69;
+        int v25 = v24 + (v23 >> 2);
+        int v26 = v25 ^ (v24 + 5);
+        int v27 = v26 + (v25 >> 1);
+        int v28 = v27 + v26 * 11 % 49;
+        int v29 = v28 + (v27 >> 3);
+        int v30 = v29 ^ (v28 + 5);
+        int v31 = v30 + (v29 >> 2);
+        int v32 = v31 + v30 * 7 % 167;
+        int v33 = v32 + (v31 >> 1);
+        int v34 = v33 ^ (v32 + 5);
+        int v35 = v34 + (v33 >> 3);
+        int v36 = v35 + v34 * 3 % 107;
+        int v37 = v36 + (v35 >> 2);
+        int v38 = v37 ^ (v36 + 5);
+        int v39 = v38 + (v37 >> 1);
+        int v40 = v39 + v38 * 11 % 63;
+        int v41 = v40 + (v39 >> 3);
+        int v42 = v41 ^ (v40 + 5);
+        int v43 = v42 + (v41 >> 2);
+        int v44 = v43 + v42 * 7 % 45;
+        int v45 = v44 + (v43 >> 1);
+        int v46 = v45 ^ (v44 + 5);
+        int v47 = v46 + (v45 >> 3);
+        int v48 = v47 + v46 * 3 % 149;
+        acc = (acc + v48) & 16777215;
+        /* shading stage 4: two material arms, fat tone-mapping tail */
+        int c4;
+        int m4;
+        if ((seed >> 11) % 16 < 7) @0.45 {
+          int wa1 = seed * 13 + 23;
+          int wa2 = wa1 ^ (seed >> 5);
+          int wa3 = wa2 * 13 % 8191;
+          c4 = wa3 & 8191; m4 = 0;
+        } else {
+          int wb1 = seed * 15 - 23;
+          int wb2 = wb1 ^ (seed >> 6);
+          int wb3 = wb2 * 17 % 8191;
+          c4 = wb3 & 8191; m4 = 4;
+        }
+        int w1 = c4 ^ m4;
+        int w2 = w1 ^ (w1 + 5);
+        int w3 = w2 + (w1 >> 1);
+        int w4 = w3 + w2 * 11 % 127;
+        int w5 = w4 + (w3 >> 3);
+        int w6 = w5 ^ (w4 + 5);
+        int w7 = w6 + (w5 >> 2);
+        int w8 = w7 + w6 * 7 % 77;
+        int w9 = w8 + (w7 >> 1);
+        int w10 = w9 ^ (w8 + 5);
+        int w11 = w10 + (w9 >> 3);
+        int w12 = w11 + w10 * 3 % 55;
+        int w13 = w12 + (w11 >> 2);
+        int w14 = w13 ^ (w12 + 5);
+        int w15 = w14 + (w13 >> 1);
+        int w16 = w15 + w14 * 11 % 241;
+        int w17 = w16 + (w15 >> 3);
+        int w18 = w17 ^ (w16 + 5);
+        int w19 = w18 + (w17 >> 2);
+        int w20 = w19 + w18 * 7 % 117;
+        int w21 = w20 + (w19 >> 1);
+        int w22 = w21 ^ (w20 + 5);
+        int w23 = w22 + (w21 >> 3);
+        int w24 = w23 + w22 * 3 % 75;
+        int w25 = w24 + (w23 >> 2);
+        int w26 = w25 ^ (w24 + 5);
+        int w27 = w26 + (w25 >> 1);
+        int w28 = w27 + w26 * 11 % 51;
+        int w29 = w28 + (w27 >> 3);
+        int w30 = w29 ^ (w28 + 5);
+        int w31 = w30 + (w29 >> 2);
+        int w32 = w31 + w30 * 7 % 163;
+        int w33 = w32 + (w31 >> 1);
+        int w34 = w33 ^ (w32 + 5);
+        int w35 = w34 + (w33 >> 3);
+        int w36 = w35 + w34 * 3 % 111;
+        int w37 = w36 + (w35 >> 2);
+        int w38 = w37 ^ (w36 + 5);
+        int w39 = w38 + (w37 >> 1);
+        int w40 = w39 + w38 * 11 % 69;
+        int w41 = w40 + (w39 >> 3);
+        int w42 = w41 ^ (w40 + 5);
+        int w43 = w42 + (w41 >> 2);
+        int w44 = w43 + w42 * 7 % 47;
+        int w45 = w44 + (w43 >> 1);
+        int w46 = w45 ^ (w44 + 5);
+        int w47 = w46 + (w45 >> 3);
+        int w48 = w47 + w46 * 3 % 143;
+        acc = (acc + w48) & 16777215;
+        bounces = bounces + 1;
+        i = i + 1;
+      }
+      return acc + bounces;
+    }
+    |}
+
+(* regexp: NFA state machine; transition merges carry no optimizable
+   tail (flat), one bait. *)
+let regexp =
+  bench ~name:"regexp" ~args:[| 2000 |]
+    ~description:"state machine transitions, flat, one bait"
+    {|
+    global int matches;
+    int main(int n) {
+      int seed = 63;
+      int state = 0;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 91 + 17) & 32767;
+        int ch = (seed >> 5) & 255;
+        int next;
+        if (state == 0) @0.5 {
+          if (ch % 4 == 0) @0.25 { next = 1; } else { next = 0; }
+        } else {
+          if (ch % 4 == 3) @0.25 { next = 2; } else { next = state; }
+        }
+        if (next == 2) @0.1 { matches = matches + 1; next = 0; }
+        state = next;
+        acc = (acc + ch % 211) & 16777215;
+        if ((seed >> 8) % 112 == 0) @0.009 {
+          int bm;
+          if ((seed >> 12) % 2 == 0) @0.5 { bm = 0; } else { bm = 3; }
+          int b1 = acc ^ bm;
+          int b2 = b1 * 25 % 389;
+          int b3 = b2 + b1 * 11 % 193;
+          int b4 = b3 ^ (b2 * 7 + 1) % 99;
+          matches = matches + b4 % 7;
+        }
+        i = i + 1;
+      }
+      return state + acc + matches;
+    }
+    |}
+
+(* richards: OS task scheduler; the picked task is a boxed record and
+   the hot idle task unboxes after duplication. *)
+let richards =
+  bench ~name:"richards" ~args:[| 1800 |]
+    ~description:"task scheduler with boxed task records"
+    {|
+    class Task { int kind; int work; }
+    global int scheduled;
+    int main(int n) {
+      int seed = 47;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 139 + 61) & 32767;
+        /* queue rotation (neutral) */
+        int qr = 0;
+        while (qr < 3) @0.72 {
+          acc = (acc + seed % 449 + qr) & 16777215;
+          acc = acc ^ (acc >> 4) % 179;
+          qr = qr + 1;
+        }
+        Task t;
+        if ((seed >> 6) % 8 < 6) @0.8 { t = new Task(0, 1); } else { t = new Task(seed % 3 + 1, seed & 31); }
+        int k = t.kind;
+        int r;
+        if (k == 0) @0.8 { r = t.work; } else { r = t.work * k + 2; }
+        acc = (acc + r) & 16777215;
+        acc = acc + (acc >> 6) % 109;
+        acc = (acc ^ seed % 47) & 16777215;
+        acc = acc + (acc >> 3) % 101;
+        acc = (acc ^ (seed + 11) % 77) & 16777215;
+        acc = acc + (acc >> 9) % 57;
+        scheduled = scheduled + 1;
+        i = i + 1;
+      }
+      return acc + scheduled;
+    }
+    |}
+
+(* splay: binary-tree insert/lookup — recursion and pointer chasing
+   dominate; flat for duplication. *)
+let splay =
+  bench ~name:"splay" ~args:[| 420 |]
+    ~description:"binary tree insert/lookup, pointer-chasing"
+    {|
+    class N { int key; N left; N right; }
+    global int depth_sum;
+    N insert(N t, int k) {
+      if (t == null) @0.2 { return new N(k, null, null); }
+      if (k < t.key) @0.5 {
+        return new N(t.key, insert(t.left, k), t.right);
+      }
+      return new N(t.key, t.left, insert(t.right, k));
+    }
+    int lookup(N t, int k) {
+      int d = 0;
+      N cur = t;
+      while (cur != null) @0.8 {
+        if (cur.key == k) @0.15 { depth_sum = depth_sum + d; return d; }
+        if (k < cur.key) @0.5 { cur = cur.left; } else { cur = cur.right; }
+        d = d + 1;
+      }
+      return d;
+    }
+    int main(int n) {
+      N root = null;
+      int seed = 1;
+      int i = 0;
+      while (i < n) @0.99 {
+        seed = (seed * 167 + 19) & 2047;
+        root = insert(root, seed);
+        i = i + 1;
+      }
+      int acc = 0;
+      int q = 0;
+      while (q < n) @0.99 {
+        acc = acc + lookup(root, q * 31 & 2047);
+        q = q + 1;
+      }
+      return acc + depth_sum;
+    }
+    |}
+
+(* typescript: parser with a warm token merge (precedence phi is 4 on
+   the hot path) and a deep cold error ladder. *)
+let typescript =
+  bench ~name:"typescript" ~args:[| 1800 |]
+    ~description:"parser with warm precedence merge, cold error ladder"
+    {|
+    global int errors;
+    global int nodes;
+    int main(int n) {
+      int seed = 121;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 157 + 83) & 32767;
+        /* scanner (neutral) */
+        int sc = 0;
+        while (sc < 2) @0.63 {
+          acc = (acc + seed % 509 + sc * 5) & 33554431;
+          acc = acc ^ (acc >> 3) % 139;
+          sc = sc + 1;
+        }
+        int prec;
+        if ((seed >> 6) % 8 != 0) @0.9 { prec = 4; } else { prec = seed % 5 + 1; }
+        int node = (seed & 1023) * prec + (seed & 1023) / prec;
+        acc = (acc + node % 4099) & 33554431;
+        nodes = nodes + 1;
+        if (node % 4096 == 17) @0.001 {
+          if (seed % 2 == 0) { errors = errors + 1; } else { errors = errors + 2; }
+        }
+        i = i + 1;
+      }
+      return acc + nodes + errors;
+    }
+    |}
+
+(* zlib: bit-twiddling inflate loop — already shift/mask-optimal (flat),
+   one bait. *)
+let zlib =
+  bench ~name:"zlib" ~args:[| 2200 |]
+    ~description:"bit-level decoder, already optimal, one bait"
+    {|
+    global int windows;
+    int main(int n) {
+      int seed = 89;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 205 + 111) & 1048575;
+        int sym = seed & 511;
+        int extra = seed >> 9 & 7;
+        int len = (sym >> 3) + (extra << 2);
+        int dist = (sym & 7) * 33;
+        acc = (acc + len * 8 + dist + seed % 311) & 33554431;
+        windows = windows + 1;
+        if ((seed >> 12) % 104 == 0) @0.01 {
+          int bm;
+          if ((seed >> 16) % 2 == 0) @0.5 { bm = 0; } else { bm = 7; }
+          int b1 = acc + bm;
+          int b2 = b1 * 27 % 373;
+          int b3 = b2 ^ (b1 * 13 + 3) % 191;
+          int b4 = b3 + b2 * 5 % 101;
+          windows = windows + b4 % 9;
+        }
+        i = i + 1;
+      }
+      return acc + windows;
+    }
+    |}
+
+let suite =
+  {
+    suite_name = "JS Octane";
+    figure = "Figure 8";
+    benchmarks =
+      [
+        box2d; code_load; deltablue; earley_boyer; gameboy; mandreel;
+        navier_stokes; pdfjs; raytrace; regexp; richards; splay; typescript;
+        zlib;
+      ];
+  }

@@ -1,0 +1,201 @@
+(** Random program generator for differential testing.
+
+    Generates well-typed source programs that terminate by construction:
+    loops only use the bounded-counter pattern, and calls only target
+    previously generated helpers (no recursion).  Determinism comes from
+    the seed, so failures reproduce.
+
+    The generated shapes are biased toward what DBDS cares about: merges
+    carrying phis (if/else assigning the same variable, short-circuit
+    conditions), constants flowing into one side of a merge, field
+    accesses on objects that may or may not escape, and global
+    loads/stores around calls. *)
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable int_vars : string list;
+  mutable obj_vars : string list;
+  mutable fresh : int;
+  helpers : string list;  (** callable (already fully generated) helpers *)
+}
+
+let rnd ctx n = Random.State.int ctx.rng n
+let chance ctx p = Random.State.float ctx.rng 1.0 < p
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let fresh ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+let pick ctx = function
+  | [] -> None
+  | l -> Some (List.nth l (rnd ctx (List.length l)))
+
+(* ---- expressions ---- *)
+
+let rec int_expr ctx depth =
+  if depth <= 0 || chance ctx 0.35 then leaf ctx
+  else
+    match rnd ctx 8 with
+    | 0 -> Printf.sprintf "(%s + %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
+    | 1 -> Printf.sprintf "(%s - %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
+    | 2 -> Printf.sprintf "(%s * %s)" (int_expr ctx (depth - 1)) (leaf ctx)
+    | 3 -> Printf.sprintf "(%s / %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
+    | 4 -> Printf.sprintf "(%s %% %s)" (int_expr ctx (depth - 1)) (int_expr ctx (depth - 1))
+    | 5 -> Printf.sprintf "(%s ^ %s)" (int_expr ctx (depth - 1)) (leaf ctx)
+    | 6 -> (
+        match pick ctx ctx.obj_vars with
+        | Some o when chance ctx 0.8 ->
+            Printf.sprintf "(%s.%s + %s)" o
+              (if chance ctx 0.5 then "a" else "b")
+              (leaf ctx)
+        | _ -> Printf.sprintf "(%s >> %d)" (int_expr ctx (depth - 1)) (1 + rnd ctx 3))
+    | _ -> (
+        match pick ctx ctx.helpers with
+        | Some h when chance ctx 0.6 ->
+            Printf.sprintf "%s(%s, %s)" h (int_expr ctx (depth - 1)) (leaf ctx)
+        | _ -> leaf ctx)
+
+and leaf ctx =
+  match rnd ctx 4 with
+  | 0 -> string_of_int (rnd ctx 64 - 16)
+  | 1 | 2 -> (
+      match pick ctx ctx.int_vars with
+      | Some v -> v
+      | None -> string_of_int (rnd ctx 8))
+  | _ ->
+      (* powers of two feed strength reduction *)
+      string_of_int (1 lsl rnd ctx 5)
+
+let rec bool_expr ctx depth =
+  if depth <= 0 || chance ctx 0.5 then
+    Printf.sprintf "%s %s %s" (int_expr ctx 1)
+      (List.nth [ "<"; "<="; ">"; ">="; "=="; "!=" ] (rnd ctx 6))
+      (int_expr ctx 1)
+  else
+    match rnd ctx 3 with
+    | 0 -> Printf.sprintf "(%s && %s)" (bool_expr ctx (depth - 1)) (bool_expr ctx (depth - 1))
+    | 1 -> Printf.sprintf "(%s || %s)" (bool_expr ctx (depth - 1)) (bool_expr ctx (depth - 1))
+    | _ -> Printf.sprintf "!(%s)" (bool_expr ctx (depth - 1))
+
+let prob_annot ctx =
+  if chance ctx 0.5 then
+    Printf.sprintf " @0.%d" (1 + rnd ctx 9)
+  else ""
+
+(* ---- statements ---- *)
+
+let rec stmts ctx depth budget =
+  let n = 2 + rnd ctx (max 1 (2 * budget)) in
+  for _ = 1 to n do
+    stmt ctx depth
+  done
+
+and branch_body ctx depth =
+  let saved_int = ctx.int_vars and saved_obj = ctx.obj_vars in
+  ctx.indent <- ctx.indent + 1;
+  stmts ctx (depth - 1) 2;
+  (* Phi pressure: re-assign a variable visible after the merge. *)
+  (match pick ctx saved_int with
+  | Some v when chance ctx 0.7 -> line ctx "%s = %s;" v (int_expr ctx 1)
+  | _ -> ());
+  if chance ctx 0.12 then line ctx "return %s;" (int_expr ctx 1);
+  ctx.indent <- ctx.indent - 1;
+  ctx.int_vars <- saved_int;
+  ctx.obj_vars <- saved_obj
+
+and stmt ctx depth =
+  match rnd ctx 12 with
+  | 0 | 1 ->
+      let v = fresh ctx "t" in
+      line ctx "int %s = %s;" v (int_expr ctx 2);
+      ctx.int_vars <- v :: ctx.int_vars
+  | 2 -> (
+      match pick ctx ctx.int_vars with
+      | Some v -> line ctx "%s = %s;" v (int_expr ctx 2)
+      | None ->
+          let v = fresh ctx "t" in
+          line ctx "int %s = %s;" v (int_expr ctx 2);
+          ctx.int_vars <- v :: ctx.int_vars)
+  | 3 | 4 | 5 when depth > 0 ->
+      (* if/else assigning the same variables: guaranteed phis. *)
+      line ctx "if (%s)%s {" (bool_expr ctx 1) (prob_annot ctx);
+      branch_body ctx depth;
+      if chance ctx 0.85 then begin
+        line ctx "} else {";
+        branch_body ctx depth
+      end;
+      line ctx "}"
+  | 6 when depth > 0 ->
+      (* bounded loop *)
+      let i = fresh ctx "i" in
+      let saved_int = ctx.int_vars and saved_obj = ctx.obj_vars in
+      line ctx "int %s = 0;" i;
+      line ctx "while (%s < %d)%s {" i (2 + rnd ctx 6) (prob_annot ctx);
+      ctx.indent <- ctx.indent + 1;
+      stmts ctx (depth - 1) 2;
+      line ctx "%s = %s + 1;" i i;
+      ctx.indent <- ctx.indent - 1;
+      ctx.int_vars <- saved_int;
+      ctx.obj_vars <- saved_obj;
+      line ctx "}";
+      ctx.int_vars <- i :: ctx.int_vars
+  | 7 ->
+      let o = fresh ctx "o" in
+      line ctx "Obj %s = new Obj(%s, %s);" o (int_expr ctx 1) (int_expr ctx 1);
+      ctx.obj_vars <- o :: ctx.obj_vars
+  | 8 -> (
+      match pick ctx ctx.obj_vars with
+      | Some o ->
+          line ctx "%s.%s = %s;" o
+            (if chance ctx 0.5 then "a" else "b")
+            (int_expr ctx 2)
+      | None -> line ctx "gs = %s;" (int_expr ctx 2))
+  | 9 -> line ctx "gs = gs + %s;" (int_expr ctx 1)
+  | _ -> (
+      match pick ctx ctx.int_vars with
+      | Some v -> line ctx "%s = %s + gs;" v (leaf ctx)
+      | None -> line ctx "gs = %s;" (leaf ctx))
+
+let gen_function ctx ~name ~depth =
+  line ctx "int %s(int x, int y) {" name;
+  ctx.indent <- ctx.indent + 1;
+  ctx.int_vars <- [ "x"; "y" ];
+  ctx.obj_vars <- [];
+  stmts ctx depth 5;
+  line ctx "return %s;" (int_expr ctx 2);
+  ctx.indent <- ctx.indent - 1;
+  line ctx "}"
+
+(** Generate a complete source program from a seed. *)
+let generate ?(n_helpers = 2) ?(depth = 3) ~seed () =
+  let ctx =
+    {
+      rng = Random.State.make [| seed |];
+      buf = Buffer.create 1024;
+      indent = 0;
+      int_vars = [];
+      obj_vars = [];
+      fresh = 0;
+      helpers = [];
+    }
+  in
+  line ctx "class Obj { int a; int b; }";
+  line ctx "global int gs;";
+  let helpers = ref [] in
+  for k = 1 to n_helpers do
+    let name = Printf.sprintf "helper%d" k in
+    gen_function { ctx with helpers = !helpers } ~name ~depth:(max 1 (depth - 1));
+    helpers := name :: !helpers
+  done;
+  gen_function { ctx with helpers = !helpers } ~name:"main" ~depth;
+  Buffer.contents ctx.buf

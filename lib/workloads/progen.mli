@@ -1,0 +1,17 @@
+(** Random program generator for differential testing.
+
+    Generates well-typed source programs that terminate by construction:
+    loops only use the bounded-counter pattern, and calls only target
+    previously generated helpers (no recursion).  Determinism comes from
+    the seed, so failures reproduce.
+
+    The generated shapes are biased toward what DBDS cares about: merges
+    carrying phis (if/else assigning the same variable, short-circuit
+    conditions), constants flowing into one side of a merge, field
+    accesses on objects that may or may not escape, and global
+    loads/stores around calls. *)
+
+(** Generate a complete source program from a seed.  [n_helpers]
+    callable helper functions (default 2) precede [main(int x, int y)];
+    [depth] bounds control-flow nesting (default 3). *)
+val generate : ?n_helpers:int -> ?depth:int -> seed:int -> unit -> string

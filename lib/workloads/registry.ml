@@ -1,0 +1,10 @@
+(** All benchmark suites, in paper order. *)
+
+let all : Suite.t list =
+  [ Dacapo.suite; Scala_dacapo.suite; Micro.suite; Octane.suite ]
+
+let find_suite name =
+  List.find_opt (fun s -> s.Suite.suite_name = name) all
+
+let total_benchmarks () =
+  List.fold_left (fun n s -> n + List.length s.Suite.benchmarks) 0 all

@@ -1,0 +1,5 @@
+(** All benchmark suites, in paper order (Figures 5–8). *)
+
+val all : Suite.t list
+val find_suite : string -> Suite.t option
+val total_benchmarks : unit -> int

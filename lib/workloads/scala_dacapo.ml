@@ -1,0 +1,455 @@
+(** The Scala-DaCapo-like suite (reproduces Figure 6).
+
+    Stadler et al. (cited by the paper) characterize Scala workloads by
+    heavier type-test chains and pervasive auto-boxing; the paper measures
+    a +3.15% geomean for DBDS (individual wins up to ~15%) with dupalot
+    slightly behind on peak but ~2.5x worse on compile time and ~4x on
+    code size.  Each program pairs a boxed-value or tag-dispatch
+    opportunity with neutral "business logic" cycles and cold bait
+    merges. *)
+
+open Suite
+
+(* actors: mailbox round-robin; messages are boxed and unboxed around a
+   merge — duplication unboxes the dominant message kind. *)
+let actors =
+  bench ~name:"actors" ~args:[| 1800 |]
+    ~description:"mailbox dispatch with boxed messages"
+    {|
+    class Msg { int kind; int body; }
+    global int delivered;
+    int main(int n) {
+      int seed = 11;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 97 + 3) & 65535;
+        /* routing-table hash (neutral) */
+        int route = seed % 577 + seed % 61;
+        route = route ^ (route >> 3) % 127;
+        route = route + seed % 409;
+        route = route ^ (seed >> 9) % 233;
+        acc = (acc + route + seed % 149) & 16777215;
+        /* boxed message through the merge */
+        Msg m;
+        if (seed % 16 < 14) @0.87 { m = new Msg(1, seed & 255); } else { m = new Msg(2, seed & 15); }
+        acc = (acc + seed % 193) & 16777215;
+        acc = acc ^ (acc >> 3) % 61;
+        acc = acc + (acc >> 6) % 107;
+        acc = (acc ^ seed % 59) & 16777215;
+        int k = m.kind;
+        int r;
+        if (k == 1) @0.87 { r = m.body + 7; } else { r = m.body * 3; }
+        acc = (acc + r + seed % 173) & 16777215;
+        delivered = delivered + 1;
+        if (seed % 176 == 0) @0.006 {
+          int b;
+          if (seed % 352 == 0) @0.5 { b = 0; } else { b = 3; }
+          int z1 = acc ^ b;
+          int z2 = z1 * 21 % 269;
+          int z3 = z2 + z1 * 13 % 151;
+          int z4 = z3 ^ (z2 * 5 + 3) % 79;
+          delivered = delivered + z4 % 9;
+        }
+        i = i + 1;
+      }
+      return acc + delivered;
+    }
+    |}
+
+(* apparat: bytecode rewriting — the operand stride merges as phi(4, w);
+   the hot path's div and mod both strength-reduce (the suite's biggest
+   winner, like the paper's ~15% outliers). *)
+let apparat =
+  bench ~name:"apparat" ~args:[| 1500 |]
+    ~description:"bytecode rewriter; hot div+mod by phi(4, w)"
+    {|
+    global int rewritten;
+    int main(int n) {
+      int seed = 23;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 51 + 13) & 65535;
+        /* instruction decode (neutral) */
+        int op = seed % 199 + (seed >> 7) % 43;
+        acc = (acc + op) & 33554431;
+        /* operand stride: 4 except for wide instructions */
+        int stride;
+        if (seed % 32 < 30) @0.92 { stride = 4; } else { stride = seed % 13 + 5; }
+        int slot = seed / stride;
+        int pad = seed % 7;
+        acc = (acc + slot % 1021 + pad * 16) & 33554431;
+        rewritten = rewritten + 1;
+        if (seed % 208 == 0) @0.005 {
+          int b;
+          if (seed % 416 == 0) @0.5 { b = 0; } else { b = 6; }
+          int z1 = acc + b;
+          int z2 = z1 * 17 % 431;
+          int z3 = z2 ^ (z1 * 7 + 11) % 223;
+          int z4 = z3 + z2 * 3 % 117;
+          rewritten = rewritten + z4 % 13;
+        }
+        i = i + 1;
+      }
+      return acc + rewritten;
+    }
+    |}
+
+(* factorie: factor-graph scoring; weights are boxed per factor and
+   escape only through the merge phi. *)
+let factorie =
+  bench ~name:"factorie" ~args:[| 1400 |]
+    ~description:"factor scoring with boxed weights"
+    {|
+    class Weight { int scale; int bias; }
+    global int updates;
+    int main(int n) {
+      int seed = 77;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 41 + 29) & 32767;
+        /* feature extraction (neutral) */
+        int f1 = seed % 883;
+        int f2 = (seed >> 5) % 419;
+        int fi = 0;
+        while (fi < 3) @0.72 {
+          acc = (acc + f1 % 211 + fi) & 16777215;
+          acc = acc ^ (acc >> 2) % 97;
+          fi = fi + 1;
+        }
+        acc = (acc + f1 + f2 * 3) & 16777215;
+        /* boxed weight through the merge */
+        Weight w;
+        if (seed % 8 != 0) @0.88 { w = new Weight(2, 1); } else { w = new Weight(seed % 5 + 1, seed & 7); }
+        acc = (acc + f2 % 139) & 16777215;
+        acc = acc ^ (acc >> 4) % 47;
+        int s = f1 * w.scale + w.bias;
+        acc = (acc + s % 4093) & 16777215;
+        if (s > 60000) @0.02 { updates = updates + 1; }
+        i = i + 1;
+      }
+      return acc + updates;
+    }
+    |}
+
+(* kiama: rewriting library — strategy tags re-tested after the
+   selection merge; modest win. *)
+let kiama =
+  bench ~name:"kiama" ~args:[| 1600 |]
+    ~description:"strategy rewriter with re-tested tags"
+    {|
+    global int rewrites;
+    int main(int n) {
+      int seed = 31;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 77 + 7) & 65535;
+        /* term traversal (neutral) */
+        int t = 0;
+        while (t < 5) @0.8 {
+          acc = (acc + seed % 709 + t) & 33554431;
+          acc = acc ^ (acc >> 5) % 271;
+          t = t + 1;
+        }
+        /* strategy selection, then a re-test of the selected tag */
+        int strat;
+        if (seed % 4 != 3) @0.7 { strat = 0; } else { strat = seed % 3 + 1; }
+        int out;
+        if (strat == 0) @0.7 { out = acc + 1; } else { out = acc - strat; }
+        if (strat == 0) @0.7 { rewrites = rewrites + 1; }
+        acc = out & 33554431;
+        i = i + 1;
+      }
+      return acc + rewrites;
+    }
+    |}
+
+(* scalac: symbol-table resolution — owner-chain walk with a re-read
+   hash field after a merge (read elimination). *)
+let scalac =
+  bench ~name:"scalac" ~args:[| 350 |]
+    ~description:"symbol table walk with re-read hash fields"
+    {|
+    class Sym { int hash; Sym owner; }
+    global int resolved;
+    int main(int n) {
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.99 {
+        /* build a fresh owner chain (neutral allocation churn) */
+        Sym cur = null;
+        int j = 0;
+        while (j < 8) @0.85 {
+          cur = new Sym((i * 31 + j * 7) & 8191, cur);
+          j = j + 1;
+        }
+        /* resolve: hash re-read after the parity merge */
+        int h = 0;
+        Sym s = cur;
+        while (s != null) @0.88 {
+          int k = s.hash;
+          h = (h + k % 487) & 16777215;
+          h = h ^ (h >> 6) % 269;
+          if (k % 2 == 0) @0.5 { h = h + k; } else { h = h ^ k; }
+          h = (h + s.hash % 64) & 16777215;
+          s = s.owner;
+        }
+        resolved = resolved + 1;
+        acc = (acc + h % 9973) & 16777215;
+        i = i + 1;
+      }
+      return acc + resolved;
+    }
+    |}
+
+(* scaladoc: comment formatter — only cold error merges; flat for DBDS,
+   two baits for dupalot. *)
+let scaladoc =
+  bench ~name:"scaladoc" ~args:[| 1700 |]
+    ~description:"formatter with cold error merges only"
+    {|
+    global int warnings;
+    int main(int n) {
+      int seed = 13;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 39 + 17) & 65535;
+        int width = seed * 29 % 173;
+        acc = (acc + width * 3 / 7 + seed % 239) & 16777215;
+        if (seed % 112 == 0) @0.009 {
+          int m;
+          if (seed % 224 == 0) @0.5 { m = 0; } else { m = 2; }
+          int z1 = acc ^ m;
+          int z2 = z1 * 23 % 503;
+          int z3 = z2 + z1 * 19 % 257;
+          int z4 = z3 ^ (z2 * 3 + 7) % 129;
+          warnings = warnings + z4 % 7;
+        }
+        if (seed % 240 == 0) @0.004 {
+          int q;
+          if (seed % 480 == 0) @0.5 { q = 0; } else { q = 9; }
+          int y1 = acc + q;
+          int y2 = y1 * 37 % 347;
+          int y3 = y2 ^ (y1 * 11 + 5) % 179;
+          int y4 = y3 + y2 * 7 % 89;
+          warnings = warnings + y4 % 5;
+        }
+        i = i + 1;
+      }
+      return acc + warnings;
+    }
+    |}
+
+(* scalap: classfile parsing — the hot constant-pool tag folds the
+   entry-size computation after duplication. *)
+let scalap =
+  bench ~name:"scalap" ~args:[| 1700 |]
+    ~description:"constant-pool parser with a hot tag"
+    {|
+    global int entries;
+    int main(int n) {
+      int seed = 19;
+      int total = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 67 + 41) & 65535;
+        /* signature checksum (neutral) */
+        total = (total + seed % 941 + seed % 89) & 33554431;
+        int tag;
+        if (seed % 16 < 13) @0.8 { tag = 1; } else { tag = seed % 9; }
+        int size;
+        if (tag == 1) @0.8 { size = 4; } else {
+          if (tag == 2) @0.5 { size = 8; } else { size = tag % 5 + 2; }
+        }
+        total = (total + size * 2 + size / 4) & 33554431;
+        entries = entries + 1;
+        i = i + 1;
+      }
+      return total + entries;
+    }
+    |}
+
+(* scalariform: pretty printer with boxed indentation contexts. *)
+let scalariform =
+  bench ~name:"scalariform" ~args:[| 1500 |]
+    ~description:"pretty printer, boxed indentation contexts"
+    {|
+    class Indent { int level; int tabstop; }
+    global int emitted;
+    int main(int n) {
+      int seed = 3;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 173 + 9) & 32767;
+        /* token measurement (neutral) */
+        int len = seed % 653 + (seed >> 4) % 47;
+        len = len + seed % 331;
+        len = len ^ (len >> 2) % 173;
+        acc = (acc + len) & 16777215;
+        /* boxed layout context through the merge */
+        Indent ind;
+        if (seed % 32 != 0) @0.95 { ind = new Indent(2, 8); } else { ind = new Indent(seed % 6, seed % 4 + 2); }
+        acc = (acc + len % 83) & 16777215;
+        acc = acc ^ (acc >> 5) % 29;
+        int col = ind.level * ind.tabstop + seed % 40;
+        acc = (acc + col) & 16777215;
+        emitted = emitted + 1;
+        if (seed % 144 == 0) @0.007 {
+          int b;
+          if (seed % 288 == 0) @0.5 { b = 0; } else { b = 4; }
+          int z1 = acc ^ b;
+          int z2 = z1 * 31 % 367;
+          int z3 = z2 + z1 * 9 % 191;
+          int z4 = z3 ^ (z2 * 5 + 1) % 101;
+          emitted = emitted + z4 % 11;
+        }
+        i = i + 1;
+      }
+      return acc + emitted;
+    }
+    |}
+
+(* scalatest: assertion engine; the passing path folds the severity
+   computation after duplication. *)
+let scalatest =
+  bench ~name:"scalatest" ~args:[| 1600 |]
+    ~description:"assertion engine, hot passing path folds"
+    {|
+    global int failures;
+    int main(int n) {
+      int seed = 29;
+      int passes = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 57 + 23) & 65535;
+        /* fixture setup (neutral) */
+        int v = (seed % 1023 + seed % 127) & 1023;
+        int fx = 0;
+        while (fx < 3) @0.72 {
+          passes = (passes + v % 421 + fx) & 33554431;
+          fx = fx + 1;
+        }
+        passes = (passes + v % 509) & 33554431;
+        int w;
+        if (seed % 64 < 62) @0.97 { w = v; } else { w = v + seed % 5 + 1; }
+        int delta;
+        if (v == w) @0.97 { delta = 0; } else { delta = v - w; failures = failures + 1; }
+        int severity = delta * delta + delta * 3;
+        passes = (passes + severity + 1) & 33554431;
+        i = i + 1;
+      }
+      return passes + failures;
+    }
+    |}
+
+(* scalaxb: XML binding — boxed attribute pairs feeding two field reads
+   after the merge. *)
+let scalaxb =
+  bench ~name:"scalaxb" ~args:[| 1500 |]
+    ~description:"XML binder with boxed attribute pairs"
+    {|
+    class Attr { int ns; int hash; }
+    global int bound;
+    int main(int n) {
+      int seed = 43;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 87 + 77) & 32767;
+        /* entity decode (neutral) */
+        acc = (acc + seed % 797 + (seed >> 6) % 53) & 16777215;
+        Attr a;
+        if (seed % 8 < 7) @0.87 { a = new Attr(0, seed & 511); } else { a = new Attr(seed % 3 + 1, seed & 127); }
+        acc = (acc + seed % 101) & 16777215;
+        acc = acc ^ (acc >> 7) % 37;
+        acc = acc + (acc >> 5) % 113;
+        acc = (acc ^ seed % 43) & 16777215;
+        int h;
+        if (a.ns == 0) @0.87 { h = a.hash * 2; } else { h = a.hash * 31 + a.ns; }
+        acc = (acc + h % 2039) & 16777215;
+        bound = bound + 1;
+        i = i + 1;
+      }
+      return acc + bound;
+    }
+    |}
+
+(* specs: behaviour specs; two warm chained merges with tiny benefit and
+   chunky tails — DBDS takes one, dupalot takes everything. *)
+let specs =
+  bench ~name:"specs" ~args:[| 1500 |]
+    ~description:"spec runner with marginal warm merges"
+    {|
+    global int examples;
+    int main(int n) {
+      int seed = 53;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 49 + 19) & 65535;
+        /* example bookkeeping (neutral) */
+        acc = (acc + seed % 617 + seed % 71) & 33554431;
+        int setup;
+        if (seed % 4 < 3) @0.75 { setup = 1; } else { setup = seed % 6 + 1; }
+        int body = (seed & 1023) * setup + seed % 9;
+        acc = (acc + body % 3067) & 33554431;
+        examples = examples + 1;
+        if (seed % 192 == 0) @0.005 {
+          int b;
+          if (seed % 384 == 0) @0.5 { b = 0; } else { b = 7; }
+          int z1 = acc ^ b;
+          int z2 = z1 * 27 % 311;
+          int z3 = z2 + z1 * 17 % 167;
+          int z4 = z3 ^ (z2 * 7 + 13) % 83;
+          examples = examples + z4 % 5;
+        }
+        i = i + 1;
+      }
+      return acc + examples;
+    }
+    |}
+
+(* tmt: topic modelling — the sampling normalizer merges as phi(16, z);
+   the hot division becomes a shift. *)
+let tmt =
+  bench ~name:"tmt" ~args:[| 1400 |]
+    ~description:"topic sampler; normalizer phi is 16 on the hot path"
+    {|
+    global int samples;
+    int main(int n) {
+      int seed = 61;
+      int acc = 0;
+      int i = 0;
+      while (i < n) @0.999 {
+        seed = (seed * 119 + 2) & 65535;
+        /* word-topic counts (neutral) */
+        int w = seed & 8191;
+        acc = (acc + w % 739 + (w >> 3) % 97) & 33554431;
+        if ((seed >> 8) % 4 == 0) @0.25 {
+          int norm;
+          if ((seed >> 6) % 16 != 15) @0.9 { norm = 16; } else { norm = w % 23 + 17; }
+          int p = w * w % 9973;
+          acc = (acc + p / norm) & 33554431;
+        }
+        samples = samples + 1;
+        i = i + 1;
+      }
+      return acc + samples;
+    }
+    |}
+
+let suite =
+  {
+    suite_name = "Scala DaCapo";
+    figure = "Figure 6";
+    benchmarks =
+      [
+        actors; apparat; factorie; kiama; scalac; scaladoc; scalap;
+        scalariform; scalatest; scalaxb; specs; tmt;
+      ];
+  }

@@ -1,0 +1,27 @@
+(** Benchmark suite definitions.
+
+    Each benchmark is a mini-language source program plus the interpreter
+    arguments that drive it.  The four suites mirror the paper's
+    evaluation sets (Java DaCapo, Scala DaCapo, Java/Scala micro
+    benchmarks, JavaScript Octane): we cannot run the real suites on a
+    simulated substrate, so each synthetic program is engineered around
+    the duplication-opportunity mix the paper attributes to its suite —
+    see DESIGN.md §2 for the substitution argument. *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  source : string;
+  args : int array;
+}
+
+type t = {
+  suite_name : string;
+  figure : string;  (** which paper figure this suite reproduces *)
+  benchmarks : benchmark list;
+}
+
+val find_benchmark : t -> string -> benchmark option
+
+val bench :
+  name:string -> description:string -> args:int array -> string -> benchmark

@@ -1,0 +1,42 @@
+(** Shared helpers for the test suites. *)
+
+let check_verifies g =
+  match Ir.Verifier.verify_result g with
+  | Ok () -> ()
+  | Error msg ->
+      Alcotest.failf "IR verification failed: %s\n%s" msg
+        (Ir.Printer.graph_to_string g)
+
+let check_program_verifies prog =
+  Ir.Program.iter_functions prog check_verifies
+
+(** Compile source text, failing the test on frontend errors. *)
+let compile src =
+  match Lang.Frontend.compile src with
+  | prog -> prog
+  | exception Lang.Frontend.Error msg -> Alcotest.failf "frontend: %s" msg
+
+(** Run a program's main on integer args, expecting an integer result. *)
+let run_int ?icache ?fuel prog args =
+  match Interp.Machine.run ?icache ?fuel prog ~args:(Array.of_list args) with
+  | Some (Interp.Machine.VInt n), _ -> n
+  | r, _ ->
+      Alcotest.failf "expected int result, got %s"
+        (Interp.Machine.result_to_string r)
+
+(** Run and also return the stats. *)
+let run_int_stats ?icache ?fuel prog args =
+  match Interp.Machine.run ?icache ?fuel prog ~args:(Array.of_list args) with
+  | Some (Interp.Machine.VInt n), stats -> (n, stats)
+  | r, _ ->
+      Alcotest.failf "expected int result, got %s"
+        (Interp.Machine.result_to_string r)
+
+(** Compile and run source on args. *)
+let eval ?icache ?fuel src args = run_int ?icache ?fuel (compile src) args
+
+let test name f = Alcotest.test_case name `Quick f
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

@@ -1,0 +1,168 @@
+(** Inliner tests: splicing correctness, recursion handling, limits,
+    and semantic preservation. *)
+
+open Helpers
+module G = Ir.Graph
+
+let inline_all prog =
+  let ctx = Opt.Phase.create ~program:prog () in
+  ignore (Opt.Inline.inline_program ctx prog);
+  check_program_verifies prog;
+  prog
+
+let call_count g =
+  G.fold_instrs g
+    (fun n i -> match i.G.kind with Ir.Types.Call _ -> n + 1 | _ -> n)
+    0
+
+let test_simple_inline () =
+  let prog =
+    compile
+      "int add1(int x) { return x + 1; } int main(int n) { return add1(add1(n)); }"
+  in
+  let prog = inline_all prog in
+  let main = Option.get (Ir.Program.find_function prog "main") in
+  Alcotest.(check int) "no calls left" 0 (call_count main);
+  Alcotest.(check int) "result" 7 (run_int prog [ 5 ])
+
+let test_inline_multi_return () =
+  let src =
+    {|
+    int sign(int x) {
+      if (x > 0) { return 1; }
+      if (x < 0) { return -1; }
+      return 0;
+    }
+    int main(int n) { return sign(n) * 100 + sign(-n); }
+    |}
+  in
+  let prog = inline_all (compile src) in
+  let main = Option.get (Ir.Program.find_function prog "main") in
+  Alcotest.(check int) "no calls left" 0 (call_count main);
+  Alcotest.(check int) "pos" 99 (run_int prog [ 5 ]);
+  Alcotest.(check int) "neg" (-99) (run_int prog [ -5 ]);
+  Alcotest.(check int) "zero" 0 (run_int prog [ 0 ])
+
+let test_inline_void_callee () =
+  let src =
+    {|
+    global int s;
+    void bump(int k) { s = s + k; }
+    int main(int n) { bump(n); bump(2 * n); return s; }
+    |}
+  in
+  let prog = inline_all (compile src) in
+  Alcotest.(check int) "effects preserved" 9 (run_int prog [ 3 ])
+
+let test_inline_in_loop () =
+  let src =
+    {|
+    int step(int acc, int i) {
+      if (i % 2 == 0) { return acc + i; }
+      return acc - 1;
+    }
+    int main(int n) {
+      int acc = 0;
+      int i = 0;
+      while (i < n) { acc = step(acc, i); i = i + 1; }
+      return acc;
+    }
+    |}
+  in
+  let prog = inline_all (compile src) in
+  let main = Option.get (Ir.Program.find_function prog "main") in
+  Alcotest.(check int) "no calls left" 0 (call_count main);
+  (* 0+0 -1 +2 -1 +4 -1 +6 -1 = 8 for n = 8 *)
+  Alcotest.(check int) "loop semantics" 8 (run_int prog [ 8 ])
+
+let test_recursion_not_inlined () =
+  let src = "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } int main(int n) { return fact(n); }" in
+  let prog = inline_all (compile src) in
+  let fact = Option.get (Ir.Program.find_function prog "fact") in
+  Alcotest.(check bool) "self-call survives" true (call_count fact >= 1);
+  Alcotest.(check int) "5! = 120" 120 (run_int prog [ 5 ])
+
+let test_mutual_recursion_safe () =
+  let src =
+    {|
+    int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+    int main(int n) { return is_even(n); }
+    |}
+  in
+  let prog = inline_all (compile src) in
+  Alcotest.(check int) "10 even" 1 (run_int prog [ 10 ]);
+  Alcotest.(check int) "7 odd" 0 (run_int prog [ 7 ])
+
+let test_caller_size_limit () =
+  let limits =
+    { Opt.Inline.default_limits with Opt.Inline.max_caller_size = 10 }
+  in
+  let prog =
+    compile
+      "int add1(int x) { return x + 1; } int main(int n) { return add1(n) + add1(n) + add1(n) + add1(n); }"
+  in
+  let ctx = Opt.Phase.create ~program:prog () in
+  ignore (Opt.Inline.inline_program ~limits ctx prog);
+  check_program_verifies prog;
+  let main = Option.get (Ir.Program.find_function prog "main") in
+  Alcotest.(check bool) "limit left calls in place" true (call_count main > 0);
+  Alcotest.(check int) "still correct" 24 (run_int prog [ 5 ])
+
+let test_inline_phis_in_callee () =
+  (* Callee with internal control flow and phis; inlined mid-block. *)
+  let src =
+    {|
+    int clamp(int x) {
+      int r;
+      if (x > 100) { r = 100; } else {
+        if (x < 0) { r = 0; } else { r = x; }
+      }
+      return r;
+    }
+    int main(int n) {
+      int a = clamp(n) * 2;
+      int b = clamp(n - 50);
+      return a + b;
+    }
+    |}
+  in
+  let prog = inline_all (compile src) in
+  Alcotest.(check int) "over" 300 (run_int prog [ 200 ]);
+  Alcotest.(check int) "mid" 130 (run_int prog [ 60 ]);
+  Alcotest.(check int) "under" 0 (run_int prog [ -4 ])
+
+let test_inline_argument_expressions () =
+  (* Arguments with side effects must be evaluated exactly once. *)
+  let src =
+    {|
+    global int calls;
+    int id(int x) { return x; }
+    int next() { calls = calls + 1; return calls; }
+    int main(int n) { return id(next()) + id(next()) * 10; }
+    |}
+  in
+  let prog = inline_all (compile src) in
+  Alcotest.(check int) "args evaluated once each" 21 (run_int prog [ 0 ])
+
+let test_inline_work_charged () =
+  let prog =
+    compile "int f(int x) { return x * 2; } int main(int n) { return f(n); }"
+  in
+  let ctx = Opt.Phase.create ~program:prog () in
+  ignore (Opt.Inline.inline_program ctx prog);
+  Alcotest.(check bool) "work charged" true (ctx.Opt.Phase.work > 0)
+
+let suite =
+  [
+    test "simple inline" test_simple_inline;
+    test "multi-return callee" test_inline_multi_return;
+    test "void callee" test_inline_void_callee;
+    test "inline inside loop" test_inline_in_loop;
+    test "recursion not inlined" test_recursion_not_inlined;
+    test "mutual recursion safe" test_mutual_recursion_safe;
+    test "caller size limit" test_caller_size_limit;
+    test "callee with phis" test_inline_phis_in_callee;
+    test "argument side effects" test_inline_argument_expressions;
+    test "work charged" test_inline_work_charged;
+  ]

@@ -1,0 +1,149 @@
+(** Interpreter tests: arithmetic semantics, objects, cost accounting and
+    the i-cache model. *)
+
+open Helpers
+module M = Interp.Machine
+
+let test_floor_division () =
+  let src = "int main(int a, int b) { return a / b; }" in
+  Alcotest.(check int) "7/2" 3 (eval src [ 7; 2 ]);
+  Alcotest.(check int) "-7/2 floors" (-4) (eval src [ -7; 2 ]);
+  Alcotest.(check int) "7/-2 floors" (-4) (eval src [ 7; -2 ]);
+  Alcotest.(check int) "-7/-2" 3 (eval src [ -7; -2 ]);
+  Alcotest.(check int) "x/0 = 0" 0 (eval src [ 42; 0 ])
+
+let test_floor_rem () =
+  let src = "int main(int a, int b) { return a % b; }" in
+  Alcotest.(check int) "7%2" 1 (eval src [ 7; 2 ]);
+  Alcotest.(check int) "-7%2 follows divisor" 1 (eval src [ -7; 2 ]);
+  Alcotest.(check int) "7%-2" (-1) (eval src [ 7; -2 ]);
+  Alcotest.(check int) "x%0 = 0" 0 (eval src [ 42; 0 ])
+
+let test_division_shift_equivalence () =
+  (* Floor division makes x / 2^k == x >> k for every x: the soundness
+     basis of the strength-reduction AC. *)
+  let div = "int main(int x) { return x / 8; }" in
+  let shr = "int main(int x) { return x >> 3; }" in
+  List.iter
+    (fun x ->
+      Alcotest.(check int)
+        (Printf.sprintf "x=%d" x)
+        (eval div [ x ]) (eval shr [ x ]))
+    [ 0; 1; 7; 8; 9; -1; -7; -8; -9; 1000001; -1000001 ]
+
+let test_shift_masking () =
+  let src = "int main(int a, int b) { return a << b; }" in
+  Alcotest.(check int) "shift by 64 masks to 0" 5 (eval src [ 5; 64 ]);
+  Alcotest.(check int) "shift by 1" 10 (eval src [ 5; 1 ])
+
+let test_null_dereference_faults () =
+  let src = "class A { int x; } int main() { A a = null; return a.x; }" in
+  match eval src [] with
+  | exception M.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected a runtime error"
+
+let test_reference_equality () =
+  let src =
+    {|
+    class A { int x; }
+    int main() {
+      A a = new A(1);
+      A b = new A(1);
+      A c = a;
+      int r = 0;
+      if (a == c) { r = r + 1; }
+      if (a != b) { r = r + 2; }
+      if (a != null) { r = r + 4; }
+      return r;
+    }
+    |}
+  in
+  Alcotest.(check int) "reference semantics" 7 (eval src [])
+
+let test_out_of_fuel () =
+  let src = "int main() { while (true) { } return 0; }" in
+  match eval ~fuel:1000 src [] with
+  | exception M.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_cycles_charged () =
+  let prog = compile "int main(int x) { return x / 3; }" in
+  let _, stats = run_int_stats ~icache:M.no_icache prog [ 9 ] in
+  (* param(0) + const(0?)… at minimum the division's 32 cycles. *)
+  Alcotest.(check bool) "division cost charged" true (stats.M.cycles >= 32.0)
+
+let test_cheaper_after_strength_reduction_shape () =
+  (* A shift-based function must charge fewer cycles than a div-based one
+     for the same result: the cost model orders them correctly. *)
+  let div_prog = compile "int main(int x) { return x / 8; }" in
+  let shr_prog = compile "int main(int x) { return x >> 3; }" in
+  let rd, sd = run_int_stats ~icache:M.no_icache div_prog [ 1024 ] in
+  let rs, ss = run_int_stats ~icache:M.no_icache shr_prog [ 1024 ] in
+  Alcotest.(check int) "same result" rd rs;
+  Alcotest.(check bool) "shift cheaper" true (ss.M.cycles < sd.M.cycles)
+
+let test_icache_charges_misses () =
+  let src =
+    "int main(int n) { int i = 0; int acc = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }"
+  in
+  let prog = compile src in
+  let _, cold = run_int_stats ~icache:M.default_icache prog [ 100 ] in
+  let _, warm = run_int_stats ~icache:M.no_icache prog [ 100 ] in
+  Alcotest.(check bool) "icache adds misses" true (cold.M.icache_misses > 0);
+  Alcotest.(check bool) "icache adds cycles" true (cold.M.cycles > warm.M.cycles);
+  (* A hot loop that fits in cache misses each block at most once. *)
+  Alcotest.(check bool) "loop blocks cached" true (cold.M.icache_misses <= 8)
+
+let test_icache_capacity_evictions () =
+  (* A function body larger than the cache capacity keeps missing. *)
+  let stmts = Buffer.create 1024 in
+  for i = 0 to 63 do
+    Buffer.add_string stmts
+      (Printf.sprintf
+         "if (x > %d) { acc = acc + %d; } else { acc = acc - %d; }\n" i i i)
+  done;
+  let src =
+    Printf.sprintf
+      "int main(int x) { int acc = 0; int k = 0; while (k < 4) { %s k = k + 1; } return acc; }"
+      (Buffer.contents stmts)
+  in
+  let prog = compile src in
+  let tiny = { M.default_icache with M.capacity = 64 } in
+  let huge = { M.default_icache with M.capacity = 1_000_000 } in
+  let _, small_cache = run_int_stats ~icache:tiny prog [ 10 ] in
+  let _, big_cache = run_int_stats ~icache:huge prog [ 10 ] in
+  Alcotest.(check bool) "small cache misses more" true
+    (small_cache.M.icache_misses > big_cache.M.icache_misses)
+
+let test_allocation_stats () =
+  let src =
+    "class A { int x; } int main(int n) { int i = 0; int s = 0; while (i < n) { A a = new A(i); s = s + a.x; i = i + 1; } return s; }"
+  in
+  let prog = compile src in
+  let r, stats = run_int_stats prog [ 10 ] in
+  Alcotest.(check int) "sum" 45 r;
+  Alcotest.(check int) "10 allocations" 10 stats.M.allocations
+
+let test_call_stats () =
+  let src =
+    "int helper(int x) { return x + 1; } int main(int n) { return helper(helper(n)); }"
+  in
+  let _, stats = run_int_stats (compile src) [ 1 ] in
+  Alcotest.(check int) "2 calls" 2 stats.M.calls
+
+let suite =
+  [
+    test "floor division" test_floor_division;
+    test "floor remainder" test_floor_rem;
+    test "div/shift equivalence" test_division_shift_equivalence;
+    test "shift masking" test_shift_masking;
+    test "null dereference faults" test_null_dereference_faults;
+    test "reference equality" test_reference_equality;
+    test "out of fuel" test_out_of_fuel;
+    test "cycles charged" test_cycles_charged;
+    test "cost model orders div/shift" test_cheaper_after_strength_reduction_shape;
+    test "icache charges misses" test_icache_charges_misses;
+    test "icache capacity evictions" test_icache_capacity_evictions;
+    test "allocation stats" test_allocation_stats;
+    test "call stats" test_call_stats;
+  ]

@@ -1,0 +1,269 @@
+(** Frontend tests: lexer, parser, type checker and SSA lowering. *)
+
+open Lang
+open Helpers
+
+(* ---- lexer ---- *)
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+let test_lex_operators () =
+  let expected =
+    Lexer.
+      [
+        LPAREN; RPAREN; PLUS; MINUS; STAR; SLASH; PERCENT; SHL; SHR; LE; GE;
+        EQ; NE; AMPAMP; PIPEPIPE; AMP; PIPE; CARET; BANG; EOF;
+      ]
+  in
+  Alcotest.(check int)
+    "token count" (List.length expected)
+    (List.length (toks "( ) + - * / % << >> <= >= == != && || & | ^ !"));
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then Alcotest.failf "token %d mismatch: %s" i (Lexer.token_to_string b))
+    (List.combine expected (toks "( ) + - * / % << >> <= >= == != && || & | ^ !"))
+
+let test_lex_numbers_and_idents () =
+  match toks "x1 42 3.25 foo_bar" with
+  | [ IDENT "x1"; INT 42; FLOAT f; IDENT "foo_bar"; EOF ] ->
+      Alcotest.(check (float 1e-9)) "float" 3.25 f
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lex_comments () =
+  match toks "a // line comment\n b /* block \n comment */ c" with
+  | [ IDENT "a"; IDENT "b"; IDENT "c"; EOF ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lex_error_position () =
+  match Lexer.tokenize "x\n  $" with
+  | exception Lexer.Lex_error (_, 2, 3) -> ()
+  | exception Lexer.Lex_error (_, l, c) ->
+      Alcotest.failf "wrong position %d:%d" l c
+  | _ -> Alcotest.fail "expected a lex error"
+
+(* ---- parser ---- *)
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 == 7 && true  parses as  ((1 + (2*3)) == 7) && true *)
+  let p = Frontend.parse "bool f() { return 1 + 2 * 3 == 7 && true; }" in
+  match (List.hd p.Ast.functions).Ast.fn_body with
+  | [ Ast.SReturn (Some (Ast.EBinop (Ast.AndAlso, Ast.EBinop (Ast.Eq, _, _), _))) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse tree"
+
+let test_parse_if_else_chain () =
+  let p =
+    Frontend.parse
+      "int f(int x) { if (x > 0) @0.7 { return 1; } else if (x < 0) { return 2; } return 3; }"
+  in
+  match (List.hd p.Ast.functions).Ast.fn_body with
+  | [ Ast.SIf { prob = Some pr; else_ = [ Ast.SIf _ ]; _ }; Ast.SReturn _ ] ->
+      Alcotest.(check (float 1e-9)) "prob" 0.7 pr
+  | _ -> Alcotest.fail "unexpected parse tree"
+
+let test_parse_class_and_global () =
+  let p =
+    Frontend.parse
+      "class A { int x; A next; } global int s; int f(A a) { return a.x; }"
+  in
+  Alcotest.(check int) "one class" 1 (List.length p.Ast.classes);
+  Alcotest.(check int) "one global" 1 (List.length p.Ast.globals);
+  match (List.hd p.Ast.classes).Ast.cd_fields with
+  | [ (Ast.TInt, "x"); (Ast.TClass "A", "next") ] -> ()
+  | _ -> Alcotest.fail "unexpected fields"
+
+let test_parse_error_reports_position () =
+  match Frontend.compile "int f() { return 1 + ; }" with
+  | exception Frontend.Error msg ->
+      Alcotest.(check bool) "mentions parse error" true
+        (String.length msg > 0
+        && String.sub msg 0 5 = "parse")
+  | _ -> Alcotest.fail "expected parse error"
+
+(* ---- typechecker ---- *)
+
+let expect_type_error src =
+  match Frontend.compile src with
+  | exception Frontend.Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is a type error: %s" msg)
+        true
+        (String.length msg >= 4 && String.sub msg 0 4 = "type")
+  | _ -> Alcotest.fail "expected a type error"
+
+let test_type_errors () =
+  expect_type_error "int f() { return true; }";
+  expect_type_error "int f() { bool b = 1; return 0; }";
+  expect_type_error "int f(int x) { if (x) { } return 0; }";
+  expect_type_error "int f() { return g(); }";
+  expect_type_error "class A { int x; } int f(A a) { return a.y; }";
+  expect_type_error "class A { int x; } int f() { A a = new A(); return 0; }";
+  expect_type_error "int f(int x) { int x = 2; return x; }";
+  expect_type_error "global int s; int f() { int s = 1; return s; }";
+  expect_type_error "int f() { return 1 < true; }";
+  expect_type_error "class A { int x; } int f(A a) { return a + 1; }"
+
+let test_type_null_compat () =
+  (* null is assignable to class types, comparable with ==/!=. *)
+  let _ =
+    compile
+      "class A { int x; } int f(A a) { if (a == null) { return 0; } A b = null; b = a; return b.x; }"
+  in
+  ()
+
+(* ---- lowering ---- *)
+
+let test_lower_straightline () =
+  Alcotest.(check int) "arith" 17 (eval "int main(int x) { return x * 2 + 3; }" [ 7 ])
+
+let test_lower_if_phi () =
+  let src = "int main(int x) { int p; if (x > 0) { p = x; } else { p = 0; } return 2 + p; }" in
+  Alcotest.(check int) "true branch" 7 (eval src [ 5 ]);
+  Alcotest.(check int) "false branch" 2 (eval src [ -5 ])
+
+let test_lower_while_loop () =
+  let src =
+    "int main(int n) { int acc = 0; int i = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }"
+  in
+  Alcotest.(check int) "sum 0..9" 45 (eval src [ 10 ]);
+  Alcotest.(check int) "empty loop" 0 (eval src [ 0 ])
+
+let test_lower_loop_produces_phis () =
+  let prog =
+    compile
+      "int main(int n) { int acc = 0; int i = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }"
+  in
+  let g = Option.get (Ir.Program.find_function prog "main") in
+  let phis = ref 0 in
+  Ir.Graph.iter_instrs g (fun i ->
+      match i.Ir.Graph.kind with Ir.Types.Phi _ -> incr phis | _ -> ());
+  Alcotest.(check int) "two loop phis" 2 !phis
+
+let test_lower_short_circuit () =
+  let src =
+    "global int calls;\n\
+     bool bump() { calls = calls + 1; return true; }\n\
+     int main(int x) { if (x > 0 && bump()) { } return calls; }"
+  in
+  Alcotest.(check int) "rhs evaluated" 1 (eval src [ 1 ]);
+  Alcotest.(check int) "rhs skipped" 0 (eval src [ -1 ])
+
+let test_lower_or_else () =
+  let src =
+    "global int calls;\n\
+     bool bump() { calls = calls + 1; return false; }\n\
+     int main(int x) { if (x > 0 || bump()) { } return calls; }"
+  in
+  Alcotest.(check int) "rhs skipped when lhs true" 0 (eval src [ 1 ]);
+  Alcotest.(check int) "rhs evaluated when lhs false" 1 (eval src [ -1 ])
+
+let test_lower_nested_control_flow () =
+  let src =
+    {|
+    int main(int n) {
+      int r = 0;
+      int i = 0;
+      while (i < n) {
+        if (i % 2 == 0) {
+          if (i % 3 == 0) { r = r + 10; } else { r = r + 1; }
+        } else {
+          while (r > 100) { r = r - 100; }
+          r = r + 2;
+        }
+        i = i + 1;
+      }
+      return r;
+    }
+    |}
+  in
+  (* i=0:+10 i=1:+2 i=2:+1 i=3:+2 i=4:+1 i=5:+2 i=6:+10 → 28 *)
+  Alcotest.(check int) "nested" 28 (eval src [ 7 ])
+
+let test_lower_early_return_dead_code () =
+  let src = "int main(int x) { return x; x = x + 1; return x; }" in
+  Alcotest.(check int) "dead code skipped" 5 (eval src [ 5 ])
+
+let test_lower_both_branches_return () =
+  let src =
+    "int main(int x) { if (x > 0) { return 1; } else { return 2; } }"
+  in
+  Alcotest.(check int) "pos" 1 (eval src [ 3 ]);
+  Alcotest.(check int) "neg" 2 (eval src [ -3 ])
+
+let test_lower_objects () =
+  let src =
+    {|
+    class Point { int x; int y; }
+    int main(int a) {
+      Point p = new Point(a, 2 * a);
+      p.y = p.y + 1;
+      return p.x + p.y;
+    }
+    |}
+  in
+  Alcotest.(check int) "fields" 16 (eval src [ 5 ])
+
+let test_lower_globals () =
+  let src =
+    {|
+    global int s;
+    void set(int v) { s = v; }
+    int main(int x) { set(x * 2); return s + 1; }
+    |}
+  in
+  Alcotest.(check int) "global store/load" 21 (eval src [ 10 ])
+
+let test_lower_recursion () =
+  let src = "int main(int n) { if (n <= 1) { return 1; } return n * main(n - 1); }" in
+  Alcotest.(check int) "5! = 120" 120 (eval src [ 5 ])
+
+let test_all_lowered_functions_verify () =
+  let prog =
+    compile
+      {|
+      class Node { int v; Node next; }
+      global int total;
+      int sum(Node n) {
+        int acc = 0;
+        while (n != null) @0.95 { acc = acc + n.v; n = n.next; }
+        return acc;
+      }
+      Node build(int k) {
+        Node head = null;
+        int i = 0;
+        while (i < k) { head = new Node(i, head); i = i + 1; }
+        return head;
+      }
+      int main(int k) { total = sum(build(k)); return total; }
+      |}
+  in
+  check_program_verifies prog;
+  Alcotest.(check int) "list sum" 10 (run_int prog [ 5 ])
+
+let suite =
+  [
+    test "lex operators" test_lex_operators;
+    test "lex numbers and idents" test_lex_numbers_and_idents;
+    test "lex comments" test_lex_comments;
+    test "lex error position" test_lex_error_position;
+    test "parse precedence" test_parse_precedence;
+    test "parse if-else chain with prob" test_parse_if_else_chain;
+    test "parse class and global" test_parse_class_and_global;
+    test "parse error position" test_parse_error_reports_position;
+    test "type errors" test_type_errors;
+    test "null compatibility" test_type_null_compat;
+    test "lower straightline" test_lower_straightline;
+    test "lower if/phi" test_lower_if_phi;
+    test "lower while loop" test_lower_while_loop;
+    test "loop produces phis" test_lower_loop_produces_phis;
+    test "short-circuit &&" test_lower_short_circuit;
+    test "short-circuit ||" test_lower_or_else;
+    test "nested control flow" test_lower_nested_control_flow;
+    test "dead code after return" test_lower_early_return_dead_code;
+    test "both branches return" test_lower_both_branches_return;
+    test "objects" test_lower_objects;
+    test "globals across calls" test_lower_globals;
+    test "recursion" test_lower_recursion;
+    test "lowered functions verify" test_all_lowered_functions_verify;
+  ]

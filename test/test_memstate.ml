@@ -1,0 +1,77 @@
+(** Unit tests for the abstract memory state shared by read elimination
+    and the DBDS read-elimination applicability check. *)
+
+open Ir.Types
+module M = Opt.Memstate
+open Helpers
+
+(* Fabricated value ids are fine: Memstate never dereferences them. *)
+let obj_a = 100
+let obj_b = 101
+let v1 = 1
+let v2 = 2
+
+let test_load_records_availability () =
+  let st, red = M.transfer M.empty v1 (Load (obj_a, "x")) in
+  Alcotest.(check (option int)) "first load not redundant" None red;
+  let _, red2 = M.transfer st v2 (Load (obj_a, "x")) in
+  Alcotest.(check (option int)) "second load redundant with first" (Some v1)
+    red2
+
+let test_store_forwards () =
+  let st, _ = M.transfer M.empty v1 (Store (obj_a, "x", 55)) in
+  let _, red = M.transfer st v2 (Load (obj_a, "x")) in
+  Alcotest.(check (option int)) "load forwarded from store" (Some 55) red
+
+let test_store_kills_same_field_other_base () =
+  let st, _ = M.transfer M.empty v1 (Load (obj_a, "x")) in
+  (* A store to b.x may alias a.x. *)
+  let st, _ = M.transfer st v2 (Store (obj_b, "x", 77)) in
+  let _, red = M.transfer st 3 (Load (obj_a, "x")) in
+  Alcotest.(check (option int)) "aliased store kills availability" None red
+
+let test_store_keeps_other_fields () =
+  let st, _ = M.transfer M.empty v1 (Load (obj_a, "y")) in
+  let st, _ = M.transfer st v2 (Store (obj_b, "x", 77)) in
+  let _, red = M.transfer st 3 (Load (obj_a, "y")) in
+  Alcotest.(check (option int)) "distinct field survives" (Some v1) red
+
+let test_call_kills_everything () =
+  let st, _ = M.transfer M.empty v1 (Load (obj_a, "x")) in
+  let st, _ = M.transfer st v2 (Load_global "g") in
+  let st, _ = M.transfer st 3 (Call ("f", [||])) in
+  let _, red_field = M.transfer st 4 (Load (obj_a, "x")) in
+  let _, red_global = M.transfer st 5 (Load_global "g") in
+  Alcotest.(check (option int)) "field killed" None red_field;
+  Alcotest.(check (option int)) "global killed" None red_global
+
+let test_global_store_forwards () =
+  let st, _ = M.transfer M.empty v1 (Store_global ("g", 9)) in
+  let _, red = M.transfer st v2 (Load_global "g") in
+  Alcotest.(check (option int)) "global forwarded" (Some 9) red
+
+let test_seed_new () =
+  let st = M.seed_new M.empty ~fields:[ "x"; "y" ] obj_a [| 10; 11 |] in
+  let _, rx = M.transfer st v1 (Load (obj_a, "x")) in
+  let _, ry = M.transfer st v2 (Load (obj_a, "y")) in
+  Alcotest.(check (option int)) "ctor arg x" (Some 10) rx;
+  Alcotest.(check (option int)) "ctor arg y" (Some 11) ry
+
+let test_pure_ops_transparent () =
+  let st, _ = M.transfer M.empty v1 (Load (obj_a, "x")) in
+  let st, _ = M.transfer st v2 (Binop (Add, 1, 2)) in
+  let st, _ = M.transfer st 3 (Cmp (Lt, 1, 2)) in
+  let _, red = M.transfer st 4 (Load (obj_a, "x")) in
+  Alcotest.(check (option int)) "pure ops keep availability" (Some v1) red
+
+let suite =
+  [
+    test "load records availability" test_load_records_availability;
+    test "store forwards" test_store_forwards;
+    test "aliased store kills" test_store_kills_same_field_other_base;
+    test "other fields survive stores" test_store_keeps_other_fields;
+    test "call kills everything" test_call_kills_everything;
+    test "global store forwards" test_global_store_forwards;
+    test "seed_new" test_seed_new;
+    test "pure ops transparent" test_pure_ops_transparent;
+  ]

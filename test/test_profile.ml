@@ -1,0 +1,131 @@
+(** Profile collection tests: recorded branch frequencies match the
+    program's actual behaviour, and profile-guided DBDS reproduces the
+    decisions made with hand annotations. *)
+
+open Helpers
+module P = Interp.Profile
+
+let profile_run ?fuel src args =
+  let prog = compile src in
+  let profile = P.create () in
+  let _ = Interp.Machine.run ?fuel ~profile prog ~args:(Array.of_list args) in
+  (prog, profile)
+
+let test_counts_match_behaviour () =
+  (* 100 iterations; i % 4 == 0 is true 25 times. *)
+  let src =
+    {|
+    global int hits;
+    int main(int n) {
+      int i = 0;
+      while (i < n) {
+        if (i % 4 == 0) { hits = hits + 1; }
+        i = i + 1;
+      }
+      return hits;
+    }
+    |}
+  in
+  let prog, profile = profile_run src [ 100 ] in
+  let g = Option.get (Ir.Program.find_function prog "main") in
+  (* Find the i%4 branch: the one with observed probability 0.25. *)
+  let probs = ref [] in
+  Ir.Graph.iter_blocks g (fun b ->
+      match b.Ir.Graph.term with
+      | Ir.Types.Branch _ -> (
+          match P.observed profile ~fn:"main" ~bid:b.Ir.Graph.blk_id with
+          | Some p -> probs := p :: !probs
+          | None -> ())
+      | _ -> ());
+  Alcotest.(check bool) "loop branch ~0.99 observed" true
+    (List.exists (fun p -> p > 0.95) !probs);
+  Alcotest.(check bool) "mod-4 branch ~0.25 observed" true
+    (List.exists (fun p -> Float.abs (p -. 0.25) < 0.02) !probs)
+
+let test_apply_rewrites_probabilities () =
+  let src =
+    "int main(int n) { int acc = 0; int i = 0; while (i < n) { if (i % 10 == 0) { acc = acc + 1; } i = i + 1; } return acc; }"
+  in
+  let prog, profile = profile_run src [ 200 ] in
+  P.apply profile prog;
+  let g = Option.get (Ir.Program.find_function prog "main") in
+  let found = ref false in
+  Ir.Graph.iter_blocks g (fun b ->
+      match b.Ir.Graph.term with
+      | Ir.Types.Branch { prob; _ } ->
+          if Float.abs (prob -. 0.1) < 0.02 then found := true
+      | _ -> ());
+  Alcotest.(check bool) "a branch carries the observed 0.1" true !found
+
+let test_min_samples_threshold () =
+  let profile = P.create () in
+  P.record profile ~fn:"f" ~bid:3 ~taken_true:true;
+  Alcotest.(check (option (float 1e-9))) "below threshold" None
+    (P.observed profile ~fn:"f" ~bid:3);
+  for _ = 1 to 10 do
+    P.record profile ~fn:"f" ~bid:3 ~taken_true:true
+  done;
+  Alcotest.(check (option (float 1e-9))) "above threshold" (Some 1.0)
+    (P.observed profile ~fn:"f" ~bid:3);
+  Alcotest.(check int) "samples counted" 11 (P.samples profile)
+
+let test_apply_clamps () =
+  (* An always-taken branch must not become probability 1.0 exactly. *)
+  let src =
+    "int main(int n) { int i = 0; int acc = 0; while (i < n) { if (i >= 0) { acc = acc + 1; } i = i + 1; } return acc; }"
+  in
+  let prog, profile = profile_run src [ 50 ] in
+  P.apply profile prog;
+  Ir.Program.iter_functions prog (fun g ->
+      Ir.Graph.iter_blocks g (fun b ->
+          match b.Ir.Graph.term with
+          | Ir.Types.Branch { prob; _ } ->
+              Alcotest.(check bool) "clamped" true (prob > 0.0 && prob < 1.0)
+          | _ -> ()))
+
+let test_profile_guided_dbds_matches_annotated () =
+  (* The same program, once with hand annotations and once profiled:
+     DBDS should duplicate in both and preserve semantics. *)
+  let body annotated =
+    Printf.sprintf
+      {|
+      int main(int n) {
+        int acc = 0;
+        int i = 0;
+        while (i < n) %s {
+          int divisor;
+          if (i %% 8 != 0) %s { divisor = 2; } else { divisor = i %% 7 + 3; }
+          acc = (acc + (i * 3 + 1) / divisor) & 16777215;
+          i = i + 1;
+        }
+        return acc;
+      }
+      |}
+      (if annotated then "@0.99" else "")
+      (if annotated then "@0.87" else "")
+  in
+  (* Annotated run. *)
+  let annotated = compile (body true) in
+  let _, s1 = Dbds.Driver.optimize_program annotated in
+  let d1 = (Dbds.Driver.total_stats s1).Dbds.Driver.duplications_performed in
+  (* Profile-guided run: interpret, apply, compile. *)
+  let profiled = compile (body false) in
+  let profile = P.create () in
+  let _ = Interp.Machine.run ~profile profiled ~args:[| 500 |] in
+  P.apply profile profiled;
+  let _, s2 = Dbds.Driver.optimize_program profiled in
+  let d2 = (Dbds.Driver.total_stats s2).Dbds.Driver.duplications_performed in
+  Alcotest.(check bool) "annotated duplicates" true (d1 > 0);
+  Alcotest.(check int) "profiled matches annotated" d1 d2;
+  check_program_verifies profiled;
+  Alcotest.(check int) "same results" (run_int annotated [ 300 ])
+    (run_int profiled [ 300 ])
+
+let suite =
+  [
+    test "counts match behaviour" test_counts_match_behaviour;
+    test "apply rewrites probabilities" test_apply_rewrites_probabilities;
+    test "min samples threshold" test_min_samples_threshold;
+    test "apply clamps" test_apply_clamps;
+    test "profile-guided DBDS matches annotated" test_profile_guided_dbds_matches_annotated;
+  ]
