@@ -13,7 +13,12 @@
     - [ablation-iterations]   — DBDS iteration count sweep (§5.2)
     - [ablation-budget]       — benefit-scale / size-budget sweep (§5.4)
     - [bechamel] — wall-clock compile-time of one representative benchmark
-                   per suite under each configuration *)
+                   per suite under each configuration, sequential
+                   ([jobs:1]) and fanned out over all cores ([jobs:N])
+
+    Besides the printed report, the bechamel group is exported to
+    [BENCH_results.json]: wall-clock per configuration per suite plus
+    the parallel speedup (dbds jobs:1 / dbds jobs:N). *)
 
 open Bechamel
 
@@ -23,36 +28,51 @@ let section title = Format.printf "@.=== %s ===@.@." title
 (* Bechamel wall-clock compile-time measurements                       *)
 (* ------------------------------------------------------------------ *)
 
-let compile_test ~suite_tag (b : Workloads.Suite.benchmark) config label =
+let fig_tags = [ "fig5"; "fig6"; "fig7"; "fig8" ]
+let jobs_wide = max 2 (Dbds.Parallel.default_jobs ())
+let jobs_wide_label = Printf.sprintf "dbds-j%d" jobs_wide
+
+let compile_test ~suite_tag ~jobs (b : Workloads.Suite.benchmark) config label
+    =
   Test.make
     ~name:(Printf.sprintf "%s/%s/%s" suite_tag b.Workloads.Suite.name label)
     (Staged.stage (fun () ->
          let prog = Lang.Frontend.compile b.Workloads.Suite.source in
-         ignore (Dbds.Driver.optimize_program ~config prog)))
+         ignore (Dbds.Driver.optimize_program ~config ~jobs prog)))
 
 let representative (s : Workloads.Suite.t) =
   List.nth s.Workloads.Suite.benchmarks 0
 
+(* Per-suite configurations: paper configs run sequentially (the
+   compile-time ratios of fig5–8 are per-compilation-unit numbers), plus
+   the multicore fan-out of the dbds config against its jobs:1 twin. *)
+let fig_configs =
+  [
+    ("baseline", Dbds.Config.off, 1);
+    ("dbds-j1", Dbds.Config.dbds, 1);
+    (jobs_wide_label, Dbds.Config.dbds, jobs_wide);
+    ("dupalot", Dbds.Config.dupalot, 1);
+  ]
+
 let bechamel_tests () =
-  let tags = [ "fig5"; "fig6"; "fig7"; "fig8" ] in
   let groups =
     List.map2
       (fun tag suite ->
         let b = representative suite in
         Test.make_grouped ~name:tag
-          [
-            compile_test ~suite_tag:tag b Dbds.Config.off "baseline";
-            compile_test ~suite_tag:tag b Dbds.Config.dbds "dbds";
-            compile_test ~suite_tag:tag b Dbds.Config.dupalot "dupalot";
-          ])
-      tags Workloads.Registry.all
+          (List.map
+             (fun (label, config, jobs) ->
+               compile_test ~suite_tag:tag ~jobs b config label)
+             fig_configs))
+      fig_tags Workloads.Registry.all
   in
   let backtracking_group =
     let b = representative Workloads.Micro.suite in
     Test.make_grouped ~name:"ablation-backtracking"
       [
-        compile_test ~suite_tag:"abl" b Dbds.Config.dbds "dbds";
-        compile_test ~suite_tag:"abl" b Dbds.Config.backtracking "backtracking";
+        compile_test ~suite_tag:"abl" ~jobs:1 b Dbds.Config.dbds "dbds";
+        compile_test ~suite_tag:"abl" ~jobs:1 b Dbds.Config.backtracking
+          "backtracking";
       ]
   in
   Test.make_grouped ~name:"compile-time" (groups @ [ backtracking_group ])
@@ -71,12 +91,104 @@ let run_bechamel () =
   Format.printf "%-36s %16s@." "test" "ns/compile";
   (* Collect and sort by name for stable output. *)
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
-    (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Format.printf "%-36s %16.0f@." name est
-      | _ -> Format.printf "%-36s %16s@." name "-")
-    (List.sort compare rows)
+  let rows =
+    List.filter_map
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] ->
+            Format.printf "%-36s %16.0f@." name est;
+            Some (name, est)
+        | _ ->
+            Format.printf "%-36s %16s@." name "-";
+            None)
+      (List.sort compare rows)
+  in
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Bechamel prefixes test names with their group path; match on the
+   suffix we minted in [compile_test] instead of reconstructing it. *)
+let find_ns rows ~tag ~bench ~label =
+  let key = Printf.sprintf "%s/%s/%s" tag bench label in
+  List.find_map (fun (name, est) -> if contains ~sub:key name then Some est else None) rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buf '\\'; Buffer.add_char buf c
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_results_json path rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n" (Dbds.Parallel.default_jobs ()));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs_wide\": %d,\n" jobs_wide);
+  Buffer.add_string buf "  \"unit\": \"ns_per_compile\",\n";
+  Buffer.add_string buf "  \"suites\": [\n";
+  let suites =
+    List.map2
+      (fun tag (suite : Workloads.Suite.t) ->
+        let b = representative suite in
+        let bench = b.Workloads.Suite.name in
+        let configs =
+          List.filter_map
+            (fun (label, _, _) ->
+              Option.map
+                (fun ns -> (label, ns))
+                (find_ns rows ~tag ~bench ~label))
+            fig_configs
+        in
+        let speedup =
+          match
+            (List.assoc_opt "dbds-j1" configs, List.assoc_opt jobs_wide_label configs)
+          with
+          | Some seq, Some par when par > 0.0 -> Some (seq /. par)
+          | _ -> None
+        in
+        let config_fields =
+          String.concat ",\n"
+            (List.map
+               (fun (label, ns) ->
+                 Printf.sprintf "        { \"config\": \"%s\", \"ns_per_compile\": %.1f }"
+                   (json_escape label) ns)
+               configs)
+        in
+        Printf.sprintf
+          "    {\n\
+          \      \"figure\": \"%s\",\n\
+          \      \"suite\": \"%s\",\n\
+          \      \"benchmark\": \"%s\",\n\
+          \      \"configs\": [\n%s\n      ],\n\
+          \      \"speedup_vs_jobs1\": %s\n\
+          \    }"
+          (json_escape tag)
+          (json_escape suite.Workloads.Suite.suite_name)
+          (json_escape bench) config_fields
+          (match speedup with
+          | Some s -> Printf.sprintf "%.3f" s
+          | None -> "null"))
+      fig_tags Workloads.Registry.all
+  in
+  Buffer.add_string buf (String.concat ",\n" suites);
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
@@ -109,4 +221,5 @@ let () =
   section "Extension: path-based duplication (paper 8)";
   Format.printf "%a@." Harness.Experiments.pp_path_ablation
     (Harness.Experiments.run_path_ablation ());
-  run_bechamel ()
+  let rows = run_bechamel () in
+  write_results_json "BENCH_results.json" rows

@@ -26,7 +26,7 @@ let mode_conv =
       ("backtracking", Dbds.Config.Backtracking);
     ]
 
-let run_compiler file mode dump dot run args stats icache_off =
+let run_compiler file mode dump dot run args stats icache_off jobs =
   match
     let src = read_file file in
     let prog = Lang.Frontend.compile src in
@@ -36,7 +36,8 @@ let run_compiler file mode dump dot run args stats icache_off =
           Format.printf "%s@." (Ir.Printer.graph_to_string g))
     end;
     let config = { Dbds.Config.default with Dbds.Config.mode } in
-    let ctx, per_fn = Dbds.Driver.optimize_program ~config prog in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let ctx, per_fn = Dbds.Driver.optimize_program ~config ?jobs prog in
     if dump = Dump_after || dump = Dump_both then begin
       Format.printf "=== IR after %s ===@." (Dbds.Config.mode_to_string mode);
       Ir.Program.iter_functions prog (fun g ->
@@ -133,12 +134,20 @@ let stats_arg =
 let no_icache_arg =
   Arg.(value & flag & info [ "no-icache" ] ~doc:"Disable the i-cache model.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Optimize N functions in parallel (0 = one per core; 1 = \
+           sequential).  Output is identical for any N.")
+
 let cmd =
   let doc = "SSA compiler with dominance-based duplication simulation" in
   Cmd.v
     (Cmd.info "dbdsc" ~version:"1.0.0" ~doc)
     Term.(
       const run_compiler $ file_arg $ mode_arg $ dump_arg $ dot_arg $ run_arg
-      $ args_arg $ stats_arg $ no_icache_arg)
+      $ args_arg $ stats_arg $ no_icache_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,18 @@ type opportunity =
   | Conditional_elimination
   | Escape_analysis
 
+let n_opportunities = 7
+
+(* Dense tag, used by the simulation tier's per-candidate seen-flags. *)
+let opportunity_index = function
+  | Constant_fold -> 0
+  | Strength_reduce -> 1
+  | Copy_propagation -> 2
+  | Value_numbering -> 3
+  | Read_elimination -> 4
+  | Conditional_elimination -> 5
+  | Escape_analysis -> 6
+
 let opportunity_to_string = function
   | Constant_fold -> "constant-fold"
   | Strength_reduce -> "strength-reduce"

@@ -13,6 +13,12 @@ type opportunity =
 
 val opportunity_to_string : opportunity -> string
 
+(** Number of distinct opportunity kinds. *)
+val n_opportunities : int
+
+(** Dense tag in [0, n_opportunities): index for flag arrays. *)
+val opportunity_index : opportunity -> int
+
 type t = {
   merge : Ir.Types.block_id;
   pred : Ir.Types.block_id;

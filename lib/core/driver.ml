@@ -111,7 +111,10 @@ let run_backtracking config ctx stats g =
                 && List.length (G.preds g bm) >= 2
               then begin
                 stats.backtrack_attempts <- stats.backtrack_attempts + 1;
-                let backup = G.copy g in
+                (* Copy-on-demand speculation: only the blocks /
+                   instructions the attempt actually touches are saved,
+                   instead of deep-copying the whole graph per attempt. *)
+                G.checkpoint g;
                 Opt.Phase.charge ctx (G.live_instr_count g);
                 let before = Costmodel.Estimate.weighted_cycles g in
                 match Transform.duplicate g ~merge:bm ~pred:bp with
@@ -126,11 +129,11 @@ let run_backtracking config ctx stats g =
                       stats.backtrack_kept <- stats.backtrack_kept + 1;
                       stats.duplications_performed <-
                         stats.duplications_performed + 1;
-                      progress := true
+                      progress := true;
+                      G.commit g
                     end
-                    else G.restore g ~backup
-                | exception Transform.Not_applicable _ ->
-                    G.restore g ~backup
+                    else G.rollback g
+                | exception Transform.Not_applicable _ -> G.rollback g
               end)
             (G.preds g bm))
       merges
@@ -140,6 +143,7 @@ let run_backtracking config ctx stats g =
     about the duplication work performed. *)
 let optimize_graph ?(config = Config.default) ctx g =
   let stats = fresh_stats () in
+  let analyses_before = Ir.Analyses.stats g in
   (match config.Config.mode with
   | Config.Off -> ignore (Opt.Pipeline.optimize ctx g)
   | Config.Backtracking ->
@@ -160,20 +164,57 @@ let optimize_graph ?(config = Config.default) ctx g =
         if benefit <= config.Config.iteration_benefit_threshold && stale = 0
         then continue_ := false
       done);
+  let analyses_after = Ir.Analyses.stats g in
+  Opt.Phase.note_analyses ctx
+    ~hits:(analyses_after.Ir.Analyses.hits - analyses_before.Ir.Analyses.hits)
+    ~misses:
+      (analyses_after.Ir.Analyses.misses - analyses_before.Ir.Analyses.misses);
   stats
 
 (** Optimize a whole program: inline first (compilation units in the
-    evaluation are post-inlining, as in Graal), then run the configured
-    per-function pipeline.  Returns the phase context (for work-unit
-    accounting) and per-function statistics. *)
-let optimize_program ?(config = Config.default) ?(inline = true) program =
+    evaluation are post-inlining, as in Graal), then fan the configured
+    per-function pipeline out over [jobs] domains (default: all cores;
+    [~jobs:1] is the sequential behavior).  Each function graph is owned
+    by exactly one domain; per-domain phase contexts are merged
+    deterministically (in function-name order), so output graphs and
+    aggregate statistics are identical for any [jobs].  Returns the phase
+    context (for work-unit accounting) and per-function statistics. *)
+let optimize_program ?(config = Config.default) ?(inline = true) ?jobs program =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
   let ctx = Opt.Phase.create ~program () in
   if inline then ignore (Opt.Inline.inline_program ctx program);
-  let stats = ref [] in
-  Ir.Program.iter_functions program (fun g ->
-      let s = optimize_graph ~config ctx g in
-      stats := (Ir.Graph.name g, s) :: !stats);
-  (ctx, List.rev !stats)
+  (* Resolve the graphs up front (name order) so workers never touch the
+     program's function table. *)
+  let functions =
+    List.filter_map
+      (fun name -> Ir.Program.find_function program name)
+      (Ir.Program.function_names program)
+  in
+  if jobs = 1 then
+    ( ctx,
+      List.map
+        (fun g -> (Ir.Graph.name g, optimize_graph ~config ctx g))
+        functions )
+  else begin
+    let results =
+      Parallel.map ~jobs
+        (fun g ->
+          let wctx = Opt.Phase.create ~program () in
+          let s = optimize_graph ~config wctx g in
+          (Ir.Graph.name g, s, wctx))
+        functions
+    in
+    let stats =
+      List.map
+        (fun (name, s, wctx) ->
+          Opt.Phase.merge_into ~into:ctx wctx;
+          (name, s))
+        results
+    in
+    (ctx, stats)
+  end
 
 (** Aggregate statistics over a program run. *)
 let total_stats per_function =

@@ -28,12 +28,15 @@ val optimize_graph :
 
 (** Optimize a whole program: inline first (compilation units in the
     evaluation are post-inlining, as in Graal; disable with
-    [~inline:false]), then run the configured per-function pipeline.
+    [~inline:false]), then fan the configured per-function pipeline out
+    over [jobs] domains (default: all cores; [~jobs:1] is sequential).
+    Output graphs and aggregate statistics are identical for any [jobs].
     Returns the phase context (work-unit accounting) and per-function
     statistics. *)
 val optimize_program :
   ?config:Config.t ->
   ?inline:bool ->
+  ?jobs:int ->
   Ir.Program.t ->
   Opt.Phase.ctx * (string * stats) list
 

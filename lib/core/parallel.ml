@@ -1,0 +1,53 @@
+(** Multicore fan-out: a stdlib-[Domain] worker pool (OCaml 5, no
+    external dependencies).
+
+    [map ~jobs f items] applies [f] to every item and returns the results
+    {e in input order}, regardless of which worker ran which item or in
+    what order they finished — so callers observe deterministic output
+    for any [jobs].  Items are dispatched dynamically (an atomic cursor),
+    which load-balances uneven per-item cost; each item is processed by
+    exactly one domain.
+
+    Exceptions raised by [f] are captured per item and re-raised in the
+    calling domain (the earliest-indexed failure wins), with their
+    backtrace preserved.
+
+    Ownership discipline: [f] must only mutate state reachable from its
+    own item (the driver passes one function graph per item and merges
+    per-worker contexts afterwards).  Shared lookups (e.g. the program's
+    class table) must be read-only. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else
+          results.(i) <-
+            Some
+              (try Ok (f arr.(i))
+               with e -> Error (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain works too: jobs domains total. *)
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+  end

@@ -68,12 +68,20 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
   let benefit = ref 0.0 in
   let size_delta = ref 0 in
   let opps = ref [] in
+  (* Seen-flags indexed by opportunity tag: O(1) dedup instead of a
+     List.mem scan per fired check (this runs for every instruction of
+     every simulated merge). *)
+  let opp_seen = Array.make Candidate.n_opportunities false in
   let mem = ref dctx.mem in
   let counted_allocs = Hashtbl.create 4 in
   let fire opp ~saved_cycles ~saved_size =
     benefit := !benefit +. saved_cycles;
     size_delta := !size_delta - saved_size;
-    if not (List.mem opp !opps) then opps := opp :: !opps
+    let tag = Candidate.opportunity_index opp in
+    if not opp_seen.(tag) then begin
+      opp_seen.(tag) <- true;
+      opps := opp :: !opps
+    end
   in
   (* PEA check: a memory access through a synonym that turns out to be an
      allocation which currently escapes only through phis. *)
@@ -237,8 +245,9 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
   if config.Config.path_duplication then begin
     let cur = ref bm in
     let path = ref [] in
+    let path_len = ref 0 in
     let continue_ = ref true in
-    while !continue_ && List.length !path < config.Config.max_path_length - 1 do
+    while !continue_ && !path_len < config.Config.max_path_length - 1 do
       match G.term g !cur with
       | Jump next
         when next <> !cur
@@ -252,6 +261,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
           process_body next;
           process_term next;
           path := next :: !path;
+          incr path_len;
           if !benefit > benefit_before then
             results := mk_candidate !path :: !results;
           cur := next
@@ -264,9 +274,9 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
     positive estimated benefit, one per (predecessor, merge) pair. *)
 let simulate ctx (config : Config.t) g =
   Opt.Phase.charge_graph ctx g;
-  let dom = Ir.Dom.compute g in
-  let loops = Ir.Loops.compute dom in
-  let freq = Ir.Frequency.compute ~loop_factor:config.Config.loop_factor dom loops in
+  let dom = Ir.Analyses.dom g in
+  let loops = Ir.Analyses.loops g in
+  let freq = Ir.Analyses.frequency ~loop_factor:config.Config.loop_factor g in
   let mk_const = Opt.Canonicalize.materialize_const g in
   let exprs : (instr_kind, value) Hashtbl.t = Hashtbl.create 64 in
   let candidates = ref [] in

@@ -40,7 +40,7 @@ let duplicate g ~merge ~pred =
      iteration under the sequential SSA repair.  The simulation tier never
      proposes loop headers; reject them here as well so the backtracking
      strategy cannot reach them either. *)
-  let dom = Ir.Dom.compute g in
+  let dom = Ir.Analyses.dom g in
   if List.exists (fun q -> Ir.Dom.dominates dom bm q) (G.preds g bm) then
     raise (Not_applicable "merge is a loop header");
   let pred_idx = G.pred_index g bm bp in

@@ -29,9 +29,7 @@ let block_cycles g bid =
     performance estimator of paper §5.3 (Figure 4 computes exactly this
     quantity for a two-block example). *)
 let weighted_cycles ?loop_factor g =
-  let dom = Ir.Dom.compute g in
-  let loops = Ir.Loops.compute dom in
-  let freq = Ir.Frequency.compute ?loop_factor dom loops in
+  let freq = Ir.Analyses.frequency ?loop_factor g in
   List.fold_left
     (fun acc bid -> acc +. (block_cycles g bid *. Ir.Frequency.frequency freq bid))
     0.0 (Ir.Graph.rpo g)

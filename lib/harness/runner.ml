@@ -28,12 +28,13 @@ let program_instr_count prog =
 
 (** Compile [b] under [config], then execute its workload on the cost
     interpreter.  Fresh frontend output per call so configurations never
-    share IR. *)
-let measure ?(icache = Interp.Machine.default_icache) ~config
+    share IR.  [jobs] fans the optimizer out over that many domains
+    (default: all cores); results are identical for any value. *)
+let measure ?(icache = Interp.Machine.default_icache) ?jobs ~config
     (b : Workloads.Suite.benchmark) =
   let prog = compile_benchmark b in
   let t0 = Unix.gettimeofday () in
-  let ctx, stats = Dbds.Driver.optimize_program ~config prog in
+  let ctx, stats = Dbds.Driver.optimize_program ~config ?jobs prog in
   let wall = Unix.gettimeofday () -. t0 in
   Opt.Phase.charge ctx (backend_passes * program_instr_count prog);
   let totals = Dbds.Driver.total_stats stats in
@@ -58,10 +59,10 @@ let measure ?(icache = Interp.Machine.default_icache) ~config
 
 (** Measure a benchmark under the three paper configurations, checking
     that all three compute the same result. *)
-let run_benchmark ?icache (b : Workloads.Suite.benchmark) =
-  let baseline = measure ?icache ~config:Dbds.Config.off b in
-  let dbds = measure ?icache ~config:Dbds.Config.dbds b in
-  let dupalot = measure ?icache ~config:Dbds.Config.dupalot b in
+let run_benchmark ?icache ?jobs (b : Workloads.Suite.benchmark) =
+  let baseline = measure ?icache ?jobs ~config:Dbds.Config.off b in
+  let dbds = measure ?icache ?jobs ~config:Dbds.Config.dbds b in
+  let dupalot = measure ?icache ?jobs ~config:Dbds.Config.dupalot b in
   if
     baseline.Metrics.result_value <> dbds.Metrics.result_value
     || baseline.Metrics.result_value <> dupalot.Metrics.result_value
@@ -79,5 +80,5 @@ let run_benchmark ?icache (b : Workloads.Suite.benchmark) =
     dupalot;
   }
 
-let run_suite ?icache (s : Workloads.Suite.t) =
-  List.map (run_benchmark ?icache) s.Workloads.Suite.benchmarks
+let run_suite ?icache ?jobs (s : Workloads.Suite.t) =
+  List.map (run_benchmark ?icache ?jobs) s.Workloads.Suite.benchmarks

@@ -7,10 +7,12 @@ val program_code_size : Ir.Program.t -> int
 
 (** Compile under [config], then execute the workload on the cost
     interpreter.  Fresh frontend output per call so configurations never
-    share IR.
+    share IR.  [jobs] fans the optimizer out over that many domains
+    (default: all cores); results are identical for any value.
     @raise Benchmark_failed when compilation or execution fails. *)
 val measure :
   ?icache:Interp.Machine.icache_config ->
+  ?jobs:int ->
   config:Dbds.Config.t ->
   Workloads.Suite.benchmark ->
   Metrics.measurement
@@ -20,8 +22,12 @@ val measure :
     @raise Benchmark_failed when the configurations disagree. *)
 val run_benchmark :
   ?icache:Interp.Machine.icache_config ->
+  ?jobs:int ->
   Workloads.Suite.benchmark ->
   Metrics.row
 
 val run_suite :
-  ?icache:Interp.Machine.icache_config -> Workloads.Suite.t -> Metrics.row list
+  ?icache:Interp.Machine.icache_config ->
+  ?jobs:int ->
+  Workloads.Suite.t ->
+  Metrics.row list

@@ -1,0 +1,102 @@
+(** Incremental analysis caching.
+
+    The dominator tree, loop forest and block frequencies are recomputed
+    many times per compilation unit by the simulate → trade-off →
+    optimize loop: every optimization phase, every duplication attempt
+    and every cost estimate starts from [Dom.compute].  This module
+    memoizes the three CFG analyses per graph, keyed on the graph's
+    monotonic {!Graph.generation} counter: as long as no mutation
+    happened since the last computation, the physically-same analysis is
+    returned.
+
+    The cache lives in the graph's {!Graph.cache} slot, so it is saved
+    and restored by the speculation journal: a {!Graph.rollback} revives
+    the analyses that were valid at the checkpoint.
+
+    Frequencies are additionally keyed by [loop_factor] (different
+    configurations may assume different trip counts).
+
+    Thread-safety: a graph (and therefore its cache slot) is owned by
+    exactly one domain at a time — the parallel driver partitions
+    functions across workers — so no synchronization is needed. *)
+
+type stats = { hits : int; misses : int }
+
+type entry = {
+  gen : int;  (** the graph generation this entry is valid for *)
+  mutable dom : Dom.t option;
+  mutable loops : Loops.t option;
+  mutable freqs : (float * Frequency.t) list;  (** keyed by loop_factor *)
+  mutable hits : int;  (** lifetime counters, carried across entries *)
+  mutable misses : int;
+}
+
+type Graph.cache += Cache of entry
+
+let fresh_entry ~gen ~hits ~misses =
+  { gen; dom = None; loops = None; freqs = []; hits; misses }
+
+(* The entry valid for the graph's current generation, creating or
+   replacing as needed.  Lifetime hit/miss counters survive
+   invalidation. *)
+let entry g =
+  let gen = Graph.generation g in
+  match g.Graph.cache with
+  | Cache e when e.gen = gen -> e
+  | Cache old ->
+      let e = fresh_entry ~gen ~hits:old.hits ~misses:old.misses in
+      g.Graph.cache <- Cache e;
+      e
+  | _ ->
+      let e = fresh_entry ~gen ~hits:0 ~misses:0 in
+      g.Graph.cache <- Cache e;
+      e
+
+let dom g =
+  let e = entry g in
+  match e.dom with
+  | Some d ->
+      e.hits <- e.hits + 1;
+      d
+  | None ->
+      e.misses <- e.misses + 1;
+      let d = Dom.compute g in
+      e.dom <- Some d;
+      d
+
+let loops g =
+  let e = entry g in
+  match e.loops with
+  | Some l ->
+      e.hits <- e.hits + 1;
+      l
+  | None ->
+      let d = dom g in
+      (* [dom] cannot have invalidated the entry: computing an analysis
+         does not mutate the graph. *)
+      e.misses <- e.misses + 1;
+      let l = Loops.compute d in
+      e.loops <- Some l;
+      l
+
+let frequency ?(loop_factor = Frequency.default_loop_factor) g =
+  let e = entry g in
+  match List.assoc_opt loop_factor e.freqs with
+  | Some f ->
+      e.hits <- e.hits + 1;
+      f
+  | None ->
+      let d = dom g in
+      let l = loops g in
+      e.misses <- e.misses + 1;
+      let f = Frequency.compute ~loop_factor d l in
+      e.freqs <- (loop_factor, f) :: e.freqs;
+      f
+
+(** Lifetime hit/miss counters of a graph's cache (0/0 before any
+    lookup).  A {!Graph.rollback} also rolls these back to their
+    checkpoint values. *)
+let stats g =
+  match g.Graph.cache with
+  | Cache e -> { hits = e.hits; misses = e.misses }
+  | _ -> { hits = 0; misses = 0 }

@@ -1,0 +1,24 @@
+(** Incremental analysis caching: memoized {!Dom}, {!Loops} and
+    {!Frequency} computations per graph, keyed on the graph's monotonic
+    {!Graph.generation} counter.  As long as no mutation happened since
+    the last computation, the physically-same analysis is returned.
+
+    The cache lives in the graph's {!Graph.cache} slot and is therefore
+    saved/restored by the speculation journal ({!Graph.checkpoint} /
+    {!Graph.rollback}).  A graph is owned by exactly one domain at a
+    time, so no synchronization is needed. *)
+
+type stats = { hits : int; misses : int }
+
+(** Memoized {!Dom.compute}. *)
+val dom : Graph.t -> Dom.t
+
+(** Memoized {!Loops.compute} (over the memoized dominator tree). *)
+val loops : Graph.t -> Loops.t
+
+(** Memoized {!Frequency.compute}, additionally keyed by [loop_factor]. *)
+val frequency : ?loop_factor:float -> Graph.t -> Frequency.t
+
+(** Lifetime cache hit/miss counters of a graph (0/0 before any
+    lookup). *)
+val stats : Graph.t -> stats

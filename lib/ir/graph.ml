@@ -28,6 +28,29 @@ type block = {
   mutable preds : block_id list;
 }
 
+(* Extensible per-graph cache slot: {!Analyses} stores memoized dominator
+   trees / loop forests / frequencies here, keyed on [generation].  The
+   slot lives in [Graph] (rather than in [Analyses]) so it can be saved
+   and restored together with the graph by the speculation journal. *)
+type cache = ..
+type cache += No_cache
+
+(* Copy-on-demand undo log for speculative transformation (the
+   backtracking strategy).  Only the blocks / instructions / use lists
+   actually touched after {!checkpoint} are saved, the first time each is
+   mutated — far cheaper than the full {!copy} per attempt it replaces. *)
+type journal = {
+  j_blocks : (block_id, block option) Hashtbl.t;
+  j_instrs : (instr_id, instr option) Hashtbl.t;
+  j_uses : (instr_id, user list) Hashtbl.t;
+  j_n_instrs : int;
+  j_n_blocks : int;
+  j_entry : block_id;
+  j_generation : int;
+  j_n_live : int;
+  j_cache : cache;
+}
+
 type t = {
   name : string;
   n_params : int;
@@ -37,11 +60,17 @@ type t = {
   mutable n_blocks : int;
   mutable entry : block_id;
   mutable uses : user list array;
+  mutable generation : int;
+      (** bumped by every mutation; analysis caches key on it *)
+  mutable n_live : int;  (** live instruction count, maintained *)
+  mutable cache : cache;
+  mutable journal : journal option;
 }
 
 let name g = g.name
 let n_params g = g.n_params
 let entry g = g.entry
+let generation g = g.generation
 
 let create ?(name = "fn") ~n_params () =
   {
@@ -53,7 +82,114 @@ let create ?(name = "fn") ~n_params () =
     n_blocks = 0;
     entry = -1;
     uses = Array.make 16 [];
+    generation = 0;
+    n_live = 0;
+    cache = No_cache;
+    journal = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Generation + journal bookkeeping                                    *)
+(* ------------------------------------------------------------------ *)
+
+let touch g = g.generation <- g.generation + 1
+
+let copy_instr i = { ins_id = i.ins_id; kind = i.kind; ins_block = i.ins_block }
+
+let copy_block b =
+  {
+    blk_id = b.blk_id;
+    phis = b.phis;
+    body = b.body;
+    term = b.term;
+    preds = b.preds;
+  }
+
+(* Save the pre-mutation state of a block/instruction/use list the first
+   time it is touched after a checkpoint.  Slots allocated after the
+   checkpoint need no saving: rollback truncates the arenas back to the
+   checkpoint watermark. *)
+let save_block g id =
+  match g.journal with
+  | None -> ()
+  | Some j ->
+      if id < j.j_n_blocks && not (Hashtbl.mem j.j_blocks id) then
+        Hashtbl.add j.j_blocks id (Option.map copy_block g.blocks.(id))
+
+let save_instr g id =
+  match g.journal with
+  | None -> ()
+  | Some j ->
+      if id < j.j_n_instrs && not (Hashtbl.mem j.j_instrs id) then
+        Hashtbl.add j.j_instrs id (Option.map copy_instr g.instrs.(id))
+
+let save_uses g v =
+  match g.journal with
+  | None -> ()
+  | Some j ->
+      if v < j.j_n_instrs && not (Hashtbl.mem j.j_uses v) then
+        Hashtbl.add j.j_uses v g.uses.(v)
+
+(* Hooks for the few modules that hand-mutate graph records directly
+   (ssa_repair, inline, canonicalize): they must announce the mutation
+   before performing it so the journal and generation stay sound. *)
+let record_block g id =
+  save_block g id;
+  touch g
+
+let record_instr g id =
+  save_instr g id;
+  touch g
+
+let checkpoint g =
+  (match g.journal with
+  | Some _ -> invalid_arg "Graph.checkpoint: speculation already active"
+  | None -> ());
+  g.journal <-
+    Some
+      {
+        j_blocks = Hashtbl.create 32;
+        j_instrs = Hashtbl.create 64;
+        j_uses = Hashtbl.create 64;
+        j_n_instrs = g.n_instrs;
+        j_n_blocks = g.n_blocks;
+        j_entry = g.entry;
+        j_generation = g.generation;
+        j_n_live = g.n_live;
+        j_cache = g.cache;
+      }
+
+let commit g =
+  match g.journal with
+  | None -> invalid_arg "Graph.commit: no active checkpoint"
+  | Some _ -> g.journal <- None
+
+let rollback g =
+  match g.journal with
+  | None -> invalid_arg "Graph.rollback: no active checkpoint"
+  | Some j ->
+      g.journal <- None;
+      Hashtbl.iter (fun id saved -> g.instrs.(id) <- saved) j.j_instrs;
+      Hashtbl.iter (fun id saved -> g.blocks.(id) <- saved) j.j_blocks;
+      Hashtbl.iter (fun v l -> g.uses.(v) <- l) j.j_uses;
+      for id = j.j_n_instrs to g.n_instrs - 1 do
+        g.instrs.(id) <- None;
+        g.uses.(id) <- []
+      done;
+      for id = j.j_n_blocks to g.n_blocks - 1 do
+        g.blocks.(id) <- None
+      done;
+      g.n_instrs <- j.j_n_instrs;
+      g.n_blocks <- j.j_n_blocks;
+      g.entry <- j.j_entry;
+      (* Restoring the generation (not bumping it) is sound — the graph
+         is again byte-identical to its checkpoint state — and revives
+         any analysis cached in the restored slot. *)
+      g.generation <- j.j_generation;
+      g.n_live <- j.j_n_live;
+      g.cache <- j.j_cache
+
+let in_speculation g = g.journal <> None
 
 (* ------------------------------------------------------------------ *)
 (* Arena access                                                        *)
@@ -87,15 +223,22 @@ let is_phi g id = match kind g id with Phi _ -> true | _ -> false
 (* ------------------------------------------------------------------ *)
 
 let add_use g v user =
-  if v >= 0 then g.uses.(v) <- user :: g.uses.(v)
+  if v >= 0 then begin
+    save_uses g v;
+    g.uses.(v) <- user :: g.uses.(v)
+  end
 
 let remove_use g v user =
-  if v >= 0 then
-    let rec drop = function
-      | [] -> []
-      | u :: rest -> if u = user then rest else u :: drop rest
+  if v >= 0 then begin
+    save_uses g v;
+    (* Tail-recursive: use lists of hot values can be very long. *)
+    let rec drop acc = function
+      | [] -> List.rev acc
+      | u :: rest ->
+          if u = user then List.rev_append acc rest else drop (u :: acc) rest
     in
-    g.uses.(v) <- drop g.uses.(v)
+    g.uses.(v) <- drop [] g.uses.(v)
+  end
 
 let term_inputs = function
   | Jump _ | Unreachable | Return None -> []
@@ -130,9 +273,12 @@ let add_block g =
     Some { blk_id = id; phis = []; body = []; term = Unreachable; preds = [] };
   g.n_blocks <- id + 1;
   if g.entry = -1 then g.entry <- id;
+  touch g;
   id
 
-let set_entry g bid = g.entry <- bid
+let set_entry g bid =
+  g.entry <- bid;
+  touch g
 
 (* Allocates the instruction without attaching it to a block. *)
 let alloc_instr g kind =
@@ -140,12 +286,15 @@ let alloc_instr g kind =
   let id = g.n_instrs in
   g.instrs.(id) <- Some { ins_id = id; kind; ins_block = -1 };
   g.n_instrs <- id + 1;
+  g.n_live <- g.n_live + 1;
+  touch g;
   List.iter (fun v -> add_use g v (U_instr id)) (inputs_of_kind kind);
   id
 
 (** Append an instruction to a block's body (or phi list for [Phi]). *)
 let append g bid kind =
   let id = alloc_instr g kind in
+  save_block g bid;
   let b = block g bid in
   (instr g id).ins_block <- bid;
   (match kind with
@@ -156,6 +305,7 @@ let append g bid kind =
 (** Insert an instruction at the head of a block's body. *)
 let prepend g bid kind =
   let id = alloc_instr g kind in
+  save_block g bid;
   let b = block g bid in
   (instr g id).ins_block <- bid;
   (match kind with
@@ -168,6 +318,8 @@ let prepend g bid kind =
 (* ------------------------------------------------------------------ *)
 
 let set_kind g id new_kind =
+  save_instr g id;
+  touch g;
   let i = instr g id in
   List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
   i.kind <- new_kind;
@@ -194,6 +346,8 @@ let pred_index g bid pred =
 
 (* Drop predecessor [pred] from [bid], removing the matching phi input. *)
 let remove_pred g bid pred =
+  save_block g bid;
+  touch g;
   let b = block g bid in
   let idx = pred_index g bid pred in
   b.preds <- List.filteri (fun i _ -> i <> idx) b.preds;
@@ -214,6 +368,8 @@ let remove_pred g bid pred =
    input for the new edge (callers typically pass a real value or
    [invalid_value] and patch afterwards). *)
 let add_pred g bid pred ~filler =
+  save_block g bid;
+  touch g;
   let b = block g bid in
   b.preds <- b.preds @ [ pred ];
   List.iteri
@@ -236,6 +392,8 @@ let set_term g bid term =
     | Branch { if_true; if_false; _ } when if_true = if_false -> Jump if_true
     | t -> t
   in
+  save_block g bid;
+  touch g;
   let b = block g bid in
   let old_succs = succs_of_term b.term in
   let new_succs = succs_of_term term in
@@ -258,6 +416,8 @@ let term g bid = (block g bid).term
     [new_target] (if any) receive [invalid_value] for the new edge. *)
 let redirect_edge g ~from_block ~old_target ~new_target =
   if old_target <> new_target then begin
+    save_block g from_block;
+    touch g;
     let b = block g from_block in
     (match b.term with
     | Jump t when t = old_target -> b.term <- Jump new_target
@@ -287,10 +447,14 @@ let replace_uses g v ~by =
           let b = block g bid in
           match b.term with
           | Return (Some x) when x = v ->
+              save_block g bid;
+              touch g;
               remove_use g v (U_term bid);
               b.term <- Return (Some by);
               add_use g by (U_term bid)
           | Branch br when br.cond = v ->
+              save_block g bid;
+              touch g;
               remove_use g v (U_term bid);
               b.term <- Branch { br with cond = by };
               add_use g by (U_term bid)
@@ -303,20 +467,28 @@ let remove_instr g id =
   (match g.uses.(id) with
   | [] -> ()
   | _ -> invalid_arg (Printf.sprintf "Graph.remove_instr: %d still has uses" id));
+  save_instr g id;
+  save_uses g id;
+  touch g;
   List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
   if i.ins_block >= 0 then begin
+    save_block g i.ins_block;
     let b = block g i.ins_block in
     b.phis <- List.filter (fun x -> x <> id) b.phis;
     b.body <- List.filter (fun x -> x <> id) b.body
   end;
   g.instrs.(id) <- None;
-  g.uses.(id) <- []
+  g.uses.(id) <- [];
+  g.n_live <- g.n_live - 1
 
 (** Detach an instruction from its block without deleting it (it keeps its
     kind and uses; it can be re-attached with [attach]). *)
 let detach g id =
   let i = instr g id in
   if i.ins_block >= 0 then begin
+    save_instr g id;
+    save_block g i.ins_block;
+    touch g;
     let b = block g i.ins_block in
     b.phis <- List.filter (fun x -> x <> id) b.phis;
     b.body <- List.filter (fun x -> x <> id) b.body;
@@ -327,6 +499,9 @@ let detach g id =
 let attach g id bid =
   let i = instr g id in
   assert (i.ins_block = -1);
+  save_instr g id;
+  save_block g bid;
+  touch g;
   i.ins_block <- bid;
   let b = block g bid in
   match i.kind with
@@ -339,12 +514,17 @@ let attach g id bid =
 let remove_block g bid =
   let b = block g bid in
   set_term g bid Unreachable;
+  save_block g bid;
+  touch g;
   List.iter
     (fun id ->
       let i = instr g id in
+      save_instr g id;
+      save_uses g id;
       List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
       g.instrs.(id) <- None;
-      g.uses.(id) <- [])
+      g.uses.(id) <- [];
+      g.n_live <- g.n_live - 1)
     (b.phis @ b.body);
   (* Predecessor edges must have been redirected already. *)
   assert (b.preds = []);
@@ -381,13 +561,18 @@ let block_instrs g bid =
   let b = block g bid in
   b.phis @ b.body
 
-let live_instr_count g = fold_instrs g (fun n _ -> n + 1) 0
+(* Maintained incrementally by the mutation API (alloc / remove) so the
+   hot per-duplication work charge in the driver is O(1) instead of an
+   arena scan. *)
+let live_instr_count g = g.n_live
 let live_block_count g = fold_blocks g (fun n _ -> n + 1) 0
 
 (** Rename a predecessor entry of [bid] from [old_pred] to [new_pred],
     keeping the phi inputs of [bid] untouched (used when a jump-only
     block is merged into its predecessor). *)
 let replace_pred g bid ~old_pred ~new_pred =
+  save_block g bid;
+  touch g;
   let b = block g bid in
   b.preds <- List.map (fun p -> if p = old_pred then new_pred else p) b.preds
 
@@ -436,11 +621,16 @@ let remove_unreachable_blocks g =
       dead;
     List.iter
       (fun bid ->
+        save_block g bid;
+        touch g;
         let b = block g bid in
         List.iter
           (fun id ->
+            save_instr g id;
+            save_uses g id;
             g.instrs.(id) <- None;
-            g.uses.(id) <- [])
+            g.uses.(id) <- [];
+            g.n_live <- g.n_live - 1)
           (b.phis @ b.body);
         b.phis <- [];
         b.body <- [];
@@ -458,6 +648,9 @@ let remove_unreachable_blocks g =
     {!copy}).  Used by the backtracking duplication strategy to undo a
     tentative transformation while keeping the same graph identity. *)
 let restore g ~backup =
+  (match g.journal with
+  | Some _ -> invalid_arg "Graph.restore: speculation active (use rollback)"
+  | None -> ());
   g.instrs <-
     Array.map
       (Option.map (fun i ->
@@ -477,7 +670,12 @@ let restore g ~backup =
       backup.blocks;
   g.n_blocks <- backup.n_blocks;
   g.entry <- backup.entry;
-  g.uses <- Array.copy backup.uses
+  g.uses <- Array.copy backup.uses;
+  g.n_live <- backup.n_live;
+  (* The overwrite is an arbitrary state change: advance the generation
+     (never rewind — cached analyses key on it) and drop the cache. *)
+  touch g;
+  g.cache <- No_cache
 
 (** Deep copy of a graph.  Instruction and block ids are preserved, which
     keeps external id-keyed tables meaningful across a copy (used by the
@@ -506,4 +704,8 @@ let copy g =
     n_blocks = g.n_blocks;
     entry = g.entry;
     uses = Array.copy g.uses;
+    generation = 0;
+    n_live = g.n_live;
+    cache = No_cache;
+    journal = None;
   }

@@ -32,6 +32,16 @@ type block = {
   mutable preds : block_id list;
 }
 
+(** Extensible per-graph cache slot.  {!Analyses} stores memoized CFG
+    analyses here, keyed on {!generation}; the slot is saved and restored
+    by the speculation journal together with the graph. *)
+type cache = ..
+
+type cache += No_cache
+
+(** Copy-on-demand undo log; see {!checkpoint}. *)
+type journal
+
 type t = {
   name : string;
   n_params : int;
@@ -41,12 +51,47 @@ type t = {
   mutable n_blocks : int;
   mutable entry : block_id;
   mutable uses : user list array;
+  mutable generation : int;
+      (** bumped by every mutation; analysis caches key on it *)
+  mutable n_live : int;  (** live instruction count, maintained *)
+  mutable cache : cache;
+  mutable journal : journal option;
 }
 
 val name : t -> string
 val n_params : t -> int
 val entry : t -> block_id
+
+(** Monotonic mutation counter.  Every operation that changes the graph
+    bumps it; {!rollback} restores it (the graph really is back in its
+    checkpoint state). *)
+val generation : t -> int
+
 val create : ?name:string -> n_params:int -> unit -> t
+
+(** {2 Speculation (checkpoint / rollback)}
+
+    A copy-on-demand alternative to {!copy}/{!restore}: {!checkpoint}
+    starts journaling, after which every mutation first saves the
+    pre-state of the block / instruction / use list it touches (only the
+    first time each is touched).  {!rollback} undoes everything since the
+    checkpoint; {!commit} keeps it and drops the journal.  One level
+    only — checkpoints do not nest. *)
+
+val checkpoint : t -> unit
+val commit : t -> unit
+val rollback : t -> unit
+val in_speculation : t -> bool
+
+(** {2 Hand-mutation hooks}
+
+    The few modules that write graph record fields directly (the SSA
+    repairer and inliner moving terminators and bodies by hand, constant
+    hoisting) must announce each mutation {e before} performing it so the
+    journal and generation counter stay sound. *)
+
+val record_block : t -> block_id -> unit
+val record_instr : t -> instr_id -> unit
 
 (** {2 Arena access} *)
 

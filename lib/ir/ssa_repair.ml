@@ -143,10 +143,12 @@ let repair g ~classes =
                   let b = Graph.block g bid in
                   match b.Graph.term with
                   | Return (Some v) when v = original ->
+                      Graph.record_block g bid;
                       Graph.remove_use g original (Graph.U_term bid);
                       b.Graph.term <- Return (Some v');
                       Graph.add_use g v' (Graph.U_term bid)
                   | Branch br when br.cond = original ->
+                      Graph.record_block g bid;
                       Graph.remove_use g original (Graph.U_term bid);
                       b.Graph.term <- Branch { br with cond = v' };
                       Graph.add_use g v' (Graph.U_term bid)

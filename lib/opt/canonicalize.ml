@@ -168,6 +168,8 @@ let materialize_const g =
           Hashtbl.add hoisted v ();
           let entry = Ir.Graph.entry g in
           Ir.Graph.detach g v;
+          Ir.Graph.record_instr g v;
+          Ir.Graph.record_block g entry;
           let b = Ir.Graph.block g entry in
           (Ir.Graph.instr g v).Ir.Graph.ins_block <- entry;
           b.Ir.Graph.body <- v :: b.Ir.Graph.body

@@ -124,7 +124,7 @@ let implied ~kind_of env v kind =
 
 let run ctx g =
   Phase.charge_graph ctx g;
-  let dom = Ir.Dom.compute g in
+  let dom = Ir.Analyses.dom g in
   let changed = ref false in
   let kind_of v = G.kind g v in
   let rec visit env bid =

@@ -26,7 +26,7 @@ let is_candidate = function
 
 let run ctx g =
   Phase.charge_graph ctx g;
-  let dom = Ir.Dom.compute g in
+  let dom = Ir.Analyses.dom g in
   let table : (instr_kind, value) Hashtbl.t = Hashtbl.create 64 in
   let changed = ref false in
   let rec visit bid =

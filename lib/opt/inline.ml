@@ -40,7 +40,9 @@ let inline_site g call_id (callee : G.t) =
     | id :: rest -> split (id :: before) rest
   in
   let before, after = split [] cb.G.body in
+  G.record_block g call_block;
   let cont = G.add_block g in
+  G.record_block g cont;
   (* Move the call block's terminator to [cont], keeping successor
      predecessor lists and phi inputs intact (the edge source is renamed,
      its position is unchanged). *)
@@ -66,6 +68,7 @@ let inline_site g call_id (callee : G.t) =
   cb.G.body <- before;
   List.iter
     (fun id ->
+      G.record_instr g id;
       (G.instr g id).G.ins_block <- cont;
       (G.block g cont).G.body <- (G.block g cont).G.body @ [ id ])
     after;

@@ -32,8 +32,7 @@ let outside_pred g (loop : Ir.Loops.loop) =
 
 let run ctx g =
   Phase.charge_graph ctx g;
-  let dom = Ir.Dom.compute g in
-  let loops = Ir.Loops.compute dom in
+  let loops = Ir.Analyses.loops g in
   let changed = ref false in
   List.iter
     (fun loop ->

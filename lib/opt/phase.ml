@@ -8,14 +8,29 @@ type ctx = {
   program : Ir.Program.t option;
       (** metadata for inter-procedural facts; [None] for lone graphs *)
   mutable work : int;  (** deterministic compile-effort counter *)
+  mutable analysis_hits : int;
+      (** {!Ir.Analyses} cache hits observed under this context *)
+  mutable analysis_misses : int;  (** ... and misses (= real computes) *)
 }
 
-let create ?program () = { program; work = 0 }
+let create ?program () =
+  { program; work = 0; analysis_hits = 0; analysis_misses = 0 }
 
 (** Charge [n] work units (roughly: IR nodes examined). *)
 let charge ctx n = ctx.work <- ctx.work + n
 
 let charge_graph ctx g = charge ctx (Ir.Graph.live_instr_count g)
+
+let note_analyses ctx ~hits ~misses =
+  ctx.analysis_hits <- ctx.analysis_hits + hits;
+  ctx.analysis_misses <- ctx.analysis_misses + misses
+
+(** Fold a worker context's counters into [into] (the parallel driver's
+    deterministic merge: integer sums, independent of worker order). *)
+let merge_into ~into src =
+  into.work <- into.work + src.work;
+  into.analysis_hits <- into.analysis_hits + src.analysis_hits;
+  into.analysis_misses <- into.analysis_misses + src.analysis_misses
 
 type t = {
   phase_name : string;

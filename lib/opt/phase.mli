@@ -8,6 +8,9 @@ type ctx = {
   program : Ir.Program.t option;
       (** metadata for inter-procedural facts; [None] for lone graphs *)
   mutable work : int;  (** deterministic compile-effort counter *)
+  mutable analysis_hits : int;
+      (** {!Ir.Analyses} cache hits observed under this context *)
+  mutable analysis_misses : int;  (** ... and misses (= real computes) *)
 }
 
 val create : ?program:Ir.Program.t -> unit -> ctx
@@ -17,6 +20,13 @@ val charge : ctx -> int -> unit
 
 (** Charge one pass over the graph's live instructions. *)
 val charge_graph : ctx -> Ir.Graph.t -> unit
+
+(** Record analysis-cache hit/miss deltas against this context. *)
+val note_analyses : ctx -> hits:int -> misses:int -> unit
+
+(** Fold a worker context's counters into [into] (the parallel driver's
+    deterministic merge: integer sums, independent of worker order). *)
+val merge_into : into:ctx -> ctx -> unit
 
 type t = {
   phase_name : string;

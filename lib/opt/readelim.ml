@@ -51,7 +51,7 @@ let process_block ctx g bid st =
 
 let run ctx g =
   Phase.charge_graph ctx g;
-  let dom = Ir.Dom.compute g in
+  let dom = Ir.Analyses.dom g in
   let changed = ref false in
   let rec visit st bid =
     let st_out, c = process_block ctx g bid st in

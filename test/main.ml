@@ -16,6 +16,8 @@ let () =
       ("licm", Test_licm.suite);
       ("costmodel", Test_costmodel.suite);
       ("dbds", Test_dbds.suite);
+      ("analyses", Test_analyses.suite);
+      ("parallel", Test_parallel.suite);
       ("pathdup", Test_pathdup.suite);
       ("properties", Test_properties.suite);
       ("workloads", Test_workloads.suite);

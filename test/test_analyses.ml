@@ -1,0 +1,153 @@
+(** Tests for the incremental analysis cache ({!Ir.Analyses}): physical
+    reuse on an unchanged graph, generation-bump invalidation on
+    mutation, loop-factor keying, interaction with the speculation
+    journal, and cache effectiveness inside the DBDS driver loop. *)
+
+open Ir.Types
+module G = Ir.Graph
+module B = Ir.Builder
+open Helpers
+
+(* entry -> (bt | bf) -> merge (phi) -> ret *)
+let diamond () =
+  let b = B.create ~name:"diamond" ~n_params:1 () in
+  let x = B.param b 0 in
+  let zero = B.const b 0 in
+  let c = B.cmp b Gt x zero in
+  let bt = B.new_block b in
+  let bf = B.new_block b in
+  let merge = B.new_block b in
+  B.branch b c ~if_true:bt ~if_false:bf;
+  B.switch b bt;
+  B.jump b merge;
+  B.switch b bf;
+  B.jump b merge;
+  let phi = B.phi b merge [ x; zero ] in
+  B.switch b merge;
+  B.ret b phi;
+  B.finish b
+
+let test_physical_reuse () =
+  let g = diamond () in
+  let d1 = Ir.Analyses.dom g in
+  let d2 = Ir.Analyses.dom g in
+  Alcotest.(check bool) "same physical dom" true (d1 == d2);
+  let l1 = Ir.Analyses.loops g in
+  let l2 = Ir.Analyses.loops g in
+  Alcotest.(check bool) "same physical loops" true (l1 == l2);
+  let f1 = Ir.Analyses.frequency g in
+  let f2 = Ir.Analyses.frequency g in
+  Alcotest.(check bool) "same physical frequency" true (f1 == f2);
+  let s = Ir.Analyses.stats g in
+  Alcotest.(check bool) "hits recorded" true (s.Ir.Analyses.hits >= 3);
+  Alcotest.(check int) "three real computes" 3 s.Ir.Analyses.misses
+
+let test_mutation_invalidates () =
+  let g = diamond () in
+  let d1 = Ir.Analyses.dom g in
+  let gen_before = G.generation g in
+  (* Any mutation must bump the generation... *)
+  let k = G.append g (G.entry g) (Const 42) in
+  Alcotest.(check bool) "generation bumped" true (G.generation g > gen_before);
+  (* ...and invalidate the cached dominator tree. *)
+  let d2 = Ir.Analyses.dom g in
+  Alcotest.(check bool) "recomputed after mutation" true (not (d1 == d2));
+  (* Unchanged again: the new tree is now stable. *)
+  Alcotest.(check bool) "stable after recompute" true (d2 == Ir.Analyses.dom g);
+  ignore k
+
+let test_loop_factor_keying () =
+  let g = diamond () in
+  let f10 = Ir.Analyses.frequency ~loop_factor:10.0 g in
+  let f2 = Ir.Analyses.frequency ~loop_factor:2.0 g in
+  Alcotest.(check bool) "distinct per factor" true (not (f10 == f2));
+  Alcotest.(check bool) "factor 10 cached" true
+    (f10 == Ir.Analyses.frequency ~loop_factor:10.0 g);
+  Alcotest.(check bool) "factor 2 cached" true
+    (f2 == Ir.Analyses.frequency ~loop_factor:2.0 g)
+
+let test_rollback_revives_cache () =
+  let g = diamond () in
+  let d0 = Ir.Analyses.dom g in
+  let gen0 = G.generation g in
+  let live0 = G.live_instr_count g in
+  let printed0 = Ir.Printer.graph_to_string g in
+  G.checkpoint g;
+  (* A real structural change: new block spliced onto the merge edge. *)
+  let nb = G.add_block g in
+  ignore (G.append g nb (Const 7));
+  G.set_term g nb (Jump (G.entry g));
+  Alcotest.(check bool) "dom recomputed during speculation" true
+    (not (d0 == Ir.Analyses.dom g));
+  G.rollback g;
+  Alcotest.(check int) "generation restored" gen0 (G.generation g);
+  Alcotest.(check int) "live count restored" live0 (G.live_instr_count g);
+  Alcotest.(check string) "structure restored" printed0
+    (Ir.Printer.graph_to_string g);
+  check_verifies g;
+  Alcotest.(check bool) "checkpoint-time analysis revived" true
+    (d0 == Ir.Analyses.dom g)
+
+let test_commit_keeps_mutations () =
+  let g = diamond () in
+  let live0 = G.live_instr_count g in
+  G.checkpoint g;
+  ignore (G.append g (G.entry g) (Const 5));
+  G.commit g;
+  Alcotest.(check int) "mutation kept" (live0 + 1) (G.live_instr_count g);
+  check_verifies g
+
+(* A single hot function: repeated simulation rounds over an unchanged
+   graph must reuse the analyses instead of recomputing them (the
+   acceptance criterion: fewer Dom.compute executions than rounds). *)
+let loop_src =
+  {|
+    int main(int n) {
+      int s = 0;
+      int i = 0;
+      while (i < n) @0.9 {
+        int r;
+        if (i % 2 == 0) @0.5 { r = i * 2; } else { r = 3; }
+        s = s + r;
+        i = i + 1;
+      }
+      return s;
+    }
+  |}
+
+let test_simulation_round_reuses () =
+  let prog = compile loop_src in
+  let ctx = Opt.Phase.create ~program:prog () in
+  let g = Option.get (Ir.Program.find_function prog "main") in
+  (* First round computes, second round (graph unchanged) reuses. *)
+  ignore (Dbds.Simulation.simulate ctx Dbds.Config.default g);
+  let s1 = Ir.Analyses.stats g in
+  ignore (Dbds.Simulation.simulate ctx Dbds.Config.default g);
+  let s2 = Ir.Analyses.stats g in
+  Alcotest.(check int) "no new computes on unchanged graph"
+    s1.Ir.Analyses.misses s2.Ir.Analyses.misses;
+  Alcotest.(check bool) "dom+loops+freq reused" true
+    (s2.Ir.Analyses.hits >= s1.Ir.Analyses.hits + 3)
+
+let test_driver_cache_hits () =
+  let prog = compile loop_src in
+  let config =
+    { Dbds.Config.default with Dbds.Config.max_iterations = 4 }
+  in
+  let ctx, stats = Dbds.Driver.optimize_program ~config ~jobs:1 prog in
+  let rounds =
+    (Dbds.Driver.total_stats stats).Dbds.Driver.iterations_run
+  in
+  Alcotest.(check bool) "ran at least one round" true (rounds >= 1);
+  Alcotest.(check bool) "cache hits observed" true (ctx.Opt.Phase.analysis_hits > 0)
+
+let suite =
+  [
+    test "physical reuse on unchanged graph" test_physical_reuse;
+    test "mutation bumps generation and invalidates" test_mutation_invalidates;
+    test "frequency keyed by loop factor" test_loop_factor_keying;
+    test "rollback revives checkpoint-time cache" test_rollback_revives_cache;
+    test "commit keeps mutations" test_commit_keeps_mutations;
+    test "simulation rounds reuse analyses" test_simulation_round_reuses;
+    test "driver records cache hits" test_driver_cache_hits;
+  ]
