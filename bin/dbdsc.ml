@@ -26,8 +26,51 @@ let mode_conv =
       ("backtracking", Dbds.Config.Backtracking);
     ]
 
-let run_compiler file mode dump dot run args stats icache_off jobs =
+(* Contained failures are reported, never silent: the compilation is
+   degraded (those functions kept their unoptimized IR) but complete. *)
+let print_failures failures =
+  List.iter
+    (fun f ->
+      Format.eprintf "warning: %a@." Dbds.Driver.pp_failure f;
+      match f.Dbds.Driver.fail_bundle with
+      | Some path -> Format.eprintf "  crash bundle: %s@." path
+      | None -> ())
+    failures
+
+let replay path =
+  let b = Dbds.Bundle.read path in
+  Format.printf "replaying %s: function %s, crash at %s@." path
+    b.Dbds.Bundle.b_fn b.Dbds.Bundle.b_site;
+  (match b.Dbds.Bundle.b_plan with
+  | Some p -> Format.printf "fault plan: %s@." (Dbds.Faults.to_string p)
+  | None -> ());
+  match Dbds.Driver.replay_bundle b with
+  | `Reproduced f ->
+      Format.printf "reproduced: %a@." Dbds.Driver.pp_failure f;
+      Format.printf "backtrace:@.%s@." f.Dbds.Driver.fail_backtrace
+  | `Clean -> Format.printf "did not reproduce: the function now optimizes cleanly@."
+
+let run_compiler file mode dump dot run args stats icache_off jobs inject
+    paranoid bundle_dir no_contain replay_bundle =
   match
+    (match replay_bundle with
+    | Some path ->
+        replay path;
+        raise Exit
+    | None -> ());
+    let file =
+      match file with
+      | Some f -> f
+      | None -> failwith "a source FILE is required (or --replay-bundle)"
+    in
+    let fault_plan =
+      match inject with
+      | None -> None
+      | Some s -> (
+          match Dbds.Faults.of_string s with
+          | Ok p -> Some p
+          | Error msg -> failwith msg)
+    in
     let src = read_file file in
     let prog = Lang.Frontend.compile src in
     if dump = Dump_before || dump = Dump_both then begin
@@ -35,9 +78,21 @@ let run_compiler file mode dump dot run args stats icache_off jobs =
       Ir.Program.iter_functions prog (fun g ->
           Format.printf "%s@." (Ir.Printer.graph_to_string g))
     end;
-    let config = { Dbds.Config.default with Dbds.Config.mode } in
+    let config =
+      {
+        Dbds.Config.default with
+        Dbds.Config.mode;
+        fault_plan;
+        verify_between_phases = paranoid;
+        bundle_dir;
+        containment = not no_contain;
+      }
+    in
     let jobs = if jobs <= 0 then None else Some jobs in
-    let ctx, per_fn = Dbds.Driver.optimize_program ~config ?jobs prog in
+    let report = Dbds.Driver.optimize_program_report ~config ?jobs prog in
+    let ctx = report.Dbds.Driver.rep_ctx
+    and per_fn = report.Dbds.Driver.rep_stats in
+    print_failures report.Dbds.Driver.rep_failures;
     if dump = Dump_after || dump = Dump_both then begin
       Format.printf "=== IR after %s ===@." (Dbds.Config.mode_to_string mode);
       Ir.Program.iter_functions prog (fun g ->
@@ -60,7 +115,14 @@ let run_compiler file mode dump dot run args stats icache_off jobs =
       Ir.Program.iter_functions prog (fun g ->
           size := !size + Costmodel.Estimate.graph_size g);
       Format.printf "code size: %d bytes (cost model), compile work: %d units@."
-        !size ctx.Opt.Phase.work
+        !size ctx.Opt.Phase.work;
+      if ctx.Opt.Phase.contained <> [] then
+        Format.printf "contained failures: %d (%s)@."
+          (Opt.Phase.contained_total ctx)
+          (String.concat ", "
+             (List.map
+                (fun (site, n) -> Printf.sprintf "%s x%d" site n)
+                ctx.Opt.Phase.contained))
     end;
     if run then begin
       let icache =
@@ -78,18 +140,31 @@ let run_compiler file mode dump dot run args stats icache_off jobs =
     end
   with
   | () -> 0
+  | exception Exit -> 0
   | exception Lang.Frontend.Error msg ->
       Format.eprintf "error: %s@." msg;
       1
   | exception Sys_error msg ->
       Format.eprintf "error: %s@." msg;
       1
+  | exception Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | exception Dbds.Bundle.Malformed msg ->
+      Format.eprintf "error: malformed bundle: %s@." msg;
+      1
+  | exception Ir.Parse.Parse_error msg ->
+      Format.eprintf "error: bundle IR: %s@." msg;
+      1
   | exception Interp.Machine.Runtime_error msg ->
       Format.eprintf "runtime error: %s@." msg;
       1
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
+  Arg.(
+    value & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:"Source file (required unless $(b,--replay-bundle) is given).")
 
 let mode_arg =
   Arg.(
@@ -142,12 +217,63 @@ let jobs_arg =
           "Optimize N functions in parallel (0 = one per core; 1 = \
            sequential).  Output is identical for any N.")
 
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"PLAN"
+        ~env:(Cmd.Env.info "DBDS_FAULTS")
+        ~doc:
+          "Arm a deterministic fault plan: $(i,site):$(i,hit)[:$(i,fn)] \
+           raises at the Nth hit of a named site (sim.opportunity, \
+           transform.apply, ssa.repair, parallel.worker, analyses.cache), \
+           optionally only inside function $(i,fn); seed:$(i,N) derives a \
+           plan from seed N.")
+
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Verify SSA/CFG invariants after every optimization phase; a \
+           violation is contained like a crash and rolls the function back.")
+
+let bundle_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bundle-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write a replayable crash bundle (pre-attempt IR + config + fault \
+           plan) to DIR for every contained failure.")
+
+let no_contain_arg =
+  Arg.(
+    value & flag
+    & info [ "no-contain" ]
+        ~doc:
+          "Disable crash containment: let optimizer exceptions escape \
+           instead of rolling the function back.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay-bundle" ] ~docv:"BUNDLE"
+        ~doc:
+          "Replay a crash bundle written by $(b,--bundle-dir): re-run the \
+           recorded function under the recorded config and fault plan and \
+           report whether the failure reproduces.")
+
 let cmd =
   let doc = "SSA compiler with dominance-based duplication simulation" in
   Cmd.v
     (Cmd.info "dbdsc" ~version:"1.0.0" ~doc)
     Term.(
       const run_compiler $ file_arg $ mode_arg $ dump_arg $ dot_arg $ run_arg
-      $ args_arg $ stats_arg $ no_icache_arg $ jobs_arg)
+      $ args_arg $ stats_arg $ no_icache_arg $ jobs_arg $ inject_arg
+      $ paranoid_arg $ bundle_dir_arg $ no_contain_arg $ replay_arg)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  Printexc.record_backtrace true;
+  exit (Cmd.eval' cmd)

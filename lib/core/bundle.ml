@@ -1,0 +1,194 @@
+(** Replayable crash bundles.
+
+    When the driver contains a per-function failure it can dump
+    everything needed to re-execute the attempt into a small text file:
+    the pre-attempt IR (the graph as it stood when the per-function
+    pipeline started — i.e. after the containment rollback), the
+    configuration knobs that shape the pipeline, and the fault plan (if
+    the crash was injected).  [dbdsc --replay-bundle FILE] re-runs the
+    bundle and reports whether the failure reproduces.
+
+    Format (version 1) — a line-oriented header followed by the printed
+    graph:
+    {v
+    dbds-bundle: v1
+    function: <name>
+    site: <crash site>
+    exception: <Printexc.to_string>
+    plan: <site:hit[:fn] | none>
+    config: mode=<m> benefit_scale=<f> ... paranoid=<bool>
+    --- ir ---
+    fn <name>(<n> params) entry=bK
+    ...
+    v} *)
+
+type t = {
+  b_fn : string;  (** crashed function *)
+  b_site : string;  (** crash site (or ["exception"]) *)
+  b_exn : string;  (** rendered exception *)
+  b_plan : Faults.plan option;
+  b_config : Config.t;
+  b_ir : string;  (** pre-attempt IR, {!Ir.Printer} format *)
+}
+
+exception Malformed of string
+
+let ir_marker = "--- ir ---"
+
+(* ------------------------------------------------------------------ *)
+(* Config (de)serialization: only the knobs that shape the pipeline.   *)
+(* ------------------------------------------------------------------ *)
+
+let config_to_line (c : Config.t) =
+  Printf.sprintf
+    "mode=%s benefit_scale=%.17g size_budget=%.17g max_unit_size=%d \
+     max_iterations=%d iteration_benefit_threshold=%.17g loop_factor=%.17g \
+     path_duplication=%b max_path_length=%d paranoid=%b"
+    (Config.mode_to_string c.Config.mode)
+    c.Config.benefit_scale c.Config.size_budget c.Config.max_unit_size
+    c.Config.max_iterations c.Config.iteration_benefit_threshold
+    c.Config.loop_factor c.Config.path_duplication c.Config.max_path_length
+    c.Config.verify_between_phases
+
+let config_of_line line =
+  let fields =
+    List.filter_map
+      (fun part ->
+        match String.index_opt part '=' with
+        | Some i ->
+            Some
+              ( String.sub part 0 i,
+                String.sub part (i + 1) (String.length part - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' line)
+  in
+  let get k = List.assoc_opt k fields in
+  let int_field k d =
+    match get k with Some v -> int_of_string_opt v |> Option.value ~default:d | None -> d
+  in
+  let float_field k d =
+    match get k with
+    | Some v -> float_of_string_opt v |> Option.value ~default:d
+    | None -> d
+  in
+  let bool_field k d =
+    match get k with Some v -> bool_of_string_opt v |> Option.value ~default:d | None -> d
+  in
+  let d = Config.default in
+  {
+    d with
+    Config.mode =
+      (match Option.bind (get "mode") Config.mode_of_string with
+      | Some m -> m
+      | None -> d.Config.mode);
+    benefit_scale = float_field "benefit_scale" d.Config.benefit_scale;
+    size_budget = float_field "size_budget" d.Config.size_budget;
+    max_unit_size = int_field "max_unit_size" d.Config.max_unit_size;
+    max_iterations = int_field "max_iterations" d.Config.max_iterations;
+    iteration_benefit_threshold =
+      float_field "iteration_benefit_threshold"
+        d.Config.iteration_benefit_threshold;
+    loop_factor = float_field "loop_factor" d.Config.loop_factor;
+    path_duplication = bool_field "path_duplication" d.Config.path_duplication;
+    max_path_length = int_field "max_path_length" d.Config.max_path_length;
+    verify_between_phases = bool_field "paranoid" d.Config.verify_between_phases;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Write / read                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let render b =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "dbds-bundle: v1";
+  line "function: %s" b.b_fn;
+  line "site: %s" b.b_site;
+  line "exception: %s" (String.map (function '\n' -> ' ' | c -> c) b.b_exn);
+  line "plan: %s"
+    (match b.b_plan with Some p -> Faults.to_string p | None -> "none");
+  line "config: %s" (config_to_line b.b_config);
+  line "%s" ir_marker;
+  Buffer.add_string buf b.b_ir;
+  Buffer.contents buf
+
+(* Function names come from the frontend (identifiers), but sanitize
+   anyway: the file name must never escape the bundle directory. *)
+let sanitize fn =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> c
+      | _ -> '_')
+    fn
+
+(** Write the bundle into [dir] (created if missing); returns the path.
+    Deterministic file name per (function, site), so repeated runs
+    overwrite rather than accumulate. *)
+let write ~dir b =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "dbds-crash-%s-%s.bundle" (sanitize b.b_fn)
+         (sanitize b.b_site))
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render b));
+  path
+
+let parse text =
+  match String.split_on_char '\n' text with
+  | magic :: _ when magic <> "dbds-bundle: v1" ->
+      raise (Malformed "not a dbds-bundle v1 file")
+  | _ :: rest ->
+      let header = Hashtbl.create 8 in
+      let rec split_header = function
+        | [] -> raise (Malformed "missing IR section")
+        | l :: rest when l = ir_marker -> rest
+        | l :: rest ->
+            (match String.index_opt l ':' with
+            | Some i ->
+                let k = String.sub l 0 i in
+                let v =
+                  String.trim (String.sub l (i + 1) (String.length l - i - 1))
+                in
+                Hashtbl.replace header k v
+            | None -> ());
+            split_header rest
+      in
+      let ir_lines = split_header rest in
+      let get k =
+        match Hashtbl.find_opt header k with
+        | Some v -> v
+        | None -> raise (Malformed (Printf.sprintf "missing %S field" k))
+      in
+      let plan =
+        match get "plan" with
+        | "none" -> None
+        | s -> (
+            match Faults.of_string s with
+            | Ok p -> Some p
+            | Error e -> raise (Malformed e))
+      in
+      {
+        b_fn = get "function";
+        b_site = get "site";
+        b_exn = get "exception";
+        b_plan = plan;
+        b_config = config_of_line (get "config");
+        b_ir = String.concat "\n" ir_lines;
+      }
+  | [] -> raise (Malformed "empty bundle")
+
+(** Read and parse a bundle file.
+    @raise Malformed on anything that is not a v1 bundle. *)
+let read path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse text

@@ -27,6 +27,16 @@ type t = {
           straight chain of merges and apply the whole path as one
           candidate (up to [max_path_length] merges) *)
   max_path_length : int;
+  containment : bool;
+      (** contain per-function crashes: roll the graph back, record a
+          structured failure, keep optimizing the remaining functions *)
+  verify_between_phases : bool;
+      (** paranoid mode: run the IR verifier after every phase /
+          duplication and treat violations as contained crashes *)
+  fault_plan : Faults.plan option;
+      (** deterministic fault injection (testing); [None] in production *)
+  bundle_dir : string option;
+      (** write a replayable crash bundle here on every containment *)
 }
 
 let default =
@@ -40,6 +50,10 @@ let default =
     loop_factor = Ir.Frequency.default_loop_factor;
     path_duplication = false;
     max_path_length = 3;
+    containment = true;
+    verify_between_phases = false;
+    fault_plan = None;
+    bundle_dir = None;
   }
 
 let dbds = default
@@ -50,8 +64,18 @@ let backtracking = { default with mode = Backtracking }
 (** DBDS with the §8 path extension enabled. *)
 let dbds_paths = { default with path_duplication = true }
 
+(** DBDS with paranoid between-phase verification enabled. *)
+let paranoid = { default with verify_between_phases = true }
+
 let mode_to_string = function
   | Off -> "baseline"
   | Dbds -> "dbds"
   | Dupalot -> "dupalot"
   | Backtracking -> "backtracking"
+
+let mode_of_string = function
+  | "baseline" | "off" -> Some Off
+  | "dbds" -> Some Dbds
+  | "dupalot" -> Some Dupalot
+  | "backtracking" -> Some Backtracking
+  | _ -> None

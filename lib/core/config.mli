@@ -27,6 +27,16 @@ type t = {
           straight chain of merges and apply the whole path as one
           candidate (up to [max_path_length] merges) *)
   max_path_length : int;
+  containment : bool;
+      (** contain per-function crashes: roll the graph back, record a
+          structured failure, keep optimizing the remaining functions *)
+  verify_between_phases : bool;
+      (** paranoid mode: run the IR verifier after every phase /
+          duplication and treat violations as contained crashes *)
+  fault_plan : Faults.plan option;
+      (** deterministic fault injection (testing); [None] in production *)
+  bundle_dir : string option;
+      (** write a replayable crash bundle here on every containment *)
 }
 
 (** Mode [Dbds], BS=256, IB=1.5, MS=65536, 3 iterations, paths off. *)
@@ -41,3 +51,7 @@ val backtracking : t
 val dbds_paths : t
 
 val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+(** DBDS with paranoid between-phase verification enabled. *)
+val paranoid : t

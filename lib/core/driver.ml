@@ -11,6 +11,22 @@
 
 module G = Ir.Graph
 
+(** Paranoid mode ({!Config.t.verify_between_phases}): the IR verifier
+    found a broken invariant right after the named phase ran. *)
+exception Phase_invalid of { phase : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Phase_invalid { phase; reason } ->
+        Some (Printf.sprintf "Driver.Phase_invalid(after %s: %s)" phase reason)
+    | _ -> None)
+
+let paranoid_check (config : Config.t) phase g =
+  if config.Config.verify_between_phases then
+    match Ir.Verifier.verify_result g with
+    | Ok () -> ()
+    | Error reason -> raise (Phase_invalid { phase; reason })
+
 type stats = {
   mutable candidates_found : int;
   mutable duplications_performed : int;
@@ -68,7 +84,8 @@ let run_round config ctx stats g =
                     pred := d)
                  c.Candidate.path
              with Transform.Not_applicable _ -> ());
-            Opt.Phase.charge ctx (G.live_instr_count g)
+            Opt.Phase.charge ctx (G.live_instr_count g);
+            paranoid_check config "dbds.duplicate" g
         | exception Transform.Not_applicable _ ->
             (* An earlier duplication in this round invalidated the
                candidate (its edge moved); rediscovered next round. *)
@@ -113,27 +130,35 @@ let run_backtracking config ctx stats g =
                 stats.backtrack_attempts <- stats.backtrack_attempts + 1;
                 (* Copy-on-demand speculation: only the blocks /
                    instructions the attempt actually touches are saved,
-                   instead of deep-copying the whole graph per attempt. *)
+                   instead of deep-copying the whole graph per attempt.
+                   The protect guarantees the journal is unwound on
+                   *any* exception — an injected fault or a verifier
+                   violation mid-attempt must not leave the graph in a
+                   half-speculated state. *)
                 G.checkpoint g;
-                Opt.Phase.charge ctx (G.live_instr_count g);
-                let before = Costmodel.Estimate.weighted_cycles g in
-                match Transform.duplicate g ~merge:bm ~pred:bp with
-                | _ ->
-                    ignore (Opt.Pipeline.optimize ctx g);
-                    let after = Costmodel.Estimate.weighted_cycles g in
-                    let size_after = Costmodel.Estimate.graph_size g in
-                    if
-                      after < before
-                      && size_after < config.Config.max_unit_size
-                    then begin
-                      stats.backtrack_kept <- stats.backtrack_kept + 1;
-                      stats.duplications_performed <-
-                        stats.duplications_performed + 1;
-                      progress := true;
-                      G.commit g
-                    end
-                    else G.rollback g
-                | exception Transform.Not_applicable _ -> G.rollback g
+                Fun.protect
+                  ~finally:(fun () -> if G.in_speculation g then G.rollback g)
+                  (fun () ->
+                    Opt.Phase.charge ctx (G.live_instr_count g);
+                    let before = Costmodel.Estimate.weighted_cycles g in
+                    match Transform.duplicate g ~merge:bm ~pred:bp with
+                    | _ ->
+                        paranoid_check config "backtracking.duplicate" g;
+                        ignore (Opt.Pipeline.optimize ctx g);
+                        let after = Costmodel.Estimate.weighted_cycles g in
+                        let size_after = Costmodel.Estimate.graph_size g in
+                        if
+                          after < before
+                          && size_after < config.Config.max_unit_size
+                        then begin
+                          stats.backtrack_kept <- stats.backtrack_kept + 1;
+                          stats.duplications_performed <-
+                            stats.duplications_performed + 1;
+                          progress := true;
+                          G.commit g
+                        end
+                        else G.rollback g
+                    | exception Transform.Not_applicable _ -> G.rollback g)
               end)
             (G.preds g bm))
       merges
@@ -142,6 +167,14 @@ let run_backtracking config ctx stats g =
 (** Optimize one graph under the given configuration.  Returns statistics
     about the duplication work performed. *)
 let optimize_graph ?(config = Config.default) ctx g =
+  if config.Config.verify_between_phases && ctx.Opt.Phase.post_phase = None
+  then
+    ctx.Opt.Phase.post_phase <-
+      Some
+        (fun phase g ->
+          match Ir.Verifier.verify_result g with
+          | Ok () -> ()
+          | Error reason -> raise (Phase_invalid { phase; reason }));
   let stats = fresh_stats () in
   let analyses_before = Ir.Analyses.stats g in
   (match config.Config.mode with
@@ -171,15 +204,147 @@ let optimize_graph ?(config = Config.default) ctx g =
       (analyses_after.Ir.Analyses.misses - analyses_before.Ir.Analyses.misses);
   stats
 
+(* ------------------------------------------------------------------ *)
+(* Crash containment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A per-function failure that was contained: the function's graph was
+    rolled back to its pre-attempt state, the rest of the program kept
+    optimizing. *)
+type failure = {
+  fail_fn : string;  (** function whose pipeline crashed *)
+  fail_site : string;
+      (** crash site: a {!Faults.site} name, ["verify.<phase>"] for a
+          paranoid violation, or ["exception"] for anything else *)
+  fail_exn : string;  (** rendered exception *)
+  fail_backtrace : string;
+  fail_work : int;  (** work units charged during the failed attempt *)
+  fail_pre_ir : string;
+      (** the function's IR when the attempt started — what the graph
+          was rolled back to, and what a crash bundle replays *)
+  fail_bundle : string option;  (** bundle path, when one was written *)
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s: contained crash at %s (%s)" f.fail_fn f.fail_site f.fail_exn
+
+(* Containment must never swallow genuinely unrecoverable conditions. *)
+let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
+
+let site_of_exn = function
+  | Faults.Injected { site; _ } -> Faults.site_to_string site
+  | Phase_invalid { phase; _ } -> "verify." ^ phase
+  | Ir.Verifier.Invalid _ -> "verify"
+  | _ -> "exception"
+
+(* Optimize one function under containment: arm the fault registry,
+   speculate the whole per-function pipeline, and on any exception roll
+   the graph back to its pre-attempt state and return a structured
+   failure instead of propagating.
+
+   The undo mechanism depends on the mode.  Dbds / Dupalot / Off never
+   speculate internally, so the pipeline itself runs under a journal
+   checkpoint (copy-on-demand, committed on success).  Backtracking
+   owns the journal for its own attempts — checkpoints do not nest — so
+   containment falls back to a full pre-copy there (the strategy is the
+   expensive comparator anyway). *)
+let optimize_one (config : Config.t) ctx g =
+  let fn = Ir.Graph.name g in
+  let attempt () =
+    Faults.armed config.Config.fault_plan ~fn (fun () ->
+        Faults.hit Faults.Parallel_worker;
+        optimize_graph ~config ctx g)
+  in
+  if not config.Config.containment then (attempt (), None)
+  else begin
+    (* In diagnostic runs (injection / bundles / paranoia) capture the
+       pre-attempt IR up front, so rollback fidelity is checkable
+       against an independent copy; otherwise print it only after a
+       rollback, costing nothing on the fault-free fast path. *)
+    let diagnostics =
+      config.Config.fault_plan <> None
+      || config.Config.bundle_dir <> None
+      || config.Config.verify_between_phases
+    in
+    let pre_ir =
+      if diagnostics then Some (Ir.Printer.graph_to_string g) else None
+    in
+    let backup =
+      if config.Config.mode = Config.Backtracking then Some (G.copy g)
+      else begin
+        G.checkpoint g;
+        None
+      end
+    in
+    let work_before = ctx.Opt.Phase.work in
+    match attempt () with
+    | s ->
+        (match backup with None -> G.commit g | Some _ -> ());
+        (s, None)
+    | exception e when not (fatal e) ->
+        let bt = Printexc.get_raw_backtrace () in
+        (* Undo everything the attempt did: unwind whatever speculation
+           the crash interrupted, then restore the pre-attempt state. *)
+        if G.in_speculation g then G.rollback g;
+        (match backup with Some b -> G.restore g ~backup:b | None -> ());
+        let pre_ir =
+          match pre_ir with
+          | Some s -> s
+          | None -> Ir.Printer.graph_to_string g
+        in
+        let site = site_of_exn e in
+        let rendered = Printexc.to_string e in
+        let bundle =
+          match config.Config.bundle_dir with
+          | Some dir ->
+              Some
+                (Bundle.write ~dir
+                   {
+                     Bundle.b_fn = fn;
+                     b_site = site;
+                     b_exn = rendered;
+                     b_plan = config.Config.fault_plan;
+                     b_config = config;
+                     b_ir = pre_ir;
+                   })
+          | None -> None
+        in
+        Opt.Phase.note_contained ctx ~site;
+        ( fresh_stats (),
+          Some
+            {
+              fail_fn = fn;
+              fail_site = site;
+              fail_exn = rendered;
+              fail_backtrace = Printexc.raw_backtrace_to_string bt;
+              fail_work = ctx.Opt.Phase.work - work_before;
+              fail_pre_ir = pre_ir;
+              fail_bundle = bundle;
+            } )
+  end
+
+(** The full result of a program run: phase context, per-function
+    statistics (zeroed for contained functions) and contained
+    failures — all in function-name order, identical for any [jobs]. *)
+type report = {
+  rep_ctx : Opt.Phase.ctx;
+  rep_stats : (string * stats) list;
+  rep_failures : failure list;
+}
+
 (** Optimize a whole program: inline first (compilation units in the
     evaluation are post-inlining, as in Graal), then fan the configured
     per-function pipeline out over [jobs] domains (default: all cores;
     [~jobs:1] is the sequential behavior).  Each function graph is owned
     by exactly one domain; per-domain phase contexts are merged
     deterministically (in function-name order), so output graphs and
-    aggregate statistics are identical for any [jobs].  Returns the phase
-    context (for work-unit accounting) and per-function statistics. *)
-let optimize_program ?(config = Config.default) ?(inline = true) ?jobs program =
+    aggregate statistics are identical for any [jobs].
+
+    Under {!Config.t.containment} (the default) no exception escapes:
+    a crashing per-function pipeline is rolled back and reported in
+    [rep_failures] while the remaining functions still optimize. *)
+let optimize_program_report ?(config = Config.default) ?(inline = true) ?jobs
+    program =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
@@ -192,29 +357,60 @@ let optimize_program ?(config = Config.default) ?(inline = true) ?jobs program =
       (fun name -> Ir.Program.find_function program name)
       (Ir.Program.function_names program)
   in
-  if jobs = 1 then
-    ( ctx,
+  let results =
+    if jobs = 1 then
       List.map
-        (fun g -> (Ir.Graph.name g, optimize_graph ~config ctx g))
-        functions )
-  else begin
-    let results =
-      Parallel.map ~jobs
         (fun g ->
-          let wctx = Opt.Phase.create ~program () in
-          let s = optimize_graph ~config wctx g in
-          (Ir.Graph.name g, s, wctx))
+          let s, f = optimize_one config ctx g in
+          (Ir.Graph.name g, s, f))
         functions
-    in
-    let stats =
+    else
       List.map
-        (fun (name, s, wctx) ->
+        (fun (name, s, f, wctx) ->
           Opt.Phase.merge_into ~into:ctx wctx;
-          (name, s))
-        results
-    in
-    (ctx, stats)
-  end
+          (name, s, f))
+        (Parallel.map ~jobs
+           (fun g ->
+             let wctx = Opt.Phase.create ~program () in
+             let s, f = optimize_one config wctx g in
+             (Ir.Graph.name g, s, f, wctx))
+           functions)
+  in
+  {
+    rep_ctx = ctx;
+    rep_stats = List.map (fun (name, s, _) -> (name, s)) results;
+    rep_failures = List.filter_map (fun (_, _, f) -> f) results;
+  }
+
+(** {!optimize_program_report} without the failure detail — the
+    historical interface most callers use.  Contained failures are still
+    contained (counted in the context's [contained] stats). *)
+let optimize_program ?config ?inline ?jobs program =
+  let r = optimize_program_report ?config ?inline ?jobs program in
+  (r.rep_ctx, r.rep_stats)
+
+(* ------------------------------------------------------------------ *)
+(* Bundle replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Re-execute a crash bundle: parse its pre-attempt IR, rebuild the
+    recorded configuration (fault plan included) and run the
+    per-function pipeline under containment.  [`Reproduced f] if the
+    attempt was contained again, [`Clean] if it now succeeds. *)
+let replay_bundle (b : Bundle.t) =
+  let g = Ir.Parse.parse_graph b.Bundle.b_ir in
+  let program = Ir.Program.of_graph g in
+  let config =
+    {
+      b.Bundle.b_config with
+      Config.containment = true;
+      fault_plan = b.Bundle.b_plan;
+      bundle_dir = None;
+    }
+  in
+  (* The bundle holds post-inlining IR: do not inline again. *)
+  let r = optimize_program_report ~config ~inline:false program in
+  match r.rep_failures with f :: _ -> `Reproduced f | [] -> `Clean
 
 (** Aggregate statistics over a program run. *)
 let total_stats per_function =

@@ -10,6 +10,10 @@
     previous round's cumulative accepted benefit clears a threshold (or
     ranked candidates went stale mid-round). *)
 
+(** Paranoid mode ({!Config.t.verify_between_phases}): the IR verifier
+    found a broken invariant right after the named phase ran. *)
+exception Phase_invalid of { phase : string; reason : string }
+
 type stats = {
   mutable candidates_found : int;
   mutable duplications_performed : int;
@@ -22,23 +26,66 @@ type stats = {
 val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+(** A per-function failure that was contained: the function's graph was
+    rolled back to its pre-attempt state, the rest of the program kept
+    optimizing. *)
+type failure = {
+  fail_fn : string;  (** function whose pipeline crashed *)
+  fail_site : string;
+      (** crash site: a {!Faults.site} name, ["verify.<phase>"] for a
+          paranoid violation, or ["exception"] for anything else *)
+  fail_exn : string;  (** rendered exception *)
+  fail_backtrace : string;
+  fail_work : int;  (** work units charged during the failed attempt *)
+  fail_pre_ir : string;
+      (** the function's IR when the attempt started — what the graph
+          was rolled back to, and what a crash bundle replays *)
+  fail_bundle : string option;  (** bundle path, when one was written *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
 (** Optimize one graph under the given configuration. *)
 val optimize_graph :
   ?config:Config.t -> Opt.Phase.ctx -> Ir.Graph.t -> stats
+
+(** The full result of a program run: phase context, per-function
+    statistics (zeroed for contained functions) and contained failures —
+    all in function-name order, identical for any [jobs]. *)
+type report = {
+  rep_ctx : Opt.Phase.ctx;
+  rep_stats : (string * stats) list;
+  rep_failures : failure list;
+}
 
 (** Optimize a whole program: inline first (compilation units in the
     evaluation are post-inlining, as in Graal; disable with
     [~inline:false]), then fan the configured per-function pipeline out
     over [jobs] domains (default: all cores; [~jobs:1] is sequential).
     Output graphs and aggregate statistics are identical for any [jobs].
-    Returns the phase context (work-unit accounting) and per-function
-    statistics. *)
+
+    Under {!Config.t.containment} (the default) no exception escapes:
+    a crashing per-function pipeline is rolled back to its pre-attempt
+    IR and reported in [rep_failures] (with a crash bundle when
+    {!Config.t.bundle_dir} is set) while the remaining functions still
+    optimize — under any [jobs] value. *)
+val optimize_program_report :
+  ?config:Config.t -> ?inline:bool -> ?jobs:int -> Ir.Program.t -> report
+
+(** {!optimize_program_report} without the failure detail — the
+    historical interface.  Contained failures are still contained
+    (counted in the context's [contained] stats). *)
 val optimize_program :
   ?config:Config.t ->
   ?inline:bool ->
   ?jobs:int ->
   Ir.Program.t ->
   Opt.Phase.ctx * (string * stats) list
+
+(** Re-execute a crash bundle: parse its pre-attempt IR, rebuild the
+    recorded configuration (fault plan included) and rerun the
+    per-function pipeline under containment. *)
+val replay_bundle : Bundle.t -> [ `Reproduced of failure | `Clean ]
 
 (** Aggregate statistics over a program run. *)
 val total_stats : (string * stats) list -> stats

@@ -1,0 +1,143 @@
+(** Deterministic fault injection for the DBDS pipeline.
+
+    The optimizer has a handful of named {e sites} — points where real
+    failures have bitten or could bite: an opportunity check in the
+    simulation tier, the duplication transform mid-mutation, SSA
+    reconstruction, a worker domain picking up a function, an analysis
+    cache miss.  A {e fault plan} [(seed, site, nth-hit)] arms exactly
+    one of them: the [nth] time that site executes inside a matching
+    function's per-function pipeline, {!Injected} is raised.
+
+    Hit counting is {e per function}: the registry is armed by the
+    driver around each function's pipeline ({!armed}) and counts hits in
+    domain-local state.  Because every function is optimized by exactly
+    one domain and its pipeline is sequential, the [nth] hit of a site
+    within a function is a deterministic point — independent of how many
+    worker domains run and of scheduling.  The same plan therefore
+    crashes the same functions at the same instruction under [jobs:1]
+    and [jobs:N], which is what makes contained failures reproducible
+    and crash bundles replayable.
+
+    Sites below the [dbds] library ([ssa.repair], [analyses.cache]) are
+    reached through {!Ir.Probe}: this module installs the process-wide
+    probe handler at load time. *)
+
+type site =
+  | Sim_opportunity  (** an applicability check fired in a DST *)
+  | Transform_apply  (** the duplication transform, mid-mutation *)
+  | Ssa_repair  (** SSA reconstruction after a duplication *)
+  | Parallel_worker  (** a worker domain picking up a function *)
+  | Analyses_cache  (** an analysis-cache miss (a real recompute) *)
+
+let all_sites =
+  [ Sim_opportunity; Transform_apply; Ssa_repair; Parallel_worker; Analyses_cache ]
+
+let site_to_string = function
+  | Sim_opportunity -> "sim.opportunity"
+  | Transform_apply -> "transform.apply"
+  | Ssa_repair -> "ssa.repair"
+  | Parallel_worker -> "parallel.worker"
+  | Analyses_cache -> "analyses.cache"
+
+let site_of_string = function
+  | "sim.opportunity" -> Some Sim_opportunity
+  | "transform.apply" -> Some Transform_apply
+  | "ssa.repair" -> Some Ssa_repair
+  | "parallel.worker" -> Some Parallel_worker
+  | "analyses.cache" -> Some Analyses_cache
+  | _ -> None
+
+type plan = {
+  seed : int;  (** provenance: the fuzz seed this plan was derived from *)
+  site : site;
+  hit : int;  (** 1-based: the [hit]-th execution of [site] raises *)
+  fn : string option;  (** only arm for this function ([None] = all) *)
+}
+
+exception Injected of { site : site; hit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; hit } ->
+        Some
+          (Printf.sprintf "Faults.Injected(%s, hit %d)" (site_to_string site)
+             hit)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Plan syntax: "site:hit", "site:hit:fn", "seed:N"                    *)
+(* ------------------------------------------------------------------ *)
+
+let to_string p =
+  let base = Printf.sprintf "%s:%d" (site_to_string p.site) p.hit in
+  match p.fn with None -> base | Some fn -> base ^ ":" ^ fn
+
+(** Derive a pseudorandom plan from a seed: a site and a small hit
+    index, uniformly.  Deterministic in [seed]. *)
+let of_seed seed =
+  let rng = Random.State.make [| 0x0fa17; seed |] in
+  let site = List.nth all_sites (Random.State.int rng (List.length all_sites)) in
+  let hit = 1 + Random.State.int rng 6 in
+  { seed; site; hit; fn = None }
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "seed"; n ] -> (
+      match int_of_string_opt n with
+      | Some seed -> Ok (of_seed seed)
+      | None -> Error (Printf.sprintf "invalid fault seed %S" n))
+  | site :: hit :: rest -> (
+      match (site_of_string site, int_of_string_opt hit) with
+      | None, _ ->
+          Error
+            (Printf.sprintf "unknown fault site %S (known: %s)" site
+               (String.concat ", " (List.map site_to_string all_sites)))
+      | _, None -> Error (Printf.sprintf "invalid hit count %S" hit)
+      | Some site, Some hit when hit >= 1 ->
+          let fn =
+            match rest with [] -> None | parts -> Some (String.concat ":" parts)
+          in
+          Ok { seed = 0; site; hit; fn }
+      | _ -> Error "hit count must be >= 1")
+  | _ ->
+      Error
+        (Printf.sprintf
+           "cannot parse fault plan %S (expected site:hit[:fn] or seed:N)" s)
+
+(* ------------------------------------------------------------------ *)
+(* Arming and hit counting (domain-local)                              *)
+(* ------------------------------------------------------------------ *)
+
+type armed_state = { plan : plan; mutable count : int }
+
+let state_key : armed_state option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(** [armed plan ~fn f] runs [f] with the registry armed for function
+    [fn] under [plan] ([None] or a non-matching [plan.fn] arm nothing).
+    The hit counter starts fresh; the previous arming is restored on
+    exit, exceptional or not. *)
+let armed plan ~fn f =
+  match plan with
+  | None -> f ()
+  | Some p when p.fn <> None && p.fn <> Some fn -> f ()
+  | Some p ->
+      let prev = Domain.DLS.get state_key in
+      Domain.DLS.set state_key (Some { plan = p; count = 0 });
+      Fun.protect ~finally:(fun () -> Domain.DLS.set state_key prev) f
+
+(** Announce one execution of [site].  No-op unless armed for it; raises
+    {!Injected} on the plan's hit. *)
+let hit site =
+  match Domain.DLS.get state_key with
+  | Some st when st.plan.site = site ->
+      st.count <- st.count + 1;
+      if st.count = st.plan.hit then
+        raise (Injected { site; hit = st.count })
+  | _ -> ()
+
+(* Wire the IR-level probes ("ssa.repair", "analyses.cache") into the
+   registry.  Installed once, when the dbds library loads. *)
+let () =
+  Ir.Probe.set_handler (fun name ->
+      match site_of_string name with Some s -> hit s | None -> ())

@@ -1,0 +1,49 @@
+(** Deterministic fault injection for the DBDS pipeline.
+
+    A fault plan [(seed, site, nth-hit)] arms one named site: the [nth]
+    time it executes inside a matching function's per-function pipeline,
+    {!Injected} is raised.  Hits are counted per function in
+    domain-local state, so the crash point is deterministic for any
+    [jobs] value — the foundation for reproducible containment and
+    replayable crash bundles.  See {!Config.t.fault_plan} for threading
+    a plan through the driver and [dbdsc --inject] / [DBDS_FAULTS] for
+    the user-facing syntax. *)
+
+type site =
+  | Sim_opportunity  (** an applicability check fired in a DST *)
+  | Transform_apply  (** the duplication transform, mid-mutation *)
+  | Ssa_repair  (** SSA reconstruction after a duplication *)
+  | Parallel_worker  (** a worker domain picking up a function *)
+  | Analyses_cache  (** an analysis-cache miss (a real recompute) *)
+
+val all_sites : site list
+val site_to_string : site -> string
+val site_of_string : string -> site option
+
+type plan = {
+  seed : int;  (** provenance: the fuzz seed this plan was derived from *)
+  site : site;
+  hit : int;  (** 1-based: the [hit]-th execution of [site] raises *)
+  fn : string option;  (** only arm for this function ([None] = all) *)
+}
+
+exception Injected of { site : site; hit : int }
+
+(** Render as [site:hit] or [site:hit:fn] — the [--inject] syntax. *)
+val to_string : plan -> string
+
+(** Parse [site:hit], [site:hit:fn] or [seed:N]. *)
+val of_string : string -> (plan, string) result
+
+(** Derive a pseudorandom (site, hit) plan from a seed.
+    Deterministic in [seed]. *)
+val of_seed : int -> plan
+
+(** [armed plan ~fn f] runs [f] with the registry armed for function
+    [fn] ([None] or a non-matching [plan.fn] arm nothing).  The hit
+    counter starts fresh; the previous arming is restored on exit. *)
+val armed : plan option -> fn:string -> (unit -> 'a) -> 'a
+
+(** Announce one execution of [site].  No-op unless armed for it;
+    raises {!Injected} on the plan's hit. *)
+val hit : site -> unit

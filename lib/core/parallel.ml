@@ -19,6 +19,22 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Join every domain, even if some join re-raises a worker's uncaught
+   exception; the earliest-spawned failure is re-raised only after all
+   siblings have terminated (no orphaned domains, no wedged cursor). *)
+let join_all helpers =
+  let first_error = ref None in
+  List.iter
+    (fun d ->
+      try Domain.join d
+      with e ->
+        if !first_error = None then
+          first_error := Some (e, Printexc.get_raw_backtrace ()))
+    helpers;
+  match !first_error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
 let map ~jobs f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
@@ -39,10 +55,30 @@ let map ~jobs f items =
                with e -> Error (e, Printexc.get_raw_backtrace ()))
       done
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain works too: jobs domains total. *)
-    worker ();
-    List.iter Domain.join helpers;
+    (* Spawn helpers one at a time: if a spawn fails (resource
+       exhaustion), the domains already running are joined before the
+       error propagates — no orphans draining the cursor unwatched. *)
+    let helpers = ref [] in
+    (try
+       for _ = 2 to jobs do
+         helpers := Domain.spawn worker :: !helpers
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       join_all !helpers;
+       Printexc.raise_with_backtrace e bt);
+    (* The calling domain works too: jobs domains total.  [worker]
+       captures per-item exceptions, so it normally cannot raise; the
+       explicit join-all-then-reraise path below keeps the guarantee
+       even for asynchronous exceptions (Out_of_memory, Stack_overflow)
+       in the caller's slice. *)
+    (match worker () with
+    | () -> ()
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (try join_all !helpers with _ -> ());
+        Printexc.raise_with_backtrace e bt);
+    join_all !helpers;
     Array.to_list
       (Array.map
          (function

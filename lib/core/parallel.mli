@@ -5,7 +5,9 @@
     — deterministic for any [jobs].  Each item is processed by exactly
     one domain; [f] must only mutate state owned by its item.  Exceptions
     are re-raised in the calling domain (earliest-indexed failure wins),
-    with backtraces preserved. *)
+    with backtraces preserved.  A raising worker — or a failing spawn —
+    never leaves sibling domains unjoined: all domains are joined before
+    anything propagates (explicit join-all-then-reraise). *)
 
 (** [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int

@@ -75,6 +75,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
   let mem = ref dctx.mem in
   let counted_allocs = Hashtbl.create 4 in
   let fire opp ~saved_cycles ~saved_size =
+    Faults.hit Faults.Sim_opportunity;
     benefit := !benefit +. saved_cycles;
     size_delta := !size_delta - saved_size;
     let tag = Candidate.opportunity_index opp in

@@ -76,6 +76,10 @@ let duplicate g ~merge ~pred =
     | Unreachable -> Unreachable
   in
   G.set_term g bm' term';
+  (* Fault site: the transform is mid-mutation here (bm' exists, the
+     edge is not yet redirected) — an injected crash exercises the
+     containment journal's ability to undo a partial duplication. *)
+  Faults.hit Faults.Transform_apply;
   List.iter
     (fun s ->
       let idx_bm = G.pred_index g s bm in

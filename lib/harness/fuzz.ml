@@ -1,0 +1,149 @@
+(** Resilience fuzzing: drive random {!Workloads.Progen} programs
+    through random fault plans and check the containment contract.
+
+    For every (graph seed × fault plan) pair the optimizer runs under
+    injection, and three invariants are asserted:
+
+    + {e no escape}: no exception leaves
+      {!Dbds.Driver.optimize_program_report};
+    + {e rollback fidelity}: every contained function's IR is
+      byte-identical to its pre-attempt IR (the graph the pipeline
+      started from);
+    + {e jobs determinism}: the printed program, the failure list, the
+      per-function statistics and the phase-context counters are
+      identical under every [jobs] value tried.
+
+    Any breach is reported as a human-readable violation string; an
+    empty [violations] list is the pass criterion.  Everything is
+    seeded, so a reported violation reproduces by rerunning the same
+    pair. *)
+
+type result = {
+  pairs_run : int;  (** (graph seed × fault plan) pairs executed *)
+  contained : int;  (** contained failures observed (at [List.hd jobs]) *)
+  by_site : (string * int) list;  (** ... broken down per crash site *)
+  violations : string list;  (** invariant breaches; [[]] = pass *)
+}
+
+(* One deterministic fingerprint of a finished run: printed graphs,
+   failures, stats, counters.  Byte-equal fingerprints = identical runs. *)
+let fingerprint prog (r : Dbds.Driver.report) =
+  let buf = Buffer.create 4096 in
+  Ir.Program.iter_functions prog (fun g ->
+      Buffer.add_string buf (Ir.Printer.graph_to_string g);
+      Buffer.add_char buf '\n');
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf
+        (Format.asprintf "%s: %a@." name Dbds.Driver.pp_stats s))
+    r.Dbds.Driver.rep_stats;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "failure %s at %s: %s\n" f.Dbds.Driver.fail_fn
+           f.Dbds.Driver.fail_site f.Dbds.Driver.fail_exn))
+    r.Dbds.Driver.rep_failures;
+  let ctx = r.Dbds.Driver.rep_ctx in
+  Buffer.add_string buf
+    (Printf.sprintf "work=%d contained=%d\n" ctx.Opt.Phase.work
+       (Opt.Phase.contained_total ctx));
+  Buffer.contents buf
+
+let config_for plan k =
+  {
+    Dbds.Config.default with
+    Dbds.Config.mode =
+      (* Every fourth plan runs the backtracking comparator so the
+         copy-based containment path and the speculation journal's
+         Fun.protect unwind get fuzzed too. *)
+      (if k mod 4 = 3 then Dbds.Config.Backtracking else Dbds.Config.Dbds);
+    fault_plan = Some plan;
+    verify_between_phases = k mod 5 = 0;
+    containment = true;
+  }
+
+(* Run one (source, plan) pair at one jobs value; returns the
+   fingerprint and the report, or a violation string if an exception
+   escaped. *)
+let run_one ~src ~config ~jobs =
+  let prog = Lang.Frontend.compile src in
+  match Dbds.Driver.optimize_program_report ~config ~jobs prog with
+  | r -> Ok (fingerprint prog r, prog, r)
+  | exception e ->
+      Error
+        (Printf.sprintf "escaped exception (jobs=%d): %s" jobs
+           (Printexc.to_string e))
+
+(** Fuzz the containment contract over [graph_seeds] × [plans_per_graph]
+    pairs, each at every jobs value in [jobs_matrix].  Defaults: 25
+    seeds × 4 plans = 100 pairs, at [jobs:1] and [jobs:4]. *)
+let run ?(graph_seeds = List.init 25 Fun.id) ?(plans_per_graph = 4)
+    ?(jobs_matrix = [ 1; 4 ]) () =
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let pairs = ref 0 in
+  let contained = ref 0 in
+  let by_site = ref [] in
+  let jobs_matrix = match jobs_matrix with [] -> [ 1 ] | l -> l in
+  List.iter
+    (fun seed ->
+      let src = Workloads.Progen.generate ~seed () in
+      for k = 0 to plans_per_graph - 1 do
+        let plan = Dbds.Faults.of_seed ((seed * 8191) + k) in
+        let config = config_for plan k in
+        let tag =
+          Printf.sprintf "seed=%d plan=%s mode=%s" seed
+            (Dbds.Faults.to_string plan)
+            (Dbds.Config.mode_to_string config.Dbds.Config.mode)
+        in
+        incr pairs;
+        let results =
+          List.map (fun jobs -> (jobs, run_one ~src ~config ~jobs)) jobs_matrix
+        in
+        (match results with
+        | (_, Ok (fp0, _, _)) :: rest ->
+            List.iter
+              (fun (jobs, res) ->
+                match res with
+                | Ok (fp, _, _) ->
+                    if fp <> fp0 then
+                      violate "%s: jobs=%d diverges from jobs=%d" tag jobs
+                        (List.hd jobs_matrix)
+                | Error msg -> violate "%s: %s" tag msg)
+              rest
+        | (_, Error msg) :: _ -> violate "%s: %s" tag msg
+        | [] -> ());
+        (* Invariants 1 and 2 on the first jobs value's run. *)
+        match results with
+        | (_, Ok (_, prog, r)) :: _ ->
+            List.iter
+              (fun f ->
+                contained := !contained + 1;
+                by_site :=
+                  (let site = f.Dbds.Driver.fail_site in
+                   let n =
+                     match List.assoc_opt site !by_site with
+                     | Some n -> n
+                     | None -> 0
+                   in
+                   (site, n + 1) :: List.remove_assoc site !by_site);
+                match Ir.Program.find_function prog f.Dbds.Driver.fail_fn with
+                | None ->
+                    violate "%s: contained function %s vanished" tag
+                      f.Dbds.Driver.fail_fn
+                | Some g ->
+                    if Ir.Printer.graph_to_string g <> f.Dbds.Driver.fail_pre_ir
+                    then
+                      violate
+                        "%s: %s not rolled back to its pre-attempt IR" tag
+                        f.Dbds.Driver.fail_fn)
+              r.Dbds.Driver.rep_failures
+        | _ -> ()
+      done)
+    graph_seeds;
+  {
+    pairs_run = !pairs;
+    contained = !contained;
+    by_site = List.sort compare !by_site;
+    violations = List.rev !violations;
+  }

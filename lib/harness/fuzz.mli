@@ -1,0 +1,22 @@
+(** Resilience fuzzing: drive random {!Workloads.Progen} programs
+    through random fault plans and check the containment contract —
+    no exception escapes the driver, contained functions roll back to
+    byte-identical pre-attempt IR, and runs are deterministic across
+    [jobs] values.  Everything is seeded; violations reproduce. *)
+
+type result = {
+  pairs_run : int;  (** (graph seed × fault plan) pairs executed *)
+  contained : int;  (** contained failures observed (at [List.hd jobs]) *)
+  by_site : (string * int) list;  (** ... broken down per crash site *)
+  violations : string list;  (** invariant breaches; [[]] = pass *)
+}
+
+(** Fuzz the containment contract over [graph_seeds] × [plans_per_graph]
+    pairs, each at every jobs value in [jobs_matrix].  Defaults: 25
+    seeds × 4 plans = 100 pairs, at [jobs:1] and [jobs:4]. *)
+val run :
+  ?graph_seeds:int list ->
+  ?plans_per_graph:int ->
+  ?jobs_matrix:int list ->
+  unit ->
+  result

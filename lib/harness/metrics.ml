@@ -15,8 +15,13 @@ type measurement = {
   compile_wall_s : float;
   duplications : int;
   candidates : int;
+  contained : (string * int) list;
+      (** contained per-function optimizer failures, per crash site —
+          a degraded-but-complete compilation, never silent *)
   result_value : string;  (** for cross-configuration sanity checking *)
 }
+
+let contained_total m = List.fold_left (fun acc (_, n) -> acc + n) 0 m.contained
 
 type row = {
   benchmark : string;

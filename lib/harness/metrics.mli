@@ -16,8 +16,14 @@ type measurement = {
   compile_wall_s : float;
   duplications : int;
   candidates : int;
+  contained : (string * int) list;
+      (** contained per-function optimizer failures, per crash site —
+          a degraded-but-complete compilation, never silent *)
   result_value : string;  (** for cross-configuration sanity checking *)
 }
+
+(** Total contained failures across all sites. *)
+val contained_total : measurement -> int
 
 type row = {
   benchmark : string;

@@ -37,6 +37,24 @@ let summarize (suite : Workloads.Suite.t) rows =
       geomean_pct (collect (fun r -> size_delta ~baseline:r.baseline r.dupalot));
   }
 
+(* Degraded-but-complete runs must be visible in benchmark output: any
+   contained optimizer failure is listed per benchmark, configuration
+   and crash site. *)
+let pp_contained ppf rows =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (cfg, m) ->
+          if contained_total m > 0 then
+            Fmt.pf ppf "  ! %s/%s: %d contained optimizer failure(s): %a@\n"
+              r.benchmark cfg (contained_total m)
+              Fmt.(
+                list ~sep:(any ", ") (fun ppf (site, n) ->
+                    pf ppf "%s x%d" site n))
+              m.contained)
+        [ ("baseline", r.baseline); ("dbds", r.dbds); ("dupalot", r.dupalot) ])
+    rows
+
 let pp_suite ppf (s : suite_summary) =
   Fmt.pf ppf "%s: %s (normalized to baseline; peak higher is better,@\n"
     s.figure s.suite_name;
@@ -61,7 +79,8 @@ let pp_suite ppf (s : suite_summary) =
   Fmt.pf ppf "%s@\n" (String.make 88 '-');
   Fmt.pf ppf "%-14s | %+10.2f %+11.2f | %+10.2f %+11.2f | %+10.2f %+11.2f@\n"
     "geomean" s.geo_peak_dbds s.geo_peak_dupalot s.geo_compile_dbds
-    s.geo_compile_dupalot s.geo_size_dbds s.geo_size_dupalot
+    s.geo_compile_dupalot s.geo_size_dbds s.geo_size_dupalot;
+  pp_contained ppf s.rows
 
 (** The headline aggregate of the abstract: mean peak-performance
     increase, mean code-size increase, mean compile-time increase over

@@ -54,6 +54,7 @@ let measure ?(icache = Interp.Machine.default_icache) ?jobs ~config
     compile_wall_s = wall;
     duplications = totals.Dbds.Driver.duplications_performed;
     candidates = totals.Dbds.Driver.candidates_found;
+    contained = ctx.Opt.Phase.contained;
     result_value = Interp.Machine.result_to_string result;
   }
 

@@ -59,6 +59,7 @@ let dom g =
       e.hits <- e.hits + 1;
       d
   | None ->
+      Probe.fire "analyses.cache";
       e.misses <- e.misses + 1;
       let d = Dom.compute g in
       e.dom <- Some d;
@@ -74,6 +75,7 @@ let loops g =
       let d = dom g in
       (* [dom] cannot have invalidated the entry: computing an analysis
          does not mutate the graph. *)
+      Probe.fire "analyses.cache";
       e.misses <- e.misses + 1;
       let l = Loops.compute d in
       e.loops <- Some l;
@@ -88,6 +90,7 @@ let frequency ?(loop_factor = Frequency.default_loop_factor) g =
   | None ->
       let d = dom g in
       let l = loops g in
+      Probe.fire "analyses.cache";
       e.misses <- e.misses + 1;
       let f = Frequency.compute ~loop_factor d l in
       e.freqs <- (loop_factor, f) :: e.freqs;

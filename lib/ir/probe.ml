@@ -1,0 +1,21 @@
+(** Named instrumentation points inside the IR layer.
+
+    Modules above [ir] (the DBDS fault-injection registry, test
+    harnesses) can install a single process-wide handler; IR-level code
+    announces interesting events by name ([fire "ssa.repair"],
+    [fire "analyses.cache"]).  With no handler installed a probe is a
+    single atomic load — cheap enough for hot paths.
+
+    The handler is installed once (module initialization of the
+    installer) and read from many domains; [Atomic] makes the handoff
+    race-free.  Handlers may raise: that is precisely how fault
+    injection turns a probe into a crash site. *)
+
+let nop : string -> unit = fun _ -> ()
+let handler = Atomic.make nop
+
+(** Install the process-wide probe handler (replaces any previous). *)
+let set_handler f = Atomic.set handler f
+
+(** Announce event [name] to the installed handler (default: no-op). *)
+let fire name = (Atomic.get handler) name

@@ -1,0 +1,12 @@
+(** Named instrumentation points inside the IR layer.
+
+    Modules above [ir] install a single process-wide handler; IR-level
+    code announces events by name ([fire "ssa.repair"]).  With no
+    handler installed a probe costs one atomic load.  Handlers may
+    raise — fault injection turns a probe into a crash site. *)
+
+(** Install the process-wide probe handler (replaces any previous). *)
+val set_handler : (string -> unit) -> unit
+
+(** Announce event [name] to the installed handler (default: no-op). *)
+val fire : string -> unit

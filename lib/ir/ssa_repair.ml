@@ -90,6 +90,9 @@ let simplify_inserted_phis g inserted =
     needed.  Returns the list of inserted phis (after trivial-phi cleanup
     some may already be deleted). *)
 let repair g ~classes =
+  (* Fault-injection site: SSA reconstruction runs with the graph
+     already rewired, so a crash here leaves maximal damage behind. *)
+  Probe.fire "ssa.repair";
   let all_inserted = ref [] in
   List.iter
     (fun (original, copies) ->

@@ -11,10 +11,22 @@ type ctx = {
   mutable analysis_hits : int;
       (** {!Ir.Analyses} cache hits observed under this context *)
   mutable analysis_misses : int;  (** ... and misses (= real computes) *)
+  mutable contained : (string * int) list;
+      (** contained per-function failures, per crash site (sorted) *)
+  mutable post_phase : (string -> Ir.Graph.t -> unit) option;
+      (** paranoid hook: called after every phase that changed the
+          graph; may raise to abort (and contain) the pipeline *)
 }
 
 let create ?program () =
-  { program; work = 0; analysis_hits = 0; analysis_misses = 0 }
+  {
+    program;
+    work = 0;
+    analysis_hits = 0;
+    analysis_misses = 0;
+    contained = [];
+    post_phase = None;
+  }
 
 (** Charge [n] work units (roughly: IR nodes examined). *)
 let charge ctx n = ctx.work <- ctx.work + n
@@ -25,12 +37,35 @@ let note_analyses ctx ~hits ~misses =
   ctx.analysis_hits <- ctx.analysis_hits + hits;
   ctx.analysis_misses <- ctx.analysis_misses + misses
 
+(* Sorted-assoc sum: commutative and order-insensitive, so the parallel
+   merge stays deterministic. *)
+let add_contained counts site n =
+  let rec go = function
+    | [] -> [ (site, n) ]
+    | (s, c) :: rest when s = site -> (s, c + n) :: rest
+    | (s, c) :: rest when s < site -> (s, c) :: go rest
+    | rest -> (site, n) :: rest
+  in
+  go counts
+
+(** Record one contained per-function failure at [site]. *)
+let note_contained ctx ~site =
+  ctx.contained <- add_contained ctx.contained site 1
+
+(** Total contained failures across all sites. *)
+let contained_total ctx =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 ctx.contained
+
 (** Fold a worker context's counters into [into] (the parallel driver's
     deterministic merge: integer sums, independent of worker order). *)
 let merge_into ~into src =
   into.work <- into.work + src.work;
   into.analysis_hits <- into.analysis_hits + src.analysis_hits;
-  into.analysis_misses <- into.analysis_misses + src.analysis_misses
+  into.analysis_misses <- into.analysis_misses + src.analysis_misses;
+  into.contained <-
+    List.fold_left
+      (fun acc (site, n) -> add_contained acc site n)
+      into.contained src.contained
 
 type t = {
   phase_name : string;
@@ -52,7 +87,10 @@ let fixpoint ?(max_rounds = 8) phases ctx g =
       (fun p ->
         if p.run ctx g then begin
           changed := true;
-          any := true
+          any := true;
+          match ctx.post_phase with
+          | Some hook -> hook p.phase_name g
+          | None -> ()
         end)
       phases
   done;

@@ -11,6 +11,11 @@ type ctx = {
   mutable analysis_hits : int;
       (** {!Ir.Analyses} cache hits observed under this context *)
   mutable analysis_misses : int;  (** ... and misses (= real computes) *)
+  mutable contained : (string * int) list;
+      (** contained per-function failures, per crash site (sorted) *)
+  mutable post_phase : (string -> Ir.Graph.t -> unit) option;
+      (** paranoid hook: called after every phase that changed the
+          graph; may raise to abort (and contain) the pipeline *)
 }
 
 val create : ?program:Ir.Program.t -> unit -> ctx
@@ -23,6 +28,12 @@ val charge_graph : ctx -> Ir.Graph.t -> unit
 
 (** Record analysis-cache hit/miss deltas against this context. *)
 val note_analyses : ctx -> hits:int -> misses:int -> unit
+
+(** Record one contained per-function failure at [site]. *)
+val note_contained : ctx -> site:string -> unit
+
+(** Total contained failures across all sites. *)
+val contained_total : ctx -> int
 
 (** Fold a worker context's counters into [into] (the parallel driver's
     deterministic merge: integer sums, independent of worker order). *)

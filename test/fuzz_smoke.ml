@@ -1,0 +1,21 @@
+(** Resilience smoke (satellite e): fuzz the containment contract over
+    100 (graph seed × fault plan) pairs at jobs:1 and jobs:4.  Wired
+    into [dune runtest]; any violation fails the build. *)
+
+let () =
+  let r = Harness.Fuzz.run () in
+  Printf.printf "fuzz: %d pairs run, %d contained failures" r.Harness.Fuzz.pairs_run
+    r.Harness.Fuzz.contained;
+  if r.Harness.Fuzz.by_site <> [] then
+    Printf.printf " (%s)"
+      (String.concat ", "
+         (List.map
+            (fun (site, n) -> Printf.sprintf "%s x%d" site n)
+            r.Harness.Fuzz.by_site));
+  print_newline ();
+  match r.Harness.Fuzz.violations with
+  | [] -> ()
+  | vs ->
+      List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) vs;
+      Printf.eprintf "%d containment violation(s)\n" (List.length vs);
+      exit 1

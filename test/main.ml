@@ -18,6 +18,7 @@ let () =
       ("dbds", Test_dbds.suite);
       ("analyses", Test_analyses.suite);
       ("parallel", Test_parallel.suite);
+      ("faults", Test_faults.suite);
       ("pathdup", Test_pathdup.suite);
       ("properties", Test_properties.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,345 @@
+(** Fault injection and crash containment: plan syntax, every named
+    site fires, rollback byte-identity, jobs determinism under faults,
+    crash-bundle round-trips and replay, paranoid mode, and the
+    {!Dbds.Parallel.map} join-all guarantee under repeated failures. *)
+
+open Helpers
+module F = Dbds.Faults
+module D = Dbds.Driver
+
+let figure1 =
+  {|
+  int main(int x) {
+    int phi;
+    if (x > 0) { phi = x; } else { phi = 0; }
+    return 2 + phi;
+  }
+|}
+
+(* Three functions, each with a merge, so multi-function containment
+   and the jobs matrix have something to chew on (optimized with
+   [~inline:false] to keep them separate compilation units). *)
+let trio =
+  {|
+  int f(int x) { int a; if (x > 0) { a = x; } else { a = 1; } return a * 2; }
+  int g(int x) { int b; if (x > 3) { b = x + 1; } else { b = 2; } return b + b; }
+  int main(int x) { return f(x) + g(x); }
+|}
+
+let plan ?fn site hit = { F.seed = 0; site; hit; fn }
+
+let report ?(mode = Dbds.Config.Dbds) ?fault_plan ?(containment = true)
+    ?(paranoid = false) ?bundle_dir ?(inline = true) ?(jobs = 1) src =
+  let prog = compile src in
+  let config =
+    {
+      Dbds.Config.default with
+      Dbds.Config.mode;
+      fault_plan;
+      containment;
+      verify_between_phases = paranoid;
+      bundle_dir;
+    }
+  in
+  (prog, D.optimize_program_report ~config ~inline ~jobs prog)
+
+let print_program prog =
+  let buf = Buffer.create 1024 in
+  Ir.Program.iter_functions prog (fun g ->
+      Buffer.add_string buf (Ir.Printer.graph_to_string g);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(* Fingerprint of a finished run: printed graphs, failures, stats and
+   the contained counters — byte-equal fingerprints = identical runs. *)
+let fingerprint prog (r : D.report) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (print_program prog);
+  List.iter
+    (fun (name, s) ->
+      Buffer.add_string buf (Format.asprintf "%s: %a@." name D.pp_stats s))
+    r.D.rep_stats;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "failure %s at %s: %s\n" f.D.fail_fn f.D.fail_site
+           f.D.fail_exn))
+    r.D.rep_failures;
+  let ctx = r.D.rep_ctx in
+  List.iter
+    (fun (site, n) ->
+      Buffer.add_string buf (Printf.sprintf "contained %s x%d\n" site n))
+    ctx.Opt.Phase.contained;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Plan syntax                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_syntax () =
+  List.iter
+    (fun s ->
+      match F.of_string s with
+      | Ok p -> Alcotest.(check string) s s (F.to_string p)
+      | Error msg -> Alcotest.failf "%s: %s" s msg)
+    [
+      "sim.opportunity:1";
+      "transform.apply:3";
+      "ssa.repair:2:main";
+      "parallel.worker:1";
+      "analyses.cache:7:hot_loop";
+    ];
+  (match F.of_string "seed:42" with
+  | Ok p ->
+      Alcotest.(check string)
+        "seed:42 = of_seed 42"
+        (F.to_string (F.of_seed 42))
+        (F.to_string p)
+  | Error msg -> Alcotest.failf "seed:42: %s" msg);
+  List.iter
+    (fun s ->
+      match F.of_string s with
+      | Ok p -> Alcotest.failf "%S parsed as %s" s (F.to_string p)
+      | Error _ -> ())
+    [ ""; "bogus:1"; "transform.apply"; "transform.apply:0"; "ssa.repair:x" ]
+
+let test_of_seed_deterministic () =
+  for seed = 0 to 50 do
+    let a = F.of_seed seed and b = F.of_seed seed in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d stable" seed)
+      (F.to_string a) (F.to_string b);
+    Alcotest.(check bool) "hit positive" true (a.F.hit >= 1)
+  done;
+  (* Not all seeds map to one plan. *)
+  let distinct =
+    List.init 30 F.of_seed |> List.map F.to_string |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "seeds spread over plans" true (List.length distinct > 3)
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_every_site_fires () =
+  List.iter
+    (fun site ->
+      let name = F.site_to_string site in
+      let _, r = report figure1 ~fault_plan:(plan site 1) in
+      match r.D.rep_failures with
+      | [ f ] ->
+          Alcotest.(check string) (name ^ " site recorded") name f.D.fail_site;
+          Alcotest.(check string) (name ^ " function") "main" f.D.fail_fn
+      | l ->
+          Alcotest.failf "%s: expected exactly one failure, got %d" name
+            (List.length l))
+    F.all_sites
+
+let test_rollback_byte_identity () =
+  List.iter
+    (fun (mode, site) ->
+      let tag = Dbds.Config.mode_to_string mode in
+      let prog, r = report figure1 ~mode ~fault_plan:(plan site 1) in
+      match r.D.rep_failures with
+      | [ f ] ->
+          let g = Option.get (Ir.Program.find_function prog "main") in
+          Alcotest.(check string)
+            (tag ^ ": graph = pre-attempt IR")
+            f.D.fail_pre_ir
+            (Ir.Printer.graph_to_string g);
+          check_verifies g;
+          (* Zeroed stats for the contained function. *)
+          let s = List.assoc "main" r.D.rep_stats in
+          Alcotest.(check int) (tag ^ ": no dup recorded") 0
+            s.D.duplications_performed
+      | l -> Alcotest.failf "%s: expected one failure, got %d" tag (List.length l))
+    [
+      (Dbds.Config.Dbds, F.Transform_apply);
+      (Dbds.Config.Dupalot, F.Ssa_repair);
+      (Dbds.Config.Backtracking, F.Transform_apply);
+    ]
+
+let test_contained_program_still_runs () =
+  let prog, r = report figure1 ~fault_plan:(plan F.Transform_apply 1) in
+  Alcotest.(check int) "one contained failure" 1 (List.length r.D.rep_failures);
+  Alcotest.(check int) "main still computes" 7 (run_int prog [ 5 ])
+
+let test_containment_off_escapes () =
+  let prog = compile figure1 in
+  let config =
+    {
+      Dbds.Config.default with
+      Dbds.Config.fault_plan = Some (plan F.Transform_apply 1);
+      containment = false;
+    }
+  in
+  match D.optimize_program_report ~config ~jobs:1 prog with
+  | _ -> Alcotest.fail "expected the injected fault to escape"
+  | exception F.Injected { site = F.Transform_apply; hit = 1 } -> ()
+
+let test_never_firing_plan_noop () =
+  let _, quiet = report figure1 ~fault_plan:(plan F.Transform_apply 1000) in
+  Alcotest.(check int) "no failures" 0 (List.length quiet.D.rep_failures);
+  let prog_a, _ = report figure1 ~fault_plan:(plan F.Transform_apply 1000) in
+  let prog_b, _ = report figure1 in
+  Alcotest.(check string) "same optimized program" (print_program prog_b)
+    (print_program prog_a)
+
+let test_fn_scoped_plan () =
+  let prog, r =
+    report trio ~inline:false
+      ~fault_plan:(plan ~fn:"g" F.Parallel_worker 1)
+  in
+  (match r.D.rep_failures with
+  | [ f ] -> Alcotest.(check string) "only g fails" "g" f.D.fail_fn
+  | l -> Alcotest.failf "expected one failure, got %d" (List.length l));
+  (* f and main still optimized and the program still runs. *)
+  Alcotest.(check bool) "other functions optimized" true
+    ((D.total_stats r.D.rep_stats).D.duplications_performed > 0);
+  Alcotest.(check int) "program runs" ((5 * 2) + (6 + 6)) (run_int prog [ 5 ])
+
+let test_jobs_determinism_under_faults () =
+  List.iter
+    (fun site ->
+      let fp jobs =
+        let prog, r =
+          report trio ~inline:false ~jobs ~fault_plan:(plan site 1)
+        in
+        fingerprint prog r
+      in
+      Alcotest.(check string)
+        (F.site_to_string site ^ ": jobs:1 = jobs:4")
+        (fp 1) (fp 4))
+    [ F.Sim_opportunity; F.Transform_apply; F.Parallel_worker ]
+
+let test_contained_counters () =
+  let _, r = report trio ~inline:false ~fault_plan:(plan F.Parallel_worker 1) in
+  let ctx = r.D.rep_ctx in
+  Alcotest.(check int) "three contained" 3 (Opt.Phase.contained_total ctx);
+  Alcotest.(check (list (pair string int)))
+    "per-site breakdown"
+    [ ("parallel.worker", 3) ]
+    ctx.Opt.Phase.contained
+
+(* ------------------------------------------------------------------ *)
+(* Crash bundles                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bundle_render_parse () =
+  let g = Option.get (Ir.Program.find_function (compile figure1) "main") in
+  let b =
+    {
+      Dbds.Bundle.b_fn = "main";
+      b_site = "transform.apply";
+      b_exn = "Faults.Injected(transform.apply, hit 1)";
+      b_plan = Some (plan F.Transform_apply 1);
+      b_config =
+        { Dbds.Config.default with Dbds.Config.mode = Dbds.Config.Dupalot };
+      b_ir = Ir.Printer.graph_to_string g;
+    }
+  in
+  let b' = Dbds.Bundle.parse (Dbds.Bundle.render b) in
+  Alcotest.(check string) "fn" b.Dbds.Bundle.b_fn b'.Dbds.Bundle.b_fn;
+  Alcotest.(check string) "site" b.Dbds.Bundle.b_site b'.Dbds.Bundle.b_site;
+  Alcotest.(check string) "exn" b.Dbds.Bundle.b_exn b'.Dbds.Bundle.b_exn;
+  Alcotest.(check string) "ir" b.Dbds.Bundle.b_ir b'.Dbds.Bundle.b_ir;
+  Alcotest.(check bool) "plan" true (b.Dbds.Bundle.b_plan = b'.Dbds.Bundle.b_plan);
+  Alcotest.(check bool) "config" true
+    (b.Dbds.Bundle.b_config = b'.Dbds.Bundle.b_config);
+  Alcotest.check_raises "malformed"
+    (Dbds.Bundle.Malformed "not a dbds-bundle v1 file") (fun () ->
+      ignore (Dbds.Bundle.parse "junk"))
+
+let test_bundle_write_and_replay () =
+  let dir = Filename.temp_dir "dbds-bundles" "" in
+  let _, r =
+    report figure1 ~fault_plan:(plan F.Transform_apply 1) ~bundle_dir:dir
+  in
+  match r.D.rep_failures with
+  | [ f ] -> (
+      let path = Option.get f.D.fail_bundle in
+      let b = Dbds.Bundle.read path in
+      Alcotest.(check string) "bundle fn" "main" b.Dbds.Bundle.b_fn;
+      Alcotest.(check string) "bundle ir = pre-attempt ir" f.D.fail_pre_ir
+        b.Dbds.Bundle.b_ir;
+      match D.replay_bundle b with
+      | `Reproduced f' ->
+          Alcotest.(check string) "same site on replay" f.D.fail_site
+            f'.D.fail_site
+      | `Clean -> Alcotest.fail "replay did not reproduce the crash")
+  | l -> Alcotest.failf "expected one failure, got %d" (List.length l)
+
+let test_bundle_replay_clean_without_plan () =
+  (* Strip the fault plan: the same IR must now optimize cleanly. *)
+  let dir = Filename.temp_dir "dbds-bundles" "" in
+  let _, r =
+    report figure1 ~fault_plan:(plan F.Sim_opportunity 1) ~bundle_dir:dir
+  in
+  let f = List.hd r.D.rep_failures in
+  let b = Dbds.Bundle.read (Option.get f.D.fail_bundle) in
+  match D.replay_bundle { b with Dbds.Bundle.b_plan = None } with
+  | `Clean -> ()
+  | `Reproduced f' ->
+      Alcotest.failf "unexpected failure without the plan: %s" f'.D.fail_exn
+
+(* ------------------------------------------------------------------ *)
+(* Paranoid mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_paranoid_clean_run () =
+  let prog_p, r = report trio ~inline:false ~paranoid:true in
+  Alcotest.(check int) "no failures" 0 (List.length r.D.rep_failures);
+  let prog, _ = report trio ~inline:false in
+  Alcotest.(check string) "same result as non-paranoid" (print_program prog)
+    (print_program prog_p)
+
+let test_paranoid_over_workloads () =
+  (* Paranoid verification must stay silent over the whole registry —
+     every phase leaves valid SSA behind on every benchmark. *)
+  let b = List.hd Workloads.Micro.suite.Workloads.Suite.benchmarks in
+  let prog = Harness.Runner.compile_benchmark b in
+  let config = Dbds.Config.{ paranoid with mode = Dbds } in
+  let r = D.optimize_program_report ~config ~jobs:2 prog in
+  Alcotest.(check int) "no paranoid failures" 0 (List.length r.D.rep_failures)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.map under failure                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_parallel_map_survives_repeated_failure () =
+  (* A hundred raising maps in a row must neither wedge (leaked
+     domains) nor corrupt later maps. *)
+  for i = 0 to 99 do
+    match
+      Dbds.Parallel.map ~jobs:4
+        (fun x -> if x = i mod 20 then raise (Boom x) else x)
+        (List.init 20 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom x -> Alcotest.(check int) "failing index" (i mod 20) x
+  done;
+  Alcotest.(check (list int)) "pool still healthy" [ 1; 2; 3 ]
+    (Dbds.Parallel.map ~jobs:4 succ [ 0; 1; 2 ])
+
+let suite =
+  [
+    test "plan syntax round-trips" test_plan_syntax;
+    test "of_seed is deterministic" test_of_seed_deterministic;
+    test "every site fires" test_every_site_fires;
+    test "rollback is byte-identical" test_rollback_byte_identity;
+    test "contained program still runs" test_contained_program_still_runs;
+    test "containment off lets faults escape" test_containment_off_escapes;
+    test "never-firing plan is a no-op" test_never_firing_plan_noop;
+    test "fn-scoped plan hits one function" test_fn_scoped_plan;
+    test "jobs:1 = jobs:4 under faults" test_jobs_determinism_under_faults;
+    test "contained counters aggregate" test_contained_counters;
+    test "bundle render/parse round-trip" test_bundle_render_parse;
+    test "bundle write + replay reproduces" test_bundle_write_and_replay;
+    test "bundle replays clean without plan" test_bundle_replay_clean_without_plan;
+    test "paranoid clean run is silent" test_paranoid_clean_run;
+    test "paranoid over a workload" test_paranoid_over_workloads;
+    test "Parallel.map survives repeated failure"
+      test_parallel_map_survives_repeated_failure;
+  ]

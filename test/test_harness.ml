@@ -12,6 +12,7 @@ let mk ~cycles ~size ~work =
     compile_wall_s = 0.0;
     duplications = 0;
     candidates = 0;
+    contained = [];
     result_value = "0";
   }
 
