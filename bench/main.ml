@@ -106,6 +106,44 @@ let run_bechamel () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Analysis-cache ablation: preservation contracts vs generation bump  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hit rates of the analysis cache under pass preservation contracts
+   (a pass that declares an analysis preserved keeps its cached value
+   valid across the pass's own mutations) against the historical
+   generation-bump mode (any mutation invalidates everything).  The
+   work-unit world is deterministic, so one sequential run per suite
+   suffices. *)
+let analysis_cache_rows () =
+  List.map2
+    (fun tag (suite : Workloads.Suite.t) ->
+      let b = representative suite in
+      let measure_with preserve =
+        let config =
+          { Dbds.Config.dbds with Dbds.Config.preserve_analyses = preserve }
+        in
+        Harness.Runner.measure ~jobs:1 ~config b
+      in
+      (tag, suite.Workloads.Suite.suite_name, b.Workloads.Suite.name,
+       measure_with true, measure_with false))
+    fig_tags Workloads.Registry.all
+
+let print_analysis_cache rows =
+  section "Analysis cache: preservation contracts vs generation bump";
+  Format.printf "%-6s %-14s | %22s | %22s@." "figure" "benchmark"
+    "preserving (hit rate)" "gen-bump (hit rate)";
+  List.iter
+    (fun (tag, _, bench, pres, bump) ->
+      let pp m =
+        Printf.sprintf "%4d/%-4d (%5.1f%%)" m.Harness.Metrics.analysis_hits
+          (m.Harness.Metrics.analysis_hits + m.Harness.Metrics.analysis_misses)
+          (100.0 *. Harness.Metrics.analysis_hit_rate m)
+      in
+      Format.printf "%-6s %-14s | %22s | %22s@." tag bench (pp pres) (pp bump))
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_results.json                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -131,7 +169,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_results_json path rows =
+let write_results_json path rows cache_rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -184,6 +222,30 @@ let write_results_json path rows =
       fig_tags Workloads.Registry.all
   in
   Buffer.add_string buf (String.concat ",\n" suites);
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"analysis_cache\": [\n";
+  let cache_entries =
+    List.map
+      (fun (tag, suite_name, bench, pres, bump) ->
+        let fields (m : Harness.Metrics.measurement) =
+          Printf.sprintf
+            "{ \"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f }"
+            m.Harness.Metrics.analysis_hits m.Harness.Metrics.analysis_misses
+            (Harness.Metrics.analysis_hit_rate m)
+        in
+        Printf.sprintf
+          "    {\n\
+          \      \"figure\": \"%s\",\n\
+          \      \"suite\": \"%s\",\n\
+          \      \"benchmark\": \"%s\",\n\
+          \      \"preserving\": %s,\n\
+          \      \"generation_bump\": %s\n\
+          \    }"
+          (json_escape tag) (json_escape suite_name) (json_escape bench)
+          (fields pres) (fields bump))
+      cache_rows
+  in
+  Buffer.add_string buf (String.concat ",\n" cache_entries);
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -221,5 +283,7 @@ let () =
   section "Extension: path-based duplication (paper 8)";
   Format.printf "%a@." Harness.Experiments.pp_path_ablation
     (Harness.Experiments.run_path_ablation ());
+  let cache_rows = analysis_cache_rows () in
+  print_analysis_cache cache_rows;
   let rows = run_bechamel () in
-  write_results_json "BENCH_results.json" rows
+  write_results_json "BENCH_results.json" rows cache_rows

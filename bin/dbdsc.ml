@@ -50,19 +50,14 @@ let replay path =
       Format.printf "backtrace:@.%s@." f.Dbds.Driver.fail_backtrace
   | `Clean -> Format.printf "did not reproduce: the function now optimizes cleanly@."
 
-let run_compiler file mode dump dot run args stats icache_off jobs inject
-    paranoid bundle_dir no_contain replay_bundle =
+let run_compiler file mode passes licm print_passes dump dot run args stats
+    icache_off jobs inject paranoid bundle_dir no_contain replay_bundle =
   match
     (match replay_bundle with
     | Some path ->
         replay path;
         raise Exit
     | None -> ());
-    let file =
-      match file with
-      | Some f -> f
-      | None -> failwith "a source FILE is required (or --replay-bundle)"
-    in
     let fault_plan =
       match inject with
       | None -> None
@@ -71,13 +66,14 @@ let run_compiler file mode dump dot run args stats icache_off jobs inject
           | Ok p -> Some p
           | Error msg -> failwith msg)
     in
-    let src = read_file file in
-    let prog = Lang.Frontend.compile src in
-    if dump = Dump_before || dump = Dump_both then begin
-      Format.printf "=== IR before optimization ===@.";
-      Ir.Program.iter_functions prog (fun g ->
-          Format.printf "%s@." (Ir.Printer.graph_to_string g))
-    end;
+    let passes =
+      match passes with
+      | None -> None
+      | Some s -> (
+          match Opt.Spec.of_string s with
+          | Ok spec -> Some spec
+          | Error msg -> failwith ("--passes: " ^ msg))
+    in
     let config =
       {
         Dbds.Config.default with
@@ -86,8 +82,34 @@ let run_compiler file mode dump dot run args stats icache_off jobs inject
         verify_between_phases = paranoid;
         bundle_dir;
         containment = not no_contain;
+        passes;
+        licm;
       }
     in
+    (* Validate the effective pipeline (user-supplied or mode-derived)
+       up front, so a typo in --passes is one clear error. *)
+    let spec = Dbds.Driver.default_spec config in
+    (match Dbds.Driver.validate_spec config spec with
+    | Ok () -> ()
+    | Error msg -> failwith ("--passes: " ^ msg));
+    if print_passes then begin
+      (* Canonical form: parseable back through --passes (CI round-trips
+         this). *)
+      Format.printf "%s@." (Opt.Spec.to_string spec);
+      raise Exit
+    end;
+    let file =
+      match file with
+      | Some f -> f
+      | None -> failwith "a source FILE is required (or --replay-bundle)"
+    in
+    let src = read_file file in
+    let prog = Lang.Frontend.compile src in
+    if dump = Dump_before || dump = Dump_both then begin
+      Format.printf "=== IR before optimization ===@.";
+      Ir.Program.iter_functions prog (fun g ->
+          Format.printf "%s@." (Ir.Printer.graph_to_string g))
+    end;
     let jobs = if jobs <= 0 then None else Some jobs in
     let report = Dbds.Driver.optimize_program_report ~config ?jobs prog in
     let ctx = report.Dbds.Driver.rep_ctx
@@ -111,6 +133,26 @@ let run_compiler file mode dump dot run args stats icache_off jobs inject
         (fun (name, s) ->
           Format.printf "%-20s %a@." name Dbds.Driver.pp_stats s)
         per_fn;
+      (* Per-pass instrumentation: every column except time(s) is
+         deterministic for any -j. *)
+      (match Opt.Phase.pass_table ctx with
+      | [] -> ()
+      | table ->
+          Format.printf "=== passes ===@.";
+          Format.printf "%-14s %6s %6s %10s %9s %8s@." "pass" "runs" "fired"
+            "work" "time(s)" "Δsize";
+          List.iter
+            (fun (name, st) ->
+              Format.printf "%-14s %6d %6d %10d %9.4f %8d@." name
+                st.Opt.Phase.runs st.Opt.Phase.fired st.Opt.Phase.pwork
+                st.Opt.Phase.time_s st.Opt.Phase.size_delta)
+            table);
+      let hits = ctx.Opt.Phase.analysis_hits
+      and misses = ctx.Opt.Phase.analysis_misses in
+      if hits + misses > 0 then
+        Format.printf "analysis cache: %d hits, %d misses (%.1f%% hit rate)@."
+          hits misses
+          (100.0 *. float_of_int hits /. float_of_int (hits + misses));
       let size = ref 0 in
       Ir.Program.iter_functions prog (fun g ->
           size := !size + Costmodel.Estimate.graph_size g);
@@ -172,6 +214,37 @@ let mode_arg =
     & opt mode_conv Dbds.Config.Dbds
     & info [ "m"; "mode" ] ~docv:"MODE"
         ~doc:"Optimization mode: baseline, dbds, dupalot or backtracking.")
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "passes" ] ~docv:"SPEC"
+        ~doc:
+          "Run this pipeline instead of the mode-derived default.  SPEC is \
+           a comma-separated list of pass names; $(b,fix(...)) iterates its \
+           body to a fixpoint; options attach in braces, e.g. \
+           $(b,inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),dbds{iters=3}). \
+           Passes: the classic names above plus $(b,licm), the duplication \
+           tiers $(b,dbds)/$(b,dupalot) (options $(i,iters), \
+           $(i,threshold)) and $(b,backtracking) (option $(i,iters)), and \
+           program-level $(b,inline) (top level only).")
+
+let licm_arg =
+  Arg.(
+    value & flag
+    & info [ "licm" ]
+        ~doc:
+          "Include loop-invariant code motion in the default pipeline's \
+           fixpoint group.")
+
+let print_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "print-passes" ]
+        ~doc:
+          "Print the effective pipeline spec in canonical form and exit \
+           (accepted back verbatim by $(b,--passes)).")
 
 let dump_conv =
   Arg.enum
@@ -270,9 +343,10 @@ let cmd =
   Cmd.v
     (Cmd.info "dbdsc" ~version:"1.0.0" ~doc)
     Term.(
-      const run_compiler $ file_arg $ mode_arg $ dump_arg $ dot_arg $ run_arg
-      $ args_arg $ stats_arg $ no_icache_arg $ jobs_arg $ inject_arg
-      $ paranoid_arg $ bundle_dir_arg $ no_contain_arg $ replay_arg)
+      const run_compiler $ file_arg $ mode_arg $ passes_arg $ licm_arg
+      $ print_passes_arg $ dump_arg $ dot_arg $ run_arg $ args_arg $ stats_arg
+      $ no_icache_arg $ jobs_arg $ inject_arg $ paranoid_arg $ bundle_dir_arg
+      $ no_contain_arg $ replay_arg)
 
 let () =
   Printexc.record_backtrace true;

@@ -37,6 +37,16 @@ type t = {
       (** deterministic fault injection (testing); [None] in production *)
   bundle_dir : string option;
       (** write a replayable crash bundle here on every containment *)
+  passes : Opt.Spec.t option;
+      (** explicit pipeline spec ([dbdsc --passes]); [None] = the
+          mode-derived default ({!Driver.default_spec}) *)
+  licm : bool;
+      (** include loop-invariant code motion in the classic fixpoint
+          group (off in the calibrated evaluation plan — see {!Licm}) *)
+  preserve_analyses : bool;
+      (** honor pass preservation contracts in the analysis cache; false
+          = the historical generation-bump-invalidates-everything mode
+          (kept as a comparison baseline for the bench harness) *)
 }
 
 let default =
@@ -54,6 +64,9 @@ let default =
     verify_between_phases = false;
     fault_plan = None;
     bundle_dir = None;
+    passes = None;
+    licm = false;
+    preserve_analyses = true;
   }
 
 let dbds = default

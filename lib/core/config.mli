@@ -37,9 +37,20 @@ type t = {
       (** deterministic fault injection (testing); [None] in production *)
   bundle_dir : string option;
       (** write a replayable crash bundle here on every containment *)
+  passes : Opt.Spec.t option;
+      (** explicit pipeline spec ([dbdsc --passes]); [None] = the
+          mode-derived default ({!Driver.default_spec}) *)
+  licm : bool;
+      (** include loop-invariant code motion in the classic fixpoint
+          group (off in the calibrated evaluation plan — see {!Licm}) *)
+  preserve_analyses : bool;
+      (** honor pass preservation contracts in the analysis cache; false
+          = the historical generation-bump-invalidates-everything mode
+          (kept as a comparison baseline for the bench harness) *)
 }
 
-(** Mode [Dbds], BS=256, IB=1.5, MS=65536, 3 iterations, paths off. *)
+(** Mode [Dbds], BS=256, IB=1.5, MS=65536, 3 iterations, paths off,
+    mode-derived pipeline, preservation contracts honored. *)
 val default : t
 
 val dbds : t

@@ -93,7 +93,8 @@ let run_round config ctx stats g =
     (Tradeoff.rank candidates);
   (* Action steps: run the classic optimizations over the transformed
      graph (the per-candidate opportunities all fall out of these). *)
-  if !round_benefit > 0.0 then ignore (Opt.Pipeline.optimize ctx g);
+  if !round_benefit > 0.0 then
+    ignore (Opt.Pipeline.optimize ~licm:config.Config.licm ctx g);
   stats.benefit_accepted <- stats.benefit_accepted +. !round_benefit;
   (!round_benefit, !stale)
 
@@ -144,7 +145,8 @@ let run_backtracking config ctx stats g =
                     match Transform.duplicate g ~merge:bm ~pred:bp with
                     | _ ->
                         paranoid_check config "backtracking.duplicate" g;
-                        ignore (Opt.Pipeline.optimize ctx g);
+                        ignore
+                          (Opt.Pipeline.optimize ~licm:config.Config.licm ctx g);
                         let after = Costmodel.Estimate.weighted_cycles g in
                         let size_after = Costmodel.Estimate.graph_size g in
                         if
@@ -164,39 +166,164 @@ let run_backtracking config ctx stats g =
       merges
   done
 
-(** Optimize one graph under the given configuration.  Returns statistics
-    about the duplication work performed. *)
+(* ------------------------------------------------------------------ *)
+(* The pipeline spec and its resolver                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** The pipeline actually run for a configuration: [passes] when set,
+    otherwise derived from the mode.  [inline] is a program-level item —
+    the driver runs it once before fanning functions out and strips it
+    from the per-function pipeline. *)
+let default_spec (config : Config.t) : Opt.Spec.t =
+  match config.Config.passes with
+  | Some spec -> spec
+  | None ->
+      let fix () = Opt.Pipeline.fix_group ~licm:config.Config.licm () in
+      let inline = Opt.Spec.Pass { name = "inline"; opts = [] } in
+      let tier name =
+        Opt.Spec.Pass
+          {
+            name;
+            opts = [ ("iters", string_of_int config.Config.max_iterations) ];
+          }
+      in
+      (match config.Config.mode with
+      | Config.Off -> [ inline; fix () ]
+      | Config.Dbds -> [ inline; fix (); tier "dbds" ]
+      | Config.Dupalot -> [ inline; fix (); tier "dupalot" ]
+      | Config.Backtracking -> [ inline; fix (); tier "backtracking"; fix () ])
+
+let is_inline_item = function
+  | Opt.Spec.Pass { name = "inline"; _ } -> true
+  | _ -> false
+
+let wants_inline spec = List.exists is_inline_item spec
+let per_function_items spec = List.filter (fun i -> not (is_inline_item i)) spec
+
+(* Backtracking owns the speculation journal for its own attempts, and
+   checkpoints do not nest — containment must fall back to a full
+   pre-copy when the pipeline contains that tier. *)
+let spec_uses_journal spec =
+  let rec item = function
+    | Opt.Spec.Pass { name = "backtracking"; _ } -> true
+    | Opt.Spec.Pass _ -> false
+    | Opt.Spec.Fix { body; _ } -> List.exists item body
+  in
+  List.exists item spec
+
+(* Resolve the duplication tiers ([dbds], [dupalot], [backtracking]) on
+   top of the classic passes.  The tier passes close over the
+   per-function [stats] record, so the manager runs them like any other
+   pass — per-pass stats, paranoid hooks and preservation handling
+   included — while the driver keeps its historical reporting. *)
+let resolve (config : Config.t) stats : Opt.Manager.resolver =
+ fun name opts ->
+  let ( let* ) = Result.bind in
+  (* The iterative simulate → trade-off → optimize loop of §5.2; with
+     the trade-off disabled ([Dupalot]) every beneficial candidate is
+     taken.  Another round only starts if this one's accepted benefit
+     cleared the threshold or ranked candidates went stale mid-round. *)
+  let iterative_tier mode =
+    let* () = Opt.Spec.check_opts ~pass:name [ "iters"; "threshold" ] opts in
+    let* iters =
+      Opt.Spec.int_opt opts "iters" ~default:config.Config.max_iterations
+    in
+    let* threshold =
+      Opt.Spec.float_opt opts "threshold"
+        ~default:config.Config.iteration_benefit_threshold
+    in
+    let config =
+      {
+        config with
+        Config.mode;
+        max_iterations = iters;
+        iteration_benefit_threshold = threshold;
+      }
+    in
+    Ok
+      (Opt.Phase.make name (fun ctx g ->
+           let dup0 = stats.duplications_performed in
+           let continue_ = ref true in
+           let iter = ref 0 in
+           while !continue_ && !iter < config.Config.max_iterations do
+             incr iter;
+             stats.iterations_run <- stats.iterations_run + 1;
+             let benefit, stale = run_round config ctx stats g in
+             if
+               benefit <= config.Config.iteration_benefit_threshold
+               && stale = 0
+             then continue_ := false
+           done;
+           stats.duplications_performed > dup0))
+  in
+  match name with
+  | "dbds" -> iterative_tier Config.Dbds
+  | "dupalot" -> iterative_tier Config.Dupalot
+  | "backtracking" ->
+      let* () = Opt.Spec.check_opts ~pass:name [ "iters" ] opts in
+      let* iters =
+        Opt.Spec.int_opt opts "iters" ~default:config.Config.max_iterations
+      in
+      let config =
+        {
+          config with
+          Config.mode = Config.Backtracking;
+          max_iterations = iters;
+        }
+      in
+      Ok
+        (Opt.Phase.make name (fun ctx g ->
+             let kept0 = stats.backtrack_kept in
+             run_backtracking config ctx stats g;
+             stats.backtrack_kept > kept0))
+  | "inline" ->
+      Error
+        "inline is program-level: it may only appear at the top level of \
+         the pipeline (the driver runs it before fanning functions out)"
+  | _ -> Opt.Pipeline.resolve_classic name opts
+
+(** Check a pipeline spec against the driver's registry: classic passes
+    (no options), duplication tiers ([iters], [threshold]), [fix] groups
+    ([rounds]), and program-level [inline] at the top level only. *)
+let validate_spec (config : Config.t) spec =
+  let bad_inline_opts =
+    List.find_map
+      (function
+        | Opt.Spec.Pass { name = "inline"; opts = (k, _) :: _ } ->
+            Some (Printf.sprintf "pass inline: unknown option %S" k)
+        | _ -> None)
+      spec
+  in
+  match bad_inline_opts with
+  | Some msg -> Error msg
+  | None ->
+      Opt.Manager.validate
+        (resolve config (fresh_stats ()))
+        (per_function_items spec)
+
+(** Optimize one graph under the given configuration: execute the
+    configured pipeline (minus program-level items) through the pass
+    manager.  Returns statistics about the duplication work performed. *)
 let optimize_graph ?(config = Config.default) ctx g =
-  if config.Config.verify_between_phases && ctx.Opt.Phase.post_phase = None
-  then
-    ctx.Opt.Phase.post_phase <-
-      Some
-        (fun phase g ->
-          match Ir.Verifier.verify_result g with
-          | Ok () -> ()
-          | Error reason -> raise (Phase_invalid { phase; reason }));
+  if config.Config.verify_between_phases then begin
+    if ctx.Opt.Phase.post_phase = None then
+      ctx.Opt.Phase.post_phase <-
+        Some
+          (fun phase g ->
+            match Ir.Verifier.verify_result g with
+            | Ok () -> ()
+            | Error reason -> raise (Phase_invalid { phase; reason }));
+    (* Paranoid mode also audits preservation contracts: recompute each
+       declared-preserved analysis and compare against the kept cache. *)
+    ctx.Opt.Phase.check_contracts <- true
+  end;
+  ctx.Opt.Phase.preserve_analyses <- config.Config.preserve_analyses;
   let stats = fresh_stats () in
   let analyses_before = Ir.Analyses.stats g in
-  (match config.Config.mode with
-  | Config.Off -> ignore (Opt.Pipeline.optimize ctx g)
-  | Config.Backtracking ->
-      ignore (Opt.Pipeline.optimize ctx g);
-      run_backtracking config ctx stats g;
-      ignore (Opt.Pipeline.optimize ctx g)
-  | Config.Dbds | Config.Dupalot ->
-      ignore (Opt.Pipeline.optimize ctx g);
-      let continue_ = ref true in
-      let iter = ref 0 in
-      while !continue_ && !iter < config.Config.max_iterations do
-        incr iter;
-        stats.iterations_run <- !iter;
-        let benefit, stale = run_round config ctx stats g in
-        (* Another round pays off when this one's accepted benefit was
-           high enough (paper §5.2) or when ranked candidates went stale
-           mid-round and deserve a fresh simulation. *)
-        if benefit <= config.Config.iteration_benefit_threshold && stale = 0
-        then continue_ := false
-      done);
+  ignore
+    (Opt.Manager.run (resolve config stats)
+       (per_function_items (default_spec config))
+       ctx g);
   let analyses_after = Ir.Analyses.stats g in
   Opt.Phase.note_analyses ctx
     ~hits:(analyses_after.Ir.Analyses.hits - analyses_before.Ir.Analyses.hits)
@@ -234,6 +361,7 @@ let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
 let site_of_exn = function
   | Faults.Injected { site; _ } -> Faults.site_to_string site
   | Phase_invalid { phase; _ } -> "verify." ^ phase
+  | Opt.Phase.Contract_violated { pass; _ } -> "preserve." ^ pass
   | Ir.Verifier.Invalid _ -> "verify"
   | _ -> "exception"
 
@@ -242,11 +370,12 @@ let site_of_exn = function
    the graph back to its pre-attempt state and return a structured
    failure instead of propagating.
 
-   The undo mechanism depends on the mode.  Dbds / Dupalot / Off never
-   speculate internally, so the pipeline itself runs under a journal
-   checkpoint (copy-on-demand, committed on success).  Backtracking
-   owns the journal for its own attempts — checkpoints do not nest — so
-   containment falls back to a full pre-copy there (the strategy is the
+   The undo mechanism depends on the pipeline.  Dbds / Dupalot /
+   baseline pipelines never speculate internally, so they run under a
+   journal checkpoint (copy-on-demand, committed on success).  The
+   backtracking tier owns the journal for its own attempts —
+   checkpoints do not nest — so containment falls back to a full
+   pre-copy when the pipeline contains it (the strategy is the
    expensive comparator anyway). *)
 let optimize_one (config : Config.t) ctx g =
   let fn = Ir.Graph.name g in
@@ -270,7 +399,7 @@ let optimize_one (config : Config.t) ctx g =
       if diagnostics then Some (Ir.Printer.graph_to_string g) else None
     in
     let backup =
-      if config.Config.mode = Config.Backtracking then Some (G.copy g)
+      if spec_uses_journal (default_spec config) then Some (G.copy g)
       else begin
         G.checkpoint g;
         None
@@ -349,7 +478,14 @@ let optimize_program_report ?(config = Config.default) ?(inline = true) ?jobs
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
   let ctx = Opt.Phase.create ~program () in
-  if inline then ignore (Opt.Inline.inline_program ctx program);
+  let spec = default_spec config in
+  (* A bad --passes spec is a configuration error, not a per-function
+     crash: refuse up front rather than containing it N times. *)
+  (match validate_spec config spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("pipeline spec: " ^ msg));
+  if inline && wants_inline spec then
+    ignore (Opt.Inline.inline_program ctx program);
   (* Resolve the graphs up front (name order) so workers never touch the
      program's function table. *)
   let functions =

@@ -45,7 +45,22 @@ type failure = {
 
 val pp_failure : Format.formatter -> failure -> unit
 
-(** Optimize one graph under the given configuration. *)
+(** The pipeline actually run for a configuration: {!Config.t.passes}
+    when set, otherwise derived from the mode (e.g. [Dbds] →
+    [inline,fix(canon,...,dce),dbds{iters=3}]).  [inline] is a
+    program-level item: {!optimize_program_report} runs it once before
+    fanning functions out; the per-function pipeline is the rest. *)
+val default_spec : Config.t -> Opt.Spec.t
+
+(** Check a pipeline spec against the driver's registry: classic passes
+    (no options), duplication tiers ([dbds]/[dupalot] with [iters] and
+    [threshold], [backtracking] with [iters]), [fix] groups ([rounds]),
+    and program-level [inline] at the top level only. *)
+val validate_spec : Config.t -> Opt.Spec.t -> (unit, string) result
+
+(** Optimize one graph under the given configuration: execute the
+    configured pipeline (minus program-level items) through the pass
+    manager. *)
 val optimize_graph :
   ?config:Config.t -> Opt.Phase.ctx -> Ir.Graph.t -> stats
 

@@ -18,10 +18,20 @@ type measurement = {
   contained : (string * int) list;
       (** contained per-function optimizer failures, per crash site —
           a degraded-but-complete compilation, never silent *)
+  passes : (string * Opt.Phase.pass_stat) list;
+      (** per-pass instrumentation from the pass manager, sorted by
+          pass name; all columns except wall time are deterministic *)
+  analysis_hits : int;  (** {!Ir.Analyses} cache hits during compile *)
+  analysis_misses : int;  (** ... and misses (= real recomputes) *)
   result_value : string;  (** for cross-configuration sanity checking *)
 }
 
 let contained_total m = List.fold_left (fun acc (_, n) -> acc + n) 0 m.contained
+
+(** Analysis-cache hit rate in [0,1]; 0 when nothing was queried. *)
+let analysis_hit_rate m =
+  let total = m.analysis_hits + m.analysis_misses in
+  if total = 0 then 0.0 else float_of_int m.analysis_hits /. float_of_int total
 
 type row = {
   benchmark : string;

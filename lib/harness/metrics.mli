@@ -19,11 +19,19 @@ type measurement = {
   contained : (string * int) list;
       (** contained per-function optimizer failures, per crash site —
           a degraded-but-complete compilation, never silent *)
+  passes : (string * Opt.Phase.pass_stat) list;
+      (** per-pass instrumentation from the pass manager, sorted by
+          pass name; all columns except wall time are deterministic *)
+  analysis_hits : int;  (** {!Ir.Analyses} cache hits during compile *)
+  analysis_misses : int;  (** ... and misses (= real recomputes) *)
   result_value : string;  (** for cross-configuration sanity checking *)
 }
 
 (** Total contained failures across all sites. *)
 val contained_total : measurement -> int
+
+(** Analysis-cache hit rate in [0,1]; 0 when nothing was queried. *)
+val analysis_hit_rate : measurement -> float
 
 type row = {
   benchmark : string;

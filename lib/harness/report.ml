@@ -55,6 +55,49 @@ let pp_contained ppf rows =
         [ ("baseline", r.baseline); ("dbds", r.dbds); ("dupalot", r.dupalot) ])
     rows
 
+(* Aggregated per-pass instrumentation over a suite's rows (DBDS
+   configuration), merged in pass-name order; immutable accumulation so
+   the measurements' own stat records are never mutated. *)
+let pp_passes ppf (s : suite_summary) =
+  let merge acc (name, (st : Opt.Phase.pass_stat)) =
+    let runs, fired, work, time, dsize =
+      match List.assoc_opt name acc with
+      | Some t -> t
+      | None -> (0, 0, 0, 0.0, 0)
+    in
+    (name,
+     ( runs + st.Opt.Phase.runs,
+       fired + st.Opt.Phase.fired,
+       work + st.Opt.Phase.pwork,
+       time +. st.Opt.Phase.time_s,
+       dsize + st.Opt.Phase.size_delta ))
+    :: List.remove_assoc name acc
+  in
+  let table =
+    List.fold_left (fun acc r -> List.fold_left merge acc r.dbds.passes) []
+      s.rows
+    |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+  in
+  if table <> [] then begin
+    Fmt.pf ppf "per-pass (dbds configuration, summed over the suite):@\n";
+    Fmt.pf ppf "  %-14s %6s %6s %10s %9s %8s@\n" "pass" "runs" "fired" "work"
+      "time(s)" "dsize";
+    List.iter
+      (fun (name, (runs, fired, work, time, dsize)) ->
+        Fmt.pf ppf "  %-14s %6d %6d %10d %9.4f %8d@\n" name runs fired work
+          time dsize)
+      table;
+    let hits, misses =
+      List.fold_left
+        (fun (h, m) r -> (h + r.dbds.analysis_hits, m + r.dbds.analysis_misses))
+        (0, 0) s.rows
+    in
+    if hits + misses > 0 then
+      Fmt.pf ppf "  analysis cache: %d hits, %d misses (%.1f%% hit rate)@\n"
+        hits misses
+        (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+  end
+
 let pp_suite ppf (s : suite_summary) =
   Fmt.pf ppf "%s: %s (normalized to baseline; peak higher is better,@\n"
     s.figure s.suite_name;
@@ -80,6 +123,7 @@ let pp_suite ppf (s : suite_summary) =
   Fmt.pf ppf "%-14s | %+10.2f %+11.2f | %+10.2f %+11.2f | %+10.2f %+11.2f@\n"
     "geomean" s.geo_peak_dbds s.geo_peak_dupalot s.geo_compile_dbds
     s.geo_compile_dupalot s.geo_size_dbds s.geo_size_dupalot;
+  pp_passes ppf s;
   pp_contained ppf s.rows
 
 (** The headline aggregate of the abstract: mean peak-performance

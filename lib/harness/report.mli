@@ -15,6 +15,12 @@ type suite_summary = {
 }
 
 val summarize : Workloads.Suite.t -> Metrics.row list -> suite_summary
+
+(** Aggregated per-pass instrumentation (DBDS configuration) plus the
+    analysis-cache hit rate, summed over the suite's rows.  Included in
+    {!pp_suite}. *)
+val pp_passes : Format.formatter -> suite_summary -> unit
+
 val pp_suite : Format.formatter -> suite_summary -> unit
 
 (** The headline aggregate of the abstract: mean peak-performance

@@ -55,6 +55,9 @@ let measure ?(icache = Interp.Machine.default_icache) ?jobs ~config
     duplications = totals.Dbds.Driver.duplications_performed;
     candidates = totals.Dbds.Driver.candidates_found;
     contained = ctx.Opt.Phase.contained;
+    passes = Opt.Phase.pass_table ctx;
+    analysis_hits = ctx.Opt.Phase.analysis_hits;
+    analysis_misses = ctx.Opt.Phase.analysis_misses;
     result_value = Interp.Machine.result_to_string result;
   }
 

@@ -1,17 +1,25 @@
-(** Incremental analysis caching.
+(** Incremental analysis caching with per-kind validity.
 
     The dominator tree, loop forest and block frequencies are recomputed
     many times per compilation unit by the simulate → trade-off →
     optimize loop: every optimization phase, every duplication attempt
     and every cost estimate starts from [Dom.compute].  This module
-    memoizes the three CFG analyses per graph, keyed on the graph's
-    monotonic {!Graph.generation} counter: as long as no mutation
-    happened since the last computation, the physically-same analysis is
-    returned.
+    memoizes the three CFG analyses per graph.
+
+    Validity is tracked {e per analysis kind}: each cached value carries
+    the {!Graph.generation} it was computed (or last revalidated) at.  A
+    mutation therefore invalidates by default — the generation moved on —
+    but a pass that declares it preserves an analysis can call
+    {!preserve} after running to re-stamp the cached value to the current
+    generation, keeping e.g. the dominator tree alive across pure
+    instruction rewrites (the pass manager's preservation contract;
+    checked in paranoid mode by {!check}).
 
     The cache lives in the graph's {!Graph.cache} slot, so it is saved
-    and restored by the speculation journal: a {!Graph.rollback} revives
-    the analyses that were valid at the checkpoint.
+    and restored by the speculation journal.  Every update replaces the
+    entry record (copy-on-write) rather than mutating it in place, so a
+    {!Graph.rollback} restores the exact validity state of the
+    checkpoint and revives the analyses that were valid there.
 
     Frequencies are additionally keyed by [loop_factor] (different
     configurations may assume different trip counts).
@@ -22,79 +30,164 @@
 
 type stats = { hits : int; misses : int }
 
+(** The three cached CFG analyses — the vocabulary of pass preservation
+    contracts. *)
+type kind = Dom | Loops | Frequency
+
+let kind_to_string = function
+  | Dom -> "dom"
+  | Loops -> "loops"
+  | Frequency -> "frequency"
+
+let all_kinds = [ Dom; Loops; Frequency ]
+
+(* Validity stamps and values are immutable: every update allocates a
+   fresh entry (see the copy-on-write note above).  Only the lifetime
+   hit/miss counters mutate in place — they are monotone bookkeeping,
+   not validity state (a rollback restores the counter values saved in
+   the checkpoint's entry, as documented). *)
 type entry = {
-  gen : int;  (** the graph generation this entry is valid for *)
-  mutable dom : Dom.t option;
-  mutable loops : Loops.t option;
-  mutable freqs : (float * Frequency.t) list;  (** keyed by loop_factor *)
-  mutable hits : int;  (** lifetime counters, carried across entries *)
+  dom_gen : int;  (** generation {!dom_tree} is valid for; -1 = none *)
+  dom_tree : Dom.t option;
+  loops_gen : int;
+  loop_forest : Loops.t option;
+  freq_gen : int;
+  freqs : (float * Frequency.t) list;  (** keyed by loop_factor *)
+  mutable hits : int;  (** lifetime counters, carried across updates *)
   mutable misses : int;
 }
 
 type Graph.cache += Cache of entry
 
-let fresh_entry ~gen ~hits ~misses =
-  { gen; dom = None; loops = None; freqs = []; hits; misses }
+let empty_entry =
+  {
+    dom_gen = -1;
+    dom_tree = None;
+    loops_gen = -1;
+    loop_forest = None;
+    freq_gen = -1;
+    freqs = [];
+    hits = 0;
+    misses = 0;
+  }
 
-(* The entry valid for the graph's current generation, creating or
-   replacing as needed.  Lifetime hit/miss counters survive
-   invalidation. *)
 let entry g =
-  let gen = Graph.generation g in
-  match g.Graph.cache with
-  | Cache e when e.gen = gen -> e
-  | Cache old ->
-      let e = fresh_entry ~gen ~hits:old.hits ~misses:old.misses in
-      g.Graph.cache <- Cache e;
-      e
-  | _ ->
-      let e = fresh_entry ~gen ~hits:0 ~misses:0 in
-      g.Graph.cache <- Cache e;
-      e
+  match g.Graph.cache with Cache e -> e | _ -> { empty_entry with hits = 0 }
+
+let store g e = g.Graph.cache <- Cache e
+
+let miss e =
+  Probe.fire "analyses.cache";
+  e.misses <- e.misses + 1
 
 let dom g =
   let e = entry g in
-  match e.dom with
-  | Some d ->
+  let gen = Graph.generation g in
+  match e.dom_tree with
+  | Some d when e.dom_gen = gen ->
       e.hits <- e.hits + 1;
       d
-  | None ->
-      Probe.fire "analyses.cache";
-      e.misses <- e.misses + 1;
+  | _ ->
+      miss e;
       let d = Dom.compute g in
-      e.dom <- Some d;
+      store g { e with dom_gen = gen; dom_tree = Some d };
       d
 
 let loops g =
+  (* [dom] may replace the entry; re-fetch after it (computing an
+     analysis does not mutate the graph, so the generation is stable). *)
+  let d = dom g in
   let e = entry g in
-  match e.loops with
-  | Some l ->
+  let gen = Graph.generation g in
+  match e.loop_forest with
+  | Some l when e.loops_gen = gen ->
       e.hits <- e.hits + 1;
       l
-  | None ->
-      let d = dom g in
-      (* [dom] cannot have invalidated the entry: computing an analysis
-         does not mutate the graph. *)
-      Probe.fire "analyses.cache";
-      e.misses <- e.misses + 1;
+  | _ ->
+      miss e;
       let l = Loops.compute d in
-      e.loops <- Some l;
+      store g { e with loops_gen = gen; loop_forest = Some l };
       l
 
 let frequency ?(loop_factor = Frequency.default_loop_factor) g =
+  let d = dom g in
+  let l = loops g in
   let e = entry g in
-  match List.assoc_opt loop_factor e.freqs with
+  let gen = Graph.generation g in
+  let valid = e.freq_gen = gen in
+  match if valid then List.assoc_opt loop_factor e.freqs else None with
   | Some f ->
       e.hits <- e.hits + 1;
       f
   | None ->
-      let d = dom g in
-      let l = loops g in
-      Probe.fire "analyses.cache";
-      e.misses <- e.misses + 1;
+      miss e;
       let f = Frequency.compute ~loop_factor d l in
-      e.freqs <- (loop_factor, f) :: e.freqs;
+      let freqs =
+        if valid then (loop_factor, f) :: e.freqs else [ (loop_factor, f) ]
+      in
+      store g { e with freq_gen = gen; freqs };
       f
+
+(** Re-stamp the cached [kinds] of [g] to the current generation,
+    provided they were valid at generation [since] — the pass manager's
+    preservation contract: a pass that mutated the graph but declared it
+    preserves an analysis keeps the value cached across its own
+    mutations.  Kinds that were already stale at [since] (or never
+    computed) are left alone: the contract only covers analyses that
+    were valid when the pass started. *)
+let preserve g ~since kinds =
+  let gen = Graph.generation g in
+  if gen <> since then begin
+    let e = entry g in
+    let e' =
+      List.fold_left
+        (fun e k ->
+          match k with
+          | Dom -> if e.dom_gen = since then { e with dom_gen = gen } else e
+          | Loops ->
+              if e.loops_gen = since then { e with loops_gen = gen } else e
+          | Frequency ->
+              if e.freq_gen = since then { e with freq_gen = gen } else e)
+        e kinds
+    in
+    if e' != e then store g e'
+  end
+
+(** Paranoid recompute-and-compare: does the cached, currently-valid
+    value of [kind] (if any) equal a fresh computation?  Used to check
+    preservation contracts; a [None]/stale cache trivially passes.  The
+    fresh computation bypasses the cache and is discarded. *)
+let check g kind =
+  let e = entry g in
+  let gen = Graph.generation g in
+  let ok = function
+    | true -> Ok ()
+    | false ->
+        Error
+          (Printf.sprintf "cached %s differs from a fresh recompute"
+             (kind_to_string kind))
+  in
+  match kind with
+  | Dom -> (
+      match e.dom_tree with
+      | Some d when e.dom_gen = gen -> ok (Dom.equal d (Dom.compute g))
+      | _ -> Ok ())
+  | Loops -> (
+      match e.loop_forest with
+      | Some l when e.loops_gen = gen ->
+          ok (Loops.equal l (Loops.compute (Dom.compute g)))
+      | _ -> Ok ())
+  | Frequency ->
+      if e.freq_gen = gen then begin
+        let d = Dom.compute g in
+        let l = Loops.compute d in
+        ok
+          (List.for_all
+             (fun (lf, f) ->
+               Frequency.equal f (Frequency.compute ~loop_factor:lf d l))
+             e.freqs)
+      end
+      else Ok ()
 
 (** Lifetime hit/miss counters of a graph's cache (0/0 before any
     lookup).  A {!Graph.rollback} also rolls these back to their

@@ -1,14 +1,26 @@
 (** Incremental analysis caching: memoized {!Dom}, {!Loops} and
-    {!Frequency} computations per graph, keyed on the graph's monotonic
-    {!Graph.generation} counter.  As long as no mutation happened since
-    the last computation, the physically-same analysis is returned.
+    {!Frequency} computations per graph, with {e per-kind} validity
+    stamps against the graph's monotonic {!Graph.generation} counter.
 
-    The cache lives in the graph's {!Graph.cache} slot and is therefore
-    saved/restored by the speculation journal ({!Graph.checkpoint} /
-    {!Graph.rollback}).  A graph is owned by exactly one domain at a
-    time, so no synchronization is needed. *)
+    A mutation invalidates by default, but a pass that declares it
+    preserves an analysis can {!preserve} it — re-stamping the cached
+    value to the current generation — so e.g. a pure instruction rewrite
+    keeps the dominator tree cached across its own mutations.  The
+    contract is checkable by recompute-and-compare ({!check}).
+
+    The cache lives in the graph's {!Graph.cache} slot and is updated
+    copy-on-write, so it is saved/restored exactly by the speculation
+    journal ({!Graph.checkpoint} / {!Graph.rollback}).  A graph is owned
+    by exactly one domain at a time, so no synchronization is needed. *)
 
 type stats = { hits : int; misses : int }
+
+(** The three cached CFG analyses — the vocabulary of pass preservation
+    contracts. *)
+type kind = Dom | Loops | Frequency
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
 
 (** Memoized {!Dom.compute}. *)
 val dom : Graph.t -> Dom.t
@@ -18,6 +30,18 @@ val loops : Graph.t -> Loops.t
 
 (** Memoized {!Frequency.compute}, additionally keyed by [loop_factor]. *)
 val frequency : ?loop_factor:float -> Graph.t -> Frequency.t
+
+(** [preserve g ~since kinds] re-stamps each cached analysis in [kinds]
+    that was valid at generation [since] to the graph's current
+    generation — the pass manager applies a pass's declared preservation
+    contract with this after the pass ran. *)
+val preserve : Graph.t -> since:int -> kind list -> unit
+
+(** Paranoid recompute-and-compare: [Error _] if the cached,
+    currently-valid value of [kind] differs from a fresh computation
+    (an invalid preservation claim).  A stale or absent cache trivially
+    passes. *)
+val check : Graph.t -> kind -> (unit, string) result
 
 (** Lifetime cache hit/miss counters of a graph (0/0 before any
     lookup). *)

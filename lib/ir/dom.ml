@@ -144,3 +144,12 @@ let iterated_frontier t ~frontiers:df blocks =
         df.(b)
   done;
   !result
+
+(** Structural equality of two dominator trees over the same graph: the
+    same reverse postorder and the same immediate dominator for every
+    reachable block.  Children, depths and frontiers are all derived
+    from the idoms, so comparing idoms suffices — this is the
+    preservation-contract check of {!Analyses}. *)
+let equal a b =
+  a.order = b.order
+  && List.for_all (fun blk -> a.idom.(blk) = b.idom.(blk)) a.order

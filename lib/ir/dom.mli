@@ -40,6 +40,11 @@ val preorder : t -> Types.block_id list
 (** Dominance frontiers, indexed by block id. *)
 val frontiers : t -> Types.block_id list array
 
+(** Structural equality of two dominator trees over the same graph: same
+    reverse postorder, same immediate dominator per reachable block (the
+    preservation-contract check of {!Analyses}). *)
+val equal : t -> t -> bool
+
 (** Iterated dominance frontier of a set of blocks — the phi-placement set
     for SSA construction/repair. *)
 val iterated_frontier :

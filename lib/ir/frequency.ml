@@ -50,3 +50,21 @@ let frequency t b = if b < Array.length t.freq then t.freq.(b) else 0.0
 
 (** Frequency relative to the hottest block of the unit, in (0, 1]. *)
 let relative t b = frequency t b /. t.max_freq
+
+(** Equality of two frequency estimates over the same graph, within a
+    small relative tolerance (frequencies are accumulated floats; two
+    computations over an identical CFG agree exactly, but the tolerance
+    keeps the preservation check robust to array-size differences for
+    blocks allocated after the first computation). *)
+let equal a b =
+  let get arr i = if i < Array.length arr then arr.(i) else 0.0 in
+  let close x y =
+    Float.abs (x -. y)
+    <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  in
+  let n = max (Array.length a.freq) (Array.length b.freq) in
+  let ok = ref (close a.max_freq b.max_freq) in
+  for i = 0 to n - 1 do
+    if not (close (get a.freq i) (get b.freq i)) then ok := false
+  done;
+  !ok

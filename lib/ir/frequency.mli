@@ -22,3 +22,7 @@ val frequency : t -> Types.block_id -> float
 
 (** Frequency relative to the hottest block of the unit, in [0, 1]. *)
 val relative : t -> Types.block_id -> float
+
+(** Equality of two frequency estimates over the same graph, within a
+    small relative tolerance. *)
+val equal : t -> t -> bool

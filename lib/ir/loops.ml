@@ -68,3 +68,17 @@ let compute (dom : Dom.t) =
       by_header []
   in
   { loops; loop_depth; loop_header }
+
+(* Loop bodies are collected from a hashtable, so their order is
+   arbitrary; normalize before comparing. *)
+let normalize t =
+  List.sort compare
+    (List.map
+       (fun l ->
+         (l.header, List.sort compare l.body, List.sort compare l.back_edges))
+       t.loops)
+
+(** Structural equality of two loop forests over the same graph (loop
+    sets compared order-insensitively; depths are derived from the
+    bodies). *)
+let equal a b = normalize a = normalize b

@@ -18,3 +18,7 @@ val depth : t -> Types.block_id -> int
 
 val is_header : t -> Types.block_id -> bool
 val compute : Dom.t -> t
+
+(** Structural equality of two loop forests over the same graph (loop
+    sets compared order-insensitively). *)
+val equal : t -> t -> bool

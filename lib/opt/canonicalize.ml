@@ -236,4 +236,7 @@ let run ctx g =
   done;
   !changed
 
-let phase = Phase.make "canonicalize" run
+(* Pure instruction rewrites: constant folding, strength reduction and
+   const hoisting never touch terminators or edges, so all CFG analyses
+   survive. *)
+let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "canonicalize" run

@@ -49,4 +49,6 @@ let run ctx g =
   if dead <> [] then changed := true;
   !changed
 
-let phase = Phase.make "dce" run
+(* Deletes dead instructions plus unreachable blocks; as for {!Pea},
+   neither changes any analysis result over the reachable CFG. *)
+let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "dce" run

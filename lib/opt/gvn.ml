@@ -52,4 +52,6 @@ let run ctx g =
   visit (G.entry g);
   !changed
 
-let phase = Phase.make "gvn" run
+(* Value numbering only replaces uses and deletes redundant
+   instructions; the CFG is untouched. *)
+let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "gvn" run

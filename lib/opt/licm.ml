@@ -71,4 +71,6 @@ let run ctx g =
     (Ir.Loops.loops loops);
   !changed
 
-let phase = Phase.make "licm" run
+(* Hoisting moves instructions between existing blocks; edges and
+   terminators are untouched. *)
+let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "licm" run

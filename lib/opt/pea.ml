@@ -141,4 +141,8 @@ let run ctx g =
         allocs;
       !changed
 
-let phase = Phase.make "pea" run
+(* Scalar replacement rewrites allocations and field accesses.  The
+   unreachable-block sweep only deletes blocks no analysis covers (they
+   are outside the RPO), so dominators, loops and frequencies of the
+   reachable CFG are unchanged. *)
+let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "pea" run

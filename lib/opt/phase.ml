@@ -1,8 +1,27 @@
-(** Phase framework: every optimization is a function [ctx -> Graph.t ->
-    bool] (did it change anything?).  The context carries program
-    metadata (class layouts for scalar replacement) and a deterministic
-    work-unit counter — the compile-time proxy used by the evaluation
-    harness alongside wall-clock measurements. *)
+(** Pass framework: every optimization is a function [ctx -> Graph.t ->
+    bool] (did it change anything?), packaged as a {!t} record carrying
+    its name and its {e preservation contract} — the {!Ir.Analyses}
+    kinds whose cached values remain valid across the pass's own
+    mutations.  The context carries program metadata (class layouts for
+    scalar replacement), a deterministic work-unit counter — the
+    compile-time proxy used by the evaluation harness alongside
+    wall-clock measurements — and the per-pass instrumentation the pass
+    manager maintains uniformly ({!run_pass}). *)
+
+(** Per-pass instrumentation, accumulated by {!run_pass} and merged
+    deterministically across parallel workers.  All fields except
+    [time_s] are deterministic for any [jobs] value. *)
+type pass_stat = {
+  mutable runs : int;  (** invocations *)
+  mutable fired : int;  (** invocations that changed the graph *)
+  mutable pwork : int;  (** work units charged while the pass ran *)
+  mutable time_s : float;  (** wall-clock seconds inside the pass *)
+  mutable size_delta : int;
+      (** summed live-instruction delta (negative = the pass shrank IR) *)
+}
+
+let fresh_pass_stat () =
+  { runs = 0; fired = 0; pwork = 0; time_s = 0.0; size_delta = 0 }
 
 type ctx = {
   program : Ir.Program.t option;
@@ -13,8 +32,16 @@ type ctx = {
   mutable analysis_misses : int;  (** ... and misses (= real computes) *)
   mutable contained : (string * int) list;
       (** contained per-function failures, per crash site (sorted) *)
+  mutable pass_stats : (string * pass_stat) list;
+      (** per-pass instrumentation, sorted by pass name *)
+  mutable preserve_analyses : bool;
+      (** honor pass preservation contracts (on by default); off =
+          the historical generation-bump-invalidates-everything mode *)
+  mutable check_contracts : bool;
+      (** paranoid: recompute-and-compare every preserved analysis after
+          each fired pass, raising {!Contract_violated} on a lie *)
   mutable post_phase : (string -> Ir.Graph.t -> unit) option;
-      (** paranoid hook: called after every phase that changed the
+      (** paranoid hook: called after every pass that changed the
           graph; may raise to abort (and contain) the pipeline *)
 }
 
@@ -25,6 +52,9 @@ let create ?program () =
     analysis_hits = 0;
     analysis_misses = 0;
     contained = [];
+    pass_stats = [];
+    preserve_analyses = true;
+    check_contracts = false;
     post_phase = None;
   }
 
@@ -56,8 +86,31 @@ let note_contained ctx ~site =
 let contained_total ctx =
   List.fold_left (fun acc (_, n) -> acc + n) 0 ctx.contained
 
+(* The sorted-assoc discipline again, for pass stats: the slot for a
+   pass name, inserted in name order on first use. *)
+let pass_stat ctx name =
+  let rec go = function
+    | [] ->
+        let s = fresh_pass_stat () in
+        ([ (name, s) ], s)
+    | ((n, s) :: _) as l when n = name -> (l, s)
+    | (n, s) :: rest when n < name ->
+        let rest', found = go rest in
+        ((n, s) :: rest', found)
+    | rest ->
+        let s = fresh_pass_stat () in
+        ((name, s) :: rest, s)
+  in
+  let stats', s = go ctx.pass_stats in
+  ctx.pass_stats <- stats';
+  s
+
+(** The per-pass instrumentation table, sorted by pass name. *)
+let pass_table ctx = ctx.pass_stats
+
 (** Fold a worker context's counters into [into] (the parallel driver's
-    deterministic merge: integer sums, independent of worker order). *)
+    deterministic merge: per-function contexts are merged in function
+    name order, independent of which worker ran which function). *)
 let merge_into ~into src =
   into.work <- into.work + src.work;
   into.analysis_hits <- into.analysis_hits + src.analysis_hits;
@@ -65,18 +118,85 @@ let merge_into ~into src =
   into.contained <-
     List.fold_left
       (fun acc (site, n) -> add_contained acc site n)
-      into.contained src.contained
+      into.contained src.contained;
+  List.iter
+    (fun (name, s) ->
+      let d = pass_stat into name in
+      d.runs <- d.runs + s.runs;
+      d.fired <- d.fired + s.fired;
+      d.pwork <- d.pwork + s.pwork;
+      d.time_s <- d.time_s +. s.time_s;
+      d.size_delta <- d.size_delta + s.size_delta)
+    src.pass_stats
 
 type t = {
-  phase_name : string;
+  pass_name : string;
+  preserves : Ir.Analyses.kind list;
+      (** analyses whose cached values stay valid across this pass's own
+          mutations; an empty list = the pass may change the CFG and
+          preserves nothing *)
   run : ctx -> Ir.Graph.t -> bool;
 }
 
-let make phase_name run = { phase_name; run }
+let make ?(preserves = []) pass_name run = { pass_name; preserves; run }
 
-(** Run phases in order repeatedly until a full pass changes nothing (or
-    [max_rounds] is hit).  Returns true if any phase ever fired. *)
-let fixpoint ?(max_rounds = 8) phases ctx g =
+(** A pass lied about its preservation contract: after [pass] ran, the
+    cached [analysis] it declared preserved differs from a fresh
+    recompute.  Raised only under {!ctx.check_contracts} (paranoid
+    mode); contained and attributed to the guilty pass by the driver. *)
+exception
+  Contract_violated of { pass : string; analysis : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Contract_violated { pass; analysis; reason } ->
+        Some
+          (Printf.sprintf "Opt.Phase.Contract_violated(%s claims %s: %s)" pass
+             analysis reason)
+    | _ -> None)
+
+(** Run one pass with the manager's uniform instrumentation: per-pass
+    stats (runs / fired / work / wall time / IR size delta), application
+    of the preservation contract to the analysis cache, the paranoid
+    recompute-and-compare contract check, and the post-phase
+    verification hook.  Every pass execution in the system — fixpoint
+    groups, DBDS tiers, standalone passes — goes through here. *)
+let run_pass ctx (p : t) g =
+  let stat = pass_stat ctx p.pass_name in
+  let gen0 = Ir.Graph.generation g in
+  let work0 = ctx.work in
+  let size0 = Ir.Graph.live_instr_count g in
+  let t0 = Unix.gettimeofday () in
+  let fired = p.run ctx g in
+  stat.runs <- stat.runs + 1;
+  if fired then stat.fired <- stat.fired + 1;
+  stat.pwork <- stat.pwork + (ctx.work - work0);
+  stat.time_s <- stat.time_s +. (Unix.gettimeofday () -. t0);
+  stat.size_delta <- stat.size_delta + (Ir.Graph.live_instr_count g - size0);
+  if fired then begin
+    if ctx.preserve_analyses && p.preserves <> [] then
+      Ir.Analyses.preserve g ~since:gen0 p.preserves;
+    if ctx.check_contracts then
+      List.iter
+        (fun k ->
+          match Ir.Analyses.check g k with
+          | Ok () -> ()
+          | Error reason ->
+              raise
+                (Contract_violated
+                   {
+                     pass = p.pass_name;
+                     analysis = Ir.Analyses.kind_to_string k;
+                     reason;
+                   }))
+        p.preserves;
+    match ctx.post_phase with Some hook -> hook p.pass_name g | None -> ()
+  end;
+  fired
+
+(** Run passes in order repeatedly until a full round changes nothing (or
+    [max_rounds] is hit).  Returns true if any pass ever fired. *)
+let fixpoint ?(max_rounds = 8) passes ctx g =
   let any = ref false in
   let round = ref 0 in
   let changed = ref true in
@@ -85,13 +205,10 @@ let fixpoint ?(max_rounds = 8) phases ctx g =
     changed := false;
     List.iter
       (fun p ->
-        if p.run ctx g then begin
+        if run_pass ctx p g then begin
           changed := true;
-          any := true;
-          match ctx.post_phase with
-          | Some hook -> hook p.phase_name g
-          | None -> ()
+          any := true
         end)
-      phases
+      passes
   done;
   !any

@@ -1,8 +1,21 @@
-(** Phase framework: every optimization is a function [ctx -> Graph.t ->
-    bool] (did it change anything?).  The context carries program
-    metadata (class layouts for scalar replacement) and a deterministic
-    work-unit counter — the compile-time proxy used by the evaluation
-    harness alongside wall-clock measurements. *)
+(** Pass framework: every optimization is a function [ctx -> Graph.t ->
+    bool] (did it change anything?), packaged as a {!t} record carrying
+    its name and its preservation contract over {!Ir.Analyses} kinds.
+    The context carries program metadata, a deterministic work-unit
+    counter, and the per-pass instrumentation the pass manager maintains
+    uniformly ({!run_pass}). *)
+
+(** Per-pass instrumentation, accumulated by {!run_pass} and merged
+    deterministically across parallel workers.  All fields except
+    [time_s] are deterministic for any [jobs] value. *)
+type pass_stat = {
+  mutable runs : int;  (** invocations *)
+  mutable fired : int;  (** invocations that changed the graph *)
+  mutable pwork : int;  (** work units charged while the pass ran *)
+  mutable time_s : float;  (** wall-clock seconds inside the pass *)
+  mutable size_delta : int;
+      (** summed live-instruction delta (negative = the pass shrank IR) *)
+}
 
 type ctx = {
   program : Ir.Program.t option;
@@ -13,8 +26,16 @@ type ctx = {
   mutable analysis_misses : int;  (** ... and misses (= real computes) *)
   mutable contained : (string * int) list;
       (** contained per-function failures, per crash site (sorted) *)
+  mutable pass_stats : (string * pass_stat) list;
+      (** per-pass instrumentation, sorted by pass name *)
+  mutable preserve_analyses : bool;
+      (** honor pass preservation contracts (on by default); off =
+          the historical generation-bump-invalidates-everything mode *)
+  mutable check_contracts : bool;
+      (** paranoid: recompute-and-compare every preserved analysis after
+          each fired pass, raising {!Contract_violated} on a lie *)
   mutable post_phase : (string -> Ir.Graph.t -> unit) option;
-      (** paranoid hook: called after every phase that changed the
+      (** paranoid hook: called after every pass that changed the
           graph; may raise to abort (and contain) the pipeline *)
 }
 
@@ -35,17 +56,40 @@ val note_contained : ctx -> site:string -> unit
 (** Total contained failures across all sites. *)
 val contained_total : ctx -> int
 
+(** The per-pass instrumentation table, sorted by pass name. *)
+val pass_table : ctx -> (string * pass_stat) list
+
 (** Fold a worker context's counters into [into] (the parallel driver's
-    deterministic merge: integer sums, independent of worker order). *)
+    deterministic merge: per-function contexts are merged in function
+    name order, independent of which worker ran which function). *)
 val merge_into : into:ctx -> ctx -> unit
 
 type t = {
-  phase_name : string;
+  pass_name : string;
+  preserves : Ir.Analyses.kind list;
+      (** analyses whose cached values stay valid across this pass's own
+          mutations; an empty list = the pass may change the CFG and
+          preserves nothing *)
   run : ctx -> Ir.Graph.t -> bool;
 }
 
-val make : string -> (ctx -> Ir.Graph.t -> bool) -> t
+(** [make name run] with an optional preservation contract (default:
+    preserves nothing). *)
+val make : ?preserves:Ir.Analyses.kind list -> string -> (ctx -> Ir.Graph.t -> bool) -> t
 
-(** Run phases in order repeatedly until a full pass changes nothing (or
-    [max_rounds] is hit).  Returns true if any phase ever fired. *)
+(** A pass lied about its preservation contract: after [pass] ran, the
+    cached [analysis] it declared preserved differs from a fresh
+    recompute.  Raised only under {!ctx.check_contracts} (paranoid
+    mode); contained and attributed to the guilty pass by the driver. *)
+exception
+  Contract_violated of { pass : string; analysis : string; reason : string }
+
+(** Run one pass with the manager's uniform instrumentation: per-pass
+    stats, application of the preservation contract to the analysis
+    cache, the paranoid contract check, and the post-phase hook.  Every
+    pass execution in the system goes through here. *)
+val run_pass : ctx -> t -> Ir.Graph.t -> bool
+
+(** Run passes in order repeatedly until a full round changes nothing (or
+    [max_rounds] is hit).  Returns true if any pass ever fired. *)
 val fixpoint : ?max_rounds:int -> t list -> ctx -> Ir.Graph.t -> bool

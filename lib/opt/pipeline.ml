@@ -1,8 +1,9 @@
 (** Standard optimization pipelines.
 
-    [baseline] is the paper's duplication-disabled configuration: all the
-    classic optimizations run, only DBDS is off.  The DBDS driver composes
-    the same phases after its duplication transformations. *)
+    [baseline_spec] is the paper's duplication-disabled configuration:
+    all the classic optimizations to a fixpoint, only DBDS is off.  The
+    DBDS driver composes the same fixpoint group (through the same
+    {!Manager}) before and between its duplication tiers. *)
 
 let all_phases =
   [
@@ -16,16 +17,99 @@ let all_phases =
     Dce.phase;
   ]
 
-(** Run the classic optimizations to a fixpoint on one graph.  [licm]
+(* The classic per-graph passes by spec name.  Short names are
+   canonical (what default specs print); the long forms are accepted as
+   aliases. *)
+let classic =
+  [
+    ("canon", Canonicalize.phase);
+    ("canonicalize", Canonicalize.phase);
+    ("simplify", Simplify_cfg.phase);
+    ("simplify-cfg", Simplify_cfg.phase);
+    ("sccp", Sccp.phase);
+    ("gvn", Gvn.phase);
+    ("condelim", Condelim.phase);
+    ("readelim", Readelim.phase);
+    ("pea", Pea.phase);
+    ("dce", Dce.phase);
+    ("licm", Licm.phase);
+  ]
+
+(** Resolve the classic pass names ([canon], [simplify], [sccp], [gvn],
+    [condelim], [readelim], [pea], [dce], [licm] and long-form
+    aliases); none of them takes options.  The driver's resolver layers
+    the duplication tiers on top of this one. *)
+let resolve_classic name opts =
+  match List.assoc_opt name classic with
+  | Some p -> Result.map (fun () -> p) (Spec.check_opts ~pass:name [] opts)
+  | None -> Error (Printf.sprintf "unknown pass %S" name)
+
+(** The fixpoint-group members of the calibrated evaluation plan, in
+    phase order. *)
+let classic_names =
+  [ "canon"; "simplify"; "sccp"; "gvn"; "condelim"; "readelim"; "pea"; "dce" ]
+
+(** The classic optimizations as a [fix(...)] spec item.  [licm]
     additionally enables loop-invariant code motion (off in the
     calibrated evaluation plan — see {!Licm}). *)
-let optimize ?(max_rounds = 8) ?(licm = false) ctx g =
-  let phases = if licm then all_phases @ [ Licm.phase ] else all_phases in
-  Phase.fixpoint ~max_rounds phases ctx g
+let fix_group ?(max_rounds = 8) ?(licm = false) () =
+  let names = classic_names @ if licm then [ "licm" ] else [] in
+  Spec.Fix
+    {
+      opts =
+        (if max_rounds = 8 then []
+         else [ ("rounds", string_of_int max_rounds) ]);
+      body = List.map (fun n -> Spec.Pass { name = n; opts = [] }) names;
+    }
 
-(** Optimize every function of a program (baseline configuration). *)
-let optimize_program ?max_rounds ?licm program =
+(** The baseline pipeline spec: the classic fixpoint group alone. *)
+let baseline_spec ?max_rounds ?licm () : Spec.t =
+  [ fix_group ?max_rounds ?licm () ]
+
+(** Run the classic optimizations to a fixpoint on one graph, through
+    the pass manager. *)
+let optimize ?max_rounds ?licm ctx g =
+  Manager.run resolve_classic (baseline_spec ?max_rounds ?licm ()) ctx g
+
+(* Containment must never swallow genuinely unrecoverable conditions. *)
+let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
+
+(* One function under containment: speculate the whole pipeline, roll
+   back to the pre-attempt IR on any exception and record the failure
+   instead of propagating (the driver's discipline, minus the fault
+   registry and crash bundles it layers on top). *)
+let optimize_one ?max_rounds ?licm ctx g =
+  Ir.Graph.checkpoint g;
+  match optimize ?max_rounds ?licm ctx g with
+  | _ -> Ir.Graph.commit g
+  | exception e when not (fatal e) ->
+      if Ir.Graph.in_speculation g then Ir.Graph.rollback g;
+      Phase.note_contained ctx ~site:"exception"
+
+(** Optimize every function of a program (baseline configuration),
+    fanned out over [jobs] domains (default: all cores) with per-function
+    crash containment — the same {!Ir.Parallel} + rollback discipline as
+    the DBDS driver, so [-j] and containment apply in baseline mode too.
+    Per-function contexts merge in function-name order: the returned
+    context is identical for any [jobs]. *)
+let optimize_program ?max_rounds ?licm ?jobs program =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Ir.Parallel.default_jobs ()
+  in
+  let functions =
+    List.filter_map
+      (fun name -> Ir.Program.find_function program name)
+      (Ir.Program.function_names program)
+  in
   let ctx = Phase.create ~program () in
-  Ir.Program.iter_functions program (fun g ->
-      ignore (optimize ?max_rounds ?licm ctx g));
+  if jobs = 1 then List.iter (optimize_one ?max_rounds ?licm ctx) functions
+  else
+    List.iter
+      (fun w -> Phase.merge_into ~into:ctx w)
+      (Ir.Parallel.map ~jobs
+         (fun g ->
+           let w = Phase.create ~program () in
+           optimize_one ?max_rounds ?licm w g;
+           w)
+         functions);
   ctx

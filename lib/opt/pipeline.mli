@@ -4,16 +4,37 @@
     conditional elimination, read elimination, escape analysis, DCE,
     iterated to a fixpoint — is the paper's {e baseline} configuration:
     all the classic optimizations run, only DBDS is off.  The DBDS driver
-    composes the same phases after its duplication transformations. *)
+    composes the same fixpoint group (through the same {!Manager})
+    before and between its duplication tiers. *)
 
 val all_phases : Phase.t list
 
-(** Run the classic optimizations to a fixpoint on one graph.  [licm]
+(** Resolve the classic pass names ([canon], [simplify], [sccp], [gvn],
+    [condelim], [readelim], [pea], [dce], [licm] and long-form aliases);
+    none of them takes options.  The driver's resolver layers the
+    duplication tiers on top of this one. *)
+val resolve_classic : Manager.resolver
+
+(** The fixpoint-group members of the calibrated evaluation plan, in
+    phase order (excludes [licm]). *)
+val classic_names : string list
+
+(** The classic optimizations as a [fix(...)] spec item.  [licm]
     additionally enables loop-invariant code motion (off in the
     calibrated evaluation plan — see {!Licm}). *)
+val fix_group : ?max_rounds:int -> ?licm:bool -> unit -> Spec.item
+
+(** The baseline pipeline spec: the classic fixpoint group alone. *)
+val baseline_spec : ?max_rounds:int -> ?licm:bool -> unit -> Spec.t
+
+(** Run the classic optimizations to a fixpoint on one graph, through
+    the pass manager. *)
 val optimize : ?max_rounds:int -> ?licm:bool -> Phase.ctx -> Ir.Graph.t -> bool
 
-(** Optimize every function of a program (baseline configuration);
-    returns the context with the accumulated work units. *)
+(** Optimize every function of a program (baseline configuration),
+    fanned out over [jobs] domains (default: all cores) with per-function
+    crash containment — the same {!Ir.Parallel} + rollback discipline as
+    the DBDS driver.  Returns the accumulated context, identical for any
+    [jobs]. *)
 val optimize_program :
-  ?max_rounds:int -> ?licm:bool -> Ir.Program.t -> Phase.ctx
+  ?max_rounds:int -> ?licm:bool -> ?jobs:int -> Ir.Program.t -> Phase.ctx

@@ -67,4 +67,5 @@ let run ctx g =
   visit Memstate.empty (G.entry g);
   !changed
 
-let phase = Phase.make "readelim" run
+(* Replaces loads with known values; the CFG is untouched. *)
+let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "readelim" run

@@ -20,6 +20,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("faults", Test_faults.suite);
       ("pathdup", Test_pathdup.suite);
+      ("passes", Test_passes.suite);
       ("properties", Test_properties.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);

@@ -13,6 +13,9 @@ let mk ~cycles ~size ~work =
     duplications = 0;
     candidates = 0;
     contained = [];
+    passes = [];
+    analysis_hits = 0;
+    analysis_misses = 0;
     result_value = "0";
   }
 

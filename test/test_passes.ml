@@ -1,0 +1,295 @@
+(** Pass-manager tests: spec grammar round-trips, driver pipeline
+    validation, preservation contracts (every declared-preserved analysis
+    equals a fresh recompute after the pass, on random programs), and
+    per-pass instrumentation determinism across [jobs]. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip s =
+  match Opt.Spec.of_string s with
+  | Error msg -> Alcotest.failf "%S did not parse: %s" s msg
+  | Ok spec -> (
+      let printed = Opt.Spec.to_string spec in
+      match Opt.Spec.of_string printed with
+      | Error msg -> Alcotest.failf "%S reprinted as unparseable %S: %s" s printed msg
+      | Ok spec' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S round-trips via %S" s printed)
+            true
+            (Opt.Spec.equal spec spec');
+          printed)
+
+let test_spec_roundtrip () =
+  let canonical =
+    [
+      "canon";
+      "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),dbds{iters=3}";
+      "fix{rounds=2}(canon,dce)";
+      "dbds{iters=5,threshold=0.5}";
+      "fix(canon,fix(gvn,dce))";
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "canonical form is a fixed point" s (roundtrip s))
+    canonical;
+  (* Whitespace and long-form names are accepted but not canonical. *)
+  Alcotest.(check string)
+    "whitespace normalizes" "fix(canon,dce),dbds"
+    (roundtrip " fix ( canon , dce ) , dbds { } ")
+
+let test_spec_errors () =
+  let rejects s =
+    match Opt.Spec.of_string s with
+    | Error _ -> ()
+    | Ok spec ->
+        Alcotest.failf "%S parsed as %S" s (Opt.Spec.to_string spec)
+  in
+  List.iter rejects
+    [ ""; "fix(canon"; "canon)"; "canon,,dce"; "fix()"; "a{x}"; "a{x=}"; "a b" ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver pipeline validation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of s =
+  match Opt.Spec.of_string s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.failf "%S: %s" s msg
+
+let test_default_specs () =
+  let printed config =
+    Opt.Spec.to_string (Dbds.Driver.default_spec config)
+  in
+  Alcotest.(check string)
+    "dbds"
+    "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),dbds{iters=3}"
+    (printed Dbds.Config.dbds);
+  Alcotest.(check string)
+    "baseline" "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce)"
+    (printed Dbds.Config.off);
+  Alcotest.(check string)
+    "backtracking runs the classic group again after the tier"
+    "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),backtracking{iters=3},fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce)"
+    (printed Dbds.Config.backtracking);
+  Alcotest.(check string)
+    "licm joins the fixpoint group"
+    "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce,licm)"
+    (printed { Dbds.Config.off with Dbds.Config.licm = true });
+  (* Every default spec validates against the driver's own registry. *)
+  List.iter
+    (fun config ->
+      match Dbds.Driver.validate_spec config (Dbds.Driver.default_spec config) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "default spec rejected: %s" msg)
+    Dbds.Config.[ default; off; dupalot; backtracking; paranoid ]
+
+let test_validate_spec () =
+  let config = Dbds.Config.default in
+  let ok s =
+    match Dbds.Driver.validate_spec config (spec_of s) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%S rejected: %s" s msg
+  in
+  let rejected s =
+    match Dbds.Driver.validate_spec config (spec_of s) with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%S accepted" s
+  in
+  ok "fix(dce,gvn,canon,simplify),dbds{iters=1}";
+  ok "inline,canonicalize,simplify-cfg,licm";
+  ok "dupalot{iters=2,threshold=0.1},backtracking{iters=1}";
+  rejected "bogus";
+  rejected "canon{x=1}";
+  rejected "dbds{iters=nope}";
+  rejected "dbds{depth=3}";
+  rejected "fix(inline,canon)"
+
+(* ------------------------------------------------------------------ *)
+(* Preservation contracts (property, jobs 1 and 4 driver runs)         *)
+(* ------------------------------------------------------------------ *)
+
+let compile_seed seed =
+  let src = Workloads.Progen.generate ~seed () in
+  match Lang.Frontend.compile src with
+  | prog -> (src, prog)
+  | exception Lang.Frontend.Error msg ->
+      QCheck2.Test.fail_reportf "seed %d: frontend failed: %s\n%s" seed msg src
+
+let classic_passes =
+  List.map
+    (fun name ->
+      match Opt.Pipeline.resolve_classic name [] with
+      | Ok p -> p
+      | Error msg -> failwith msg)
+    (Opt.Pipeline.classic_names @ [ "licm" ])
+
+(* After each classic pass, every analysis it declares preserved must
+   equal a fresh recompute — on every function of a random program, with
+   all three analyses primed so the claim is actually exercised. *)
+let prop_preservation seed =
+  let _src, prog = compile_seed seed in
+  let ctx = Opt.Phase.create ~program:prog () in
+  ctx.Opt.Phase.check_contracts <- true;
+  List.iter
+    (fun name ->
+      match Ir.Program.find_function prog name with
+      | None -> ()
+      | Some g ->
+          List.iter
+            (fun (pass : Opt.Phase.t) ->
+              ignore (Ir.Analyses.dom g);
+              ignore (Ir.Analyses.loops g);
+              ignore (Ir.Analyses.frequency g);
+              (try ignore (Opt.Phase.run_pass ctx pass g)
+               with Opt.Phase.Contract_violated { pass; analysis; reason } ->
+                 QCheck2.Test.fail_reportf
+                   "seed %d: %s broke its %s preservation contract on %s: %s"
+                   seed pass analysis name reason);
+              List.iter
+                (fun kind ->
+                  match Ir.Analyses.check g kind with
+                  | Ok () -> ()
+                  | Error reason ->
+                      QCheck2.Test.fail_reportf
+                        "seed %d: after %s, preserved %s is stale on %s: %s"
+                        seed pass.Opt.Phase.pass_name
+                        (Ir.Analyses.kind_to_string kind)
+                        name reason)
+                pass.Opt.Phase.preserves)
+            classic_passes)
+    (Ir.Program.function_names prog);
+  true
+
+(* The full paranoid driver (verifier + contract audits after every
+   pass) must contain nothing on clean programs — under jobs 1 and 4. *)
+let prop_paranoid_driver seed =
+  let _src, prog = compile_seed seed in
+  List.iter
+    (fun jobs ->
+      let prog' = Ir.Program.copy prog in
+      let report =
+        Dbds.Driver.optimize_program_report ~config:Dbds.Config.paranoid ~jobs
+          prog'
+      in
+      match report.Dbds.Driver.rep_failures with
+      | [] -> ()
+      | f :: _ ->
+          QCheck2.Test.fail_reportf "seed %d: jobs=%d contained %s at %s" seed
+            jobs f.Dbds.Driver.fail_fn f.Dbds.Driver.fail_site)
+    [ 1; 4 ];
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Per-pass instrumentation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The deterministic columns (everything except wall time). *)
+let table_key ctx =
+  List.map
+    (fun (name, (st : Opt.Phase.pass_stat)) ->
+      (name, st.Opt.Phase.runs, st.Opt.Phase.fired, st.Opt.Phase.pwork,
+       st.Opt.Phase.size_delta))
+    (Opt.Phase.pass_table ctx)
+
+let test_pass_table_determinism () =
+  let _src, prog = compile_seed 42 in
+  let run jobs =
+    let prog' = Ir.Program.copy prog in
+    let report = Dbds.Driver.optimize_program_report ~jobs prog' in
+    let ctx = report.Dbds.Driver.rep_ctx in
+    ( table_key ctx,
+      ctx.Opt.Phase.work,
+      ctx.Opt.Phase.analysis_hits,
+      ctx.Opt.Phase.analysis_misses )
+  in
+  let t1, w1, h1, m1 = run 1 in
+  let t4, w4, h4, m4 = run 4 in
+  Alcotest.(check bool) "pass table has rows" true (t1 <> []);
+  Alcotest.(check bool) "pass tables agree" true (t1 = t4);
+  Alcotest.(check int) "work agrees" w1 w4;
+  Alcotest.(check int) "analysis hits agree" h1 h4;
+  Alcotest.(check int) "analysis misses agree" m1 m4
+
+let test_pass_table_contents () =
+  let _src, prog = compile_seed 7 in
+  let report = Dbds.Driver.optimize_program_report ~jobs:1 prog in
+  let table = Opt.Phase.pass_table report.Dbds.Driver.rep_ctx in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name table with
+      | None -> Alcotest.failf "pass %s missing from the table" name
+      | Some (st : Opt.Phase.pass_stat) ->
+          Alcotest.(check bool)
+            (name ^ " ran") true
+            (st.Opt.Phase.runs > 0);
+          Alcotest.(check bool)
+            (name ^ " fired <= runs") true
+            (st.Opt.Phase.fired <= st.Opt.Phase.runs))
+    [ "canonicalize"; "dce"; "gvn"; "dbds" ]
+
+(* Baseline Pipeline.optimize_program rides the same parallel +
+   containment path: deterministic merged context for any [jobs]. *)
+let test_baseline_optimize_program_jobs () =
+  let _src, prog = compile_seed 11 in
+  let run jobs =
+    let prog' = Ir.Program.copy prog in
+    let ctx = Opt.Pipeline.optimize_program ~jobs prog' in
+    (table_key ctx, ctx.Opt.Phase.work, prog')
+  in
+  let t1, w1, p1 = run 1 in
+  let t4, w4, p4 = run 4 in
+  Alcotest.(check bool) "pass tables agree" true (t1 = t4);
+  Alcotest.(check int) "work agrees" w1 w4;
+  List.iter
+    (fun name ->
+      let ir p =
+        Ir.Printer.graph_to_string (Option.get (Ir.Program.find_function p name))
+      in
+      Alcotest.(check string) (name ^ " IR identical") (ir p1) (ir p4))
+    (Ir.Program.function_names p1)
+
+(* A custom --passes reordering produces runnable, verifying IR with the
+   same observable behavior. *)
+let test_custom_pipeline_behavior () =
+  let src, prog = compile_seed 23 in
+  let config =
+    {
+      Dbds.Config.default with
+      Dbds.Config.passes =
+        Some (spec_of "fix(dce,gvn,canon,simplify),dbds{iters=1}");
+    }
+  in
+  let prog' = Ir.Program.copy prog in
+  ignore (Dbds.Driver.optimize_program ~config prog');
+  check_program_verifies prog';
+  List.iter
+    (fun args ->
+      let a = run_int ~fuel:2_000_000 prog args
+      and b = run_int ~fuel:2_000_000 prog' args in
+      if a <> b then
+        Alcotest.failf "custom pipeline diverged on seed 23: %d vs %d\n%s" a b
+          src)
+    [ [ 0; 0 ]; [ 1; 7 ]; [ -9; 3 ] ]
+
+let seed_gen = QCheck2.Gen.int_bound 1_000_000
+
+let suite =
+  [
+    test "spec round-trip" test_spec_roundtrip;
+    test "spec errors" test_spec_errors;
+    test "default specs" test_default_specs;
+    test "validate spec" test_validate_spec;
+    test "pass table determinism (jobs 1 vs 4)" test_pass_table_determinism;
+    test "pass table contents" test_pass_table_contents;
+    test "baseline optimize_program jobs" test_baseline_optimize_program_jobs;
+    test "custom pipeline behavior" test_custom_pipeline_behavior;
+    qtest ~count:60 "preservation contracts hold (progen)" seed_gen
+      prop_preservation;
+    qtest ~count:25 "paranoid driver contains nothing (jobs 1 and 4)" seed_gen
+      prop_paranoid_driver;
+  ]
