@@ -144,6 +144,24 @@ let print_analysis_cache rows =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Tiered execution: engine steady state vs interpretation             *)
+(* ------------------------------------------------------------------ *)
+
+(* One tiered measurement per suite (its representative benchmark):
+   steady-state engine cycles against the tier-0-only control, with the
+   AOT configurations for context. *)
+let tiered_rows () =
+  List.map2
+    (fun tag (suite : Workloads.Suite.t) ->
+      (tag, suite.Workloads.Suite.suite_name, Harness.Tiered.measure_suite suite))
+    fig_tags Workloads.Registry.all
+
+let print_tiered rows =
+  section "Tiered execution: steady state vs tier-0 interpretation";
+  Format.printf "%a@." Harness.Report.pp_tiered
+    (List.map (fun (_, _, r) -> r) rows)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_results.json                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,7 +187,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_results_json path rows cache_rows =
+let write_results_json path rows cache_rows tiered =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -246,6 +264,42 @@ let write_results_json path rows cache_rows =
       cache_rows
   in
   Buffer.add_string buf (String.concat ",\n" cache_entries);
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"tiered\": [\n";
+  let tiered_entries =
+    List.map
+      (fun (tag, suite_name, (r : Harness.Metrics.tiered_row)) ->
+        Printf.sprintf
+          "    {\n\
+          \      \"figure\": \"%s\",\n\
+          \      \"suite\": \"%s\",\n\
+          \      \"benchmark\": \"%s\",\n\
+          \      \"tier0_cycles\": %.1f,\n\
+          \      \"first_run_cycles\": %.1f,\n\
+          \      \"steady_cycles\": %.1f,\n\
+          \      \"speedup_pct\": %.2f,\n\
+          \      \"aot_baseline_cycles\": %.1f,\n\
+          \      \"aot_dbds_cycles\": %.1f,\n\
+          \      \"promotions\": %d,\n\
+          \      \"compiles\": %d,\n\
+          \      \"deopts\": %d,\n\
+          \      \"max_queue_depth\": %d,\n\
+          \      \"tier1_share\": %.4f,\n\
+          \      \"compile_work\": %d\n\
+          \    }"
+          (json_escape tag) (json_escape suite_name)
+          (json_escape r.Harness.Metrics.t_benchmark)
+          r.Harness.Metrics.t_tier0_cycles r.Harness.Metrics.t_first_cycles
+          r.Harness.Metrics.t_steady_cycles
+          (Harness.Metrics.tiered_speedup r)
+          r.Harness.Metrics.t_aot_baseline_cycles
+          r.Harness.Metrics.t_aot_dbds_cycles r.Harness.Metrics.t_promotions
+          r.Harness.Metrics.t_compiles r.Harness.Metrics.t_deopts
+          r.Harness.Metrics.t_max_queue_depth r.Harness.Metrics.t_tier1_share
+          r.Harness.Metrics.t_compile_work)
+      tiered
+  in
+  Buffer.add_string buf (String.concat ",\n" tiered_entries);
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -285,5 +339,7 @@ let () =
     (Harness.Experiments.run_path_ablation ());
   let cache_rows = analysis_cache_rows () in
   print_analysis_cache cache_rows;
+  let tiered = tiered_rows () in
+  print_tiered tiered;
   let rows = run_bechamel () in
-  write_results_json "BENCH_results.json" rows cache_rows
+  write_results_json "BENCH_results.json" rows cache_rows tiered

@@ -44,14 +44,84 @@ let replay path =
   (match b.Dbds.Bundle.b_plan with
   | Some p -> Format.printf "fault plan: %s@." (Dbds.Faults.to_string p)
   | None -> ());
+  (match b.Dbds.Bundle.b_profile with
+  | Some p ->
+      Format.printf "profile snapshot: %d recorded branch(es)@."
+        (List.length
+           (List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n' p)))
+  | None -> ());
   match Dbds.Driver.replay_bundle b with
   | `Reproduced f ->
       Format.printf "reproduced: %a@." Dbds.Driver.pp_failure f;
       Format.printf "backtrace:@.%s@." f.Dbds.Driver.fail_backtrace
   | `Clean -> Format.printf "did not reproduce: the function now optimizes cleanly@."
 
+(* Tiered execution: run FILE on the VM engine for [runs] iterations and
+   report steady-state behaviour instead of AOT-compiling. *)
+let run_tiered prog ~config ~jobs ~icache ~args ~runs ~deopt_plan ~stats =
+  let vm_config =
+    Vm.Engine.config ~compile:config ?jobs ~icache ?deopt_plan ()
+  in
+  let eng = Vm.Engine.create ~config:vm_config prog in
+  let args = Array.of_list args in
+  let first = ref None in
+  let last = ref None in
+  for i = 1 to max 1 runs do
+    let result, rstats, _ = Vm.Engine.run_full eng ~args in
+    if i = 1 then first := Some rstats.Interp.Machine.cycles;
+    last := Some (result, rstats)
+  done;
+  List.iter
+    (fun f ->
+      Format.eprintf "warning (background compile): %a@." Dbds.Driver.pp_failure
+        f)
+    (Vm.Engine.failures eng);
+  let result, rstats = Option.get !last in
+  let vs = Vm.Engine.finish eng in
+  Format.printf "result: %s@." (Interp.Machine.result_to_string result);
+  Format.printf
+    "steady-state cycles: %.1f (first run: %.1f), instructions: %d, icache: \
+     %d hits / %d misses@."
+    rstats.Interp.Machine.cycles
+    (Option.value ~default:0.0 !first)
+    rstats.Interp.Machine.instrs_executed rstats.Interp.Machine.icache_hits
+    rstats.Interp.Machine.icache_misses;
+  if stats then begin
+    Format.printf "=== tiered vm ===@.%a@." Vm.Vmstats.pp vs;
+    (match Vm.Codecache.entries (Vm.Engine.cache eng) with
+    | [] -> ()
+    | entries ->
+        Format.printf "=== code cache ===@.";
+        List.iter
+          (fun (e : Vm.Codecache.entry) ->
+            Format.printf
+              "%-20s v%-3d size %5d, %6d hits, compiled from %d samples@."
+              e.Vm.Codecache.ce_fn e.Vm.Codecache.ce_version
+              e.Vm.Codecache.ce_size e.Vm.Codecache.ce_hits
+              e.Vm.Codecache.ce_samples)
+          entries);
+    match Vm.Engine.deopt_log eng with
+    | [] -> ()
+    | log ->
+        Format.printf "=== deopts ===@.";
+        List.iter (fun e -> Format.printf "%a@." Vm.Deopt.pp_event e) log
+  end
+
+let parse_deopt_plan s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let fn = String.sub s 0 i in
+      let n = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt n with
+      | Some n when fn <> "" && n > 0 -> (fn, n)
+      | _ -> failwith "--tiered-deopt expects FN:N with N >= 1")
+  | None -> failwith "--tiered-deopt expects FN:N"
+
 let run_compiler file mode passes licm print_passes dump dot run args stats
-    icache_off jobs inject paranoid bundle_dir no_contain replay_bundle =
+    icache_off jobs inject paranoid bundle_dir no_contain replay_bundle
+    profile_runs tiered tiered_runs tiered_deopt =
   match
     (match replay_bundle with
     | Some path ->
@@ -111,6 +181,38 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
           Format.printf "%s@." (Ir.Printer.graph_to_string g))
     end;
     let jobs = if jobs <= 0 then None else Some jobs in
+    let icache =
+      if icache_off then Interp.Machine.no_icache
+      else Interp.Machine.default_icache
+    in
+    if tiered then begin
+      (* Tiered execution replaces the AOT pipeline entirely: the engine
+         interprets, profiles, background-compiles under [config] and
+         deoptimizes on its own. *)
+      let deopt_plan = Option.map parse_deopt_plan tiered_deopt in
+      run_tiered prog ~config ~jobs ~icache ~args ~runs:tiered_runs ~deopt_plan
+        ~stats;
+      raise Exit
+    end;
+    if profile_runs > 0 then begin
+      (* One-shot profile-guided compilation: interpret the unoptimized
+         program N times recording branch outcomes, rewrite the static
+         probabilities from the recording, then optimize as usual. *)
+      let profile = Interp.Profile.create () in
+      let pargs = Array.of_list args in
+      for _ = 1 to profile_runs do
+        ignore (Interp.Machine.run ~icache ~profile prog ~args:pargs)
+      done;
+      Interp.Profile.apply profile prog;
+      let branches, samples =
+        Interp.Profile.fold profile ~init:(0, 0)
+          ~f:(fun (b, s) ~fn:_ ~bid:_ ~taken:_ ~total -> (b + 1, s + total))
+      in
+      Format.printf
+        "profile: %d run(s), %d branch(es), %d sample(s); probabilities \
+         applied@."
+        profile_runs branches samples
+    end;
     let report = Dbds.Driver.optimize_program_report ~config ?jobs prog in
     let ctx = report.Dbds.Driver.rep_ctx
     and per_fn = report.Dbds.Driver.rep_stats in
@@ -167,18 +269,16 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
                 ctx.Opt.Phase.contained))
     end;
     if run then begin
-      let icache =
-        if icache_off then Interp.Machine.no_icache
-        else Interp.Machine.default_icache
-      in
       let result, rstats =
         Interp.Machine.run ~icache prog ~args:(Array.of_list args)
       in
       Format.printf "result: %s@." (Interp.Machine.result_to_string result);
       Format.printf
-        "cycles: %.1f, instructions: %d, icache misses: %d, allocations: %d@."
+        "cycles: %.1f, instructions: %d, icache: %d hits / %d misses, \
+         allocations: %d@."
         rstats.Interp.Machine.cycles rstats.Interp.Machine.instrs_executed
-        rstats.Interp.Machine.icache_misses rstats.Interp.Machine.allocations
+        rstats.Interp.Machine.icache_hits rstats.Interp.Machine.icache_misses
+        rstats.Interp.Machine.allocations
     end
   with
   | () -> 0
@@ -338,6 +438,44 @@ let replay_arg =
            recorded function under the recorded config and fault plan and \
            report whether the failure reproduces.")
 
+let profile_runs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "profile-runs" ] ~docv:"N"
+        ~doc:
+          "Profile-guided compilation in one shot: interpret the unoptimized \
+           program N times recording branch outcomes, rewrite the static \
+           branch probabilities from the recording, then optimize as usual.")
+
+let tiered_arg =
+  Arg.(
+    value & flag
+    & info [ "tiered" ]
+        ~doc:
+          "Run FILE on the tiered VM instead of AOT-compiling: interpret, \
+           profile, background-compile hot functions under the selected \
+           mode, deoptimize on failure.  Prints steady-state cycles; with \
+           $(b,--stats), promotions, deopts, queue depth and the per-tier \
+           cycle split.")
+
+let tiered_runs_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "tiered-runs" ] ~docv:"N"
+        ~doc:
+          "Number of $(b,--tiered) iterations to run before reporting the \
+           (steady-state) last one.")
+
+let tiered_deopt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tiered-deopt" ] ~docv:"FN:N"
+        ~doc:
+          "Force one deoptimization: the Nth optimized invocation of \
+           function FN raises, the engine unwinds its side effects and \
+           transparently re-executes in tier 0.")
+
 let cmd =
   let doc = "SSA compiler with dominance-based duplication simulation" in
   Cmd.v
@@ -346,7 +484,8 @@ let cmd =
       const run_compiler $ file_arg $ mode_arg $ passes_arg $ licm_arg
       $ print_passes_arg $ dump_arg $ dot_arg $ run_arg $ args_arg $ stats_arg
       $ no_icache_arg $ jobs_arg $ inject_arg $ paranoid_arg $ bundle_dir_arg
-      $ no_contain_arg $ replay_arg)
+      $ no_contain_arg $ replay_arg $ profile_runs_arg $ tiered_arg
+      $ tiered_runs_arg $ tiered_deopt_arg)
 
 let () =
   Printexc.record_backtrace true;

@@ -17,10 +17,18 @@
     exception: <Printexc.to_string>
     plan: <site:hit[:fn] | none>
     config: mode=<m> benefit_scale=<f> ... paranoid=<bool>
+    --- profile ---        (optional; absent in bundles without one)
+    <fn> <bid> <taken> <total>
+    ...
     --- ir ---
     fn <name>(<n> params) entry=bK
     ...
-    v} *)
+    v}
+
+    The profile section records the branch-profile snapshot a tiered
+    background compilation was driven by ([Interp.Profile.render]
+    format), so [--replay-bundle] reproduces the exact compilation —
+    same probabilities, same trade-off decisions. *)
 
 type t = {
   b_fn : string;  (** crashed function *)
@@ -28,12 +36,16 @@ type t = {
   b_exn : string;  (** rendered exception *)
   b_plan : Faults.plan option;
   b_config : Config.t;
+  b_profile : string option;
+      (** branch-profile snapshot ({!Interp.Profile.render} format) the
+          compilation was driven by, when it was profile-guided *)
   b_ir : string;  (** pre-attempt IR, {!Ir.Printer} format *)
 }
 
 exception Malformed of string
 
 let ir_marker = "--- ir ---"
+let profile_marker = "--- profile ---"
 
 (* ------------------------------------------------------------------ *)
 (* Config (de)serialization: only the knobs that shape the pipeline.   *)
@@ -108,6 +120,13 @@ let render b =
   line "plan: %s"
     (match b.b_plan with Some p -> Faults.to_string p | None -> "none");
   line "config: %s" (config_to_line b.b_config);
+  (match b.b_profile with
+  | Some p ->
+      line "%s" profile_marker;
+      Buffer.add_string buf p;
+      if p <> "" && p.[String.length p - 1] <> '\n' then
+        Buffer.add_char buf '\n'
+  | None -> ());
   line "%s" ir_marker;
   Buffer.add_string buf b.b_ir;
   Buffer.contents buf
@@ -144,9 +163,19 @@ let parse text =
       raise (Malformed "not a dbds-bundle v1 file")
   | _ :: rest ->
       let header = Hashtbl.create 8 in
+      (* Profile lines sit between the (optional) profile marker and the
+         ir marker; older v1 bundles have no profile section. *)
+      let rec split_profile acc = function
+        | [] -> raise (Malformed "missing IR section")
+        | l :: rest when l = ir_marker -> (List.rev acc, rest)
+        | l :: rest -> split_profile (l :: acc) rest
+      in
       let rec split_header = function
         | [] -> raise (Malformed "missing IR section")
-        | l :: rest when l = ir_marker -> rest
+        | l :: rest when l = ir_marker -> (None, rest)
+        | l :: rest when l = profile_marker ->
+            let profile_lines, ir_lines = split_profile [] rest in
+            (Some (String.concat "\n" profile_lines), ir_lines)
         | l :: rest ->
             (match String.index_opt l ':' with
             | Some i ->
@@ -158,7 +187,7 @@ let parse text =
             | None -> ());
             split_header rest
       in
-      let ir_lines = split_header rest in
+      let profile, ir_lines = split_header rest in
       let get k =
         match Hashtbl.find_opt header k with
         | Some v -> v
@@ -178,6 +207,7 @@ let parse text =
         b_exn = get "exception";
         b_plan = plan;
         b_config = config_of_line (get "config");
+        b_profile = profile;
         b_ir = String.concat "\n" ir_lines;
       }
   | [] -> raise (Malformed "empty bundle")

@@ -23,6 +23,8 @@ type measurement = {
           pass name; all columns except wall time are deterministic *)
   analysis_hits : int;  (** {!Ir.Analyses} cache hits during compile *)
   analysis_misses : int;  (** ... and misses (= real recomputes) *)
+  run_icache_hits : int;  (** interpreter i-cache hits during the run *)
+  run_icache_misses : int;  (** ... and misses (each charges a penalty) *)
   result_value : string;  (** for cross-configuration sanity checking *)
 }
 
@@ -32,6 +34,12 @@ let contained_total m = List.fold_left (fun acc (_, n) -> acc + n) 0 m.contained
 let analysis_hit_rate m =
   let total = m.analysis_hits + m.analysis_misses in
   if total = 0 then 0.0 else float_of_int m.analysis_hits /. float_of_int total
+
+(** Run-time i-cache hit rate in [0,1]; 0 when the model never fired. *)
+let run_icache_hit_rate m =
+  let total = m.run_icache_hits + m.run_icache_misses in
+  if total = 0 then 0.0
+  else float_of_int m.run_icache_hits /. float_of_int total
 
 type row = {
   benchmark : string;
@@ -58,6 +66,37 @@ let size_delta ~baseline m =
   pct_change
     ~base:(float_of_int (max baseline.code_size 1))
     (float_of_int m.code_size)
+
+(** One benchmark's tiered-execution comparison: steady-state cycles of
+    the tiered engine against a tier-0-only engine on the same workload,
+    with the AOT configurations for context.  Plain data so the harness
+    report and the bench JSON writer need no [vm] dependency. *)
+type tiered_row = {
+  t_benchmark : string;
+  t_tier0_cycles : float;  (** tier-0-only engine, steady-state run *)
+  t_first_cycles : float;  (** tiered engine, first (cold) run *)
+  t_steady_cycles : float;  (** tiered engine, steady-state run *)
+  t_aot_baseline_cycles : float;
+  t_aot_dbds_cycles : float;
+  t_promotions : int;
+  t_compiles : int;
+  t_deopts : int;
+  t_max_queue_depth : int;
+  t_tier1_share : float;  (** fraction of calls served by optimized code *)
+  t_compile_work : int;  (** background compile effort, work units *)
+}
+
+(** Steady-state speedup of tiered execution over pure interpretation
+    (%); positive = tiering pays. *)
+let tiered_speedup r =
+  if r.t_steady_cycles <= 0.0 then 0.0
+  else (r.t_tier0_cycles /. r.t_steady_cycles -. 1.0) *. 100.0
+
+(** Warmup gain: how much faster the steady-state run is than the first
+    (cold) run of the same engine (%). *)
+let tiered_warmup r =
+  if r.t_steady_cycles <= 0.0 then 0.0
+  else (r.t_first_cycles /. r.t_steady_cycles -. 1.0) *. 100.0
 
 (** Geometric mean of percentage deltas: geomean of the ratios (1 + d/100)
     minus one, as the paper's tables report. *)

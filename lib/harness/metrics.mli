@@ -24,6 +24,8 @@ type measurement = {
           pass name; all columns except wall time are deterministic *)
   analysis_hits : int;  (** {!Ir.Analyses} cache hits during compile *)
   analysis_misses : int;  (** ... and misses (= real recomputes) *)
+  run_icache_hits : int;  (** interpreter i-cache hits during the run *)
+  run_icache_misses : int;  (** ... and misses (each charges a penalty) *)
   result_value : string;  (** for cross-configuration sanity checking *)
 }
 
@@ -32,6 +34,9 @@ val contained_total : measurement -> int
 
 (** Analysis-cache hit rate in [0,1]; 0 when nothing was queried. *)
 val analysis_hit_rate : measurement -> float
+
+(** Run-time i-cache hit rate in [0,1]; 0 when the model never fired. *)
+val run_icache_hit_rate : measurement -> float
 
 type row = {
   benchmark : string;
@@ -48,6 +53,32 @@ val peak_delta : baseline:measurement -> measurement -> float
 
 val compile_delta : baseline:measurement -> measurement -> float
 val size_delta : baseline:measurement -> measurement -> float
+
+(** One benchmark's tiered-execution comparison: steady-state cycles of
+    the tiered engine against a tier-0-only engine on the same workload,
+    with the AOT configurations for context.  Plain data so the harness
+    report and the bench JSON writer need no [vm] dependency. *)
+type tiered_row = {
+  t_benchmark : string;
+  t_tier0_cycles : float;  (** tier-0-only engine, steady-state run *)
+  t_first_cycles : float;  (** tiered engine, first (cold) run *)
+  t_steady_cycles : float;  (** tiered engine, steady-state run *)
+  t_aot_baseline_cycles : float;
+  t_aot_dbds_cycles : float;
+  t_promotions : int;
+  t_compiles : int;
+  t_deopts : int;
+  t_max_queue_depth : int;
+  t_tier1_share : float;  (** fraction of calls served by optimized code *)
+  t_compile_work : int;  (** background compile effort, work units *)
+}
+
+(** Steady-state speedup of tiered execution over pure interpretation
+    (%); positive = tiering pays. *)
+val tiered_speedup : tiered_row -> float
+
+(** Warmup gain: steady-state vs the engine's own first (cold) run (%). *)
+val tiered_warmup : tiered_row -> float
 
 (** Geometric mean of percentage deltas: geomean of the ratios
     (1 + d/100) minus one, as the paper's tables report. *)

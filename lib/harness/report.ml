@@ -98,6 +98,39 @@ let pp_passes ppf (s : suite_summary) =
         (100.0 *. float_of_int hits /. float_of_int (hits + misses))
   end
 
+(* Run-time i-cache behaviour, summed per configuration over the
+   suite's rows — the mechanism behind dupalot's peak regressions
+   (more duplicated code, more modelled misses). *)
+let pp_icache ppf rows =
+  let totals =
+    List.map
+      (fun (cfg, pick) ->
+        let hits, misses =
+          List.fold_left
+            (fun (h, m) r ->
+              let mm = pick r in
+              (h + mm.run_icache_hits, m + mm.run_icache_misses))
+            (0, 0) rows
+        in
+        (cfg, hits, misses))
+      [
+        ("baseline", fun r -> r.baseline);
+        ("dbds", fun r -> r.dbds);
+        ("dupalot", fun r -> r.dupalot);
+      ]
+  in
+  if List.exists (fun (_, h, m) -> h + m > 0) totals then begin
+    Fmt.pf ppf "run i-cache (block model, summed over the suite):@\n";
+    List.iter
+      (fun (cfg, hits, misses) ->
+        let total = hits + misses in
+        Fmt.pf ppf "  %-10s %10d hits %9d misses (%5.1f%% hit rate)@\n" cfg
+          hits misses
+          (if total = 0 then 0.0
+           else 100.0 *. float_of_int hits /. float_of_int total))
+      totals
+  end
+
 let pp_suite ppf (s : suite_summary) =
   Fmt.pf ppf "%s: %s (normalized to baseline; peak higher is better,@\n"
     s.figure s.suite_name;
@@ -123,6 +156,7 @@ let pp_suite ppf (s : suite_summary) =
   Fmt.pf ppf "%-14s | %+10.2f %+11.2f | %+10.2f %+11.2f | %+10.2f %+11.2f@\n"
     "geomean" s.geo_peak_dbds s.geo_peak_dupalot s.geo_compile_dbds
     s.geo_compile_dupalot s.geo_size_dbds s.geo_size_dupalot;
+  pp_icache ppf s.rows;
   pp_passes ppf s;
   pp_contained ppf s.rows
 
@@ -158,6 +192,34 @@ let headline_of summaries =
     max_peak;
     max_peak_benchmark;
   }
+
+(** Tiered-execution rows: steady-state engine cycles against the
+    tier-0-only control, with warmup gain, tier-1 call share and engine
+    event counts; AOT cycles shown for context. *)
+let pp_tiered ppf (rows : tiered_row list) =
+  Fmt.pf ppf
+    "%-14s | %12s %12s %8s | %7s %6s %6s %5s | %12s@\n" "benchmark"
+    "tier0 cyc" "steady cyc" "speedup" "warmup" "tier1" "promo" "deopt"
+    "aot-dbds cyc";
+  Fmt.pf ppf "%s@\n" (String.make 104 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf
+        "%-14s | %12.0f %12.0f %+7.1f%% | %+6.1f%% %5.1f%% %6d %5d | %12.0f@\n"
+        r.t_benchmark r.t_tier0_cycles r.t_steady_cycles (tiered_speedup r)
+        (tiered_warmup r)
+        (100.0 *. r.t_tier1_share)
+        r.t_promotions r.t_deopts r.t_aot_dbds_cycles)
+    rows;
+  let wins =
+    List.length (List.filter (fun r -> tiered_speedup r > 0.0) rows)
+  in
+  Fmt.pf ppf "%s@\n" (String.make 104 '-');
+  Fmt.pf ppf
+    "geomean steady-state speedup vs interpretation: %+.2f%% (%d/%d suites \
+     improve)@\n"
+    (geomean_pct (List.map tiered_speedup rows))
+    wins (List.length rows)
 
 let pp_headline ppf h =
   Fmt.pf ppf

@@ -58,6 +58,8 @@ let measure ?(icache = Interp.Machine.default_icache) ?jobs ~config
     passes = Opt.Phase.pass_table ctx;
     analysis_hits = ctx.Opt.Phase.analysis_hits;
     analysis_misses = ctx.Opt.Phase.analysis_misses;
+    run_icache_hits = run_stats.Interp.Machine.icache_hits;
+    run_icache_misses = run_stats.Interp.Machine.icache_misses;
     result_value = Interp.Machine.result_to_string result;
   }
 

@@ -8,7 +8,13 @@
     dynamically executed instructions, "peak performance" (total charged
     cycles on a workload) genuinely improves — and unbounded duplication
     (dupalot) can regress it by blowing the i-cache, reproducing the
-    paper's raytrace observation. *)
+    paper's raytrace observation.
+
+    The {!Exec} sub-interface exposes the same evaluator to the tiered
+    VM ([lib/vm]): a call handler intercepts every function dispatch so
+    the engine can pick a code version per invocation, and a heap/global
+    undo journal lets a deoptimizing invocation restore the exact state
+    it entered with before re-executing in tier 0. *)
 
 open Ir.Types
 
@@ -34,6 +40,7 @@ let no_icache = { default_icache with enabled = false }
 type stats = {
   mutable cycles : float;
   mutable instrs_executed : int;
+  mutable icache_hits : int;
   mutable icache_misses : int;
   mutable allocations : int;
   mutable calls : int;
@@ -42,33 +49,58 @@ type stats = {
 exception Out_of_fuel
 exception Runtime_error of string
 
+(* Undo journal entries for the tiered VM's deoptimization: enough to
+   restore heap, globals and the allocation counter to an earlier mark.
+   Entries are recorded only while [journaling] is set (i.e. while an
+   optimized frame is live) and applied strictly LIFO. *)
+type undo =
+  | U_field of value array * int * value  (** the array cell's old value *)
+  | U_global of string * value option
+  | U_alloc of int  (** object id to unalloc; restores [next_obj] too *)
+
 type state = {
   program : Ir.Program.t;
   profile : Profile.t option;  (** record branch outcomes when present *)
   icache_config : icache_config;
-  (* LRU as an association list (fn, block) -> size, most recent first;
-     small capacities keep this cheap. *)
-  mutable icache : ((string * int) * int) list;
+  (* LRU as an association list (fn, code-version, block) -> size, most
+     recent first; small capacities keep this cheap.  The code version
+     keys distinct installed bodies of the same function apart (the
+     tiered VM's optimized copies must not share cache lines with the
+     tier-0 body they replaced). *)
+  mutable icache : ((string * int * int) * int) list;
   mutable icache_used : int;
   heap : (int, string * value array) Hashtbl.t;
   globals : (string, value) Hashtbl.t;
   mutable next_obj : int;
   mutable fuel : int;
   stats : stats;
+  mutable handler : (string -> value array -> value option) option;
+      (** when set, every [Call] (and nothing else) goes through it *)
+  mutable journaling : bool;
+  mutable journal : undo list;
+  mutable journal_len : int;
 }
 
 let fresh_stats () =
-  { cycles = 0.0; instrs_executed = 0; icache_misses = 0; allocations = 0; calls = 0 }
+  {
+    cycles = 0.0;
+    instrs_executed = 0;
+    icache_hits = 0;
+    icache_misses = 0;
+    allocations = 0;
+    calls = 0;
+  }
 
 let charge st c = st.stats.cycles <- st.stats.cycles +. c
 
-let icache_touch st fn g bid =
+let icache_touch st fn version g bid =
   let cfg = st.icache_config in
   if cfg.enabled then begin
-    let key = (fn, bid) in
+    let key = (fn, version, bid) in
     match List.assoc_opt key st.icache with
     | Some size ->
         (* hit: move to front *)
+        st.stats.icache_hits <- st.stats.icache_hits + 1;
         st.icache <- (key, size) :: List.remove_assoc key st.icache
     | None ->
         let size = Costmodel.Estimate.block_size g bid in
@@ -110,8 +142,17 @@ let field_slot st cls field =
   | None ->
       raise (Runtime_error (Printf.sprintf "unknown field %s.%s" cls field))
 
-(* Evaluate one function body. [args] are the parameter values. *)
-let rec eval_function st (g : Ir.Graph.t) (args : value array) : value option =
+let record_undo st u =
+  st.journal <- u :: st.journal;
+  st.journal_len <- st.journal_len + 1
+
+(* Evaluate one function body.  [args] are the parameter values;
+   [version] keys the i-cache (0 = the program's own body, the tiered
+   VM passes the installed code version); [profile] records branch
+   outcomes for this body only; [on_edge] observes every taken CFG edge
+   (the VM's backedge counters). *)
+let rec eval_function st ~version ~profile ~on_edge (g : Ir.Graph.t)
+    (args : value array) : value option =
   let fn = Ir.Graph.name g in
   let env = Array.make g.Ir.Graph.n_instrs VNull in
   let eval_instr id =
@@ -145,6 +186,7 @@ let rec eval_function st (g : Ir.Graph.t) (args : value array) : value option =
           st.next_obj <- oid + 1;
           st.stats.allocations <- st.stats.allocations + 1;
           Hashtbl.replace st.heap oid (cls, fields);
+          if st.journaling then record_undo st (U_alloc oid);
           VObj oid
       | Load (o, f) -> (
           match v o with
@@ -157,23 +199,35 @@ let rec eval_function st (g : Ir.Graph.t) (args : value array) : value option =
           match v o with
           | VObj oid ->
               let cls, fields = Hashtbl.find st.heap oid in
-              fields.(field_slot st cls f) <- v x;
+              let slot = field_slot st cls f in
+              if st.journaling then
+                record_undo st (U_field (fields, slot, fields.(slot)));
+              fields.(slot) <- v x;
               VInt 0
           | VNull -> raise (Runtime_error "null dereference (store)")
           | VInt _ -> raise (Runtime_error "store to non-object"))
       | Load_global gl ->
           Option.value ~default:(VInt 0) (Hashtbl.find_opt st.globals gl)
       | Store_global (gl, x) ->
+          if st.journaling then
+            record_undo st (U_global (gl, Hashtbl.find_opt st.globals gl));
           Hashtbl.replace st.globals gl (v x);
           VInt 0
       | Call (callee, cargs) -> (
           st.stats.calls <- st.stats.calls + 1;
-          match Ir.Program.find_function st.program callee with
-          | Some callee_g ->
-              let vals = Array.map v cargs in
-              Option.value ~default:(VInt 0) (eval_function st callee_g vals)
-          | None ->
-              raise (Runtime_error (Printf.sprintf "unknown function %s" callee)))
+          let vals = Array.map v cargs in
+          match st.handler with
+          | Some h -> Option.value ~default:(VInt 0) (h callee vals)
+          | None -> (
+              match Ir.Program.find_function st.program callee with
+              | Some callee_g ->
+                  Option.value ~default:(VInt 0)
+                    (eval_function st ~version:0 ~profile:st.profile
+                       ~on_edge:None callee_g vals)
+              | None ->
+                  raise
+                    (Runtime_error (Printf.sprintf "unknown function %s" callee))
+              ))
     in
     env.(id) <- result
   in
@@ -191,13 +245,17 @@ let rec eval_function st (g : Ir.Graph.t) (args : value array) : value option =
     in
     List.iter (fun (phi_id, v) -> env.(phi_id) <- v) moves
   in
+  let take_edge from target =
+    (match on_edge with Some f -> f from target | None -> ());
+    enter_block from target
+  in
   (* Iterative block dispatch so long-running loops use constant stack. *)
   let current = ref (Ir.Graph.entry g) in
   let result = ref None in
   let running = ref true in
   while !running do
     let bid = !current in
-    icache_touch st fn g bid;
+    icache_touch st fn version g bid;
     let b = Ir.Graph.block g bid in
     List.iter eval_instr b.Ir.Graph.body;
     st.fuel <- st.fuel - 1;
@@ -210,15 +268,15 @@ let rec eval_function st (g : Ir.Graph.t) (args : value array) : value option =
         running := false
     | Unreachable -> raise (Runtime_error "reached unreachable")
     | Jump target ->
-        enter_block bid target;
+        take_edge bid target;
         current := target
     | Branch { cond; if_true; if_false; _ } ->
         let taken_true = truthy env.(cond) in
-        (match st.profile with
+        (match profile with
         | Some profile -> Profile.record profile ~fn ~bid ~taken_true
         | None -> ());
         let target = if taken_true then if_true else if_false in
-        enter_block bid target;
+        take_edge bid target;
         current := target
   done;
   !result
@@ -235,21 +293,33 @@ let create ?(icache = default_icache) ?(fuel = 10_000_000) ?profile program =
     next_obj = 0;
     fuel;
     stats = fresh_stats ();
+    handler = None;
+    journaling = false;
+    journal = [];
+    journal_len = 0;
   }
+
+let main_graph st =
+  match Ir.Program.find_function st.program st.program.Ir.Program.main with
+  | Some g -> g
+  | None ->
+      raise
+        (Runtime_error
+           (Printf.sprintf "no main function %s" st.program.Ir.Program.main))
+
+let sorted_globals st =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) st.globals []
+  |> List.sort compare
 
 (** Run a program's main function on integer arguments.  Returns the
     result (if any) and the accumulated statistics. *)
 let run ?icache ?fuel ?profile program ~args =
   let st = create ?icache ?fuel ?profile program in
-  let g =
-    match Ir.Program.find_function program program.Ir.Program.main with
-    | Some g -> g
-    | None ->
-        raise
-          (Runtime_error
-             (Printf.sprintf "no main function %s" program.Ir.Program.main))
+  let g = main_graph st in
+  let result =
+    eval_function st ~version:0 ~profile:st.profile ~on_edge:None g
+      (Array.map (fun n -> VInt n) args)
   in
-  let result = eval_function st g (Array.map (fun n -> VInt n) args) in
   (result, st.stats)
 
 (** Run a single graph (wrapped as a program) — convenient in tests. *)
@@ -261,20 +331,12 @@ let run_graph ?icache ?fuel ?classes ?globals g ~args =
     tests. *)
 let run_full ?icache ?fuel ?profile program ~args =
   let st = create ?icache ?fuel ?profile program in
-  let g =
-    match Ir.Program.find_function program program.Ir.Program.main with
-    | Some g -> g
-    | None ->
-        raise
-          (Runtime_error
-             (Printf.sprintf "no main function %s" program.Ir.Program.main))
+  let g = main_graph st in
+  let result =
+    eval_function st ~version:0 ~profile:st.profile ~on_edge:None g
+      (Array.map (fun n -> VInt n) args)
   in
-  let result = eval_function st g (Array.map (fun n -> VInt n) args) in
-  let globals =
-    Hashtbl.fold (fun name v acc -> (name, v) :: acc) st.globals []
-    |> List.sort compare
-  in
-  (result, st.stats, globals)
+  (result, st.stats, sorted_globals st)
 
 let value_to_string = function
   | VInt n -> string_of_int n
@@ -284,3 +346,46 @@ let value_to_string = function
 let result_to_string = function
   | None -> "(void)"
   | Some v -> value_to_string v
+
+(* ------------------------------------------------------------------ *)
+(* The tiered-VM execution interface                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Exec = struct
+  type st = state
+  type mark = int
+
+  let make ?icache ?fuel program = create ?icache ?fuel program
+  let stats (st : st) = st.stats
+  let globals = sorted_globals
+  let charge = charge
+  let set_call_handler st h = st.handler <- Some h
+
+  let run_body ?(version = 0) ?profile ?on_edge st g args =
+    eval_function st ~version ~profile ~on_edge g args
+
+  let set_journaling st b =
+    st.journaling <- b;
+    if not b then begin
+      st.journal <- [];
+      st.journal_len <- 0
+    end
+
+  let mark st = st.journal_len
+
+  let undo_to st m =
+    while st.journal_len > m do
+      match st.journal with
+      | [] -> st.journal_len <- m
+      | u :: rest ->
+          st.journal <- rest;
+          st.journal_len <- st.journal_len - 1;
+          (match u with
+          | U_field (arr, i, old) -> arr.(i) <- old
+          | U_global (gl, Some v) -> Hashtbl.replace st.globals gl v
+          | U_global (gl, None) -> Hashtbl.remove st.globals gl
+          | U_alloc oid ->
+              Hashtbl.remove st.heap oid;
+              st.next_obj <- oid)
+    done
+end

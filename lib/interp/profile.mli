@@ -22,8 +22,38 @@ val observed :
 (** Total branch executions recorded. *)
 val samples : t -> int
 
+(** Total branch executions recorded for one function. *)
+val samples_of : t -> fn:string -> int
+
+(** A deep copy: later recording leaves the snapshot frozen — the
+    baseline for {!drift} and the bundle's profile section. *)
+val snapshot : t -> t
+
+(** Fold over all recorded branches in deterministic (sorted-key)
+    order. *)
+val fold :
+  t ->
+  init:'a ->
+  f:('a -> fn:string -> bid:Ir.Types.block_id -> taken:int -> total:int -> 'a) ->
+  'a
+
+(** Line-oriented rendering ["fn bid taken total"] per branch, sorted. *)
+val render : t -> string
+
+(** Parse {!render}'s output.  @raise Failure on malformed lines. *)
+val parse : string -> t
+
+(** Maximum absolute probability shift of [fn]'s branches relative to
+    [baseline], over branches with at least [min_samples] (default 16)
+    current samples.  A hot branch absent from the baseline counts as a
+    full 1.0 shift. *)
+val drift : ?min_samples:int -> fn:string -> baseline:t -> t -> float
+
 (** Rewrite every profiled [Branch] probability in the program from the
     recorded counts.  Unreached branches keep their static estimate;
     probabilities are clamped away from 0/1 (default 1e-4) so cold paths
     keep a nonzero frequency, as HotSpot does. *)
 val apply : ?min_samples:int -> ?clamp:float -> t -> Ir.Program.t -> unit
+
+(** {!apply} for a single graph. *)
+val apply_graph : ?min_samples:int -> ?clamp:float -> t -> Ir.Graph.t -> unit

@@ -118,13 +118,18 @@ let check_dominance g =
             | Phi inputs ->
                 List.iteri
                   (fun pred_i pred ->
-                    let v = inputs.(pred_i) in
-                    let def_block = Graph.block_of g v in
-                    if not (Dom.dominates dom def_block pred) then
-                      fail
-                        "phi v%d input v%d (def b%d) does not dominate \
-                         predecessor b%d"
-                        id v def_block pred)
+                    (* An edge from an unreachable predecessor (e.g. a
+                       region cut off by a folded branch) is never taken;
+                       dominance is undefined there and the input is
+                       dead. *)
+                    if Dom.is_reachable dom pred then
+                      let v = inputs.(pred_i) in
+                      let def_block = Graph.block_of g v in
+                      if not (Dom.dominates dom def_block pred) then
+                        fail
+                          "phi v%d input v%d (def b%d) does not dominate \
+                           predecessor b%d"
+                          id v def_block pred)
                   b.Graph.preds
             | k -> List.iter (def_ok id) (inputs_of_kind k))
           (Graph.block_instrs g bid);

@@ -1,0 +1,114 @@
+(** The versioned code cache: installed optimized function bodies.
+
+    Models the machine-code cache of a JIT under the paper's [MS]
+    (max unit size) budget: each entry carries its estimated code size,
+    and installing past [capacity] evicts least-recently-used entries —
+    code duplication inflates body sizes, so an over-eager tier would
+    thrash its own cache here exactly as dupalot blows the i-cache.
+
+    Entries are generation-stamped: every install mints a fresh version
+    number (engine-global, monotonic), which also keys the interpreter's
+    i-cache so an optimized body never shares modelled cache lines with
+    the tier-0 body it shadows. *)
+
+type entry = {
+  ce_fn : string;
+  ce_body : Ir.Graph.t;  (** the optimized body *)
+  ce_version : int;  (** engine-global generation stamp, from 1 *)
+  ce_size : int;  (** {!Costmodel.Estimate.graph_size} of [ce_body] *)
+  ce_samples : int;  (** profile samples the compilation was driven by *)
+  ce_work : int;  (** compile-effort units spent producing it *)
+  mutable ce_hits : int;  (** tier-1 dispatches through this entry *)
+}
+
+type t = {
+  capacity : int;  (** total installed code size budget *)
+  table : (string, entry) Hashtbl.t;
+  mutable lru : string list;  (** most recently used first *)
+  mutable used : int;
+  mutable next_version : int;
+  mutable installs : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    table = Hashtbl.create 16;
+    lru = [];
+    used = 0;
+    next_version = 1;
+    installs = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let touch t fn = t.lru <- fn :: List.filter (fun f -> f <> fn) t.lru
+
+let remove t fn =
+  match Hashtbl.find_opt t.table fn with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.table fn;
+      t.lru <- List.filter (fun f -> f <> fn) t.lru;
+      t.used <- t.used - e.ce_size
+
+(** Install an optimized body, evicting LRU entries (never the one just
+    installed) until the size budget holds.  Returns the new entry. *)
+let install t ~fn ~body ~samples ~work =
+  remove t fn;
+  let e =
+    {
+      ce_fn = fn;
+      ce_body = body;
+      ce_version = t.next_version;
+      ce_size = Costmodel.Estimate.graph_size body;
+      ce_samples = samples;
+      ce_work = work;
+      ce_hits = 0;
+    }
+  in
+  t.next_version <- t.next_version + 1;
+  t.installs <- t.installs + 1;
+  Hashtbl.replace t.table fn e;
+  t.lru <- fn :: t.lru;
+  t.used <- t.used + e.ce_size;
+  let rec evict () =
+    if t.used > t.capacity then
+      match List.rev t.lru with
+      | victim :: _ when victim <> fn ->
+          remove t victim;
+          t.evictions <- t.evictions + 1;
+          evict ()
+      | _ -> () (* only the fresh entry left; it stays even if oversized *)
+  in
+  evict ();
+  e
+
+(** Dispatch lookup: bumps LRU position and hit count. *)
+let lookup t fn =
+  match Hashtbl.find_opt t.table fn with
+  | None -> None
+  | Some e ->
+      touch t fn;
+      e.ce_hits <- e.ce_hits + 1;
+      Some e
+
+(** Non-perturbing lookup (no LRU/hit update). *)
+let peek t fn = Hashtbl.find_opt t.table fn
+
+(** Drop [fn]'s entry (deoptimization). *)
+let invalidate t fn =
+  if Hashtbl.mem t.table fn then begin
+    remove t fn;
+    t.invalidations <- t.invalidations + 1
+  end
+
+(** All live entries, in function-name order. *)
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> compare a.ce_fn b.ce_fn)
+
+let used t = t.used
+let size t = Hashtbl.length t.table

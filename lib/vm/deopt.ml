@@ -1,0 +1,46 @@
+(** Deoptimization: the safety net under tier 1.
+
+    The contract is the strongest the containment machinery offers
+    (DESIGN.md §8 carried to runtime): if an optimized body misbehaves —
+    a contained runtime fault, an injected fault, or a forced test
+    deopt — the engine rolls the interpreter's mutable state back to the
+    frame's entry mark, invalidates the cache entry, and re-executes the
+    invocation in tier 0.  The observable outcome (result value, heap,
+    globals) is byte-identical to a run that never compiled anything.
+
+    [Out_of_fuel] deliberately does {i not} deoptimize: fuel models the
+    measurement budget, not program behaviour, and catching it would
+    turn a diverging optimized body into a silent slow retry. *)
+
+type reason =
+  | Runtime_fault of string  (** contained {!Interp.Machine.Runtime_error} *)
+  | Injected of string  (** a {!Dbds.Faults.Injected} that fired at runtime *)
+  | Forced  (** [--tiered-deopt] / test-plan trigger *)
+
+(** Raised by the engine itself when a forced-deopt plan fires inside
+    the named function's optimized frame. *)
+exception Forced_deopt of string
+
+let reason_to_string = function
+  | Runtime_fault msg -> Printf.sprintf "runtime-fault: %s" msg
+  | Injected msg -> Printf.sprintf "injected: %s" msg
+  | Forced -> "forced"
+
+(** Classify an exception escaping a tier-1 frame.  [None] means the
+    exception is not a deoptimization trigger and must propagate
+    (fuel exhaustion, genuine fatals). *)
+let classify = function
+  | Interp.Machine.Runtime_error msg -> Some (Runtime_fault msg)
+  | Dbds.Faults.Injected { site; hit } ->
+      Some
+        (Injected
+           (Printf.sprintf "%s, hit %d" (Dbds.Faults.site_to_string site) hit))
+  | Forced_deopt _ -> Some Forced
+  | _ -> None
+
+(** One deoptimization event, for the engine's log. *)
+type event = { de_fn : string; de_version : int; de_reason : reason }
+
+let pp_event ppf e =
+  Format.fprintf ppf "deopt %s v%d (%s)" e.de_fn e.de_version
+    (reason_to_string e.de_reason)

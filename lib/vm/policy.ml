@@ -1,0 +1,64 @@
+(** Promotion policy — when does a function move from tier 0 to tier 1?
+
+    Mirrors HotSpot's invocation + backedge counters (the paper's
+    profiles come from exactly this interpreter tier, §5.3): a function
+    becomes promotion-eligible once either its invocation count or its
+    loop-backedge count crosses a threshold.  Re-compilation is driven
+    by profile {i drift}: when the observed branch probabilities move
+    far enough from the snapshot the installed code was compiled with,
+    the code is stale and a recompile is requested — capped by
+    [max_compiles] total attempts per function, the runtime twin of the
+    paper's 3-iteration pipeline cap. *)
+
+type t = {
+  invocation_threshold : int;  (** calls before promotion *)
+  backedge_threshold : int;  (** loop backedges before promotion *)
+  drift_threshold : float;
+      (** max |p - p_compiled| before a recompile is requested *)
+  drift_min_samples : int;  (** branch samples needed to trust drift *)
+  profile_period : int;
+      (** every Nth call of a promoted function re-runs tier 0 with
+          profiling, so drift remains observable after promotion *)
+  max_compiles : int;  (** total compile attempts per function *)
+}
+
+let default =
+  {
+    invocation_threshold = 2;
+    backedge_threshold = 192;
+    drift_threshold = 0.15;
+    drift_min_samples = 16;
+    profile_period = 32;
+    max_compiles = 3;
+  }
+
+(** Tier-0-only: nothing ever promotes.  The engine degenerates to a
+    plain profiled interpreter — the differential baseline. *)
+let never =
+  {
+    default with
+    invocation_threshold = max_int;
+    backedge_threshold = max_int;
+    max_compiles = 0;
+  }
+
+(** Per-function runtime counters. *)
+type counters = {
+  mutable invocations : int;
+  mutable backedges : int;
+  mutable attempts : int;  (** compile attempts, successful or contained *)
+  mutable pending : bool;  (** a compile request is queued or in flight *)
+}
+
+let fresh_counters () =
+  { invocations = 0; backedges = 0; attempts = 0; pending = false }
+
+let hot t c =
+  c.invocations >= t.invocation_threshold || c.backedges >= t.backedge_threshold
+
+(** Promote now?  Hot, not already queued, and attempts remaining. *)
+let should_promote t c = hot t c && (not c.pending) && c.attempts < t.max_compiles
+
+(** Recompile an installed body given observed drift? *)
+let should_recompile t c ~drift =
+  drift >= t.drift_threshold && (not c.pending) && c.attempts < t.max_compiles

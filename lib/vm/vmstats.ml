@@ -1,0 +1,81 @@
+(** Aggregate counters of one tiered-engine lifetime.
+
+    Everything the engine's observability surfaces ([dbdsc --tiered
+    --stats], [Harness.Report.pp_tiered]) reads lives here: call counts
+    per tier, promotion/compilation/deoptimization events, the cycle
+    split between tiers, and queue/cache high-water marks. *)
+
+type t = {
+  mutable interpreted_calls : int;  (** tier-0 executions (incl. sampled) *)
+  mutable optimized_calls : int;  (** tier-1 executions that completed *)
+  mutable sampled_calls : int;
+      (** tier-0 re-profiling runs of an already-promoted function *)
+  mutable promotions : int;  (** first-time promotion enqueues *)
+  mutable recompilations : int;  (** drift-triggered re-enqueues *)
+  mutable compiles : int;  (** background compilations that succeeded *)
+  mutable compile_failures : int;  (** contained background-compile crashes *)
+  mutable deopts : int;  (** tier-1 frames undone and re-run in tier 0 *)
+  mutable evictions : int;  (** cache entries evicted by the size budget *)
+  mutable invalidations : int;  (** cache entries killed by deopt *)
+  mutable tier0_cycles : float;  (** cycles charged inside tier-0 frames *)
+  mutable tier1_cycles : float;  (** cycles charged inside tier-1 frames *)
+  mutable deopt_wasted_cycles : float;
+      (** tier-1 cycles discarded by deoptimizations (already counted in
+          [tier1_cycles]; the rerun charges tier-0 cycles again) *)
+  mutable deopt_penalty_cycles : float;  (** flat transition cost charged *)
+  mutable max_queue_depth : int;
+  mutable compile_work : int;  (** work units spent in background compiles *)
+}
+
+let create () =
+  {
+    interpreted_calls = 0;
+    optimized_calls = 0;
+    sampled_calls = 0;
+    promotions = 0;
+    recompilations = 0;
+    compiles = 0;
+    compile_failures = 0;
+    deopts = 0;
+    evictions = 0;
+    invalidations = 0;
+    tier0_cycles = 0.0;
+    tier1_cycles = 0.0;
+    deopt_wasted_cycles = 0.0;
+    deopt_penalty_cycles = 0.0;
+    max_queue_depth = 0;
+    compile_work = 0;
+  }
+
+let total_calls t = t.interpreted_calls + t.optimized_calls
+
+(** Fraction of completed calls that ran optimized code. *)
+let tier1_share t =
+  let total = total_calls t in
+  if total = 0 then 0.0 else float_of_int t.optimized_calls /. float_of_int total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>calls: %d interpreted (%d sampled), %d optimized (%.1f%% tier-1)@,\
+     promotions: %d (+%d recompilations), compiles: %d ok / %d failed@,\
+     deopts: %d, cache evictions: %d, invalidations: %d@,\
+     cycles: %.0f tier-0, %.0f tier-1 (%.0f wasted by deopt, %.0f penalty)@,\
+     compile queue: max depth %d, %d work units@]"
+    t.interpreted_calls t.sampled_calls t.optimized_calls
+    (100.0 *. tier1_share t)
+    t.promotions t.recompilations t.compiles t.compile_failures t.deopts
+    t.evictions t.invalidations t.tier0_cycles t.tier1_cycles
+    t.deopt_wasted_cycles t.deopt_penalty_cycles t.max_queue_depth
+    t.compile_work
+
+(** The counters a differential test compares across [jobs] values —
+    everything except wall-clock-ish incidentals (there are none today,
+    so this is simply a stable rendering). *)
+let fingerprint t =
+  Printf.sprintf
+    "i=%d s=%d o=%d p=%d r=%d c=%d cf=%d d=%d ev=%d inv=%d t0=%.3f t1=%.3f \
+     dw=%.3f dp=%.3f q=%d w=%d"
+    t.interpreted_calls t.sampled_calls t.optimized_calls t.promotions
+    t.recompilations t.compiles t.compile_failures t.deopts t.evictions
+    t.invalidations t.tier0_cycles t.tier1_cycles t.deopt_wasted_cycles
+    t.deopt_penalty_cycles t.max_queue_depth t.compile_work

@@ -24,4 +24,5 @@ let () =
       ("properties", Test_properties.suite);
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
+      ("vm", Test_vm.suite);
     ]

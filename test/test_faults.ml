@@ -235,6 +235,7 @@ let test_bundle_render_parse () =
       b_plan = Some (plan F.Transform_apply 1);
       b_config =
         { Dbds.Config.default with Dbds.Config.mode = Dbds.Config.Dupalot };
+      b_profile = None;
       b_ir = Ir.Printer.graph_to_string g;
     }
   in

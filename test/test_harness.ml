@@ -16,6 +16,8 @@ let mk ~cycles ~size ~work =
     passes = [];
     analysis_hits = 0;
     analysis_misses = 0;
+    run_icache_hits = 0;
+    run_icache_misses = 0;
     result_value = "0";
   }
 

@@ -276,6 +276,15 @@ let test_custom_pipeline_behavior () =
           src)
     [ [ 0; 0 ]; [ 1; 7 ]; [ -9; 3 ] ]
 
+(* Regression: folding a branch in condelim can cut a whole region off
+   the CFG; its blocks still hold edges into reachable merges.  The
+   verifier must not demand dominance for phi inputs on those
+   never-taken edges (seeds found by the paranoid fuzz property). *)
+let test_paranoid_unreachable_pred () =
+  List.iter
+    (fun seed -> ignore (prop_paranoid_driver seed))
+    [ 716681; 716889; 717255; 717439; 717648 ]
+
 let seed_gen = QCheck2.Gen.int_bound 1_000_000
 
 let suite =
@@ -292,4 +301,6 @@ let suite =
       prop_preservation;
     qtest ~count:25 "paranoid driver contains nothing (jobs 1 and 4)" seed_gen
       prop_paranoid_driver;
+    test "paranoid: unreachable phi predecessors (regression)"
+      test_paranoid_unreachable_pred;
   ]

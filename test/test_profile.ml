@@ -121,11 +121,148 @@ let test_profile_guided_dbds_matches_annotated () =
   Alcotest.(check int) "same results" (run_int annotated [ 300 ])
     (run_int profiled [ 300 ])
 
+(* A one-branch graph whose probability we can inspect after apply. *)
+let one_branch_prog () =
+  compile
+    "int main(int n) { int acc = 0; if (n > 0) { acc = 1; } else { acc = 2; } return acc; }"
+
+let branch_probs prog =
+  let probs = ref [] in
+  Ir.Program.iter_functions prog (fun g ->
+      Ir.Graph.iter_blocks g (fun b ->
+          match b.Ir.Graph.term with
+          | Ir.Types.Branch { prob; _ } ->
+              probs := (b.Ir.Graph.blk_id, prob) :: !probs
+          | _ -> ()));
+  List.sort compare !probs
+
+let record_n profile ~bid ~taken ~total =
+  for i = 1 to total do
+    P.record profile ~fn:"main" ~bid ~taken_true:(i <= taken)
+  done
+
+let test_min_samples_boundary () =
+  (* Exactly 7 samples: below the default threshold of 8 — apply must
+     leave the static estimate.  The 8th sample flips it. *)
+  let prog = one_branch_prog () in
+  let bid, static_prob =
+    match branch_probs prog with
+    | [ (bid, p) ] -> (bid, p)
+    | l -> Alcotest.failf "expected one branch, got %d" (List.length l)
+  in
+  let profile = P.create () in
+  record_n profile ~bid ~taken:7 ~total:7;
+  Alcotest.(check (option (float 1e-9))) "7 samples: observed is None" None
+    (P.observed profile ~fn:"main" ~bid);
+  P.apply profile prog;
+  Alcotest.(check (float 1e-9)) "7 samples: static estimate kept" static_prob
+    (List.assoc bid (branch_probs prog));
+  P.record profile ~fn:"main" ~bid ~taken_true:true;
+  Alcotest.(check (option (float 1e-9))) "8 samples: observed fires"
+    (Some 1.0)
+    (P.observed profile ~fn:"main" ~bid);
+  P.apply profile prog;
+  Alcotest.(check bool) "8 samples: probability rewritten" true
+    (List.assoc bid (branch_probs prog) <> static_prob)
+
+let test_clamp_at_exact_extremes () =
+  (* Observed frequencies of exactly 0.0 and 1.0 must clamp to the
+     configured epsilon, never to the extremes themselves. *)
+  let check_extreme ~taken ~expect_near =
+    let prog = one_branch_prog () in
+    let bid =
+      match branch_probs prog with
+      | [ (bid, _) ] -> bid
+      | _ -> Alcotest.fail "expected one branch"
+    in
+    let profile = P.create () in
+    record_n profile ~bid ~taken:(if taken then 20 else 0) ~total:20;
+    P.apply profile prog;
+    let p = List.assoc bid (branch_probs prog) in
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "observed %.1f clamps to %g"
+         (if taken then 1.0 else 0.0)
+         expect_near)
+      expect_near p;
+    Alcotest.(check bool) "strictly inside (0,1)" true (p > 0.0 && p < 1.0)
+  in
+  check_extreme ~taken:true ~expect_near:0.9999;
+  check_extreme ~taken:false ~expect_near:0.0001;
+  (* A custom clamp is honoured. *)
+  let prog = one_branch_prog () in
+  let bid =
+    match branch_probs prog with
+    | [ (bid, _) ] -> bid
+    | _ -> Alcotest.fail "expected one branch"
+  in
+  let profile = P.create () in
+  record_n profile ~bid ~taken:20 ~total:20;
+  P.apply ~clamp:0.05 profile prog;
+  Alcotest.(check (float 1e-12)) "custom clamp" 0.95
+    (List.assoc bid (branch_probs prog))
+
+let test_unreached_branch_keeps_static () =
+  (* Two branches, only one executed: the unreached one keeps its
+     annotation even with plenty of global samples. *)
+  let src =
+    {|
+    int main(int n) {
+      int acc = 0;
+      if (n > 1000000) @0.125 { acc = 7; } else { acc = 3; }
+      int i = 0;
+      while (i < n) @0.9 { acc = acc + 1; i = i + 1; }
+      return acc;
+    }
+    |}
+  in
+  let prog = compile src in
+  let before = branch_probs prog in
+  let profile = P.create () in
+  let _ = Interp.Machine.run ~profile prog ~args:[| 100 |] in
+  P.apply profile prog;
+  let after = branch_probs prog in
+  (* The @0.125 branch executed once (below min_samples) — kept; the
+     loop branch executed 101 times — rewritten. *)
+  let changed =
+    List.filter
+      (fun (bid, p) -> List.assoc bid before <> p)
+      after
+  in
+  Alcotest.(check int) "exactly one branch rewritten" 1 (List.length changed);
+  Alcotest.(check bool) "the 0.125 estimate survives" true
+    (List.exists (fun (_, p) -> Float.abs (p -. 0.125) < 1e-9) after)
+
+let test_record_apply_deterministic () =
+  (* Identical runs record identical profiles; applying each to a fresh
+     program yields identical IR. *)
+  let src =
+    "int main(int n) { int acc = 0; int i = 0; while (i < n) { if (i % 3 == 0) { acc = acc + 2; } i = i + 1; } return acc; }"
+  in
+  let round () =
+    let prog = compile src in
+    let profile = P.create () in
+    let _ = Interp.Machine.run ~profile prog ~args:[| 157 |] in
+    P.apply profile prog;
+    (P.render profile, Ir.Printer.graph_to_string
+       (Option.get (Ir.Program.find_function prog "main")))
+  in
+  let p1, ir1 = round () in
+  let p2, ir2 = round () in
+  Alcotest.(check string) "profiles identical" p1 p2;
+  Alcotest.(check string) "applied IR identical" ir1 ir2;
+  (* render/parse roundtrip preserves every count. *)
+  let profile = P.parse p1 in
+  Alcotest.(check string) "render∘parse = id" p1 (P.render profile)
+
 let suite =
   [
     test "counts match behaviour" test_counts_match_behaviour;
     test "apply rewrites probabilities" test_apply_rewrites_probabilities;
     test "min samples threshold" test_min_samples_threshold;
     test "apply clamps" test_apply_clamps;
+    test "min samples boundary (7 vs 8)" test_min_samples_boundary;
+    test "clamp at exact 0.0/1.0" test_clamp_at_exact_extremes;
+    test "unreached branch keeps static estimate" test_unreached_branch_keeps_static;
+    test "record/apply determinism" test_record_apply_deterministic;
     test "profile-guided DBDS matches annotated" test_profile_guided_dbds_matches_annotated;
   ]
