@@ -162,6 +162,23 @@ let print_tiered rows =
     (List.map (fun (_, _, r) -> r) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Compilation service: cold vs warm artifact store                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One row per suite: every benchmark compiled against an empty store,
+   then recompiled against the populated one, with the identity check
+   on the canonical IR (see Harness.Servicebench). *)
+let service_rows () =
+  List.map2
+    (fun tag (suite : Workloads.Suite.t) ->
+      (tag, Harness.Servicebench.measure_suite suite))
+    fig_tags Workloads.Registry.all
+
+let print_service rows =
+  section "Compilation service: cold vs warm artifact store";
+  Format.printf "%a@." Harness.Report.pp_service (List.map snd rows)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_results.json                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -187,7 +204,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_results_json path rows cache_rows tiered =
+let write_results_json path rows cache_rows tiered service =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -300,6 +317,32 @@ let write_results_json path rows cache_rows tiered =
       tiered
   in
   Buffer.add_string buf (String.concat ",\n" tiered_entries);
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"service\": [\n";
+  let service_entries =
+    List.map
+      (fun (tag, (r : Harness.Metrics.service_row)) ->
+        Printf.sprintf
+          "    {\n\
+          \      \"figure\": \"%s\",\n\
+          \      \"suite\": \"%s\",\n\
+          \      \"programs\": %d,\n\
+          \      \"functions\": %d,\n\
+          \      \"cold_ns_per_compile\": %.1f,\n\
+          \      \"warm_ns_per_compile\": %.1f,\n\
+          \      \"warm_speedup\": %.2f,\n\
+          \      \"warm_hit_rate\": %.4f,\n\
+          \      \"identical_ir\": %b\n\
+          \    }"
+          (json_escape tag)
+          (json_escape r.Harness.Metrics.sv_suite)
+          r.Harness.Metrics.sv_programs r.Harness.Metrics.sv_functions
+          r.Harness.Metrics.sv_cold_ns r.Harness.Metrics.sv_warm_ns
+          (Harness.Metrics.service_speedup r)
+          r.Harness.Metrics.sv_warm_hit_rate r.Harness.Metrics.sv_identical)
+      service
+  in
+  Buffer.add_string buf (String.concat ",\n" service_entries);
   Buffer.add_string buf "\n  ]\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -341,5 +384,7 @@ let () =
   print_analysis_cache cache_rows;
   let tiered = tiered_rows () in
   print_tiered tiered;
+  let service = service_rows () in
+  print_service service;
   let rows = run_bechamel () in
-  write_results_json "BENCH_results.json" rows cache_rows tiered
+  write_results_json "BENCH_results.json" rows cache_rows tiered service

@@ -7,7 +7,28 @@
 
 open Cmdliner
 
-type dump = No_dump | Dump_before | Dump_after | Dump_both
+type dump = No_dump | Dump_before | Dump_after | Dump_both | Dump_canon
+
+(** Options of the compilation service (server, client and the
+    in-process artifact cache). *)
+type service_opts = {
+  serve : string option;  (** run as a compile server on this socket *)
+  connect : string option;  (** compile FILE through this server *)
+  cache_dir : string option;  (** attach an on-disk artifact store *)
+  cache_capacity : int;  (** store byte budget (LRU GC) *)
+  canon : bool;
+      (** canonicalize function IR (print → parse) after inlining, before
+          the per-function pipeline — the form the service compiles, so
+          direct and service outputs are byte-comparable *)
+  deadline_ms : int option;  (** per-request deadline (client mode) *)
+  delay_ms : int option;
+      (** artificial compile latency (test hook: client header / server
+          broker default) *)
+  svc_stats : bool;  (** fetch and print server statistics *)
+  svc_shutdown : bool;  (** ask the server to shut down *)
+  queue_limit : int;  (** server admission-queue bound *)
+  workers : int;  (** server compile domains *)
+}
 
 let read_file path =
   let ic = open_in_bin path in
@@ -58,11 +79,112 @@ let replay path =
       Format.printf "backtrace:@.%s@." f.Dbds.Driver.fail_backtrace
   | `Clean -> Format.printf "did not reproduce: the function now optimizes cleanly@."
 
+let contains_substring s sub =
+  let n = String.length sub in
+  let rec at i =
+    i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+  in
+  n = 0 || at 0
+
+(* The service compiles post-inlining compilation units, so client mode
+   (and --canon direct mode) applies the program-level inline of the
+   effective pipeline locally, up front. *)
+let apply_inline prog config =
+  if
+    contains_substring
+      (Opt.Spec.to_string (Dbds.Driver.default_spec config))
+      "inline"
+  then begin
+    let inline_spec =
+      match Opt.Spec.of_string "inline" with
+      | Ok s -> s
+      | Error msg -> failwith msg
+    in
+    ignore
+      (Dbds.Driver.optimize_program_report
+         ~config:{ config with Dbds.Config.passes = Some inline_spec }
+         ~jobs:1 prog)
+  end
+
+(* Replace every function body with its print → parse round-trip: dense
+   ids in appearance order — exactly the form a service worker parses
+   off the wire, so tie-breaks downstream see identical inputs. *)
+let canonicalize_program prog =
+  List.iter
+    (fun fn ->
+      match Ir.Program.find_function prog fn with
+      | Some g ->
+          Ir.Program.add_function prog
+            (Ir.Parse.parse_graph (Ir.Printer.graph_to_string g))
+      | None -> ())
+    (Ir.Program.function_names prog)
+
+let run_serve ~sock svc =
+  let store =
+    Option.map
+      (fun dir -> Service.Store.create ~capacity:svc.cache_capacity ~dir ())
+      svc.cache_dir
+  in
+  let broker =
+    Service.Broker.create ~workers:svc.workers ~queue_limit:svc.queue_limit
+      ?delay_s:(Option.map (fun ms -> float_of_int ms /. 1000.) svc.delay_ms)
+      ~store ()
+  in
+  Service.Server.serve
+    ~log:(fun line -> Format.eprintf "[dbdsc --serve] %s@." line)
+    ~sock ~broker ()
+
+let run_client ~sock ~config ~file svc =
+  let c = Service.Client.connect ~retries:100 ~retry_interval_s:0.05 ~sock () in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.close c)
+    (fun () ->
+      (match file with
+      | None ->
+          if not (svc.svc_stats || svc.svc_shutdown) then
+            failwith "--connect needs a FILE, --service-stats or --service-shutdown"
+      | Some f ->
+          let prog = Lang.Frontend.compile (read_file f) in
+          apply_inline prog config;
+          let results =
+            List.map
+              (fun fn ->
+                let g = Option.get (Ir.Program.find_function prog fn) in
+                match
+                  Service.Client.compile ?deadline_ms:svc.deadline_ms
+                    ?delay_ms:svc.delay_ms ~config ~fn
+                    ~ir:(Ir.Printer.graph_to_string g) c
+                with
+                | Ok (Service.Broker.Done { ir; _ }) -> ir
+                | Ok o ->
+                    failwith
+                      (Printf.sprintf "service refused %s: %s" fn
+                         (Service.Broker.outcome_label o))
+                | Error msg -> failwith ("service: " ^ msg))
+              (Ir.Program.function_names prog)
+          in
+          List.iter (fun ir -> Format.printf "%s@." ir) results);
+      if svc.svc_stats then begin
+        match Service.Client.stats c with
+        | Ok (broker_line, store_line, counts) ->
+            Format.printf "=== service ===@.%s@.%s@.counts: %s@." broker_line
+              (if store_line = "none" then "store: none" else store_line)
+              counts
+        | Error msg -> failwith ("service stats: " ^ msg)
+      end;
+      if svc.svc_shutdown then
+        match Service.Client.shutdown_server c with
+        | Ok () -> ()
+        | Error msg -> failwith ("service shutdown: " ^ msg))
+
 (* Tiered execution: run FILE on the VM engine for [runs] iterations and
    report steady-state behaviour instead of AOT-compiling. *)
-let run_tiered prog ~config ~jobs ~icache ~args ~runs ~deopt_plan ~stats =
+let run_tiered prog ~config ~jobs ~icache ~args ~runs ~deopt_plan ~stats ~store
+    =
+  let warm = Option.map (Service.Warm.hooks ~config) store in
   let vm_config =
-    Vm.Engine.config ~compile:config ?jobs ~icache ?deopt_plan ()
+    Vm.Engine.config ~compile:config ?jobs ~icache ?deopt_plan
+      ?warm_lookup:(Option.map fst warm) ?warm_spill:(Option.map snd warm) ()
   in
   let eng = Vm.Engine.create ~config:vm_config prog in
   let args = Array.of_list args in
@@ -102,11 +224,16 @@ let run_tiered prog ~config ~jobs ~icache ~args ~runs ~deopt_plan ~stats =
               e.Vm.Codecache.ce_size e.Vm.Codecache.ce_hits
               e.Vm.Codecache.ce_samples)
           entries);
-    match Vm.Engine.deopt_log eng with
+    (match Vm.Engine.deopt_log eng with
     | [] -> ()
     | log ->
         Format.printf "=== deopts ===@.";
-        List.iter (fun e -> Format.printf "%a@." Vm.Deopt.pp_event e) log
+        List.iter (fun e -> Format.printf "%a@." Vm.Deopt.pp_event e) log);
+    match store with
+    | Some s ->
+        Format.printf "=== artifact store ===@.%a@." Service.Store.pp_stats
+          (Service.Store.stats s)
+    | None -> ()
   end
 
 let parse_deopt_plan s =
@@ -121,7 +248,7 @@ let parse_deopt_plan s =
 
 let run_compiler file mode passes licm print_passes dump dot run args stats
     icache_off jobs inject paranoid bundle_dir no_contain replay_bundle
-    profile_runs tiered tiered_runs tiered_deopt =
+    profile_runs tiered tiered_runs tiered_deopt svc =
   match
     (match replay_bundle with
     | Some path ->
@@ -168,6 +295,16 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
       Format.printf "%s@." (Opt.Spec.to_string spec);
       raise Exit
     end;
+    (match svc.serve with
+    | Some sock ->
+        run_serve ~sock svc;
+        raise Exit
+    | None -> ());
+    (match svc.connect with
+    | Some sock ->
+        run_client ~sock ~config ~file svc;
+        raise Exit
+    | None -> ());
     let file =
       match file with
       | Some f -> f
@@ -185,13 +322,19 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
       if icache_off then Interp.Machine.no_icache
       else Interp.Machine.default_icache
     in
+    let store =
+      Option.map
+        (fun dir -> Service.Store.create ~capacity:svc.cache_capacity ~dir ())
+        svc.cache_dir
+    in
     if tiered then begin
       (* Tiered execution replaces the AOT pipeline entirely: the engine
          interprets, profiles, background-compiles under [config] and
-         deoptimizes on its own. *)
+         deoptimizes on its own — warm-starting promotions from the
+         artifact store when one is attached. *)
       let deopt_plan = Option.map parse_deopt_plan tiered_deopt in
       run_tiered prog ~config ~jobs ~icache ~args ~runs:tiered_runs ~deopt_plan
-        ~stats;
+        ~stats ~store;
       raise Exit
     end;
     if profile_runs > 0 then begin
@@ -213,7 +356,26 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
          applied@."
         profile_runs branches samples
     end;
-    let report = Dbds.Driver.optimize_program_report ~config ?jobs prog in
+    if svc.canon then begin
+      (* Put each compilation unit in exactly the form a service worker
+         would parse off the wire, so direct and service outputs are
+         byte-comparable: inline first, then canonicalize ids. *)
+      apply_inline prog config;
+      canonicalize_program prog
+    end;
+    let cache =
+      Option.map
+        (fun s ->
+          Service.Store.driver_cache
+            ~context:(Service.Digest.context_of_program prog)
+            s)
+        store
+    in
+    let report =
+      Dbds.Driver.optimize_program_report ~config
+        ?inline:(if svc.canon then Some false else None)
+        ?jobs ?cache prog
+    in
     let ctx = report.Dbds.Driver.rep_ctx
     and per_fn = report.Dbds.Driver.rep_stats in
     print_failures report.Dbds.Driver.rep_failures;
@@ -222,6 +384,11 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
       Ir.Program.iter_functions prog (fun g ->
           Format.printf "%s@." (Ir.Printer.graph_to_string g))
     end;
+    if dump = Dump_canon then
+      (* Canonical optimized IR only, one graph per function in name
+         order — the exact bytes client mode prints, for comparison. *)
+      Ir.Program.iter_functions prog (fun g ->
+          Format.printf "%s@." (Service.Digest.canonical_of_graph g));
     (match dot with
     | None -> ()
     | Some base ->
@@ -266,7 +433,12 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
           (String.concat ", "
              (List.map
                 (fun (site, n) -> Printf.sprintf "%s x%d" site n)
-                ctx.Opt.Phase.contained))
+                ctx.Opt.Phase.contained));
+      match store with
+      | Some s ->
+          Format.printf "=== artifact store ===@.%a@." Service.Store.pp_stats
+            (Service.Store.stats s)
+      | None -> ()
     end;
     if run then begin
       let result, rstats =
@@ -300,6 +472,12 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
       1
   | exception Interp.Machine.Runtime_error msg ->
       Format.eprintf "runtime error: %s@." msg;
+      1
+  | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Format.eprintf "error: %s: %s %s@." (Unix.error_message e) fn arg;
       1
 
 let file_arg =
@@ -353,13 +531,17 @@ let dump_conv =
       ("before", Dump_before);
       ("after", Dump_after);
       ("both", Dump_both);
+      ("canon", Dump_canon);
     ]
 
 let dump_arg =
   Arg.(
     value & opt dump_conv No_dump
     & info [ "d"; "dump" ] ~docv:"WHEN"
-        ~doc:"Dump IR: none, before, after or both.")
+        ~doc:
+          "Dump IR: none, before, after, both, or canon (canonical \
+           optimized IR only — the bytes $(b,--connect) prints, for \
+           byte-for-byte comparison).")
 
 let dot_arg =
   Arg.(
@@ -476,6 +658,127 @@ let tiered_deopt_arg =
            function FN raises, the engine unwinds its side effects and \
            transparently re-executes in tier 0.")
 
+let serve_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SOCK"
+        ~doc:
+          "Run as a compilation server on Unix socket SOCK (no FILE \
+           needed).  Combine with $(b,--cache-dir) to persist artifacts, \
+           $(b,--service-workers) and $(b,--service-queue-limit) to size \
+           the broker.  Stops on a client's $(b,--service-shutdown).")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Compile FILE through the server on SOCK: inline locally, send \
+           each function, print the canonical optimized IR (the bytes \
+           $(b,--dump canon) prints for a direct run).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Attach the on-disk artifact store at DIR: direct compilations \
+           look optimized functions up before running the pipeline and \
+           publish afterwards; $(b,--tiered) warm-starts promotions from \
+           it and spills background-compile results; $(b,--serve) shares \
+           it across clients.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt int (8 * 1024 * 1024)
+    & info [ "cache-capacity" ] ~docv:"BYTES"
+        ~doc:"Artifact-store size budget; LRU entries are evicted past it.")
+
+let canon_arg =
+  Arg.(
+    value & flag
+    & info [ "canon" ]
+        ~doc:
+          "Canonicalize every function (print → parse round-trip, after \
+           inlining) before the per-function pipeline — the exact form a \
+           service worker compiles, making direct output byte-comparable \
+           with $(b,--connect).")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline for $(b,--connect): requests not picked \
+           up by a worker in time report timed-out.")
+
+let service_delay_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "service-delay-ms" ] ~docv:"MS"
+        ~doc:
+          "Test hook: stretch every real (non-cached) service compile by \
+           MS milliseconds — with $(b,--serve), as the broker default; \
+           with $(b,--connect), as a per-request header — making request \
+           overlap (and therefore coalescing) deterministic.")
+
+let service_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "service-stats" ]
+        ~doc:
+          "With $(b,--connect): fetch and print the server's broker and \
+           store statistics (requests, compiles, coalesced, shed, hits, \
+           evictions).")
+
+let service_shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "service-shutdown" ]
+        ~doc:"With $(b,--connect): ask the server to shut down.")
+
+let service_queue_limit_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "service-queue-limit" ] ~docv:"N"
+        ~doc:
+          "With $(b,--serve): bound the admission queue at N jobs; \
+           requests beyond it are shed (backpressure).")
+
+let service_workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "service-workers" ] ~docv:"N"
+        ~doc:"With $(b,--serve): number of compile worker domains.")
+
+let service_opts_term =
+  let make serve connect cache_dir cache_capacity canon deadline_ms delay_ms
+      svc_stats svc_shutdown queue_limit workers =
+    {
+      serve;
+      connect;
+      cache_dir;
+      cache_capacity;
+      canon;
+      deadline_ms;
+      delay_ms;
+      svc_stats;
+      svc_shutdown;
+      queue_limit;
+      workers;
+    }
+  in
+  Term.(
+    const make $ serve_arg $ connect_arg $ cache_dir_arg $ cache_capacity_arg
+    $ canon_arg $ deadline_ms_arg $ service_delay_ms_arg $ service_stats_arg
+    $ service_shutdown_arg $ service_queue_limit_arg $ service_workers_arg)
+
 let cmd =
   let doc = "SSA compiler with dominance-based duplication simulation" in
   Cmd.v
@@ -485,7 +788,7 @@ let cmd =
       $ print_passes_arg $ dump_arg $ dot_arg $ run_arg $ args_arg $ stats_arg
       $ no_icache_arg $ jobs_arg $ inject_arg $ paranoid_arg $ bundle_dir_arg
       $ no_contain_arg $ replay_arg $ profile_runs_arg $ tiered_arg
-      $ tiered_runs_arg $ tiered_deopt_arg)
+      $ tiered_runs_arg $ tiered_deopt_arg $ service_opts_term)
 
 let () =
   Printexc.record_backtrace true;

@@ -47,64 +47,8 @@ exception Malformed of string
 let ir_marker = "--- ir ---"
 let profile_marker = "--- profile ---"
 
-(* ------------------------------------------------------------------ *)
-(* Config (de)serialization: only the knobs that shape the pipeline.   *)
-(* ------------------------------------------------------------------ *)
-
-let config_to_line (c : Config.t) =
-  Printf.sprintf
-    "mode=%s benefit_scale=%.17g size_budget=%.17g max_unit_size=%d \
-     max_iterations=%d iteration_benefit_threshold=%.17g loop_factor=%.17g \
-     path_duplication=%b max_path_length=%d paranoid=%b"
-    (Config.mode_to_string c.Config.mode)
-    c.Config.benefit_scale c.Config.size_budget c.Config.max_unit_size
-    c.Config.max_iterations c.Config.iteration_benefit_threshold
-    c.Config.loop_factor c.Config.path_duplication c.Config.max_path_length
-    c.Config.verify_between_phases
-
-let config_of_line line =
-  let fields =
-    List.filter_map
-      (fun part ->
-        match String.index_opt part '=' with
-        | Some i ->
-            Some
-              ( String.sub part 0 i,
-                String.sub part (i + 1) (String.length part - i - 1) )
-        | None -> None)
-      (String.split_on_char ' ' line)
-  in
-  let get k = List.assoc_opt k fields in
-  let int_field k d =
-    match get k with Some v -> int_of_string_opt v |> Option.value ~default:d | None -> d
-  in
-  let float_field k d =
-    match get k with
-    | Some v -> float_of_string_opt v |> Option.value ~default:d
-    | None -> d
-  in
-  let bool_field k d =
-    match get k with Some v -> bool_of_string_opt v |> Option.value ~default:d | None -> d
-  in
-  let d = Config.default in
-  {
-    d with
-    Config.mode =
-      (match Option.bind (get "mode") Config.mode_of_string with
-      | Some m -> m
-      | None -> d.Config.mode);
-    benefit_scale = float_field "benefit_scale" d.Config.benefit_scale;
-    size_budget = float_field "size_budget" d.Config.size_budget;
-    max_unit_size = int_field "max_unit_size" d.Config.max_unit_size;
-    max_iterations = int_field "max_iterations" d.Config.max_iterations;
-    iteration_benefit_threshold =
-      float_field "iteration_benefit_threshold"
-        d.Config.iteration_benefit_threshold;
-    loop_factor = float_field "loop_factor" d.Config.loop_factor;
-    path_duplication = bool_field "path_duplication" d.Config.path_duplication;
-    max_path_length = int_field "max_path_length" d.Config.max_path_length;
-    verify_between_phases = bool_field "paranoid" d.Config.verify_between_phases;
-  }
+(* Config (de)serialization lives in {!Config.to_line} / {!Config.of_line}
+   now — the service protocol and artifact store share the format. *)
 
 (* ------------------------------------------------------------------ *)
 (* Write / read                                                        *)
@@ -119,7 +63,7 @@ let render b =
   line "exception: %s" (String.map (function '\n' -> ' ' | c -> c) b.b_exn);
   line "plan: %s"
     (match b.b_plan with Some p -> Faults.to_string p | None -> "none");
-  line "config: %s" (config_to_line b.b_config);
+  line "config: %s" (Config.to_line b.b_config);
   (match b.b_profile with
   | Some p ->
       line "%s" profile_marker;
@@ -143,7 +87,13 @@ let sanitize fn =
 
 (** Write the bundle into [dir] (created if missing); returns the path.
     Deterministic file name per (function, site), so repeated runs
-    overwrite rather than accumulate. *)
+    overwrite rather than accumulate.
+
+    The write is atomic (temp file + rename in the same directory, the
+    same discipline as the service's artifact store): a run interrupted
+    mid-write can never leave a truncated bundle for [--replay-bundle]
+    to choke on — readers see the old complete bundle or the new one,
+    nothing in between. *)
 let write ~dir b =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path =
@@ -151,10 +101,18 @@ let write ~dir b =
       (Printf.sprintf "dbds-crash-%s-%s.bundle" (sanitize b.b_fn)
          (sanitize b.b_site))
   in
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let committed = ref false in
+  let oc = open_out_bin tmp in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (render b));
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      output_string oc (render b);
+      close_out oc;
+      Sys.rename tmp path;
+      committed := true);
   path
 
 let parse text =
@@ -206,7 +164,7 @@ let parse text =
         b_site = get "site";
         b_exn = get "exception";
         b_plan = plan;
-        b_config = config_of_line (get "config");
+        b_config = Config.of_line (get "config");
         b_profile = profile;
         b_ir = String.concat "\n" ir_lines;
       }

@@ -92,3 +92,88 @@ let mode_of_string = function
   | "dupalot" -> Some Dupalot
   | "backtracking" -> Some Backtracking
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Line (de)serialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One space-separated key=value line covering every knob that shapes
+   the produced IR: the crash-bundle header, the service protocol and
+   the artifact-store digest all share it.  Keys without a pipeline
+   effect (containment, fault_plan, bundle_dir) are deliberately
+   excluded — two configs differing only there must collide in the
+   cache.  The historical key set (the v1 bundle format) is preserved;
+   [licm], [preserve_analyses] and [passes] were appended later and
+   default when absent, so old bundles still parse. *)
+
+let to_line (c : t) =
+  let base =
+    Printf.sprintf
+      "mode=%s benefit_scale=%.17g size_budget=%.17g max_unit_size=%d \
+       max_iterations=%d iteration_benefit_threshold=%.17g loop_factor=%.17g \
+       path_duplication=%b max_path_length=%d paranoid=%b licm=%b \
+       preserve_analyses=%b"
+      (mode_to_string c.mode) c.benefit_scale c.size_budget c.max_unit_size
+      c.max_iterations c.iteration_benefit_threshold c.loop_factor
+      c.path_duplication c.max_path_length c.verify_between_phases c.licm
+      c.preserve_analyses
+  in
+  match c.passes with
+  | None -> base
+  (* The canonical spec rendering contains no spaces, so it stays one
+     token of the line. *)
+  | Some spec -> base ^ " passes=" ^ Opt.Spec.to_string spec
+
+let of_line line =
+  let fields =
+    List.filter_map
+      (fun part ->
+        match String.index_opt part '=' with
+        | Some i ->
+            Some
+              ( String.sub part 0 i,
+                String.sub part (i + 1) (String.length part - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' line)
+  in
+  let get k = List.assoc_opt k fields in
+  let int_field k d =
+    match get k with
+    | Some v -> int_of_string_opt v |> Option.value ~default:d
+    | None -> d
+  in
+  let float_field k d =
+    match get k with
+    | Some v -> float_of_string_opt v |> Option.value ~default:d
+    | None -> d
+  in
+  let bool_field k d =
+    match get k with
+    | Some v -> bool_of_string_opt v |> Option.value ~default:d
+    | None -> d
+  in
+  let d = default in
+  {
+    d with
+    mode =
+      (match Option.bind (get "mode") mode_of_string with
+      | Some m -> m
+      | None -> d.mode);
+    benefit_scale = float_field "benefit_scale" d.benefit_scale;
+    size_budget = float_field "size_budget" d.size_budget;
+    max_unit_size = int_field "max_unit_size" d.max_unit_size;
+    max_iterations = int_field "max_iterations" d.max_iterations;
+    iteration_benefit_threshold =
+      float_field "iteration_benefit_threshold" d.iteration_benefit_threshold;
+    loop_factor = float_field "loop_factor" d.loop_factor;
+    path_duplication = bool_field "path_duplication" d.path_duplication;
+    max_path_length = int_field "max_path_length" d.max_path_length;
+    verify_between_phases = bool_field "paranoid" d.verify_between_phases;
+    licm = bool_field "licm" d.licm;
+    preserve_analyses = bool_field "preserve_analyses" d.preserve_analyses;
+    passes =
+      (match get "passes" with
+      | Some s -> (
+          match Opt.Spec.of_string s with Ok spec -> Some spec | Error _ -> None)
+      | None -> None);
+  }

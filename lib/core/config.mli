@@ -64,5 +64,16 @@ val dbds_paths : t
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
 
+(** One space-separated [key=value] line covering every knob that shapes
+    the produced IR (crash-bundle header, service protocol, and the
+    artifact-store digest all share it).  Knobs without a pipeline
+    effect — containment, fault plan, bundle dir — are excluded so that
+    configs differing only there collide in the compilation cache. *)
+val to_line : t -> string
+
+(** Parse a {!to_line} rendering; missing or unparseable fields fall
+    back to {!default} (old crash bundles predate some keys). *)
+val of_line : string -> t
+
 (** DBDS with paranoid between-phase verification enabled. *)
 val paranoid : t

@@ -73,6 +73,18 @@ type report = {
   rep_failures : failure list;
 }
 
+(** A pluggable compilation cache (the service's content-addressed
+    artifact store).  [cache_lookup] runs before a function's
+    per-function pipeline: a [Some] replacement overwrites the graph and
+    skips the pipeline entirely; the returned key is the content digest
+    of the {e pre-optimization} request.  [cache_store] runs after a
+    successful (uncontained) pipeline with that same key.  Both hooks
+    must be domain-safe and must never raise. *)
+type cache = {
+  cache_lookup : Config.t -> Ir.Graph.t -> Ir.Graph.t option * string;
+  cache_store : Config.t -> key:string -> Ir.Graph.t -> work:int -> unit;
+}
+
 (** Optimize a whole program: inline first (compilation units in the
     evaluation are post-inlining, as in Graal; disable with
     [~inline:false]), then fan the configured per-function pipeline out
@@ -83,9 +95,18 @@ type report = {
     a crashing per-function pipeline is rolled back to its pre-attempt
     IR and reported in [rep_failures] (with a crash bundle when
     {!Config.t.bundle_dir} is set) while the remaining functions still
-    optimize — under any [jobs] value. *)
+    optimize — under any [jobs] value.
+
+    [cache] attaches a compilation cache: each function is looked up
+    before its pipeline runs (a hit replaces the body and skips the
+    pipeline) and stored after an uncontained run. *)
 val optimize_program_report :
-  ?config:Config.t -> ?inline:bool -> ?jobs:int -> Ir.Program.t -> report
+  ?config:Config.t ->
+  ?inline:bool ->
+  ?jobs:int ->
+  ?cache:cache ->
+  Ir.Program.t ->
+  report
 
 (** {!optimize_program_report} without the failure detail — the
     historical interface.  Contained failures are still contained
@@ -94,6 +115,7 @@ val optimize_program :
   ?config:Config.t ->
   ?inline:bool ->
   ?jobs:int ->
+  ?cache:cache ->
   Ir.Program.t ->
   Opt.Phase.ctx * (string * stats) list
 

@@ -28,9 +28,15 @@ type site =
   | Ssa_repair  (** SSA reconstruction after a duplication *)
   | Parallel_worker  (** a worker domain picking up a function *)
   | Analyses_cache  (** an analysis-cache miss (a real recompute) *)
+  | Store_write  (** the artifact store, mid-payload (torn temp write) *)
+  | Store_read  (** the artifact store reading an entry back *)
+  | Store_rename  (** the atomic publish rename (torn publication) *)
 
-let all_sites =
+let pipeline_sites =
   [ Sim_opportunity; Transform_apply; Ssa_repair; Parallel_worker; Analyses_cache ]
+
+let store_sites = [ Store_write; Store_read; Store_rename ]
+let all_sites = pipeline_sites @ store_sites
 
 let site_to_string = function
   | Sim_opportunity -> "sim.opportunity"
@@ -38,6 +44,9 @@ let site_to_string = function
   | Ssa_repair -> "ssa.repair"
   | Parallel_worker -> "parallel.worker"
   | Analyses_cache -> "analyses.cache"
+  | Store_write -> "store.write"
+  | Store_read -> "store.read"
+  | Store_rename -> "store.rename"
 
 let site_of_string = function
   | "sim.opportunity" -> Some Sim_opportunity
@@ -45,6 +54,9 @@ let site_of_string = function
   | "ssa.repair" -> Some Ssa_repair
   | "parallel.worker" -> Some Parallel_worker
   | "analyses.cache" -> Some Analyses_cache
+  | "store.write" -> Some Store_write
+  | "store.read" -> Some Store_read
+  | "store.rename" -> Some Store_rename
   | _ -> None
 
 type plan = {
@@ -72,12 +84,27 @@ let to_string p =
   let base = Printf.sprintf "%s:%d" (site_to_string p.site) p.hit in
   match p.fn with None -> base | Some fn -> base ^ ":" ^ fn
 
-(** Derive a pseudorandom plan from a seed: a site and a small hit
-    index, uniformly.  Deterministic in [seed]. *)
+(** Derive a pseudorandom plan from a seed: a pipeline site and a small
+    hit index, uniformly.  Deterministic in [seed].  Drawn from
+    {!pipeline_sites} only, so historical seeds keep crashing at the
+    same points; store sites are armed explicitly
+    ({!of_seed_store}). *)
 let of_seed seed =
   let rng = Random.State.make [| 0x0fa17; seed |] in
-  let site = List.nth all_sites (Random.State.int rng (List.length all_sites)) in
+  let site =
+    List.nth pipeline_sites (Random.State.int rng (List.length pipeline_sites))
+  in
   let hit = 1 + Random.State.int rng 6 in
+  { seed; site; hit; fn = None }
+
+(** Like {!of_seed}, over the artifact-store sites — the plans the
+    service fuzzer feeds the compilation cache. *)
+let of_seed_store seed =
+  let rng = Random.State.make [| 0x570fa17; seed |] in
+  let site =
+    List.nth store_sites (Random.State.int rng (List.length store_sites))
+  in
+  let hit = 1 + Random.State.int rng 2 in
   { seed; site; hit; fn = None }
 
 let of_string s =

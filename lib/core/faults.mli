@@ -15,6 +15,16 @@ type site =
   | Ssa_repair  (** SSA reconstruction after a duplication *)
   | Parallel_worker  (** a worker domain picking up a function *)
   | Analyses_cache  (** an analysis-cache miss (a real recompute) *)
+  | Store_write  (** the artifact store, mid-payload (torn temp write) *)
+  | Store_read  (** the artifact store reading an entry back *)
+  | Store_rename  (** the atomic publish rename (torn publication) *)
+
+(** The five per-function pipeline sites — the pool {!of_seed} draws
+    from (kept stable so historical fuzz seeds reproduce). *)
+val pipeline_sites : site list
+
+(** The artifact-store sites of the compilation service. *)
+val store_sites : site list
 
 val all_sites : site list
 val site_to_string : site -> string
@@ -35,9 +45,13 @@ val to_string : plan -> string
 (** Parse [site:hit], [site:hit:fn] or [seed:N]. *)
 val of_string : string -> (plan, string) result
 
-(** Derive a pseudorandom (site, hit) plan from a seed.
-    Deterministic in [seed]. *)
+(** Derive a pseudorandom (site, hit) plan from a seed, over
+    {!pipeline_sites}.  Deterministic in [seed]. *)
 val of_seed : int -> plan
+
+(** Derive a pseudorandom (site, hit) plan from a seed, over
+    {!store_sites}.  Deterministic in [seed]. *)
+val of_seed_store : int -> plan
 
 (** [armed plan ~fn f] runs [f] with the registry armed for function
     [fn] ([None] or a non-matching [plan.fn] arm nothing).  The hit

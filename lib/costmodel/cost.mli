@@ -8,6 +8,11 @@
     (Figure 3d's strength reduction saves 31 cycles), an allocation costs
     8 ("tlab alloc + header init", Listing 7). *)
 
+(** Revision of the cost tables: bump on any change to the constants.
+    Folded into the compilation-service digest so artifacts cached under
+    one cost model are never reused under another. *)
+val revision : int
+
 type estimate = { cycles : float; size : int }
 
 val of_kind : Ir.Types.instr_kind -> estimate

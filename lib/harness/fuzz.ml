@@ -149,6 +149,166 @@ let run ?(graph_seeds = List.init 25 Fun.id) ?(plans_per_graph = 4)
   }
 
 (* ------------------------------------------------------------------ *)
+(* Artifact-store property                                             *)
+(* ------------------------------------------------------------------ *)
+
+type service_result = {
+  s_pairs_run : int;  (** (graph seed × store fault plan) pairs executed *)
+  s_store_hits : int;  (** store hits observed across warm passes *)
+  s_recovered : int;
+      (** contained store degradations: torn writes, read faults and
+          corrupt entries that were evicted and recompiled *)
+  s_violations : string list;  (** property breaches; [[]] = pass *)
+}
+
+let scratch_store_dir () = Filename.temp_dir "dbds-fuzz" ".store"
+
+let remove_store_dir dir =
+  if Sys.file_exists dir then (
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ())
+
+(* Canonical post-optimization IR of the whole program — the store may
+   legally renumber ids (a hit replays a parsed canonical artifact), so
+   equality is asserted on the canonicalization fixpoint, not raw
+   prints. *)
+let canonical_fingerprint prog =
+  let buf = Buffer.create 4096 in
+  Ir.Program.iter_functions prog (fun g ->
+      Buffer.add_string buf (Service.Digest.canonical_of_graph g);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(* Store-counter fingerprint for the jobs-determinism check.  Evictions
+   are excluded: LRU victim order depends on publication order, which
+   is schedule-dependent under [jobs>1] (nothing evicts at the default
+   capacity, but the exclusion keeps the property honest). *)
+let store_counters (st : Service.Store.stats) =
+  Printf.sprintf "h=%d m=%d w=%d wf=%d rf=%d c=%d" st.Service.Store.hits
+    st.Service.Store.misses st.Service.Store.writes
+    st.Service.Store.write_failures st.Service.Store.read_failures
+    st.Service.Store.corrupt
+
+(** The artifact-store property, fuzzed over random programs × random
+    {!Dbds.Faults.store_sites} plans (torn temp writes, torn
+    publications, read faults), each at every [jobs] value:
+
+    + {e no escape}: injected store faults never leak an exception out
+      of the driver — the store degrades to misses and recompiles;
+    + {e answer fidelity}: both the cold pass (empty store) and the
+      warm pass (recompiling against whatever the faulty cold pass
+      managed to publish — including torn files) produce canonical IR
+      byte-identical to an uncached reference compile.  A torn
+      publication must be detected by checksum, evicted and recompiled;
+    + {e jobs determinism}: outputs and store counters agree across the
+      [jobs_matrix]. *)
+let run_service ?(graph_seeds = List.init 10 Fun.id) ?(plans_per_graph = 3)
+    ?(jobs_matrix = [ 1; 4 ]) () =
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let pairs = ref 0 in
+  let store_hits = ref 0 in
+  let recovered = ref 0 in
+  let jobs_matrix = match jobs_matrix with [] -> [ 1 ] | l -> l in
+  List.iter
+    (fun seed ->
+      let src = Workloads.Progen.generate ~seed () in
+      (* The uncached reference: same configuration, no store, no
+         faults (store sites never execute without a store). *)
+      let reference =
+        let config = { Dbds.Config.dbds with Dbds.Config.containment = true } in
+        let prog = Lang.Frontend.compile src in
+        match Dbds.Driver.optimize_program_report ~config ~jobs:1 prog with
+        | _ -> Some (canonical_fingerprint prog)
+        | exception e ->
+            violate "service seed=%d: reference compile escaped: %s" seed
+              (Printexc.to_string e);
+            None
+      in
+      match reference with
+      | None -> ()
+      | Some ref_fp ->
+          for k = 0 to plans_per_graph - 1 do
+            incr pairs;
+            let plan = Dbds.Faults.of_seed_store ((seed * 8191) + k) in
+            let config =
+              {
+                Dbds.Config.dbds with
+                Dbds.Config.fault_plan = Some plan;
+                containment = true;
+              }
+            in
+            let tag =
+              Printf.sprintf "service seed=%d plan=%s" seed
+                (Dbds.Faults.to_string plan)
+            in
+            (* One leg = a fresh store, a cold pass and a warm pass at
+               one jobs value. *)
+            let run_leg jobs =
+              let dir = scratch_store_dir () in
+              Fun.protect ~finally:(fun () -> remove_store_dir dir)
+              @@ fun () ->
+              let store = Service.Store.create ~dir () in
+              let pass () =
+                let prog = Lang.Frontend.compile src in
+                let cache =
+                  Service.Store.driver_cache
+                    ~context:(Service.Digest.context_of_program prog)
+                    store
+                in
+                ignore
+                  (Dbds.Driver.optimize_program_report ~config ~jobs ~cache
+                     prog);
+                canonical_fingerprint prog
+              in
+              let cold = pass () in
+              let warm = pass () in
+              let st = Service.Store.stats store in
+              (cold, warm, store_counters st, st)
+            in
+            match run_leg (List.hd jobs_matrix) with
+            | exception e ->
+                violate "%s: escaped exception (jobs=%d): %s" tag
+                  (List.hd jobs_matrix) (Printexc.to_string e)
+            | cold0, warm0, counters0, st0 ->
+                if cold0 <> ref_fp then
+                  violate "%s: cold pass diverges from uncached reference" tag;
+                if warm0 <> ref_fp then
+                  violate "%s: warm pass diverges from uncached reference" tag;
+                store_hits := !store_hits + st0.Service.Store.hits;
+                recovered :=
+                  !recovered + st0.Service.Store.write_failures
+                  + st0.Service.Store.read_failures + st0.Service.Store.corrupt;
+                List.iter
+                  (fun jobs ->
+                    match run_leg jobs with
+                    | exception e ->
+                        violate "%s: escaped exception (jobs=%d): %s" tag jobs
+                          (Printexc.to_string e)
+                    | cold, warm, counters, _ ->
+                        if cold <> cold0 || warm <> warm0 then
+                          violate "%s: jobs=%d outputs diverge from jobs=%d"
+                            tag jobs (List.hd jobs_matrix);
+                        if counters <> counters0 then
+                          violate
+                            "%s: jobs=%d store counters [%s] diverge from \
+                             jobs=%d [%s]"
+                            tag jobs counters (List.hd jobs_matrix) counters0)
+                  (List.tl jobs_matrix)
+          done)
+    graph_seeds;
+  {
+    s_pairs_run = !pairs;
+    s_store_hits = !store_hits;
+    s_recovered = !recovered;
+    s_violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Tiered-execution property                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -21,6 +21,32 @@ val run :
   unit ->
   result
 
+type service_result = {
+  s_pairs_run : int;  (** (graph seed × store fault plan) pairs executed *)
+  s_store_hits : int;  (** store hits observed across warm passes *)
+  s_recovered : int;
+      (** contained store degradations: torn writes, read faults and
+          corrupt entries that were evicted and recompiled *)
+  s_violations : string list;  (** property breaches; [[]] = pass *)
+}
+
+(** Fuzz the artifact store over random programs × random
+    {!Dbds.Faults.store_sites} plans (torn temp writes, torn
+    publications, read faults).  Each pair runs a cold pass (empty
+    store) and a warm pass (recompile against whatever the faulty cold
+    pass published — including torn files) at every [jobs] value, and
+    asserts: no exception escapes the driver; both passes produce
+    canonical IR byte-identical to an uncached reference compile
+    (corrupted artifacts must be evicted and recompiled, never served);
+    outputs and store counters agree across the [jobs_matrix].
+    Defaults: 10 seeds × 3 plans, at [jobs:1] and [jobs:4]. *)
+val run_service :
+  ?graph_seeds:int list ->
+  ?plans_per_graph:int ->
+  ?jobs_matrix:int list ->
+  unit ->
+  service_result
+
 type tiered_result = {
   t_pairs_run : int;  (** (graph seed × plan) pairs executed *)
   t_promotions : int;  (** promotions observed across all pairs *)

@@ -98,6 +98,26 @@ let tiered_warmup r =
   if r.t_steady_cycles <= 0.0 then 0.0
   else (r.t_first_cycles /. r.t_steady_cycles -. 1.0) *. 100.0
 
+(** One suite's compilation-service comparison: mean wall-clock per
+    program compile against a cold (empty) artifact store vs a warm
+    (populated) one, with the warm pass's store hit rate and the
+    byte-identity check of the resulting canonical IR.  Plain data so
+    the report and the bench JSON writer need no [service]
+    dependency. *)
+type service_row = {
+  sv_suite : string;
+  sv_programs : int;  (** program compiles per pass *)
+  sv_functions : int;  (** function artifacts involved per pass *)
+  sv_cold_ns : float;  (** mean ns per program compile, empty store *)
+  sv_warm_ns : float;  (** ... recompiling against the warm store *)
+  sv_warm_hit_rate : float;  (** store hit rate during the warm pass *)
+  sv_identical : bool;  (** warm canonical IR byte-identical to cold *)
+}
+
+(** Warm-over-cold compile-time ratio; the service's headline number. *)
+let service_speedup r =
+  if r.sv_warm_ns <= 0.0 then 0.0 else r.sv_cold_ns /. r.sv_warm_ns
+
 (** Geometric mean of percentage deltas: geomean of the ratios (1 + d/100)
     minus one, as the paper's tables report. *)
 let geomean_pct deltas =

@@ -80,6 +80,25 @@ val tiered_speedup : tiered_row -> float
 (** Warmup gain: steady-state vs the engine's own first (cold) run (%). *)
 val tiered_warmup : tiered_row -> float
 
+(** One suite's compilation-service comparison: mean wall-clock per
+    program compile against a cold (empty) artifact store vs a warm
+    (populated) one, with the warm pass's store hit rate and the
+    byte-identity check of the resulting canonical IR.  Plain data so
+    the report and the bench JSON writer need no [service]
+    dependency. *)
+type service_row = {
+  sv_suite : string;
+  sv_programs : int;  (** program compiles per pass *)
+  sv_functions : int;  (** function artifacts involved per pass *)
+  sv_cold_ns : float;  (** mean ns per program compile, empty store *)
+  sv_warm_ns : float;  (** ... recompiling against the warm store *)
+  sv_warm_hit_rate : float;  (** store hit rate during the warm pass *)
+  sv_identical : bool;  (** warm canonical IR byte-identical to cold *)
+}
+
+(** Warm-over-cold compile-time ratio; the service's headline number. *)
+val service_speedup : service_row -> float
+
 (** Geometric mean of percentage deltas: geomean of the ratios
     (1 + d/100) minus one, as the paper's tables report. *)
 val geomean_pct : float list -> float

@@ -221,6 +221,32 @@ let pp_tiered ppf (rows : tiered_row list) =
     (geomean_pct (List.map tiered_speedup rows))
     wins (List.length rows)
 
+(** Compilation-service rows: mean wall-clock per program compile with
+    a cold artifact store against a warm one, the warm pass's store hit
+    rate and the byte-identity check of warm vs cold canonical IR. *)
+let pp_service ppf (rows : service_row list) =
+  Fmt.pf ppf "%-14s | %12s %12s %8s | %8s %4s %9s@\n" "suite" "cold ns"
+    "warm ns" "speedup" "hit rate" "fns" "identical";
+  Fmt.pf ppf "%s@\n" (String.make 80 '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s | %12.0f %12.0f %7.1fx | %7.1f%% %4d %9s@\n"
+        r.sv_suite r.sv_cold_ns r.sv_warm_ns (service_speedup r)
+        (100.0 *. r.sv_warm_hit_rate)
+        r.sv_functions
+        (if r.sv_identical then "yes" else "NO"))
+    rows;
+  Fmt.pf ppf "%s@\n" (String.make 80 '-');
+  let min_speedup =
+    List.fold_left (fun acc r -> min acc (service_speedup r)) infinity rows
+  in
+  let all_identical = List.for_all (fun r -> r.sv_identical) rows in
+  Fmt.pf ppf
+    "worst-case warm speedup: %.1fx over %d suites; outputs identical: %s@\n"
+    (if rows = [] then 0.0 else min_speedup)
+    (List.length rows)
+    (if all_identical then "yes" else "NO")
+
 let pp_headline ppf h =
   Fmt.pf ppf
     "headline (DBDS vs baseline over all suites):@\n\

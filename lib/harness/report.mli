@@ -42,3 +42,10 @@ val pp_headline : Format.formatter -> headline -> unit
     share, promotion/deopt counts, AOT cycles for context, and a
     geomean footer. *)
 val pp_tiered : Format.formatter -> Metrics.tiered_row list -> unit
+
+(** Compilation-service rows ({!Metrics.service_row}): mean wall-clock
+    per program compile with a cold artifact store against a warm one,
+    the warm pass's store hit rate, and whether the warm canonical IR
+    was byte-identical to the cold — with a worst-case footer (the
+    acceptance bar is the {e minimum} warm speedup, not the mean). *)
+val pp_service : Format.formatter -> Metrics.service_row list -> unit

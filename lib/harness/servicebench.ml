@@ -1,0 +1,102 @@
+(** Cold-vs-warm artifact-store measurements — see the interface. *)
+
+(* The store directory is scratch: remove every artifact and the
+   directory itself (best effort — a leftover temp dir is harmless). *)
+let rm_rf dir =
+  if Sys.file_exists dir then (
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ())
+
+(* A single-function program sharing the base program's class table and
+   globals — the unit the service compiles (program-level inlining is
+   the client's job, so it is excluded here via [~inline:false]). *)
+let lone (base : Ir.Program.t) g =
+  let functions = Hashtbl.create 1 in
+  Hashtbl.replace functions (Ir.Graph.name g) g;
+  {
+    Ir.Program.classes = base.Ir.Program.classes;
+    globals = base.Ir.Program.globals;
+    functions;
+    main = Ir.Graph.name g;
+  }
+
+(* One timed compile request through the store-backed driver cache.
+   Returns (wall seconds, canonical IR of the optimized function). *)
+let compile_request ~config ~store p =
+  let cache =
+    Service.Store.driver_cache
+      ~context:(Service.Digest.context_of_program p)
+      store
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Dbds.Driver.optimize_program_report ~config ~inline:false ~jobs:1 ~cache
+       p);
+  let dt = Unix.gettimeofday () -. t0 in
+  let fp = ref "" in
+  Ir.Program.iter_functions p (fun g ->
+      fp := !fp ^ Service.Digest.canonical_of_graph g);
+  (dt, !fp)
+
+(* Every function of every benchmark as a fresh compile request (the
+   frontend is re-run per pass so each pass starts from pristine IR). *)
+let requests_of sources =
+  List.concat_map
+    (fun src ->
+      let prog = Lang.Frontend.compile src in
+      List.filter_map
+        (fun name -> Option.map (lone prog) (Ir.Program.find_function prog name))
+        (Ir.Program.function_names prog))
+    sources
+
+(* Warm passes are pure store reads and fast enough to be noisy; keep
+   the fastest of a few repetitions, as the Bechamel benches do by OLS. *)
+let warm_reps = 3
+
+let measure_suite (suite : Workloads.Suite.t) =
+  let config = Dbds.Config.dbds in
+  let dir = Filename.temp_dir "dbds-service-bench" ".store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Service.Store.create ~dir () in
+  let sources =
+    List.map
+      (fun b -> b.Workloads.Suite.source)
+      suite.Workloads.Suite.benchmarks
+  in
+  let run_pass () = List.map (compile_request ~config ~store) (requests_of sources) in
+  let cold = run_pass () in
+  let cold_s = List.fold_left (fun acc (dt, _) -> acc +. dt) 0.0 cold in
+  let warm_pass () =
+    let st = Service.Store.stats store in
+    let h0 = st.Service.Store.hits and m0 = st.Service.Store.misses in
+    let rows = run_pass () in
+    let total = List.fold_left (fun acc (dt, _) -> acc +. dt) 0.0 rows in
+    let dh = st.Service.Store.hits - h0
+    and dm = st.Service.Store.misses - m0 in
+    (total, rows, dh, dm)
+  in
+  let passes = List.init warm_reps (fun _ -> warm_pass ()) in
+  let warm_s, warm_rows, hits, misses =
+    List.fold_left
+      (fun ((best_t, _, _, _) as best) ((t, _, _, _) as p) ->
+        if t < best_t then p else best)
+      (List.hd passes) (List.tl passes)
+  in
+  let identical = List.for_all2 (fun (_, a) (_, b) -> a = b) cold warm_rows in
+  let requests = List.length cold in
+  let n = float_of_int (max requests 1) in
+  {
+    Metrics.sv_suite = suite.Workloads.Suite.suite_name;
+    sv_programs = List.length sources;
+    sv_functions = requests;
+    sv_cold_ns = cold_s /. n *. 1e9;
+    sv_warm_ns = warm_s /. n *. 1e9;
+    sv_warm_hit_rate =
+      (if hits + misses = 0 then 0.0
+       else float_of_int hits /. float_of_int (hits + misses));
+    sv_identical = identical;
+  }
+
+let run ?(suites = Workloads.Registry.all) () = List.map measure_suite suites

@@ -1,0 +1,291 @@
+(** In-process compilation broker — see the interface for the
+    coalescing / backpressure / deadline semantics. *)
+
+type outcome =
+  | Done of { ir : string; work : int; from_cache : bool }
+  | Failed of string
+  | Timed_out
+  | Shed
+  | Rejected of string
+
+let outcome_label = function
+  | Done { from_cache = true; _ } -> "done(cache)"
+  | Done _ -> "done"
+  | Failed _ -> "failed"
+  | Timed_out -> "timed-out"
+  | Shed -> "shed"
+  | Rejected _ -> "rejected"
+
+type stats = {
+  mutable requests : int;
+  mutable compiles : int;
+  mutable cache_hits : int;
+  mutable coalesced : int;
+  mutable shed : int;
+  mutable timeouts : int;
+  mutable failures : int;
+}
+
+let fresh_stats () =
+  {
+    requests = 0;
+    compiles = 0;
+    cache_hits = 0;
+    coalesced = 0;
+    shed = 0;
+    timeouts = 0;
+    failures = 0;
+  }
+
+type job = {
+  jb_digest : string;
+  jb_fn : string;
+  jb_ir : string;  (** canonical IR text *)
+  jb_config : Dbds.Config.t;
+  jb_delay_s : float;  (** artificial compile stretch (test hook) *)
+  mutable jb_deadline : float;
+      (** absolute; the latest deadline any interested request carries
+          ([infinity] = some requester has none) *)
+  mutable jb_outcome : outcome option;
+}
+
+type t = {
+  bstore : Store.t option;
+  delay_s : float;
+  queue_limit : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (** workers: the queue may be non-empty *)
+  job_done : Condition.t;  (** waiters: some job completed *)
+  queue : job Queue.t;
+  inflight : (string, job) Hashtbl.t;
+  bstats : stats;
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let store t = t.bstore
+let stats t = t.bstats
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Complete a job: publish the outcome, retire the digest, account it,
+   and wake every waiter.  Call under the lock. *)
+let complete t job outcome =
+  job.jb_outcome <- Some outcome;
+  Hashtbl.remove t.inflight job.jb_digest;
+  (match outcome with
+  | Done { from_cache = true; _ } -> t.bstats.cache_hits <- t.bstats.cache_hits + 1
+  | Done _ -> t.bstats.compiles <- t.bstats.compiles + 1
+  | Failed _ ->
+      t.bstats.compiles <- t.bstats.compiles + 1;
+      t.bstats.failures <- t.bstats.failures + 1
+  | Timed_out -> t.bstats.timeouts <- t.bstats.timeouts + 1
+  | Shed | Rejected _ -> ());
+  Condition.broadcast t.job_done
+
+(* ---- the compile path (runs without the broker lock) ---------------- *)
+
+let armed config ~fn f = Dbds.Faults.armed config.Dbds.Config.fault_plan ~fn f
+
+let store_lookup t job =
+  match t.bstore with
+  | None -> None
+  | Some s -> (
+      match
+        armed job.jb_config ~fn:job.jb_fn (fun () ->
+            Store.get s ~digest:job.jb_digest)
+      with
+      | None -> None
+      | Some e -> (
+          match Ir.Parse.parse_graph e.ar_ir with
+          | _ -> Some e
+          | exception _ ->
+              Store.discard s ~digest:job.jb_digest;
+              None)
+      | exception _ -> None)
+
+let store_publish t job ~ir ~work =
+  match t.bstore with
+  | None -> ()
+  | Some s -> (
+      try
+        armed job.jb_config ~fn:job.jb_fn (fun () ->
+            Store.put s ~digest:job.jb_digest ~fn:job.jb_fn ~ir ~work)
+      with _ -> ())
+
+let compile t job =
+  match store_lookup t job with
+  | Some e -> Done { ir = e.ar_ir; work = e.ar_work; from_cache = true }
+  | None -> (
+      if job.jb_delay_s > 0. then Unix.sleepf job.jb_delay_s;
+      match Ir.Parse.parse_graph job.jb_ir with
+      | exception Ir.Parse.Parse_error msg -> Failed ("parse: " ^ msg)
+      | g -> (
+          let program = Ir.Program.of_graph g in
+          let config =
+            {
+              job.jb_config with
+              Dbds.Config.containment = true;
+              bundle_dir = None;
+            }
+          in
+          match
+            Dbds.Driver.optimize_program_report ~config ~inline:false ~jobs:1
+              program
+          with
+          | exception exn -> Failed (Printexc.to_string exn)
+          | report -> (
+              match report.Dbds.Driver.rep_failures with
+              | f :: _ ->
+                  Failed
+                    (Printf.sprintf "%s: %s" f.Dbds.Driver.fail_site
+                       f.Dbds.Driver.fail_exn)
+              | [] ->
+                  let body =
+                    Option.value
+                      (Ir.Program.find_function program job.jb_fn)
+                      ~default:g
+                  in
+                  let ir = Digest.canonical_of_graph body in
+                  let work = report.Dbds.Driver.rep_ctx.Opt.Phase.work in
+                  store_publish t job ~ir ~work;
+                  Done { ir; work; from_cache = false })))
+
+(* ---- workers --------------------------------------------------------- *)
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.shutting_down do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if Queue.is_empty t.queue then (
+    (* shutting down with nothing queued *)
+    Mutex.unlock t.mutex)
+  else begin
+    let job = Queue.pop t.queue in
+    if Unix.gettimeofday () > job.jb_deadline then begin
+      (* Every interested deadline has passed: drop without compiling. *)
+      complete t job Timed_out;
+      Mutex.unlock t.mutex;
+      worker t
+    end
+    else begin
+      Mutex.unlock t.mutex;
+      let outcome = try compile t job with exn -> Failed (Printexc.to_string exn) in
+      Mutex.lock t.mutex;
+      complete t job outcome;
+      Mutex.unlock t.mutex;
+      worker t
+    end
+  end
+
+let create ?(workers = 2) ?(queue_limit = 64) ?(delay_s = 0.) ~store () =
+  let t =
+    {
+      bstore = store;
+      delay_s;
+      queue_limit = max 1 queue_limit;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      job_done = Condition.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 64;
+      bstats = fresh_stats ();
+      shutting_down = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+(* ---- submission ------------------------------------------------------ *)
+
+let submit ?deadline_s ?delay_s ~config ~fn ~ir t =
+  match Digest.request_of_text ~config ~fn ir with
+  | exception Ir.Parse.Parse_error msg ->
+      locked t (fun () -> t.bstats.requests <- t.bstats.requests + 1);
+      Rejected ("parse: " ^ msg)
+  | rq ->
+      let digest = Digest.of_request rq in
+      let deadline =
+        match deadline_s with
+        | None -> infinity
+        | Some d -> Unix.gettimeofday () +. d
+      in
+      locked t (fun () ->
+          t.bstats.requests <- t.bstats.requests + 1;
+          if t.shutting_down then Rejected "broker is shutting down"
+          else if deadline <= Unix.gettimeofday () then begin
+            t.bstats.timeouts <- t.bstats.timeouts + 1;
+            Timed_out
+          end
+          else begin
+            let rec await job =
+              match job.jb_outcome with
+              | Some o -> o
+              | None ->
+                  Condition.wait t.job_done t.mutex;
+                  await job
+            in
+            match Hashtbl.find_opt t.inflight digest with
+            | Some job ->
+                t.bstats.coalesced <- t.bstats.coalesced + 1;
+                job.jb_deadline <- Float.max job.jb_deadline deadline;
+                await job
+            | None ->
+                if Queue.length t.queue >= t.queue_limit then begin
+                  t.bstats.shed <- t.bstats.shed + 1;
+                  Shed
+                end
+                else begin
+                  let job =
+                    {
+                      jb_digest = digest;
+                      jb_fn = rq.Digest.rq_fn;
+                      (* The submitted text, not a canonical rendering:
+                         the compile parses it and canonicalizes its
+                         output independently, so coalesced requests
+                         that differ only in id numbering still share
+                         one byte-identical result. *)
+                      jb_ir = ir;
+                      jb_config = config;
+                      jb_delay_s = Option.value delay_s ~default:t.delay_s;
+                      jb_deadline = deadline;
+                      jb_outcome = None;
+                    }
+                  in
+                  Hashtbl.replace t.inflight digest job;
+                  Queue.push job t.queue;
+                  Condition.broadcast t.work_ready;
+                  await job
+                end
+          end)
+
+let shutdown t =
+  let workers =
+    locked t (fun () ->
+        if t.shutting_down then []
+        else begin
+          t.shutting_down <- true;
+          (* Fail everything still queued so its waiters return; jobs
+             already compiling finish normally. *)
+          Queue.iter
+            (fun job -> complete t job (Rejected "broker is shutting down"))
+            t.queue;
+          Queue.clear t.queue;
+          Condition.broadcast t.work_ready;
+          let ws = t.workers in
+          t.workers <- [];
+          ws
+        end)
+  in
+  List.iter Domain.join workers
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "broker: requests=%d compiles=%d cache_hits=%d coalesced=%d shed=%d \
+     timeouts=%d failures=%d"
+    s.requests s.compiles s.cache_hits s.coalesced s.shed s.timeouts s.failures

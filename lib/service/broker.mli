@@ -1,0 +1,87 @@
+(** The in-process compilation broker: worker domains, in-flight
+    coalescing, bounded admission and deadlines.
+
+    Callers {!submit} one function's IR under a configuration and block
+    until an outcome is available.  Three service disciplines:
+
+    - {e coalescing}: requests are keyed by content digest; while a
+      digest is in flight (queued or compiling), further requests for it
+      do not enqueue new work — they wait on the same job and share its
+      outcome.  N concurrent identical requests cost one compile.
+    - {e backpressure}: the admission queue is bounded; a request that
+      finds it full is {e shed} immediately ([Shed]) rather than queued
+      — the caller can retry, the broker never builds unbounded backlog.
+      Coalescing waiters don't occupy queue slots.
+    - {e deadlines}: a request may carry a relative deadline.  An
+      already-expired deadline is rejected at admission; a job whose
+      interested deadlines have all passed by the time a worker picks it
+      up is dropped without compiling ([Timed_out]).  There is no
+      mid-compile cancellation (stdlib domains cannot be interrupted) —
+      a deadline that expires while its job is already compiling is
+      still served the result; expiry is only acted on at admission and
+      dequeue.
+
+    Compiles run through {!Dbds.Driver.optimize_program_report} with
+    containment forced on, so a crashing pipeline costs one request
+    ([Failed]), never the broker.  With a {!Store} attached, workers
+    check it before compiling and publish after, so outcomes survive the
+    process. *)
+
+type outcome =
+  | Done of { ir : string; work : int; from_cache : bool }
+      (** canonical optimized IR; [from_cache] = served from the store *)
+  | Failed of string  (** contained pipeline failure *)
+  | Timed_out  (** deadline expired before a worker ran the job *)
+  | Shed  (** admission queue full *)
+  | Rejected of string  (** malformed request or broker shut down *)
+
+val outcome_label : outcome -> string
+
+type stats = {
+  mutable requests : int;  (** submissions, including rejected ones *)
+  mutable compiles : int;  (** pipeline executions that completed *)
+  mutable cache_hits : int;  (** jobs served from the store *)
+  mutable coalesced : int;  (** requests that joined an in-flight job *)
+  mutable shed : int;  (** requests refused by backpressure *)
+  mutable timeouts : int;  (** expired at admission or dequeue *)
+  mutable failures : int;  (** contained pipeline failures *)
+}
+
+type t
+
+(** Start a broker with [workers] compile domains (default 2) and an
+    admission queue bounded at [queue_limit] jobs (default 64).
+    [delay_s] artificially stretches every real (non-cache) compile —
+    a test hook that makes request overlap, and therefore coalescing,
+    deterministic for the protocol smoke tests. *)
+val create :
+  ?workers:int ->
+  ?queue_limit:int ->
+  ?delay_s:float ->
+  store:Store.t option ->
+  unit ->
+  t
+
+val store : t -> Store.t option
+val stats : t -> stats
+
+(** Submit one function and block for its outcome.  [ir] is printed IR
+    text (any id numbering); [deadline_s] is relative seconds from now
+    (default: none); [delay_s] overrides the broker's compile stretch
+    for this request's job (test hook — a coalesced request inherits the
+    job's existing delay).  Safe to call from many domains
+    concurrently. *)
+val submit :
+  ?deadline_s:float ->
+  ?delay_s:float ->
+  config:Dbds.Config.t ->
+  fn:string ->
+  ir:string ->
+  t ->
+  outcome
+
+(** Stop accepting work, fail queued jobs ([Rejected]), finish the jobs
+    already compiling, and join the workers.  Idempotent. *)
+val shutdown : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,81 @@
+(** Client side of the service protocol. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(retries = 0) ?(retry_interval_s = 0.05) ~sock () =
+  let rec attempt left =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX sock)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | fd ->
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+    | exception (Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) as e)
+      ->
+        if left <= 0 then raise e
+        else begin
+          Unix.sleepf retry_interval_s;
+          attempt (left - 1)
+        end
+  in
+  attempt retries
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  close_out_noerr t.oc (* closes the descriptor; [ic] shares it *)
+
+let roundtrip t (m : Protocol.message) =
+  match
+    Protocol.write t.oc m;
+    Protocol.read t.ic
+  with
+  | r -> r
+  | exception Sys_error e -> Error ("transport: " ^ e)
+  | exception End_of_file -> Error "transport: connection closed"
+
+let ping t =
+  match roundtrip t { Protocol.verb = "ping"; fields = [] } with
+  | Ok m -> Protocol.field m "status" = Some "ok"
+  | Error _ -> false
+
+let compile ?deadline_ms ?delay_ms ~config ~fn ~ir t =
+  let opt name v =
+    Option.to_list (Option.map (fun n -> (name, string_of_int n)) v)
+  in
+  let m =
+    {
+      Protocol.verb = "compile";
+      fields =
+        [ ("config", Dbds.Config.to_line config); ("fn", fn); ("ir", ir) ]
+        @ opt "deadline-ms" deadline_ms @ opt "delay-ms" delay_ms;
+    }
+  in
+  Result.bind (roundtrip t m) Protocol.outcome_of_reply
+
+let stats t =
+  Result.bind
+    (roundtrip t { Protocol.verb = "stats"; fields = [] })
+    (fun m ->
+      match Protocol.field m "status" with
+      | Some "ok" ->
+          Ok
+            ( Protocol.field_or m "broker" "",
+              Protocol.field_or m "store" "",
+              Protocol.field_or m "counts" "" )
+      | _ -> Error "stats refused")
+
+let shutdown_server t =
+  Result.bind
+    (roundtrip t { Protocol.verb = "shutdown"; fields = [] })
+    (fun m ->
+      match Protocol.field m "status" with
+      | Some "ok" -> Ok ()
+      | _ -> Error "shutdown refused")

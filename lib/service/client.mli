@@ -1,0 +1,35 @@
+(** Client side of the compilation service protocol. *)
+
+type t
+
+(** Connect to a server socket.  [retries] × [retry_interval_s] poll for
+    the socket to appear first (defaults 0 / 0.05 — no waiting), so a
+    freshly forked server can be awaited without shell sleeps.
+    @raise Unix.Unix_error when the server stays unreachable. *)
+val connect :
+  ?retries:int -> ?retry_interval_s:float -> sock:string -> unit -> t
+
+val close : t -> unit
+
+(** Round-trip a [ping]; [false] on any error. *)
+val ping : t -> bool
+
+(** Submit one function; the IR travels as printed text.  [deadline_ms]
+    and [delay_ms] map to the protocol's optional headers.  [Error]
+    covers transport/protocol failures (service-level refusals come back
+    as [Ok Shed], [Ok (Rejected _)], ...). *)
+val compile :
+  ?deadline_ms:int ->
+  ?delay_ms:int ->
+  config:Dbds.Config.t ->
+  fn:string ->
+  ir:string ->
+  t ->
+  (Broker.outcome, string) result
+
+(** Fetch the server's stats: [(broker_line, store_line, counts_line)] —
+    see {!Server} for the counts grammar. *)
+val stats : t -> (string * string * string, string) result
+
+(** Ask the server to shut down (it acknowledges, then stops). *)
+val shutdown_server : t -> (unit, string) result

@@ -1,0 +1,93 @@
+(** Wire protocol — see the interface for the grammar. *)
+
+type message = { verb : string; fields : (string * string) list }
+
+let magic = "dbds/1"
+let max_field_bytes = 16 * 1024 * 1024
+let max_fields = 32
+
+let write oc m =
+  Printf.fprintf oc "%s %s %d\n" magic m.verb (List.length m.fields);
+  List.iter
+    (fun (name, payload) ->
+      Printf.fprintf oc "%s %d\n" name (String.length payload);
+      output_string oc payload;
+      output_char oc '\n')
+    m.fields;
+  flush oc
+
+let read ic =
+  let ( let* ) r f = Result.bind r f in
+  let line () =
+    match input_line ic with
+    | l -> Ok l
+    | exception End_of_file -> Error "eof"
+  in
+  let* header = line () in
+  let* verb, nfields =
+    match String.split_on_char ' ' header with
+    | [ m; verb; n ] when m = magic -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 && n <= max_fields -> Ok (verb, n)
+        | _ -> Error ("bad field count: " ^ header))
+    | _ -> Error ("bad header: " ^ header)
+  in
+  let rec fields acc = function
+    | 0 -> Ok (List.rev acc)
+    | k -> (
+        let* fheader = line () in
+        match String.split_on_char ' ' fheader with
+        | [ name; len ] -> (
+            match int_of_string_opt len with
+            | Some len when len >= 0 && len <= max_field_bytes -> (
+                match
+                  let payload = really_input_string ic len in
+                  let nl = input_char ic in
+                  (payload, nl)
+                with
+                | payload, '\n' -> fields ((name, payload) :: acc) (k - 1)
+                | _ -> Error "missing payload terminator"
+                | exception End_of_file -> Error "truncated payload")
+            | _ -> Error ("bad field length: " ^ fheader))
+        | _ -> Error ("bad field header: " ^ fheader))
+  in
+  let* fields = fields [] nfields in
+  Ok { verb; fields }
+
+let field m name = List.assoc_opt name m.fields
+let field_or m name default = Option.value (field m name) ~default
+
+let reply_of_outcome (o : Broker.outcome) =
+  let fields =
+    match o with
+    | Broker.Done { ir; work; from_cache } ->
+        [
+          ("status", if from_cache then "done-cache" else "done");
+          ("ir", ir);
+          ("work", string_of_int work);
+        ]
+    | Broker.Failed msg -> [ ("status", "failed"); ("message", msg) ]
+    | Broker.Timed_out -> [ ("status", "timed-out") ]
+    | Broker.Shed -> [ ("status", "shed") ]
+    | Broker.Rejected msg -> [ ("status", "rejected"); ("message", msg) ]
+  in
+  { verb = "reply"; fields }
+
+let outcome_of_reply m =
+  if m.verb <> "reply" then Error ("expected a reply, got " ^ m.verb)
+  else
+    let msg () = field_or m "message" "" in
+    match field m "status" with
+    | Some "done" | Some "done-cache" -> (
+        match (field m "ir", int_of_string_opt (field_or m "work" "")) with
+        | Some ir, Some work ->
+            Ok
+              (Broker.Done
+                 { ir; work; from_cache = field m "status" = Some "done-cache" })
+        | _ -> Error "done reply missing ir/work")
+    | Some "failed" -> Ok (Broker.Failed (msg ()))
+    | Some "timed-out" -> Ok Broker.Timed_out
+    | Some "shed" -> Ok Broker.Shed
+    | Some "rejected" -> Ok (Broker.Rejected (msg ()))
+    | Some s -> Error ("unknown status: " ^ s)
+    | None -> Error "reply missing status"

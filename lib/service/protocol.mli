@@ -1,0 +1,50 @@
+(** The wire protocol of the compilation service: a small
+    length-prefixed text protocol over a Unix-domain socket.
+
+    A {e message} is a verb plus an ordered list of named fields.
+    On the wire:
+
+    {v
+    message   = header field* ;
+    header    = "dbds/1 " verb " " nfields LF ;
+    field     = name " " nbytes LF payload LF ;
+    payload   = nbytes bytes, verbatim (may contain LF) ;
+    v}
+
+    Field payloads are length-prefixed, so IR text travels unescaped.
+    Both sides read with {!read}, which validates the magic, bounds
+    field sizes and counts, and returns [Error] (never raises) on
+    malformed input.
+
+    Verbs (client → server): [compile] (fields [config], [fn], [ir],
+    optional [deadline-ms], [delay-ms]), [stats], [ping], [shutdown].
+    Server → client: [reply] with a [status] field
+    ([ok], [done], [done-cache], [failed], [timed-out], [shed],
+    [rejected]) plus verb-specific fields ([ir], [work], [message],
+    [broker], [store]). *)
+
+type message = { verb : string; fields : (string * string) list }
+
+(** Hard ceilings enforced by {!read}: per-field bytes and fields per
+    message.  Oversized input is a protocol error, not an allocation. *)
+val max_field_bytes : int
+
+val max_fields : int
+
+val write : out_channel -> message -> unit
+
+(** Read one message.  [Error] covers EOF at a message boundary
+    (rendered ["eof"]), truncation, bad magic, and limit violations. *)
+val read : in_channel -> (message, string) result
+
+(** First payload under [name], if present. *)
+val field : message -> string -> string option
+
+(** {!field} with a default. *)
+val field_or : message -> string -> string -> string
+
+(** Build a [reply] carrying a {!Broker.outcome}. *)
+val reply_of_outcome : Broker.outcome -> message
+
+(** Parse a [reply] back into a {!Broker.outcome}. *)
+val outcome_of_reply : message -> (Broker.outcome, string) result

@@ -1,0 +1,163 @@
+(** Compile-server daemon — see the interface for connection and
+    shutdown semantics. *)
+
+type state = {
+  broker : Broker.t;
+  sock : string;
+  listen_fd : Unix.file_descr;
+  log : string -> unit;
+  mutex : Mutex.t;
+  mutable stopping : bool;
+  mutable conns : unit Domain.t list;
+}
+
+let locked st f =
+  Mutex.lock st.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
+
+let stopping st = locked st (fun () -> st.stopping)
+
+(* Stop the accept loop: raise the flag, then nudge [accept] awake with
+   a throwaway connection (portable — closing a listening socket from
+   another domain does not reliably interrupt an accept). *)
+let trigger_stop st =
+  locked st (fun () -> st.stopping <- true);
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd -> (
+      try
+        Unix.connect fd (Unix.ADDR_UNIX st.sock);
+        Unix.close fd
+      with Unix.Unix_error _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+
+let ok_reply = { Protocol.verb = "reply"; fields = [ ("status", "ok") ] }
+
+let rejected msg =
+  {
+    Protocol.verb = "reply";
+    fields = [ ("status", "rejected"); ("message", msg) ];
+  }
+
+let stats_reply st =
+  let b = Broker.stats st.broker in
+  let counts = Buffer.create 256 in
+  Printf.bprintf counts
+    "requests=%d compiles=%d cache_hits=%d coalesced=%d shed=%d timeouts=%d \
+     failures=%d"
+    b.Broker.requests b.Broker.compiles b.Broker.cache_hits b.Broker.coalesced
+    b.Broker.shed b.Broker.timeouts b.Broker.failures;
+  let store_line =
+    match Broker.store st.broker with
+    | None -> "none"
+    | Some s ->
+        let ss = Store.stats s in
+        Printf.bprintf counts
+          " store_hits=%d store_misses=%d store_writes=%d store_evictions=%d \
+           store_corrupt=%d"
+          ss.Store.hits ss.Store.misses ss.Store.writes ss.Store.evictions
+          ss.Store.corrupt;
+        Format.asprintf "%a" Store.pp_stats ss
+  in
+  {
+    Protocol.verb = "reply";
+    fields =
+      [
+        ("status", "ok");
+        ("broker", Format.asprintf "%a" Broker.pp_stats b);
+        ("store", store_line);
+        ("counts", Buffer.contents counts);
+      ];
+  }
+
+let handle_compile st m =
+  match (Protocol.field m "fn", Protocol.field m "ir") with
+  | Some fn, Some ir ->
+      let config = Dbds.Config.of_line (Protocol.field_or m "config" "") in
+      let ms_field name =
+        Option.bind (Protocol.field m name) int_of_string_opt
+        |> Option.map (fun ms -> float_of_int ms /. 1000.)
+      in
+      let outcome =
+        Broker.submit ?deadline_s:(ms_field "deadline-ms")
+          ?delay_s:(ms_field "delay-ms") ~config ~fn ~ir st.broker
+      in
+      st.log (Printf.sprintf "compile %s -> %s" fn (Broker.outcome_label outcome));
+      Protocol.reply_of_outcome outcome
+  | _ -> rejected "compile needs fn and ir fields"
+
+(* One connection: synchronous request/reply until EOF, a protocol
+   error, or a shutdown request. *)
+let handle st fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send m = try Protocol.write oc m with Sys_error _ -> () in
+  let rec loop () =
+    match Protocol.read ic with
+    | Error "eof" -> ()
+    | Error msg ->
+        (* The stream may be desynchronized: answer and hang up. *)
+        send (rejected ("protocol error: " ^ msg))
+    | Ok m -> (
+        match m.Protocol.verb with
+        | "ping" ->
+            send ok_reply;
+            loop ()
+        | "stats" ->
+            send (stats_reply st);
+            loop ()
+        | "shutdown" ->
+            st.log "shutdown requested";
+            send ok_reply;
+            trigger_stop st
+        | "compile" ->
+            send (handle_compile st m);
+            loop ()
+        | verb ->
+            send (rejected ("unknown verb: " ^ verb));
+            loop ())
+  in
+  (try loop () with _ -> ());
+  (try flush oc with Sys_error _ -> ());
+  close_out_noerr oc (* closes [fd]; [ic] shares it *)
+
+let serve ?(log = fun _ -> ()) ~sock ~broker () =
+  if Sys.file_exists sock then
+    invalid_arg
+      (Printf.sprintf
+         "Server.serve: %s already exists (stale socket? remove it first)" sock);
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX sock);
+  Unix.listen listen_fd 64;
+  let st =
+    {
+      broker;
+      sock;
+      listen_fd;
+      log;
+      mutex = Mutex.create ();
+      stopping = false;
+      conns = [];
+    }
+  in
+  log (Printf.sprintf "listening on %s" sock);
+  let rec accept_loop () =
+    if not (stopping st) then
+      match Unix.accept st.listen_fd with
+      | fd, _ ->
+          if stopping st then (try Unix.close fd with Unix.Unix_error _ -> ())
+          else begin
+            let d = Domain.spawn (fun () -> handle st fd) in
+            locked st (fun () -> st.conns <- d :: st.conns);
+            accept_loop ()
+          end
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  accept_loop ();
+  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  let conns = locked st (fun () -> st.conns) in
+  List.iter Domain.join conns;
+  Broker.shutdown broker;
+  (try Sys.remove sock with Sys_error _ -> ());
+  log "stopped"

@@ -1,0 +1,19 @@
+(** The compile-server daemon: a Unix-domain-socket front end over a
+    {!Broker}.
+
+    One accepted connection is served per domain; a connection may carry
+    any number of requests (the protocol is synchronous per connection —
+    one reply per request, in order).  Malformed messages get a
+    [rejected] reply (or close the connection when unreadable); they
+    never take the server down.
+
+    A [shutdown] request stops the accept loop, drains the broker
+    ({!Broker.shutdown}) and removes the socket file; {!serve} then
+    returns.  Concurrency still works under a shutdown race: requests
+    already accepted are answered before their connections close. *)
+
+(** Serve until a [shutdown] request arrives.  Creates (and on exit
+    removes) the socket at [sock]; refuses to start if the path exists.
+    [log] receives one line per served request (e.g. stderr logging);
+    default: silent. *)
+val serve : ?log:(string -> unit) -> sock:string -> broker:Broker.t -> unit -> unit

@@ -1,0 +1,370 @@
+(** On-disk content-addressed artifact store — see the interface for the
+    atomicity / checksum / GC disciplines. *)
+
+module F = Dbds.Faults
+
+type entry = { ar_fn : string; ar_ir : string; ar_work : int }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable write_failures : int;
+  mutable read_failures : int;
+  mutable corrupt : int;
+  mutable evictions : int;
+}
+
+type t = {
+  dir : string;
+  capacity : int;
+  mutex : Mutex.t;
+  (* In-memory accounting only: recency-ordered (most recent first)
+     [digest, bytes] pairs.  The filesystem stays the source of truth —
+     a file published by another process is found by [get] even before
+     it enters this index. *)
+  mutable lru : (string * int) list;
+  (* Parsed-artifact memo for [get_graph]: digest -> verified entry and
+     its parsed graph.  Populated only after a successful disk read
+     (so every artifact is checksum-verified at least once per
+     process), dropped whenever the entry is evicted or discarded —
+     the memo never outlives the file it mirrors. *)
+  parsed : (string, entry * Ir.Graph.t) Hashtbl.t;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    hits = 0;
+    misses = 0;
+    writes = 0;
+    write_failures = 0;
+    read_failures = 0;
+    corrupt = 0;
+    evictions = 0;
+  }
+
+let magic = "dbds-artifact: v1"
+let art_suffix = ".art"
+let path_of t digest = Filename.concat t.dir (digest ^ art_suffix)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ---- rendering / parsing ------------------------------------------- *)
+
+let render ~digest ~fn ~ir ~work =
+  String.concat "\n"
+    [
+      magic;
+      "digest: " ^ digest;
+      "function: " ^ fn;
+      "work: " ^ string_of_int work;
+      "checksum: " ^ Digest.fnv64 ir;
+      "--- ir ---";
+      ir;
+    ]
+
+(* Returns [None] on any structural or checksum mismatch. *)
+let parse ~digest content =
+  let marker = "\n--- ir ---\n" in
+  let split_header () =
+    match String.index_opt content '\000' with
+    | Some _ -> None (* artifacts are text; NUL means garbage *)
+    | None -> (
+        let rec find i =
+          if i + String.length marker > String.length content then None
+          else if String.sub content i (String.length marker) = marker then
+            Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | None -> None
+        | Some i ->
+            let header = String.sub content 0 i in
+            let ir =
+              String.sub content
+                (i + String.length marker)
+                (String.length content - i - String.length marker)
+            in
+            Some (header, ir))
+  in
+  match split_header () with
+  | None -> None
+  | Some (header, ir) -> (
+      let field key =
+        let prefix = key ^ ": " in
+        String.split_on_char '\n' header
+        |> List.find_map (fun line ->
+               if String.length line > String.length prefix
+                  && String.sub line 0 (String.length prefix) = prefix
+               then
+                 Some
+                   (String.sub line (String.length prefix)
+                      (String.length line - String.length prefix))
+               else None)
+      in
+      match
+        ( String.split_on_char '\n' header,
+          field "digest",
+          field "function",
+          field "work",
+          field "checksum" )
+      with
+      | first :: _, Some d, Some fn, Some work, Some checksum
+        when first = magic ->
+          if d <> digest then None
+          else if Digest.fnv64 ir <> checksum then None
+          else
+            Option.map
+              (fun w -> { ar_fn = fn; ar_ir = ir; ar_work = w })
+              (int_of_string_opt work)
+      | _ -> None)
+
+(* ---- construction --------------------------------------------------- *)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let create ?(capacity = 8 * 1024 * 1024) ~dir () =
+  ensure_dir dir;
+  let lru =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names ->
+        (* Deterministic initial recency: name order.  Real recency only
+           matters once the store is warm. *)
+        Array.sort compare names;
+        Array.to_list names
+        |> List.filter_map (fun name ->
+               if Filename.check_suffix name art_suffix then
+                 let digest = Filename.chop_suffix name art_suffix in
+                 match (Unix.stat (Filename.concat dir name)).Unix.st_size with
+                 | size -> Some (digest, size)
+                 | exception Unix.Unix_error _ -> None
+               else None)
+  in
+  {
+    dir;
+    capacity;
+    mutex = Mutex.create ();
+    lru;
+    parsed = Hashtbl.create 64;
+    stats = fresh_stats ();
+  }
+
+let dir t = t.dir
+let stats t = t.stats
+let used_unlocked t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.lru
+let used t = locked t (fun () -> used_unlocked t)
+
+(* ---- index maintenance (call under the lock) ------------------------ *)
+
+let index_remove t digest =
+  t.lru <- List.filter (fun (d, _) -> d <> digest) t.lru
+
+let index_touch t digest size =
+  index_remove t digest;
+  t.lru <- (digest, size) :: t.lru
+
+let remove_file t digest =
+  try Sys.remove (path_of t digest) with Sys_error _ -> ()
+
+let drop_unlocked t digest =
+  remove_file t digest;
+  Hashtbl.remove t.parsed digest;
+  index_remove t digest
+
+(* Evict least-recently-used artifacts until the byte budget holds.
+   The head of [lru] (what was just published / hit) is never evicted,
+   so a single oversized artifact still lives until the next publish. *)
+let gc t =
+  let rec loop () =
+    if used_unlocked t > t.capacity then
+      match List.rev t.lru with
+      | [] | [ _ ] -> ()
+      | (victim, _) :: _ ->
+          drop_unlocked t victim;
+          t.stats.evictions <- t.stats.evictions + 1;
+          loop ()
+  in
+  loop ()
+
+(* ---- operations ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let get t ~digest =
+  locked t (fun () ->
+      match
+        F.hit F.Store_read;
+        read_file (path_of t digest)
+      with
+      | exception F.Injected _ ->
+          t.stats.read_failures <- t.stats.read_failures + 1;
+          t.stats.misses <- t.stats.misses + 1;
+          None
+      | exception Sys_error _ ->
+          t.stats.misses <- t.stats.misses + 1;
+          None
+      | content -> (
+          match parse ~digest content with
+          | Some e ->
+              index_touch t digest (String.length content);
+              t.stats.hits <- t.stats.hits + 1;
+              Some e
+          | None ->
+              (* A torn or rotten artifact is evicted and reported as a
+                 miss — corruption must never stop a compilation. *)
+              drop_unlocked t digest;
+              t.stats.corrupt <- t.stats.corrupt + 1;
+              t.stats.misses <- t.stats.misses + 1;
+              None))
+
+let put t ~digest ~fn ~ir ~work =
+  locked t (fun () ->
+      let content = render ~digest ~fn ~ir ~work in
+      let final = path_of t digest in
+      let tmp =
+        Filename.concat t.dir
+          (Printf.sprintf ".tmp.%s.%d" digest (Unix.getpid ()))
+      in
+      let cleanup_tmp () = try Sys.remove tmp with Sys_error _ -> () in
+      match
+        ensure_dir t.dir;
+        let oc = open_out_bin tmp in
+        (* Write in two halves with a fault site between them: an
+           injected [Store_write] models a crash mid-payload.  Because
+           the payload is still under its temp name, the store stays
+           clean — the publication simply never happens. *)
+        (try
+           let half = String.length content / 2 in
+           output_string oc (String.sub content 0 half);
+           F.hit F.Store_write;
+           output_string oc
+             (String.sub content half (String.length content - half));
+           F.hit F.Store_write;
+           close_out oc
+         with e ->
+           close_out_noerr oc;
+           raise e);
+        (* The publication point.  An injected [Store_rename] models a
+           torn publish — a crash where the entry appears under its
+           final name truncated (what a real crash between data write
+           and metadata flush can leave behind). *)
+        F.hit F.Store_rename;
+        Sys.rename tmp final
+      with
+      | () ->
+          (* Digest-addressed content is immutable in principle, but a
+             republish may follow a torn predecessor — never let a
+             stale memo shadow the fresh file. *)
+          Hashtbl.remove t.parsed digest;
+          index_touch t digest (String.length content);
+          t.stats.writes <- t.stats.writes + 1;
+          gc t
+      | exception F.Injected { site = F.Store_write; _ } ->
+          cleanup_tmp ();
+          t.stats.write_failures <- t.stats.write_failures + 1
+      | exception F.Injected { site = F.Store_rename; _ } ->
+          (* Simulate the tear: publish a truncated payload under the
+             final name.  A later [get] sees the checksum mismatch,
+             evicts it and recompiles. *)
+          let torn = String.sub content 0 (String.length content / 2) in
+          (try
+             let oc = open_out_bin final in
+             output_string oc torn;
+             close_out oc
+           with Sys_error _ -> ());
+          cleanup_tmp ();
+          Hashtbl.remove t.parsed digest;
+          index_touch t digest (String.length torn);
+          t.stats.write_failures <- t.stats.write_failures + 1
+      | exception F.Injected _ | exception Sys_error _ ->
+          cleanup_tmp ();
+          t.stats.write_failures <- t.stats.write_failures + 1)
+
+let discard t ~digest =
+  locked t (fun () ->
+      drop_unlocked t digest;
+      t.stats.corrupt <- t.stats.corrupt + 1)
+
+(* [get] plus IR parsing, memoized.  A memo hit skips the filesystem
+   entirely (the content was checksum-verified when first read); a
+   checksummed artifact whose IR fails to parse — semantic corruption
+   the checksum cannot see — is evicted like any other corrupt entry.
+   Callers must treat the returned graph as read-only: it is shared
+   between every caller until the entry is dropped. *)
+let get_graph t ~digest =
+  let memo =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.parsed digest with
+        | Some _ as found ->
+            t.stats.hits <- t.stats.hits + 1;
+            (match List.assoc_opt digest t.lru with
+            | Some bytes -> index_touch t digest bytes
+            | None -> ());
+            found
+        | None -> None)
+  in
+  match memo with
+  | Some (e, g) -> Some (e, g)
+  | None -> (
+      match get t ~digest with
+      | None -> None
+      | Some e -> (
+          match Ir.Parse.parse_graph e.ar_ir with
+          | g ->
+              locked t (fun () ->
+                  (* Only memoize while the entry is still indexed — a
+                     concurrent eviction between the read and here must
+                     win. *)
+                  if List.mem_assoc digest t.lru then
+                    Hashtbl.replace t.parsed digest (e, g));
+              Some (e, g)
+          | exception _ ->
+              discard t ~digest;
+              None))
+
+(* ---- the driver hook ------------------------------------------------ *)
+
+let driver_cache ?(context = "") t =
+  let lookup config g =
+    try
+      Dbds.Faults.armed config.Dbds.Config.fault_plan ~fn:(Ir.Graph.name g)
+        (fun () ->
+          let key =
+            Digest.of_request (Digest.request_of_graph ~context ~config g)
+          in
+          match get_graph t ~digest:key with
+          | None -> (None, key)
+          | Some (_, g') ->
+              (* [g'] is the shared memoized parse; the driver only
+                 reads it (restoring copies it into the request's
+                 graph). *)
+              (Some g', key))
+    with _ -> (None, "")
+  in
+  let store config ~key g ~work =
+    if key <> "" then
+      try
+        Dbds.Faults.armed config.Dbds.Config.fault_plan ~fn:(Ir.Graph.name g)
+          (fun () ->
+            put t ~digest:key ~fn:(Ir.Graph.name g)
+              ~ir:(Digest.canonical_of_graph g) ~work)
+      with _ -> ()
+  in
+  { Dbds.Driver.cache_lookup = lookup; cache_store = store }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "store: hits=%d misses=%d writes=%d write_failures=%d read_failures=%d \
+     corrupt=%d evictions=%d"
+    s.hits s.misses s.writes s.write_failures s.read_failures s.corrupt
+    s.evictions

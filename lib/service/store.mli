@@ -1,0 +1,82 @@
+(** The on-disk content-addressed artifact store.
+
+    One file per digest ([<digest>.art] under the store directory)
+    holding the optimized IR plus the compile effort that produced it.
+    Three disciplines make it safe to share between processes and to
+    survive crashes:
+
+    - {e atomic publication}: artifacts are written to a temp file in
+      the store directory and [rename]d into place, so a reader never
+      observes a half-written entry under its final name;
+    - {e checksum verification}: every read re-hashes the payload
+      against the recorded checksum (and the recorded digest against
+      the file name); any mismatch — a torn write, bit rot, a truncated
+      file — evicts the entry and degrades to a {e miss}, never a
+      crash;
+    - {e size-bounded LRU GC}: publishing past [capacity] evicts
+      least-recently-used artifacts until the budget holds.
+
+    Store operations announce the {!Dbds.Faults.store_sites} fault
+    sites, so the fuzzer can tear writes and publications
+    deterministically; all injected faults (and real [Sys_error]s) are
+    contained inside the store as degraded operations. *)
+
+type entry = {
+  ar_fn : string;  (** function name the artifact was compiled from *)
+  ar_ir : string;  (** optimized IR, canonical {!Ir.Printer} text *)
+  ar_work : int;  (** work units the original compilation charged *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;  (** includes corrupt / failed reads *)
+  mutable writes : int;  (** successful publications *)
+  mutable write_failures : int;  (** torn or failed writes, contained *)
+  mutable read_failures : int;  (** injected / IO read failures, contained *)
+  mutable corrupt : int;  (** checksum or format mismatches, evicted *)
+  mutable evictions : int;  (** LRU GC victims *)
+}
+
+type t
+
+(** Open (creating if needed) a store rooted at [dir].  [capacity] is
+    the artifact-byte budget the LRU GC maintains (default 8 MiB). *)
+val create : ?capacity:int -> dir:string -> unit -> t
+
+val dir : t -> string
+val stats : t -> stats
+
+(** Artifact bytes currently accounted to the store. *)
+val used : t -> int
+
+(** Look an artifact up by digest.  Bumps LRU recency on a hit; evicts
+    and reports a miss on corruption. *)
+val get : t -> digest:string -> entry option
+
+(** Publish an artifact under [digest] (atomic; runs the LRU GC).
+    Failures are contained and counted, never raised. *)
+val put : t -> digest:string -> fn:string -> ir:string -> work:int -> unit
+
+(** Drop one entry (used when a checksummed artifact later fails to
+    parse — semantic corruption the checksum cannot see). *)
+val discard : t -> digest:string -> unit
+
+(** {!get} plus IR parsing, memoized in memory per live entry: repeat
+    lookups of a digest skip the filesystem and the parser entirely
+    (the content was checksum-verified when first read; the memo is
+    dropped whenever the entry is evicted, discarded or republished).
+    An artifact whose IR fails to parse is evicted like any other
+    corrupt entry.  The returned graph is {e shared} between every
+    caller of the same digest — treat it as read-only (restore/copy
+    from it, never mutate it). *)
+val get_graph : t -> digest:string -> (entry * Ir.Graph.t) option
+
+(** The store as a {!Dbds.Driver.cache}: lookups digest the function's
+    canonical request under the run's configuration (with [context] as
+    the program facts — see {!Digest.context_of_program}); stores
+    publish the optimized body under the same key.  Faults are armed per
+    function from the config's plan, and every path is contained — the
+    hooks never raise. *)
+val driver_cache : ?context:string -> t -> Dbds.Driver.cache
+
+val pp_stats : Format.formatter -> stats -> unit

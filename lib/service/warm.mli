@@ -1,0 +1,25 @@
+(** Warm-starting the tiered VM from the artifact store.
+
+    Builds the {!Vm.Engine} [warm_lookup] / [warm_spill] hooks over a
+    {!Store}.  Artifacts are keyed by the digest of the function's
+    {e pristine} tier-0 body under the engine's compile configuration,
+    with two deliberate keying choices:
+
+    - the {e profile is excluded}: a body compiled under one profile is
+      reused under another.  That trades peak-shape fidelity for cross-
+      process reuse — the body is still a correct optimized body of the
+      same function (branch probabilities only steer optimization
+      choices, never semantics), and {!Vm.Deopt} guards the residual
+      risk exactly as it guards any stale compile;
+    - the request context is the marker ["vm-warm"], so profile-driven
+      VM artifacts never collide with the AOT driver-cache artifacts of
+      the same function (those are compiled without a profile). *)
+
+(** The engine hooks over [store] for a compile configuration.  Both are
+    contained: store faults and parse failures degrade to a miss / a
+    dropped spill, never an exception into the engine. *)
+val hooks :
+  config:Dbds.Config.t ->
+  Store.t ->
+  (fn:string -> pristine:Ir.Graph.t -> (Ir.Graph.t * int) option)
+  * (fn:string -> pristine:Ir.Graph.t -> optimized:Ir.Graph.t -> work:int -> unit)

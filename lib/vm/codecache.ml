@@ -9,7 +9,12 @@
     Entries are generation-stamped: every install mints a fresh version
     number (engine-global, monotonic), which also keys the interpreter's
     i-cache so an optimized body never shares modelled cache lines with
-    the tier-0 body it shadows. *)
+    the tier-0 body it shadows.
+
+    All operations are serialized on an internal mutex, so a cache can
+    be shared between the dispatching domain and background
+    installers/spillers: the LRU size bound and version monotonicity
+    hold under concurrent install/lookup/invalidate. *)
 
 type entry = {
   ce_fn : string;
@@ -23,6 +28,7 @@ type entry = {
 
 type t = {
   capacity : int;  (** total installed code size budget *)
+  mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;
   mutable lru : string list;  (** most recently used first *)
   mutable used : int;
@@ -35,6 +41,7 @@ type t = {
 let create ~capacity =
   {
     capacity;
+    mutex = Mutex.create ();
     table = Hashtbl.create 16;
     lru = [];
     used = 0;
@@ -44,9 +51,13 @@ let create ~capacity =
     invalidations = 0;
   }
 
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
 let touch t fn = t.lru <- fn :: List.filter (fun f -> f <> fn) t.lru
 
-let remove t fn =
+let remove_unlocked t fn =
   match Hashtbl.find_opt t.table fn with
   | None -> ()
   | Some e ->
@@ -57,58 +68,61 @@ let remove t fn =
 (** Install an optimized body, evicting LRU entries (never the one just
     installed) until the size budget holds.  Returns the new entry. *)
 let install t ~fn ~body ~samples ~work =
-  remove t fn;
-  let e =
-    {
-      ce_fn = fn;
-      ce_body = body;
-      ce_version = t.next_version;
-      ce_size = Costmodel.Estimate.graph_size body;
-      ce_samples = samples;
-      ce_work = work;
-      ce_hits = 0;
-    }
-  in
-  t.next_version <- t.next_version + 1;
-  t.installs <- t.installs + 1;
-  Hashtbl.replace t.table fn e;
-  t.lru <- fn :: t.lru;
-  t.used <- t.used + e.ce_size;
-  let rec evict () =
-    if t.used > t.capacity then
-      match List.rev t.lru with
-      | victim :: _ when victim <> fn ->
-          remove t victim;
-          t.evictions <- t.evictions + 1;
-          evict ()
-      | _ -> () (* only the fresh entry left; it stays even if oversized *)
-  in
-  evict ();
-  e
+  locked t (fun () ->
+      remove_unlocked t fn;
+      let e =
+        {
+          ce_fn = fn;
+          ce_body = body;
+          ce_version = t.next_version;
+          ce_size = Costmodel.Estimate.graph_size body;
+          ce_samples = samples;
+          ce_work = work;
+          ce_hits = 0;
+        }
+      in
+      t.next_version <- t.next_version + 1;
+      t.installs <- t.installs + 1;
+      Hashtbl.replace t.table fn e;
+      t.lru <- fn :: t.lru;
+      t.used <- t.used + e.ce_size;
+      let rec evict () =
+        if t.used > t.capacity then
+          match List.rev t.lru with
+          | victim :: _ when victim <> fn ->
+              remove_unlocked t victim;
+              t.evictions <- t.evictions + 1;
+              evict ()
+          | _ -> () (* only the fresh entry left; it stays even if oversized *)
+      in
+      evict ();
+      e)
 
 (** Dispatch lookup: bumps LRU position and hit count. *)
 let lookup t fn =
-  match Hashtbl.find_opt t.table fn with
-  | None -> None
-  | Some e ->
-      touch t fn;
-      e.ce_hits <- e.ce_hits + 1;
-      Some e
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table fn with
+      | None -> None
+      | Some e ->
+          touch t fn;
+          e.ce_hits <- e.ce_hits + 1;
+          Some e)
 
 (** Non-perturbing lookup (no LRU/hit update). *)
-let peek t fn = Hashtbl.find_opt t.table fn
+let peek t fn = locked t (fun () -> Hashtbl.find_opt t.table fn)
 
 (** Drop [fn]'s entry (deoptimization). *)
 let invalidate t fn =
-  if Hashtbl.mem t.table fn then begin
-    remove t fn;
-    t.invalidations <- t.invalidations + 1
-  end
+  locked t (fun () ->
+      if Hashtbl.mem t.table fn then begin
+        remove_unlocked t fn;
+        t.invalidations <- t.invalidations + 1
+      end)
 
 (** All live entries, in function-name order. *)
 let entries t =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  locked t (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
   |> List.sort (fun a b -> compare a.ce_fn b.ce_fn)
 
-let used t = t.used
-let size t = Hashtbl.length t.table
+let used t = locked t (fun () -> t.used)
+let size t = locked t (fun () -> Hashtbl.length t.table)

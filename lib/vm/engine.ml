@@ -40,12 +40,29 @@ type config = {
   deopt_plan : (string * int) option;
       (** force a deoptimization in [fn]'s [n]-th tier-1 frame (1-based;
           fires once) — the runtime analogue of a fault plan *)
+  warm_lookup :
+    (fn:string -> pristine:Ir.Graph.t -> (Ir.Graph.t * int) option) option;
+      (** compilation-service warm start: given a function's {e pristine}
+          tier-0 body (profile deliberately excluded from the key — a
+          stale-profile body is still a correct body, deopt guards it),
+          return a previously published optimized body and its work
+          units.  Consulted on first-time promotions only; drift
+          recompiles always recompile. *)
+  warm_spill :
+    (fn:string ->
+    pristine:Ir.Graph.t ->
+    optimized:Ir.Graph.t ->
+    work:int ->
+    unit)
+    option;
+      (** publish a background-compile result keyed by the same pristine
+          body, so the next engine lifetime warm-starts *)
 }
 
 let config ?(policy = Policy.default) ?(compile = Dbds.Config.dbds)
     ?cache_capacity ?(jobs = 1) ?(batch = 1)
     ?(icache = Machine.default_icache) ?(fuel = 10_000_000)
-    ?(deopt_penalty = 200.0) ?deopt_plan () =
+    ?(deopt_penalty = 200.0) ?deopt_plan ?warm_lookup ?warm_spill () =
   {
     policy;
     compile;
@@ -59,6 +76,8 @@ let config ?(policy = Policy.default) ?(compile = Dbds.Config.dbds)
     fuel;
     deopt_penalty;
     deopt_plan;
+    warm_lookup;
+    warm_spill;
   }
 
 type t = {
@@ -128,24 +147,49 @@ let base_graph t fn =
 (* Compilation requests                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Warm start: on a first-time promotion, ask the attached artifact
+   store for an optimized body before spending any compile effort.  A
+   hit installs directly — no queue, no pipeline — with the current
+   profile as the drift baseline. *)
+let try_warm_start t fn =
+  match t.cfg.warm_lookup with
+  | None -> false
+  | Some lookup -> (
+      match lookup ~fn ~pristine:(base_graph t fn) with
+      | None ->
+          t.stats.Vmstats.service_misses <-
+            t.stats.Vmstats.service_misses + 1;
+          false
+      | Some (body, work) ->
+          ignore
+            (Codecache.install t.cache ~fn ~body
+               ~samples:(Profile.samples_of t.profile ~fn)
+               ~work);
+          Hashtbl.replace t.snapshots fn (Profile.snapshot t.profile);
+          t.stats.Vmstats.service_hits <- t.stats.Vmstats.service_hits + 1;
+          true)
+
 let enqueue_compile t fn ~recompile =
   let c = counters_of t fn in
-  c.Policy.pending <- true;
   c.Policy.attempts <- c.Policy.attempts + 1;
   if recompile then t.stats.Vmstats.recompilations <- t.stats.Vmstats.recompilations + 1
   else t.stats.Vmstats.promotions <- t.stats.Vmstats.promotions + 1;
-  let body = Ir.Graph.copy (base_graph t fn) in
-  Profile.apply_graph t.profile body;
-  Compilequeue.enqueue t.queue
-    {
-      Compilequeue.rq_fn = fn;
-      rq_body = body;
-      rq_profile = Profile.render (Profile.snapshot t.profile);
-      rq_samples = Profile.samples_of t.profile ~fn;
-      rq_recompile = recompile;
-    };
-  t.stats.Vmstats.max_queue_depth <-
-    max t.stats.Vmstats.max_queue_depth (Compilequeue.depth t.queue)
+  if (not recompile) && try_warm_start t fn then ()
+  else begin
+    c.Policy.pending <- true;
+    let body = Ir.Graph.copy (base_graph t fn) in
+    Profile.apply_graph t.profile body;
+    Compilequeue.enqueue t.queue
+      {
+        Compilequeue.rq_fn = fn;
+        rq_body = body;
+        rq_profile = Profile.render (Profile.snapshot t.profile);
+        rq_samples = Profile.samples_of t.profile ~fn;
+        rq_recompile = recompile;
+      };
+    t.stats.Vmstats.max_queue_depth <-
+      max t.stats.Vmstats.max_queue_depth (Compilequeue.depth t.queue)
+  end
 
 let drain t =
   let outcomes = Compilequeue.drain t.queue in
@@ -162,7 +206,14 @@ let drain t =
           Hashtbl.replace t.snapshots rq.Compilequeue.rq_fn
             (Profile.parse rq.Compilequeue.rq_profile);
           t.stats.Vmstats.compiles <- t.stats.Vmstats.compiles + 1;
-          t.stats.Vmstats.compile_work <- t.stats.Vmstats.compile_work + work
+          t.stats.Vmstats.compile_work <- t.stats.Vmstats.compile_work + work;
+          (match t.cfg.warm_spill with
+          | None -> ()
+          | Some spill ->
+              let fn = rq.Compilequeue.rq_fn in
+              spill ~fn ~pristine:(base_graph t fn) ~optimized:body ~work;
+              t.stats.Vmstats.service_spills <-
+                t.stats.Vmstats.service_spills + 1)
       | Error f ->
           t.stats.Vmstats.compile_failures <-
             t.stats.Vmstats.compile_failures + 1;

@@ -25,6 +25,12 @@ type t = {
   mutable deopt_penalty_cycles : float;  (** flat transition cost charged *)
   mutable max_queue_depth : int;
   mutable compile_work : int;  (** work units spent in background compiles *)
+  mutable service_hits : int;
+      (** promotions warm-started from the artifact store (no compile) *)
+  mutable service_misses : int;
+      (** promotions that consulted the store and found nothing *)
+  mutable service_spills : int;
+      (** background-compile results published to the store *)
 }
 
 let create () =
@@ -45,6 +51,9 @@ let create () =
     deopt_penalty_cycles = 0.0;
     max_queue_depth = 0;
     compile_work = 0;
+    service_hits = 0;
+    service_misses = 0;
+    service_spills = 0;
   }
 
 let total_calls t = t.interpreted_calls + t.optimized_calls
@@ -60,13 +69,14 @@ let pp ppf t =
      promotions: %d (+%d recompilations), compiles: %d ok / %d failed@,\
      deopts: %d, cache evictions: %d, invalidations: %d@,\
      cycles: %.0f tier-0, %.0f tier-1 (%.0f wasted by deopt, %.0f penalty)@,\
-     compile queue: max depth %d, %d work units@]"
+     compile queue: max depth %d, %d work units@,\
+     service: %d warm hits, %d misses, %d spills@]"
     t.interpreted_calls t.sampled_calls t.optimized_calls
     (100.0 *. tier1_share t)
     t.promotions t.recompilations t.compiles t.compile_failures t.deopts
     t.evictions t.invalidations t.tier0_cycles t.tier1_cycles
     t.deopt_wasted_cycles t.deopt_penalty_cycles t.max_queue_depth
-    t.compile_work
+    t.compile_work t.service_hits t.service_misses t.service_spills
 
 (** The counters a differential test compares across [jobs] values —
     everything except wall-clock-ish incidentals (there are none today,
@@ -74,8 +84,9 @@ let pp ppf t =
 let fingerprint t =
   Printf.sprintf
     "i=%d s=%d o=%d p=%d r=%d c=%d cf=%d d=%d ev=%d inv=%d t0=%.3f t1=%.3f \
-     dw=%.3f dp=%.3f q=%d w=%d"
+     dw=%.3f dp=%.3f q=%d w=%d sh=%d sm=%d sp=%d"
     t.interpreted_calls t.sampled_calls t.optimized_calls t.promotions
     t.recompilations t.compiles t.compile_failures t.deopts t.evictions
     t.invalidations t.tier0_cycles t.tier1_cycles t.deopt_wasted_cycles
-    t.deopt_penalty_cycles t.max_queue_depth t.compile_work
+    t.deopt_penalty_cycles t.max_queue_depth t.compile_work t.service_hits
+    t.service_misses t.service_spills

@@ -19,6 +19,21 @@ let () =
       List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) vs;
       Printf.eprintf "%d containment violation(s)\n" (List.length vs);
       exit 1);
+  (* Artifact-store property (reduced count for runtest): torn writes,
+     torn publications and read faults never crash; corrupted entries
+     are evicted and recompiled; cold and warm passes match an uncached
+     reference at jobs:1 and jobs:4. *)
+  let s = Harness.Fuzz.run_service ~graph_seeds:(List.init 6 Fun.id) () in
+  Printf.printf
+    "fuzz service: %d pairs run, %d store hits, %d degraded-and-recovered\n"
+    s.Harness.Fuzz.s_pairs_run s.Harness.Fuzz.s_store_hits
+    s.Harness.Fuzz.s_recovered;
+  (match s.Harness.Fuzz.s_violations with
+  | [] -> ()
+  | vs ->
+      List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) vs;
+      Printf.eprintf "%d service violation(s)\n" (List.length vs);
+      exit 1);
   (* Tiered-VM property (reduced count for runtest): every engine run
      byte-identical to tier-0-only interpretation, deterministic in
      jobs. *)

@@ -25,4 +25,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("harness", Test_harness.suite);
       ("vm", Test_vm.suite);
+      ("service", Test_service.suite);
     ]

@@ -121,6 +121,9 @@ let test_of_seed_deterministic () =
 (* Containment                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Store sites are contained inside the artifact store as degraded
+   operations (never driver failures) — their firing is asserted in the
+   service suite. *)
 let test_every_site_fires () =
   List.iter
     (fun site ->
@@ -133,7 +136,7 @@ let test_every_site_fires () =
       | l ->
           Alcotest.failf "%s: expected exactly one failure, got %d" name
             (List.length l))
-    F.all_sites
+    F.pipeline_sites
 
 let test_rollback_byte_identity () =
   List.iter

@@ -1,0 +1,489 @@
+(** The compilation service: digest stability, the content-addressed
+    artifact store (atomicity, checksum degradation, LRU GC, fault
+    containment, the parsed-artifact memo), the driver cache hook, VM
+    warm-start hooks, broker coalescing / backpressure / deadlines, and
+    the wire protocol. *)
+
+open Helpers
+module F = Dbds.Faults
+module SD = Service.Digest
+module SS = Service.Store
+module SB = Service.Broker
+module SP = Service.Protocol
+
+let figure1 =
+  {|
+  int main(int x) {
+    int phi;
+    if (x > 0) { phi = x; } else { phi = 0; }
+    return 2 + phi;
+  }
+|}
+
+let trio =
+  {|
+  int f(int x) { int a; if (x > 0) { a = x; } else { a = 1; } return a * 2; }
+  int g(int x) { int b; if (x > 3) { b = x + 1; } else { b = 2; } return b + b; }
+  int main(int x) { return f(x) + g(x); }
+|}
+
+let main_of prog = Option.get (Ir.Program.find_function prog "main")
+let config = Dbds.Config.default
+
+(* A scratch store directory, removed when [f] finishes. *)
+let with_store ?capacity f =
+  let dir = Filename.temp_dir "dbds-test-service" ".store" in
+  let rm_rf () =
+    (match Sys.readdir dir with
+    | names ->
+        Array.iter
+          (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          names
+    | exception Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:rm_rf (fun () ->
+      f (SS.create ?capacity ~dir ()))
+
+let plan ?fn site hit = { F.seed = 0; site; hit; fn }
+let armed plan f = F.armed (Some plan) ~fn:"main" f
+
+(* A small canonical artifact payload to publish. *)
+let canonical_main src = SD.canonical_of_graph (main_of (compile src))
+
+(* ------------------------------------------------------------------ *)
+(* Digest                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The streaming hash must agree with the print -> parse round-trip:
+   both normalize ids the same way. *)
+let test_digest_roundtrip () =
+  List.iter
+    (fun src ->
+      let prog = compile src in
+      Ir.Program.iter_functions prog (fun g ->
+          let direct = SD.ir_hash_of_graph g in
+          let through_text = SD.ir_hash_of_text (Ir.Printer.graph_to_string g) in
+          Alcotest.(check string)
+            (Ir.Graph.name g ^ ": hash survives print/parse")
+            direct through_text))
+    [ figure1; trio ]
+
+(* Renumber every value and block id injectively in the printed text;
+   the hash must not move (ids are representation, not content). *)
+let renumber text =
+  let buf = Buffer.create (String.length text * 2) in
+  let n = String.length text in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if
+      (c = 'v' || c = 'b')
+      && (!i = 0 || not (is_word text.[!i - 1]))
+      && !i + 1 < n
+      && is_digit text.[!i + 1]
+    then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_digit text.[!j] do incr j done;
+      let id = int_of_string (String.sub text (!i + 1) (!j - !i - 1)) in
+      let id' = if c = 'v' then (2 * id) + 5 else (3 * id) + 1 in
+      Buffer.add_char buf c;
+      Buffer.add_string buf (string_of_int id');
+      i := !j
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let test_digest_renumbering_invariant () =
+  let text = Ir.Printer.graph_to_string (main_of (compile trio)) in
+  let renumbered = renumber text in
+  Alcotest.(check bool) "renumbering changed the text" true (text <> renumbered);
+  Alcotest.(check string) "hash invariant under id renumbering"
+    (SD.ir_hash_of_text text)
+    (SD.ir_hash_of_text renumbered)
+
+let test_digest_sensitivity () =
+  let g = main_of (compile figure1) in
+  let rq = SD.request_of_graph ~config g in
+  let base = SD.of_request rq in
+  let differs what rq' =
+    Alcotest.(check bool) (what ^ " changes the digest") true
+      (SD.of_request rq' <> base)
+  in
+  differs "config"
+    (SD.request_of_graph
+       ~config:{ config with Dbds.Config.mode = Dbds.Config.Dupalot }
+       g);
+  differs "context" (SD.request_of_graph ~context:"other" ~config g);
+  differs "spec" { rq with SD.rq_spec = rq.SD.rq_spec ^ ";extra" };
+  differs "cost revision"
+    { rq with SD.rq_cost_revision = rq.SD.rq_cost_revision + 1 };
+  differs "ir" { rq with SD.rq_ir_hash = SD.fnv64 "something else" };
+  (* And the body actually feeds the hash. *)
+  let other = main_of (compile trio) in
+  Alcotest.(check bool) "different bodies hash differently" true
+    (SD.ir_hash_of_graph g <> SD.ir_hash_of_graph other)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_roundtrip () =
+  with_store (fun st ->
+      let ir = canonical_main figure1 in
+      SS.put st ~digest:"d1" ~fn:"main" ~ir ~work:42;
+      (match SS.get st ~digest:"d1" with
+      | Some e ->
+          Alcotest.(check string) "fn" "main" e.SS.ar_fn;
+          Alcotest.(check string) "ir" ir e.SS.ar_ir;
+          Alcotest.(check int) "work" 42 e.SS.ar_work
+      | None -> Alcotest.fail "published artifact not found");
+      Alcotest.(check bool) "miss on unknown digest" true
+        (SS.get st ~digest:"nope" = None);
+      let s = SS.stats st in
+      Alcotest.(check int) "one write" 1 s.SS.writes;
+      Alcotest.(check int) "one hit" 1 s.SS.hits;
+      Alcotest.(check int) "one miss" 1 s.SS.misses)
+
+let test_store_corruption_degrades () =
+  with_store (fun st ->
+      SS.put st ~digest:"d1" ~fn:"main" ~ir:(canonical_main figure1) ~work:1;
+      (* Rot the artifact on disk behind the store's back. *)
+      let path = Filename.concat (SS.dir st) "d1.art" in
+      let oc = open_out_bin path in
+      output_string oc "garbage, not an artifact";
+      close_out oc;
+      Alcotest.(check bool) "corrupt entry reads as a miss" true
+        (SS.get st ~digest:"d1" = None);
+      Alcotest.(check int) "corruption counted" 1 (SS.stats st).SS.corrupt;
+      Alcotest.(check bool) "corrupt file evicted" false (Sys.file_exists path))
+
+let test_store_lru_eviction () =
+  let ir = canonical_main figure1 in
+  (* Room for roughly two artifacts. *)
+  with_store ~capacity:((String.length ir + 128) * 2) (fun st ->
+      List.iter
+        (fun d -> SS.put st ~digest:d ~fn:"main" ~ir ~work:1)
+        [ "d1"; "d2"; "d3"; "d4" ];
+      let s = SS.stats st in
+      Alcotest.(check bool) "evictions happened" true (s.SS.evictions > 0);
+      Alcotest.(check bool) "budget holds" true
+        (SS.used st <= (String.length ir + 128) * 2);
+      Alcotest.(check bool) "most recent entry survives" true
+        (SS.get st ~digest:"d4" <> None);
+      Alcotest.(check bool) "oldest entry evicted" true
+        (SS.get st ~digest:"d1" = None))
+
+(* Every store fault site fires, is contained as a degraded operation,
+   and the store recovers on the next attempt. *)
+let test_store_fault_sites () =
+  let ir = canonical_main figure1 in
+  (* Torn temp write: the publication never happens. *)
+  with_store (fun st ->
+      armed (plan F.Store_write 1) (fun () ->
+          SS.put st ~digest:"d1" ~fn:"main" ~ir ~work:1);
+      Alcotest.(check int) "write failure counted" 1
+        (SS.stats st).SS.write_failures;
+      Alcotest.(check bool) "no file published" false
+        (Sys.file_exists (Filename.concat (SS.dir st) "d1.art"));
+      SS.put st ~digest:"d1" ~fn:"main" ~ir ~work:1;
+      Alcotest.(check bool) "store recovers after torn write" true
+        (SS.get st ~digest:"d1" <> None));
+  (* Torn publish: a truncated file appears under the final name; the
+     next read sees the checksum mismatch and degrades to a miss. *)
+  with_store (fun st ->
+      armed (plan F.Store_rename 1) (fun () ->
+          SS.put st ~digest:"d1" ~fn:"main" ~ir ~work:1);
+      Alcotest.(check bool) "torn file exists" true
+        (Sys.file_exists (Filename.concat (SS.dir st) "d1.art"));
+      Alcotest.(check bool) "torn entry reads as a miss" true
+        (SS.get st ~digest:"d1" = None);
+      Alcotest.(check int) "corruption counted" 1 (SS.stats st).SS.corrupt;
+      SS.put st ~digest:"d1" ~fn:"main" ~ir ~work:1;
+      Alcotest.(check bool) "store recovers after torn publish" true
+        (SS.get st ~digest:"d1" <> None));
+  (* Injected read failure: contained, counted, and transient. *)
+  with_store (fun st ->
+      SS.put st ~digest:"d1" ~fn:"main" ~ir ~work:1;
+      armed (plan F.Store_read 1) (fun () ->
+          Alcotest.(check bool) "injected read degrades to a miss" true
+            (SS.get st ~digest:"d1" = None));
+      Alcotest.(check int) "read failure counted" 1
+        (SS.stats st).SS.read_failures;
+      Alcotest.(check bool) "entry still readable afterwards" true
+        (SS.get st ~digest:"d1" <> None))
+
+let test_store_get_graph_memo () =
+  with_store (fun st ->
+      SS.put st ~digest:"d1" ~fn:"main" ~ir:(canonical_main figure1) ~work:3;
+      let g1 =
+        match SS.get_graph st ~digest:"d1" with
+        | Some (e, g) ->
+            Alcotest.(check int) "work carried" 3 e.SS.ar_work;
+            g
+        | None -> Alcotest.fail "first get_graph missed"
+      in
+      (match SS.get_graph st ~digest:"d1" with
+      | Some (_, g2) ->
+          Alcotest.(check bool) "repeat lookups share one parse" true (g1 == g2)
+      | None -> Alcotest.fail "second get_graph missed");
+      (* Dropping the entry drops the memo with it. *)
+      SS.discard st ~digest:"d1";
+      Alcotest.(check bool) "memo does not outlive the file" true
+        (SS.get_graph st ~digest:"d1" = None);
+      (* Checksummed-but-unparsable IR is semantic corruption: evicted. *)
+      SS.put st ~digest:"d2" ~fn:"main" ~ir:"fn broken(" ~work:1;
+      Alcotest.(check bool) "unparsable artifact degrades to a miss" true
+        (SS.get_graph st ~digest:"d2" = None);
+      Alcotest.(check bool) "unparsable artifact evicted" false
+        (Sys.file_exists (Filename.concat (SS.dir st) "d2.art")))
+
+(* ------------------------------------------------------------------ *)
+(* Driver cache hook                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_with cache prog =
+  ignore
+    (Dbds.Driver.optimize_program_report ~config ~inline:false ~jobs:1 ~cache
+       prog);
+  prog
+
+let test_driver_cache_warm_identical () =
+  with_store (fun st ->
+      let fingerprint prog =
+        let acc = ref [] in
+        Ir.Program.iter_functions prog (fun g ->
+            acc := (Ir.Graph.name g, SD.canonical_of_graph g) :: !acc);
+        List.sort compare !acc
+      in
+      let context = SD.context_of_program (compile trio) in
+      let cache = SS.driver_cache ~context st in
+      let cold = fingerprint (optimize_with cache (compile trio)) in
+      let s = SS.stats st in
+      Alcotest.(check bool) "cold run publishes" true (s.SS.writes > 0);
+      let hits_before = s.SS.hits in
+      let warm = fingerprint (optimize_with cache (compile trio)) in
+      Alcotest.(check bool) "warm run hits" true (s.SS.hits > hits_before);
+      Alcotest.(check bool) "warm output byte-identical to cold" true
+        (cold = warm);
+      (* The same functions, uncached, agree too. *)
+      let direct = fingerprint (optimize_with (SS.driver_cache st) (compile trio)) in
+      List.iter2
+        (fun (n, a) (_, b) ->
+          Alcotest.(check string) (n ^ ": cached = direct") b a)
+        warm direct)
+
+(* ------------------------------------------------------------------ *)
+(* VM warm-start hooks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_hooks_roundtrip () =
+  with_store (fun st ->
+      let lookup, spill = Service.Warm.hooks ~config st in
+      let pristine = main_of (compile figure1) in
+      Alcotest.(check bool) "cold lookup misses" true
+        (lookup ~fn:"main" ~pristine = None);
+      (* Optimize a copy to play the role of the tier-1 body. *)
+      let p = Ir.Program.of_graph (Ir.Graph.copy pristine) in
+      ignore (Dbds.Driver.optimize_program_report ~config ~inline:false ~jobs:1 p);
+      let optimized = main_of p in
+      spill ~fn:"main" ~pristine ~optimized ~work:9;
+      match lookup ~fn:"main" ~pristine with
+      | None -> Alcotest.fail "spilled artifact not found"
+      | Some (g, work) ->
+          Alcotest.(check int) "work survives the round-trip" 9 work;
+          Alcotest.(check string) "body survives the round-trip"
+            (SD.canonical_of_graph optimized)
+            (SD.canonical_of_graph g);
+          check_verifies g)
+
+(* ------------------------------------------------------------------ *)
+(* Broker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ir_of_fn src fn =
+  Ir.Printer.graph_to_string
+    (Option.get (Ir.Program.find_function (compile src) fn))
+
+let test_broker_coalescing () =
+  let ir = ir_of_fn figure1 "main" in
+  let b = SB.create ~workers:2 ~delay_s:0.3 ~store:None () in
+  Fun.protect
+    ~finally:(fun () -> SB.shutdown b)
+    (fun () ->
+      let domains =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () -> SB.submit ~config ~fn:"main" ~ir b))
+      in
+      let outcomes = List.map Domain.join domains in
+      let irs =
+        List.map
+          (function
+            | SB.Done { ir; from_cache = false; _ } -> ir
+            | o -> Alcotest.failf "unexpected outcome %s" (SB.outcome_label o))
+          outcomes
+      in
+      (match irs with
+      | first :: rest ->
+          List.iter
+            (Alcotest.(check string) "coalesced outcomes identical" first)
+            rest
+      | [] -> assert false);
+      let s = SB.stats b in
+      Alcotest.(check int) "exactly one pipeline execution" 1 s.SB.compiles;
+      Alcotest.(check int) "three requests coalesced" 3 s.SB.coalesced;
+      Alcotest.(check int) "four requests" 4 s.SB.requests)
+
+let test_broker_backpressure () =
+  let b = SB.create ~workers:1 ~queue_limit:1 ~delay_s:0.6 ~store:None () in
+  Fun.protect
+    ~finally:(fun () -> SB.shutdown b)
+    (fun () ->
+      (* Distinct digests so nothing coalesces: the first occupies the
+         single worker, the second the single queue slot. *)
+      let submit fn src =
+        Domain.spawn (fun () -> SB.submit ~config ~fn ~ir:(ir_of_fn src fn) b)
+      in
+      let d1 = submit "f" trio in
+      Unix.sleepf 0.15;
+      let d2 = submit "g" trio in
+      Unix.sleepf 0.15;
+      let third =
+        SB.submit ~config ~fn:"main" ~ir:(ir_of_fn figure1 "main") ~delay_s:0. b
+      in
+      Alcotest.(check string) "third request shed" "shed"
+        (SB.outcome_label third);
+      Alcotest.(check int) "shed counted" 1 (SB.stats b).SB.shed;
+      List.iter
+        (fun d ->
+          match Domain.join d with
+          | SB.Done _ -> ()
+          | o -> Alcotest.failf "queued request %s" (SB.outcome_label o))
+        [ d1; d2 ])
+
+let test_broker_deadline () =
+  let b = SB.create ~workers:1 ~store:None () in
+  Fun.protect
+    ~finally:(fun () -> SB.shutdown b)
+    (fun () ->
+      let o =
+        SB.submit ~deadline_s:(-0.1) ~config ~fn:"main"
+          ~ir:(ir_of_fn figure1 "main") b
+      in
+      Alcotest.(check string) "expired deadline times out at admission"
+        "timed-out" (SB.outcome_label o);
+      Alcotest.(check int) "timeout counted" 1 (SB.stats b).SB.timeouts)
+
+let test_broker_bad_request () =
+  let b = SB.create ~workers:1 ~store:None () in
+  Fun.protect
+    ~finally:(fun () -> SB.shutdown b)
+    (fun () ->
+      match SB.submit ~config ~fn:"main" ~ir:"fn broken(" b with
+      | SB.Rejected _ -> ()
+      | o -> Alcotest.failf "expected rejection, got %s" (SB.outcome_label o))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let via_wire msgs =
+  let path = Filename.temp_file "dbds-test-proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      List.iter (SP.write oc) msgs;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> List.map (fun _ -> SP.read ic) msgs))
+
+let test_protocol_roundtrip () =
+  let m1 =
+    {
+      SP.verb = "compile";
+      fields =
+        [
+          ("fn", "main");
+          ("ir", "fn main(1 params) entry=b0\nb0:\n  return v0\n");
+          ("config", Dbds.Config.to_line config);
+        ];
+    }
+  in
+  let m2 = { SP.verb = "ping"; fields = [] } in
+  (match via_wire [ m1; m2 ] with
+  | [ Ok r1; Ok r2 ] ->
+      Alcotest.(check bool) "multi-line payload survives" true (r1 = m1);
+      Alcotest.(check bool) "empty message survives" true (r2 = m2);
+      Alcotest.(check (option string)) "field access" (Some "main")
+        (SP.field r1 "fn");
+      Alcotest.(check string) "field default" "none"
+        (SP.field_or r1 "missing" "none")
+  | rs ->
+      Alcotest.failf "round-trip failed: %s"
+        (String.concat "; "
+           (List.map (function Ok _ -> "ok" | Error e -> e) rs)));
+  (* Garbage input is an [Error], never an exception. *)
+  let path = Filename.temp_file "dbds-test-proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "nonsense without a header\n";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match SP.read ic with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "garbage parsed as a message"))
+
+let test_protocol_outcomes () =
+  List.iter
+    (fun o ->
+      match SP.outcome_of_reply (SP.reply_of_outcome o) with
+      | Ok o' ->
+          Alcotest.(check bool)
+            (SB.outcome_label o ^ " survives the wire")
+            true (o = o')
+      | Error e -> Alcotest.failf "%s: %s" (SB.outcome_label o) e)
+    [
+      SB.Done { ir = "fn f(0 params) entry=b0\nb0:\n  return\n"; work = 7; from_cache = false };
+      SB.Done { ir = "multi\nline"; work = 0; from_cache = true };
+      SB.Failed "transform.apply: Injected";
+      SB.Timed_out;
+      SB.Shed;
+      SB.Rejected "parse: bad input";
+    ]
+
+let suite =
+  [
+    test "digest: hash survives print/parse round-trip" test_digest_roundtrip;
+    test "digest: invariant under id renumbering"
+      test_digest_renumbering_invariant;
+    test "digest: sensitive to every request component" test_digest_sensitivity;
+    test "store: publish and read back" test_store_roundtrip;
+    test "store: corruption degrades to a miss" test_store_corruption_degrades;
+    test "store: LRU eviction bounds the budget" test_store_lru_eviction;
+    test "store: every fault site contained" test_store_fault_sites;
+    test "store: parsed-artifact memo" test_store_get_graph_memo;
+    test "driver cache: warm run byte-identical" test_driver_cache_warm_identical;
+    test "warm hooks: spill and lookup round-trip" test_warm_hooks_roundtrip;
+    test "broker: identical requests coalesce" test_broker_coalescing;
+    test "broker: full queue sheds" test_broker_backpressure;
+    test "broker: expired deadline" test_broker_deadline;
+    test "broker: malformed request rejected" test_broker_bad_request;
+    test "protocol: message round-trip" test_protocol_roundtrip;
+    test "protocol: outcome round-trip" test_protocol_outcomes;
+  ]

@@ -282,6 +282,46 @@ let test_codecache_unit () =
   Alcotest.(check bool) "invalidated" true (Vm.Codecache.peek c "work" = None);
   Alcotest.(check int) "one left" 1 (Vm.Codecache.size c)
 
+(* The cache is shared between the dispatching domain and background
+   installers: a storm of parallel install/lookup/invalidate must keep
+   the LRU size bound and mint distinct, dense version numbers. *)
+let test_codecache_concurrent () =
+  let prog = compile hot_src in
+  let body name = Ir.Graph.copy (Option.get (Ir.Program.find_function prog name)) in
+  let unit_size = Costmodel.Estimate.graph_size (body "work") in
+  (* Room for about two bodies, so the storm constantly evicts. *)
+  let capacity = (2 * unit_size) + 1 in
+  let c = Vm.Codecache.create ~capacity in
+  let rounds = 25 in
+  let storm d =
+    let versions = ref [] in
+    for i = 0 to rounds - 1 do
+      let fn = Printf.sprintf "fn%d" ((i + d) mod 4) in
+      let e = Vm.Codecache.install c ~fn ~body:(body "work") ~samples:i ~work:i in
+      versions := e.Vm.Codecache.ce_version :: !versions;
+      ignore (Vm.Codecache.lookup c fn);
+      if i mod 7 = d then Vm.Codecache.invalidate c fn
+    done;
+    !versions
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (fun () -> storm d)) in
+  let versions = List.concat_map Domain.join domains in
+  Alcotest.(check bool) "size budget holds after the storm" true
+    (Vm.Codecache.used c <= capacity);
+  let sorted = List.sort compare versions in
+  Alcotest.(check int) "every install minted a version" (4 * rounds)
+    (List.length sorted);
+  Alcotest.(check bool) "versions are distinct" true
+    (List.length (List.sort_uniq compare sorted) = 4 * rounds);
+  (* Monotonic and gap-free: the n-th install (in version order) got
+     version n. *)
+  List.iteri
+    (fun i v -> Alcotest.(check int) "versions are dense from 1" (i + 1) v)
+    sorted;
+  let e = Vm.Codecache.install c ~fn:"after" ~body:(body "work") ~samples:0 ~work:0 in
+  Alcotest.(check int) "next version continues the sequence"
+    ((4 * rounds) + 1) e.Vm.Codecache.ce_version
+
 let test_policy_unit () =
   let p = { Vm.Policy.default with Vm.Policy.invocation_threshold = 3 } in
   let c = Vm.Policy.fresh_counters () in
@@ -387,6 +427,7 @@ let suite =
     test "drift triggers recompilation" test_drift_recompilation;
     test "jobs 1 = jobs 4" test_jobs_deterministic;
     test "codecache unit" test_codecache_unit;
+    test "codecache concurrent storm" test_codecache_concurrent;
     test "policy unit" test_policy_unit;
     test "bundle profile roundtrip" test_bundle_profile_roundtrip;
     test "compile crash bundle records profile" test_compile_crash_bundle_records_profile;
