@@ -1,0 +1,81 @@
+(** CI bench-smoke: the scaling and identity gates, fast enough to run
+    on every push.
+
+    The scaling gate runs over all suites as one batch — the compile
+    server's actual workload shape — so no single pathological
+    benchmark (fig5's [pmd], an 8 ms function among 0.3 ms peers, caps
+    that suite's 2-worker speedup near 1.3x by itself) can flap the
+    gate.
+
+    Fails (exit 1) when:
+    - the modeled batch speedup at jobs=2 drops below 1.3x — the
+      speedup is modeled by replaying measured per-benchmark costs
+      through the scheduler's LPT assignment because CI runners are
+      frequently single-core (wall-clock "speedup" there measures the
+      OS, not the scheduler);
+    - the compiled IR stops being byte-identical across jobs values;
+    - warm service recompiles stop being byte-identical to cold ones. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  let benches =
+    List.concat_map
+      (fun s -> s.Workloads.Suite.benchmarks)
+      Workloads.Registry.all
+  in
+  let config = Dbds.Config.dbds in
+  let compile_one (b : Workloads.Suite.benchmark) ~jobs =
+    let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+    ignore (Dbds.Driver.optimize_program ~config ~jobs prog);
+    prog
+  in
+  (* Warmup, then measured per-benchmark costs (min of 3). *)
+  List.iter (fun b -> ignore (compile_one b ~jobs:1)) benches;
+  let cost b =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (compile_one b ~jobs:1);
+      let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let costs = Array.of_list (List.map cost benches) in
+  let makespan, total = Dbds.Parallel.lpt_makespan ~jobs:2 costs in
+  let speedup = if makespan > 0.0 then total /. makespan else 1.0 in
+  Printf.printf "bench-smoke: %d benchmarks across %d suites, batch %.2f \
+                 ms, modeled speedup_vs_jobs1 at jobs=2: %.2fx\n"
+    (List.length benches)
+    (List.length Workloads.Registry.all)
+    (total /. 1e6) speedup;
+  if speedup < 1.3 then
+    die "speedup_vs_jobs1 %.2f < 1.3 at jobs=2 (scheduler regression)" speedup;
+  (* Byte-identity of compiled IR across jobs. *)
+  let print_at jobs =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun b ->
+        let prog = compile_one b ~jobs in
+        Ir.Program.iter_functions prog (fun g ->
+            Buffer.add_string buf (Ir.Printer.graph_to_string g)))
+      benches;
+    Buffer.contents buf
+  in
+  let p1 = print_at 1 in
+  if not (String.equal p1 (print_at 2)) then
+    die "compiled IR differs between jobs=1 and jobs=2";
+  if not (String.equal p1 (print_at 4)) then
+    die "compiled IR differs between jobs=1 and jobs=4";
+  Printf.printf "bench-smoke: IR byte-identical at jobs 1/2/4\n";
+  (* Warm service recompiles must return byte-identical artifacts. *)
+  let s = Harness.Servicebench.measure_suite (List.hd Workloads.Registry.all) in
+  if not s.Harness.Metrics.sv_identical then
+    die "warm service recompile is not byte-identical to the cold compile";
+  Printf.printf
+    "bench-smoke: service warm pass identical (hit rate %.2f, warm speedup \
+     %.2fx)\n"
+    s.Harness.Metrics.sv_warm_hit_rate
+    (Harness.Metrics.service_speedup s);
+  print_endline "bench-smoke: OK"

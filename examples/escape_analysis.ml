@@ -24,8 +24,8 @@ let source =
 
 let count_allocations g =
   Ir.Graph.fold_instrs g
-    (fun n i ->
-      match i.Ir.Graph.kind with Ir.Types.New _ -> n + 1 | _ -> n)
+    (fun n id ->
+      match Ir.Graph.kind g id with Ir.Types.New _ -> n + 1 | _ -> n)
     0
 
 let () =
@@ -38,9 +38,9 @@ let () =
      the PEA applicability check looks for. *)
   let alloc =
     Ir.Graph.fold_instrs g
-      (fun acc i ->
-        match i.Ir.Graph.kind with
-        | Ir.Types.New _ -> Some i.Ir.Graph.ins_id
+      (fun acc id ->
+        match Ir.Graph.kind g id with
+        | Ir.Types.New _ -> Some id
         | _ -> acc)
       None
     |> Option.get

@@ -46,10 +46,10 @@ let () =
   Interp.Profile.apply profile prog;
   let g = Option.get (Ir.Program.find_function prog "main") in
   Format.printf "@.observed branch probabilities:@.";
-  Ir.Graph.iter_blocks g (fun b ->
-      match b.Ir.Graph.term with
+  Ir.Graph.iter_blocks g (fun bid ->
+      match Ir.Graph.term g bid with
       | Ir.Types.Branch { prob; _ } ->
-          Format.printf "  b%d: %.3f@." b.Ir.Graph.blk_id prob
+          Format.printf "  b%d: %.3f@." bid prob
       | _ -> ());
 
   (* Tier 2: compile with DBDS using the real profile. *)

@@ -25,8 +25,8 @@ let source =
 
 let count_loads g =
   Ir.Graph.fold_instrs g
-    (fun n i ->
-      match i.Ir.Graph.kind with Ir.Types.Load _ -> n + 1 | _ -> n)
+    (fun n id ->
+      match Ir.Graph.kind g id with Ir.Types.Load _ -> n + 1 | _ -> n)
     0
 
 let dynamic_instrs prog i =

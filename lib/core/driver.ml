@@ -110,11 +110,11 @@ let run_backtracking config ctx stats g =
     progress := false;
     let merges =
       G.fold_blocks g
-        (fun acc b ->
+        (fun acc bid ->
           if
-            List.length b.G.preds >= 2
-            && not (List.mem b.G.blk_id (G.succs g b.G.blk_id))
-          then b.G.blk_id :: acc
+            G.pred_count g bid >= 2
+            && not (List.mem bid (G.succs g bid))
+          then bid :: acc
           else acc)
         []
     in
@@ -318,6 +318,10 @@ let optimize_graph ?(config = Config.default) ctx g =
     ctx.Opt.Phase.check_contracts <- true
   end;
   ctx.Opt.Phase.preserve_analyses <- config.Config.preserve_analyses;
+  (* Diagnostic runs want every pass to really execute: fault-injection
+     hit counts and paranoid verification both observe pass bodies. *)
+  if config.Config.fault_plan <> None || config.Config.verify_between_phases
+  then ctx.Opt.Phase.memo_clean_passes <- false;
   let stats = fresh_stats () in
   let analyses_before = Ir.Analyses.stats g in
   ignore
@@ -488,7 +492,7 @@ type cache = {
     a crashing per-function pipeline is rolled back and reported in
     [rep_failures] while the remaining functions still optimize. *)
 let optimize_program_report ?(config = Config.default) ?(inline = true) ?jobs
-    ?cache program =
+    ?cache ?sched_stats program =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
   in
@@ -539,7 +543,8 @@ let optimize_program_report ?(config = Config.default) ?(inline = true) ?jobs
         (fun (name, s, f, wctx) ->
           Opt.Phase.merge_into ~into:ctx wctx;
           (name, s, f))
-        (Parallel.map ~jobs
+        (Parallel.map_weighted ?stats:sched_stats ~jobs
+           ~weight:G.live_instr_count
            (fun g ->
              let wctx = Opt.Phase.create ~program () in
              let name, s, f = optimize_one_cached config wctx g in

@@ -5,7 +5,31 @@
 (** [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
 
+(** Scheduler observability; see {!Ir.Parallel.util}. *)
+type util = Ir.Parallel.util = {
+  workers : int;
+  busy : float array;
+  items : int array;
+  elapsed : float;
+}
+
+val utilization : util -> float
+
 (** [map ~jobs f items]: apply [f] on up to [jobs] domains, results in
     input order — deterministic for any [jobs]; exceptions re-raised in
     the calling domain after all workers joined. *)
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?stats:util option ref -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Size-aware {!map}: longest-processing-time-first dispatch by
+    [weight]. *)
+val map_weighted :
+  ?stats:util option ref ->
+  jobs:int ->
+  weight:('a -> int) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+
+(** LPT makespan model; see {!Ir.Parallel.lpt_makespan}. *)
+val lpt_makespan : jobs:int -> float array -> float * float

@@ -29,6 +29,49 @@ type dst_context = {
   exprs : (instr_kind, value) Hashtbl.t;
 }
 
+(* Per-simulation scratch for the DST synonym and overlay maps:
+   epoch-stamped flat arrays indexed by value id, reused across every
+   DST of one traversal.  Bumping [epoch] empties all maps at once, so
+   the simulation inner loop neither allocates nor clears. *)
+type scratch = {
+  mutable syn_epoch : int array;
+  mutable syn_val : int array;  (** synonym binding when epoch matches *)
+  mutable ovl_epoch : int array;
+  mutable ovl_kind : instr_kind array;  (** overlay when epoch matches *)
+  mutable pea_epoch : int array;  (** counted-allocation flags *)
+  mutable epoch : int;
+}
+
+let scratch_create n =
+  let n = max 16 n in
+  {
+    syn_epoch = Array.make n 0;
+    syn_val = Array.make n 0;
+    ovl_epoch = Array.make n 0;
+    ovl_kind = Array.make n (Const 0);
+    pea_epoch = Array.make n 0;
+    epoch = 0;
+  }
+
+(* Constants hash-consed by [mk_const] mid-DST can exceed the initial
+   arena watermark; grow on write, treat out-of-range as unbound on
+   read. *)
+let scratch_ensure sc v =
+  let n = Array.length sc.syn_epoch in
+  if v >= n then begin
+    let n' = max (v + 1) (2 * n) in
+    let grow a fill =
+      let a' = Array.make n' fill in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    sc.syn_epoch <- grow sc.syn_epoch 0;
+    sc.syn_val <- grow sc.syn_val 0;
+    sc.ovl_epoch <- grow sc.ovl_epoch 0;
+    sc.ovl_kind <- grow sc.ovl_kind (Const 0);
+    sc.pea_epoch <- grow sc.pea_epoch 0
+  end
+
 let class_fields ctx cls =
   match ctx.Opt.Phase.program with
   | None -> None
@@ -44,25 +87,40 @@ let size k = Costmodel.Cost.size_of_kind k
     applicability check fires with positive benefit — and, when the §8
     path extension is enabled and [bm] jumps straight into further
     merges, additional path candidates covering the chain. *)
-let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
-  Opt.Phase.charge ctx (List.length (G.block_instrs g bm));
-  let synonyms : (value, value) Hashtbl.t = Hashtbl.create 8 in
-  let overlay : (value, instr_kind) Hashtbl.t = Hashtbl.create 8 in
-  let rec resolve v =
-    match Hashtbl.find_opt synonyms v with Some v' -> resolve v' | None -> v
+let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq ~sc dctx bp
+    bm =
+  Opt.Phase.charge ctx (G.block_size g bm);
+  sc.epoch <- sc.epoch + 1;
+  let ep = sc.epoch in
+  let set_syn v w =
+    scratch_ensure sc v;
+    sc.syn_epoch.(v) <- ep;
+    sc.syn_val.(v) <- w
+  in
+  let set_ovl v k =
+    scratch_ensure sc v;
+    sc.ovl_epoch.(v) <- ep;
+    sc.ovl_kind.(v) <- k
+  in
+  let resolve v =
+    let v = ref v in
+    while !v < Array.length sc.syn_epoch && sc.syn_epoch.(!v) = ep do
+      v := sc.syn_val.(!v)
+    done;
+    !v
   in
   let kind_of v =
     let v = resolve v in
-    match Hashtbl.find_opt overlay v with Some k -> k | None -> G.kind g v
+    if v < Array.length sc.ovl_epoch && sc.ovl_epoch.(v) = ep then
+      sc.ovl_kind.(v)
+    else G.kind g v
   in
   let bind_phis merge pred =
     let pred_idx = G.pred_index g merge pred in
-    List.iter
-      (fun phi ->
+    G.iter_phis g merge (fun phi ->
         match G.kind g phi with
-        | Phi inputs -> Hashtbl.replace synonyms phi inputs.(pred_idx)
+        | Phi inputs -> set_syn phi inputs.(pred_idx)
         | _ -> assert false)
-      (G.block g merge).G.phis
   in
   bind_phis bm bp;
   let benefit = ref 0.0 in
@@ -73,7 +131,6 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
      every simulated merge). *)
   let opp_seen = Array.make Candidate.n_opportunities false in
   let mem = ref dctx.mem in
-  let counted_allocs = Hashtbl.create 4 in
   let fire opp ~saved_cycles ~saved_size =
     Faults.hit Faults.Sim_opportunity;
     benefit := !benefit +. saved_cycles;
@@ -91,8 +148,8 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
     match G.kind g base with
     | New (_, _)
       when Opt.Pea.escape_state g base = Opt.Pea.Through_phi_only ->
-        if not (Hashtbl.mem counted_allocs base) then begin
-          Hashtbl.add counted_allocs base ();
+        if sc.pea_epoch.(base) <> ep then begin
+          sc.pea_epoch.(base) <- ep;
           (* Scalar replacement would remove the allocation itself. *)
           fire Candidate.Escape_analysis
             ~saved_cycles:(cycles (G.kind g base))
@@ -102,7 +159,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
     | _ -> false
   in
   let process_body block_id =
-   List.iter
+   G.iter_body g block_id
     (fun id ->
       let orig = G.kind g id in
       (* The duplication copies this instruction: count its size. *)
@@ -117,21 +174,21 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
             | _ -> Candidate.Constant_fold)
             ~saved_cycles:(cycles orig -. cycles (Const n))
             ~saved_size:(size orig - size (Const n));
-          Hashtbl.replace overlay id (Const n)
+          set_ovl id (Const n)
       | Opt.Canonicalize.Fold_null ->
           fire Candidate.Constant_fold
             ~saved_cycles:(cycles orig)
             ~saved_size:(size orig - 1);
-          Hashtbl.replace overlay id Null
+          set_ovl id Null
       | Opt.Canonicalize.Alias v ->
           fire Candidate.Copy_propagation ~saved_cycles:(cycles orig)
             ~saved_size:(size orig);
-          Hashtbl.replace synonyms id v
+          set_syn id v
       | Opt.Canonicalize.Rewrite k ->
           fire Candidate.Strength_reduce
             ~saved_cycles:(cycles orig -. cycles k)
             ~saved_size:(size orig - size k);
-          Hashtbl.replace overlay id k
+          set_ovl id k
       | Opt.Canonicalize.Unchanged -> (
           (* Conditional elimination: facts from dominating branches. *)
           match
@@ -143,7 +200,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
               fire Candidate.Conditional_elimination
                 ~saved_cycles:(cycles orig -. cycles (Const 0))
                 ~saved_size:(size orig - 1);
-              Hashtbl.replace overlay id (Const (if t then 1 else 0))
+              set_ovl id (Const (if t then 1 else 0))
           | None ->
               (* Value numbering against dominating expressions. *)
               let gvn_hit =
@@ -155,7 +212,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
               | Some earlier ->
                   fire Candidate.Value_numbering ~saved_cycles:(cycles orig)
                     ~saved_size:(size orig);
-                  Hashtbl.replace synonyms id earlier
+                  set_syn id earlier
               | None -> (
                   (* Read elimination over the threaded memory state. *)
                   match resolved with
@@ -171,7 +228,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
                       | Some v ->
                           fire Candidate.Read_elimination
                             ~saved_cycles:(cycles orig) ~saved_size:(size orig);
-                          Hashtbl.replace synonyms id v
+                          set_syn id v
                       | None -> ());
                       mem := st
                   | Load_global _ ->
@@ -182,7 +239,7 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
                       | Some v ->
                           fire Candidate.Read_elimination
                             ~saved_cycles:(cycles orig) ~saved_size:(size orig);
-                          Hashtbl.replace synonyms id v
+                          set_syn id v
                       | None -> ());
                       mem := st
                   | Store (base, _, _) ->
@@ -199,7 +256,6 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
                   | k ->
                       let st, _ = Opt.Memstate.transfer !mem id k in
                       mem := st))))
-    (G.block g block_id).G.body
   in
   (* The duplicated terminator: count its size; a branch whose condition
      resolves to a constant or is implied folds into a jump and unlocks
@@ -252,11 +308,11 @@ let simulate_dst ctx (config : Config.t) g ~loops ~mk_const ~freq dctx bp bm =
       match G.term g !cur with
       | Jump next
         when next <> !cur
-             && List.length (G.preds g next) >= 2
+             && G.pred_count g next >= 2
              && (not (Ir.Loops.is_header loops next))
              && next <> bm
              && not (List.mem next !path) ->
-          Opt.Phase.charge ctx (List.length (G.block_instrs g next));
+          Opt.Phase.charge ctx (G.block_size g next);
           let benefit_before = !benefit in
           bind_phis next !cur;
           process_body next;
@@ -279,6 +335,7 @@ let simulate ctx (config : Config.t) g =
   let loops = Ir.Analyses.loops g in
   let freq = Ir.Analyses.frequency ~loop_factor:config.Config.loop_factor g in
   let mk_const = Opt.Canonicalize.materialize_const g in
+  let sc = scratch_create (G.n_instrs g + 64) in
   let exprs : (instr_kind, value) Hashtbl.t = Hashtbl.create 64 in
   let candidates = ref [] in
   let kind_of v = G.kind g v in
@@ -286,8 +343,8 @@ let simulate ctx (config : Config.t) g =
     (* Process this block's instructions into the traversal context. *)
     let added = ref [] in
     let mem_out =
-      List.fold_left
-        (fun st id ->
+      let st = ref mem in
+      G.iter_block_instrs g bid (fun id ->
           let kind = G.kind g id in
           if Opt.Gvn.is_candidate kind then begin
             let key = Opt.Gvn.key_of_kind kind in
@@ -296,25 +353,26 @@ let simulate ctx (config : Config.t) g =
               added := key :: !added
             end
           end;
-          let st, _ = Opt.Memstate.transfer st id kind in
-          match kind with
-          | New (cls, args) -> (
-              match class_fields ctx cls with
-              | Some fields -> Opt.Memstate.seed_new st ~fields id args
-              | None -> st)
-          | _ -> st)
-        mem (G.block_instrs g bid)
+          let st', _ = Opt.Memstate.transfer !st id kind in
+          st :=
+            (match kind with
+            | New (cls, args) -> (
+                match class_fields ctx cls with
+                | Some fields -> Opt.Memstate.seed_new st' ~fields id args
+                | None -> st')
+            | _ -> st'));
+      !st
     in
     (* Pause at predecessor→merge pairs and run DSTs. *)
     List.iter
       (fun s ->
         if
           s <> bid
-          && List.length (G.preds g s) >= 2
+          && G.pred_count g s >= 2
           && not (Ir.Loops.is_header loops s)
         then
           candidates :=
-            simulate_dst ctx config g ~loops ~mk_const ~freq
+            simulate_dst ctx config g ~loops ~mk_const ~freq ~sc
               { env; mem = mem_out; exprs }
               bid s
             @ !candidates)
@@ -325,15 +383,17 @@ let simulate ctx (config : Config.t) g =
         let child_env =
           match G.term g bid with
           | Branch { cond; if_true; if_false; _ } ->
-              if child = if_true && G.preds g if_true = [ bid ] then
+              if child = if_true && G.pred_count g if_true = 1 then
                 Opt.Condelim.assume ~kind_of env cond true
-              else if child = if_false && G.preds g if_false = [ bid ] then
+              else if child = if_false && G.pred_count g if_false = 1 then
                 Opt.Condelim.assume ~kind_of env cond false
               else env
           | Jump _ | Return _ | Unreachable -> env
         in
         let child_mem =
-          if G.preds g child = [ bid ] then mem_out else Opt.Memstate.empty
+          if G.pred_count g child = 1 && G.pred_nth g child 0 = bid then
+            mem_out
+          else Opt.Memstate.empty
         in
         visit child_env child_mem child)
       (Ir.Dom.children dom bid);

@@ -44,9 +44,8 @@ let duplicate g ~merge ~pred =
   if List.exists (fun q -> Ir.Dom.dominates dom bm q) (G.preds g bm) then
     raise (Not_applicable "merge is a loop header");
   let pred_idx = G.pred_index g bm bp in
-  let bm_block = G.block g bm in
-  let phis = bm_block.G.phis in
-  let body = bm_block.G.body in
+  let phis = G.phis g bm in
+  let body = G.body g bm in
   (* Value substitution for the duplicated path. *)
   let mapping : (value, value) Hashtbl.t = Hashtbl.create 16 in
   let subst v =
@@ -68,7 +67,7 @@ let duplicate g ~merge ~pred =
   (* Replicate the terminator; successors gain bm' as predecessor with
      placeholder phi inputs that we fill from the substitution. *)
   let term' =
-    match bm_block.G.term with
+    match G.term g bm with
     | Jump t -> Jump t
     | Branch br -> Branch { br with cond = subst br.cond }
     | Return (Some v) -> Return (Some (subst v))
@@ -92,7 +91,7 @@ let duplicate g ~merge ~pred =
               inputs.(idx_bm') <- subst inputs.(idx_bm);
               G.set_kind g phi (Phi inputs)
           | _ -> assert false)
-        (G.block g s).G.phis)
+        (G.phis g s))
     (G.succs g bm');
   (* Steer bp into the duplicate. *)
   G.redirect_edge g ~from_block:bp ~old_target:bm ~new_target:bm';

@@ -154,7 +154,7 @@ let record_undo st u =
 let rec eval_function st ~version ~profile ~on_edge (g : Ir.Graph.t)
     (args : value array) : value option =
   let fn = Ir.Graph.name g in
-  let env = Array.make g.Ir.Graph.n_instrs VNull in
+  let env = Array.make (Ir.Graph.n_instrs g) VNull in
   let eval_instr id =
     st.fuel <- st.fuel - 1;
     if st.fuel <= 0 then raise Out_of_fuel;
@@ -233,17 +233,13 @@ let rec eval_function st ~version ~profile ~on_edge (g : Ir.Graph.t)
   in
   (* Evaluate the target's phis simultaneously from the edge values. *)
   let enter_block from target =
-    let tb = Ir.Graph.block g target in
     let idx = Ir.Graph.pred_index g target from in
-    let moves =
-      List.map
-        (fun phi_id ->
-          match Ir.Graph.kind g phi_id with
-          | Phi inputs -> (phi_id, env.(inputs.(idx)))
-          | _ -> assert false)
-        tb.Ir.Graph.phis
-    in
-    List.iter (fun (phi_id, v) -> env.(phi_id) <- v) moves
+    let moves = ref [] in
+    Ir.Graph.iter_phis g target (fun phi_id ->
+        match Ir.Graph.kind g phi_id with
+        | Phi inputs -> moves := (phi_id, env.(inputs.(idx))) :: !moves
+        | _ -> assert false);
+    List.iter (fun (phi_id, v) -> env.(phi_id) <- v) !moves
   in
   let take_edge from target =
     (match on_edge with Some f -> f from target | None -> ());
@@ -256,12 +252,12 @@ let rec eval_function st ~version ~profile ~on_edge (g : Ir.Graph.t)
   while !running do
     let bid = !current in
     icache_touch st fn version g bid;
-    let b = Ir.Graph.block g bid in
-    List.iter eval_instr b.Ir.Graph.body;
+    Ir.Graph.iter_body g bid eval_instr;
     st.fuel <- st.fuel - 1;
     if st.fuel <= 0 then raise Out_of_fuel;
-    charge st (Costmodel.Cost.of_term b.Ir.Graph.term).Costmodel.Cost.cycles;
-    match b.Ir.Graph.term with
+    let term = Ir.Graph.term g bid in
+    charge st (Costmodel.Cost.of_term term).Costmodel.Cost.cycles;
+    match term with
     | Return None -> running := false
     | Return (Some v) ->
         result := Some env.(v);

@@ -120,12 +120,12 @@ let drift ?(min_samples = 16) ~fn ~baseline t =
 let apply_graph ?(min_samples = 8) ?(clamp = 0.0001) t g =
   let clamp_prob p = Float.max clamp (Float.min (1.0 -. clamp) p) in
   let fn = Ir.Graph.name g in
-  Ir.Graph.iter_blocks g (fun b ->
-      match b.Ir.Graph.term with
+  Ir.Graph.iter_blocks g (fun bid ->
+      match Ir.Graph.term g bid with
       | Ir.Types.Branch br -> (
-          match observed ~min_samples t ~fn ~bid:b.Ir.Graph.blk_id with
+          match observed ~min_samples t ~fn ~bid with
           | Some p ->
-              Ir.Graph.set_term g b.Ir.Graph.blk_id
+              Ir.Graph.set_term g bid
                 (Ir.Types.Branch { br with prob = clamp_prob p })
           | None -> ())
       | Ir.Types.Jump _ | Ir.Types.Return _ | Ir.Types.Unreachable -> ())

@@ -53,6 +53,10 @@ type entry = {
   loop_forest : Loops.t option;
   freq_gen : int;
   freqs : (float * Frequency.t) list;  (** keyed by loop_factor *)
+  clean_gens : (string * int) list;
+      (** passes that ran without firing (and without mutating), keyed by
+          the generation they ran clean at — the pass manager's
+          skip-if-unchanged memo *)
   mutable hits : int;  (** lifetime counters, carried across updates *)
   mutable misses : int;
 }
@@ -67,14 +71,15 @@ let empty_entry =
     loop_forest = None;
     freq_gen = -1;
     freqs = [];
+    clean_gens = [];
     hits = 0;
     misses = 0;
   }
 
 let entry g =
-  match g.Graph.cache with Cache e -> e | _ -> { empty_entry with hits = 0 }
+  match Graph.cache g with Cache e -> e | _ -> { empty_entry with hits = 0 }
 
-let store g e = g.Graph.cache <- Cache e
+let store g e = Graph.set_cache g (Cache e)
 
 let miss e =
   Probe.fire "analyses.cache";
@@ -153,6 +158,54 @@ let preserve g ~since kinds =
     if e' != e then store g e'
   end
 
+(** Did [pass] last run at the current generation without changing the
+    graph?  (See {!note_pass_clean}.)  A deterministic pass that ran
+    clean on this exact graph state will run clean again — the pass
+    manager uses this to skip the re-run entirely. *)
+let pass_clean g pass =
+  match Graph.cache g with
+  | Cache e -> (
+      match List.assoc_opt pass e.clean_gens with
+      | Some gen -> gen = Graph.generation g
+      | None -> false)
+  | _ -> false
+
+(** Record that [pass] just ran on [g] without firing and without
+    bumping the generation.  Stored copy-on-write in the cache entry, so
+    rollback restores the memo state of the checkpoint along with the
+    graph.  Memos stamped at older generations are dropped — any
+    mutation invalidated them. *)
+let note_pass_clean g pass =
+  let e = entry g in
+  let gen = Graph.generation g in
+  let clean_gens =
+    (pass, gen)
+    :: List.filter (fun (n, g') -> n <> pass && g' = gen) e.clean_gens
+  in
+  store g { e with clean_gens }
+
+(** A pass just fired, moving the graph from generation [since] to the
+    current one, and its {e enables} contract says only [enabled] passes
+    can gain new opportunities from its changes.  Every other pass that
+    was clean on the pre-fire state is still clean: re-stamp those memos
+    at the current generation (the enabled ones stay stale and will
+    really re-run). *)
+let keep_clean_except g ~since ~enabled =
+  match Graph.cache g with
+  | Cache e ->
+      let gen = Graph.generation g in
+      let clean_gens =
+        List.filter_map
+          (fun (n, g') ->
+            if g' = since && not (List.mem n enabled) then Some (n, gen)
+            else if g' = gen then Some (n, g')
+            else None)
+          e.clean_gens
+      in
+      if clean_gens <> [] || e.clean_gens <> [] then
+        store g { e with clean_gens }
+  | _ -> ()
+
 (** Paranoid recompute-and-compare: does the cached, currently-valid
     value of [kind] (if any) equal a fresh computation?  Used to check
     preservation contracts; a [None]/stale cache trivially passes.  The
@@ -193,6 +246,6 @@ let check g kind =
     lookup).  A {!Graph.rollback} also rolls these back to their
     checkpoint values. *)
 let stats g =
-  match g.Graph.cache with
+  match Graph.cache g with
   | Cache e -> { hits = e.hits; misses = e.misses }
   | _ -> { hits = 0; misses = 0 }

@@ -37,6 +37,23 @@ val frequency : ?loop_factor:float -> Graph.t -> Frequency.t
     contract with this after the pass ran. *)
 val preserve : Graph.t -> since:int -> kind list -> unit
 
+(** [pass_clean g pass]: did [pass] last run at [g]'s current generation
+    without changing anything?  Deterministic passes may be skipped when
+    this holds (the fixpoint driver's convergence memo). *)
+val pass_clean : Graph.t -> string -> bool
+
+(** Record that [pass] just ran on [g] without firing or mutating.
+    Stored copy-on-write in the analysis cache entry, so speculation
+    rollback restores the memo exactly. *)
+val note_pass_clean : Graph.t -> string -> unit
+
+(** [keep_clean_except g ~since ~enabled]: a pass fired, moving [g] from
+    generation [since] to the current one, and declares that only the
+    [enabled] passes can gain new opportunities from its changes.
+    Re-stamps every other pass's clean memo from [since] to the current
+    generation; the [enabled] memos stay stale and really re-run. *)
+val keep_clean_except : Graph.t -> since:int -> enabled:string list -> unit
+
 (** Paranoid recompute-and-compare: [Error _] if the cached,
     currently-valid value of [kind] differs from a fresh computation
     (an invalid preservation claim).  A stale or absent cache trivially

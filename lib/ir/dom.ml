@@ -16,7 +16,7 @@ let graph t = t.graph
 let order t = t.order
 
 let compute (g : Graph.t) =
-  let n = g.Graph.n_blocks in
+  let n = Graph.n_blocks g in
   let order = Graph.rpo g in
   let rpo_index = Array.make (max 1 n) (-1) in
   List.iteri (fun i b -> rpo_index.(b) <- i) order;
@@ -41,17 +41,17 @@ let compute (g : Graph.t) =
     List.iter
       (fun b ->
         if b <> entry then begin
-          let preds =
-            List.filter (fun p -> rpo_index.(p) >= 0) (Graph.preds g b)
-          in
-          match List.filter (fun p -> idom.(p) >= 0) preds with
-          | [] -> ()
-          | first :: rest ->
-              let new_idom = List.fold_left intersect first rest in
-              if idom.(b) <> new_idom then begin
-                idom.(b) <- new_idom;
-                changed := true
-              end
+          (* Only processed (hence reachable) predecessors take part:
+             idom.(p) >= 0 subsumes the old reachability filter since
+             idoms are only ever assigned along the reverse postorder. *)
+          let new_idom = ref (-1) in
+          Graph.iter_preds g b (fun p ->
+              if idom.(p) >= 0 then
+                new_idom := (if !new_idom < 0 then p else intersect !new_idom p));
+          if !new_idom >= 0 && idom.(b) <> !new_idom then begin
+            idom.(b) <- !new_idom;
+            changed := true
+          end
         end)
       order
   done;
@@ -104,23 +104,32 @@ let preorder t =
   walk t ~enter:(fun b -> acc := b :: !acc) ~exit:(fun _ -> ());
   List.rev !acc
 
-(** Dominance frontiers (Cooper–Harvey–Kennedy's simple algorithm). *)
+(** Dominance frontiers (Cooper–Harvey–Kennedy's simple algorithm).
+    Membership dedup uses a stamp array keyed on the join block — each
+    join is processed exactly once, so a matching stamp means "already in
+    this runner's frontier" without the old O(|df|) list scan. *)
 let frontiers t =
   let g = t.graph in
-  let df = Array.make (max 1 g.Graph.n_blocks) [] in
+  let n = max 1 (Graph.n_blocks g) in
+  let df = Array.make n [] in
+  let stamp = Array.make n (-1) in
   List.iter
     (fun b ->
-      let preds = List.filter (is_reachable t) (Graph.preds g b) in
-      if List.length preds >= 2 then
-        List.iter
-          (fun p ->
-            let runner = ref p in
-            while !runner <> t.idom.(b) do
-              if not (List.mem b df.(!runner)) then
-                df.(!runner) <- b :: df.(!runner);
-              runner := t.idom.(!runner)
-            done)
-          preds)
+      let live_preds = ref 0 in
+      Graph.iter_preds g b (fun p ->
+          if is_reachable t p then incr live_preds);
+      if !live_preds >= 2 then
+        Graph.iter_preds g b (fun p ->
+            if is_reachable t p then begin
+              let runner = ref p in
+              while !runner <> t.idom.(b) do
+                if stamp.(!runner) <> b then begin
+                  stamp.(!runner) <- b;
+                  df.(!runner) <- b :: df.(!runner)
+                end;
+                runner := t.idom.(!runner)
+              done
+            end))
     t.order;
   df
 

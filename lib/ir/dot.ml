@@ -20,17 +20,15 @@ let escape s =
   Buffer.contents buf
 
 let block_label g bid =
-  let b = Graph.block g bid in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "b%d" bid);
-  List.iter
-    (fun id ->
+  Graph.iter_block_instrs g bid (fun id ->
       Buffer.add_string buf "\\l";
       Buffer.add_string buf
-        (escape (Fmt.str "v%d = %a" id Printer.pp_kind (Graph.kind g id))))
-    (Graph.block_instrs g bid);
+        (escape (Fmt.str "v%d = %a" id Printer.pp_kind (Graph.kind g id))));
   Buffer.add_string buf "\\l";
-  Buffer.add_string buf (escape (Fmt.str "%a" Printer.pp_term b.Graph.term));
+  Buffer.add_string buf
+    (escape (Fmt.str "%a" Printer.pp_term (Graph.term g bid)));
   Buffer.add_string buf "\\l";
   Buffer.contents buf
 
@@ -43,7 +41,7 @@ let pp ppf g =
         if bid = Graph.entry g then ", style=bold" else ""
       in
       Fmt.pf ppf "  b%d [label=\"%s\"%s];@." bid (block_label g bid) attrs;
-      match (Graph.block g bid).Graph.term with
+      match Graph.term g bid with
       | Jump t -> Fmt.pf ppf "  b%d -> b%d;@." bid t
       | Branch { if_true; if_false; prob; _ } ->
           Fmt.pf ppf "  b%d -> b%d [label=\"T %.2f\", color=darkgreen];@." bid

@@ -23,7 +23,7 @@ let edge_prob g p s =
 
 let compute ?(loop_factor = default_loop_factor) (dom : Dom.t) (loops : Loops.t) =
   let g = Dom.graph dom in
-  let n = g.Graph.n_blocks in
+  let n = Graph.n_blocks g in
   let freq = Array.make (max 1 n) 0.0 in
   let is_back_edge p s = Dom.dominates dom s p in
   List.iter
@@ -31,14 +31,11 @@ let compute ?(loop_factor = default_loop_factor) (dom : Dom.t) (loops : Loops.t)
       if b = Graph.entry g then
         freq.(b) <- 1.0
       else begin
-        let incoming =
-          List.fold_left
-            (fun acc p ->
-              if Dom.is_reachable dom p && not (is_back_edge p b) then
-                acc +. (freq.(p) *. edge_prob g p b)
-              else acc)
-            0.0 (Graph.preds g b)
-        in
+        let incoming = ref 0.0 in
+        Graph.iter_preds g b (fun p ->
+            if Dom.is_reachable dom p && not (is_back_edge p b) then
+              incoming := !incoming +. (freq.(p) *. edge_prob g p b));
+        let incoming = !incoming in
         let f = if Loops.is_header loops b then incoming *. loop_factor else incoming in
         freq.(b) <- f
       end)

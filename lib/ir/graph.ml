@@ -1,5 +1,21 @@
-(** The function graph: an arena of instructions and basic blocks with
-    maintained def-use chains and predecessor lists.
+(** The function graph as a flat, int-indexed arena.
+
+    Struct-of-arrays layout: instruction kinds, block membership and the
+    intra-block order live in parallel arrays indexed by instruction id;
+    block terminators, predecessor arrays and chain heads/tails in arrays
+    indexed by block id.  The intra-block order is an intrusive doubly
+    linked list over two int arrays ([seq_prev]/[seq_next]); use lists
+    are intrusive singly linked chains over an int-cell pool with users
+    packed into single ints.  Dead slots carry sentinel markers and are
+    threaded onto free-lists (recycled only under {!set_recycle}, which
+    defaults to off so allocation order — and therefore printed ids —
+    stays reproducible).
+
+    The speculation journal is pooled inside the graph: epoch-stamped
+    saved-sets give O(1) "already saved?" tests without hashing, and
+    chain snapshots go into one shared int buffer, so a
+    checkpoint/rollback cycle allocates almost nothing beyond the
+    first-touch snapshots themselves.
 
     Invariants maintained by this module's mutation API (and checked by
     {!Verifier}):
@@ -7,86 +23,233 @@
       it, in a stable order;
     - every [Phi] has exactly one input per predecessor, aligned with the
       predecessor order;
-    - use lists record every instruction and terminator referencing a
+    - use chains record every instruction and terminator referencing a
       value. *)
 
 open Types
 
 type user = U_instr of instr_id | U_term of block_id
 
-type instr = {
-  ins_id : instr_id;
-  mutable kind : instr_kind;
-  mutable ins_block : block_id;  (** -1 when detached *)
-}
+(* Users packed into one int: instruction users are even, terminator
+   users odd.  Keeps use-chain cells unboxed. *)
+let enc_instr id = id lsl 1
+let enc_term bid = (bid lsl 1) lor 1
+let enc_user = function U_instr id -> enc_instr id | U_term b -> enc_term b
+let dec_user e = if e land 1 = 0 then U_instr (e lsr 1) else U_term (e lsr 1)
 
-type block = {
-  blk_id : block_id;
-  mutable phis : instr_id list;
-  mutable body : instr_id list;
-  mutable term : terminator;
-  mutable preds : block_id list;
-}
+(* Sentinels for [ins_block]. *)
+let detached = -1
+let dead = -2
 
-(* Extensible per-graph cache slot: {!Analyses} stores memoized dominator
-   trees / loop forests / frequencies here, keyed on [generation].  The
-   slot lives in [Graph] (rather than in [Analyses]) so it can be saved
-   and restored together with the graph by the speculation journal. *)
 type cache = ..
 type cache += No_cache
 
-(* Copy-on-demand undo log for speculative transformation (the
-   backtracking strategy).  Only the blocks / instructions / use lists
-   actually touched after {!checkpoint} are saved, the first time each is
-   mutated — far cheaper than the full {!copy} per attempt it replaces. *)
-type journal = {
-  j_blocks : (block_id, block option) Hashtbl.t;
-  j_instrs : (instr_id, instr option) Hashtbl.t;
-  j_uses : (instr_id, user list) Hashtbl.t;
-  j_n_instrs : int;
-  j_n_blocks : int;
-  j_entry : block_id;
-  j_generation : int;
-  j_n_live : int;
-  j_cache : cache;
-}
+let no_preds : int array = [||]
 
 type t = {
   name : string;
   n_params : int;
-  mutable instrs : instr option array;
+  (* -------- instruction arena (parallel arrays, indexed by id) ------ *)
+  mutable kinds : instr_kind array;  (** [Null] in dead slots *)
+  mutable ins_block : int array;  (** block id, -1 detached, -2 dead *)
+  mutable seq_prev : int array;  (** intra-block chain; -1 at ends *)
+  mutable seq_next : int array;  (** doubles as free-list link when dead *)
+  mutable use_head : int array;  (** first use cell, -1 when none *)
   mutable n_instrs : int;
-  mutable blocks : block option array;
+  mutable free_instr : int;  (** head of dead-slot list, -1 *)
+  mutable n_free_instrs : int;
+  (* -------- use-chain cell pool ------------------------------------- *)
+  mutable cell_user : int array;  (** packed user *)
+  mutable cell_next : int array;  (** next cell or -1; free-list link *)
+  mutable n_cells : int;
+  mutable free_cell : int;
+  (* -------- block arena --------------------------------------------- *)
+  mutable blk_live : bool array;
+  mutable blk_term : terminator array;
+  mutable blk_preds : int array array;
+      (** immutable arrays, replaced wholesale on change *)
+  mutable phi_head : int array;  (** doubles as block free-list link *)
+  mutable phi_tail : int array;
+  mutable body_head : int array;
+  mutable body_tail : int array;
+  mutable blk_size : int array;  (** phis + body, maintained *)
   mutable n_blocks : int;
-  mutable entry : block_id;
-  mutable uses : user list array;
+  mutable free_block : int;
+  mutable entry : int;
+  (* -------- counters / cache ---------------------------------------- *)
   mutable generation : int;
-      (** bumped by every mutation; analysis caches key on it *)
-  mutable n_live : int;  (** live instruction count, maintained *)
+  mutable n_live : int;
+  mutable n_live_blocks : int;
   mutable cache : cache;
-  mutable journal : journal option;
+  mutable recycle : bool;
+  (* -------- pooled speculation journal ------------------------------ *)
+  mutable journaling : bool;
+  mutable epoch : int;  (** bumped per checkpoint; stamps compare to it *)
+  mutable i_stamp : int array;  (** instr saved this epoch *)
+  mutable b_stamp : int array;
+  mutable u_stamp : int array;  (** use chain saved this epoch *)
+  mutable j_n_instrs : int;  (** arena watermarks at checkpoint *)
+  mutable j_n_blocks : int;
+  mutable j_entry : int;
+  mutable j_generation : int;
+  mutable j_n_live : int;
+  mutable j_n_live_blocks : int;
+  mutable j_cache : cache;
+  mutable j_free_instr : int;
+  mutable j_n_free_instrs : int;
+  mutable j_free_block : int;
+  (* saved instrs: parallel arrays of (id, kind, block) *)
+  mutable ji_ids : int array;
+  mutable ji_kind : instr_kind array;
+  mutable ji_block : int array;
+  mutable ji_n : int;
+  (* saved blocks: (id, term, preds ref, phi span, body span) *)
+  mutable jb_ids : int array;
+  mutable jb_term : terminator array;
+  mutable jb_preds : int array array;
+  mutable jb_phi_off : int array;
+  mutable jb_phi_len : int array;
+  mutable jb_body_off : int array;
+  mutable jb_body_len : int array;
+  mutable jb_n : int;
+  (* saved use chains: (value, span of packed users) *)
+  mutable ju_ids : int array;
+  mutable ju_off : int array;
+  mutable ju_len : int array;
+  mutable ju_n : int;
+  (* shared snapshot buffer the spans above index into *)
+  mutable jbuf : int array;
+  mutable jbuf_n : int;
 }
 
 let name g = g.name
 let n_params g = g.n_params
 let entry g = g.entry
 let generation g = g.generation
+let n_instrs g = g.n_instrs
+let n_blocks g = g.n_blocks
+let cache g = g.cache
+let set_cache g c = g.cache <- c
 
 let create ?(name = "fn") ~n_params () =
   {
     name;
     n_params;
-    instrs = Array.make 16 None;
+    kinds = Array.make 16 Null;
+    ins_block = Array.make 16 dead;
+    seq_prev = Array.make 16 (-1);
+    seq_next = Array.make 16 (-1);
+    use_head = Array.make 16 (-1);
     n_instrs = 0;
-    blocks = Array.make 8 None;
+    free_instr = -1;
+    n_free_instrs = 0;
+    cell_user = Array.make 32 0;
+    cell_next = Array.make 32 (-1);
+    n_cells = 0;
+    free_cell = -1;
+    blk_live = Array.make 8 false;
+    blk_term = Array.make 8 Unreachable;
+    blk_preds = Array.make 8 no_preds;
+    phi_head = Array.make 8 (-1);
+    phi_tail = Array.make 8 (-1);
+    body_head = Array.make 8 (-1);
+    body_tail = Array.make 8 (-1);
+    blk_size = Array.make 8 0;
     n_blocks = 0;
+    free_block = -1;
     entry = -1;
-    uses = Array.make 16 [];
     generation = 0;
     n_live = 0;
+    n_live_blocks = 0;
     cache = No_cache;
-    journal = None;
+    recycle = false;
+    journaling = false;
+    epoch = 0;
+    i_stamp = Array.make 16 0;
+    b_stamp = Array.make 8 0;
+    u_stamp = Array.make 16 0;
+    j_n_instrs = 0;
+    j_n_blocks = 0;
+    j_entry = -1;
+    j_generation = 0;
+    j_n_live = 0;
+    j_n_live_blocks = 0;
+    j_cache = No_cache;
+    j_free_instr = -1;
+    j_n_free_instrs = 0;
+    j_free_block = -1;
+    ji_ids = Array.make 32 0;
+    ji_kind = Array.make 32 Null;
+    ji_block = Array.make 32 0;
+    ji_n = 0;
+    jb_ids = Array.make 16 0;
+    jb_term = Array.make 16 Unreachable;
+    jb_preds = Array.make 16 no_preds;
+    jb_phi_off = Array.make 16 0;
+    jb_phi_len = Array.make 16 0;
+    jb_body_off = Array.make 16 0;
+    jb_body_len = Array.make 16 0;
+    jb_n = 0;
+    ju_ids = Array.make 32 0;
+    ju_off = Array.make 32 0;
+    ju_len = Array.make 32 0;
+    ju_n = 0;
+    jbuf = Array.make 64 0;
+    jbuf_n = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Arena growth                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let grow_int_array a n fill =
+  let a' = Array.make n fill in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let grow_instrs g =
+  let cap = Array.length g.kinds in
+  if g.n_instrs = cap then begin
+    let n = 2 * cap in
+    let kinds = Array.make n Null in
+    Array.blit g.kinds 0 kinds 0 cap;
+    g.kinds <- kinds;
+    g.ins_block <- grow_int_array g.ins_block n dead;
+    g.seq_prev <- grow_int_array g.seq_prev n (-1);
+    g.seq_next <- grow_int_array g.seq_next n (-1);
+    g.use_head <- grow_int_array g.use_head n (-1);
+    g.i_stamp <- grow_int_array g.i_stamp n 0;
+    g.u_stamp <- grow_int_array g.u_stamp n 0
+  end
+
+let grow_blocks g =
+  let cap = Array.length g.blk_term in
+  if g.n_blocks = cap then begin
+    let n = 2 * cap in
+    let live = Array.make n false in
+    Array.blit g.blk_live 0 live 0 cap;
+    g.blk_live <- live;
+    let terms = Array.make n Unreachable in
+    Array.blit g.blk_term 0 terms 0 cap;
+    g.blk_term <- terms;
+    let preds = Array.make n no_preds in
+    Array.blit g.blk_preds 0 preds 0 cap;
+    g.blk_preds <- preds;
+    g.phi_head <- grow_int_array g.phi_head n (-1);
+    g.phi_tail <- grow_int_array g.phi_tail n (-1);
+    g.body_head <- grow_int_array g.body_head n (-1);
+    g.body_tail <- grow_int_array g.body_tail n (-1);
+    g.blk_size <- grow_int_array g.blk_size n 0;
+    g.b_stamp <- grow_int_array g.b_stamp n 0
+  end
+
+let grow_cells g =
+  let cap = Array.length g.cell_user in
+  if g.n_cells = cap then begin
+    let n = 2 * cap in
+    g.cell_user <- grow_int_array g.cell_user n 0;
+    g.cell_next <- grow_int_array g.cell_next n (-1)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Generation + journal bookkeeping                                    *)
@@ -94,45 +257,100 @@ let create ?(name = "fn") ~n_params () =
 
 let touch g = g.generation <- g.generation + 1
 
-let copy_instr i = { ins_id = i.ins_id; kind = i.kind; ins_block = i.ins_block }
+let jbuf_push g v =
+  if g.jbuf_n = Array.length g.jbuf then
+    g.jbuf <- grow_int_array g.jbuf (2 * g.jbuf_n) 0;
+  g.jbuf.(g.jbuf_n) <- v;
+  g.jbuf_n <- g.jbuf_n + 1
 
-let copy_block b =
-  {
-    blk_id = b.blk_id;
-    phis = b.phis;
-    body = b.body;
-    term = b.term;
-    preds = b.preds;
-  }
-
-(* Save the pre-mutation state of a block/instruction/use list the first
-   time it is touched after a checkpoint.  Slots allocated after the
-   checkpoint need no saving: rollback truncates the arenas back to the
-   checkpoint watermark. *)
-let save_block g id =
-  match g.journal with
-  | None -> ()
-  | Some j ->
-      if id < j.j_n_blocks && not (Hashtbl.mem j.j_blocks id) then
-        Hashtbl.add j.j_blocks id (Option.map copy_block g.blocks.(id))
+(* Save the pre-mutation state of an instruction / block / use chain the
+   first time it is touched after a checkpoint.  Slots allocated after
+   the checkpoint need no saving: rollback truncates the arenas back to
+   the watermark.  Epoch stamps give the O(1) "already saved?" test. *)
 
 let save_instr g id =
-  match g.journal with
-  | None -> ()
-  | Some j ->
-      if id < j.j_n_instrs && not (Hashtbl.mem j.j_instrs id) then
-        Hashtbl.add j.j_instrs id (Option.map copy_instr g.instrs.(id))
+  if g.journaling && id < g.j_n_instrs && g.i_stamp.(id) <> g.epoch then begin
+    g.i_stamp.(id) <- g.epoch;
+    let n = g.ji_n in
+    if n = Array.length g.ji_ids then begin
+      let cap = 2 * n in
+      g.ji_ids <- grow_int_array g.ji_ids cap 0;
+      let k = Array.make cap Null in
+      Array.blit g.ji_kind 0 k 0 n;
+      g.ji_kind <- k;
+      g.ji_block <- grow_int_array g.ji_block cap 0
+    end;
+    g.ji_ids.(n) <- id;
+    g.ji_kind.(n) <- g.kinds.(id);
+    g.ji_block.(n) <- g.ins_block.(id);
+    g.ji_n <- n + 1
+  end
+
+let save_block g id =
+  if g.journaling && id < g.j_n_blocks && g.b_stamp.(id) <> g.epoch then begin
+    g.b_stamp.(id) <- g.epoch;
+    let n = g.jb_n in
+    if n = Array.length g.jb_ids then begin
+      let cap = 2 * n in
+      g.jb_ids <- grow_int_array g.jb_ids cap 0;
+      let t = Array.make cap Unreachable in
+      Array.blit g.jb_term 0 t 0 n;
+      g.jb_term <- t;
+      let p = Array.make cap no_preds in
+      Array.blit g.jb_preds 0 p 0 n;
+      g.jb_preds <- p;
+      g.jb_phi_off <- grow_int_array g.jb_phi_off cap 0;
+      g.jb_phi_len <- grow_int_array g.jb_phi_len cap 0;
+      g.jb_body_off <- grow_int_array g.jb_body_off cap 0;
+      g.jb_body_len <- grow_int_array g.jb_body_len cap 0
+    end;
+    g.jb_ids.(n) <- id;
+    g.jb_term.(n) <- g.blk_term.(id);
+    g.jb_preds.(n) <- g.blk_preds.(id);
+    let off = g.jbuf_n in
+    let i = ref g.phi_head.(id) in
+    while !i >= 0 do
+      jbuf_push g !i;
+      i := g.seq_next.(!i)
+    done;
+    g.jb_phi_off.(n) <- off;
+    g.jb_phi_len.(n) <- g.jbuf_n - off;
+    let off = g.jbuf_n in
+    let i = ref g.body_head.(id) in
+    while !i >= 0 do
+      jbuf_push g !i;
+      i := g.seq_next.(!i)
+    done;
+    g.jb_body_off.(n) <- off;
+    g.jb_body_len.(n) <- g.jbuf_n - off;
+    g.jb_n <- n + 1
+  end
 
 let save_uses g v =
-  match g.journal with
-  | None -> ()
-  | Some j ->
-      if v < j.j_n_instrs && not (Hashtbl.mem j.j_uses v) then
-        Hashtbl.add j.j_uses v g.uses.(v)
+  if g.journaling && v >= 0 && v < g.j_n_instrs && g.u_stamp.(v) <> g.epoch
+  then begin
+    g.u_stamp.(v) <- g.epoch;
+    let n = g.ju_n in
+    if n = Array.length g.ju_ids then begin
+      let cap = 2 * n in
+      g.ju_ids <- grow_int_array g.ju_ids cap 0;
+      g.ju_off <- grow_int_array g.ju_off cap 0;
+      g.ju_len <- grow_int_array g.ju_len cap 0
+    end;
+    let off = g.jbuf_n in
+    let c = ref g.use_head.(v) in
+    while !c >= 0 do
+      jbuf_push g g.cell_user.(!c);
+      c := g.cell_next.(!c)
+    done;
+    g.ju_ids.(n) <- v;
+    g.ju_off.(n) <- off;
+    g.ju_len.(n) <- g.jbuf_n - off;
+    g.ju_n <- n + 1
+  end
 
-(* Hooks for the few modules that hand-mutate graph records directly
-   (ssa_repair, inline, canonicalize): they must announce the mutation
-   before performing it so the journal and generation stay sound. *)
+(* Hooks kept public for parity with the old hand-mutation protocol
+   (terminator patches now go through [patch_term]/[transfer_term]). *)
 let record_block g id =
   save_block g id;
   touch g
@@ -141,137 +359,340 @@ let record_instr g id =
   save_instr g id;
   touch g
 
+(* Drop heap references retained by the pooled journal arrays once a
+   speculation episode ends, so committed-away kinds/terminators don't
+   outlive the graph state that held them. *)
+let scrub_journal g =
+  for k = 0 to g.ji_n - 1 do
+    g.ji_kind.(k) <- Null
+  done;
+  for k = 0 to g.jb_n - 1 do
+    g.jb_term.(k) <- Unreachable;
+    g.jb_preds.(k) <- no_preds
+  done;
+  g.ji_n <- 0;
+  g.jb_n <- 0;
+  g.ju_n <- 0;
+  g.jbuf_n <- 0;
+  g.j_cache <- No_cache
+
 let checkpoint g =
-  (match g.journal with
-  | Some _ -> invalid_arg "Graph.checkpoint: speculation already active"
-  | None -> ());
-  g.journal <-
-    Some
-      {
-        j_blocks = Hashtbl.create 32;
-        j_instrs = Hashtbl.create 64;
-        j_uses = Hashtbl.create 64;
-        j_n_instrs = g.n_instrs;
-        j_n_blocks = g.n_blocks;
-        j_entry = g.entry;
-        j_generation = g.generation;
-        j_n_live = g.n_live;
-        j_cache = g.cache;
-      }
+  if g.journaling then
+    invalid_arg "Graph.checkpoint: speculation already active";
+  g.epoch <- g.epoch + 1;
+  g.ji_n <- 0;
+  g.jb_n <- 0;
+  g.ju_n <- 0;
+  g.jbuf_n <- 0;
+  g.j_n_instrs <- g.n_instrs;
+  g.j_n_blocks <- g.n_blocks;
+  g.j_entry <- g.entry;
+  g.j_generation <- g.generation;
+  g.j_n_live <- g.n_live;
+  g.j_n_live_blocks <- g.n_live_blocks;
+  g.j_cache <- g.cache;
+  g.j_free_instr <- g.free_instr;
+  g.j_n_free_instrs <- g.n_free_instrs;
+  g.j_free_block <- g.free_block;
+  g.journaling <- true
 
 let commit g =
-  match g.journal with
-  | None -> invalid_arg "Graph.commit: no active checkpoint"
-  | Some _ -> g.journal <- None
+  if not g.journaling then invalid_arg "Graph.commit: no active checkpoint";
+  g.journaling <- false;
+  scrub_journal g
+
+(* Use-cell alloc/free.  Unlike instruction/block slots, cells may be
+   recycled even during speculation: chain snapshots store packed users,
+   not cell indices, so rollback rebuilds chains from values and never
+   needs an old cell's contents. *)
+let alloc_cell g user next =
+  if g.free_cell >= 0 then begin
+    let c = g.free_cell in
+    g.free_cell <- g.cell_next.(c);
+    g.cell_user.(c) <- user;
+    g.cell_next.(c) <- next;
+    c
+  end
+  else begin
+    grow_cells g;
+    let c = g.n_cells in
+    g.cell_user.(c) <- user;
+    g.cell_next.(c) <- next;
+    g.n_cells <- c + 1;
+    c
+  end
+
+let free_chain_cells g v =
+  let c = ref g.use_head.(v) in
+  while !c >= 0 do
+    let next = g.cell_next.(!c) in
+    g.cell_next.(!c) <- g.free_cell;
+    g.free_cell <- !c;
+    c := next
+  done;
+  g.use_head.(v) <- -1
 
 let rollback g =
-  match g.journal with
-  | None -> invalid_arg "Graph.rollback: no active checkpoint"
-  | Some j ->
-      g.journal <- None;
-      Hashtbl.iter (fun id saved -> g.instrs.(id) <- saved) j.j_instrs;
-      Hashtbl.iter (fun id saved -> g.blocks.(id) <- saved) j.j_blocks;
-      Hashtbl.iter (fun v l -> g.uses.(v) <- l) j.j_uses;
-      for id = j.j_n_instrs to g.n_instrs - 1 do
-        g.instrs.(id) <- None;
-        g.uses.(id) <- []
+  if not g.journaling then invalid_arg "Graph.rollback: no active checkpoint";
+  g.journaling <- false;
+  (* Use chains: free the current cells of every touched chain, then
+     rebuild it from the snapshot (reusing the cells just freed). *)
+  for k = 0 to g.ju_n - 1 do
+    let v = g.ju_ids.(k) in
+    free_chain_cells g v;
+    let off = g.ju_off.(k) and len = g.ju_len.(k) in
+    let tail = ref (-1) in
+    for j = len - 1 downto 0 do
+      tail := alloc_cell g g.jbuf.(off + j) !tail
+    done;
+    g.use_head.(v) <- !tail
+  done;
+  (* Chains of values allocated during speculation die with them. *)
+  for v = g.j_n_instrs to g.n_instrs - 1 do
+    free_chain_cells g v
+  done;
+  (* Saved instructions. *)
+  for k = 0 to g.ji_n - 1 do
+    let id = g.ji_ids.(k) in
+    g.kinds.(id) <- g.ji_kind.(k);
+    g.ins_block.(id) <- g.ji_block.(k);
+    if g.ji_block.(k) = detached then begin
+      g.seq_prev.(id) <- -1;
+      g.seq_next.(id) <- -1
+    end
+  done;
+  (* Truncate the instruction arena to the watermark. *)
+  for id = g.j_n_instrs to g.n_instrs - 1 do
+    g.kinds.(id) <- Null;
+    g.ins_block.(id) <- dead;
+    g.seq_prev.(id) <- -1;
+    g.seq_next.(id) <- -1;
+    g.use_head.(id) <- -1
+  done;
+  g.n_instrs <- g.j_n_instrs;
+  (* Saved blocks: scalar state plus chain rebuilds from snapshots. *)
+  for k = 0 to g.jb_n - 1 do
+    let bid = g.jb_ids.(k) in
+    g.blk_live.(bid) <- true;
+    g.blk_term.(bid) <- g.jb_term.(k);
+    g.blk_preds.(bid) <- g.jb_preds.(k);
+    let relink off len head tail =
+      let prev = ref (-1) in
+      for j = 0 to len - 1 do
+        let id = g.jbuf.(off + j) in
+        g.seq_prev.(id) <- !prev;
+        g.seq_next.(id) <- -1;
+        if !prev >= 0 then g.seq_next.(!prev) <- id else head.(bid) <- id;
+        prev := id
       done;
-      for id = j.j_n_blocks to g.n_blocks - 1 do
-        g.blocks.(id) <- None
-      done;
-      g.n_instrs <- j.j_n_instrs;
-      g.n_blocks <- j.j_n_blocks;
-      g.entry <- j.j_entry;
-      (* Restoring the generation (not bumping it) is sound — the graph
-         is again byte-identical to its checkpoint state — and revives
-         any analysis cached in the restored slot. *)
-      g.generation <- j.j_generation;
-      g.n_live <- j.j_n_live;
-      g.cache <- j.j_cache
+      if len = 0 then head.(bid) <- -1;
+      tail.(bid) <- !prev
+    in
+    relink g.jb_phi_off.(k) g.jb_phi_len.(k) g.phi_head g.phi_tail;
+    relink g.jb_body_off.(k) g.jb_body_len.(k) g.body_head g.body_tail;
+    g.blk_size.(bid) <- g.jb_phi_len.(k) + g.jb_body_len.(k)
+  done;
+  (* Truncate the block arena. *)
+  for bid = g.j_n_blocks to g.n_blocks - 1 do
+    g.blk_live.(bid) <- false;
+    g.blk_term.(bid) <- Unreachable;
+    g.blk_preds.(bid) <- no_preds;
+    g.phi_head.(bid) <- -1;
+    g.phi_tail.(bid) <- -1;
+    g.body_head.(bid) <- -1;
+    g.body_tail.(bid) <- -1;
+    g.blk_size.(bid) <- 0
+  done;
+  g.n_blocks <- g.j_n_blocks;
+  g.entry <- g.j_entry;
+  (* Restoring the generation (not bumping it) is sound — the graph is
+     again identical to its checkpoint state — and revives any analysis
+     cached in the restored slot. *)
+  g.generation <- g.j_generation;
+  g.n_live <- g.j_n_live;
+  g.n_live_blocks <- g.j_n_live_blocks;
+  g.cache <- g.j_cache;
+  (* Free lists only grew during speculation (allocation was bump-only),
+     and everything pushed since the checkpoint is alive again. *)
+  g.free_instr <- g.j_free_instr;
+  g.n_free_instrs <- g.j_n_free_instrs;
+  g.free_block <- g.j_free_block;
+  scrub_journal g
 
-let in_speculation g = g.journal <> None
+let in_speculation g = g.journaling
 
 (* ------------------------------------------------------------------ *)
 (* Arena access                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let instr g id =
-  match g.instrs.(id) with
-  | Some i -> i
-  | None -> invalid_arg (Printf.sprintf "Graph.instr: dead instruction %d" id)
-
-let block g id =
-  match g.blocks.(id) with
-  | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Graph.block: dead block %d" id)
-
 let instr_exists g id =
-  id >= 0 && id < g.n_instrs && g.instrs.(id) <> None
+  id >= 0 && id < g.n_instrs && g.ins_block.(id) <> dead
 
-let block_exists g id =
-  id >= 0 && id < g.n_blocks && g.blocks.(id) <> None
+let block_exists g id = id >= 0 && id < g.n_blocks && g.blk_live.(id)
 
-let kind g id = (instr g id).kind
-let block_of g id = (instr g id).ins_block
+let check_instr g id =
+  if id < 0 || id >= g.n_instrs || g.ins_block.(id) = dead then
+    invalid_arg (Printf.sprintf "Graph.instr: dead instruction %d" id)
 
-let uses g id = g.uses.(id)
+let check_block g id =
+  if id < 0 || id >= g.n_blocks || not g.blk_live.(id) then
+    invalid_arg (Printf.sprintf "Graph.block: dead block %d" id)
+
+let kind g id =
+  check_instr g id;
+  g.kinds.(id)
+
+let block_of g id =
+  check_instr g id;
+  g.ins_block.(id)
+
+let uses g v =
+  if v < 0 || v >= g.n_instrs then invalid_arg "Graph.uses";
+  let acc = ref [] in
+  let c = ref g.use_head.(v) in
+  while !c >= 0 do
+    acc := dec_user g.cell_user.(!c) :: !acc;
+    c := g.cell_next.(!c)
+  done;
+  List.rev !acc
+
+let iter_uses g v f =
+  if v >= 0 && v < g.n_instrs then begin
+    let c = ref g.use_head.(v) in
+    while !c >= 0 do
+      f (dec_user g.cell_user.(!c));
+      c := g.cell_next.(!c)
+    done
+  end
+
+(* Zero-allocation variant: hands out the packed encoding (no [user]
+   variant per visit); decode with [user_is_term] / [user_target]. *)
+let iter_uses_enc g v f =
+  if v >= 0 && v < g.n_instrs then begin
+    let c = ref g.use_head.(v) in
+    while !c >= 0 do
+      f g.cell_user.(!c);
+      c := g.cell_next.(!c)
+    done
+  end
+
+let user_is_term e = e land 1 = 1
+let user_target e = e asr 1
+
+let has_uses g v = v >= 0 && v < g.n_instrs && g.use_head.(v) >= 0
 
 let is_phi g id = match kind g id with Phi _ -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Use-list maintenance                                                *)
+(* Use-chain maintenance                                               *)
 (* ------------------------------------------------------------------ *)
 
-let add_use g v user =
+let add_use_enc g v e =
   if v >= 0 then begin
     save_uses g v;
-    g.uses.(v) <- user :: g.uses.(v)
+    g.use_head.(v) <- alloc_cell g e g.use_head.(v)
   end
 
-let remove_use g v user =
+(* Remove the first (most recent) matching cell, mirroring the old
+   list-based first-occurrence removal. *)
+let remove_use_enc g v e =
   if v >= 0 then begin
     save_uses g v;
-    (* Tail-recursive: use lists of hot values can be very long. *)
-    let rec drop acc = function
-      | [] -> List.rev acc
-      | u :: rest ->
-          if u = user then List.rev_append acc rest else drop (u :: acc) rest
-    in
-    g.uses.(v) <- drop [] g.uses.(v)
+    let c = ref g.use_head.(v) and prev = ref (-1) and go = ref true in
+    while !go && !c >= 0 do
+      if g.cell_user.(!c) = e then begin
+        (if !prev < 0 then g.use_head.(v) <- g.cell_next.(!c)
+         else g.cell_next.(!prev) <- g.cell_next.(!c));
+        g.cell_next.(!c) <- g.free_cell;
+        g.free_cell <- !c;
+        go := false
+      end
+      else begin
+        prev := !c;
+        c := g.cell_next.(!c)
+      end
+    done
   end
 
-let term_inputs = function
-  | Jump _ | Unreachable | Return None -> []
-  | Return (Some v) -> [ v ]
-  | Branch { cond; _ } -> [ cond ]
+let add_use g v user = add_use_enc g v (enc_user user)
+let remove_use g v user = remove_use_enc g v (enc_user user)
+
+let iter_term_inputs f = function
+  | Jump _ | Unreachable | Return None -> ()
+  | Return (Some v) -> f v
+  | Branch { cond; _ } -> f cond
+
+(* ------------------------------------------------------------------ *)
+(* Intra-block chains                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Callers must have journaled the block (save_block) first. *)
+let chain_append g bid id ~phi =
+  let head = if phi then g.phi_head else g.body_head in
+  let tail = if phi then g.phi_tail else g.body_tail in
+  let t = tail.(bid) in
+  g.seq_prev.(id) <- t;
+  g.seq_next.(id) <- -1;
+  if t >= 0 then g.seq_next.(t) <- id else head.(bid) <- id;
+  tail.(bid) <- id;
+  g.blk_size.(bid) <- g.blk_size.(bid) + 1
+
+let chain_prepend g bid id ~phi =
+  let head = if phi then g.phi_head else g.body_head in
+  let tail = if phi then g.phi_tail else g.body_tail in
+  let h = head.(bid) in
+  g.seq_prev.(id) <- -1;
+  g.seq_next.(id) <- h;
+  if h >= 0 then g.seq_prev.(h) <- id else tail.(bid) <- id;
+  head.(bid) <- id;
+  g.blk_size.(bid) <- g.blk_size.(bid) + 1
+
+(* Which chain [id] is on is decided positionally (is it a chain's
+   head/tail?), not from its kind: a dead phi may have been rewritten to
+   a non-phi kind while still sitting in the phi chain (DCE does this to
+   break input cycles before deletion). *)
+let chain_remove g bid id =
+  let p = g.seq_prev.(id) and n = g.seq_next.(id) in
+  (if p >= 0 then g.seq_next.(p) <- n
+   else if g.phi_head.(bid) = id then g.phi_head.(bid) <- n
+   else g.body_head.(bid) <- n);
+  (if n >= 0 then g.seq_prev.(n) <- p
+   else if g.phi_tail.(bid) = id then g.phi_tail.(bid) <- p
+   else g.body_tail.(bid) <- p);
+  g.seq_prev.(id) <- -1;
+  g.seq_next.(id) <- -1;
+  g.blk_size.(bid) <- g.blk_size.(bid) - 1
+
+let kind_is_phi = function Phi _ -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Creation                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let grow_instrs g =
-  if g.n_instrs = Array.length g.instrs then begin
-    let instrs = Array.make (2 * Array.length g.instrs) None in
-    Array.blit g.instrs 0 instrs 0 g.n_instrs;
-    g.instrs <- instrs;
-    let uses = Array.make (2 * Array.length g.uses) [] in
-    Array.blit g.uses 0 uses 0 g.n_instrs;
-    g.uses <- uses
-  end
-
-let grow_blocks g =
-  if g.n_blocks = Array.length g.blocks then begin
-    let blocks = Array.make (2 * Array.length g.blocks) None in
-    Array.blit g.blocks 0 blocks 0 g.n_blocks;
-    g.blocks <- blocks
-  end
-
 let add_block g =
-  grow_blocks g;
-  let id = g.n_blocks in
-  g.blocks.(id) <-
-    Some { blk_id = id; phis = []; body = []; term = Unreachable; preds = [] };
-  g.n_blocks <- id + 1;
+  let id =
+    if g.recycle && (not g.journaling) && g.free_block >= 0 then begin
+      let id = g.free_block in
+      g.free_block <- g.phi_head.(id);
+      g.phi_head.(id) <- -1;
+      id
+    end
+    else begin
+      grow_blocks g;
+      let id = g.n_blocks in
+      g.n_blocks <- id + 1;
+      id
+    end
+  in
+  g.blk_live.(id) <- true;
+  g.blk_term.(id) <- Unreachable;
+  g.blk_preds.(id) <- no_preds;
+  g.phi_head.(id) <- -1;
+  g.phi_tail.(id) <- -1;
+  g.body_head.(id) <- -1;
+  g.body_tail.(id) <- -1;
+  g.blk_size.(id) <- 0;
+  g.n_live_blocks <- g.n_live_blocks + 1;
   if g.entry = -1 then g.entry <- id;
   touch g;
   id
@@ -280,37 +701,46 @@ let set_entry g bid =
   g.entry <- bid;
   touch g
 
-(* Allocates the instruction without attaching it to a block. *)
+(* Allocate the instruction without attaching it to a block. *)
 let alloc_instr g kind =
-  grow_instrs g;
-  let id = g.n_instrs in
-  g.instrs.(id) <- Some { ins_id = id; kind; ins_block = -1 };
-  g.n_instrs <- id + 1;
+  let id =
+    if g.recycle && (not g.journaling) && g.free_instr >= 0 then begin
+      let id = g.free_instr in
+      g.free_instr <- g.seq_next.(id);
+      g.n_free_instrs <- g.n_free_instrs - 1;
+      id
+    end
+    else begin
+      grow_instrs g;
+      let id = g.n_instrs in
+      g.n_instrs <- id + 1;
+      id
+    end
+  in
+  g.kinds.(id) <- kind;
+  g.ins_block.(id) <- detached;
+  g.seq_prev.(id) <- -1;
+  g.seq_next.(id) <- -1;
+  g.use_head.(id) <- -1;
   g.n_live <- g.n_live + 1;
   touch g;
-  List.iter (fun v -> add_use g v (U_instr id)) (inputs_of_kind kind);
+  iter_inputs (fun v -> add_use_enc g v (enc_instr id)) kind;
   id
 
-(** Append an instruction to a block's body (or phi list for [Phi]). *)
 let append g bid kind =
   let id = alloc_instr g kind in
   save_block g bid;
-  let b = block g bid in
-  (instr g id).ins_block <- bid;
-  (match kind with
-  | Phi _ -> b.phis <- b.phis @ [ id ]
-  | _ -> b.body <- b.body @ [ id ]);
+  check_block g bid;
+  g.ins_block.(id) <- bid;
+  chain_append g bid id ~phi:(kind_is_phi kind);
   id
 
-(** Insert an instruction at the head of a block's body. *)
 let prepend g bid kind =
   let id = alloc_instr g kind in
   save_block g bid;
-  let b = block g bid in
-  (instr g id).ins_block <- bid;
-  (match kind with
-  | Phi _ -> b.phis <- id :: b.phis
-  | _ -> b.body <- id :: b.body);
+  check_block g bid;
+  g.ins_block.(id) <- bid;
+  chain_prepend g bid id ~phi:(kind_is_phi kind);
   id
 
 (* ------------------------------------------------------------------ *)
@@ -320,10 +750,10 @@ let prepend g bid kind =
 let set_kind g id new_kind =
   save_instr g id;
   touch g;
-  let i = instr g id in
-  List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
-  i.kind <- new_kind;
-  List.iter (fun v -> add_use g v (U_instr id)) (inputs_of_kind new_kind)
+  check_instr g id;
+  iter_inputs (fun v -> remove_use_enc g v (enc_instr id)) g.kinds.(id);
+  g.kinds.(id) <- new_kind;
+  iter_inputs (fun v -> add_use_enc g v (enc_instr id)) new_kind
 
 let succs_of_term = function
   | Jump b -> [ b ]
@@ -331,28 +761,93 @@ let succs_of_term = function
       if if_true = if_false then [ if_true ] else [ if_true; if_false ]
   | Return _ | Unreachable -> []
 
-let succs g bid = succs_of_term (block g bid).term
-let preds g bid = (block g bid).preds
+let term g bid =
+  check_block g bid;
+  g.blk_term.(bid)
+
+let succs g bid = succs_of_term (term g bid)
+
+let preds g bid =
+  check_block g bid;
+  Array.to_list g.blk_preds.(bid)
+
+let pred_count g bid =
+  check_block g bid;
+  Array.length g.blk_preds.(bid)
+
+let pred_nth g bid i =
+  check_block g bid;
+  g.blk_preds.(bid).(i)
+
+let iter_preds g bid f =
+  check_block g bid;
+  Array.iter f g.blk_preds.(bid)
 
 let pred_index g bid pred =
-  let rec find i = function
-    | [] ->
-        invalid_arg
-          (Printf.sprintf "Graph.pred_index: b%d is not a predecessor of b%d"
-             pred bid)
-    | p :: rest -> if p = pred then i else find (i + 1) rest
+  check_block g bid;
+  let ps = g.blk_preds.(bid) in
+  let n = Array.length ps in
+  let rec find i =
+    if i = n then
+      invalid_arg
+        (Printf.sprintf "Graph.pred_index: b%d is not a predecessor of b%d"
+           pred bid)
+    else if ps.(i) = pred then i
+    else find (i + 1)
   in
-  find 0 (block g bid).preds
+  find 0
+
+let iter_phis g bid f =
+  check_block g bid;
+  let i = ref g.phi_head.(bid) in
+  while !i >= 0 do
+    let next = g.seq_next.(!i) in
+    f !i;
+    i := next
+  done
+
+let iter_body g bid f =
+  check_block g bid;
+  let i = ref g.body_head.(bid) in
+  while !i >= 0 do
+    let next = g.seq_next.(!i) in
+    f !i;
+    i := next
+  done
+
+let iter_block_instrs g bid f =
+  iter_phis g bid f;
+  iter_body g bid f
+
+let phis g bid =
+  let acc = ref [] in
+  iter_phis g bid (fun id -> acc := id :: !acc);
+  List.rev !acc
+
+let body g bid =
+  let acc = ref [] in
+  iter_body g bid (fun id -> acc := id :: !acc);
+  List.rev !acc
+
+let block_instrs g bid =
+  let acc = ref [] in
+  iter_block_instrs g bid (fun id -> acc := id :: !acc);
+  List.rev !acc
+
+let block_size g bid =
+  check_block g bid;
+  g.blk_size.(bid)
 
 (* Drop predecessor [pred] from [bid], removing the matching phi input. *)
 let remove_pred g bid pred =
   save_block g bid;
   touch g;
-  let b = block g bid in
   let idx = pred_index g bid pred in
-  b.preds <- List.filteri (fun i _ -> i <> idx) b.preds;
-  List.iter
-    (fun phi_id ->
+  let ps = g.blk_preds.(bid) in
+  let n = Array.length ps in
+  g.blk_preds.(bid) <-
+    Array.init (n - 1) (fun i -> if i < idx then ps.(i) else ps.(i + 1));
+  iter_phis g bid (fun phi_id ->
       match kind g phi_id with
       | Phi inputs ->
           let inputs' =
@@ -362,28 +857,25 @@ let remove_pred g bid pred =
           in
           set_kind g phi_id (Phi inputs')
       | _ -> assert false)
-    b.phis
 
 (* Add [pred] as a new predecessor of [bid]; each phi gets [filler] as its
-   input for the new edge (callers typically pass a real value or
-   [invalid_value] and patch afterwards). *)
+   input for the new edge. *)
 let add_pred g bid pred ~filler =
   save_block g bid;
   touch g;
-  let b = block g bid in
-  b.preds <- b.preds @ [ pred ];
-  List.iteri
-    (fun i phi_id ->
-      match kind g phi_id with
+  let ps = g.blk_preds.(bid) in
+  let n = Array.length ps in
+  g.blk_preds.(bid) <-
+    Array.init (n + 1) (fun i -> if i < n then ps.(i) else pred);
+  let i = ref 0 in
+  iter_phis g bid (fun phi_id ->
+      (match kind g phi_id with
       | Phi inputs ->
-          let f = filler i phi_id in
+          let f = filler !i phi_id in
           set_kind g phi_id (Phi (Array.append inputs [| f |]))
-      | _ -> assert false)
-    b.phis
+      | _ -> assert false);
+      incr i)
 
-(** Set a block's terminator, keeping predecessor lists of the old and new
-    successors consistent.  Phis of newly-gained successors receive
-    [invalid_value] inputs which the caller must fill. *)
 let set_term g bid term =
   (* Canonicalize a branch with identical targets into a jump so successor
      lists never contain duplicates. *)
@@ -394,39 +886,69 @@ let set_term g bid term =
   in
   save_block g bid;
   touch g;
-  let b = block g bid in
-  let old_succs = succs_of_term b.term in
+  check_block g bid;
+  let old_term = g.blk_term.(bid) in
+  let old_succs = succs_of_term old_term in
   let new_succs = succs_of_term term in
-  List.iter (fun v -> remove_use g v (U_term bid)) (term_inputs b.term);
+  iter_term_inputs (fun v -> remove_use_enc g v (enc_term bid)) old_term;
   List.iter
     (fun s -> if not (List.mem s new_succs) then remove_pred g s bid)
     old_succs;
-  b.term <- term;
-  List.iter (fun v -> add_use g v (U_term bid)) (term_inputs term);
+  g.blk_term.(bid) <- term;
+  iter_term_inputs (fun v -> add_use_enc g v (enc_term bid)) term;
   List.iter
     (fun s ->
       if not (List.mem s old_succs) then
         add_pred g s bid ~filler:(fun _ _ -> invalid_value))
     new_succs
 
-let term g bid = (block g bid).term
+let patch_term g bid term =
+  save_block g bid;
+  touch g;
+  check_block g bid;
+  let old_term = g.blk_term.(bid) in
+  assert (succs_of_term old_term = succs_of_term term);
+  iter_term_inputs (fun v -> remove_use_enc g v (enc_term bid)) old_term;
+  g.blk_term.(bid) <- term;
+  iter_term_inputs (fun v -> add_use_enc g v (enc_term bid)) term
 
-(** Redirect the edge [from_block -> old_target] to [new_target].  The phi
-    inputs that [old_target] held for this edge are dropped; phis of
-    [new_target] (if any) receive [invalid_value] for the new edge. *)
+let transfer_term g ~src ~dst =
+  save_block g src;
+  save_block g dst;
+  touch g;
+  check_block g src;
+  check_block g dst;
+  (match g.blk_term.(dst) with
+  | Unreachable -> ()
+  | _ -> invalid_arg "Graph.transfer_term: destination has a terminator");
+  let t = g.blk_term.(src) in
+  iter_term_inputs (fun v -> remove_use_enc g v (enc_term src)) t;
+  g.blk_term.(src) <- Unreachable;
+  g.blk_term.(dst) <- t;
+  iter_term_inputs (fun v -> add_use_enc g v (enc_term dst)) t;
+  (* Rename the edge source in each successor's predecessor list; phi
+     inputs keep their positions. *)
+  List.iter
+    (fun s ->
+      save_block g s;
+      g.blk_preds.(s) <-
+        Array.map (fun p -> if p = src then dst else p) g.blk_preds.(s))
+    (succs_of_term t)
+
 let redirect_edge g ~from_block ~old_target ~new_target =
   if old_target <> new_target then begin
     save_block g from_block;
     touch g;
-    let b = block g from_block in
-    (match b.term with
-    | Jump t when t = old_target -> b.term <- Jump new_target
+    check_block g from_block;
+    (match g.blk_term.(from_block) with
+    | Jump t when t = old_target -> g.blk_term.(from_block) <- Jump new_target
     | Branch br when br.if_true = old_target && br.if_false = old_target ->
-        b.term <- Branch { br with if_true = new_target; if_false = new_target }
+        g.blk_term.(from_block) <-
+          Branch { br with if_true = new_target; if_false = new_target }
     | Branch br when br.if_true = old_target ->
-        b.term <- Branch { br with if_true = new_target }
+        g.blk_term.(from_block) <- Branch { br with if_true = new_target }
     | Branch br when br.if_false = old_target ->
-        b.term <- Branch { br with if_false = new_target }
+        g.blk_term.(from_block) <- Branch { br with if_false = new_target }
     | _ ->
         invalid_arg
           (Printf.sprintf "Graph.redirect_edge: b%d does not target b%d"
@@ -435,100 +957,123 @@ let redirect_edge g ~from_block ~old_target ~new_target =
     add_pred g new_target from_block ~filler:(fun _ _ -> invalid_value)
   end
 
-(** Replace every use of [v] by [by] (in instructions and terminators). *)
 let replace_uses g v ~by =
-  let users = g.uses.(v) in
+  (* Materialize the user chain first: set_kind rewrites it underneath. *)
+  let users = ref [] in
+  let c = ref (if v >= 0 && v < g.n_instrs then g.use_head.(v) else -1) in
+  while !c >= 0 do
+    users := g.cell_user.(!c) :: !users;
+    c := g.cell_next.(!c)
+  done;
   List.iter
-    (fun user ->
-      match user with
-      | U_instr id ->
-          set_kind g id (map_inputs (fun x -> if x = v then by else x) (kind g id))
-      | U_term bid -> (
-          let b = block g bid in
-          match b.term with
-          | Return (Some x) when x = v ->
-              save_block g bid;
-              touch g;
-              remove_use g v (U_term bid);
-              b.term <- Return (Some by);
-              add_use g by (U_term bid)
-          | Branch br when br.cond = v ->
-              save_block g bid;
-              touch g;
-              remove_use g v (U_term bid);
-              b.term <- Branch { br with cond = by };
-              add_use g by (U_term bid)
-          | _ -> ()))
-    users
+    (fun e ->
+      if e land 1 = 0 then begin
+        let id = e lsr 1 in
+        set_kind g id
+          (map_inputs (fun x -> if x = v then by else x) (kind g id))
+      end
+      else
+        let bid = e lsr 1 in
+        match g.blk_term.(bid) with
+        | Return (Some x) when x = v -> patch_term g bid (Return (Some by))
+        | Branch br when br.cond = v ->
+            patch_term g bid (Branch { br with cond = by })
+        | _ -> ())
+    (List.rev !users)
 
-(** Detach and delete an instruction.  The instruction must be unused. *)
 let remove_instr g id =
-  let i = instr g id in
-  (match g.uses.(id) with
-  | [] -> ()
-  | _ -> invalid_arg (Printf.sprintf "Graph.remove_instr: %d still has uses" id));
+  check_instr g id;
+  if g.use_head.(id) >= 0 then
+    invalid_arg (Printf.sprintf "Graph.remove_instr: %d still has uses" id);
   save_instr g id;
   save_uses g id;
   touch g;
-  List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
-  if i.ins_block >= 0 then begin
-    save_block g i.ins_block;
-    let b = block g i.ins_block in
-    b.phis <- List.filter (fun x -> x <> id) b.phis;
-    b.body <- List.filter (fun x -> x <> id) b.body
+  iter_inputs (fun v -> remove_use_enc g v (enc_instr id)) g.kinds.(id);
+  let bid = g.ins_block.(id) in
+  if bid >= 0 then begin
+    save_block g bid;
+    chain_remove g bid id
   end;
-  g.instrs.(id) <- None;
-  g.uses.(id) <- [];
+  g.kinds.(id) <- Null;
+  g.ins_block.(id) <- dead;
+  g.use_head.(id) <- -1;
+  g.seq_prev.(id) <- -1;
+  g.seq_next.(id) <- g.free_instr;
+  g.free_instr <- id;
+  g.n_free_instrs <- g.n_free_instrs + 1;
   g.n_live <- g.n_live - 1
 
-(** Detach an instruction from its block without deleting it (it keeps its
-    kind and uses; it can be re-attached with [attach]). *)
 let detach g id =
-  let i = instr g id in
-  if i.ins_block >= 0 then begin
+  check_instr g id;
+  let bid = g.ins_block.(id) in
+  if bid >= 0 then begin
     save_instr g id;
-    save_block g i.ins_block;
+    save_block g bid;
     touch g;
-    let b = block g i.ins_block in
-    b.phis <- List.filter (fun x -> x <> id) b.phis;
-    b.body <- List.filter (fun x -> x <> id) b.body;
-    i.ins_block <- -1
+    chain_remove g bid id;
+    g.ins_block.(id) <- detached
   end
 
-(** Re-attach a detached instruction at the end of [bid]'s body. *)
 let attach g id bid =
-  let i = instr g id in
-  assert (i.ins_block = -1);
+  check_instr g id;
+  assert (g.ins_block.(id) = detached);
   save_instr g id;
   save_block g bid;
   touch g;
-  i.ins_block <- bid;
-  let b = block g bid in
-  match i.kind with
-  | Phi _ -> b.phis <- b.phis @ [ id ]
-  | _ -> b.body <- b.body @ [ id ]
+  check_block g bid;
+  g.ins_block.(id) <- bid;
+  chain_append g bid id ~phi:(kind_is_phi g.kinds.(id))
 
-(** Delete a whole block: its phis and body are removed (uses of the
-    removed instructions must already be gone), edges to successors are
-    dropped. *)
+let attach_front g id bid =
+  check_instr g id;
+  assert (g.ins_block.(id) = detached);
+  save_instr g id;
+  save_block g bid;
+  touch g;
+  check_block g bid;
+  g.ins_block.(id) <- bid;
+  chain_prepend g bid id ~phi:(kind_is_phi g.kinds.(id))
+
+(* Delete one instruction slot without touching its block chain (the
+   caller resets the whole chain).  Shared by remove_block and
+   remove_unreachable_blocks. *)
+let kill_slot g id =
+  save_instr g id;
+  save_uses g id;
+  iter_inputs (fun v -> remove_use_enc g v (enc_instr id)) g.kinds.(id);
+  free_chain_cells g id;
+  g.kinds.(id) <- Null;
+  g.ins_block.(id) <- dead;
+  g.seq_prev.(id) <- -1;
+  g.seq_next.(id) <- g.free_instr;
+  g.free_instr <- id;
+  g.n_free_instrs <- g.n_free_instrs + 1;
+  g.n_live <- g.n_live - 1
+
+(* Free a dead block's slot and thread it on the block free list. *)
+let kill_block_slot g bid =
+  g.blk_live.(bid) <- false;
+  g.blk_term.(bid) <- Unreachable;
+  g.blk_preds.(bid) <- no_preds;
+  g.phi_tail.(bid) <- -1;
+  g.body_head.(bid) <- -1;
+  g.body_tail.(bid) <- -1;
+  g.blk_size.(bid) <- 0;
+  g.phi_head.(bid) <- g.free_block;
+  g.free_block <- bid;
+  g.n_live_blocks <- g.n_live_blocks - 1
+
 let remove_block g bid =
-  let b = block g bid in
+  check_block g bid;
   set_term g bid Unreachable;
   save_block g bid;
   touch g;
-  List.iter
-    (fun id ->
-      let i = instr g id in
-      save_instr g id;
-      save_uses g id;
-      List.iter (fun v -> remove_use g v (U_instr id)) (inputs_of_kind i.kind);
-      g.instrs.(id) <- None;
-      g.uses.(id) <- [];
-      g.n_live <- g.n_live - 1)
-    (b.phis @ b.body);
+  (* Collect members first: kill_slot must not race the chain walk. *)
+  let members = block_instrs g bid in
+  List.iter (fun id -> kill_slot g id) members;
   (* Predecessor edges must have been redirected already. *)
-  assert (b.preds = []);
-  g.blocks.(bid) <- None
+  assert (Array.length g.blk_preds.(bid) = 0);
+  kill_block_slot g bid
 
 (* ------------------------------------------------------------------ *)
 (* Iteration                                                           *)
@@ -536,7 +1081,7 @@ let remove_block g bid =
 
 let iter_blocks g f =
   for id = 0 to g.n_blocks - 1 do
-    match g.blocks.(id) with Some b -> f b | None -> ()
+    if g.blk_live.(id) then f id
   done
 
 let fold_blocks g f acc =
@@ -544,11 +1089,11 @@ let fold_blocks g f acc =
   iter_blocks g (fun b -> acc := f !acc b);
   !acc
 
-let block_ids g = fold_blocks g (fun acc b -> b.blk_id :: acc) [] |> List.rev
+let block_ids g = List.rev (fold_blocks g (fun acc b -> b :: acc) [])
 
 let iter_instrs g f =
   for id = 0 to g.n_instrs - 1 do
-    match g.instrs.(id) with Some i -> f i | None -> ()
+    if g.ins_block.(id) <> dead then f id
   done
 
 let fold_instrs g f acc =
@@ -556,38 +1101,115 @@ let fold_instrs g f acc =
   iter_instrs g (fun i -> acc := f !acc i);
   !acc
 
-(** All instruction ids of a block in execution order: phis then body. *)
-let block_instrs g bid =
-  let b = block g bid in
-  b.phis @ b.body
-
 (* Maintained incrementally by the mutation API (alloc / remove) so the
    hot per-duplication work charge in the driver is O(1) instead of an
    arena scan. *)
 let live_instr_count g = g.n_live
-let live_block_count g = fold_blocks g (fun n _ -> n + 1) 0
+let live_block_count g = g.n_live_blocks
 
-(** Rename a predecessor entry of [bid] from [old_pred] to [new_pred],
-    keeping the phi inputs of [bid] untouched (used when a jump-only
-    block is merged into its predecessor). *)
 let replace_pred g bid ~old_pred ~new_pred =
   save_block g bid;
   touch g;
-  let b = block g bid in
-  b.preds <- List.map (fun p -> if p = old_pred then new_pred else p) b.preds
+  check_block g bid;
+  g.blk_preds.(bid) <-
+    Array.map (fun p -> if p = old_pred then new_pred else p) g.blk_preds.(bid)
+
+(* ------------------------------------------------------------------ *)
+(* Free lists / compaction                                             *)
+(* ------------------------------------------------------------------ *)
+
+let set_recycle g b = g.recycle <- b
+let recycling g = g.recycle
+let free_instr_slots g = g.n_free_instrs
+
+let compact g =
+  if g.journaling then invalid_arg "Graph.compact: speculation active";
+  let n = g.n_instrs in
+  let map = Array.make (max 1 n) (-1) in
+  let next = ref 0 in
+  let number id =
+    map.(id) <- !next;
+    incr next
+  in
+  iter_blocks g (fun bid -> iter_block_instrs g bid number);
+  (* Detached live instructions keep their relative order at the end. *)
+  for id = 0 to n - 1 do
+    if g.ins_block.(id) = detached then number id
+  done;
+  let live = !next in
+  let cap = max 16 live in
+  let kinds = Array.make cap Null in
+  let ins_block = Array.make cap dead in
+  let remap v = if v >= 0 then map.(v) else v in
+  for id = 0 to n - 1 do
+    let id' = map.(id) in
+    if id' >= 0 then begin
+      kinds.(id') <- map_inputs remap g.kinds.(id);
+      ins_block.(id') <- g.ins_block.(id)
+    end
+  done;
+  let old_order =
+    List.rev
+      (fold_blocks g (fun acc bid -> (bid, phis g bid, body g bid) :: acc) [])
+  in
+  g.kinds <- kinds;
+  g.ins_block <- ins_block;
+  g.seq_prev <- Array.make cap (-1);
+  g.seq_next <- Array.make cap (-1);
+  g.use_head <- Array.make cap (-1);
+  g.n_instrs <- live;
+  g.free_instr <- -1;
+  g.n_free_instrs <- 0;
+  g.i_stamp <- Array.make cap 0;
+  g.u_stamp <- Array.make cap 0;
+  (* Rebuild the intra-block chains with the new ids. *)
+  List.iter
+    (fun (bid, ps, bs) ->
+      g.phi_head.(bid) <- -1;
+      g.phi_tail.(bid) <- -1;
+      g.body_head.(bid) <- -1;
+      g.body_tail.(bid) <- -1;
+      g.blk_size.(bid) <- 0;
+      List.iter (fun id -> chain_append g bid map.(id) ~phi:true) ps;
+      List.iter (fun id -> chain_append g bid map.(id) ~phi:false) bs)
+    old_order;
+  (* Remap terminator operands and rebuild use chains from scratch. *)
+  iter_blocks g (fun bid ->
+      g.blk_term.(bid) <-
+        (match g.blk_term.(bid) with
+        | Return (Some v) -> Return (Some (remap v))
+        | Branch br -> Branch { br with cond = remap br.cond }
+        | t -> t));
+  g.n_cells <- 0;
+  g.free_cell <- -1;
+  for id = 0 to g.n_instrs - 1 do
+    iter_inputs (fun v -> add_use_enc g v (enc_instr id)) g.kinds.(id)
+  done;
+  iter_blocks g (fun bid ->
+      iter_term_inputs
+        (fun v -> add_use_enc g v (enc_term bid))
+        g.blk_term.(bid));
+  (* Ids changed: every cached analysis and external table is stale. *)
+  touch g;
+  g.cache <- No_cache;
+  map
 
 (* ------------------------------------------------------------------ *)
 (* Orders                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(** Reverse postorder over reachable blocks. *)
 let rpo g =
-  let visited = Array.make g.n_blocks false in
+  let visited = Bytes.make (max 1 g.n_blocks) '\000' in
   let order = ref [] in
   let rec dfs bid =
-    if not visited.(bid) then begin
-      visited.(bid) <- true;
-      List.iter dfs (succs g bid);
+    if Bytes.unsafe_get visited bid = '\000' then begin
+      Bytes.unsafe_set visited bid '\001';
+      (match g.blk_term.(bid) with
+      | Jump b -> dfs b
+      | Branch { if_true; if_false; _ } ->
+          dfs if_true;
+          if if_false <> if_true then dfs if_false
+      | Return _ | Unreachable -> ());
       order := bid :: !order
     end
   in
@@ -599,44 +1221,29 @@ let reachable g =
   List.iter (fun b -> set.(b) <- true) (rpo g);
   set
 
-(** Delete every block not reachable from the entry (dropping their edges
-    into reachable blocks, with the matching phi inputs).  Returns true if
-    anything was removed. *)
 let remove_unreachable_blocks g =
   let reach = reachable g in
-  let dead =
-    fold_blocks g
-      (fun acc b -> if reach.(b.blk_id) then acc else b.blk_id :: acc)
-      []
+  let dead_blocks =
+    fold_blocks g (fun acc b -> if reach.(b) then acc else b :: acc) []
   in
-  if dead = [] then false
+  if dead_blocks = [] then false
   else begin
     (* Drop all edges out of dead blocks (this also removes phi inputs
        that reachable merge blocks held for them). *)
-    List.iter (fun bid -> set_term g bid Unreachable) dead;
+    List.iter (fun bid -> set_term g bid Unreachable) dead_blocks;
     (* Clear def-use edges among dead instructions, then delete them. *)
     List.iter
       (fun bid ->
         List.iter (fun id -> set_kind g id (Const 0)) (block_instrs g bid))
-      dead;
+      dead_blocks;
     List.iter
       (fun bid ->
         save_block g bid;
         touch g;
-        let b = block g bid in
-        List.iter
-          (fun id ->
-            save_instr g id;
-            save_uses g id;
-            g.instrs.(id) <- None;
-            g.uses.(id) <- [];
-            g.n_live <- g.n_live - 1)
-          (b.phis @ b.body);
-        b.phis <- [];
-        b.body <- [];
-        b.preds <- [];
-        g.blocks.(bid) <- None)
-      dead;
+        let members = block_instrs g bid in
+        List.iter (fun id -> kill_slot g id) members;
+        kill_block_slot g bid)
+      dead_blocks;
     true
   end
 
@@ -644,68 +1251,88 @@ let remove_unreachable_blocks g =
 (* Deep copy                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(** Overwrite [g]'s contents with those of [backup] (a graph produced by
-    {!copy}).  Used by the backtracking duplication strategy to undo a
-    tentative transformation while keeping the same graph identity. *)
+let copy g =
+  {
+    g with
+    kinds = Array.copy g.kinds;
+    ins_block = Array.copy g.ins_block;
+    seq_prev = Array.copy g.seq_prev;
+    seq_next = Array.copy g.seq_next;
+    use_head = Array.copy g.use_head;
+    cell_user = Array.copy g.cell_user;
+    cell_next = Array.copy g.cell_next;
+    blk_live = Array.copy g.blk_live;
+    blk_term = Array.copy g.blk_term;
+    blk_preds = Array.copy g.blk_preds;
+    phi_head = Array.copy g.phi_head;
+    phi_tail = Array.copy g.phi_tail;
+    body_head = Array.copy g.body_head;
+    body_tail = Array.copy g.body_tail;
+    blk_size = Array.copy g.blk_size;
+    generation = 0;
+    cache = No_cache;
+    (* The copy gets fresh (empty) journal pools. *)
+    journaling = false;
+    epoch = 0;
+    i_stamp = Array.make (Array.length g.kinds) 0;
+    b_stamp = Array.make (Array.length g.blk_term) 0;
+    u_stamp = Array.make (Array.length g.kinds) 0;
+    ji_ids = Array.make 32 0;
+    ji_kind = Array.make 32 Null;
+    ji_block = Array.make 32 0;
+    ji_n = 0;
+    jb_ids = Array.make 16 0;
+    jb_term = Array.make 16 Unreachable;
+    jb_preds = Array.make 16 no_preds;
+    jb_phi_off = Array.make 16 0;
+    jb_phi_len = Array.make 16 0;
+    jb_body_off = Array.make 16 0;
+    jb_body_len = Array.make 16 0;
+    jb_n = 0;
+    ju_ids = Array.make 32 0;
+    ju_off = Array.make 32 0;
+    ju_len = Array.make 32 0;
+    ju_n = 0;
+    jbuf = Array.make 64 0;
+    jbuf_n = 0;
+  }
+
 let restore g ~backup =
-  (match g.journal with
-  | Some _ -> invalid_arg "Graph.restore: speculation active (use rollback)"
-  | None -> ());
-  g.instrs <-
-    Array.map
-      (Option.map (fun i ->
-           { ins_id = i.ins_id; kind = i.kind; ins_block = i.ins_block }))
-      backup.instrs;
+  if g.journaling then
+    invalid_arg "Graph.restore: speculation active (use rollback)";
+  g.kinds <- Array.copy backup.kinds;
+  g.ins_block <- Array.copy backup.ins_block;
+  g.seq_prev <- Array.copy backup.seq_prev;
+  g.seq_next <- Array.copy backup.seq_next;
+  g.use_head <- Array.copy backup.use_head;
   g.n_instrs <- backup.n_instrs;
-  g.blocks <-
-    Array.map
-      (Option.map (fun b ->
-           {
-             blk_id = b.blk_id;
-             phis = b.phis;
-             body = b.body;
-             term = b.term;
-             preds = b.preds;
-           }))
-      backup.blocks;
+  g.free_instr <- backup.free_instr;
+  g.n_free_instrs <- backup.n_free_instrs;
+  g.cell_user <- Array.copy backup.cell_user;
+  g.cell_next <- Array.copy backup.cell_next;
+  g.n_cells <- backup.n_cells;
+  g.free_cell <- backup.free_cell;
+  g.blk_live <- Array.copy backup.blk_live;
+  g.blk_term <- Array.copy backup.blk_term;
+  g.blk_preds <- Array.copy backup.blk_preds;
+  g.phi_head <- Array.copy backup.phi_head;
+  g.phi_tail <- Array.copy backup.phi_tail;
+  g.body_head <- Array.copy backup.body_head;
+  g.body_tail <- Array.copy backup.body_tail;
+  g.blk_size <- Array.copy backup.blk_size;
   g.n_blocks <- backup.n_blocks;
+  g.free_block <- backup.free_block;
   g.entry <- backup.entry;
-  g.uses <- Array.copy backup.uses;
   g.n_live <- backup.n_live;
+  g.n_live_blocks <- backup.n_live_blocks;
+  (* Keep stamp arrays sized to the (possibly larger) restored arena. *)
+  if Array.length g.i_stamp < Array.length g.kinds then begin
+    g.i_stamp <- Array.make (Array.length g.kinds) 0;
+    g.u_stamp <- Array.make (Array.length g.kinds) 0
+  end;
+  if Array.length g.b_stamp < Array.length g.blk_term then
+    g.b_stamp <- Array.make (Array.length g.blk_term) 0;
   (* The overwrite is an arbitrary state change: advance the generation
      (never rewind — cached analyses key on it) and drop the cache. *)
   touch g;
   g.cache <- No_cache
-
-(** Deep copy of a graph.  Instruction and block ids are preserved, which
-    keeps external id-keyed tables meaningful across a copy (used by the
-    backtracking comparator). *)
-let copy g =
-  {
-    name = g.name;
-    n_params = g.n_params;
-    instrs =
-      Array.map
-        (Option.map (fun i ->
-             { ins_id = i.ins_id; kind = i.kind; ins_block = i.ins_block }))
-        g.instrs;
-    n_instrs = g.n_instrs;
-    blocks =
-      Array.map
-        (Option.map (fun b ->
-             {
-               blk_id = b.blk_id;
-               phis = b.phis;
-               body = b.body;
-               term = b.term;
-               preds = b.preds;
-             }))
-        g.blocks;
-    n_blocks = g.n_blocks;
-    entry = g.entry;
-    uses = Array.copy g.uses;
-    generation = 0;
-    n_live = g.n_live;
-    cache = No_cache;
-    journal = None;
-  }

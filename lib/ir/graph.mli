@@ -1,5 +1,14 @@
-(** The function graph: an arena of instructions and basic blocks with
-    maintained def-use chains and predecessor lists.
+(** The function graph: a flat, int-indexed arena of instructions and
+    basic blocks with maintained def-use chains and predecessor lists.
+
+    Storage is struct-of-arrays: instruction kinds, block membership and
+    the intra-block instruction order live in parallel unboxed [int]
+    arrays (intrusive doubly-linked chains), use lists are packed
+    intrusive chains over an int-cell pool, and liveness is a bitset —
+    no [option] boxing, no per-node records, and no allocation on the
+    mutation hot path beyond the kinds themselves.  Dead slots are
+    threaded onto explicit free-lists; ids stay stable (slots are only
+    recycled under {!set_recycle} or an explicit {!compact}).
 
     Invariants maintained by this module's mutation API (and checked by
     {!Verifier}):
@@ -7,30 +16,15 @@
       it, in a stable order;
     - every [Phi] has exactly one input per predecessor, aligned with the
       predecessor order;
-    - use lists record every instruction and terminator referencing a
+    - use chains record every instruction and terminator referencing a
       value.
 
-    The record types are transparent: analyses throughout the code base
-    read fields directly; all {e mutation} must go through this API so the
-    invariants hold. *)
+    All reads go through accessors; all mutation goes through this API so
+    the invariants (and the speculation journal) stay sound. *)
 
 open Types
 
 type user = U_instr of instr_id | U_term of block_id
-
-type instr = {
-  ins_id : instr_id;
-  mutable kind : instr_kind;
-  mutable ins_block : block_id;  (** -1 when detached *)
-}
-
-type block = {
-  blk_id : block_id;
-  mutable phis : instr_id list;
-  mutable body : instr_id list;
-  mutable term : terminator;
-  mutable preds : block_id list;
-}
 
 (** Extensible per-graph cache slot.  {!Analyses} stores memoized CFG
     analyses here, keyed on {!generation}; the slot is saved and restored
@@ -39,24 +33,7 @@ type cache = ..
 
 type cache += No_cache
 
-(** Copy-on-demand undo log; see {!checkpoint}. *)
-type journal
-
-type t = {
-  name : string;
-  n_params : int;
-  mutable instrs : instr option array;
-  mutable n_instrs : int;
-  mutable blocks : block option array;
-  mutable n_blocks : int;
-  mutable entry : block_id;
-  mutable uses : user list array;
-  mutable generation : int;
-      (** bumped by every mutation; analysis caches key on it *)
-  mutable n_live : int;  (** live instruction count, maintained *)
-  mutable cache : cache;
-  mutable journal : journal option;
-}
+type t
 
 val name : t -> string
 val n_params : t -> int
@@ -67,16 +44,30 @@ val entry : t -> block_id
     checkpoint state). *)
 val generation : t -> int
 
+(** Arena high-water marks: every live instruction (block) id is
+    [< n_instrs] ([< n_blocks]).  Sized for flat side-tables. *)
+val n_instrs : t -> int
+
+val n_blocks : t -> int
+
+(** The analysis-cache slot (see {!Analyses}). *)
+val cache : t -> cache
+
+val set_cache : t -> cache -> unit
+
 val create : ?name:string -> n_params:int -> unit -> t
 
 (** {2 Speculation (checkpoint / rollback)}
 
     A copy-on-demand alternative to {!copy}/{!restore}: {!checkpoint}
     starts journaling, after which every mutation first saves the
-    pre-state of the block / instruction / use list it touches (only the
+    pre-state of the block / instruction / use chain it touches (only the
     first time each is touched).  {!rollback} undoes everything since the
     checkpoint; {!commit} keeps it and drops the journal.  One level
-    only — checkpoints do not nest. *)
+    only — checkpoints do not nest.  The journal's storage is pooled
+    inside the graph and reused across checkpoints, so repeated
+    speculation (the backtracking strategy) allocates nothing per
+    attempt beyond first-touch snapshots. *)
 
 val checkpoint : t -> unit
 val commit : t -> unit
@@ -85,38 +76,48 @@ val in_speculation : t -> bool
 
 (** {2 Hand-mutation hooks}
 
-    The few modules that write graph record fields directly (the SSA
-    repairer and inliner moving terminators and bodies by hand, constant
-    hoisting) must announce each mutation {e before} performing it so the
-    journal and generation counter stay sound. *)
+    Retained for transforms that patch terminators through {!patch_term}
+    after announcing the mutation; ordinary code never needs them. *)
 
 val record_block : t -> block_id -> unit
 val record_instr : t -> instr_id -> unit
 
 (** {2 Arena access} *)
 
-(** @raise Invalid_argument on a dead id. *)
-val instr : t -> instr_id -> instr
-
-(** @raise Invalid_argument on a dead id. *)
-val block : t -> block_id -> block
-
 val instr_exists : t -> instr_id -> bool
 val block_exists : t -> block_id -> bool
+
+(** @raise Invalid_argument on a dead id. *)
 val kind : t -> instr_id -> instr_kind
 
-(** The block an instruction lives in (-1 when detached). *)
+(** The block an instruction lives in (-1 when detached).
+    @raise Invalid_argument on a dead id. *)
 val block_of : t -> instr_id -> block_id
 
-(** All recorded users of a value (duplicates appear once per read). *)
+(** All recorded users of a value, most recent first (duplicates appear
+    once per read). *)
 val uses : t -> value -> user list
 
+(** Non-allocating iteration over a value's users (read-only: do not
+    mutate the graph from [f]). *)
+val iter_uses : t -> value -> (user -> unit) -> unit
+
+(** Like {!iter_uses} but hands out the packed user encoding — zero
+    allocation per visit.  Decode with {!user_is_term} (terminator use?)
+    and {!user_target} (the using instruction, or the block whose
+    terminator reads the value). *)
+val iter_uses_enc : t -> value -> (int -> unit) -> unit
+
+val user_is_term : int -> bool
+val user_target : int -> int
+
+val has_uses : t -> value -> bool
 val is_phi : t -> instr_id -> bool
 
 (** {2 Low-level use bookkeeping}
 
-    Exposed for transforms that move terminators by hand (the inliner);
-    ordinary code never needs them. *)
+    Exposed for transforms that move terminators by hand; ordinary code
+    never needs them. *)
 
 val add_use : t -> value -> user -> unit
 val remove_use : t -> value -> user -> unit
@@ -134,12 +135,15 @@ val prepend : t -> block_id -> instr_kind -> instr_id
 
 (** {2 Mutation} *)
 
-(** Replace an instruction's kind, keeping use lists consistent. *)
+(** Replace an instruction's kind, keeping use chains consistent. *)
 val set_kind : t -> instr_id -> instr_kind -> unit
 
 val succs_of_term : terminator -> block_id list
 val succs : t -> block_id -> block_id list
 val preds : t -> block_id -> block_id list
+val pred_count : t -> block_id -> int
+val pred_nth : t -> block_id -> int -> block_id
+val iter_preds : t -> block_id -> (block_id -> unit) -> unit
 
 (** Position of [pred] in the predecessor list (= the phi input index).
     @raise Invalid_argument when absent. *)
@@ -152,6 +156,19 @@ val set_term : t -> block_id -> terminator -> unit
 
 val term : t -> block_id -> terminator
 
+(** Replace a block's terminator with one that has the {e same successor
+    blocks} (e.g. substituting the returned value or branch condition).
+    Cheaper than {!set_term}: predecessor lists and phis are untouched;
+    only the journal and use chains are maintained. *)
+val patch_term : t -> block_id -> terminator -> unit
+
+(** Move [src]'s terminator to [dst] (whose terminator must be
+    [Unreachable] with no successors), renaming the edge source in every
+    successor's predecessor list — phi inputs keep their positions.
+    [src] is left [Unreachable].  The block-splitting primitive of the
+    inliner. *)
+val transfer_term : t -> src:block_id -> dst:block_id -> unit
+
 (** Redirect the edge [from_block -> old_target] to [new_target].  The phi
     inputs that [old_target] held for this edge are dropped; phis of
     [new_target] (if any) receive {!Types.invalid_value} for the new
@@ -162,7 +179,7 @@ val redirect_edge :
 (** Replace every use of a value (in instructions and terminators). *)
 val replace_uses : t -> value -> by:value -> unit
 
-(** Detach and delete an instruction.
+(** Detach and delete an instruction; its slot goes on the free-list.
     @raise Invalid_argument when it still has uses. *)
 val remove_instr : t -> instr_id -> unit
 
@@ -173,6 +190,10 @@ val detach : t -> instr_id -> unit
     list). *)
 val attach : t -> instr_id -> block_id -> unit
 
+(** Re-attach a detached instruction at the head of a block's body (or
+    phi list) — constant hoisting. *)
+val attach_front : t -> instr_id -> block_id -> unit
+
 (** Delete a whole block; its predecessor edges must already be gone. *)
 val remove_block : t -> block_id -> unit
 
@@ -181,19 +202,60 @@ val remove_block : t -> block_id -> unit
     predecessor). *)
 val replace_pred : t -> block_id -> old_pred:block_id -> new_pred:block_id -> unit
 
-(** {2 Iteration} *)
+(** {2 Iteration}
 
-val iter_blocks : t -> (block -> unit) -> unit
-val fold_blocks : t -> ('a -> block -> 'a) -> 'a -> 'a
+    Iterators pass ids (not records); all are in increasing-id order for
+    arenas and chain order within blocks. *)
+
+val iter_blocks : t -> (block_id -> unit) -> unit
+val fold_blocks : t -> ('a -> block_id -> 'a) -> 'a -> 'a
 val block_ids : t -> block_id list
-val iter_instrs : t -> (instr -> unit) -> unit
-val fold_instrs : t -> ('a -> instr -> 'a) -> 'a -> 'a
+val iter_instrs : t -> (instr_id -> unit) -> unit
+val fold_instrs : t -> ('a -> instr_id -> 'a) -> 'a -> 'a
+
+(** Non-allocating in-order iteration over a block's phis / body /
+    both. *)
+val iter_phis : t -> block_id -> (instr_id -> unit) -> unit
+
+val iter_body : t -> block_id -> (instr_id -> unit) -> unit
+val iter_block_instrs : t -> block_id -> (instr_id -> unit) -> unit
+
+(** Materialized phi / body lists in execution order (cold paths;
+    prefer the iterators above on hot paths). *)
+val phis : t -> block_id -> instr_id list
+
+val body : t -> block_id -> instr_id list
 
 (** All instruction ids of a block in execution order: phis then body. *)
 val block_instrs : t -> block_id -> instr_id list
 
+(** Number of instructions in a block (phis + body), O(1). *)
+val block_size : t -> block_id -> int
+
 val live_instr_count : t -> int
 val live_block_count : t -> int
+
+(** {2 Free-lists / compaction}
+
+    Dead slots are threaded onto free-lists.  By default they are {e not}
+    recycled — ids stay monotonic, so printed output is reproducible
+    across runs.  [set_recycle g true] lets {!append}/{!prepend}/
+    {!add_block} pop free slots instead of growing the arena (never
+    while a checkpoint is active: rollback truncates by watermark).
+    {!compact} renumbers instructions densely (dropping all free slots),
+    returning the old→new id mapping. *)
+
+val set_recycle : t -> bool -> unit
+val recycling : t -> bool
+
+(** Dead instruction slots currently on the free-list. *)
+val free_instr_slots : t -> int
+
+(** Renumber live instructions densely in (block, position) order of the
+    current iteration order; rewrites operands, phis and use chains.
+    Returns an array mapping old id → new id (-1 for dead slots).  Must
+    not be called during speculation. *)
+val compact : t -> int array
 
 (** {2 Orders} *)
 

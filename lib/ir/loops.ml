@@ -21,7 +21,7 @@ let is_header t b = b < Array.length t.loop_header && t.loop_header.(b)
 
 let compute (dom : Dom.t) =
   let g = Dom.graph dom in
-  let n = g.Graph.n_blocks in
+  let n = Graph.n_blocks g in
   let back_edges = ref [] in
   List.iter
     (fun b ->
@@ -54,13 +54,11 @@ let compute (dom : Dom.t) =
           edges;
         while not (Queue.is_empty worklist) do
           let b = Queue.pop worklist in
-          List.iter
-            (fun p ->
+          Graph.iter_preds g b (fun p ->
               if Dom.is_reachable dom p && not (Hashtbl.mem in_body p) then begin
                 Hashtbl.add in_body p ();
                 Queue.add p worklist
               end)
-            (Graph.preds g b)
         done;
         let body = Hashtbl.fold (fun b () acc -> b :: acc) in_body [] in
         List.iter (fun b -> loop_depth.(b) <- loop_depth.(b) + 1) body;

@@ -8,6 +8,20 @@
     which load-balances uneven per-item cost; each item is processed by
     exactly one domain.
 
+    [map_weighted ~jobs ~weight f items] additionally applies
+    longest-processing-time-first scheduling: items are dispatched in
+    descending [weight] order (ties broken by input position, so the
+    dispatch schedule is deterministic), which bounds the makespan at
+    4/3 · OPT instead of 2 · OPT for arbitrary arrival order.  The
+    shared atomic cursor doubles as work stealing — a worker that
+    finishes early simply claims the next-heaviest remaining item.
+    Results still come back in input order, and because each item is
+    owned by exactly one domain the output is byte-identical to the
+    sequential run for any [jobs].
+
+    Per-worker busy time is recorded into an optional {!util} so callers
+    (the bench harness) can report scheduler utilization.
+
     Exceptions raised by [f] are captured per item and re-raised in the
     calling domain (the earliest-indexed failure wins), with their
     backtrace preserved.
@@ -18,6 +32,24 @@
     class table) must be read-only. *)
 
 let default_jobs () = Domain.recommended_domain_count ()
+
+(** Scheduler observability: per-worker busy seconds (time spent inside
+    [f]) and the pool's wall-clock elapsed time.  Worker 0 is the
+    calling domain. *)
+type util = {
+  workers : int;
+  busy : float array;  (** seconds inside [f], per worker *)
+  items : int array;  (** items processed, per worker *)
+  elapsed : float;  (** pool wall-clock seconds *)
+}
+
+(** Mean busy fraction across workers, in [0, 1]. *)
+let utilization u =
+  if u.workers = 0 || u.elapsed <= 0.0 then 1.0
+  else
+    Float.min 1.0
+      (Array.fold_left ( +. ) 0.0 u.busy
+      /. (float_of_int u.workers *. u.elapsed))
 
 (* Join every domain, even if some join re-raises a worker's uncaught
    exception; the earliest-spawned failure is re-raised only after all
@@ -35,55 +67,139 @@ let join_all helpers =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
-let map ~jobs f items =
+let now () = Unix.gettimeofday ()
+
+(* Shared pool body: run [f] over [arr] with [jobs] domains pulling
+   positions in [order] (the dispatch schedule) through one atomic
+   cursor.  Results land at their original index. *)
+let run_pool ~jobs ~stats f arr order =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let busy = Array.make jobs 0.0 in
+  let counts = Array.make jobs 0 in
+  let worker w () =
+    let continue_ = ref true in
+    while !continue_ do
+      let k = Atomic.fetch_and_add next 1 in
+      if k >= n then continue_ := false
+      else begin
+        let i = order.(k) in
+        let t0 = now () in
+        results.(i) <-
+          Some
+            (try Ok (f arr.(i))
+             with e -> Error (e, Printexc.get_raw_backtrace ()));
+        busy.(w) <- busy.(w) +. (now () -. t0);
+        counts.(w) <- counts.(w) + 1
+      end
+    done
+  in
+  let t_start = now () in
+  (* Spawn helpers one at a time: if a spawn fails (resource
+     exhaustion), the domains already running are joined before the
+     error propagates — no orphans draining the cursor unwatched. *)
+  let helpers = ref [] in
+  (try
+     for w = 1 to jobs - 1 do
+       helpers := Domain.spawn (worker w) :: !helpers
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     join_all !helpers;
+     Printexc.raise_with_backtrace e bt);
+  (* The calling domain works too: jobs domains total.  [worker]
+     captures per-item exceptions, so it normally cannot raise; the
+     explicit join-all-then-reraise path below keeps the guarantee
+     even for asynchronous exceptions (Out_of_memory, Stack_overflow)
+     in the caller's slice. *)
+  (match worker 0 () with
+  | () -> ()
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (try join_all !helpers with _ -> ());
+      Printexc.raise_with_backtrace e bt);
+  join_all !helpers;
+  (match stats with
+  | Some r ->
+      r :=
+        Some
+          { workers = jobs; busy; items = counts; elapsed = now () -. t_start }
+  | None -> ());
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       results)
+
+let identity_order n = Array.init n (fun i -> i)
+
+let sequential_map ~stats f items =
+  match stats with
+  | None -> List.map f items
+  | Some r ->
+      let t0 = now () in
+      let out = List.map f items in
+      let dt = now () -. t0 in
+      r :=
+        Some
+          {
+            workers = 1;
+            busy = [| dt |];
+            items = [| List.length items |];
+            elapsed = dt;
+          };
+      out
+
+let map ?stats ~jobs f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then List.map f items
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue_ = ref true in
-      while !continue_ do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue_ := false
-        else
-          results.(i) <-
-            Some
-              (try Ok (f arr.(i))
-               with e -> Error (e, Printexc.get_raw_backtrace ()))
-      done
-    in
-    (* Spawn helpers one at a time: if a spawn fails (resource
-       exhaustion), the domains already running are joined before the
-       error propagates — no orphans draining the cursor unwatched. *)
-    let helpers = ref [] in
-    (try
-       for _ = 2 to jobs do
-         helpers := Domain.spawn worker :: !helpers
-       done
-     with e ->
-       let bt = Printexc.get_raw_backtrace () in
-       join_all !helpers;
-       Printexc.raise_with_backtrace e bt);
-    (* The calling domain works too: jobs domains total.  [worker]
-       captures per-item exceptions, so it normally cannot raise; the
-       explicit join-all-then-reraise path below keeps the guarantee
-       even for asynchronous exceptions (Out_of_memory, Stack_overflow)
-       in the caller's slice. *)
-    (match worker () with
-    | () -> ()
-    | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        (try join_all !helpers with _ -> ());
-        Printexc.raise_with_backtrace e bt);
-    join_all !helpers;
-    Array.to_list
-      (Array.map
-         (function
-           | Some (Ok v) -> v
-           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-           | None -> assert false)
-         results)
-  end
+  if jobs <= 1 then sequential_map ~stats f items
+  else run_pool ~jobs ~stats f arr (identity_order n)
+
+(** [lpt_order weights] is the longest-processing-time-first dispatch
+    schedule: item positions sorted by descending weight, ties broken by
+    ascending input position (deterministic for equal weights). *)
+let lpt_order weights =
+  let order = identity_order (Array.length weights) in
+  Array.sort
+    (fun a b ->
+      let c = compare weights.(b) weights.(a) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+(** Size-aware {!map}: dispatch in descending [weight] order (LPT) so a
+    heavyweight item claimed late cannot stretch the makespan.  Same
+    determinism guarantees as {!map}. *)
+let map_weighted ?stats ~jobs ~weight f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then sequential_map ~stats f items
+  else run_pool ~jobs ~stats f arr (lpt_order (Array.map weight arr))
+
+(** Deterministic LPT makespan model: given per-item costs and the
+    worker count, simulate the greedy longest-first assignment and
+    return (makespan, total).  Used by the bench harness to report the
+    scheduler's modeled speedup when the host has fewer cores than
+    requested jobs (speedup = total / makespan). *)
+let lpt_makespan ~jobs costs =
+  let jobs = max 1 jobs in
+  let order = lpt_order costs in
+  let load = Array.make jobs 0.0 in
+  Array.iter
+    (fun i ->
+      (* least-loaded worker gets the next-heaviest item *)
+      let w = ref 0 in
+      for k = 1 to jobs - 1 do
+        if load.(k) < load.(!w) then w := k
+      done;
+      load.(!w) <- load.(!w) +. costs.(i))
+    order;
+  let makespan = Array.fold_left Float.max 0.0 load in
+  let total = Array.fold_left ( +. ) 0.0 costs in
+  (makespan, total)

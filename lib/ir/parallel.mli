@@ -7,9 +7,45 @@
     are re-raised in the calling domain (earliest-indexed failure wins),
     with backtraces preserved.  A raising worker — or a failing spawn —
     never leaves sibling domains unjoined: all domains are joined before
-    anything propagates (explicit join-all-then-reraise). *)
+    anything propagates (explicit join-all-then-reraise).
+
+    [map_weighted] is the size-aware variant: items are dispatched in
+    descending weight order (longest-processing-time-first), bounding the
+    makespan at 4/3 · OPT; the shared cursor doubles as work stealing.
+    Output is identical to [map]'s for the same inputs. *)
 
 (** [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Scheduler observability: per-worker busy seconds and pool wall time.
+    Worker 0 is the calling domain. *)
+type util = {
+  workers : int;
+  busy : float array;  (** seconds inside [f], per worker *)
+  items : int array;  (** items processed, per worker *)
+  elapsed : float;  (** pool wall-clock seconds *)
+}
+
+(** Mean busy fraction across workers, in [0, 1]. *)
+val utilization : util -> float
+
+val map :
+  ?stats:util option ref -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_weighted ~jobs ~weight f items]: {!map} with
+    longest-processing-time-first dispatch by [weight] (ties broken by
+    input position, so the schedule is deterministic). *)
+val map_weighted :
+  ?stats:util option ref ->
+  jobs:int ->
+  weight:('a -> int) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+
+(** [lpt_makespan ~jobs costs] simulates the greedy
+    longest-processing-time-first assignment of [costs] onto [jobs]
+    workers and returns [(makespan, total_cost)].  The bench harness uses
+    this to model the parallel speedup ([total /. makespan]) when the
+    host machine has fewer cores than requested jobs. *)
+val lpt_makespan : jobs:int -> float array -> float * float

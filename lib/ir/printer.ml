@@ -36,19 +36,17 @@ let pp_term ppf = function
   | Unreachable -> Fmt.string ppf "unreachable"
 
 let pp_block g ppf bid =
-  let b = Graph.block g bid in
   Fmt.pf ppf "b%d:" bid;
-  (match b.Graph.preds with
+  (match Graph.preds g bid with
   | [] -> ()
   | preds ->
       Fmt.pf ppf "  ; preds: %a"
         Fmt.(list ~sep:(any ", ") (fmt "b%d"))
         preds);
   Fmt.pf ppf "@\n";
-  List.iter
-    (fun id -> Fmt.pf ppf "  v%d = %a@\n" id pp_kind (Graph.kind g id))
-    (Graph.block_instrs g bid);
-  Fmt.pf ppf "  %a@\n" pp_term b.Graph.term
+  Graph.iter_block_instrs g bid (fun id ->
+      Fmt.pf ppf "  v%d = %a@\n" id pp_kind (Graph.kind g id));
+  Fmt.pf ppf "  %a@\n" pp_term (Graph.term g bid)
 
 let pp_graph ppf g =
   Fmt.pf ppf "fn %s(%d params) entry=b%d@\n" (Graph.name g) (Graph.n_params g)
@@ -60,10 +58,10 @@ let pp_graph ppf g =
       Hashtbl.add printed bid ();
       pp_block g ppf bid)
     (Graph.rpo g);
-  Graph.iter_blocks g (fun b ->
-      if not (Hashtbl.mem printed b.Graph.blk_id) then begin
+  Graph.iter_blocks g (fun bid ->
+      if not (Hashtbl.mem printed bid) then begin
         Fmt.pf ppf "; unreachable:@\n";
-        pp_block g ppf b.Graph.blk_id
+        pp_block g ppf bid
       end)
 
 let graph_to_string g = Fmt.str "%a" pp_graph g

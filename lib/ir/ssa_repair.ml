@@ -142,21 +142,13 @@ let repair g ~classes =
           | Graph.U_term bid ->
               if bid <> def_block then begin
                 let v' = value_live_into g st bid in
-                if v' <> original then begin
-                  let b = Graph.block g bid in
-                  match b.Graph.term with
+                if v' <> original then
+                  match Graph.term g bid with
                   | Return (Some v) when v = original ->
-                      Graph.record_block g bid;
-                      Graph.remove_use g original (Graph.U_term bid);
-                      b.Graph.term <- Return (Some v');
-                      Graph.add_use g v' (Graph.U_term bid)
+                      Graph.patch_term g bid (Return (Some v'))
                   | Branch br when br.cond = original ->
-                      Graph.record_block g bid;
-                      Graph.remove_use g original (Graph.U_term bid);
-                      b.Graph.term <- Branch { br with cond = v' };
-                      Graph.add_use g v' (Graph.U_term bid)
+                      Graph.patch_term g bid (Branch { br with cond = v' })
                   | _ -> ()
-                end
               end
           | Graph.U_instr _ -> ())
         users;

@@ -152,6 +152,16 @@ let inputs_of_kind = function
   | Store (a, _, b) -> [ a; b ]
   | Phi vs | New (_, vs) | Call (_, vs) -> Array.to_list vs
 
+(** Apply [f] to every input of a kind, in order, without building a
+    list — the hot-path counterpart of {!inputs_of_kind}. *)
+let iter_inputs f = function
+  | Const _ | Null | Param _ | Load_global _ -> ()
+  | Binop (_, a, b) | Cmp (_, a, b) | Store (a, _, b) ->
+      f a;
+      f b
+  | Neg a | Not a | Load (a, _) | Store_global (_, a) -> f a
+  | Phi vs | New (_, vs) | Call (_, vs) -> Array.iter f vs
+
 (** Rewrite every input of a kind through [f]. *)
 let map_inputs f = function
   | (Const _ | Null | Param _ | Load_global _) as k -> k

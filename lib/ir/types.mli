@@ -85,6 +85,10 @@ val negate_cmp : cmpop -> cmpop
 (** Inputs read by an instruction, in order. *)
 val inputs_of_kind : instr_kind -> value list
 
+(** Apply a function to every input of a kind, in order, without building
+    a list — the hot-path counterpart of {!inputs_of_kind}. *)
+val iter_inputs : (value -> unit) -> instr_kind -> unit
+
 (** Rewrite every input of a kind through the function. *)
 val map_inputs : (value -> value) -> instr_kind -> instr_kind
 

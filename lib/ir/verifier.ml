@@ -1,6 +1,13 @@
 (** Structural and SSA well-formedness checks.  Tests run the verifier
     after every transformation; a failure message pinpoints the broken
-    invariant. *)
+    invariant.
+
+    The checks are arena-shaped: position maps and use-count tables are
+    flat int arrays indexed by instruction id (reset by walking the same
+    ids again, so a verify pass allocates O(arena) once and nothing per
+    block), and the dominance check reads the memoized {!Analyses.dom}
+    tree — on the common verify-then-optimize path the optimizer reuses
+    the same cached tree. *)
 
 open Types
 
@@ -10,81 +17,70 @@ let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
 
 let check_edges g =
   (* succs/preds must be mutually consistent over reachable blocks. *)
-  Graph.iter_blocks g (fun b ->
-      let bid = b.Graph.blk_id in
+  Graph.iter_blocks g (fun bid ->
       List.iter
         (fun s ->
           if not (Graph.block_exists g s) then
             fail "b%d targets dead block b%d" bid s;
-          if not (List.mem bid (Graph.preds g s)) then
+          let found = ref false in
+          Graph.iter_preds g s (fun p -> if p = bid then found := true);
+          if not !found then
             fail "b%d -> b%d edge missing from preds of b%d" bid s s)
         (Graph.succs g bid);
-      List.iter
-        (fun p ->
+      Graph.iter_preds g bid (fun p ->
           if not (Graph.block_exists g p) then
             fail "b%d lists dead predecessor b%d" bid p;
           if not (List.mem bid (Graph.succs g p)) then
             fail "b%d lists b%d as predecessor but b%d does not target it" bid
-              p p)
-        b.Graph.preds)
+              p p))
 
 let check_instr_placement g =
-  Graph.iter_blocks g (fun b ->
-      let bid = b.Graph.blk_id in
-      List.iter
-        (fun id ->
+  Graph.iter_blocks g (fun bid ->
+      Graph.iter_block_instrs g bid (fun id ->
           if not (Graph.instr_exists g id) then
             fail "b%d contains dead instruction v%d" bid id;
           if Graph.block_of g id <> bid then
             fail "v%d listed in b%d but claims block b%d" id bid
-              (Graph.block_of g id))
-        (Graph.block_instrs g bid);
-      List.iter
-        (fun id ->
+              (Graph.block_of g id));
+      Graph.iter_phis g bid (fun id ->
           match Graph.kind g id with
           | Phi _ -> ()
-          | _ -> fail "v%d is in the phi list of b%d but is not a phi" id bid)
-        b.Graph.phis;
-      List.iter
-        (fun id ->
+          | _ -> fail "v%d is in the phi list of b%d but is not a phi" id bid);
+      Graph.iter_body g bid (fun id ->
           match Graph.kind g id with
           | Phi _ -> fail "phi v%d appears in the body of b%d" id bid
-          | _ -> ())
-        b.Graph.body)
+          | _ -> ()))
 
 let check_phi_arity g =
-  Graph.iter_blocks g (fun b ->
-      let n_preds = List.length b.Graph.preds in
-      List.iter
-        (fun id ->
+  Graph.iter_blocks g (fun bid ->
+      let n_preds = Graph.pred_count g bid in
+      Graph.iter_phis g bid (fun id ->
           match Graph.kind g id with
           | Phi inputs ->
               if Array.length inputs <> n_preds then
-                fail "phi v%d in b%d has %d inputs for %d predecessors" id
-                  b.Graph.blk_id (Array.length inputs) n_preds;
+                fail "phi v%d in b%d has %d inputs for %d predecessors" id bid
+                  (Array.length inputs) n_preds;
               Array.iter
                 (fun v ->
                   if v = invalid_value then
-                    fail "phi v%d in b%d has an unfilled input" id b.Graph.blk_id)
+                    fail "phi v%d in b%d has an unfilled input" id bid)
                 inputs
-          | _ -> ())
-        b.Graph.phis)
+          | _ -> ()))
 
 let check_input_validity g =
-  Graph.iter_instrs g (fun i ->
-      List.iter
+  Graph.iter_instrs g (fun id ->
+      iter_inputs
         (fun v ->
-          if v = invalid_value then
-            fail "v%d has an invalid input" i.Graph.ins_id
+          if v = invalid_value then fail "v%d has an invalid input" id
           else if not (Graph.instr_exists g v) then
-            fail "v%d reads dead value v%d" i.Graph.ins_id v)
-        (inputs_of_kind i.Graph.kind));
-  Graph.iter_blocks g (fun b ->
+            fail "v%d reads dead value v%d" id v)
+        (Graph.kind g id));
+  Graph.iter_blocks g (fun bid ->
       let check v =
         if v = invalid_value || not (Graph.instr_exists g v) then
-          fail "terminator of b%d reads invalid value" b.Graph.blk_id
+          fail "terminator of b%d reads invalid value" bid
       in
-      match b.Graph.term with
+      match Graph.term g bid with
       | Return (Some v) -> check v
       | Branch { cond; _ } -> check cond
       | Jump _ | Return None | Unreachable -> ())
@@ -93,47 +89,48 @@ let check_input_validity g =
    every phi input is defined at the end of the corresponding predecessor
    (i.e. its def dominates that predecessor). *)
 let check_dominance g =
-  let dom = Dom.compute g in
-  Graph.iter_blocks g (fun b ->
-      let bid = b.Graph.blk_id in
+  let dom = Analyses.dom g in
+  (* Same-block ordering positions, shared across blocks: filled and
+     reset per block by walking the block's own ids. *)
+  let pos = Array.make (max 1 (Graph.n_instrs g)) (-1) in
+  Graph.iter_blocks g (fun bid ->
       if Dom.is_reachable dom bid then begin
-        (* Position map for same-block ordering checks. *)
-        let pos = Hashtbl.create 16 in
-        List.iteri (fun i id -> Hashtbl.add pos id i) (Graph.block_instrs g bid);
+        let next = ref 0 in
+        Graph.iter_block_instrs g bid (fun id ->
+            pos.(id) <- !next;
+            incr next);
         let def_ok use_id v =
           let def_block = Graph.block_of g v in
-          if def_block = bid then
+          if def_block = bid then begin
             (* Same-block: def must come first. *)
-            let p_use = Hashtbl.find pos use_id in
-            match Hashtbl.find_opt pos v with
-            | Some p_def when p_def < p_use -> ()
-            | _ -> fail "v%d uses v%d before its definition in b%d" use_id v bid
+            let p_def = pos.(v) in
+            if p_def < 0 || p_def >= pos.(use_id) then
+              fail "v%d uses v%d before its definition in b%d" use_id v bid
+          end
           else if not (Dom.strictly_dominates dom def_block bid) then
             fail "use of v%d (def b%d) in v%d (b%d) violates dominance" v
               def_block use_id bid
         in
-        List.iter
-          (fun id ->
+        Graph.iter_block_instrs g bid (fun id ->
             match Graph.kind g id with
             | Phi inputs ->
-                List.iteri
-                  (fun pred_i pred ->
+                let pred_i = ref 0 in
+                Graph.iter_preds g bid (fun pred ->
                     (* An edge from an unreachable predecessor (e.g. a
                        region cut off by a folded branch) is never taken;
                        dominance is undefined there and the input is
                        dead. *)
-                    if Dom.is_reachable dom pred then
-                      let v = inputs.(pred_i) in
-                      let def_block = Graph.block_of g v in
-                      if not (Dom.dominates dom def_block pred) then
-                        fail
-                          "phi v%d input v%d (def b%d) does not dominate \
-                           predecessor b%d"
-                          id v def_block pred)
-                  b.Graph.preds
-            | k -> List.iter (def_ok id) (inputs_of_kind k))
-          (Graph.block_instrs g bid);
-        match b.Graph.term with
+                    (if Dom.is_reachable dom pred then
+                       let v = inputs.(!pred_i) in
+                       let def_block = Graph.block_of g v in
+                       if not (Dom.dominates dom def_block pred) then
+                         fail
+                           "phi v%d input v%d (def b%d) does not dominate \
+                            predecessor b%d"
+                           id v def_block pred);
+                    incr pred_i)
+            | k -> List.iter (def_ok id) (inputs_of_kind k));
+        (match Graph.term g bid with
         | Return (Some v) ->
             let db = Graph.block_of g v in
             if db <> bid && not (Dom.strictly_dominates dom db bid) then
@@ -142,42 +139,46 @@ let check_dominance g =
             let db = Graph.block_of g cond in
             if db <> bid && not (Dom.strictly_dominates dom db bid) then
               fail "branch in b%d uses non-dominating v%d" bid cond
-        | Jump _ | Return None | Unreachable -> ()
+        | Jump _ | Return None | Unreachable -> ());
+        Graph.iter_block_instrs g bid (fun id -> pos.(id) <- -1)
       end)
 
 let check_uses g =
-  (* Use lists must match actual references. *)
-  let expected = Hashtbl.create 64 in
-  let record v user =
+  (* Use lists must match actual references, as multisets of
+     (value, user) pairs.  Keys pack the value id with the user's packed
+     encoding into one int, counted in an int-keyed table — no tuple
+     allocation per reference. *)
+  let expected : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let shift = 1 + (2 * Sys.int_size / 3) in
+  let key v enc = (v lsl shift) lor enc in
+  let record v enc =
     if v >= 0 then
-      Hashtbl.replace expected (v, user)
-        (1 + Option.value ~default:0 (Hashtbl.find_opt expected (v, user)))
+      let k = key v enc in
+      Hashtbl.replace expected k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt expected k))
   in
-  Graph.iter_instrs g (fun i ->
-      List.iter
-        (fun v -> record v (Graph.U_instr i.Graph.ins_id))
-        (inputs_of_kind i.Graph.kind));
-  Graph.iter_blocks g (fun b ->
-      match b.Graph.term with
-      | Return (Some v) -> record v (Graph.U_term b.Graph.blk_id)
-      | Branch { cond; _ } -> record cond (Graph.U_term b.Graph.blk_id)
+  Graph.iter_instrs g (fun id ->
+      iter_inputs (fun v -> record v (id lsl 1)) (Graph.kind g id));
+  Graph.iter_blocks g (fun bid ->
+      match Graph.term g bid with
+      | Return (Some v) -> record v ((bid lsl 1) lor 1)
+      | Branch { cond; _ } -> record cond ((bid lsl 1) lor 1)
       | Jump _ | Return None | Unreachable -> ());
-  Graph.iter_instrs g (fun i ->
-      let v = i.Graph.ins_id in
-      List.iter
-        (fun user ->
-          match Hashtbl.find_opt expected (v, user) with
-          | Some n when n > 0 -> Hashtbl.replace expected (v, user) (n - 1)
-          | _ -> fail "use list of v%d has a stale entry" v)
-        (Graph.uses g v));
+  Graph.iter_instrs g (fun v ->
+      Graph.iter_uses_enc g v (fun enc ->
+          let k = key v enc in
+          match Hashtbl.find_opt expected k with
+          | Some n when n > 0 -> Hashtbl.replace expected k (n - 1)
+          | _ -> fail "use list of v%d has a stale entry" v));
   Hashtbl.iter
-    (fun (v, _) n -> if n > 0 then fail "use list of v%d is missing an entry" v)
+    (fun k n ->
+      if n > 0 then fail "use list of v%d is missing an entry" (k lsr shift))
     expected
 
 let check_entry g =
   let entry = Graph.entry g in
   if not (Graph.block_exists g entry) then fail "entry block b%d is dead" entry;
-  if (Graph.block g entry).Graph.phis <> [] then fail "entry block has phis"
+  if Graph.phis g entry <> [] then fail "entry block has phis"
 
 (** Run all checks; raises {!Invalid} with a description on failure. *)
 let verify g =

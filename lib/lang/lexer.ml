@@ -124,7 +124,9 @@ let tokenize src =
   let n = String.length src in
   let pos = ref 0 and line = ref 1 and col = ref 1 in
   let tokens = ref [] in
-  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  (* NUL sentinel instead of an option: the lexer only ever compares the
+     lookahead against specific printable characters. *)
+  let peek1 () = if !pos + 1 < n then src.[!pos + 1] else '\000' in
   let advance () =
     (if src.[!pos] = '\n' then begin
        incr line;
@@ -139,16 +141,16 @@ let tokenize src =
     let c = src.[!pos] in
     let tl = !line and tc = !col in
     if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
-    else if c = '/' && peek 1 = Some '/' then
+    else if c = '/' && peek1 () = '/' then
       while !pos < n && src.[!pos] <> '\n' do
         advance ()
       done
-    else if c = '/' && peek 1 = Some '*' then begin
+    else if c = '/' && peek1 () = '*' then begin
       advance ();
       advance ();
       let closed = ref false in
       while (not !closed) && !pos < n do
-        if src.[!pos] = '*' && peek 1 = Some '/' then begin
+        if src.[!pos] = '*' && peek1 () = '/' then begin
           advance ();
           advance ();
           closed := true
@@ -162,9 +164,7 @@ let tokenize src =
       while !pos < n && is_digit src.[!pos] do
         advance ()
       done;
-      if !pos < n && src.[!pos] = '.' && peek 1 <> None
-         && is_digit (Option.get (peek 1))
-      then begin
+      if !pos < n && src.[!pos] = '.' && is_digit (peek1 ()) then begin
         advance ();
         while !pos < n && is_digit src.[!pos] do
           advance ()
@@ -191,15 +191,15 @@ let tokenize src =
     else begin
       let two tok = advance (); advance (); emit tok ~line:tl ~col:tc in
       let one tok = advance (); emit tok ~line:tl ~col:tc in
-      match (c, peek 1) with
-      | '&', Some '&' -> two AMPAMP
-      | '|', Some '|' -> two PIPEPIPE
-      | '<', Some '<' -> two SHL
-      | '>', Some '>' -> two SHR
-      | '=', Some '=' -> two EQ
-      | '!', Some '=' -> two NE
-      | '<', Some '=' -> two LE
-      | '>', Some '=' -> two GE
+      match (c, peek1 ()) with
+      | '&', '&' -> two AMPAMP
+      | '|', '|' -> two PIPEPIPE
+      | '<', '<' -> two SHL
+      | '>', '>' -> two SHR
+      | '=', '=' -> two EQ
+      | '!', '=' -> two NE
+      | '<', '=' -> two LE
+      | '>', '=' -> two GE
       | '(', _ -> one LPAREN
       | ')', _ -> one RPAREN
       | '{', _ -> one LBRACE

@@ -20,10 +20,15 @@ let err fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
 type ctx = {
   g : G.t;
   prog : Ast.program;
-  locals : (string, unit) Hashtbl.t;  (** names that are function-local *)
-  current_defs : (T.block_id * string, T.value) Hashtbl.t;
+  locals : (string, int) Hashtbl.t;
+      (** function-local names, interned to dense indices *)
+  local_names : string array;  (** index -> name (for diagnostics) *)
+  n_locals : int;
+  current_defs : (int, T.value) Hashtbl.t;
+      (** keyed [block * n_locals + local]: int keys hash cheaply and
+          need no tuple allocation per variable read/write *)
   sealed : (T.block_id, unit) Hashtbl.t;
-  incomplete : (T.block_id, (string * T.value) list ref) Hashtbl.t;
+  incomplete : (T.block_id, (int * T.value) list ref) Hashtbl.t;
   resolved : (T.value, T.value) Hashtbl.t;
       (** forwarding for removed trivial phis *)
   mutable cur : T.block_id;
@@ -39,15 +44,17 @@ let rec resolve ctx v =
       final
   | None -> v
 
-let write_var ctx block name value =
-  Hashtbl.replace ctx.current_defs (block, name) value
+let defs_key ctx block local = (block * ctx.n_locals) + local
 
-let rec read_var ctx block name =
-  match Hashtbl.find_opt ctx.current_defs (block, name) with
+let write_var ctx block local value =
+  Hashtbl.replace ctx.current_defs (defs_key ctx block local) value
+
+let rec read_var ctx block local =
+  match Hashtbl.find_opt ctx.current_defs (defs_key ctx block local) with
   | Some v -> resolve ctx v
-  | None -> read_var_recursive ctx block name
+  | None -> read_var_recursive ctx block local
 
-and read_var_recursive ctx block name =
+and read_var_recursive ctx block local =
   let value =
     if not (Hashtbl.mem ctx.sealed block) then begin
       (* Incomplete CFG: create an operandless phi and complete it when
@@ -61,25 +68,26 @@ and read_var_recursive ctx block name =
             Hashtbl.replace ctx.incomplete block l;
             l
       in
-      pending := (name, phi) :: !pending;
+      pending := (local, phi) :: !pending;
       phi
     end
     else
       match G.preds ctx.g block with
-      | [] -> err "variable '%s' read before assignment" name
-      | [ p ] -> read_var ctx p name
+      | [] ->
+          err "variable '%s' read before assignment" ctx.local_names.(local)
+      | [ p ] -> read_var ctx p local
       | _ ->
           (* Break potential cycles with an operandless phi first. *)
           let phi = G.append ctx.g block (T.Phi [||]) in
-          write_var ctx block name phi;
-          add_phi_operands ctx block name phi
+          write_var ctx block local phi;
+          add_phi_operands ctx block local phi
   in
-  write_var ctx block name value;
+  write_var ctx block local value;
   value
 
-and add_phi_operands ctx block name phi =
+and add_phi_operands ctx block local phi =
   let inputs =
-    List.map (fun p -> read_var ctx p name) (G.preds ctx.g block)
+    List.map (fun p -> read_var ctx p local) (G.preds ctx.g block)
   in
   G.set_kind ctx.g phi (T.Phi (Array.of_list inputs));
   try_remove_trivial ctx phi
@@ -119,9 +127,9 @@ let seal_block ctx block =
   (match Hashtbl.find_opt ctx.incomplete block with
   | Some pending ->
       List.iter
-        (fun (name, phi) ->
+        (fun (local, phi) ->
           if G.instr_exists ctx.g phi then
-            ignore (add_phi_operands ctx block name phi))
+            ignore (add_phi_operands ctx block local phi))
         !pending;
       Hashtbl.remove ctx.incomplete block
   | None -> ());
@@ -162,10 +170,12 @@ let rec lower_expr ctx = function
   | EInt n -> append ctx (T.Const n)
   | EBool b -> append ctx (T.Const (if b then 1 else 0))
   | ENull -> append ctx T.Null
-  | EVar name ->
-      if Hashtbl.mem ctx.locals name then read_var ctx ctx.cur name
-      else if is_global ctx name then append ctx (T.Load_global name)
-      else err "unknown variable '%s'" name
+  | EVar name -> (
+      match Hashtbl.find_opt ctx.locals name with
+      | Some local -> read_var ctx ctx.cur local
+      | None ->
+          if is_global ctx name then append ctx (T.Load_global name)
+          else err "unknown variable '%s'" name)
   | EUnop (Neg, e) ->
       let v = lower_expr ctx e in
       append ctx (T.Neg v)
@@ -246,13 +256,15 @@ let rec lower_stmt ctx ~ret_type stmt =
           | Some e -> lower_expr ctx e
           | None -> default_value ctx ty
         in
-        write_var ctx ctx.cur name v
-    | SAssign (LVar name, e) ->
+        write_var ctx ctx.cur (Hashtbl.find ctx.locals name) v
+    | SAssign (LVar name, e) -> (
         let v = lower_expr ctx e in
-        if Hashtbl.mem ctx.locals name then write_var ctx ctx.cur name v
-        else if is_global ctx name then
-          ignore (append ctx (T.Store_global (name, v)))
-        else err "unknown variable '%s'" name
+        match Hashtbl.find_opt ctx.locals name with
+        | Some local -> write_var ctx ctx.cur local v
+        | None ->
+            if is_global ctx name then
+              ignore (append ctx (T.Store_global (name, v)))
+            else err "unknown variable '%s'" name)
     | SAssign (LField (obj, field), e) ->
         let vo = lower_expr ctx obj in
         let v = lower_expr ctx e in
@@ -328,9 +340,16 @@ let rec lower_stmt ctx ~ret_type stmt =
 
 let collect_locals f =
   let tbl = Hashtbl.create 16 in
-  List.iter (fun (_, name) -> Hashtbl.replace tbl name ()) f.fn_params;
+  let names = ref [] in
+  let add name =
+    if not (Hashtbl.mem tbl name) then begin
+      Hashtbl.add tbl name (Hashtbl.length tbl);
+      names := name :: !names
+    end
+  in
+  List.iter (fun (_, name) -> add name) f.fn_params;
   let rec scan_stmt = function
-    | SDecl (_, name, _) -> Hashtbl.replace tbl name ()
+    | SDecl (_, name, _) -> add name
     | SIf { then_; else_; _ } ->
         List.iter scan_stmt then_;
         List.iter scan_stmt else_
@@ -339,17 +358,20 @@ let collect_locals f =
     | SAssign _ | SReturn _ | SExpr _ -> ()
   in
   List.iter scan_stmt f.fn_body;
-  tbl
+  (tbl, Array.of_list (List.rev !names))
 
 let lower_function prog f =
   let g = G.create ~name:f.fn_name ~n_params:(List.length f.fn_params) () in
   let entry = G.add_block g in
   G.set_entry g entry;
+  let locals, local_names = collect_locals f in
   let ctx =
     {
       g;
       prog;
-      locals = collect_locals f;
+      locals;
+      local_names;
+      n_locals = max 1 (Array.length local_names);
       current_defs = Hashtbl.create 64;
       sealed = Hashtbl.create 16;
       incomplete = Hashtbl.create 8;
@@ -362,7 +384,7 @@ let lower_function prog f =
   List.iteri
     (fun i (_, name) ->
       let p = G.append g entry (T.Param i) in
-      write_var ctx entry name p)
+      write_var ctx entry (Hashtbl.find ctx.locals name) p)
     f.fn_params;
   List.iter (lower_stmt ctx ~ret_type:f.fn_ret) f.fn_body;
   (* Falling off the end: return the type's default. *)

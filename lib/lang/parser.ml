@@ -23,7 +23,9 @@ let advance st =
   | { tok = EOF; _ } :: _ -> ()
   | _ :: rest -> st.toks <- rest
 
-let check st tok = (peek st).tok = tok
+(* Only ever called with constant (payload-free) constructors, which are
+   immediates — physical equality decides exactly. *)
+let check st tok = (peek st).tok == tok
 
 let accept st tok =
   if check st tok then begin

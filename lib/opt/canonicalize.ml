@@ -58,16 +58,17 @@ let simplify ?self ~kind_of ~mk_const kind =
       | Not inner -> Alias inner
       | Cmp _ -> Unchanged (* handled by the phase: rewrite below *)
       | _ -> Unchanged)
-  | Phi inputs -> (
+  | Phi inputs ->
       (* Degenerate phis: all inputs identical, up to self-references
          (copy propagation). *)
-      match
-        Array.to_list inputs
-        |> List.filter (fun v -> Some v <> self)
-        |> List.sort_uniq compare
-      with
-      | [ v ] -> Alias v
-      | _ -> Unchanged)
+      let v = ref (-1) and distinct = ref false in
+      Array.iter
+        (fun x ->
+          let is_self = match self with Some s -> x = s | None -> false in
+          if not is_self then
+            if !v = -1 then v := x else if x <> !v then distinct := true)
+        inputs;
+      if !v >= 0 && not !distinct then Alias !v else Unchanged
   | Cmp (op, a, b) -> (
       let null_compare x y =
         (* x compared against null when x is statically non-null *)
@@ -152,13 +153,13 @@ let action_size original = function
     every use site (including earlier instructions of the entry block). *)
 let materialize_const g =
   let cache = Hashtbl.create 8 in
-  Ir.Graph.iter_instrs g (fun i ->
-      match i.Ir.Graph.kind with
+  Ir.Graph.iter_instrs g (fun id ->
+      match Ir.Graph.kind g id with
       | Const n ->
           if
-            Ir.Graph.block_of g i.Ir.Graph.ins_id = Ir.Graph.entry g
+            Ir.Graph.block_of g id = Ir.Graph.entry g
             && not (Hashtbl.mem cache n)
-          then Hashtbl.add cache n i.Ir.Graph.ins_id
+          then Hashtbl.add cache n id
       | _ -> ());
   let hoisted = Hashtbl.create 8 in
   fun n ->
@@ -166,13 +167,8 @@ let materialize_const g =
     | Some v ->
         if not (Hashtbl.mem hoisted v) then begin
           Hashtbl.add hoisted v ();
-          let entry = Ir.Graph.entry g in
           Ir.Graph.detach g v;
-          Ir.Graph.record_instr g v;
-          Ir.Graph.record_block g entry;
-          let b = Ir.Graph.block g entry in
-          (Ir.Graph.instr g v).Ir.Graph.ins_block <- entry;
-          b.Ir.Graph.body <- v :: b.Ir.Graph.body
+          Ir.Graph.attach_front g v (Ir.Graph.entry g)
         end;
         v
     | None ->
@@ -204,7 +200,7 @@ let apply_action g id = function
       (* Alias is only ever returned for pure kinds; delete the redundant
          instruction right away (leaving it would re-fire forever). *)
       Ir.Graph.replace_uses g id ~by:v;
-      if Ir.Graph.uses g id = [] then Ir.Graph.remove_instr g id;
+      if not (Ir.Graph.has_uses g id) then Ir.Graph.remove_instr g id;
       true
   | Rewrite k ->
       Ir.Graph.set_kind g id k;
@@ -218,8 +214,7 @@ let run ctx g =
   let progress = ref true in
   while !progress do
     progress := false;
-    Ir.Graph.iter_instrs g (fun i ->
-        let id = i.Ir.Graph.ins_id in
+    Ir.Graph.iter_instrs g (fun id ->
         if Ir.Graph.instr_exists g id then begin
           let action =
             simplify ~self:id ~kind_of ~mk_const (Ir.Graph.kind g id)

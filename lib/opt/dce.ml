@@ -4,37 +4,39 @@
 
     Roots: side-effecting instructions and terminator inputs.  Allocations
     count as effects here — removing a provably useless allocation is
-    escape analysis' job ({!Pea}), not DCE's. *)
+    escape analysis' job ({!Pea}), not DCE's.
+
+    The mark set is an {!Ir.Bitset} over instruction ids and the worklist
+    carries plain ints: marking allocates nothing. *)
 
 open Ir.Types
 module G = Ir.Graph
 
 let run ctx g =
   Phase.charge_graph ctx g;
-  let changed = ref (G.remove_unreachable_blocks g) in
-  let marked = Hashtbl.create 64 in
+  let changed = ref false in
+  let marked = Ir.Bitset.create (G.n_instrs g) in
   let worklist = Queue.create () in
   let mark v =
-    if not (Hashtbl.mem marked v) then begin
-      Hashtbl.add marked v ();
+    if not (Ir.Bitset.mem marked v) then begin
+      Ir.Bitset.add marked v;
       Queue.add v worklist
     end
   in
-  G.iter_instrs g (fun i ->
-      if has_side_effect i.G.kind then mark i.G.ins_id);
-  G.iter_blocks g (fun b ->
-      match b.G.term with
+  G.iter_instrs g (fun id ->
+      if has_side_effect (G.kind g id) then mark id);
+  G.iter_blocks g (fun bid ->
+      match G.term g bid with
       | Return (Some v) -> mark v
       | Branch { cond; _ } -> mark cond
       | Jump _ | Return None | Unreachable -> ());
   while not (Queue.is_empty worklist) do
     let v = Queue.pop worklist in
-    List.iter mark (inputs_of_kind (G.kind g v))
+    iter_inputs mark (G.kind g v)
   done;
   let dead =
     G.fold_instrs g
-      (fun acc i ->
-        if Hashtbl.mem marked i.G.ins_id then acc else i.G.ins_id :: acc)
+      (fun acc id -> if Ir.Bitset.mem marked id then acc else id :: acc)
       []
   in
   (* Clear inputs first so mutually-referencing dead instructions can be
@@ -49,6 +51,12 @@ let run ctx g =
   if dead <> [] then changed := true;
   !changed
 
-(* Deletes dead instructions plus unreachable blocks; as for {!Pea},
-   neither changes any analysis result over the reachable CFG. *)
-let phase = Phase.make ~preserves:Ir.Analyses.all_kinds "dce" run
+(* Deletes dead instructions only — unreachable blocks belong to the CFG
+   simplifier (and to the passes that fold branches).  That makes DCE's
+   pass-interaction contract tight: removing an unused, effect-free
+   instruction cannot create opportunities for any value- or CFG-level
+   pass; the only analysis in the pipeline that reads {e use counts} is
+   escape analysis, so a DCE firing re-enables {!Pea} alone and every
+   other convergence memo survives. *)
+let phase =
+  Phase.make ~preserves:Ir.Analyses.all_kinds ~enables:[ "pea" ] "dce" run

@@ -31,8 +31,7 @@ let run ctx g =
   let changed = ref false in
   let rec visit bid =
     let added = ref [] in
-    List.iter
-      (fun id ->
+    G.iter_block_instrs g bid (fun id ->
         let kind = G.kind g id in
         if is_candidate kind then begin
           let key = key_of_kind kind in
@@ -44,8 +43,7 @@ let run ctx g =
           | None ->
               Hashtbl.add table key id;
               added := key :: !added
-        end)
-      (G.block_instrs g bid);
+        end);
     List.iter visit (Ir.Dom.children dom bid);
     List.iter (Hashtbl.remove table) !added
   in

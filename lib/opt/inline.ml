@@ -33,44 +33,22 @@ let inline_site g call_id (callee : G.t) =
     | _ -> invalid_arg "inline_site: not a call"
   in
   (* Split the call block: everything after the call moves to [cont]. *)
-  let cb = G.block g call_block in
   let rec split before = function
     | [] -> invalid_arg "inline_site: call not found in its block"
     | id :: rest when id = call_id -> (List.rev before, rest)
     | id :: rest -> split (id :: before) rest
   in
-  let before, after = split [] cb.G.body in
-  G.record_block g call_block;
+  let _before, after = split [] (G.body g call_block) in
   let cont = G.add_block g in
-  G.record_block g cont;
   (* Move the call block's terminator to [cont], keeping successor
      predecessor lists and phi inputs intact (the edge source is renamed,
      its position is unchanged). *)
-  let old_term = cb.G.term in
-  List.iter
-    (fun s -> G.replace_pred g s ~old_pred:call_block ~new_pred:cont)
-    (G.succs g call_block);
-  List.iter
-    (fun v -> G.remove_use g v (G.U_term call_block))
-    (match old_term with
-    | Return (Some v) -> [ v ]
-    | Branch { cond; _ } -> [ cond ]
-    | Jump _ | Return None | Unreachable -> []);
-  cb.G.term <- Unreachable;
-  (G.block g cont).G.term <- old_term;
-  List.iter
-    (fun v -> G.add_use g v (G.U_term cont))
-    (match old_term with
-    | Return (Some v) -> [ v ]
-    | Branch { cond; _ } -> [ cond ]
-    | Jump _ | Return None | Unreachable -> []);
+  G.transfer_term g ~src:call_block ~dst:cont;
   (* Move the instructions after the call into [cont]. *)
-  cb.G.body <- before;
   List.iter
     (fun id ->
-      G.record_instr g id;
-      (G.instr g id).G.ins_block <- cont;
-      (G.block g cont).G.body <- (G.block g cont).G.body @ [ id ])
+      G.detach g id;
+      G.attach g id cont)
     after;
   (* Copy the callee's reachable blocks. *)
   let callee_rpo = G.rpo callee in
@@ -126,7 +104,7 @@ let inline_site g call_id (callee : G.t) =
   List.iter
     (fun ob ->
       let nb = new_block ob in
-      match (G.block callee ob).G.term with
+      match G.term callee ob with
       | Jump t -> G.set_term g nb (Jump (new_block t))
       | Branch { cond; if_true; if_false; prob } ->
           G.set_term g nb
@@ -221,8 +199,8 @@ let inline_graph ?(limits = default_limits) ctx program g =
     progress := false;
     let candidate =
       G.fold_instrs g
-        (fun acc i ->
-          match (acc, i.G.kind) with
+        (fun acc id ->
+          match (acc, G.kind g id) with
           | Some _, _ -> acc
           | None, Call (callee_name, _) -> (
               match Ir.Program.find_function program callee_name with
@@ -232,7 +210,7 @@ let inline_graph ?(limits = default_limits) ctx program g =
                      && graph_instrs callee <= limits.max_callee_size
                      && graph_instrs g + graph_instrs callee
                         <= limits.max_caller_size ->
-                  Some (i.G.ins_id, callee)
+                  Some (id, callee)
               | _ -> None)
           | None, _ -> None)
         None
@@ -260,7 +238,7 @@ let inline_program ?limits ctx program =
     | None -> 0
     | Some g ->
         G.fold_instrs g
-          (fun n i -> match i.G.kind with Call _ -> n + 1 | _ -> n)
+          (fun n id -> match G.kind g id with Call _ -> n + 1 | _ -> n)
           0
   in
   let ordered =

@@ -65,7 +65,7 @@ let run ctx g =
                       progress := true;
                       changed := true
                     end)
-                  (G.block g bid).G.body)
+                  (G.body g bid))
               loop.Ir.Loops.body
           done)
     (Ir.Loops.loops loops);

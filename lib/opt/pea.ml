@@ -63,8 +63,7 @@ let replace_scalar g alloc cls_fields args =
      whose value flows in from predecessors are resolved afterwards. *)
   let pending_loads = ref [] in
   let dead_stores = ref [] in
-  G.iter_blocks g (fun b ->
-      let bid = b.G.blk_id in
+  G.iter_blocks g (fun bid ->
       let cur : (string, value) Hashtbl.t = Hashtbl.create 4 in
       List.iter
         (fun id ->
@@ -97,7 +96,7 @@ let replace_scalar g alloc cls_fields args =
     !pending_loads;
   (* Delete the now-dead loads, stores and the allocation itself. *)
   List.iter (fun (load, _, _) -> G.remove_instr g load) !pending_loads;
-  G.iter_blocks g (fun b ->
+  G.iter_blocks g (fun bid ->
       List.iter
         (fun id ->
           if G.instr_exists g id then
@@ -105,7 +104,7 @@ let replace_scalar g alloc cls_fields args =
             | Load (base, _) when base = alloc && G.uses g id = [] ->
                 G.remove_instr g id
             | _ -> ())
-        b.G.body);
+        (G.body g bid));
   List.iter (fun s -> if G.uses g s = [] then G.remove_instr g s) !dead_stores;
   if G.uses g alloc = [] then begin
     G.remove_instr g alloc;
@@ -122,23 +121,35 @@ let run ctx g =
          may have disconnected blocks; scalar replacement walks every
          block, so drop dead ones first. *)
       let changed = ref (G.remove_unreachable_blocks g) in
-      let allocs =
-        G.fold_instrs g
-          (fun acc i ->
-            match i.G.kind with
-            | New (cls, args) -> (i.G.ins_id, cls, args) :: acc
-            | _ -> acc)
-          []
-      in
-      List.iter
-        (fun (alloc, cls, args) ->
-          if G.instr_exists g alloc && escape_state g alloc = No_escape then
-            match Ir.Program.find_class program cls with
-            | Some c when List.length c.Ir.Program.fields <= Array.length args ->
-                if replace_scalar g alloc c.Ir.Program.fields args then
-                  changed := true
-            | Some _ | None -> ())
-        allocs;
+      (* Scalarizing an outer object can un-escape the allocation stored
+         in its fields (the store that pinned it disappears), so iterate
+         until a whole sweep replaces nothing — one run digests a nested
+         allocation chain instead of dragging the full pipeline through
+         one fixpoint round per nesting level. *)
+      let continue_ = ref true in
+      while !continue_ do
+        continue_ := false;
+        let allocs =
+          G.fold_instrs g
+            (fun acc id ->
+              match G.kind g id with
+              | New (cls, args) -> (id, cls, args) :: acc
+              | _ -> acc)
+            []
+        in
+        List.iter
+          (fun (alloc, cls, args) ->
+            if G.instr_exists g alloc && escape_state g alloc = No_escape then
+              match Ir.Program.find_class program cls with
+              | Some c when List.length c.Ir.Program.fields <= Array.length args
+                ->
+                  if replace_scalar g alloc c.Ir.Program.fields args then begin
+                    changed := true;
+                    continue_ := true
+                  end
+              | Some _ | None -> ())
+          allocs
+      done;
       !changed
 
 (* Scalar replacement rewrites allocations and field accesses.  The

@@ -37,6 +37,11 @@ type ctx = {
   mutable preserve_analyses : bool;
       (** honor pass preservation contracts (on by default); off =
           the historical generation-bump-invalidates-everything mode *)
+  mutable memo_clean_passes : bool;
+      (** skip a pass when it already ran clean at the graph's current
+          generation (on by default); the driver turns it off in
+          diagnostic runs (fault injection / paranoia) where every pass
+          must really execute *)
   mutable check_contracts : bool;
       (** paranoid: recompute-and-compare every preserved analysis after
           each fired pass, raising {!Contract_violated} on a lie *)
@@ -54,6 +59,7 @@ let create ?program () =
     contained = [];
     pass_stats = [];
     preserve_analyses = true;
+    memo_clean_passes = true;
     check_contracts = false;
     post_phase = None;
   }
@@ -135,10 +141,17 @@ type t = {
       (** analyses whose cached values stay valid across this pass's own
           mutations; an empty list = the pass may change the CFG and
           preserves nothing *)
+  enables : string list option;
+      (** pass-interaction contract: when this pass fires, only the
+          named passes can gain new opportunities from its changes —
+          every other pass that ran clean on the pre-fire state is still
+          clean and keeps its convergence memo.  [None] (the default)
+          is conservative: firing may enable anything. *)
   run : ctx -> Ir.Graph.t -> bool;
 }
 
-let make ?(preserves = []) pass_name run = { pass_name; preserves; run }
+let make ?(preserves = []) ?enables pass_name run =
+  { pass_name; preserves; enables; run }
 
 (** A pass lied about its preservation contract: after [pass] ran, the
     cached [analysis] it declared preserved differs from a fresh
@@ -161,7 +174,7 @@ let () =
     recompute-and-compare contract check, and the post-phase
     verification hook.  Every pass execution in the system — fixpoint
     groups, DBDS tiers, standalone passes — goes through here. *)
-let run_pass ctx (p : t) g =
+let run_pass_now ctx (p : t) g =
   let stat = pass_stat ctx p.pass_name in
   let gen0 = Ir.Graph.generation g in
   let work0 = ctx.work in
@@ -190,9 +203,23 @@ let run_pass ctx (p : t) g =
                      reason;
                    }))
         p.preserves;
+    (match p.enables with
+    | Some enabled when ctx.memo_clean_passes ->
+        Ir.Analyses.keep_clean_except g ~since:gen0 ~enabled
+    | _ -> ());
     match ctx.post_phase with Some hook -> hook p.pass_name g | None -> ()
-  end;
+  end
+  else if Ir.Graph.generation g = gen0 then
+    (* Ran clean on this exact state: a deterministic pass will run
+       clean again until something mutates the graph.  (The generation
+       check matters — a pass may mutate yet report no semantic change,
+       e.g. hash-consing a constant nobody ended up using.) *)
+    Ir.Analyses.note_pass_clean g p.pass_name;
   fired
+
+let run_pass ctx (p : t) g =
+  if ctx.memo_clean_passes && Ir.Analyses.pass_clean g p.pass_name then false
+  else run_pass_now ctx p g
 
 (** Run passes in order repeatedly until a full round changes nothing (or
     [max_rounds] is hit).  Returns true if any pass ever fired. *)

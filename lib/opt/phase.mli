@@ -31,6 +31,10 @@ type ctx = {
   mutable preserve_analyses : bool;
       (** honor pass preservation contracts (on by default); off =
           the historical generation-bump-invalidates-everything mode *)
+  mutable memo_clean_passes : bool;
+      (** skip a pass that already ran clean at the graph's current
+          generation (on by default); turned off for diagnostic runs
+          (fault injection / paranoia) where every pass must execute *)
   mutable check_contracts : bool;
       (** paranoid: recompute-and-compare every preserved analysis after
           each fired pass, raising {!Contract_violated} on a lie *)
@@ -70,12 +74,24 @@ type t = {
       (** analyses whose cached values stay valid across this pass's own
           mutations; an empty list = the pass may change the CFG and
           preserves nothing *)
+  enables : string list option;
+      (** pass-interaction contract: when this pass fires, only the
+          named passes can gain new opportunities from its changes —
+          every other pass that ran clean on the pre-fire state keeps
+          its convergence memo.  [None] (default) = may enable
+          anything. *)
   run : ctx -> Ir.Graph.t -> bool;
 }
 
 (** [make name run] with an optional preservation contract (default:
-    preserves nothing). *)
-val make : ?preserves:Ir.Analyses.kind list -> string -> (ctx -> Ir.Graph.t -> bool) -> t
+    preserves nothing) and an optional pass-interaction contract
+    (default: firing may enable any other pass). *)
+val make :
+  ?preserves:Ir.Analyses.kind list ->
+  ?enables:string list ->
+  string ->
+  (ctx -> Ir.Graph.t -> bool) ->
+  t
 
 (** A pass lied about its preservation contract: after [pass] ran, the
     cached [analysis] it declared preserved differs from a fresh

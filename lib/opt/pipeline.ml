@@ -106,7 +106,8 @@ let optimize_program ?max_rounds ?licm ?jobs program =
   else
     List.iter
       (fun w -> Phase.merge_into ~into:ctx w)
-      (Ir.Parallel.map ~jobs
+      (Ir.Parallel.map_weighted ~jobs
+         ~weight:Ir.Graph.live_instr_count
          (fun g ->
            let w = Phase.create ~program () in
            optimize_one ?max_rounds ?licm w g;

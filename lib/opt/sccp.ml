@@ -8,6 +8,11 @@
     threaded through cycles and through branches whose direction is
     itself determined by constants.
 
+    The analysis state is arena-shaped: the lattice is an unboxed pair of
+    int arrays (tag + payload) indexed by instruction id, executable
+    edges and visited blocks are {!Ir.Bitset}s, and the worklists carry
+    plain ints — the propagation loop allocates nothing.
+
     The transformation step replaces lattice-constant instructions with
     [Const] nodes and folds decided branches; unreachable blocks are then
     swept by the CFG simplifier / DCE. *)
@@ -30,8 +35,51 @@ let equal_lattice a b =
   | Cint m, Cint n -> m = n
   | _ -> false
 
+(* Unboxed lattice encoding: a tag byte plus an int payload (valid only
+   for [t_cint]).  Storing ints instead of boxed constructors keeps the
+   propagation loop free of write barriers and allocation. *)
+let t_top = 0
+let t_cint = 1
+let t_cnull = 2
+let t_bottom = 3
+
+(* Growable int stack: the worklists push plain ints, a [Queue] cell per
+   push is pure churn.  LIFO order is fine — the lattice only ever moves
+   down, so the fixpoint is order-independent. *)
+type stack = { mutable buf : int array; mutable top : int }
+
+let stack_create n = { buf = Array.make (max 16 n) 0; top = 0 }
+
+let push st v =
+  if st.top = Array.length st.buf then begin
+    let buf = Array.make (2 * st.top) 0 in
+    Array.blit st.buf 0 buf 0 st.top;
+    st.buf <- buf
+  end;
+  st.buf.(st.top) <- v;
+  st.top <- st.top + 1
+
+type state = {
+  g : G.t;
+  tag : Bytes.t;  (** lattice tag per instruction id *)
+  pay : int array;  (** Cint payload per instruction id *)
+  edge_executable : Ir.Bitset.t;  (** pred * n_blocks + succ *)
+  block_visited : Ir.Bitset.t;
+  flow_worklist : stack;  (** encoded edges *)
+  ssa_worklist : stack;
+  n_blocks : int;
+}
+
+let get_tag st v = Char.code (Bytes.unsafe_get st.tag v)
+let lattice_of st v =
+  match get_tag st v with
+  | 0 -> Top
+  | 1 -> Cint st.pay.(v)
+  | 2 -> Cnull
+  | _ -> Bottom
+
 (* Evaluate one instruction over the lattice. *)
-let eval_kind value kind =
+let eval_kind st kind =
   match kind with
   | Const n -> Cint n
   | Null -> Cnull
@@ -39,143 +87,147 @@ let eval_kind value kind =
   | Call _ ->
       Bottom
   | Neg a -> (
-      match value a with
-      | Cint n -> Cint (-n)
-      | Top -> Top
-      | Cnull | Bottom -> Bottom)
+      match get_tag st a with
+      | 1 -> Cint (-st.pay.(a))
+      | 0 -> Top
+      | _ -> Bottom)
   | Not a -> (
-      match value a with
-      | Cint n -> Cint (if n = 0 then 1 else 0)
-      | Top -> Top
-      | Cnull | Bottom -> Bottom)
+      match get_tag st a with
+      | 1 -> Cint (if st.pay.(a) = 0 then 1 else 0)
+      | 0 -> Top
+      | _ -> Bottom)
   | Binop (op, a, b) -> (
-      match (value a, value b) with
-      | Cint x, Cint y -> Cint (eval_binop op x y)
-      | Top, _ | _, Top -> Top
+      match (get_tag st a, get_tag st b) with
+      | 1, 1 -> Cint (eval_binop op st.pay.(a) st.pay.(b))
+      | 0, _ | _, 0 -> Top
       | _ -> Bottom)
   | Cmp (op, a, b) -> (
-      match (value a, value b) with
-      | Cint x, Cint y -> Cint (eval_cmp op x y)
-      | Cnull, Cnull -> (
+      match (get_tag st a, get_tag st b) with
+      | 1, 1 -> Cint (eval_cmp op st.pay.(a) st.pay.(b))
+      | 2, 2 -> (
           match op with
           | Eq -> Cint 1
           | Ne -> Cint 0
           | Lt | Le | Gt | Ge -> Bottom)
-      | Top, _ | _, Top -> Top
+      | 0, _ | _, 0 -> Top
       | _ -> Bottom)
   | Phi _ -> assert false (* handled separately: depends on edges *)
 
-type state = {
-  g : G.t;
-  value : lattice array;
-  edge_executable : (block_id * block_id, unit) Hashtbl.t;
-  block_visited : (block_id, unit) Hashtbl.t;
-  flow_worklist : (block_id * block_id) Queue.t;
-  ssa_worklist : value Queue.t;
-}
-
-let lattice_of st v = st.value.(v)
-
 let set_value st v l =
-  if not (equal_lattice st.value.(v) l) then begin
-    st.value.(v) <- l;
-    Queue.add v st.ssa_worklist
+  let tag, pay =
+    match l with
+    | Top -> (t_top, 0)
+    | Cint n -> (t_cint, n)
+    | Cnull -> (t_cnull, 0)
+    | Bottom -> (t_bottom, 0)
+  in
+  if get_tag st v <> tag || (tag = t_cint && st.pay.(v) <> pay) then begin
+    Bytes.unsafe_set st.tag v (Char.unsafe_chr tag);
+    st.pay.(v) <- pay;
+    push st.ssa_worklist v
   end
 
-let edge_is_executable st p s = Hashtbl.mem st.edge_executable (p, s)
+let edge_is_executable st p s =
+  Ir.Bitset.mem st.edge_executable ((p * st.n_blocks) + s)
 
 let eval_phi st phi =
   let bid = G.block_of st.g phi in
   match G.kind st.g phi with
   | Phi inputs ->
-      let preds = G.preds st.g bid in
       let l = ref Top in
-      List.iteri
-        (fun i p ->
-          if edge_is_executable st p bid then
-            l := meet !l (lattice_of st inputs.(i)))
-        preds;
+      let n = G.pred_count st.g bid in
+      for i = 0 to n - 1 do
+        if edge_is_executable st (G.pred_nth st.g bid i) bid then
+          l := meet !l (lattice_of st inputs.(i))
+      done;
       set_value st phi !l
   | _ -> assert false
 
 let eval_instr st id =
   match G.kind st.g id with
   | Phi _ -> eval_phi st id
-  | k -> set_value st id (eval_kind (lattice_of st) k)
+  | k -> set_value st id (eval_kind st k)
 
 let eval_terminator st bid =
+  let push s = push st.flow_worklist ((bid * st.n_blocks) + s) in
   match G.term st.g bid with
-  | Jump t -> Queue.add (bid, t) st.flow_worklist
+  | Jump t -> push t
   | Branch { cond; if_true; if_false; _ } -> (
-      match lattice_of st cond with
-      | Cint 0 -> Queue.add (bid, if_false) st.flow_worklist
-      | Cint _ -> Queue.add (bid, if_true) st.flow_worklist
-      | Cnull ->
+      match get_tag st cond with
+      | 1 -> if st.pay.(cond) = 0 then push if_false else push if_true
+      | 2 ->
           (* null is falsy in the interpreter; a type-checked program
              never branches on a reference, stay conservative. *)
-          Queue.add (bid, if_true) st.flow_worklist;
-          Queue.add (bid, if_false) st.flow_worklist
-      | Top -> () (* not yet known: wait for more information *)
-      | Bottom ->
-          Queue.add (bid, if_true) st.flow_worklist;
-          Queue.add (bid, if_false) st.flow_worklist)
+          push if_true;
+          push if_false
+      | 0 -> () (* not yet known: wait for more information *)
+      | _ ->
+          push if_true;
+          push if_false)
   | Return _ | Unreachable -> ()
 
 let analyze g =
+  let nb = G.n_blocks g in
   let st =
     {
       g;
-      value = Array.make g.G.n_instrs Top;
-      edge_executable = Hashtbl.create 32;
-      block_visited = Hashtbl.create 16;
-      flow_worklist = Queue.create ();
-      ssa_worklist = Queue.create ();
+      tag = Bytes.make (G.n_instrs g) '\000';
+      pay = Array.make (G.n_instrs g) 0;
+      edge_executable = Ir.Bitset.create (nb * nb);
+      block_visited = Ir.Bitset.create nb;
+      flow_worklist = stack_create nb;
+      ssa_worklist = stack_create (G.n_instrs g);
+      n_blocks = nb;
     }
   in
   (* Parameters and effects are Bottom from the start. *)
-  G.iter_instrs g (fun i ->
-      match i.G.kind with
+  G.iter_instrs g (fun id ->
+      match G.kind g id with
       | Param _ | New _ | Load _ | Store _ | Load_global _ | Store_global _
       | Call _ ->
-          st.value.(i.G.ins_id) <- Bottom
+          Bytes.unsafe_set st.tag id (Char.unsafe_chr t_bottom)
       | _ -> ());
   let entry = G.entry g in
-  Hashtbl.replace st.block_visited entry ();
-  List.iter (fun id -> eval_instr st id) (G.block_instrs g entry);
+  Ir.Bitset.add st.block_visited entry;
+  G.iter_block_instrs g entry (fun id -> eval_instr st id);
   eval_terminator st entry;
   let process_block bid =
-    List.iter (fun id -> eval_instr st id) (G.block_instrs g bid);
+    G.iter_block_instrs g bid (fun id -> eval_instr st id);
     eval_terminator st bid
   in
   let continue_ = ref true in
   while !continue_ do
     continue_ := false;
-    while not (Queue.is_empty st.flow_worklist) do
+    while st.flow_worklist.top > 0 do
       continue_ := true;
-      let p, s = Queue.pop st.flow_worklist in
+      st.flow_worklist.top <- st.flow_worklist.top - 1;
+      let e = st.flow_worklist.buf.(st.flow_worklist.top) in
+      let p = e / nb and s = e mod nb in
       if not (edge_is_executable st p s) then begin
-        Hashtbl.replace st.edge_executable (p, s) ();
+        Ir.Bitset.add st.edge_executable e;
         (* A newly executable edge re-evaluates the target's phis (their
            meet now includes this edge). *)
-        List.iter (fun phi -> eval_phi st phi) (G.block g s).G.phis;
-        if not (Hashtbl.mem st.block_visited s) then begin
-          Hashtbl.replace st.block_visited s ();
+        G.iter_phis g s (fun phi -> eval_phi st phi);
+        if not (Ir.Bitset.mem st.block_visited s) then begin
+          Ir.Bitset.add st.block_visited s;
           process_block s
         end
       end
     done;
-    while not (Queue.is_empty st.ssa_worklist) do
+    while st.ssa_worklist.top > 0 do
       continue_ := true;
-      let v = Queue.pop st.ssa_worklist in
-      List.iter
-        (fun user ->
-          match user with
-          | G.U_instr u ->
-              if Hashtbl.mem st.block_visited (G.block_of g u) then
-                eval_instr st u
-          | G.U_term bid ->
-              if Hashtbl.mem st.block_visited bid then eval_terminator st bid)
-        (G.uses g v)
+      st.ssa_worklist.top <- st.ssa_worklist.top - 1;
+      let v = st.ssa_worklist.buf.(st.ssa_worklist.top) in
+      G.iter_uses_enc g v (fun e ->
+          if G.user_is_term e then begin
+            let bid = G.user_target e in
+            if Ir.Bitset.mem st.block_visited bid then eval_terminator st bid
+          end
+          else begin
+            let u = G.user_target e in
+            if Ir.Bitset.mem st.block_visited (G.block_of g u) then
+              eval_instr st u
+          end)
     done
   done;
   st
@@ -183,24 +235,24 @@ let analyze g =
 let run ctx g =
   Phase.charge_graph ctx g;
   let st = analyze g in
+  let n_analyzed = Bytes.length st.tag in
   let changed = ref false in
   let mk_const = Canonicalize.materialize_const g in
   (* Replace lattice constants.  A phi cannot simply change kind (it
      lives in the block's phi list); its uses are redirected to a
      materialized constant instead and DCE collects it. *)
-  G.iter_instrs g (fun i ->
-      let id = i.G.ins_id in
+  G.iter_instrs g (fun id ->
       (* Constants materialized during this very loop have no lattice
          entry (and need none). *)
       if
-        id < Array.length st.value
+        id < n_analyzed
         && G.instr_exists g id
-        && Hashtbl.mem st.block_visited (G.block_of g id)
+        && Ir.Bitset.mem st.block_visited (G.block_of g id)
       then
-        match (st.value.(id), i.G.kind) with
+        match (lattice_of st id, G.kind g id) with
         | Cint n, Phi _ ->
             let c = mk_const n in
-            if G.uses g id <> [] then begin
+            if G.has_uses g id then begin
               G.replace_uses g id ~by:c;
               changed := true
             end
@@ -215,19 +267,19 @@ let run ctx g =
      may just have been redirected to a freshly materialized constant
      (no lattice entry): read the constant directly in that case. *)
   let cond_value c =
-    if c < Array.length st.value then st.value.(c)
+    if c < n_analyzed then lattice_of st c
     else match G.kind g c with Const n -> Cint n | _ -> Bottom
   in
-  G.iter_blocks g (fun b ->
-      if Hashtbl.mem st.block_visited b.G.blk_id then
-        match b.G.term with
+  G.iter_blocks g (fun bid ->
+      if Ir.Bitset.mem st.block_visited bid then
+        match G.term g bid with
         | Branch { cond; if_true; if_false; _ } -> (
             match cond_value cond with
             | Cint 0 ->
-                G.set_term g b.G.blk_id (Jump if_false);
+                G.set_term g bid (Jump if_false);
                 changed := true
             | Cint _ ->
-                G.set_term g b.G.blk_id (Jump if_true);
+                G.set_term g bid (Jump if_true);
                 changed := true
             | Top | Cnull | Bottom -> ())
         | Jump _ | Return _ | Unreachable -> ());

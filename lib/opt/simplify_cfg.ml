@@ -9,13 +9,13 @@ module G = Ir.Graph
 
 let fold_constant_branches _ctx g =
   let changed = ref false in
-  G.iter_blocks g (fun b ->
-      match b.G.term with
+  G.iter_blocks g (fun bid ->
+      match G.term g bid with
       | Branch { cond; if_true; if_false; _ } -> (
           match G.kind g cond with
           | Const n ->
               let taken = if n <> 0 then if_true else if_false in
-              G.set_term g b.G.blk_id (Jump taken);
+              G.set_term g bid (Jump taken);
               changed := true
           | _ -> ())
       | Jump _ | Return _ | Unreachable -> ());
@@ -25,8 +25,8 @@ let fold_constant_branches _ctx g =
    unique input. *)
 let collapse_single_pred_phis _ctx g =
   let changed = ref false in
-  G.iter_blocks g (fun b ->
-      if List.length b.G.preds = 1 then
+  G.iter_blocks g (fun bid ->
+      if G.pred_count g bid = 1 then
         List.iter
           (fun phi ->
             match G.kind g phi with
@@ -35,7 +35,7 @@ let collapse_single_pred_phis _ctx g =
                 G.remove_instr g phi;
                 changed := true
             | _ -> ())
-          b.G.phis);
+          (G.phis g bid));
   !changed
 
 (* Merge [p -> s] when p jumps to s and s has no other predecessor:
@@ -46,18 +46,15 @@ let merge_straightline _ctx g =
   while !progress do
     progress := false;
     G.iter_blocks g (fun p ->
-        if G.block_exists g p.G.blk_id then
-          match p.G.term with
+        if G.block_exists g p then
+          match G.term g p with
           | Jump s
-            when s <> G.entry g
-                 && G.preds g s = [ p.G.blk_id ]
-                 && s <> p.G.blk_id ->
-              let sb = G.block g s in
+            when s <> G.entry g && G.preds g s = [ p ] && s <> p ->
               (* Single-pred phis must be collapsed first. *)
-              if sb.G.phis = [] then begin
-                let body = sb.G.body in
+              if G.phis g s = [] then begin
+                let body = G.body g s in
                 List.iter (fun id -> G.detach g id) body;
-                let sterm = sb.G.term in
+                let sterm = G.term g s in
                 (* Route s's out-edges to p: first disconnect s, then
                    re-terminate p, then restore the phi inputs that s's
                    successors held for s (now coming from p). *)
@@ -71,14 +68,14 @@ let merge_straightline _ctx g =
                             match G.kind g phi with
                             | Phi inputs -> (phi, inputs.(idx))
                             | _ -> assert false)
-                          (G.block g succ).G.phis ))
+                          (G.phis g succ) ))
                     (G.succs g s)
                 in
                 G.set_term g s Unreachable;
-                G.set_term g p.G.blk_id sterm;
+                G.set_term g p sterm;
                 List.iter
                   (fun (succ, phi_inputs) ->
-                    let idx = G.pred_index g succ p.G.blk_id in
+                    let idx = G.pred_index g succ p in
                     List.iter
                       (fun (phi, v) ->
                         match G.kind g phi with
@@ -89,7 +86,7 @@ let merge_straightline _ctx g =
                         | _ -> assert false)
                       phi_inputs)
                   succ_inputs;
-                List.iter (fun id -> G.attach g id p.G.blk_id) body;
+                List.iter (fun id -> G.attach g id p) body;
                 G.remove_block g s;
                 progress := true;
                 changed := true

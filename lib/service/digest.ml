@@ -163,30 +163,27 @@ let ir_hash_int64 g =
   in
   let dense_block bid = try Hashtbl.find blocks bid with Not_found -> -1 in
   let hash_block bid =
-    let b = Ir.Graph.block g bid in
     feed_block bid;
     feed_char ':';
-    List.iter
-      (fun id ->
+    let n_preds = Ir.Graph.pred_count g bid in
+    Ir.Graph.iter_block_instrs g bid (fun id ->
         feed_value id;
         feed_char '=';
         match Ir.Graph.kind g id with
-        | Ir.Types.Phi inputs
-          when List.length b.Ir.Graph.preds = Array.length inputs ->
+        | Ir.Types.Phi inputs when n_preds = Array.length inputs ->
             (* Phi inputs align with the block's predecessor list, and
                predecessor order is a representation detail the parser
                is free to rebuild differently — hash the inputs as
                (predecessor, value) pairs sorted by canonical
                predecessor id instead. *)
             let pairs =
-              List.stable_sort
-                (fun (p, _) (q, _) -> compare p q)
-                (List.map2
-                   (fun pred v -> (dense_block pred, v))
-                   b.Ir.Graph.preds (Array.to_list inputs))
+              Array.mapi
+                (fun i v -> (dense_block (Ir.Graph.pred_nth g bid i), v))
+                inputs
             in
+            Array.sort (fun (p, _) (q, _) -> compare (p : int) q) pairs;
             feed "phi ";
-            List.iter
+            Array.iter
               (fun (p, v) ->
                 feed_char 'b';
                 feed_int p;
@@ -197,9 +194,8 @@ let ir_hash_int64 g =
             feed_char ';'
         | kind ->
             feed_kind kind;
-            feed_char ';')
-      (Ir.Graph.block_instrs g bid);
-    feed_term b.Ir.Graph.term;
+            feed_char ';');
+    feed_term (Ir.Graph.term g bid);
     feed_char '\n'
   in
   feed "fn ";
@@ -212,18 +208,18 @@ let ir_hash_int64 g =
   let rpo = Ir.Graph.rpo g in
   List.iteri (fun i bid -> Hashtbl.replace blocks bid i) rpo;
   let next_block = ref (List.length rpo) in
-  Ir.Graph.iter_blocks g (fun b ->
-      if not (Hashtbl.mem blocks b.Ir.Graph.blk_id) then begin
-        Hashtbl.replace blocks b.Ir.Graph.blk_id !next_block;
+  Ir.Graph.iter_blocks g (fun bid ->
+      if not (Hashtbl.mem blocks bid) then begin
+        Hashtbl.replace blocks bid !next_block;
         incr next_block
       end);
   feed_block (Ir.Graph.entry g);
   feed_char '\n';
   List.iter hash_block rpo;
-  Ir.Graph.iter_blocks g (fun b ->
-      if not (List.mem b.Ir.Graph.blk_id rpo) then begin
+  Ir.Graph.iter_blocks g (fun bid ->
+      if not (List.mem bid rpo) then begin
         feed ";unreachable\n";
-        hash_block b.Ir.Graph.blk_id
+        hash_block bid
       end);
   !h
 

@@ -15,7 +15,7 @@ let simulate ?(config = Dbds.Config.default) prog fn =
 
 let count_kind prog fn pred =
   let g = Option.get (Ir.Program.find_function prog fn) in
-  G.fold_instrs g (fun n i -> if pred i.G.kind then n + 1 else n) 0
+  G.fold_instrs g (fun n id -> if pred (G.kind g id) then n + 1 else n) 0
 
 let has_opp opp c = List.mem opp c.Dbds.Candidate.opportunities
 
@@ -225,7 +225,7 @@ let diamond_with_tail () =
 let find_merge g =
   match
     G.fold_blocks g
-      (fun acc b -> if List.length b.G.preds >= 2 then b.G.blk_id :: acc else acc)
+      (fun acc bid -> if G.pred_count g bid >= 2 then bid :: acc else acc)
       []
   with
   | [ m ] -> m
@@ -301,12 +301,12 @@ let test_transform_merge_with_branch_terminator () =
   let g = Option.get (Ir.Program.find_function prog "main") in
   let merges =
     G.fold_blocks g
-      (fun acc b -> if List.length b.G.preds >= 2 then b.G.blk_id :: acc else acc)
+      (fun acc bid -> if G.pred_count g bid >= 2 then bid :: acc else acc)
       []
   in
   (* Duplicate the phi-merge (the one holding a phi). *)
   let m =
-    List.find (fun bid -> (G.block g bid).G.phis <> []) merges
+    List.find (fun bid -> G.phis g bid <> []) merges
   in
   let pred = List.hd (G.preds g m) in
   ignore (Dbds.Transform.duplicate g ~merge:m ~pred);
@@ -353,8 +353,8 @@ let test_transform_rejects_loop_header () =
   let loops = Ir.Loops.compute dom in
   let headers =
     G.fold_blocks g
-      (fun acc b ->
-        if Ir.Loops.is_header loops b.G.blk_id then b.G.blk_id :: acc else acc)
+      (fun acc bid ->
+        if Ir.Loops.is_header loops bid then bid :: acc else acc)
       []
   in
   Alcotest.(check bool) "has a loop header" true (headers <> []);
@@ -393,8 +393,8 @@ let test_transform_three_way_merge () =
      frontend produces nested 2-way merges; duplicate the outer one). *)
   let m =
     G.fold_blocks g
-      (fun acc b ->
-        if List.length b.G.preds >= 2 && b.G.phis <> [] then b.G.blk_id :: acc
+      (fun acc bid ->
+        if G.pred_count g bid >= 2 && G.phis g bid <> [] then bid :: acc
         else acc)
       []
     |> List.hd

@@ -12,7 +12,7 @@ let inline_all prog =
 
 let call_count g =
   G.fold_instrs g
-    (fun n i -> match i.G.kind with Ir.Types.Call _ -> n + 1 | _ -> n)
+    (fun n id -> match G.kind g id with Ir.Types.Call _ -> n + 1 | _ -> n)
     0
 
 let test_simple_inline () =

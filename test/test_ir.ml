@@ -151,6 +151,90 @@ let test_detach_attach () =
   Alcotest.(check int) "reattached to merge" merge (G.block_of g sum);
   check_verifies g
 
+(* Arena free-list: a removed instruction's slot is recycled by the next
+   insertion instead of growing the arena. *)
+let test_free_list_reuse () =
+  let g, phi, sum = figure1_graph () in
+  G.set_recycle g true;
+  let merge = G.block_of g phi in
+  let c = G.prepend g merge (Const 7) in
+  G.replace_uses g c ~by:phi;
+  let cap = G.n_instrs g in
+  G.remove_instr g c;
+  Alcotest.(check int) "slot on free-list" 1 (G.free_instr_slots g);
+  let c' = G.prepend g merge (Const 8) in
+  Alcotest.(check int) "slot recycled" c c';
+  Alcotest.(check int) "arena did not grow" cap (G.n_instrs g);
+  Alcotest.(check int) "free-list drained" 0 (G.free_instr_slots g);
+  G.replace_uses g phi ~by:c';
+  ignore sum;
+  check_verifies g
+
+(* compact: dead slots vanish, live ids become dense, semantics and the
+   printed structure survive (modulo renumbering). *)
+let test_compact () =
+  let g, phi, _sum = figure1_graph () in
+  let merge = G.block_of g phi in
+  (* Punch holes: add then remove a few instructions. *)
+  let dead = List.init 5 (fun i -> G.prepend g merge (Const (100 + i))) in
+  List.iter (fun id -> G.remove_instr g id) dead;
+  let live0 = G.live_instr_count g in
+  let text0 = Ir.Printer.graph_to_string g in
+  let map = G.compact g in
+  Alcotest.(check int) "live count unchanged" live0 (G.live_instr_count g);
+  Alcotest.(check int) "arena is dense" live0 (G.n_instrs g);
+  Alcotest.(check int) "free-list empty" 0 (G.free_instr_slots g);
+  Array.iteri
+    (fun old nw ->
+      if nw >= 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "map %d -> %d in range" old nw)
+          true (nw < live0))
+    map;
+  check_verifies g;
+  (* Same graph up to renumbering: parse both prints and compare live
+     structure counts. *)
+  let g0 = Ir.Parse.parse_graph text0 in
+  Alcotest.(check int) "blocks preserved" (G.live_block_count g0)
+    (G.live_block_count g);
+  Alcotest.(check int) "instrs preserved" (G.live_instr_count g0)
+    (G.live_instr_count g)
+
+(* print -> parse -> print reaches a fixed point after one parse: ids are
+   remapped once, then the text is stable.  Run over the progen corpus so
+   loopy/phi-heavy shapes are covered. *)
+let test_print_parse_print_fixpoint () =
+  List.iter
+    (fun seed ->
+      let src = Workloads.Progen.generate ~seed () in
+      let prog = compile src in
+      Ir.Program.iter_functions prog (fun g ->
+          let t1 = Ir.Printer.graph_to_string (Ir.Parse.parse_graph (Ir.Printer.graph_to_string g)) in
+          let t2 = Ir.Printer.graph_to_string (Ir.Parse.parse_graph t1) in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: print/parse fixed point" seed)
+            t1 t2))
+    [ 0; 1; 2; 3; 11; 77; 345 ]
+
+(* jobs must never change the compiled IR: byte-identical prints across
+   jobs=1 and jobs=4 over the progen corpus. *)
+let test_jobs_byte_identical () =
+  List.iter
+    (fun seed ->
+      let src = Workloads.Progen.generate ~seed () in
+      let print_at jobs =
+        let prog = compile src in
+        ignore (Dbds.Driver.optimize_program ~jobs prog);
+        let buf = Buffer.create 1024 in
+        Ir.Program.iter_functions prog (fun g ->
+            Buffer.add_string buf (Ir.Printer.graph_to_string g));
+        Buffer.contents buf
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: jobs=1 vs jobs=4" seed)
+        (print_at 1) (print_at 4))
+    [ 0; 5; 42; 345 ]
+
 let suite =
   [
     test "build diamond" test_build_diamond;
@@ -164,4 +248,8 @@ let suite =
     test "verifier: use before def" test_verifier_catches_use_before_def;
     test "rpo order" test_rpo_order;
     test "detach/attach" test_detach_attach;
+    test "free-list reuse" test_free_list_reuse;
+    test "compact" test_compact;
+    test "print/parse/print fixed point" test_print_parse_print_fixpoint;
+    test "jobs byte-identical (progen)" test_jobs_byte_identical;
   ]

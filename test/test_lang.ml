@@ -136,8 +136,8 @@ let test_lower_loop_produces_phis () =
   in
   let g = Option.get (Ir.Program.find_function prog "main") in
   let phis = ref 0 in
-  Ir.Graph.iter_instrs g (fun i ->
-      match i.Ir.Graph.kind with Ir.Types.Phi _ -> incr phis | _ -> ());
+  Ir.Graph.iter_instrs g (fun id ->
+      match Ir.Graph.kind g id with Ir.Types.Phi _ -> incr phis | _ -> ());
   Alcotest.(check int) "two loop phis" 2 !phis
 
 let test_lower_short_circuit () =

@@ -17,11 +17,11 @@ let count_in_loops prog fn pred =
   let dom = Ir.Dom.compute g in
   let loops = Ir.Loops.compute dom in
   G.fold_instrs g
-    (fun n i ->
+    (fun n id ->
       if
-        pred i.G.kind
-        && i.G.ins_block >= 0
-        && Ir.Loops.depth loops i.G.ins_block > 0
+        pred (G.kind g id)
+        && G.block_of g id >= 0
+        && Ir.Loops.depth loops (G.block_of g id) > 0
       then n + 1
       else n)
     0

@@ -35,7 +35,7 @@ let check_same_results ?(inputs = [ [ 0 ]; [ 1 ]; [ -7 ]; [ 13 ]; [ 100 ] ]) src
 
 let count_kind prog fn pred =
   let g = Option.get (Ir.Program.find_function prog fn) in
-  G.fold_instrs g (fun n i -> if pred i.G.kind then n + 1 else n) 0
+  G.fold_instrs g (fun n id -> if pred (G.kind g id) then n + 1 else n) 0
 
 let main_graph prog = Option.get (Ir.Program.find_function prog "main")
 
@@ -345,8 +345,8 @@ let test_pea_escape_through_phi_detected () =
   let g = main_graph prog in
   let allocs =
     G.fold_instrs g
-      (fun acc i ->
-        match i.G.kind with New _ -> i.G.ins_id :: acc | _ -> acc)
+      (fun acc id ->
+        match G.kind g id with New _ -> id :: acc | _ -> acc)
       []
   in
   Alcotest.(check int) "two allocations" 2 (List.length allocs);
@@ -380,7 +380,7 @@ let test_dce_removes_dead_cycle () =
   (* Only two phis survive: i and live. *)
   let phis =
     G.fold_instrs g
-      (fun n i -> match i.G.kind with Phi _ -> n + 1 | _ -> n)
+      (fun n id -> match G.kind g id with Phi _ -> n + 1 | _ -> n)
       0
   in
   Alcotest.(check int) "dead induction variable removed" 2 phis

@@ -62,7 +62,7 @@ b0:
   (* All 13 instructions survive with their kinds. *)
   Alcotest.(check int) "instruction count" 13 (G.live_instr_count g);
   let kinds =
-    G.fold_instrs g (fun acc i -> i.G.kind :: acc) [] |> List.rev_map (fun k ->
+    G.fold_instrs g (fun acc id -> G.kind g id :: acc) [] |> List.rev_map (fun k ->
         Fmt.str "%a" Ir.Printer.pp_kind k)
   in
   Alcotest.(check bool) "has the store" true
@@ -108,8 +108,8 @@ let test_roundtrip_random_programs () =
          that are call-free. *)
       let has_call =
         G.fold_instrs g
-          (fun acc i ->
-            acc || match i.G.kind with Ir.Types.Call _ -> true | _ -> false)
+          (fun acc id ->
+            acc || match G.kind g id with Ir.Types.Call _ -> true | _ -> false)
           false
       in
       if not has_call then

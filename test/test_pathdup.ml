@@ -85,8 +85,8 @@ let test_path_extension_beats_iterated_plain () =
     let _ = Dbds.Driver.optimize_program ~config prog in
     let g = Option.get (Ir.Program.find_function prog "main") in
     G.fold_instrs g
-      (fun n i ->
-        match i.G.kind with Ir.Types.Binop (Ir.Types.Shr, _, _) -> n + 1 | _ -> n)
+      (fun n id ->
+        match G.kind g id with Ir.Types.Binop (Ir.Types.Shr, _, _) -> n + 1 | _ -> n)
       0
   in
   let one_shot_paths =

@@ -31,12 +31,12 @@ let test_printer_mentions_everything () =
   let prog = sample () in
   let g = Option.get (Ir.Program.find_function prog "main") in
   let text = Ir.Printer.graph_to_string g in
-  G.iter_instrs g (fun i ->
-      let needle = Printf.sprintf "v%d = " i.G.ins_id in
+  G.iter_instrs g (fun id ->
+      let needle = Printf.sprintf "v%d = " id in
       if not (contains ~sub:needle text) then
         Alcotest.failf "dump is missing %s" needle);
-  G.iter_blocks g (fun b ->
-      let needle = Printf.sprintf "b%d:" b.G.blk_id in
+  G.iter_blocks g (fun bid ->
+      let needle = Printf.sprintf "b%d:" bid in
       if not (contains ~sub:needle text) then
         Alcotest.failf "dump is missing %s" needle);
   Alcotest.(check bool) "mentions the branch probability" true

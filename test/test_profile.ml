@@ -30,10 +30,10 @@ let test_counts_match_behaviour () =
   let g = Option.get (Ir.Program.find_function prog "main") in
   (* Find the i%4 branch: the one with observed probability 0.25. *)
   let probs = ref [] in
-  Ir.Graph.iter_blocks g (fun b ->
-      match b.Ir.Graph.term with
+  Ir.Graph.iter_blocks g (fun bid ->
+      match Ir.Graph.term g bid with
       | Ir.Types.Branch _ -> (
-          match P.observed profile ~fn:"main" ~bid:b.Ir.Graph.blk_id with
+          match P.observed profile ~fn:"main" ~bid with
           | Some p -> probs := p :: !probs
           | None -> ())
       | _ -> ());
@@ -50,8 +50,8 @@ let test_apply_rewrites_probabilities () =
   P.apply profile prog;
   let g = Option.get (Ir.Program.find_function prog "main") in
   let found = ref false in
-  Ir.Graph.iter_blocks g (fun b ->
-      match b.Ir.Graph.term with
+  Ir.Graph.iter_blocks g (fun bid ->
+      match Ir.Graph.term g bid with
       | Ir.Types.Branch { prob; _ } ->
           if Float.abs (prob -. 0.1) < 0.02 then found := true
       | _ -> ());
@@ -77,8 +77,8 @@ let test_apply_clamps () =
   let prog, profile = profile_run src [ 50 ] in
   P.apply profile prog;
   Ir.Program.iter_functions prog (fun g ->
-      Ir.Graph.iter_blocks g (fun b ->
-          match b.Ir.Graph.term with
+      Ir.Graph.iter_blocks g (fun bid ->
+          match Ir.Graph.term g bid with
           | Ir.Types.Branch { prob; _ } ->
               Alcotest.(check bool) "clamped" true (prob > 0.0 && prob < 1.0)
           | _ -> ()))
@@ -129,10 +129,10 @@ let one_branch_prog () =
 let branch_probs prog =
   let probs = ref [] in
   Ir.Program.iter_functions prog (fun g ->
-      Ir.Graph.iter_blocks g (fun b ->
-          match b.Ir.Graph.term with
+      Ir.Graph.iter_blocks g (fun bid ->
+          match Ir.Graph.term g bid with
           | Ir.Types.Branch { prob; _ } ->
-              probs := (b.Ir.Graph.blk_id, prob) :: !probs
+              probs := (bid, prob) :: !probs
           | _ -> ()));
   List.sort compare !probs
 

@@ -99,13 +99,11 @@ let prop_any_duplication_sound =
       Ir.Program.iter_functions prog' (fun g ->
           let merges =
             Ir.Graph.fold_blocks g
-              (fun acc b ->
+              (fun acc bid ->
                 if
-                  List.length b.Ir.Graph.preds >= 2
-                  && not
-                       (List.mem b.Ir.Graph.blk_id
-                          (Ir.Graph.succs g b.Ir.Graph.blk_id))
-                then b.Ir.Graph.blk_id :: acc
+                  Ir.Graph.pred_count g bid >= 2
+                  && not (List.mem bid (Ir.Graph.succs g bid))
+                then bid :: acc
                 else acc)
               []
           in

@@ -18,7 +18,7 @@ let run_sccp prog =
 
 let count_kind prog fn pred =
   let g = Option.get (Ir.Program.find_function prog fn) in
-  G.fold_instrs g (fun n i -> if pred i.G.kind then n + 1 else n) 0
+  G.fold_instrs g (fun n id -> if pred (G.kind g id) then n + 1 else n) 0
 
 let test_constant_through_loop () =
   (* x stays 5 through the loop: SCCP proves the loop-carried phi

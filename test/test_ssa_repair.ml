@@ -84,7 +84,7 @@ let test_repair_trivial_phi_collapsed () =
   ignore (Ir.Ssa_repair.repair g ~classes:[ (v_left, [ (right, v_left) ]) ]);
   let phis =
     G.fold_instrs g
-      (fun n i -> match i.G.kind with Phi _ -> n + 1 | _ -> n)
+      (fun n id -> match G.kind g id with Phi _ -> n + 1 | _ -> n)
       0
   in
   Alcotest.(check int) "no phi survives" 0 phis
@@ -116,12 +116,12 @@ let test_repair_through_loop () =
   let loops = Ir.Loops.compute dom in
   let m =
     G.fold_blocks g
-      (fun acc b ->
+      (fun acc bid ->
         if
-          List.length b.G.preds >= 2
-          && b.G.phis <> []
-          && not (Ir.Loops.is_header loops b.G.blk_id)
-        then b.G.blk_id :: acc
+          G.pred_count g bid >= 2
+          && G.phis g bid <> []
+          && not (Ir.Loops.is_header loops bid)
+        then bid :: acc
         else acc)
       []
     |> List.hd

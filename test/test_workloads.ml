@@ -58,8 +58,8 @@ let test_all_have_merges () =
       let prog = Lang.Frontend.compile b.Workloads.Suite.source in
       let merges = ref 0 in
       Ir.Program.iter_functions prog (fun g ->
-          Ir.Graph.iter_blocks g (fun blk ->
-              if List.length blk.Ir.Graph.preds >= 2 then incr merges));
+          Ir.Graph.iter_blocks g (fun bid ->
+              if Ir.Graph.pred_count g bid >= 2 then incr merges));
       if !merges = 0 then
         Alcotest.failf "%s/%s has no merges" suite b.Workloads.Suite.name)
     (all_benchmarks ())
