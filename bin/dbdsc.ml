@@ -135,7 +135,7 @@ let run_serve ~sock svc =
     ~sock ~broker ()
 
 let run_client ~sock ~config ~file svc =
-  let c = Service.Client.connect ~retries:100 ~retry_interval_s:0.05 ~sock () in
+  let c = Service.Client.connect ~deadline_s:5.0 ~sock () in
   Fun.protect
     ~finally:(fun () -> Service.Client.close c)
     (fun () ->
@@ -236,6 +236,97 @@ let run_tiered prog ~config ~jobs ~icache ~args ~runs ~deopt_plan ~stats ~store
     | None -> ()
   end
 
+(** Options of the deterministic whole-system simulator. *)
+type sim_opts = {
+  sim : bool;  (** run the service inside the simulator *)
+  sim_seed : int;  (** first schedule seed *)
+  sim_seeds : int;  (** number of consecutive seeds to sweep *)
+  sim_shrink : bool;  (** minimize violating seeds and write bundles *)
+  sim_clients : int;
+  sim_chaos : int;  (** seed-derived fault plans per run *)
+  sim_vm_warm : bool;  (** warm-start a tiered VM against the same store *)
+  sim_faults : string option;  (** explicit plans, comma-separated *)
+  sim_replay : string option;  (** re-run a sim bundle instead of sweeping *)
+  sim_bundle_dir : string;
+}
+
+exception Sim_violations
+
+(* Deterministic whole-system simulation: the full compile service —
+   server, broker workers, clients, optionally the tiered VM — runs
+   single-threaded under a virtual clock with seeded chaos.  Every
+   seed must end in byte-identical IR or a clean contained failure;
+   anything else (hang, wrong artifact, livelock) is a violation. *)
+let run_sim sim =
+  let module H = Simtest.Harness in
+  let print_result (r : H.result) =
+    Format.printf "sim seed %d: trace %s, %d events, %.3fs virtual [%s]@."
+      r.H.r_spec.H.seed r.H.r_trace_hash r.H.r_events r.H.r_vtime
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.H.r_counts));
+    List.iter
+      (fun (v : H.violation) ->
+        Format.printf "  VIOLATION %s: %s@." v.H.vio_kind v.H.vio_detail)
+      r.H.r_violations
+  in
+  match sim.sim_replay with
+  | Some path ->
+      let r = H.replay path in
+      Format.printf "replaying %s@." path;
+      print_result r;
+      if H.violating r then raise Sim_violations
+  | None ->
+      let spec =
+        H.builder ~seed:sim.sim_seed ()
+        |> H.with_clients sim.sim_clients
+        |> H.with_chaos sim.sim_chaos
+        |> H.with_vm_warm sim.sim_vm_warm
+      in
+      let spec =
+        match sim.sim_faults with
+        | None -> spec
+        | Some s ->
+            List.fold_left
+              (fun acc part ->
+                match Dbds.Faults.of_string part with
+                | Ok p -> H.with_fault p acc
+                | Error e -> failwith ("--sim-faults: " ^ e))
+              spec
+              (String.split_on_char ',' s)
+      in
+      let results =
+        H.run_seeds ~progress:(fun _ r -> print_result r) ~seeds:sim.sim_seeds
+          spec
+      in
+      let violating = List.filter H.violating results in
+      if sim.sim_shrink then
+        List.iter
+          (fun (r : H.result) ->
+            match H.shrink r.H.r_spec with
+            | None ->
+                Format.printf "sim seed %d: violation did not reproduce under \
+                               shrinking@."
+                  r.H.r_spec.H.seed
+            | Some (min_spec, kind) ->
+                let min_r = H.run min_spec in
+                let path = H.write_bundle ~dir:sim.sim_bundle_dir min_r in
+                Format.printf
+                  "sim seed %d: shrunk %s to %d client(s) x %d request(s), %d \
+                   worker(s), %d fault(s)%s@."
+                  r.H.r_spec.H.seed kind min_spec.H.clients
+                  min_spec.H.requests_per_client min_spec.H.workers
+                  (List.length min_spec.H.faults)
+                  (if min_spec.H.vm_warm then ", vm-warm" else "");
+                List.iter
+                  (fun p ->
+                    Format.printf "  fault: %s@." (Dbds.Faults.to_string p))
+                  min_spec.H.faults;
+                Format.printf "  bundle: %s@." path)
+          violating;
+      Format.printf "sim: %d seed(s), %d violating@." (List.length results)
+        (List.length violating);
+      if violating <> [] then raise Sim_violations
+
 let parse_deopt_plan s =
   match String.rindex_opt s ':' with
   | Some i -> (
@@ -248,7 +339,7 @@ let parse_deopt_plan s =
 
 let run_compiler file mode passes licm print_passes dump dot run args stats
     icache_off jobs inject paranoid bundle_dir no_contain replay_bundle
-    profile_runs tiered tiered_runs tiered_deopt svc =
+    profile_runs tiered tiered_runs tiered_deopt svc simopts =
   match
     (match replay_bundle with
     | Some path ->
@@ -305,6 +396,10 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
         run_client ~sock ~config ~file svc;
         raise Exit
     | None -> ());
+    if simopts.sim || simopts.sim_replay <> None then begin
+      run_sim simopts;
+      raise Exit
+    end;
     let file =
       match file with
       | Some f -> f
@@ -478,6 +573,10 @@ let run_compiler file mode passes licm print_passes dump dot run args stats
       1
   | exception Unix.Unix_error (e, fn, arg) ->
       Format.eprintf "error: %s: %s %s@." (Unix.error_message e) fn arg;
+      1
+  | exception Sim_violations -> 1
+  | exception Simtest.Harness.Malformed_bundle msg ->
+      Format.eprintf "error: malformed sim bundle: %s@." msg;
       1
 
 let file_arg =
@@ -779,6 +878,107 @@ let service_opts_term =
     $ canon_arg $ deadline_ms_arg $ service_delay_ms_arg $ service_stats_arg
     $ service_shutdown_arg $ service_queue_limit_arg $ service_workers_arg)
 
+let sim_arg =
+  Arg.(
+    value & flag
+    & info [ "sim" ]
+        ~doc:
+          "Run the whole compile service (server, broker workers, clients) \
+           inside the deterministic single-threaded simulator: virtual \
+           clock, in-memory network and disk, seeded chaos faults.  Every \
+           seed must end in byte-identical optimized IR or a clean \
+           contained failure; exit 1 on any violation.")
+
+let sim_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sim-seed" ] ~docv:"SEED"
+        ~doc:
+          "First schedule seed.  The same seed replays the exact event \
+           schedule (compare the printed trace hashes).")
+
+let sim_seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sim-seeds" ] ~docv:"N"
+        ~doc:"Sweep N consecutive seeds starting at $(b,--sim-seed).")
+
+let sim_shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "sim-shrink" ]
+        ~doc:
+          "Reduce each violating seed to a minimal topology and fault plan \
+           (greedy delta-debugging over faults, clients, requests, workers) \
+           and write it as a replayable bundle.")
+
+let sim_clients_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "sim-clients" ] ~docv:"N"
+        ~doc:"Number of simulated client fibers.")
+
+let sim_chaos_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "sim-chaos" ] ~docv:"N"
+        ~doc:
+          "Number of seed-derived chaos fault plans per run (message drops, \
+           reorders, duplicates, partitions, slow/torn disk IO, clock \
+           jumps).  0 disables chaos.")
+
+let sim_vm_warm_arg =
+  Arg.(
+    value & flag
+    & info [ "sim-vm-warm" ]
+        ~doc:
+          "Also run a tiered VM warm-start against the same simulated \
+           artifact store before the clients start.")
+
+let sim_faults_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "sim-faults" ] ~docv:"PLANS"
+        ~doc:
+          "Comma-separated explicit fault plans (same $(b,site:hit[:fn]) \
+           grammar as $(b,--inject), e.g. \
+           $(b,net.drop:2,store.corrupt:1:main)).  Environment sites arm \
+           the simulator; store/pipeline sites travel in the request \
+           configuration.")
+
+let sim_replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "sim-replay" ] ~docv:"BUNDLE"
+        ~doc:"Re-run a simulation bundle written by $(b,--sim-shrink).")
+
+let sim_bundle_dir_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "sim-bundle-dir" ] ~docv:"DIR"
+        ~doc:"Directory for bundles written by $(b,--sim-shrink).")
+
+let sim_opts_term =
+  let make sim sim_seed sim_seeds sim_shrink sim_clients sim_chaos sim_vm_warm
+      sim_faults sim_replay sim_bundle_dir =
+    {
+      sim;
+      sim_seed;
+      sim_seeds;
+      sim_shrink;
+      sim_clients;
+      sim_chaos;
+      sim_vm_warm;
+      sim_faults;
+      sim_replay;
+      sim_bundle_dir;
+    }
+  in
+  Term.(
+    const make $ sim_arg $ sim_seed_arg $ sim_seeds_arg $ sim_shrink_arg
+    $ sim_clients_arg $ sim_chaos_arg $ sim_vm_warm_arg $ sim_faults_arg
+    $ sim_replay_arg $ sim_bundle_dir_arg)
+
 let cmd =
   let doc = "SSA compiler with dominance-based duplication simulation" in
   Cmd.v
@@ -788,7 +988,8 @@ let cmd =
       $ print_passes_arg $ dump_arg $ dot_arg $ run_arg $ args_arg $ stats_arg
       $ no_icache_arg $ jobs_arg $ inject_arg $ paranoid_arg $ bundle_dir_arg
       $ no_contain_arg $ replay_arg $ profile_runs_arg $ tiered_arg
-      $ tiered_runs_arg $ tiered_deopt_arg $ service_opts_term)
+      $ tiered_runs_arg $ tiered_deopt_arg $ service_opts_term
+      $ sim_opts_term)
 
 let () =
   Printexc.record_backtrace true;

@@ -85,22 +85,14 @@ let sanitize fn =
       | _ -> '_')
     fn
 
-(** Write the bundle into [dir] (created if missing); returns the path.
-    Deterministic file name per (function, site), so repeated runs
-    overwrite rather than accumulate.
-
-    The write is atomic (temp file + rename in the same directory, the
-    same discipline as the service's artifact store): a run interrupted
-    mid-write can never leave a truncated bundle for [--replay-bundle]
-    to choke on — readers see the old complete bundle or the new one,
-    nothing in between. *)
-let write ~dir b =
+(** Atomically publish [text] as [dir/name] (creating [dir] if
+    missing); returns the path.  Temp file + rename in the same
+    directory: readers see the previous complete file or the new one,
+    never a truncation.  Shared by crash bundles and the simulator's
+    schedule bundles. *)
+let write_text ~dir ~name text =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let path =
-    Filename.concat dir
-      (Printf.sprintf "dbds-crash-%s-%s.bundle" (sanitize b.b_fn)
-         (sanitize b.b_site))
-  in
+  let path = Filename.concat dir name in
   let tmp = path ^ ".tmp" in
   let committed = ref false in
   let oc = open_out_bin tmp in
@@ -109,11 +101,23 @@ let write ~dir b =
       close_out_noerr oc;
       if not !committed then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
-      output_string oc (render b);
+      output_string oc text;
       close_out oc;
       Sys.rename tmp path;
       committed := true);
   path
+
+(** Write the bundle into [dir] (created if missing); returns the path.
+    Deterministic file name per (function, site), so repeated runs
+    overwrite rather than accumulate; the write itself is
+    {!write_text}-atomic, so a run interrupted mid-write can never
+    leave a truncated bundle for [--replay-bundle] to choke on. *)
+let write ~dir b =
+  let name =
+    Printf.sprintf "dbds-crash-%s-%s.bundle" (sanitize b.b_fn)
+      (sanitize b.b_site)
+  in
+  write_text ~dir ~name (render b)
 
 let parse text =
   match String.split_on_char '\n' text with

@@ -24,8 +24,15 @@ val render : t -> string
     @raise Malformed on anything else. *)
 val parse : string -> t
 
+(** Atomically publish [text] as [dir/name] (creating [dir] if
+    missing); returns the path.  Temp file + rename in the same
+    directory, so readers never observe a truncation.  Shared by crash
+    bundles and the simulator's schedule bundles. *)
+val write_text : dir:string -> name:string -> string -> string
+
 (** Write the bundle into [dir] (created if missing); returns the path.
-    Deterministic file name per (function, site). *)
+    Deterministic file name per (function, site); the write is atomic
+    ({!write_text}). *)
 val write : dir:string -> t -> string
 
 (** Read and parse a bundle file.

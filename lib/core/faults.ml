@@ -31,12 +31,37 @@ type site =
   | Store_write  (** the artifact store, mid-payload (torn temp write) *)
   | Store_read  (** the artifact store reading an entry back *)
   | Store_rename  (** the atomic publish rename (torn publication) *)
+  | Store_corrupt
+      (** publish a subtly-wrong artifact with a {e valid} checksum — a
+          deliberate bug the whole-system simulator's invariant checker
+          must catch (never armed by seed derivation) *)
+  | Net_drop  (** a transport chunk is lost; the connection resets *)
+  | Net_reorder  (** a transport chunk is delivered out of order *)
+  | Net_dup  (** a transport chunk is delivered twice *)
+  | Net_partition  (** the network partitions for a window of time *)
+  | Disk_slow  (** one disk operation stalls for a long time *)
+  | Disk_torn  (** a file write is cut short mid-payload *)
+  | Disk_crash  (** a crash between data write and publication rename *)
+  | Clock_jump  (** the wall clock steps forward (NTP); mono is steady *)
 
 let pipeline_sites =
   [ Sim_opportunity; Transform_apply; Ssa_repair; Parallel_worker; Analyses_cache ]
 
 let store_sites = [ Store_write; Store_read; Store_rename ]
-let all_sites = pipeline_sites @ store_sites
+
+let sim_sites =
+  [
+    Net_drop;
+    Net_reorder;
+    Net_dup;
+    Net_partition;
+    Disk_slow;
+    Disk_torn;
+    Disk_crash;
+    Clock_jump;
+  ]
+
+let all_sites = pipeline_sites @ store_sites @ (Store_corrupt :: sim_sites)
 
 let site_to_string = function
   | Sim_opportunity -> "sim.opportunity"
@@ -47,6 +72,15 @@ let site_to_string = function
   | Store_write -> "store.write"
   | Store_read -> "store.read"
   | Store_rename -> "store.rename"
+  | Store_corrupt -> "store.corrupt"
+  | Net_drop -> "net.drop"
+  | Net_reorder -> "net.reorder"
+  | Net_dup -> "net.dup"
+  | Net_partition -> "net.partition"
+  | Disk_slow -> "disk.slow"
+  | Disk_torn -> "disk.torn"
+  | Disk_crash -> "disk.crash"
+  | Clock_jump -> "clock.jump"
 
 let site_of_string = function
   | "sim.opportunity" -> Some Sim_opportunity
@@ -57,6 +91,15 @@ let site_of_string = function
   | "store.write" -> Some Store_write
   | "store.read" -> Some Store_read
   | "store.rename" -> Some Store_rename
+  | "store.corrupt" -> Some Store_corrupt
+  | "net.drop" -> Some Net_drop
+  | "net.reorder" -> Some Net_reorder
+  | "net.dup" -> Some Net_dup
+  | "net.partition" -> Some Net_partition
+  | "disk.slow" -> Some Disk_slow
+  | "disk.torn" -> Some Disk_torn
+  | "disk.crash" -> Some Disk_crash
+  | "clock.jump" -> Some Clock_jump
   | _ -> None
 
 type plan = {
@@ -140,6 +183,30 @@ type armed_state = { plan : plan; mutable count : int }
 let state_key : armed_state option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
+(* Where the registry keeps its armed state.  The default is
+   domain-local storage — every function is optimized by exactly one
+   domain, so the [nth] hit of a site within a function is
+   scheduling-independent.  The whole-system simulator runs many
+   logical tasks as fibers inside ONE domain; it swaps in a
+   fiber-local provider so arming in one task cannot leak into an
+   interleaved task (see {!set_state_provider}). *)
+type state_provider = {
+  sp_get : unit -> armed_state option;
+  sp_set : armed_state option -> unit;
+}
+
+let dls_provider =
+  {
+    sp_get = (fun () -> Domain.DLS.get state_key);
+    sp_set = (fun v -> Domain.DLS.set state_key v);
+  }
+
+let provider = ref dls_provider
+let set_state_provider ~get ~set = provider := { sp_get = get; sp_set = set }
+let default_state_provider () = provider := dls_provider
+let get_state () = !provider.sp_get ()
+let set_state v = !provider.sp_set v
+
 (** [armed plan ~fn f] runs [f] with the registry armed for function
     [fn] under [plan] ([None] or a non-matching [plan.fn] arm nothing).
     The hit counter starts fresh; the previous arming is restored on
@@ -149,14 +216,14 @@ let armed plan ~fn f =
   | None -> f ()
   | Some p when p.fn <> None && p.fn <> Some fn -> f ()
   | Some p ->
-      let prev = Domain.DLS.get state_key in
-      Domain.DLS.set state_key (Some { plan = p; count = 0 });
-      Fun.protect ~finally:(fun () -> Domain.DLS.set state_key prev) f
+      let prev = get_state () in
+      set_state (Some { plan = p; count = 0 });
+      Fun.protect ~finally:(fun () -> set_state prev) f
 
 (** Announce one execution of [site].  No-op unless armed for it; raises
     {!Injected} on the plan's hit. *)
 let hit site =
-  match Domain.DLS.get state_key with
+  match get_state () with
   | Some st when st.plan.site = site ->
       st.count <- st.count + 1;
       if st.count = st.plan.hit then

@@ -18,6 +18,18 @@ type site =
   | Store_write  (** the artifact store, mid-payload (torn temp write) *)
   | Store_read  (** the artifact store reading an entry back *)
   | Store_rename  (** the atomic publish rename (torn publication) *)
+  | Store_corrupt
+      (** publish a subtly-wrong artifact with a {e valid} checksum — a
+          deliberate bug the whole-system simulator's invariant checker
+          must catch (never armed by seed derivation) *)
+  | Net_drop  (** a transport chunk is lost; the connection resets *)
+  | Net_reorder  (** a transport chunk is delivered out of order *)
+  | Net_dup  (** a transport chunk is delivered twice *)
+  | Net_partition  (** the network partitions for a window of time *)
+  | Disk_slow  (** one disk operation stalls for a long time *)
+  | Disk_torn  (** a file write is cut short mid-payload *)
+  | Disk_crash  (** a crash between data write and publication rename *)
+  | Clock_jump  (** the wall clock steps forward (NTP); mono is steady *)
 
 (** The five per-function pipeline sites — the pool {!of_seed} draws
     from (kept stable so historical fuzz seeds reproduce). *)
@@ -25,6 +37,10 @@ val pipeline_sites : site list
 
 (** The artifact-store sites of the compilation service. *)
 val store_sites : site list
+
+(** The whole-system simulator's environment sites (network, disk,
+    clock) — the pool its chaos plans draw from. *)
+val sim_sites : site list
 
 val all_sites : site list
 val site_to_string : site -> string
@@ -61,3 +77,19 @@ val armed : plan option -> fn:string -> (unit -> 'a) -> 'a
 (** Announce one execution of [site].  No-op unless armed for it;
     raises {!Injected} on the plan's hit. *)
 val hit : site -> unit
+
+(** The registry's armed state (a plan plus its live hit counter),
+    abstract.  Exposed only so a scheduler can store it per logical
+    task. *)
+type armed_state
+
+(** Replace where the registry keeps its armed state.  By default it
+    lives in domain-local storage; the whole-system simulator runs many
+    logical tasks as cooperative fibers inside one domain, so it
+    installs fiber-local storage here to keep arming from leaking
+    between interleaved tasks. *)
+val set_state_provider :
+  get:(unit -> armed_state option) -> set:(armed_state option -> unit) -> unit
+
+(** Restore the default (domain-local) state provider. *)
+val default_state_provider : unit -> unit

@@ -1,0 +1,7 @@
+(** Deterministic whole-system simulation, re-exported so bench and
+    test code can say [Harness.Sim.builder] next to the other
+    harnesses.  The implementation lives in {!Simtest.Harness} (its own
+    library, so the service tests can use it without pulling the bench
+    harness in). *)
+
+include Simtest.Harness

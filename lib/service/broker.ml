@@ -50,25 +50,26 @@ type job = {
 }
 
 type t = {
+  env : Env.t;
   bstore : Store.t option;
   delay_s : float;
   queue_limit : int;
-  mutex : Mutex.t;
-  work_ready : Condition.t;  (** workers: the queue may be non-empty *)
-  job_done : Condition.t;  (** waiters: some job completed *)
+  mutex : Env.mutex;
+  work_ready : Env.cond;  (** workers: the queue may be non-empty *)
+  job_done : Env.cond;  (** waiters: some job completed *)
   queue : job Queue.t;
   inflight : (string, job) Hashtbl.t;
   bstats : stats;
   mutable shutting_down : bool;
-  mutable workers : unit Domain.t list;
+  mutable workers : Env.thread list;
 }
 
 let store t = t.bstore
 let stats t = t.bstats
 
 let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  t.mutex.Env.lock ();
+  Fun.protect ~finally:(fun () -> t.mutex.Env.unlock ()) f
 
 (* Complete a job: publish the outcome, retire the digest, account it,
    and wake every waiter.  Call under the lock. *)
@@ -83,7 +84,7 @@ let complete t job outcome =
       t.bstats.failures <- t.bstats.failures + 1
   | Timed_out -> t.bstats.timeouts <- t.bstats.timeouts + 1
   | Shed | Rejected _ -> ());
-  Condition.broadcast t.job_done
+  t.job_done.Env.broadcast ()
 
 (* ---- the compile path (runs without the broker lock) ---------------- *)
 
@@ -119,7 +120,7 @@ let compile t job =
   match store_lookup t job with
   | Some e -> Done { ir = e.ar_ir; work = e.ar_work; from_cache = true }
   | None -> (
-      if job.jb_delay_s > 0. then Unix.sleepf job.jb_delay_s;
+      if job.jb_delay_s > 0. then t.env.Env.sleep job.jb_delay_s;
       match Ir.Parse.parse_graph job.jb_ir with
       | exception Ir.Parse.Parse_error msg -> Failed ("parse: " ^ msg)
       | g -> (
@@ -156,40 +157,45 @@ let compile t job =
 (* ---- workers --------------------------------------------------------- *)
 
 let rec worker t =
-  Mutex.lock t.mutex;
+  t.mutex.Env.lock ();
   while Queue.is_empty t.queue && not t.shutting_down do
-    Condition.wait t.work_ready t.mutex
+    t.work_ready.Env.wait ()
   done;
   if Queue.is_empty t.queue then (
     (* shutting down with nothing queued *)
-    Mutex.unlock t.mutex)
+    t.mutex.Env.unlock ())
   else begin
     let job = Queue.pop t.queue in
-    if Unix.gettimeofday () > job.jb_deadline then begin
+    (* Deadlines live on the monotonic clock: a wall-clock (NTP) step
+       must neither spuriously expire nor immortalize queued jobs. *)
+    if t.env.Env.mono () > job.jb_deadline then begin
       (* Every interested deadline has passed: drop without compiling. *)
       complete t job Timed_out;
-      Mutex.unlock t.mutex;
+      t.mutex.Env.unlock ();
       worker t
     end
     else begin
-      Mutex.unlock t.mutex;
+      t.mutex.Env.unlock ();
       let outcome = try compile t job with exn -> Failed (Printexc.to_string exn) in
-      Mutex.lock t.mutex;
+      t.mutex.Env.lock ();
       complete t job outcome;
-      Mutex.unlock t.mutex;
+      t.mutex.Env.unlock ();
       worker t
     end
   end
 
-let create ?(workers = 2) ?(queue_limit = 64) ?(delay_s = 0.) ~store () =
+let create ?(env = Env.real) ?(workers = 2) ?(queue_limit = 64) ?(delay_s = 0.)
+    ~store () =
+  let mutex = env.Env.mutex () in
   let t =
     {
+      env;
       bstore = store;
       delay_s;
       queue_limit = max 1 queue_limit;
-      mutex = Mutex.create ();
-      work_ready = Condition.create ();
-      job_done = Condition.create ();
+      mutex;
+      work_ready = mutex.Env.new_cond ();
+      job_done = mutex.Env.new_cond ();
       queue = Queue.create ();
       inflight = Hashtbl.create 64;
       bstats = fresh_stats ();
@@ -198,7 +204,8 @@ let create ?(workers = 2) ?(queue_limit = 64) ?(delay_s = 0.) ~store () =
     }
   in
   t.workers <-
-    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker t));
+    List.init (max 1 workers) (fun i ->
+        env.Env.spawn (Printf.sprintf "broker-worker-%d" i) (fun () -> worker t));
   t
 
 (* ---- submission ------------------------------------------------------ *)
@@ -213,12 +220,12 @@ let submit ?deadline_s ?delay_s ~config ~fn ~ir t =
       let deadline =
         match deadline_s with
         | None -> infinity
-        | Some d -> Unix.gettimeofday () +. d
+        | Some d -> t.env.Env.mono () +. d
       in
       locked t (fun () ->
           t.bstats.requests <- t.bstats.requests + 1;
           if t.shutting_down then Rejected "broker is shutting down"
-          else if deadline <= Unix.gettimeofday () then begin
+          else if deadline <= t.env.Env.mono () then begin
             t.bstats.timeouts <- t.bstats.timeouts + 1;
             Timed_out
           end
@@ -227,7 +234,7 @@ let submit ?deadline_s ?delay_s ~config ~fn ~ir t =
               match job.jb_outcome with
               | Some o -> o
               | None ->
-                  Condition.wait t.job_done t.mutex;
+                  t.job_done.Env.wait ();
                   await job
             in
             match Hashtbl.find_opt t.inflight digest with
@@ -259,7 +266,7 @@ let submit ?deadline_s ?delay_s ~config ~fn ~ir t =
                   in
                   Hashtbl.replace t.inflight digest job;
                   Queue.push job t.queue;
-                  Condition.broadcast t.work_ready;
+                  t.work_ready.Env.broadcast ();
                   await job
                 end
           end)
@@ -276,13 +283,13 @@ let shutdown t =
             (fun job -> complete t job (Rejected "broker is shutting down"))
             t.queue;
           Queue.clear t.queue;
-          Condition.broadcast t.work_ready;
+          t.work_ready.Env.broadcast ();
           let ws = t.workers in
           t.workers <- [];
           ws
         end)
   in
-  List.iter Domain.join workers
+  List.iter (fun (w : Env.thread) -> w.Env.join ()) workers
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -49,12 +49,18 @@ type stats = {
 
 type t
 
-(** Start a broker with [workers] compile domains (default 2) and an
+(** Start a broker with [workers] compile threads (default 2) and an
     admission queue bounded at [queue_limit] jobs (default 64).
     [delay_s] artificially stretches every real (non-cache) compile —
     a test hook that makes request overlap, and therefore coalescing,
-    deterministic for the protocol smoke tests. *)
+    deterministic for the protocol smoke tests.  [env] supplies clock,
+    thread and lock capabilities (default {!Env.real}, which spawns
+    real domains); under simulation the workers become cooperative
+    fibers.  Deadlines are measured on [env]'s {e monotonic} clock, so
+    a wall-clock (NTP) step can neither expire nor immortalize queued
+    jobs. *)
 val create :
+  ?env:Env.t ->
   ?workers:int ->
   ?queue_limit:int ->
   ?delay_s:float ->

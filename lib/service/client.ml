@@ -1,45 +1,75 @@
 (** Client side of the service protocol. *)
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = { env : Env.t; conn : Env.conn; io_deadline_s : float }
 
-let connect ?(retries = 0) ?(retry_interval_s = 0.05) ~sock () =
-  let rec attempt left =
-    match
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX sock)
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-    with
-    | fd ->
-        {
-          fd;
-          ic = Unix.in_channel_of_descr fd;
-          oc = Unix.out_channel_of_descr fd;
-        }
-    | exception (Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) as e)
-      ->
-        if left <= 0 then raise e
+exception
+  Connect_failed of {
+    sock : string;
+    attempts : int;
+    elapsed_s : float;
+    last : Env.net_err;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Connect_failed { sock; attempts; elapsed_s; last } ->
+        Some
+          (Printf.sprintf
+             "Client.Connect_failed(%s after %d attempts over %.2fs: %s)" sock
+             attempts elapsed_s
+             (Env.net_err_to_string last))
+    | _ -> None)
+
+(* Full-jitter exponential backoff: the [k]-th retry sleeps a uniform
+   draw from [0, min (base * 2^k) cap] — seeded through the
+   environment, so a simulated run replays the same waits.  Retries
+   stop once the next attempt could not start before [deadline_s] has
+   elapsed. *)
+let connect ?(env = Env.real) ?(deadline_s = 0.) ?(base_backoff_s = 0.02)
+    ?(max_backoff_s = 1.0) ?(io_deadline_s = Float.infinity) ~sock () =
+  let start = env.Env.mono () in
+  let give_up = start +. deadline_s in
+  let rec attempt k =
+    match env.Env.connect sock with
+    | conn -> { env; conn; io_deadline_s }
+    | exception Env.Net (((Env.Not_found | Env.Refused) as last), _) ->
+        let backoff =
+          let cap = Float.min max_backoff_s (base_backoff_s *. (2. ** float_of_int k)) in
+          let ms = max 1 (int_of_float (cap *. 1000.)) in
+          float_of_int (env.Env.rand_int ms) /. 1000.
+        in
+        if env.Env.mono () +. backoff > give_up then
+          raise
+            (Connect_failed
+               {
+                 sock;
+                 attempts = k + 1;
+                 elapsed_s = env.Env.mono () -. start;
+                 last;
+               })
         else begin
-          Unix.sleepf retry_interval_s;
-          attempt (left - 1)
+          env.Env.sleep backoff;
+          attempt (k + 1)
         end
   in
-  attempt retries
+  attempt 0
 
-let close t =
-  (try flush t.oc with Sys_error _ -> ());
-  close_out_noerr t.oc (* closes the descriptor; [ic] shares it *)
+let close t = t.conn.Env.close_conn ()
 
 let roundtrip t (m : Protocol.message) =
+  let deadline =
+    if t.io_deadline_s = Float.infinity then Float.infinity
+    else t.env.Env.mono () +. t.io_deadline_s
+  in
   match
-    Protocol.write t.oc m;
-    Protocol.read t.ic
+    Protocol.write_conn t.conn m;
+    Protocol.read_conn ~deadline t.conn
   with
-  | r -> r
-  | exception Sys_error e -> Error ("transport: " ^ e)
-  | exception End_of_file -> Error "transport: connection closed"
+  | Ok r -> Ok r
+  | Error "eof" -> Error "transport: connection closed"
+  | Error e -> Error e
+  | exception Env.Net (err, _) ->
+      Error ("transport: " ^ Env.net_err_to_string err)
 
 let ping t =
   match roundtrip t { Protocol.verb = "ping"; fields = [] } with
@@ -55,7 +85,13 @@ let compile ?deadline_ms ?delay_ms ~config ~fn ~ir t =
       Protocol.verb = "compile";
       fields =
         [ ("config", Dbds.Config.to_line config); ("fn", fn); ("ir", ir) ]
-        @ opt "deadline-ms" deadline_ms @ opt "delay-ms" delay_ms;
+        @ opt "deadline-ms" deadline_ms @ opt "delay-ms" delay_ms
+        (* [Config.to_line] deliberately drops the fault plan (it must
+           not split the artifact digest), so injection travels as its
+           own test-hook header, like [delay-ms]. *)
+        @ (match config.Dbds.Config.fault_plan with
+          | None -> []
+          | Some p -> [ ("inject", Dbds.Faults.to_string p) ]);
     }
   in
   Result.bind (roundtrip t m) Protocol.outcome_of_reply

@@ -2,12 +2,35 @@
 
 type t
 
-(** Connect to a server socket.  [retries] × [retry_interval_s] poll for
-    the socket to appear first (defaults 0 / 0.05 — no waiting), so a
-    freshly forked server can be awaited without shell sleeps.
-    @raise Unix.Unix_error when the server stays unreachable. *)
+(** Connection gave out: [attempts] tries over [elapsed_s] seconds, the
+    final one failing with [last]. *)
+exception
+  Connect_failed of {
+    sock : string;
+    attempts : int;
+    elapsed_s : float;
+    last : Env.net_err;
+  }
+
+(** Connect to a server socket.  While the socket is missing or refuses
+    ([ENOENT]/[ECONNREFUSED] — a server still starting), retries with
+    {e full-jitter exponential backoff}: the [k]-th retry sleeps a
+    uniform draw from [0, min (base_backoff_s * 2^k) max_backoff_s]
+    (defaults 0.02 / 1.0), drawn through [env]'s seeded generator so a
+    simulated run replays the same waits.  [deadline_s] bounds the
+    whole dance (default 0 — a single attempt, no waiting);
+    {!Connect_failed} reports exhaustion.  [io_deadline_s] bounds each
+    later request/reply round-trip (default: none).  [env] defaults to
+    {!Env.real}. *)
 val connect :
-  ?retries:int -> ?retry_interval_s:float -> sock:string -> unit -> t
+  ?env:Env.t ->
+  ?deadline_s:float ->
+  ?base_backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?io_deadline_s:float ->
+  sock:string ->
+  unit ->
+  t
 
 val close : t -> unit
 

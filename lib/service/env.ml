@@ -1,0 +1,279 @@
+(** The service's capability environment — see the interface. *)
+
+type net_err =
+  | Refused
+  | Denied
+  | Not_found
+  | Reset
+  | Timeout
+  | Closed
+  | Eof
+  | Other of string
+
+exception Net of net_err * string
+
+let net_err_to_string = function
+  | Refused -> "connection refused"
+  | Denied -> "permission denied"
+  | Not_found -> "no such socket"
+  | Reset -> "connection reset"
+  | Timeout -> "timed out"
+  | Closed -> "closed"
+  | Eof -> "end of stream"
+  | Other s -> s
+
+let () =
+  Printexc.register_printer (function
+    | Net (err, ctx) ->
+        Some (Printf.sprintf "Env.Net(%s, %s)" (net_err_to_string err) ctx)
+    | _ -> None)
+
+type conn = {
+  send : string -> unit;
+  recv_exact : float -> int -> string;
+  recv_line : float -> string;
+  close_conn : unit -> unit;
+}
+
+type listener = { accept : unit -> conn; close_listener : unit -> unit }
+type cond = { wait : unit -> unit; broadcast : unit -> unit }
+
+type mutex = {
+  lock : unit -> unit;
+  unlock : unit -> unit;
+  new_cond : unit -> cond;
+}
+
+type thread = { join : unit -> unit }
+
+type t = {
+  now : unit -> float;
+  mono : unit -> float;
+  sleep : float -> unit;
+  rand_int : int -> int;
+  pid : int;
+  spawn : string -> (unit -> unit) -> thread;
+  mutex : unit -> mutex;
+  listen : string -> listener;
+  connect : string -> conn;
+  file_exists : string -> bool;
+  mkdir : string -> unit;
+  readdir : string -> string array;
+  file_size : string -> int;
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Real implementation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let net_of_unix = function
+  | Unix.ECONNREFUSED -> Refused
+  | Unix.EACCES -> Denied
+  | Unix.ENOENT -> Not_found
+  | Unix.ECONNRESET | Unix.EPIPE -> Reset
+  | e -> Other (Unix.error_message e)
+
+(* This toolchain has no [Unix.clock_gettime], so the monotonic clock
+   is the wall clock clamped to never decrease — coarse, but it
+   guarantees deadlines computed against it survive a backwards NTP
+   step, which is all the broker needs. *)
+let real_mono =
+  let last = Atomic.make 0. in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    let rec bump () =
+      let l = Atomic.get last in
+      if t > l then if Atomic.compare_and_set last l t then t else bump ()
+      else l
+    in
+    bump ()
+
+let real_rand =
+  let m = Mutex.create () in
+  let st = lazy (Random.State.make_self_init ()) in
+  fun bound ->
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () -> Random.State.int (Lazy.force st) bound)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A buffered byte-stream over a connected descriptor.  Receives honor
+   an absolute deadline on [real_mono] via [select]. *)
+let real_conn fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let closed = ref false in
+  let fill deadline =
+    (* Block (up to [deadline]) for at least one more byte. *)
+    let rec wait () =
+      if !closed then raise (Net (Closed, "recv on closed connection"));
+      let remaining =
+        if deadline = Float.infinity then -1.0
+        else
+          let r = deadline -. real_mono () in
+          if r <= 0. then raise (Net (Timeout, "recv deadline expired"))
+          else r
+      in
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> raise (Net (Timeout, "recv deadline expired"))
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> raise (Net (Eof, "recv"))
+          | n -> Buffer.add_subbytes buf chunk 0 n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | exception Unix.Unix_error (e, _, _) ->
+              raise (Net (net_of_unix e, "recv")))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    in
+    wait ()
+  in
+  let take n =
+    let s = Buffer.sub buf 0 n in
+    let rest = Buffer.sub buf n (Buffer.length buf - n) in
+    Buffer.clear buf;
+    Buffer.add_string buf rest;
+    s
+  in
+  let recv_exact deadline n =
+    while Buffer.length buf < n do
+      fill deadline
+    done;
+    take n
+  in
+  let recv_line deadline =
+    let rec find_nl () =
+      match String.index_opt (Buffer.contents buf) '\n' with
+      | Some i -> i
+      | None ->
+          fill deadline;
+          find_nl ()
+    in
+    let i = find_nl () in
+    let line = take (i + 1) in
+    String.sub line 0 i
+  in
+  let send s =
+    if !closed then raise (Net (Closed, "send on closed connection"));
+    let len = String.length s in
+    let rec push off =
+      if off < len then
+        match Unix.write_substring fd s off (len - off) with
+        | n -> push (off + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        | exception Unix.Unix_error (e, _, _) ->
+            raise (Net (net_of_unix e, "send"))
+    in
+    push 0
+  in
+  let close_conn () =
+    if not !closed then begin
+      closed := true;
+      close_quiet fd
+    end
+  in
+  { send; recv_exact; recv_line; close_conn }
+
+let real_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX sock)
+   with Unix.Unix_error (e, _, _) ->
+     close_quiet fd;
+     raise (Net (net_of_unix e, "connect " ^ sock)));
+  real_conn fd
+
+let real_listen sock =
+  let fd =
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX sock);
+         Unix.listen fd 64
+       with e ->
+         close_quiet fd;
+         raise e);
+      fd
+    with Unix.Unix_error (e, _, _) ->
+      raise (Net (net_of_unix e, "listen " ^ sock))
+  in
+  let closed = ref false in
+  let rec accept () =
+    if !closed then raise (Net (Closed, "accept on closed listener"));
+    match Unix.accept fd with
+    | cfd, _ -> real_conn cfd
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        accept ()
+    | exception Unix.Unix_error (e, _, _) ->
+        if !closed then raise (Net (Closed, "accept on closed listener"))
+        else raise (Net (net_of_unix e, "accept"))
+  in
+  let close_listener () =
+    if not !closed then begin
+      closed := true;
+      close_quiet fd
+    end
+  in
+  { accept; close_listener }
+
+let real_mutex () =
+  let m = Mutex.create () in
+  {
+    lock = (fun () -> Mutex.lock m);
+    unlock = (fun () -> Mutex.unlock m);
+    new_cond =
+      (fun () ->
+        let c = Condition.create () in
+        {
+          wait = (fun () -> Condition.wait c m);
+          broadcast = (fun () -> Condition.broadcast c);
+        });
+  }
+
+(* Disk operations raise [Sys_error] on failure, matching the channel
+   API the store was written against. *)
+let sys_error ctx e =
+  raise (Sys_error (Printf.sprintf "%s: %s" ctx (Unix.error_message e)))
+
+let real =
+  {
+    now = Unix.gettimeofday;
+    mono = real_mono;
+    sleep = Unix.sleepf;
+    rand_int = real_rand;
+    pid = Unix.getpid ();
+    spawn =
+      (fun _name f ->
+        let d = Domain.spawn f in
+        { join = (fun () -> Domain.join d) });
+    mutex = real_mutex;
+    listen = real_listen;
+    connect = real_connect;
+    file_exists = Sys.file_exists;
+    mkdir =
+      (fun path ->
+        try Unix.mkdir path 0o755 with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        | Unix.Unix_error (e, _, _) -> sys_error ("mkdir " ^ path) e);
+    readdir =
+      (fun path ->
+        let names = Sys.readdir path in
+        Array.sort compare names;
+        names);
+    file_size =
+      (fun path ->
+        try (Unix.stat path).Unix.st_size
+        with Unix.Unix_error (e, _, _) -> sys_error ("stat " ^ path) e);
+    read_file =
+      (fun path -> In_channel.with_open_bin path In_channel.input_all);
+    write_file =
+      (fun path content ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc content));
+    rename = Sys.rename;
+    remove = Sys.remove;
+  }

@@ -1,0 +1,89 @@
+(** The service's capability environment — every effect the compile
+    service performs (clocks, sleeping, randomness, threads, locks,
+    transport, disk) goes through this record.
+
+    Two implementations exist: {!real}, which maps each capability to
+    the obvious [Unix]/[Sys]/[Domain] primitive and preserves the
+    pre-seam behavior byte-for-byte; and the whole-system simulator's
+    ([Simtest.Simio]), where the same record is backed by a virtual
+    clock, an in-memory network, and a simulated disk, all driven by
+    one seeded single-threaded scheduler.  Service code cannot tell
+    which one it is running on — that is the point. *)
+
+(** Structured transport errors, normalized across implementations. *)
+type net_err =
+  | Refused  (** nobody listening ([ECONNREFUSED]) *)
+  | Denied  (** permission denied ([EACCES]) *)
+  | Not_found  (** no such socket path ([ENOENT]) *)
+  | Reset  (** peer vanished mid-stream ([ECONNRESET]/[EPIPE]) *)
+  | Timeout  (** a receive deadline expired *)
+  | Closed  (** the endpoint was closed locally *)
+  | Eof  (** the peer closed cleanly mid-receive *)
+  | Other of string
+
+exception Net of net_err * string
+
+val net_err_to_string : net_err -> string
+
+(** A bidirectional byte-stream connection.  Receive operations take an
+    absolute deadline on the {e monotonic} clock ([Float.infinity] =
+    wait forever) and raise [Net (Timeout, _)] past it. *)
+type conn = {
+  send : string -> unit;
+  recv_exact : float -> int -> string;
+      (** [recv_exact deadline n] blocks for exactly [n] bytes. *)
+  recv_line : float -> string;
+      (** [recv_line deadline] reads up to a ['\n'] (consumed, not
+          returned). *)
+  close_conn : unit -> unit;
+}
+
+type listener = {
+  accept : unit -> conn;
+      (** Blocks for the next connection; raises [Net (Closed, _)] once
+          the listener is closed. *)
+  close_listener : unit -> unit;
+}
+
+(** A condition variable bound to the mutex that created it. *)
+type cond = { wait : unit -> unit; broadcast : unit -> unit }
+
+type mutex = {
+  lock : unit -> unit;
+  unlock : unit -> unit;
+  new_cond : unit -> cond;
+}
+
+type thread = { join : unit -> unit }
+
+type t = {
+  now : unit -> float;  (** wall clock — timestamps, logs *)
+  mono : unit -> float;
+      (** monotonic clock — deadlines; never steps backwards even if
+          the wall clock does *)
+  sleep : float -> unit;
+  rand_int : int -> int;
+      (** uniform in [\[0, bound)] — seeded and replayable under
+          simulation *)
+  pid : int;
+  spawn : string -> (unit -> unit) -> thread;
+      (** [spawn name f] — [name] labels the task in simulator traces *)
+  mutex : unit -> mutex;
+  listen : string -> listener;  (** bind + listen on a socket path *)
+  connect : string -> conn;
+  file_exists : string -> bool;
+  mkdir : string -> unit;  (** create-if-missing; existing dir is fine *)
+  readdir : string -> string array;  (** sorted, for determinism *)
+  file_size : string -> int;
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+}
+
+(** The production environment: real clocks, [Unix] sockets, the real
+    filesystem, [Domain]-based threads.  [mono] is the wall clock
+    clamped to never decrease (the toolchain here lacks
+    [Unix.clock_gettime]); that is enough to keep an NTP step from
+    expiring or immortalizing queued jobs. *)
+val real : t

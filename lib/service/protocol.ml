@@ -54,6 +54,68 @@ let read ic =
   let* fields = fields [] nfields in
   Ok { verb; fields }
 
+(* ---- Env.conn transport -------------------------------------------- *)
+
+(* One message renders to one string and travels as one [send]: under
+   the simulator that makes a message a single network chunk, so chunk
+   faults (drop/reorder/duplicate) act on whole protocol messages. *)
+let render m =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%s %s %d\n" magic m.verb (List.length m.fields);
+  List.iter
+    (fun (name, payload) ->
+      Printf.bprintf buf "%s %d\n" name (String.length payload);
+      Buffer.add_string buf payload;
+      Buffer.add_char buf '\n')
+    m.fields;
+  Buffer.contents buf
+
+let write_conn (c : Env.conn) m = c.Env.send (render m)
+
+let read_conn ?(deadline = Float.infinity) (c : Env.conn) =
+  let ( let* ) r f = Result.bind r f in
+  match
+    let* header =
+      match c.Env.recv_line deadline with
+      | l -> Ok l
+      | exception Env.Net (Env.Eof, _) -> Error "eof"
+    in
+    let* verb, nfields =
+      match String.split_on_char ' ' header with
+      | [ m; verb; n ] when m = magic -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 && n <= max_fields -> Ok (verb, n)
+          | _ -> Error ("bad field count: " ^ header))
+      | _ -> Error ("bad header: " ^ header)
+    in
+    let rec fields acc = function
+      | 0 -> Ok (List.rev acc)
+      | k -> (
+          let* fheader =
+            match c.Env.recv_line deadline with
+            | l -> Ok l
+            | exception Env.Net (Env.Eof, _) -> Error "truncated message"
+          in
+          match String.split_on_char ' ' fheader with
+          | [ name; len ] -> (
+              match int_of_string_opt len with
+              | Some len when len >= 0 && len <= max_field_bytes -> (
+                  match c.Env.recv_exact deadline (len + 1) with
+                  | s when s.[len] = '\n' ->
+                      fields ((name, String.sub s 0 len) :: acc) (k - 1)
+                  | _ -> Error "missing payload terminator"
+                  | exception Env.Net (Env.Eof, _) -> Error "truncated payload")
+              | _ -> Error ("bad field length: " ^ fheader))
+          | _ -> Error ("bad field header: " ^ fheader))
+    in
+    let* fields = fields [] nfields in
+    Ok { verb; fields }
+  with
+  | r -> r
+  | exception Env.Net (Env.Timeout, _) -> Error "timeout"
+  | exception Env.Net (err, _) ->
+      Error ("transport: " ^ Env.net_err_to_string err)
+
 let field m name = List.assoc_opt name m.fields
 let field_or m name default = Option.value (field m name) ~default
 

@@ -37,6 +37,18 @@ val write : out_channel -> message -> unit
     (rendered ["eof"]), truncation, bad magic, and limit violations. *)
 val read : in_channel -> (message, string) result
 
+(** {!write} over an {!Env.conn}: the whole message is rendered and
+    sent as one chunk (so simulated chunk faults act on whole
+    messages).  May raise {!Env.Net}. *)
+val write_conn : Env.conn -> message -> unit
+
+(** {!read} over an {!Env.conn}.  [deadline] is absolute on the
+    environment's monotonic clock (default: wait forever); expiry and
+    transport failures come back as [Error] ("timeout",
+    "transport: ..."), EOF at a message boundary as [Error "eof"] —
+    never an exception. *)
+val read_conn : ?deadline:float -> Env.conn -> (message, string) result
+
 (** First payload under [name], if present. *)
 val field : message -> string -> string option
 

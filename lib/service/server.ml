@@ -2,33 +2,30 @@
     shutdown semantics. *)
 
 type state = {
+  env : Env.t;
   broker : Broker.t;
   sock : string;
-  listen_fd : Unix.file_descr;
+  listener : Env.listener;
   log : string -> unit;
-  mutex : Mutex.t;
+  mutex : Env.mutex;
   mutable stopping : bool;
-  mutable conns : unit Domain.t list;
+  mutable conns : Env.thread list;
 }
 
 let locked st f =
-  Mutex.lock st.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
+  st.mutex.Env.lock ();
+  Fun.protect ~finally:(fun () -> st.mutex.Env.unlock ()) f
 
 let stopping st = locked st (fun () -> st.stopping)
 
 (* Stop the accept loop: raise the flag, then nudge [accept] awake with
    a throwaway connection (portable — closing a listening socket from
-   another domain does not reliably interrupt an accept). *)
+   another thread does not reliably interrupt an accept). *)
 let trigger_stop st =
   locked st (fun () -> st.stopping <- true);
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error _ -> ()
-  | fd -> (
-      try
-        Unix.connect fd (Unix.ADDR_UNIX st.sock);
-        Unix.close fd
-      with Unix.Unix_error _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+  match st.env.Env.connect st.sock with
+  | conn -> conn.Env.close_conn ()
+  | exception Env.Net _ -> ()
 
 let ok_reply = { Protocol.verb = "reply"; fields = [ ("status", "ok") ] }
 
@@ -73,6 +70,17 @@ let handle_compile st m =
   match (Protocol.field m "fn", Protocol.field m "ir") with
   | Some fn, Some ir ->
       let config = Dbds.Config.of_line (Protocol.field_or m "config" "") in
+      (* Re-attach the fault plan the wire config cannot carry (see
+         [Client.compile]): worker-side injection — crash sites, torn
+         or corrupted publications — needs it in the job's config. *)
+      let config =
+        match
+          Option.bind (Protocol.field m "inject") (fun s ->
+              Result.to_option (Dbds.Faults.of_string s))
+        with
+        | Some p -> { config with Dbds.Config.fault_plan = Some p }
+        | None -> config
+      in
       let ms_field name =
         Option.bind (Protocol.field m name) int_of_string_opt
         |> Option.map (fun ms -> float_of_int ms /. 1000.)
@@ -87,12 +95,10 @@ let handle_compile st m =
 
 (* One connection: synchronous request/reply until EOF, a protocol
    error, or a shutdown request. *)
-let handle st fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let send m = try Protocol.write oc m with Sys_error _ -> () in
+let handle st conn =
+  let send m = try Protocol.write_conn conn m with Env.Net _ -> () in
   let rec loop () =
-    match Protocol.read ic with
+    match Protocol.read_conn conn with
     | Error "eof" -> ()
     | Error msg ->
         (* The stream may be desynchronized: answer and hang up. *)
@@ -117,47 +123,62 @@ let handle st fd =
             loop ())
   in
   (try loop () with _ -> ());
-  (try flush oc with Sys_error _ -> ());
-  close_out_noerr oc (* closes [fd]; [ic] shares it *)
+  conn.Env.close_conn ()
 
-let serve ?(log = fun _ -> ()) ~sock ~broker () =
-  if Sys.file_exists sock then
-    invalid_arg
-      (Printf.sprintf
-         "Server.serve: %s already exists (stale socket? remove it first)" sock);
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX sock);
-  Unix.listen listen_fd 64;
+(* A socket path that already exists is either a live server or the
+   debris of a crashed one.  Probe it: a connection means live — refuse
+   to start; refused / denied / vanished means stale — remove the
+   debris and proceed.  [Denied] matters: a root-owned stale socket
+   answers EACCES, not ECONNREFUSED, and must not abort startup. *)
+let claim_socket env sock =
+  if env.Env.file_exists sock then begin
+    (match env.Env.connect sock with
+    | conn ->
+        conn.Env.close_conn ();
+        invalid_arg
+          (Printf.sprintf "Server.serve: %s already has a live server" sock)
+    | exception Env.Net ((Env.Refused | Env.Denied | Env.Not_found), _) -> ());
+    try env.Env.remove sock with Sys_error _ -> ()
+  end
+
+let serve ?(env = Env.real) ?(log = fun _ -> ()) ~sock ~broker () =
+  claim_socket env sock;
+  let listener = env.Env.listen sock in
   let st =
     {
+      env;
       broker;
       sock;
-      listen_fd;
+      listener;
       log;
-      mutex = Mutex.create ();
+      mutex = env.Env.mutex ();
       stopping = false;
       conns = [];
     }
   in
   log (Printf.sprintf "listening on %s" sock);
+  let conn_id = ref 0 in
   let rec accept_loop () =
     if not (stopping st) then
-      match Unix.accept st.listen_fd with
-      | fd, _ ->
-          if stopping st then (try Unix.close fd with Unix.Unix_error _ -> ())
+      match st.listener.Env.accept () with
+      | conn ->
+          if stopping st then conn.Env.close_conn ()
           else begin
-            let d = Domain.spawn (fun () -> handle st fd) in
-            locked st (fun () -> st.conns <- d :: st.conns);
+            incr conn_id;
+            let t =
+              st.env.Env.spawn
+                (Printf.sprintf "server-conn-%d" !conn_id)
+                (fun () -> handle st conn)
+            in
+            locked st (fun () -> st.conns <- t :: st.conns);
             accept_loop ()
           end
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-          accept_loop ()
-      | exception Unix.Unix_error _ -> ()
+      | exception Env.Net _ -> ()
   in
   accept_loop ();
-  (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+  st.listener.Env.close_listener ();
   let conns = locked st (fun () -> st.conns) in
-  List.iter Domain.join conns;
+  List.iter (fun (t : Env.thread) -> t.Env.join ()) conns;
   Broker.shutdown broker;
-  (try Sys.remove sock with Sys_error _ -> ());
+  (try env.Env.remove sock with Sys_error _ -> ());
   log "stopped"

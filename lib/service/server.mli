@@ -13,7 +13,19 @@
     already accepted are answered before their connections close. *)
 
 (** Serve until a [shutdown] request arrives.  Creates (and on exit
-    removes) the socket at [sock]; refuses to start if the path exists.
-    [log] receives one line per served request (e.g. stderr logging);
+    removes) the socket at [sock].  A pre-existing socket path is
+    probed first: if something answers, startup is refused
+    ([Invalid_argument]); if the probe is refused, denied, or finds
+    nothing (a stale socket from a crashed server — including a
+    permission-denied one), the debris is removed and startup
+    proceeds.  [env] supplies transport/thread/disk capabilities
+    (default {!Env.real}); pass the broker's environment.  [log]
+    receives one line per served request (e.g. stderr logging);
     default: silent. *)
-val serve : ?log:(string -> unit) -> sock:string -> broker:Broker.t -> unit -> unit
+val serve :
+  ?env:Env.t ->
+  ?log:(string -> unit) ->
+  sock:string ->
+  broker:Broker.t ->
+  unit ->
+  unit

@@ -16,9 +16,10 @@ type stats = {
 }
 
 type t = {
+  env : Env.t;
   dir : string;
   capacity : int;
-  mutex : Mutex.t;
+  mutex : Env.mutex;
   (* In-memory accounting only: recency-ordered (most recent first)
      [digest, bytes] pairs.  The filesystem stays the source of truth —
      a file published by another process is found by [get] even before
@@ -49,8 +50,8 @@ let art_suffix = ".art"
 let path_of t digest = Filename.concat t.dir (digest ^ art_suffix)
 
 let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+  t.mutex.Env.lock ();
+  Fun.protect ~finally:(fun () -> t.mutex.Env.unlock ()) f
 
 (* ---- rendering / parsing ------------------------------------------- *)
 
@@ -124,32 +125,28 @@ let parse ~digest content =
 
 (* ---- construction --------------------------------------------------- *)
 
-let ensure_dir dir =
-  if not (Sys.file_exists dir) then
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-
-let create ?(capacity = 8 * 1024 * 1024) ~dir () =
-  ensure_dir dir;
+let create ?(env = Env.real) ?(capacity = 8 * 1024 * 1024) ~dir () =
+  (try env.Env.mkdir dir with Sys_error _ -> ());
   let lru =
-    match Sys.readdir dir with
+    match env.Env.readdir dir with
     | exception Sys_error _ -> []
     | names ->
-        (* Deterministic initial recency: name order.  Real recency only
-           matters once the store is warm. *)
-        Array.sort compare names;
+        (* Deterministic initial recency: name order (the environment
+           sorts).  Real recency only matters once the store is warm. *)
         Array.to_list names
         |> List.filter_map (fun name ->
                if Filename.check_suffix name art_suffix then
                  let digest = Filename.chop_suffix name art_suffix in
-                 match (Unix.stat (Filename.concat dir name)).Unix.st_size with
+                 match env.Env.file_size (Filename.concat dir name) with
                  | size -> Some (digest, size)
-                 | exception Unix.Unix_error _ -> None
+                 | exception Sys_error _ -> None
                else None)
   in
   {
+    env;
     dir;
     capacity;
-    mutex = Mutex.create ();
+    mutex = env.Env.mutex ();
     lru;
     parsed = Hashtbl.create 64;
     stats = fresh_stats ();
@@ -170,7 +167,7 @@ let index_touch t digest size =
   t.lru <- (digest, size) :: t.lru
 
 let remove_file t digest =
-  try Sys.remove (path_of t digest) with Sys_error _ -> ()
+  try t.env.Env.remove (path_of t digest) with Sys_error _ -> ()
 
 let drop_unlocked t digest =
   remove_file t digest;
@@ -194,17 +191,11 @@ let gc t =
 
 (* ---- operations ----------------------------------------------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let get t ~digest =
   locked t (fun () ->
       match
         F.hit F.Store_read;
-        read_file (path_of t digest)
+        t.env.Env.read_file (path_of t digest)
       with
       | exception F.Injected _ ->
           t.stats.read_failures <- t.stats.read_failures + 1;
@@ -227,39 +218,64 @@ let get t ~digest =
               t.stats.misses <- t.stats.misses + 1;
               None))
 
+(* Mutate an artifact's IR subtly: bump the first integer literal.  The
+   render below checksums the {e mutated} text, so every later read
+   validates — a wrong artifact the store itself cannot detect.  Only
+   reachable when [Store_corrupt] is armed explicitly: it is a
+   deliberate bug planted for the whole-system simulator's end-to-end
+   invariant checker (and its shrinker demo) to catch. *)
+let corrupt_ir ir =
+  let key = "const " in
+  let klen = String.length key in
+  let len = String.length ir in
+  let rec find i =
+    if i + klen > len then None
+    else if String.sub ir i klen = key then Some (i + klen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> ir
+  | Some j ->
+      let k = ref j in
+      if !k < len && ir.[!k] = '-' then incr k;
+      while !k < len && ir.[!k] >= '0' && ir.[!k] <= '9' do
+        incr k
+      done;
+      if !k = j then ir
+      else
+        let n = int_of_string (String.sub ir j (!k - j)) in
+        String.sub ir 0 j
+        ^ string_of_int (n + 1)
+        ^ String.sub ir !k (len - !k)
+
 let put t ~digest ~fn ~ir ~work =
   locked t (fun () ->
+      let ir =
+        match F.hit F.Store_corrupt with
+        | () -> ir
+        | exception F.Injected _ -> corrupt_ir ir
+      in
       let content = render ~digest ~fn ~ir ~work in
       let final = path_of t digest in
       let tmp =
-        Filename.concat t.dir
-          (Printf.sprintf ".tmp.%s.%d" digest (Unix.getpid ()))
+        Filename.concat t.dir (Printf.sprintf ".tmp.%s.%d" digest t.env.Env.pid)
       in
-      let cleanup_tmp () = try Sys.remove tmp with Sys_error _ -> () in
+      let cleanup_tmp () = try t.env.Env.remove tmp with Sys_error _ -> () in
       match
-        ensure_dir t.dir;
-        let oc = open_out_bin tmp in
-        (* Write in two halves with a fault site between them: an
-           injected [Store_write] models a crash mid-payload.  Because
-           the payload is still under its temp name, the store stays
-           clean — the publication simply never happens. *)
-        (try
-           let half = String.length content / 2 in
-           output_string oc (String.sub content 0 half);
-           F.hit F.Store_write;
-           output_string oc
-             (String.sub content half (String.length content - half));
-           F.hit F.Store_write;
-           close_out oc
-         with e ->
-           close_out_noerr oc;
-           raise e);
+        t.env.Env.mkdir t.dir;
+        (* Fault sites around the temp write: an injected [Store_write]
+           models a crash mid-payload.  Because the payload is still
+           under its temp name, the store stays clean — the publication
+           simply never happens. *)
+        F.hit F.Store_write;
+        t.env.Env.write_file tmp content;
+        F.hit F.Store_write;
         (* The publication point.  An injected [Store_rename] models a
            torn publish — a crash where the entry appears under its
            final name truncated (what a real crash between data write
            and metadata flush can leave behind). *)
         F.hit F.Store_rename;
-        Sys.rename tmp final
+        t.env.Env.rename tmp final
       with
       | () ->
           (* Digest-addressed content is immutable in principle, but a
@@ -277,11 +293,7 @@ let put t ~digest ~fn ~ir ~work =
              final name.  A later [get] sees the checksum mismatch,
              evicts it and recompiles. *)
           let torn = String.sub content 0 (String.length content / 2) in
-          (try
-             let oc = open_out_bin final in
-             output_string oc torn;
-             close_out oc
-           with Sys_error _ -> ());
+          (try t.env.Env.write_file final torn with Sys_error _ -> ());
           cleanup_tmp ();
           Hashtbl.remove t.parsed digest;
           index_touch t digest (String.length torn);

@@ -40,8 +40,10 @@ type stats = {
 type t
 
 (** Open (creating if needed) a store rooted at [dir].  [capacity] is
-    the artifact-byte budget the LRU GC maintains (default 8 MiB). *)
-val create : ?capacity:int -> dir:string -> unit -> t
+    the artifact-byte budget the LRU GC maintains (default 8 MiB).
+    [env] supplies clock/disk/lock capabilities (default {!Env.real});
+    the whole-system simulator passes its own. *)
+val create : ?env:Env.t -> ?capacity:int -> dir:string -> unit -> t
 
 val dir : t -> string
 val stats : t -> stats

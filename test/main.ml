@@ -26,4 +26,5 @@ let () =
       ("harness", Test_harness.suite);
       ("vm", Test_vm.suite);
       ("service", Test_service.suite);
+      ("sim", Test_sim.suite);
     ]

@@ -467,6 +467,84 @@ let test_protocol_outcomes () =
       SB.Rejected "parse: bad input";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Crash-mid-publication on the simulated disk                         *)
+(* ------------------------------------------------------------------ *)
+
+module Sim = Simtest.Sched
+module Simio = Simtest.Simio
+
+(* Run [f] against a simulated-disk environment with [faults] armed.
+   The schedule itself must stay clean: a crashed or hung fiber here
+   means the test body leaked an exception it claimed to contain. *)
+let on_sim_disk ~faults f =
+  let sched = Sim.create ~seed:0 () in
+  let io = Simio.create ~faults sched in
+  let out = Sim.run sched (fun () -> f (Simio.env io)) in
+  Alcotest.(check (list (pair string string)))
+    "no fiber crashed" [] out.Sim.crashed;
+  Alcotest.(check (list string)) "no fiber hung" [] out.Sim.hung
+
+let sim_plan site hit = { F.seed = 0; site; hit; fn = None }
+
+(* A power cut at the publication point: the rename never happens and
+   control never returns.  The final name must not appear — not now,
+   not after a restart — and the temp file is the only debris. *)
+let test_store_sim_crash_mid_publication () =
+  on_sim_disk ~faults:[ sim_plan F.Disk_crash 1 ] (fun env ->
+      let ir = canonical_main figure1 in
+      let digest = SD.fnv64 ir in
+      let st = SS.create ~env ~dir:"/store" () in
+      (match SS.put st ~digest ~fn:"main" ~ir ~work:7 with
+      | () -> Alcotest.fail "publication should have crashed"
+      | exception Simio.Crashed _ -> ());
+      Alcotest.(check bool) "no visible artifact" true
+        (SS.get st ~digest = None);
+      let names = Array.to_list (env.Service.Env.readdir "/store") in
+      Alcotest.(check bool) "temp debris remains" true
+        (List.exists
+           (fun n -> String.length n > 4 && String.sub n 0 4 = ".tmp")
+           names);
+      (* Restart: a fresh store over the surviving disk must scan the
+         debris away from sight and accept a clean republication. *)
+      let st2 = SS.create ~env ~dir:"/store" () in
+      Alcotest.(check bool) "restart: still a miss" true
+        (SS.get st2 ~digest = None);
+      SS.put st2 ~digest ~fn:"main" ~ir ~work:7;
+      match SS.get st2 ~digest with
+      | Some e -> Alcotest.(check string) "republished ir" ir e.SS.ar_ir
+      | None -> Alcotest.fail "republication after restart failed")
+
+(* A torn disk write under the temp name: the store contains it as an
+   ordinary write failure (Sys_error), nothing becomes visible, and
+   the next attempt succeeds — the fault is one-shot. *)
+let test_store_sim_torn_write_contained () =
+  on_sim_disk ~faults:[ sim_plan F.Disk_torn 1 ] (fun env ->
+      let ir = canonical_main figure1 in
+      let digest = SD.fnv64 ir in
+      let st = SS.create ~env ~dir:"/store" () in
+      SS.put st ~digest ~fn:"main" ~ir ~work:7;
+      Alcotest.(check int) "write failure counted" 1
+        (SS.stats st).SS.write_failures;
+      Alcotest.(check bool) "nothing published" true (SS.get st ~digest = None);
+      SS.put st ~digest ~fn:"main" ~ir ~work:7;
+      Alcotest.(check bool) "retry publishes" true (SS.get st ~digest <> None))
+
+(* Slow IO delays the publication but changes nothing else; the sim
+   clock records exactly how slow it was. *)
+let test_store_sim_slow_io () =
+  on_sim_disk ~faults:[ sim_plan F.Disk_slow 1 ] (fun env ->
+      let ir = canonical_main figure1 in
+      let digest = SD.fnv64 ir in
+      let st = SS.create ~env ~dir:"/store" () in
+      let before = env.Service.Env.mono () in
+      SS.put st ~digest ~fn:"main" ~ir ~work:7;
+      let elapsed = env.Service.Env.mono () -. before in
+      Alcotest.(check bool) "the slow fault cost virtual seconds" true
+        (elapsed >= 2.0);
+      Alcotest.(check bool) "published regardless" true
+        (SS.get st ~digest <> None))
+
 let suite =
   [
     test "digest: hash survives print/parse round-trip" test_digest_roundtrip;
@@ -478,6 +556,12 @@ let suite =
     test "store: LRU eviction bounds the budget" test_store_lru_eviction;
     test "store: every fault site contained" test_store_fault_sites;
     test "store: parsed-artifact memo" test_store_get_graph_memo;
+    test "store: sim-disk crash mid-publication"
+      test_store_sim_crash_mid_publication;
+    test "store: sim-disk torn write contained"
+      test_store_sim_torn_write_contained;
+    test "store: sim-disk slow IO delays, nothing else"
+      test_store_sim_slow_io;
     test "driver cache: warm run byte-identical" test_driver_cache_warm_identical;
     test "warm hooks: spill and lookup round-trip" test_warm_hooks_roundtrip;
     test "broker: identical requests coalesce" test_broker_coalescing;
