@@ -308,6 +308,127 @@ let print_service rows =
   Format.printf "%a@." Harness.Report.pp_service (List.map snd rows)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: warm-hit throughput at 1..3 nodes                            *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_sizes = [ 1; 2; 3 ]
+let fleet_replicas = 1
+
+let fleet_rows () =
+  Harness.Fleetbench.run ~fleet_sizes ~replicas:fleet_replicas ()
+
+let print_fleet rows =
+  section
+    "Fleet: warm-hit throughput, 1..3 nodes (measured per-request cost, \
+     real ring shards, cross-node parallelism modeled)";
+  Format.printf "%a@." Harness.Report.pp_fleet rows
+
+(* ------------------------------------------------------------------ *)
+(* PEA sweep cap: the fig5 8ms-dominant function                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The pea_max_rounds knob bounds scalar replacement's internal sweeps;
+   measure its effect on the benchmark dominating fig5's batch cost
+   (pmd, the 8 ms function among 0.3 ms peers).  Work units are
+   deterministic; wall is min-of-5.  The final program must not
+   change: a capped PEA leaves its remainder to the enclosing fixpoint
+   group, which re-runs it.  The measured answer on pmd is that the
+   cap never bites — its sweeps converge within one round, so pmd's
+   dominance comes from the DBDS simulation tier, not PEA; the knob
+   stays a guardrail for deeper allocation nests (and is digest-stable
+   when unset). *)
+type pea_variant = {
+  pv_max_rounds : int;  (** 0 = fixpoint, the default *)
+  pv_wall_ns : float;  (** min-of-5 wall per compile *)
+  pv_pea_runs : int;  (** pea invocations across the fixpoint group *)
+  pv_pea_work : int;  (** deterministic work charged by pea *)
+  pv_compile_work : int;  (** whole-pipeline work units *)
+  pv_result : string;  (** workload result, for the identity check *)
+  pv_peak_cycles : float;
+}
+
+let pea_cap_rows () =
+  let fig5 = List.hd Workloads.Registry.all in
+  let b =
+    match
+      List.find_opt
+        (fun b -> b.Workloads.Suite.name = "pmd")
+        fig5.Workloads.Suite.benchmarks
+    with
+    | Some b -> b
+    | None -> representative fig5
+  in
+  let variant max_rounds =
+    let config =
+      { Dbds.Config.dbds with Dbds.Config.pea_max_rounds = max_rounds }
+    in
+    let m = Harness.Runner.measure ~jobs:1 ~config b in
+    let wall =
+      let best = ref infinity in
+      for _ = 1 to 5 do
+        let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+        let t0 = Unix.gettimeofday () in
+        ignore (Dbds.Driver.optimize_program ~config ~jobs:1 prog);
+        let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    let pea_runs, pea_work =
+      match List.assoc_opt "pea" m.Harness.Metrics.passes with
+      | Some st -> (st.Opt.Phase.runs, st.Opt.Phase.pwork)
+      | None -> (0, 0)
+    in
+    {
+      pv_max_rounds = max_rounds;
+      pv_wall_ns = wall;
+      pv_pea_runs = pea_runs;
+      pv_pea_work = pea_work;
+      pv_compile_work = m.Harness.Metrics.compile_work;
+      pv_result = m.Harness.Metrics.result_value;
+      pv_peak_cycles = m.Harness.Metrics.peak_cycles;
+    }
+  in
+  (b.Workloads.Suite.name, List.map variant [ 0; 2 ])
+
+let print_pea_cap (bench, variants) =
+  section
+    (Printf.sprintf
+       "PEA sweep cap (pea_max_rounds) on %s, fig5's dominant benchmark"
+       bench);
+  Format.printf "%-12s %12s %8s %10s %12s %12s@." "max_rounds" "wall ns"
+    "pea runs" "pea work" "compile work" "peak cycles";
+  List.iter
+    (fun v ->
+      Format.printf "%-12s %12.0f %8d %10d %12d %12.0f@."
+        (if v.pv_max_rounds = 0 then "0 (fixpoint)"
+         else string_of_int v.pv_max_rounds)
+        v.pv_wall_ns v.pv_pea_runs v.pv_pea_work v.pv_compile_work
+        v.pv_peak_cycles)
+    variants;
+  match variants with
+  | base :: rest ->
+      List.iter
+        (fun v ->
+          Format.printf
+            "cap %d: wall %+.1f%%, pea work %+d; result %s (%s)@."
+            v.pv_max_rounds
+            (100.0 *. (v.pv_wall_ns -. base.pv_wall_ns) /. base.pv_wall_ns)
+            (v.pv_pea_work - base.pv_pea_work)
+            (if
+               v.pv_result = base.pv_result
+               && v.pv_peak_cycles = base.pv_peak_cycles
+             then "unchanged"
+             else "CHANGED")
+            v.pv_result)
+        rest;
+      if List.for_all (fun v -> v.pv_pea_work = base.pv_pea_work) rest then
+        Format.printf
+          "(cap never bites here: each PEA invocation converges within one \
+           round — the knob guards deeper allocation nests)@."
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_results.json                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -333,7 +454,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_results_json path rows cache_rows tiered service perf =
+let write_results_json path rows cache_rows tiered service perf fleet
+    (pea_bench, pea_variants) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -473,6 +595,74 @@ let write_results_json path rows cache_rows tiered service perf =
   in
   Buffer.add_string buf (String.concat ",\n" service_entries);
   Buffer.add_string buf "\n  ],\n";
+  (* Fleet: the per-request warm-hit cost is measured on this host; the
+     cross-node throughput is modeled over real ring shard shapes, so
+     every modeled key carries a _model suffix (perf's precedent). *)
+  Buffer.add_string buf "  \"fleet\": {\n";
+  Buffer.add_string buf
+    "    \"model\": \"ring-sharded warm-hit serving: measured per-request \
+     cost, real consistent-hash shard shapes, cross-node parallelism \
+     modeled (host may be single-core)\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"replicas\": %d,\n" fleet_replicas);
+  Buffer.add_string buf "    \"rows\": [\n";
+  let fleet_entries =
+    List.map
+      (fun (r : Harness.Metrics.fleet_row) ->
+        let points =
+          String.concat ",\n"
+            (List.map
+               (fun (p : Harness.Metrics.fleet_point) ->
+                 Printf.sprintf
+                   "          { \"nodes\": %d, \"max_share\": %.4f, \
+                    \"throughput_rps_model\": %.1f, \
+                    \"scaling_vs_1node_model\": %.3f }"
+                   p.Harness.Metrics.fp_nodes p.Harness.Metrics.fp_max_share
+                   p.Harness.Metrics.fp_throughput_rps
+                   p.Harness.Metrics.fp_scaling)
+               r.Harness.Metrics.fb_points)
+        in
+        Printf.sprintf
+          "      {\n\
+          \        \"suite\": \"%s\",\n\
+          \        \"requests\": %d,\n\
+          \        \"warm_hit_ns_measured\": %.1f,\n\
+          \        \"points\": [\n%s\n        ]\n\
+          \      }"
+          (json_escape r.Harness.Metrics.fb_suite)
+          r.Harness.Metrics.fb_requests r.Harness.Metrics.fb_warm_hit_ns
+          points)
+      fleet
+  in
+  Buffer.add_string buf (String.concat ",\n" fleet_entries);
+  Buffer.add_string buf "\n    ]\n  },\n";
+  (* PEA sweep cap on fig5's dominant benchmark: deterministic work
+     units plus min-of-5 wall per variant. *)
+  Buffer.add_string buf "  \"pea_cap\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"benchmark\": \"%s\",\n" (json_escape pea_bench));
+  Buffer.add_string buf
+    "    \"note\": \"pea_max_rounds bounds scalar replacement's internal \
+     sweeps; a capped chain leaves its remainder to the enclosing \
+     fixpoint group, so the final IR and workload result are unchanged. \
+     On this benchmark the cap never bites: every PEA invocation \
+     converges within one round (identical pea_work at any cap), so its \
+     fig5 dominance comes from the DBDS simulation tier, not PEA — the \
+     knob is a guardrail for deeper allocation nests\",\n";
+  Buffer.add_string buf "    \"variants\": [\n";
+  let pea_entries =
+    List.map
+      (fun v ->
+        Printf.sprintf
+          "      { \"max_rounds\": %d, \"wall_ns\": %.0f, \"pea_runs\": %d, \
+           \"pea_work\": %d, \"compile_work\": %d, \"peak_cycles\": %.1f, \
+           \"result\": \"%s\" }"
+          v.pv_max_rounds v.pv_wall_ns v.pv_pea_runs v.pv_pea_work
+          v.pv_compile_work v.pv_peak_cycles (json_escape v.pv_result))
+      pea_variants
+  in
+  Buffer.add_string buf (String.concat ",\n" pea_entries);
+  Buffer.add_string buf "\n    ]\n  },\n";
   Buffer.add_string buf "  \"perf\": [\n";
   let perf_entries =
     List.map
@@ -552,7 +742,12 @@ let () =
   print_tiered tiered;
   let service = service_rows () in
   print_service service;
+  let fleet = fleet_rows () in
+  print_fleet fleet;
+  let pea_cap = pea_cap_rows () in
+  print_pea_cap pea_cap;
   let perf = perf_rows () in
   print_perf perf;
   let rows = run_bechamel () in
   write_results_json "BENCH_results.json" rows cache_rows tiered service perf
+    fleet pea_cap

@@ -78,4 +78,17 @@ let () =
      %.2fx)\n"
     s.Harness.Metrics.sv_warm_hit_rate
     (Harness.Metrics.service_speedup s);
+  (* Fleet gate: the modeled warm-hit scaling at 3 nodes over all
+     suites' digests together (the shard shapes are real ring
+     assignments; only the cross-node parallelism is modeled, for the
+     same single-core-CI reason as the jobs=2 gate above). *)
+  let fleet = Harness.Fleetbench.run ~fleet_sizes:[ 1; 3 ] () in
+  let agg = List.nth fleet (List.length fleet - 1) in
+  let scale3 = Harness.Metrics.fleet_scaling_at agg 3 in
+  Printf.printf
+    "bench-smoke: fleet warm-hit scaling at 3 nodes: %.2fx over %d requests \
+     (modeled from measured per-request cost)\n"
+    scale3 agg.Harness.Metrics.fb_requests;
+  if scale3 < 2.0 then
+    die "fleet scaling %.2f < 2.0 at 3 nodes (sharding imbalance)" scale3;
   print_endline "bench-smoke: OK"

@@ -43,6 +43,12 @@ type t = {
   licm : bool;
       (** include loop-invariant code motion in the classic fixpoint
           group (off in the calibrated evaluation plan — see {!Licm}) *)
+  pea_max_rounds : int;
+      (** bound on scalar replacement's internal sweep count per
+          invocation; 0 = run to its fixpoint (the historical default).
+          The fig5-style functions whose nested allocation chains make
+          PEA the dominant phase can be capped without touching the
+          rest of the pipeline. *)
   preserve_analyses : bool;
       (** honor pass preservation contracts in the analysis cache; false
           = the historical generation-bump-invalidates-everything mode
@@ -66,6 +72,7 @@ let default =
     bundle_dir = None;
     passes = None;
     licm = false;
+    pea_max_rounds = 0;
     preserve_analyses = true;
   }
 
@@ -117,6 +124,12 @@ let to_line (c : t) =
       c.max_iterations c.iteration_benefit_threshold c.loop_factor
       c.path_duplication c.max_path_length c.verify_between_phases c.licm
       c.preserve_analyses
+  in
+  (* Appended only when non-default so every pre-knob rendering — and
+     with it every cached digest — is byte-stable. *)
+  let base =
+    if c.pea_max_rounds = 0 then base
+    else base ^ " pea_max_rounds=" ^ string_of_int c.pea_max_rounds
   in
   match c.passes with
   | None -> base
@@ -170,6 +183,7 @@ let of_line line =
     max_path_length = int_field "max_path_length" d.max_path_length;
     verify_between_phases = bool_field "paranoid" d.verify_between_phases;
     licm = bool_field "licm" d.licm;
+    pea_max_rounds = int_field "pea_max_rounds" d.pea_max_rounds;
     preserve_analyses = bool_field "preserve_analyses" d.preserve_analyses;
     passes =
       (match get "passes" with

@@ -43,6 +43,11 @@ type t = {
   licm : bool;
       (** include loop-invariant code motion in the classic fixpoint
           group (off in the calibrated evaluation plan — see {!Licm}) *)
+  pea_max_rounds : int;
+      (** bound on scalar replacement's internal sweep count per
+          invocation; 0 = run to its fixpoint (the historical default,
+          and what every pre-knob digest assumed — {!to_line} renders
+          the key only when non-zero) *)
   preserve_analyses : bool;
       (** honor pass preservation contracts in the analysis cache; false
           = the historical generation-bump-invalidates-everything mode

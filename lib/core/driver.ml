@@ -94,7 +94,9 @@ let run_round config ctx stats g =
   (* Action steps: run the classic optimizations over the transformed
      graph (the per-candidate opportunities all fall out of these). *)
   if !round_benefit > 0.0 then
-    ignore (Opt.Pipeline.optimize ~licm:config.Config.licm ctx g);
+    ignore
+      (Opt.Pipeline.optimize ~licm:config.Config.licm
+         ~pea_max_rounds:config.Config.pea_max_rounds ctx g);
   stats.benefit_accepted <- stats.benefit_accepted +. !round_benefit;
   (!round_benefit, !stale)
 
@@ -146,7 +148,9 @@ let run_backtracking config ctx stats g =
                     | _ ->
                         paranoid_check config "backtracking.duplicate" g;
                         ignore
-                          (Opt.Pipeline.optimize ~licm:config.Config.licm ctx g);
+                          (Opt.Pipeline.optimize ~licm:config.Config.licm
+                             ~pea_max_rounds:config.Config.pea_max_rounds ctx
+                             g);
                         let after = Costmodel.Estimate.weighted_cycles g in
                         let size_after = Costmodel.Estimate.graph_size g in
                         if
@@ -178,7 +182,10 @@ let default_spec (config : Config.t) : Opt.Spec.t =
   match config.Config.passes with
   | Some spec -> spec
   | None ->
-      let fix () = Opt.Pipeline.fix_group ~licm:config.Config.licm () in
+      let fix () =
+        Opt.Pipeline.fix_group ~licm:config.Config.licm
+          ~pea_max_rounds:config.Config.pea_max_rounds ()
+      in
       let inline = Opt.Spec.Pass { name = "inline"; opts = [] } in
       let tier name =
         Opt.Spec.Pass

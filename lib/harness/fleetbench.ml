@@ -1,0 +1,162 @@
+(** Fleet warm-hit throughput at 1→N nodes — see the interface. *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then (
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ())
+
+(* A single-function program sharing the base program's class table and
+   globals — the unit the service compiles (as in Servicebench). *)
+let lone (base : Ir.Program.t) g =
+  let functions = Hashtbl.create 1 in
+  Hashtbl.replace functions (Ir.Graph.name g) g;
+  {
+    Ir.Program.classes = base.Ir.Program.classes;
+    globals = base.Ir.Program.globals;
+    functions;
+    main = Ir.Graph.name g;
+  }
+
+let requests_of sources =
+  List.concat_map
+    (fun src ->
+      let prog = Lang.Frontend.compile src in
+      List.filter_map
+        (fun name ->
+          Option.map (lone prog) (Ir.Program.find_function prog name))
+        (Ir.Program.function_names prog))
+    sources
+
+(* The digest the router shards by: identical to what the store-backed
+   driver cache computes for the request. *)
+let digest_of ~config p =
+  let g = Option.get (Ir.Program.find_function p p.Ir.Program.main) in
+  Service.Digest.of_request
+    (Service.Digest.request_of_graph
+       ~context:(Service.Digest.context_of_program p)
+       ~config g)
+
+let compile_pass ~config ~store reqs =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun p ->
+      let cache =
+        Service.Store.driver_cache
+          ~context:(Service.Digest.context_of_program p)
+          store
+      in
+      ignore
+        (Dbds.Driver.optimize_program_report ~config ~inline:false ~jobs:1
+           ~cache p))
+    reqs;
+  Unix.gettimeofday () -. t0
+
+let warm_reps = 3
+
+(* The same node-id scheme dbdsc --fleet-join defaults to. *)
+let node_ids k = List.init k (fun i -> Printf.sprintf "node-%d" (i + 1))
+
+(* Shard (digest, per-request seconds) pairs over a K-node ring; the
+   fleet's modeled capacity is bounded by its most loaded node. *)
+let point_of ~costed k =
+  let ring = Service.Ring.create (node_ids k) in
+  let load = Hashtbl.create 8 in
+  let requests = List.length costed in
+  let count = Hashtbl.create 8 in
+  List.iter
+    (fun (digest, cost_s) ->
+      match Service.Ring.lookup ring digest with
+      | Some id ->
+          Hashtbl.replace load id
+            (cost_s +. Option.value ~default:0.0 (Hashtbl.find_opt load id));
+          Hashtbl.replace count id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt count id))
+      | None -> ())
+    costed;
+  let makespan_s = Hashtbl.fold (fun _ s acc -> max s acc) load 0.0 in
+  let max_count = Hashtbl.fold (fun _ n acc -> max n acc) count 0 in
+  {
+    Metrics.fp_nodes = k;
+    fp_max_share =
+      (if requests = 0 then 0.0
+       else float_of_int max_count /. float_of_int requests);
+    fp_throughput_rps =
+      (if makespan_s <= 0.0 then 0.0 else float_of_int requests /. makespan_s);
+    fp_scaling = 1.0;
+  }
+
+let points_of ~costed fleet_sizes =
+  let points = List.map (point_of ~costed) (List.sort compare fleet_sizes) in
+  match points with
+  | [] -> []
+  | base :: _ ->
+      List.map
+        (fun p ->
+          {
+            p with
+            Metrics.fp_scaling =
+              (if base.Metrics.fp_throughput_rps <= 0.0 then 0.0
+               else p.Metrics.fp_throughput_rps /. base.Metrics.fp_throughput_rps);
+          })
+        points
+
+let row_of ~suite_name ~fleet_sizes ~replicas ~warm_ns costed =
+  {
+    Metrics.fb_suite = suite_name;
+    fb_requests = List.length costed;
+    fb_warm_hit_ns = warm_ns;
+    fb_replicas = replicas;
+    fb_points = points_of ~costed fleet_sizes;
+  }
+
+(* Measure one suite's warm-hit cost and return the costed digests too,
+   so [run] can build the all-suites aggregate without re-measuring. *)
+let measure_costed ?(fleet_sizes = [ 1; 2; 3 ]) ?(replicas = 1)
+    (suite : Workloads.Suite.t) =
+  let config = Dbds.Config.dbds in
+  let dir = Filename.temp_dir "dbds-fleet-bench" ".store" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Service.Store.create ~dir () in
+  let sources =
+    List.map
+      (fun b -> b.Workloads.Suite.source)
+      suite.Workloads.Suite.benchmarks
+  in
+  (* Publish everything (untimed), then keep the fastest warm pass. *)
+  ignore (compile_pass ~config ~store (requests_of sources));
+  let warm_s =
+    List.fold_left min infinity
+      (List.init warm_reps (fun _ ->
+           compile_pass ~config ~store (requests_of sources)))
+  in
+  let digests = List.map (digest_of ~config) (requests_of sources) in
+  let requests = max 1 (List.length digests) in
+  let per_request_s = warm_s /. float_of_int requests in
+  let costed = List.map (fun d -> (d, per_request_s)) digests in
+  ( row_of
+      ~suite_name:suite.Workloads.Suite.suite_name
+      ~fleet_sizes ~replicas
+      ~warm_ns:(per_request_s *. 1e9)
+      costed,
+    costed )
+
+let measure_suite ?fleet_sizes ?replicas suite =
+  fst (measure_costed ?fleet_sizes ?replicas suite)
+
+let run ?(fleet_sizes = [ 1; 2; 3 ]) ?(replicas = 1)
+    ?(suites = Workloads.Registry.all) () =
+  let rows, costed =
+    List.split (List.map (measure_costed ~fleet_sizes ~replicas) suites)
+  in
+  let all = List.concat costed in
+  let total_s = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 all in
+  let aggregate =
+    row_of ~suite_name:"all-suites" ~fleet_sizes ~replicas
+      ~warm_ns:
+        (if all = [] then 0.0
+         else total_s /. float_of_int (List.length all) *. 1e9)
+      all
+  in
+  rows @ [ aggregate ]

@@ -1,0 +1,41 @@
+(** Fleet benchmark: warm-hit serving throughput at 1→N nodes.
+
+    The fleet's steady state is warm-hit serving: every artifact is
+    already published, and each request is a digest lookup answered
+    from the owner's disk.  This bench measures that per-request cost
+    for real — each suite's functions are compiled into a scratch
+    store, then re-requested through the store-backed driver cache,
+    keeping the fastest of a few warm passes — and then {e models} the
+    fleet's throughput at each size: the request digests are sharded
+    over the consistent-hash ring exactly as the router shards them
+    (same {!Service.Ring}, same node-id scheme as [dbdsc --fleet-join]
+    defaults), each node serves its shard at the measured per-request
+    cost, and throughput is bounded by the most loaded node.
+
+    The cross-node parallelism is modeled, not measured — bench hosts
+    (CI containers in particular) are frequently single-core, where a
+    wall-clock "fleet speedup" would measure the OS scheduler, not the
+    sharding.  The JSON emitted from these rows labels every modeled
+    figure with a [_model] suffix, per the perf section's precedent. *)
+
+(** Measure one suite at the given fleet sizes (default [1; 2; 3], a
+    coordinator plus K workers) with [replicas] successor copies
+    assumed on publish (default 1; replication does not change the
+    owner-serves model, it is recorded for context).  The scratch
+    store directory is removed on exit. *)
+val measure_suite :
+  ?fleet_sizes:int list ->
+  ?replicas:int ->
+  Workloads.Suite.t ->
+  Metrics.fleet_row
+
+(** Measure every suite (default {!Workloads.Registry.all}) and append
+    the all-suites aggregate row ([fb_suite = "all-suites"]): every
+    suite's digests sharded together, each costed at its own suite's
+    measured warm-hit ns — the fleet-wide headline number. *)
+val run :
+  ?fleet_sizes:int list ->
+  ?replicas:int ->
+  ?suites:Workloads.Suite.t list ->
+  unit ->
+  Metrics.fleet_row list

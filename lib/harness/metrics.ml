@@ -112,11 +112,41 @@ type service_row = {
   sv_warm_ns : float;  (** ... recompiling against the warm store *)
   sv_warm_hit_rate : float;  (** store hit rate during the warm pass *)
   sv_identical : bool;  (** warm canonical IR byte-identical to cold *)
+  sv_evictions : int;  (** LRU GC victims over the cold + warm passes *)
 }
 
 (** Warm-over-cold compile-time ratio; the service's headline number. *)
 let service_speedup r =
   if r.sv_warm_ns <= 0.0 then 0.0 else r.sv_cold_ns /. r.sv_warm_ns
+
+(** One fleet size's modeled warm-hit serving capacity: the request
+    digests are sharded over the ring exactly as the router shards
+    them, each node serves its shard at the {e measured} per-request
+    warm-hit cost, and the fleet's throughput is bounded by its most
+    loaded node.  The parallelism across nodes is modeled (bench hosts
+    are often single-core); the per-request cost and the shard shapes
+    are real. *)
+type fleet_point = {
+  fp_nodes : int;  (** fleet size *)
+  fp_max_share : float;  (** the most loaded node's share of requests *)
+  fp_throughput_rps : float;  (** modeled warm-hit requests per second *)
+  fp_scaling : float;  (** modeled throughput vs the 1-node fleet *)
+}
+
+(** One suite's fleet scaling row (plus the all-suites aggregate). *)
+type fleet_row = {
+  fb_suite : string;
+  fb_requests : int;  (** distinct warm-hit request digests routed *)
+  fb_warm_hit_ns : float;  (** measured ns per warm-hit request *)
+  fb_replicas : int;  (** successor copies assumed on publish *)
+  fb_points : fleet_point list;  (** one per fleet size, ascending *)
+}
+
+(** Modeled scaling at fleet size [n]; 0 when the size was not swept. *)
+let fleet_scaling_at r n =
+  match List.find_opt (fun p -> p.fp_nodes = n) r.fb_points with
+  | Some p -> p.fp_scaling
+  | None -> 0.0
 
 (** Geometric mean of percentage deltas: geomean of the ratios (1 + d/100)
     minus one, as the paper's tables report. *)

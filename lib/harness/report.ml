@@ -225,18 +225,18 @@ let pp_tiered ppf (rows : tiered_row list) =
     a cold artifact store against a warm one, the warm pass's store hit
     rate and the byte-identity check of warm vs cold canonical IR. *)
 let pp_service ppf (rows : service_row list) =
-  Fmt.pf ppf "%-14s | %12s %12s %8s | %8s %4s %9s@\n" "suite" "cold ns"
-    "warm ns" "speedup" "hit rate" "fns" "identical";
-  Fmt.pf ppf "%s@\n" (String.make 80 '-');
+  Fmt.pf ppf "%-14s | %12s %12s %8s | %8s %4s %6s %9s@\n" "suite" "cold ns"
+    "warm ns" "speedup" "hit rate" "fns" "evict" "identical";
+  Fmt.pf ppf "%s@\n" (String.make 87 '-');
   List.iter
     (fun r ->
-      Fmt.pf ppf "%-14s | %12.0f %12.0f %7.1fx | %7.1f%% %4d %9s@\n"
+      Fmt.pf ppf "%-14s | %12.0f %12.0f %7.1fx | %7.1f%% %4d %6d %9s@\n"
         r.sv_suite r.sv_cold_ns r.sv_warm_ns (service_speedup r)
         (100.0 *. r.sv_warm_hit_rate)
-        r.sv_functions
+        r.sv_functions r.sv_evictions
         (if r.sv_identical then "yes" else "NO"))
     rows;
-  Fmt.pf ppf "%s@\n" (String.make 80 '-');
+  Fmt.pf ppf "%s@\n" (String.make 87 '-');
   let min_speedup =
     List.fold_left (fun acc r -> min acc (service_speedup r)) infinity rows
   in
@@ -246,6 +246,42 @@ let pp_service ppf (rows : service_row list) =
     (if rows = [] then 0.0 else min_speedup)
     (List.length rows)
     (if all_identical then "yes" else "NO")
+
+(** Fleet rows: measured warm-hit cost per request, and the modeled
+    throughput of the consistent-hash fleet at each size (the shard
+    shapes are real ring assignments; the cross-node parallelism is the
+    model — see {!Fleetbench}). *)
+let pp_fleet ppf (rows : fleet_row list) =
+  let sizes =
+    match rows with
+    | [] -> []
+    | r :: _ -> List.map (fun p -> p.fp_nodes) r.fb_points
+  in
+  Fmt.pf ppf "%-14s | %5s %12s |" "suite" "reqs" "warm-hit ns";
+  List.iter (fun k -> Fmt.pf ppf " %11s" (Printf.sprintf "x(%d nodes)" k)) sizes;
+  Fmt.pf ppf " %10s@\n" "max share";
+  let width = 37 + (12 * List.length sizes) + 11 in
+  Fmt.pf ppf "%s@\n" (String.make width '-');
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-14s | %5d %12.0f |" r.fb_suite r.fb_requests
+        r.fb_warm_hit_ns;
+      List.iter (fun p -> Fmt.pf ppf " %10.2fx" p.fp_scaling) r.fb_points;
+      (match List.rev r.fb_points with
+      | last :: _ -> Fmt.pf ppf " %9.1f%%" (100.0 *. last.fp_max_share)
+      | [] -> ());
+      Fmt.pf ppf "@\n")
+    rows;
+  Fmt.pf ppf "%s@\n" (String.make width '-');
+  match List.rev rows with
+  | agg :: _ when sizes <> [] ->
+      let top = List.fold_left max 1 sizes in
+      Fmt.pf ppf
+        "modeled warm-hit scaling at %d nodes (%s): %.2fx over %d requests@\n"
+        top agg.fb_suite
+        (fleet_scaling_at agg top)
+        agg.fb_requests
+  | _ -> ()
 
 let pp_headline ppf h =
   Fmt.pf ppf

@@ -49,3 +49,10 @@ val pp_tiered : Format.formatter -> Metrics.tiered_row list -> unit
     was byte-identical to the cold — with a worst-case footer (the
     acceptance bar is the {e minimum} warm speedup, not the mean). *)
 val pp_service : Format.formatter -> Metrics.service_row list -> unit
+
+(** Fleet rows ({!Metrics.fleet_row}): measured warm-hit cost per
+    request and the modeled warm-hit throughput scaling of the
+    consistent-hash fleet at each swept size, with the most loaded
+    node's request share — plus a footer quoting the aggregate row's
+    scaling at the largest size (the acceptance headline). *)
+val pp_fleet : Format.formatter -> Metrics.fleet_row list -> unit

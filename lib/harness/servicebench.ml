@@ -87,6 +87,7 @@ let measure_suite (suite : Workloads.Suite.t) =
   let identical = List.for_all2 (fun (_, a) (_, b) -> a = b) cold warm_rows in
   let requests = List.length cold in
   let n = float_of_int (max requests 1) in
+  let evictions = (Service.Store.stats store).Service.Store.evictions in
   {
     Metrics.sv_suite = suite.Workloads.Suite.suite_name;
     sv_programs = List.length sources;
@@ -97,6 +98,7 @@ let measure_suite (suite : Workloads.Suite.t) =
       (if hits + misses = 0 then 0.0
        else float_of_int hits /. float_of_int (hits + misses));
     sv_identical = identical;
+    sv_evictions = evictions;
   }
 
 let run ?(suites = Workloads.Registry.all) () = List.map measure_suite suites

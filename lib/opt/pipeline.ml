@@ -37,12 +37,20 @@ let classic =
 
 (** Resolve the classic pass names ([canon], [simplify], [sccp], [gvn],
     [condelim], [readelim], [pea], [dce], [licm] and long-form
-    aliases); none of them takes options.  The driver's resolver layers
-    the duplication tiers on top of this one. *)
+    aliases).  Only [pea] takes an option — [max_rounds], bounding its
+    internal scalar-replacement sweeps (0 = fixpoint).  The driver's
+    resolver layers the duplication tiers on top of this one. *)
 let resolve_classic name opts =
-  match List.assoc_opt name classic with
-  | Some p -> Result.map (fun () -> p) (Spec.check_opts ~pass:name [] opts)
-  | None -> Error (Printf.sprintf "unknown pass %S" name)
+  match name with
+  | "pea" ->
+      let ( let* ) = Result.bind in
+      let* () = Spec.check_opts ~pass:name [ "max_rounds" ] opts in
+      let* max_rounds = Spec.int_opt opts "max_rounds" ~default:0 in
+      Ok (if max_rounds <= 0 then Pea.phase else Pea.phase_with ~max_rounds)
+  | _ -> (
+      match List.assoc_opt name classic with
+      | Some p -> Result.map (fun () -> p) (Spec.check_opts ~pass:name [] opts)
+      | None -> Error (Printf.sprintf "unknown pass %S" name))
 
 (** The fixpoint-group members of the calibrated evaluation plan, in
     phase order. *)
@@ -51,25 +59,34 @@ let classic_names =
 
 (** The classic optimizations as a [fix(...)] spec item.  [licm]
     additionally enables loop-invariant code motion (off in the
-    calibrated evaluation plan — see {!Licm}). *)
-let fix_group ?(max_rounds = 8) ?(licm = false) () =
+    calibrated evaluation plan — see {!Licm}); [pea_max_rounds > 0]
+    caps PEA's internal sweeps ({!Pea.phase_with}). *)
+let fix_group ?(max_rounds = 8) ?(licm = false) ?(pea_max_rounds = 0) () =
   let names = classic_names @ if licm then [ "licm" ] else [] in
+  let pass n =
+    let opts =
+      if n = "pea" && pea_max_rounds > 0 then
+        [ ("max_rounds", string_of_int pea_max_rounds) ]
+      else []
+    in
+    Spec.Pass { name = n; opts }
+  in
   Spec.Fix
     {
       opts =
         (if max_rounds = 8 then []
          else [ ("rounds", string_of_int max_rounds) ]);
-      body = List.map (fun n -> Spec.Pass { name = n; opts = [] }) names;
+      body = List.map pass names;
     }
 
 (** The baseline pipeline spec: the classic fixpoint group alone. *)
-let baseline_spec ?max_rounds ?licm () : Spec.t =
-  [ fix_group ?max_rounds ?licm () ]
+let baseline_spec ?max_rounds ?licm ?pea_max_rounds () : Spec.t =
+  [ fix_group ?max_rounds ?licm ?pea_max_rounds () ]
 
 (** Run the classic optimizations to a fixpoint on one graph, through
     the pass manager. *)
-let optimize ?max_rounds ?licm ctx g =
-  Manager.run resolve_classic (baseline_spec ?max_rounds ?licm ()) ctx g
+let optimize ?max_rounds ?licm ?pea_max_rounds ctx g =
+  Manager.run resolve_classic (baseline_spec ?max_rounds ?licm ?pea_max_rounds ()) ctx g
 
 (* Containment must never swallow genuinely unrecoverable conditions. *)
 let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false

@@ -90,13 +90,16 @@ let complete t job outcome =
 
 let armed config ~fn f = Dbds.Faults.armed config.Dbds.Config.fault_plan ~fn f
 
+(* The federated lookup chain: the store resolves parsed memo → local
+   disk → peer fetch; only a miss through all three falls to the cold
+   compile below. *)
 let store_lookup t job =
   match t.bstore with
   | None -> None
   | Some s -> (
       match
         armed job.jb_config ~fn:job.jb_fn (fun () ->
-            Store.get s ~digest:job.jb_digest)
+            Store.fetch s ~digest:job.jb_digest)
       with
       | None -> None
       | Some e -> (

@@ -1,0 +1,342 @@
+(** Fleet plumbing: peer store exchange, federation wiring, rebalance
+    scans, and the membership coordinator — see the interface. *)
+
+(* Peer exchanges are short-lived connections with tight deadlines: a
+   dead or partitioned peer must degrade to a miss quickly, never stall
+   a lookup behind a reconnect dance. *)
+let peer_connect_deadline_s = 0.25
+let peer_io_deadline_s = 5.0
+
+(* ---- peer store exchange -------------------------------------------- *)
+
+let with_peer ?env ~addr f =
+  match
+    Client.connect ?env ~deadline_s:peer_connect_deadline_s
+      ~io_deadline_s:peer_io_deadline_s ~sock:addr ()
+  with
+  | exception _ -> None
+  | c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let peer_fetch ?env ~addr ~digest () =
+  with_peer ?env ~addr (fun c ->
+      match
+        Client.roundtrip c
+          { Protocol.verb = "fetch"; fields = [ ("digest", digest) ] }
+      with
+      | Ok m when Protocol.field m "status" = Some "hit" -> (
+          match
+            ( Protocol.field m "fn",
+              Protocol.field m "ir",
+              int_of_string_opt (Protocol.field_or m "work" "") )
+          with
+          | Some fn, Some ir, Some work ->
+              Some { Store.ar_fn = fn; ar_ir = ir; ar_work = work }
+          | _ -> None)
+      | Ok _ | Error _ -> None)
+
+let peer_push ?env ~addr ~digest (e : Store.entry) =
+  Option.is_some
+    (with_peer ?env ~addr (fun c ->
+         match
+           Client.roundtrip c
+             {
+               Protocol.verb = "push";
+               fields =
+                 [
+                   ("digest", digest);
+                   ("fn", e.Store.ar_fn);
+                   ("ir", e.Store.ar_ir);
+                   ("work", string_of_int e.Store.ar_work);
+                 ];
+             }
+         with
+         | Ok m when Protocol.field m "status" = Some "ok" -> Some ()
+         | Ok _ | Error _ -> None))
+
+(* ---- ring views ------------------------------------------------------ *)
+
+(* The ring is a pure function of the node-id set; rebuilding it on
+   every lookup would be sorting 64N points per request, so cache it by
+   epoch. *)
+let ring_cache view =
+  let cached = ref None in
+  fun () ->
+    let v = view () in
+    match !cached with
+    | Some (epoch, ring) when epoch = v.Member.v_epoch -> (ring, v)
+    | _ ->
+        let ring = Ring.create (List.map fst v.Member.v_nodes) in
+        cached := Some (v.Member.v_epoch, ring);
+        (ring, v)
+
+let addr_of v id = List.assoc_opt id v.Member.v_nodes
+
+(* The digest's owner and replica successors: the first [1 + replicas]
+   distinct nodes clockwise from the digest's point. *)
+let owners ring digest ~replicas =
+  Ring.successors ring digest ~n:(1 + max 0 replicas)
+
+(* ---- federation wiring ----------------------------------------------- *)
+
+let federate ?env ?(replicas = 1) ~self ~view store =
+  let ring = ring_cache view in
+  let fetch ~digest =
+    let r, v = ring () in
+    let rec try_peers = function
+      | [] -> None
+      | id :: rest ->
+          if id = self then try_peers rest
+          else
+            let hit =
+              Option.bind (addr_of v id) (fun addr ->
+                  peer_fetch ?env ~addr ~digest ())
+            in
+            if hit = None then try_peers rest else hit
+    in
+    try_peers (owners r digest ~replicas)
+  in
+  let replicate ~digest entry =
+    let r, v = ring () in
+    List.fold_left
+      (fun acc id ->
+        if id = self then acc
+        else
+          match addr_of v id with
+          | Some addr when peer_push ?env ~addr ~digest entry -> acc + 1
+          | _ -> acc)
+      0
+      (owners r digest ~replicas)
+  in
+  Store.set_federation store ~fetch:(Some fetch) ~replicate:(Some replicate)
+
+let rebalance ?env ?(replicas = 1) ~self ~view store =
+  let r, v = ring_cache (fun () -> view) () in
+  if Ring.is_empty r then 0
+  else
+    List.fold_left
+      (fun moved digest ->
+        match owners r digest ~replicas with
+        | owner :: _ as os when not (List.mem self os) -> (
+            (* This node no longer owns the artifact: offer it to the
+               new owner (the local copy stays — it is a cache, and the
+               LRU GC will reclaim it). *)
+            match Store.get store ~digest with
+            | Some e -> (
+                match addr_of v owner with
+                | Some addr when owner <> self ->
+                    if peer_push ?env ~addr ~digest e then moved + 1
+                    else moved
+                | _ -> moved)
+            | None -> moved)
+        | _ -> moved)
+      0 (Store.digests store)
+
+(* ---- the coordinator -------------------------------------------------- *)
+
+type coord_state = {
+  env : Env.t;
+  member : Member.t;
+  sock : string;
+  listener : Env.listener;
+  log : string -> unit;
+  mutex : Env.mutex;
+  mutable stopping : bool;
+  mutable conns : Env.thread list;
+}
+
+let locked st f =
+  st.mutex.Env.lock ();
+  Fun.protect ~finally:(fun () -> st.mutex.Env.unlock ()) f
+
+let stopping st = locked st (fun () -> st.stopping)
+
+let trigger_stop st =
+  locked st (fun () -> st.stopping <- true);
+  match st.env.Env.connect st.sock with
+  | conn -> conn.Env.close_conn ()
+  | exception Env.Net _ -> ()
+
+let ok_fields fields = { Protocol.verb = "reply"; fields = ("status", "ok") :: fields }
+let ok_reply = ok_fields []
+
+let rejected msg =
+  {
+    Protocol.verb = "reply";
+    fields = [ ("status", "rejected"); ("message", msg) ];
+  }
+
+let view_fields = Protocol.view_fields
+let view_of_message = Protocol.view_of_message
+
+(* Push the new view to every member so each can re-home artifacts it
+   no longer owns.  Failures are the member's problem (it is crashing
+   or partitioned; the next sweep will notice). *)
+let push_rebalance st (v : Member.view) =
+  List.iter
+    (fun (id, addr) ->
+      match
+        with_peer ~env:st.env ~addr (fun c ->
+            match
+              Client.roundtrip c
+                { Protocol.verb = "rebalance"; fields = view_fields v }
+            with
+            | Ok m when Protocol.field m "status" = Some "ok" -> Some ()
+            | Ok _ | Error _ -> None)
+      with
+      | Some () -> ()
+      | None -> st.log (Printf.sprintf "rebalance push to %s failed" id))
+    v.Member.v_nodes
+
+let handle_coord st conn =
+  let send m = try Protocol.write_conn conn m with Env.Net _ -> () in
+  let rec loop () =
+    match Protocol.read_conn conn with
+    | Error "eof" -> ()
+    | Error msg ->
+        send (rejected ("protocol error: " ^ msg))
+    | Ok m -> (
+        match m.Protocol.verb with
+        | "ping" ->
+            send ok_reply;
+            loop ()
+        | "join" -> (
+            match (Protocol.field m "id", Protocol.field m "addr") with
+            | Some id, Some addr ->
+                let before = Member.epoch st.member in
+                let v = Member.join st.member ~id ~addr in
+                st.log
+                  (Printf.sprintf "join %s @ %s (epoch %d)" id addr
+                     v.Member.v_epoch);
+                send (ok_fields (view_fields v));
+                if v.Member.v_epoch <> before then push_rebalance st v;
+                loop ()
+            | _ ->
+                send (rejected "join needs id and addr fields");
+                loop ())
+        | "beat" -> (
+            match Protocol.field m "id" with
+            | Some id -> (
+                match Member.beat st.member ~id with
+                | Some epoch ->
+                    send (ok_fields [ ("epoch", string_of_int epoch) ]);
+                    loop ()
+                | None ->
+                    (* Swept out as crashed (or never joined): the
+                       worker must re-join to re-enter the ring. *)
+                    send
+                      {
+                        Protocol.verb = "reply";
+                        fields = [ ("status", "unknown") ];
+                      };
+                    loop ())
+            | None ->
+                send (rejected "beat needs an id field");
+                loop ())
+        | "leave" -> (
+            match Protocol.field m "id" with
+            | Some id ->
+                let v = Member.leave st.member ~id in
+                st.log (Printf.sprintf "leave %s (epoch %d)" id v.Member.v_epoch);
+                send (ok_fields (view_fields v));
+                push_rebalance st v;
+                loop ()
+            | None ->
+                send (rejected "leave needs an id field");
+                loop ())
+        | "view" ->
+            send (ok_fields (view_fields (Member.view st.member)));
+            loop ()
+        | "stats" ->
+            let v = Member.view st.member in
+            send
+              (ok_fields
+                 (("members", string_of_int (List.length v.Member.v_nodes))
+                 :: view_fields v));
+            loop ()
+        | "shutdown" ->
+            st.log "shutdown requested";
+            send ok_reply;
+            trigger_stop st
+        | verb ->
+            send (rejected ("unknown verb: " ^ verb));
+            loop ())
+  in
+  (try loop () with _ -> ());
+  conn.Env.close_conn ()
+
+(* Same stale-socket discipline as [Server.serve]. *)
+let claim_socket (env : Env.t) sock =
+  if env.Env.file_exists sock then begin
+    (match env.Env.connect sock with
+    | conn ->
+        conn.Env.close_conn ();
+        invalid_arg
+          (Printf.sprintf "Fleet.coordinator: %s already has a live server"
+             sock)
+    | exception Env.Net ((Env.Refused | Env.Denied | Env.Not_found), _) -> ());
+    try env.Env.remove sock with Sys_error _ -> ()
+  end
+
+let coordinator ?(env = Env.real) ?(log = fun _ -> ())
+    ?(beat_timeout_s = 2.0) ~sock () =
+  claim_socket env sock;
+  let listener = env.Env.listen sock in
+  let member = Member.create ~env ~timeout_s:beat_timeout_s () in
+  let st =
+    {
+      env;
+      member;
+      sock;
+      listener;
+      log;
+      mutex = env.Env.mutex ();
+      stopping = false;
+      conns = [];
+    }
+  in
+  log (Printf.sprintf "coordinating on %s" sock);
+  (* Crash detection: sweep at twice the heartbeat-timeout rate so a
+     silent node is declared dead within ~1.5 timeouts. *)
+  let sweeper =
+    env.Env.spawn "coord-sweeper" (fun () ->
+        let rec tick () =
+          if not (stopping st) then begin
+            env.Env.sleep (beat_timeout_s /. 2.);
+            (match Member.sweep member with
+            | [] -> ()
+            | dead ->
+                let v = Member.view member in
+                st.log
+                  (Printf.sprintf "crashed: %s (epoch %d)"
+                     (String.concat ", " dead) v.Member.v_epoch);
+                push_rebalance st v);
+            tick ()
+          end
+        in
+        tick ())
+  in
+  let conn_id = ref 0 in
+  let rec accept_loop () =
+    if not (stopping st) then
+      match st.listener.Env.accept () with
+      | conn ->
+          if stopping st then conn.Env.close_conn ()
+          else begin
+            incr conn_id;
+            let t =
+              st.env.Env.spawn
+                (Printf.sprintf "coord-conn-%d" !conn_id)
+                (fun () -> handle_coord st conn)
+            in
+            locked st (fun () -> st.conns <- t :: st.conns);
+            accept_loop ()
+          end
+      | exception Env.Net _ -> ()
+  in
+  accept_loop ();
+  st.listener.Env.close_listener ();
+  let conns = locked st (fun () -> st.conns) in
+  List.iter (fun (t : Env.thread) -> t.Env.join ()) conns;
+  sweeper.Env.join ();
+  (try env.Env.remove sock with Sys_error _ -> ());
+  log "stopped"

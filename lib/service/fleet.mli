@@ -1,0 +1,61 @@
+(** Fleet plumbing: peer store exchange, store federation, rebalance
+    scans, and the membership coordinator.
+
+    A fleet is [K] ordinary {!Server}s (each with its own {!Store} and
+    {!Broker}) plus one coordinator.  Workers join the coordinator and
+    heartbeat; the coordinator tracks the roster in a {!Member} table
+    and pushes epoch-stamped views to every worker on membership change
+    ([rebalance] verb), so each worker can re-home artifacts it no
+    longer owns under the new {!Ring}.  Artifact exchange between
+    stores uses two verbs of the existing length-prefixed protocol:
+    [fetch] (digest → artifact or miss) and [push] (artifact → ok). *)
+
+(** Ask the store at [addr] for an artifact.  [None] on a miss, a dead
+    peer, or any protocol error — peer fetches must degrade to a miss,
+    never block a lookup (connect deadline 0.25s, IO deadline 5s). *)
+val peer_fetch :
+  ?env:Env.t -> addr:string -> digest:string -> unit -> Store.entry option
+
+(** Offer an artifact to the store at [addr]; [false] when it did not
+    land. *)
+val peer_push :
+  ?env:Env.t -> addr:string -> digest:string -> Store.entry -> bool
+
+(** Install the federated lookup chain on [store]: after a local miss,
+    {!Store.fetch} asks the digest's ring owners (at most
+    [1 + replicas] nodes, [self] excluded); after a local publish, the
+    artifact is pushed to the digest's replica successors.  [view] is
+    read on every operation (the server updates it on [rebalance]
+    messages); the ring is rebuilt only when the epoch changes. *)
+val federate :
+  ?env:Env.t ->
+  ?replicas:int ->
+  self:string ->
+  view:(unit -> Member.view) ->
+  Store.t ->
+  unit
+
+(** One rebalance sweep: push every locally-held artifact whose owner
+    set under [view] no longer includes [self] to its new owner.  Local
+    copies stay (the store is a cache; LRU GC reclaims them).  Returns
+    the number of artifacts moved. *)
+val rebalance :
+  ?env:Env.t -> ?replicas:int -> self:string -> view:Member.view -> Store.t -> int
+
+(** Protocol fields of a view ([epoch], [nodes]) and the inverse. *)
+val view_fields : Member.view -> (string * string) list
+
+val view_of_message : Protocol.message -> Member.view option
+
+(** Run the membership coordinator on [sock]; blocks until a [shutdown]
+    request.  Speaks [join]/[beat]/[leave]/[view]/[ping]/[stats]/
+    [shutdown]; on every membership change — join, leave, or a
+    heartbeat older than [beat_timeout_s] (swept at twice that rate) —
+    it pushes the new view to every member as a [rebalance] message. *)
+val coordinator :
+  ?env:Env.t ->
+  ?log:(string -> unit) ->
+  ?beat_timeout_s:float ->
+  sock:string ->
+  unit ->
+  unit

@@ -1,0 +1,103 @@
+(** Fleet membership roster — see the interface for the epoch and
+    crash-detection semantics. *)
+
+type view = { v_epoch : int; v_nodes : (string * string) list }
+
+type node = { mutable n_addr : string; mutable n_beat : float }
+
+type t = {
+  env : Env.t;
+  timeout_s : float;
+  mutex : Env.mutex;
+  tbl : (string, node) Hashtbl.t;
+  mutable epoch : int;
+}
+
+let create ?(env = Env.real) ?(timeout_s = 2.0) () =
+  {
+    env;
+    timeout_s;
+    mutex = env.Env.mutex ();
+    tbl = Hashtbl.create 8;
+    epoch = 0;
+  }
+
+let locked t f =
+  t.mutex.Env.lock ();
+  Fun.protect ~finally:(fun () -> t.mutex.Env.unlock ()) f
+
+let view_locked t =
+  let nodes =
+    Hashtbl.fold (fun id n acc -> (id, n.n_addr) :: acc) t.tbl []
+  in
+  { v_epoch = t.epoch; v_nodes = List.sort compare nodes }
+
+let view t = locked t (fun () -> view_locked t)
+let epoch t = locked t (fun () -> t.epoch)
+
+let join t ~id ~addr =
+  locked t (fun () ->
+      let now = t.env.Env.mono () in
+      (match Hashtbl.find_opt t.tbl id with
+      | Some n when n.n_addr = addr -> n.n_beat <- now
+      | Some n ->
+          n.n_addr <- addr;
+          n.n_beat <- now;
+          t.epoch <- t.epoch + 1
+      | None ->
+          Hashtbl.replace t.tbl id { n_addr = addr; n_beat = now };
+          t.epoch <- t.epoch + 1);
+      view_locked t)
+
+let leave t ~id =
+  locked t (fun () ->
+      if Hashtbl.mem t.tbl id then begin
+        Hashtbl.remove t.tbl id;
+        t.epoch <- t.epoch + 1
+      end;
+      view_locked t)
+
+let beat t ~id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some n ->
+          n.n_beat <- t.env.Env.mono ();
+          Some t.epoch
+      | None -> None)
+
+let sweep t =
+  locked t (fun () ->
+      let now = t.env.Env.mono () in
+      let dead =
+        Hashtbl.fold
+          (fun id n acc ->
+            if now -. n.n_beat > t.timeout_s then id :: acc else acc)
+          t.tbl []
+      in
+      let dead = List.sort compare dead in
+      if dead <> [] then begin
+        List.iter (Hashtbl.remove t.tbl) dead;
+        t.epoch <- t.epoch + 1
+      end;
+      dead)
+
+(* ---- wire form (one "id addr" pair per line) ------------------------ *)
+
+let string_of_nodes nodes =
+  String.concat "\n" (List.map (fun (id, addr) -> id ^ " " ^ addr) nodes)
+
+let nodes_of_string s =
+  if s = "" then Some []
+  else
+    let parse_line l =
+      match String.index_opt l ' ' with
+      | Some i when i > 0 && i < String.length l - 1 ->
+          Some
+            ( String.sub l 0 i,
+              String.sub l (i + 1) (String.length l - i - 1) )
+      | _ -> None
+    in
+    let lines = String.split_on_char '\n' s in
+    let parsed = List.map parse_line lines in
+    if List.exists (( = ) None) parsed then None
+    else Some (List.filter_map Fun.id parsed)

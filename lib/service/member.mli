@@ -1,0 +1,45 @@
+(** Fleet membership: a node roster with heartbeat crash detection and
+    epoch-stamped views.
+
+    The coordinator owns one roster.  Workers [join] with their id and
+    socket address, then [beat] periodically; a periodic [sweep]
+    removes nodes whose last heartbeat is older than [timeout_s] (a
+    crashed or partitioned node stops beating).  Every membership
+    change — join, address change, leave, crash — bumps the {e epoch},
+    so a router holding a view can tell at a glance whether its ring is
+    stale.  All clocks are the injected {!Env.t}'s monotonic clock, so
+    crash detection is deterministic under the simulator. *)
+
+type view = {
+  v_epoch : int;
+  v_nodes : (string * string) list;  (** (node id, socket addr), sorted *)
+}
+
+type t
+
+val create : ?env:Env.t -> ?timeout_s:float -> unit -> t
+
+(** Add (or refresh) a node; bumps the epoch when the roster actually
+    changes.  Returns the post-join view. *)
+val join : t -> id:string -> addr:string -> view
+
+(** Remove a node; bumps the epoch when it was present. *)
+val leave : t -> id:string -> view
+
+(** Refresh a node's heartbeat.  [None] when the node is unknown (it
+    crashed out of the roster and must re-join). *)
+val beat : t -> id:string -> int option
+
+(** Drop every node whose heartbeat is older than [timeout_s]; returns
+    the expired ids (sorted).  One epoch bump covers the whole batch. *)
+val sweep : t -> string list
+
+val view : t -> view
+val epoch : t -> int
+
+(** Wire form of a node list: one ["id addr"] pair per line.  Ids and
+    addresses must not contain spaces or newlines (socket paths do
+    not). *)
+val string_of_nodes : (string * string) list -> string
+
+val nodes_of_string : string -> (string * string) list option

@@ -60,3 +60,11 @@ val reply_of_outcome : Broker.outcome -> message
 
 (** Parse a [reply] back into a {!Broker.outcome}. *)
 val outcome_of_reply : message -> (Broker.outcome, string) result
+
+(** Protocol fields of a membership view ([epoch], [nodes]); used by
+    the fleet verbs [join] (reply), [view] (reply) and [rebalance]
+    (request). *)
+val view_fields : Member.view -> (string * string) list
+
+(** Parse a view out of a message carrying {!view_fields}. *)
+val view_of_message : message -> Member.view option

@@ -1,0 +1,77 @@
+(** Consistent-hash ring over node ids — see the interface for the
+    remapping guarantees. *)
+
+type t = {
+  vnodes : int;
+  nodes : string list;  (** sorted, distinct *)
+  points : (string * string) array;
+      (** (point hash, node id), sorted by hash.  Hashes are rendered
+          as fixed-width lowercase hex, so string order is unsigned
+          numeric order. *)
+}
+
+(* FNV-1a has no output avalanche: similar keys (sequential digests,
+   "node-K#I" points) share high bits and would land on the ring in
+   runs, wrecking the balance.  A murmur3-style finalizer gives every
+   input bit a ~50% chance at every output bit. *)
+let fmix64 h =
+  let open Int64 in
+  let h = logxor h (shift_right_logical h 33) in
+  let h = mul h 0xff51afd7ed558ccdL in
+  let h = logxor h (shift_right_logical h 33) in
+  let h = mul h 0xc4ceb9fe1a85ec53L in
+  logxor h (shift_right_logical h 33)
+
+let hash s = Printf.sprintf "%016Lx" (fmix64 (Digest.fnv64_int64 s))
+let point id i = hash (id ^ "#" ^ string_of_int i)
+
+let create ?(vnodes = 64) ids =
+  let vnodes = max 1 vnodes in
+  let nodes = List.sort_uniq compare ids in
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun id -> List.init vnodes (fun i -> (point id i, id)))
+         nodes)
+  in
+  Array.sort compare points;
+  { vnodes; nodes; points }
+
+let nodes t = t.nodes
+let is_empty t = t.nodes = []
+let vnodes t = t.vnodes
+let add t id = create ~vnodes:t.vnodes (id :: t.nodes)
+let remove t id = create ~vnodes:t.vnodes (List.filter (( <> ) id) t.nodes)
+
+(* Index of the first point at or clockwise-after [key]'s hash. *)
+let index t key =
+  let h = hash key in
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  if t.points = [||] then None else Some (snd t.points.(index t key))
+
+let successors t key ~n =
+  if t.points = [||] || n <= 0 then []
+  else begin
+    let len = Array.length t.points in
+    let start = index t key in
+    let acc = ref [] in
+    let count = ref 0 in
+    let i = ref 0 in
+    while !count < n && !i < len do
+      let id = snd t.points.((start + !i) mod len) in
+      if not (List.mem id !acc) then begin
+        acc := id :: !acc;
+        incr count
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end

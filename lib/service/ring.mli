@@ -1,0 +1,39 @@
+(** Consistent-hash ring over node ids.
+
+    Each node contributes [vnodes] points on a ring keyed by
+    {!Digest.fnv64} pushed through a murmur3-style avalanche finalizer
+    (FNV-1a alone clusters similar keys into runs); a request digest
+    maps to the owner whose point is the first at or clockwise-after
+    the digest's hash.  The
+    construction is a pure function of the node-id set and [vnodes] —
+    no randomness, no insertion-order or jobs dependence — and adding
+    or removing one node only remaps the keys that fall on that node's
+    points (about [1/N] of the space), which is what makes digest
+    sharding safe across membership changes. *)
+
+type t
+
+(** Build a ring from node ids (duplicates collapse; order is
+    irrelevant).  [vnodes] defaults to 64 points per node, clamped to
+    at least 1. *)
+val create : ?vnodes:int -> string list -> t
+
+(** The distinct node ids on the ring, sorted. *)
+val nodes : t -> string list
+
+val is_empty : t -> bool
+val vnodes : t -> int
+
+(** [add t id] / [remove t id] return the ring with [id] present /
+    absent, same [vnodes].  Idempotent. *)
+val add : t -> string -> t
+
+val remove : t -> string -> t
+
+(** The owner of [key] — [None] on an empty ring. *)
+val lookup : t -> string -> string option
+
+(** The first [n] distinct nodes clockwise from [key]'s point: the
+    owner followed by the replica successors.  Shorter than [n] when
+    the ring has fewer nodes. *)
+val successors : t -> string -> n:int -> string list

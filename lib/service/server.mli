@@ -12,6 +12,28 @@
     returns.  Concurrency still works under a shutdown race: requests
     already accepted are answered before their connections close. *)
 
+(** Fleet-worker configuration.  With it, {!serve} additionally: joins
+    the coordinator at [fl_coord] (advertising [fl_id] at [fl_addr])
+    and heartbeats every [fl_beat_s]; answers the peer-exchange verbs
+    [fetch] / [push] and the coordinator's [rebalance]; federates its
+    store's lookup chain through the live membership view
+    ({!Fleet.federate} with [fl_replicas] successor copies); and sends
+    a best-effort [leave] on graceful shutdown. *)
+type fleet = {
+  fl_id : string;  (** node id on the ring *)
+  fl_addr : string;  (** this node's socket, as peers reach it *)
+  fl_coord : string;  (** coordinator socket *)
+  fl_replicas : int;  (** successor copies pushed on publish *)
+  fl_beat_s : float;  (** heartbeat period, seconds *)
+}
+
+(** A handle to stop the server from outside the protocol, abruptly: no
+    [leave] is sent (the node must look crashed — the coordinator's
+    sweep evicts it) and no reply drains are awaited beyond what is
+    already in flight.  Built for the whole-system simulator's node
+    kills, where closing the listener reliably wakes the accept. *)
+type control = { stop : unit -> unit }
+
 (** Serve until a [shutdown] request arrives.  Creates (and on exit
     removes) the socket at [sock].  A pre-existing socket path is
     probed first: if something answers, startup is refused
@@ -21,10 +43,14 @@
     proceeds.  [env] supplies transport/thread/disk capabilities
     (default {!Env.real}); pass the broker's environment.  [log]
     receives one line per served request (e.g. stderr logging);
-    default: silent. *)
+    default: silent.  [fleet] makes this server a fleet worker (see
+    {!fleet}); [on_control] receives the kill handle before the accept
+    loop starts. *)
 val serve :
   ?env:Env.t ->
   ?log:(string -> unit) ->
+  ?fleet:fleet ->
+  ?on_control:(control -> unit) ->
   sock:string ->
   broker:Broker.t ->
   unit ->

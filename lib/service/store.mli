@@ -35,6 +35,9 @@ type stats = {
   mutable read_failures : int;  (** injected / IO read failures, contained *)
   mutable corrupt : int;  (** checksum or format mismatches, evicted *)
   mutable evictions : int;  (** LRU GC victims *)
+  mutable peer_hits : int;  (** federated lookups answered by a peer *)
+  mutable peer_misses : int;  (** federated lookups no peer could answer *)
+  mutable replicated : int;  (** artifact copies pushed to successors *)
 }
 
 type t
@@ -51,13 +54,45 @@ val stats : t -> stats
 (** Artifact bytes currently accounted to the store. *)
 val used : t -> int
 
-(** Look an artifact up by digest.  Bumps LRU recency on a hit; evicts
-    and reports a miss on corruption. *)
+(** Look an artifact up by digest on the local disk only.  Bumps LRU
+    recency on a hit; evicts and reports a miss on corruption. *)
 val get : t -> digest:string -> entry option
 
+(** Install the federation hooks (see {!Fleet.federate}, which builds
+    them from the ring view).  [fetch] is consulted by {!fetch} after a
+    local miss; [replicate] is called after every successful
+    {!put} with the bytes actually published, returning how many peer
+    copies landed.  Pass [None] to disconnect. *)
+val set_federation :
+  t ->
+  fetch:(digest:string -> entry option) option ->
+  replicate:(digest:string -> entry -> int) option ->
+  unit
+
+(** The federated lookup chain: local disk (via {!get}), then the peer
+    hook when installed.  A peer hit is adopted into the local store
+    (without re-replication) so the next lookup is a disk hit, and
+    counted under [peer_hits]; the cold-compile fallback stays with the
+    caller (the broker).  Hook failures degrade to a miss. *)
+val fetch : t -> digest:string -> entry option
+
 (** Publish an artifact under [digest] (atomic; runs the LRU GC).
-    Failures are contained and counted, never raised. *)
-val put : t -> digest:string -> fn:string -> ir:string -> work:int -> unit
+    Failures are contained and counted, never raised.  When federation
+    is installed and [replicate] is [true] (the default), the published
+    bytes are offered to the digest's ring successors outside the store
+    lock. *)
+val put :
+  ?replicate:bool ->
+  t ->
+  digest:string ->
+  fn:string ->
+  ir:string ->
+  work:int ->
+  unit
+
+(** Digests currently indexed, most recently used first (a rebalance
+    scan's worklist). *)
+val digests : t -> string list
 
 (** Drop one entry (used when a checksummed artifact later fails to
     parse — semantic corruption the checksum cannot see). *)

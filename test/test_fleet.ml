@@ -1,0 +1,189 @@
+(** The fleet primitives: consistent-hash ring balance, minimal
+    remapping and determinism; membership epochs, heartbeat crash
+    detection, and the wire form of views. *)
+
+open Helpers
+module Ring = Service.Ring
+module Member = Service.Member
+module Sim = Simtest.Sched
+module Simio = Simtest.Simio
+
+(* A synthetic request population: a thousand distinct digest-shaped
+   keys.  The ring hashes keys itself, so plain strings do. *)
+let keys = List.init 1000 (fun i -> Printf.sprintf "digest-%04d" i)
+let node_ids n = List.init n (fun i -> Printf.sprintf "node-%d" i)
+
+let spread ring =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      match Ring.lookup ring k with
+      | Some id ->
+          Hashtbl.replace tbl id (1 + Option.value (Hashtbl.find_opt tbl id) ~default:0)
+      | None -> Alcotest.fail "lookup on a non-empty ring returned None")
+    keys;
+  tbl
+
+(* Balance: with 64 vnodes per node, no node of a 5-node ring owns a
+   wildly disproportionate share of 1000 keys.  The bound is loose
+   (hashing, not perfection): every node holds something, and none
+   holds more than 2.5x its fair share. *)
+let test_ring_balance () =
+  let ring = Ring.create (node_ids 5) in
+  let tbl = spread ring in
+  Alcotest.(check int) "every node owns keys" 5 (Hashtbl.length tbl);
+  let fair = 1000 / 5 in
+  Hashtbl.iter
+    (fun id n ->
+      if n > 5 * fair / 2 then
+        Alcotest.failf "%s owns %d of 1000 keys (fair share %d)" id n fair)
+    tbl
+
+(* Minimal remapping — the property that makes digest sharding safe
+   across membership changes: adding a node only steals keys for the
+   new node (no key moves between two surviving nodes), and removing
+   one only re-homes the keys it owned (about 1/N of the space). *)
+let test_ring_minimal_remapping () =
+  let before = Ring.create (node_ids 4) in
+  let after = Ring.add before "node-9" in
+  let moved = ref 0 in
+  List.iter
+    (fun k ->
+      let a = Ring.lookup before k and b = Ring.lookup after k in
+      if a <> b then begin
+        incr moved;
+        Alcotest.(check (option string))
+          "a remapped key lands on the new node" (Some "node-9") b
+      end)
+    keys;
+  Alcotest.(check bool) "the new node took some keys" true (!moved > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "join remapped %d/1000 keys (expect ~1/5)" !moved)
+    true
+    (!moved < 450);
+  let shrunk = Ring.remove before "node-2" in
+  List.iter
+    (fun k ->
+      match (Ring.lookup before k, Ring.lookup shrunk k) with
+      | Some "node-2", Some b ->
+          Alcotest.(check bool) "re-homed key avoids the removed node" true
+            (b <> "node-2")
+      | Some a, Some b ->
+          Alcotest.(check string) "a surviving node keeps its keys" a b
+      | _ -> Alcotest.fail "lookup on a non-empty ring returned None")
+    keys
+
+(* Determinism: the ring is a pure function of the node-id set — not of
+   list order, duplicates, or which process builds it.  Equal inputs
+   give equal owners for every key. *)
+let test_ring_deterministic () =
+  let a = Ring.create [ "n1"; "n2"; "n3" ] in
+  let b = Ring.create [ "n3"; "n1"; "n2"; "n1" ] in
+  Alcotest.(check (list string)) "same node set" (Ring.nodes a) (Ring.nodes b);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "same owner regardless of construction order" (Ring.lookup a k)
+        (Ring.lookup b k))
+    keys;
+  (* add/remove are idempotent and cancel. *)
+  let c = Ring.remove (Ring.add a "n4") "n4" in
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "add then remove restores every owner" (Ring.lookup a k)
+        (Ring.lookup c k))
+    keys
+
+(* Successors drive replica placement: distinct nodes, owner first,
+   never longer than the ring. *)
+let test_ring_successors () =
+  let ring = Ring.create (node_ids 4) in
+  List.iter
+    (fun k ->
+      let succ = Ring.successors ring k ~n:3 in
+      Alcotest.(check int) "three distinct successors" 3 (List.length succ);
+      Alcotest.(check int) "no duplicates" 3
+        (List.length (List.sort_uniq compare succ));
+      Alcotest.(check (option string))
+        "owner leads the successor list" (Ring.lookup ring k)
+        (match succ with s :: _ -> Some s | [] -> None))
+    keys;
+  Alcotest.(check int) "capped at the ring size" 4
+    (List.length (Ring.successors ring "k" ~n:9));
+  Alcotest.(check (list string)) "empty ring, empty successors" []
+    (Ring.successors (Ring.create []) "k" ~n:3)
+
+(* Membership epochs: joins, leaves and crashes each bump the epoch
+   exactly when the roster changes; refreshes do not. *)
+let test_member_epochs () =
+  let m = Member.create () in
+  let v1 = Member.join m ~id:"a" ~addr:"/run/a.sock" in
+  let v2 = Member.join m ~id:"b" ~addr:"/run/b.sock" in
+  Alcotest.(check bool) "join bumps the epoch" true
+    (v2.Member.v_epoch > v1.Member.v_epoch);
+  let v3 = Member.join m ~id:"b" ~addr:"/run/b.sock" in
+  Alcotest.(check int) "an identical re-join is a refresh, not a change"
+    v2.Member.v_epoch v3.Member.v_epoch;
+  (match Member.beat m ~id:"a" with
+  | Some e -> Alcotest.(check int) "beat answers the current epoch" v3.Member.v_epoch e
+  | None -> Alcotest.fail "beat for a joined node answered unknown");
+  Alcotest.(check (option int)) "beat for a stranger answers None" None
+    (Member.beat m ~id:"ghost");
+  let v4 = Member.leave m ~id:"a" in
+  Alcotest.(check bool) "leave bumps the epoch" true
+    (v4.Member.v_epoch > v3.Member.v_epoch);
+  Alcotest.(check (list (pair string string)))
+    "view lists the survivors, sorted"
+    [ ("b", "/run/b.sock") ]
+    v4.Member.v_nodes
+
+(* Crash detection under the simulated clock: a node that stops beating
+   is swept out after the timeout; a beating one survives. *)
+let test_member_sweep () =
+  let sched = Sim.create ~seed:0 () in
+  let io = Simio.create sched in
+  let env = Simio.env io in
+  let out =
+    Sim.run sched (fun () ->
+        let m = Member.create ~env ~timeout_s:1.0 () in
+        ignore (Member.join m ~id:"quick" ~addr:"/q");
+        ignore (Member.join m ~id:"dead" ~addr:"/d");
+        Alcotest.(check (list string)) "fresh roster, nothing expires" []
+          (Member.sweep m);
+        env.Service.Env.sleep 0.6;
+        ignore (Member.beat m ~id:"quick");
+        env.Service.Env.sleep 0.6;
+        (* "dead" last beat 1.2s ago, "quick" 0.6s ago. *)
+        Alcotest.(check (list string)) "the silent node is swept" [ "dead" ]
+          (Member.sweep m);
+        Alcotest.(check (option int)) "swept nodes must re-join" None
+          (Member.beat m ~id:"dead");
+        Alcotest.(check bool) "the beating node survives" true
+          (Member.beat m ~id:"quick" <> None))
+  in
+  Alcotest.(check bool) "clean schedule" true out.Sim.ok
+
+(* The wire form: views travel as "id addr" lines and parse back. *)
+let test_member_wire_form () =
+  let nodes = [ ("a", "/run/a.sock"); ("b", "/run/b.sock") ] in
+  Alcotest.(check (option (list (pair string string))))
+    "nodes round-trip" (Some nodes)
+    (Member.nodes_of_string (Member.string_of_nodes nodes));
+  Alcotest.(check (option (list (pair string string))))
+    "empty roster round-trips" (Some [])
+    (Member.nodes_of_string (Member.string_of_nodes []));
+  Alcotest.(check (option (list (pair string string))))
+    "a torn line is rejected" None
+    (Member.nodes_of_string "a-no-addr")
+
+let suite =
+  [
+    test "ring: 1000 digests balance across 5 nodes" test_ring_balance;
+    test "ring: join/leave remap minimally" test_ring_minimal_remapping;
+    test "ring: pure function of the node set" test_ring_deterministic;
+    test "ring: successors are distinct and owner-led" test_ring_successors;
+    test "member: epochs track roster changes" test_member_epochs;
+    test "member: silent nodes are swept as crashed" test_member_sweep;
+    test "member: views survive the wire" test_member_wire_form;
+  ]

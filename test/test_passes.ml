@@ -103,11 +103,36 @@ let test_validate_spec () =
   ok "fix(dce,gvn,canon,simplify),dbds{iters=1}";
   ok "inline,canonicalize,simplify-cfg,licm";
   ok "dupalot{iters=2,threshold=0.1},backtracking{iters=1}";
+  ok "fix(canon,pea{max_rounds=2},dce)";
   rejected "bogus";
   rejected "canon{x=1}";
   rejected "dbds{iters=nope}";
   rejected "dbds{depth=3}";
+  rejected "pea{rounds=2}";
+  rejected "pea{max_rounds=nope}";
   rejected "fix(inline,canon)"
+
+(* The pea cap flows from the config into the resolved default spec —
+   and only when non-default, so historical spec renderings (and the
+   digests built on them) stay stable. *)
+let test_pea_cap_in_default_spec () =
+  let printed config = Opt.Spec.to_string (Dbds.Driver.default_spec config) in
+  Alcotest.(check string)
+    "capped pea appears in the fixpoint group"
+    "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea{max_rounds=2},dce),dbds{iters=3}"
+    (printed { Dbds.Config.dbds with Dbds.Config.pea_max_rounds = 2 });
+  Alcotest.(check string)
+    "the default cap is invisible"
+    "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),dbds{iters=3}"
+    (printed { Dbds.Config.dbds with Dbds.Config.pea_max_rounds = 0 });
+  match
+    Dbds.Driver.validate_spec
+      { Dbds.Config.dbds with Dbds.Config.pea_max_rounds = 2 }
+      (Dbds.Driver.default_spec
+         { Dbds.Config.dbds with Dbds.Config.pea_max_rounds = 2 })
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "capped default spec rejected: %s" msg
 
 (* ------------------------------------------------------------------ *)
 (* Preservation contracts (property, jobs 1 and 4 driver runs)         *)
@@ -293,6 +318,7 @@ let suite =
     test "spec errors" test_spec_errors;
     test "default specs" test_default_specs;
     test "validate spec" test_validate_spec;
+    test "pea cap flows into the default spec" test_pea_cap_in_default_spec;
     test "pass table determinism (jobs 1 vs 4)" test_pass_table_determinism;
     test "pass table contents" test_pass_table_contents;
     test "baseline optimize_program jobs" test_baseline_optimize_program_jobs;

@@ -132,6 +132,37 @@ let test_digest_sensitivity () =
   Alcotest.(check bool) "different bodies hash differently" true
     (SD.ir_hash_of_graph g <> SD.ir_hash_of_graph other)
 
+(* Keys without a pipeline effect must not shape the digest: a request
+   carrying an [inject] fault plan (the protocol re-attaches it outside
+   the config line) and one without must collide in the cache — the
+   fault plan changes what the worker *does*, never what a correct
+   artifact *is*.  Guards [Config.to_line]'s exclusion list. *)
+let test_digest_ignores_fault_plan () =
+  let g = main_of (compile figure1) in
+  let base = SD.of_request (SD.request_of_graph ~config g) in
+  let armed =
+    {
+      config with
+      Dbds.Config.fault_plan = Some (plan ~fn:"main" F.Store_corrupt 1);
+      bundle_dir = Some "/tmp/bundles";
+      containment = false;
+    }
+  in
+  Alcotest.(check string) "fault plan, bundle dir, containment: same digest"
+    base
+    (SD.of_request (SD.request_of_graph ~config:armed g));
+  (* The knob default must also be invisible: a config with the
+     historical pea fixpoint renders — and therefore digests — exactly
+     as before the knob existed. *)
+  Alcotest.(check string) "pea_max_rounds=0 renders as the historical line"
+    (Dbds.Config.to_line config)
+    (Dbds.Config.to_line { config with Dbds.Config.pea_max_rounds = 0 });
+  let capped = { config with Dbds.Config.pea_max_rounds = 2 } in
+  Alcotest.(check bool) "a non-default pea cap changes the digest" true
+    (SD.of_request (SD.request_of_graph ~config:capped g) <> base);
+  Alcotest.(check int) "and round-trips through the wire line" 2
+    (Dbds.Config.of_line (Dbds.Config.to_line capped)).Dbds.Config.pea_max_rounds
+
 (* ------------------------------------------------------------------ *)
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -551,6 +582,8 @@ let suite =
     test "digest: invariant under id renumbering"
       test_digest_renumbering_invariant;
     test "digest: sensitive to every request component" test_digest_sensitivity;
+    test "digest: blind to fault plans and the pea-cap default"
+      test_digest_ignores_fault_plan;
     test "store: publish and read back" test_store_roundtrip;
     test "store: corruption degrades to a miss" test_store_corruption_degrades;
     test "store: LRU eviction bounds the budget" test_store_lru_eviction;

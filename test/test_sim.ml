@@ -170,6 +170,86 @@ let test_server_socket_probe () =
     "no fiber crashed" [] out.Sim.crashed;
   Alcotest.(check (list string)) "no fiber hung" [] out.Sim.hung
 
+(* ---- multi-node fleets ------------------------------------------------ *)
+
+let check_clean label (r : H.result) =
+  Alcotest.(check (list string))
+    label []
+    (List.map (fun v -> v.H.vio_kind ^ ": " ^ v.H.vio_detail) r.H.r_violations)
+
+let count label (r : H.result) =
+  match List.assoc_opt label r.H.r_counts with Some n -> n | None -> 0
+
+(* A worker hard-killed mid-load looks crashed (no leave): the
+   coordinator's sweep must evict it, clients must fail over along the
+   ring, and after the rejoin the fleet serves again — with zero wrong
+   artifacts anywhere.  The whole story must replay from its seed. *)
+let test_fleet_kill_and_rejoin () =
+  let spec =
+    H.builder ~seed:5 ()
+    |> H.with_chaos 0
+    |> H.with_nodes 3
+    |> H.with_node_fault (H.Kill { node = 1; at = 0.3 })
+    |> H.with_node_fault (H.Rejoin { node = 1; at = 1.4 })
+  in
+  let a = H.run spec in
+  check_clean "kill/rejoin run clean" a;
+  Alcotest.(check bool) "some requests completed" true
+    (count "done" a + count "done-cache" a > 0);
+  Alcotest.(check int) "every request accounted for"
+    (a.H.r_spec.H.clients * a.H.r_spec.H.requests_per_client)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 a.H.r_counts);
+  let b = H.run spec in
+  Alcotest.(check string) "fleet runs replay" a.H.r_trace_hash b.H.r_trace_hash
+
+(* A partitioned node is unreachable both ways until it heals; the
+   coordinator sweeps it out, the healed node notices ("unknown" beat)
+   and rejoins.  No wrong artifacts, no hangs. *)
+let test_fleet_partition_heals () =
+  let spec =
+    H.builder ~seed:9 ()
+    |> H.with_chaos 0
+    |> H.with_nodes 3
+    |> H.with_node_fault (H.Partition { node = 2; at = 0.3; until_ = 1.1 })
+  in
+  check_clean "partition run clean" (H.run spec)
+
+(* Node chaos on top of message/disk chaos: the fleet-wide invariant —
+   byte-identical IR or a clean contained failure, on every node's
+   disk — holds across seeds. *)
+let test_fleet_chaos_sweep () =
+  let spec =
+    H.builder ~seed:300 ()
+    |> H.with_nodes 3 |> H.with_chaos 2 |> H.with_node_chaos 2
+  in
+  List.iter
+    (fun (r : H.result) ->
+      check_clean (Printf.sprintf "seed %d clean" r.H.r_spec.H.seed) r)
+    (H.run_seeds ~seeds:2 spec)
+
+(* Fleet bundles round-trip: the extended fields parse back to the same
+   spec and replay to the identical schedule; classic bundles (no fleet
+   fields) still parse. *)
+let test_fleet_bundle_roundtrip () =
+  let spec =
+    H.builder ~seed:5 ()
+    |> H.with_chaos 0
+    |> H.with_nodes 2
+    |> H.with_node_fault (H.Kill { node = 0; at = 0.4 })
+    |> H.with_node_fault (H.Rejoin { node = 0; at = 1.0 })
+  in
+  let r = H.run spec in
+  let dir = Filename.temp_dir "dbds-test-sim" ".bundles" in
+  let path = H.write_bundle ~dir r in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let again = H.replay path in
+      Alcotest.(check string) "fleet bundle replays the exact schedule"
+        r.H.r_trace_hash again.H.r_trace_hash)
+
 let suite =
   [
     test "sim: same seed, same schedule" test_same_seed_same_trace;
@@ -182,4 +262,10 @@ let suite =
       test_deadlines_survive_clock_jump;
     test "sim: stale socket reclaimed, live socket refused"
       test_server_socket_probe;
+    test "sim: fleet survives a worker kill and rejoin"
+      test_fleet_kill_and_rejoin;
+    test "sim: fleet survives a partition that heals"
+      test_fleet_partition_heals;
+    test "sim: fleet chaos sweep holds the invariant" test_fleet_chaos_sweep;
+    test "sim: fleet bundles round-trip and replay" test_fleet_bundle_roundtrip;
   ]
