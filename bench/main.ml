@@ -324,6 +324,25 @@ let print_fleet rows =
   Format.printf "%a@." Harness.Report.pp_fleet rows
 
 (* ------------------------------------------------------------------ *)
+(* Frontdoor: admission-controlled overload sweep                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The async front door under open-loop offered load at 0.5x..4x of the
+   broker's configured capacity, in the deterministic simulator (virtual
+   time, so the numbers are host-independent and reproducible).  The
+   acceptance shape: goodput holds near capacity past saturation while
+   the surplus is shed with retry-after hints, and the interactive
+   lane's p99 stays bounded because sheds happen at admission instead of
+   queueing deep (see Harness.Servicebench.load_sweep). *)
+let frontdoor_row () = Harness.Servicebench.load_sweep ()
+
+let print_frontdoor row =
+  section
+    "Frontdoor: open-loop overload sweep (simulated virtual time, \
+     0.5x..4x offered load)";
+  Format.printf "%a@." Harness.Report.pp_frontdoor row
+
+(* ------------------------------------------------------------------ *)
 (* PEA sweep cap: the fig5 8ms-dominant function                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,7 +474,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_results_json path rows cache_rows tiered service perf fleet
-    (pea_bench, pea_variants) =
+    frontdoor (pea_bench, pea_variants) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -636,6 +655,48 @@ let write_results_json path rows cache_rows tiered service perf fleet
   in
   Buffer.add_string buf (String.concat ",\n" fleet_entries);
   Buffer.add_string buf "\n    ]\n  },\n";
+  (* Frontdoor: the overload sweep runs entirely in the simulator's
+     virtual time, so goodput and latency are host-independent. *)
+  let fd = (frontdoor : Harness.Metrics.frontdoor_row) in
+  Buffer.add_string buf "  \"frontdoor\": {\n";
+  Buffer.add_string buf
+    "    \"model\": \"open-loop offered load against the async front \
+     door in the deterministic simulator (virtual time); latencies are \
+     interactive-lane client-observed\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"capacity_rps\": %.1f,\n"
+       fd.Harness.Metrics.fd_capacity_rps);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"tenants\": %d,\n" fd.Harness.Metrics.fd_tenants);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"requests_per_point\": %d,\n"
+       fd.Harness.Metrics.fd_requests);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"identical_ir\": %b,\n"
+       fd.Harness.Metrics.fd_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"clean_schedules\": %b,\n"
+       fd.Harness.Metrics.fd_clean);
+  Buffer.add_string buf "    \"points\": [\n";
+  let fd_entries =
+    List.map
+      (fun (p : Harness.Metrics.frontdoor_point) ->
+        Printf.sprintf
+          "      { \"load_mult\": %.2f, \"offered_rps\": %.1f, \"sent\": \
+           %d, \"done\": %d, \"shed\": %d, \"failed\": %d, \
+           \"goodput_rps\": %.2f, \"interactive_p50_ms\": %.2f, \
+           \"interactive_p95_ms\": %.2f, \"interactive_p99_ms\": %.2f, \
+           \"retry_after_ok\": %b }"
+          p.Harness.Metrics.fd_mult p.Harness.Metrics.fd_offered_rps
+          p.Harness.Metrics.fd_sent p.Harness.Metrics.fd_done
+          p.Harness.Metrics.fd_shed p.Harness.Metrics.fd_failed
+          p.Harness.Metrics.fd_goodput_rps p.Harness.Metrics.fd_p50_ms
+          p.Harness.Metrics.fd_p95_ms p.Harness.Metrics.fd_p99_ms
+          p.Harness.Metrics.fd_retry_after_ok)
+      fd.Harness.Metrics.fd_points
+  in
+  Buffer.add_string buf (String.concat ",\n" fd_entries);
+  Buffer.add_string buf "\n    ]\n  },\n";
   (* PEA sweep cap on fig5's dominant benchmark: deterministic work
      units plus min-of-5 wall per variant. *)
   Buffer.add_string buf "  \"pea_cap\": {\n";
@@ -744,10 +805,12 @@ let () =
   print_service service;
   let fleet = fleet_rows () in
   print_fleet fleet;
+  let frontdoor = frontdoor_row () in
+  print_frontdoor frontdoor;
   let pea_cap = pea_cap_rows () in
   print_pea_cap pea_cap;
   let perf = perf_rows () in
   print_perf perf;
   let rows = run_bechamel () in
   write_results_json "BENCH_results.json" rows cache_rows tiered service perf
-    fleet pea_cap
+    fleet frontdoor pea_cap

@@ -91,4 +91,53 @@ let () =
     scale3 agg.Harness.Metrics.fb_requests;
   if scale3 < 2.0 then
     die "fleet scaling %.2f < 2.0 at 3 nodes (sharding imbalance)" scale3;
+  (* Frontdoor overload gate: the sweep runs in the simulator's virtual
+     time, so it is deterministic and host-independent.  At 2x offered
+     load, admission control must keep goodput near the uncontended
+     peak and the interactive lane's p99 within 3x of uncontended —
+     shedding the surplus (with retry-after hints) instead of queueing
+     it into latency. *)
+  let fd =
+    Harness.Servicebench.load_sweep ~capacity_rps:100.0 ~requests:32
+      ~mults:[ 0.5; 1.0; 2.0 ] ()
+  in
+  if not fd.Harness.Metrics.fd_clean then
+    die "frontdoor sweep left an unclean simulated schedule";
+  if not fd.Harness.Metrics.fd_identical then
+    die "frontdoor sweep served IR differing from the offline oracle";
+  List.iter
+    (fun (p : Harness.Metrics.frontdoor_point) ->
+      if not p.Harness.Metrics.fd_retry_after_ok then
+        die "a shed at %.1fx load carried no retry-after hint"
+          p.Harness.Metrics.fd_mult)
+    fd.Harness.Metrics.fd_points;
+  let point m =
+    match Harness.Metrics.frontdoor_point_at fd m with
+    | Some p -> p
+    | None -> die "frontdoor sweep lost its %.1fx point" m
+  in
+  let uncontended = point 0.5 and at2x = point 2.0 in
+  let peak =
+    List.fold_left
+      (fun acc (p : Harness.Metrics.frontdoor_point) ->
+        max acc p.Harness.Metrics.fd_goodput_rps)
+      0.0 fd.Harness.Metrics.fd_points
+  in
+  Printf.printf
+    "bench-smoke: frontdoor goodput at 2x: %.1f rps (peak %.1f), \
+     interactive p99 %.1f ms (uncontended %.1f ms), %d shed with hints\n"
+    at2x.Harness.Metrics.fd_goodput_rps peak
+    at2x.Harness.Metrics.fd_p99_ms uncontended.Harness.Metrics.fd_p99_ms
+    at2x.Harness.Metrics.fd_shed;
+  if at2x.Harness.Metrics.fd_goodput_rps < 0.8 *. peak then
+    die "frontdoor goodput at 2x load %.1f < 80%% of peak %.1f (overload \
+         collapse)"
+      at2x.Harness.Metrics.fd_goodput_rps peak;
+  if
+    at2x.Harness.Metrics.fd_p99_ms
+    > 3.0 *. uncontended.Harness.Metrics.fd_p99_ms
+  then
+    die "interactive p99 at 2x load %.1f ms > 3x uncontended %.1f ms \
+         (admission control not protecting the lane)"
+      at2x.Harness.Metrics.fd_p99_ms uncontended.Harness.Metrics.fd_p99_ms;
   print_endline "bench-smoke: OK"

@@ -36,6 +36,14 @@ type service_opts = {
   svc_shutdown : bool;  (** ask the server to shut down *)
   queue_limit : int;  (** server admission-queue bound *)
   workers : int;  (** server compile domains *)
+  frontdoor : bool;
+      (** make [--serve] the async event-loop front door instead of the
+          classic thread-per-connection server *)
+  tenant : string option;  (** quota account presented by the client *)
+  lane : string option;  (** client priority lane (interactive/batch) *)
+  binary : bool;  (** negotiate the compact binary framing *)
+  tenant_rate : float;  (** front-door tokens per second per tenant *)
+  tenant_burst : float;  (** front-door token-bucket depth *)
 }
 
 let read_file path =
@@ -155,9 +163,27 @@ let run_serve ~sock svc =
         })
       svc.fleet_join
   in
-  Service.Server.serve
-    ~log:(fun line -> Format.eprintf "[dbdsc --serve] %s@." line)
-    ?fleet ~sock ~broker ()
+  if svc.frontdoor then begin
+    (* Fleet membership verbs stay with the classic server; a fleet
+       worker keeps its thread-per-connection front end. *)
+    if fleet <> None then
+      failwith "--frontdoor does not combine with --fleet-join";
+    Service.Frontdoor.serve
+      ~log:(fun line -> Format.eprintf "[dbdsc --frontdoor] %s@." line)
+      ~config:
+        {
+          Service.Frontdoor.default_config with
+          fd_dispatchers = svc.workers;
+          fd_queue_limit = svc.queue_limit;
+          fd_tenant_rate = svc.tenant_rate;
+          fd_tenant_burst = svc.tenant_burst;
+        }
+      ~sock ~broker ()
+  end
+  else
+    Service.Server.serve
+      ~log:(fun line -> Format.eprintf "[dbdsc --serve] %s@." line)
+      ?fleet ~sock ~broker ()
 
 let run_coordinator ~sock =
   Service.Fleet.coordinator
@@ -165,7 +191,10 @@ let run_coordinator ~sock =
     ~sock ()
 
 let run_client ~sock ~config ~file svc =
-  let c = Service.Client.connect ~deadline_s:5.0 ~sock () in
+  let c =
+    Service.Client.connect ~deadline_s:5.0 ?tenant:svc.tenant ?lane:svc.lane
+      ~binary:svc.binary ~sock ()
+  in
   Fun.protect
     ~finally:(fun () -> Service.Client.close c)
     (fun () ->
@@ -181,12 +210,16 @@ let run_client ~sock ~config ~file svc =
               (fun fn ->
                 let g = Option.get (Ir.Program.find_function prog fn) in
                 match
-                  Service.Client.compile ?deadline_ms:svc.deadline_ms
-                    ?delay_ms:svc.delay_ms ~config ~fn
+                  Service.Client.compile_ex ?deadline_ms:svc.deadline_ms
+                    ?delay_ms:svc.delay_ms ?lane:svc.lane ~config ~fn
                     ~ir:(Ir.Printer.graph_to_string g) c
                 with
-                | Ok (Service.Broker.Done { ir; _ }) -> ir
-                | Ok o ->
+                | Ok (Service.Broker.Done { ir; _ }, _) -> ir
+                | Ok (Service.Broker.Shed, Some retry_ms) ->
+                    failwith
+                      (Printf.sprintf
+                         "service shed %s: retry after %d ms" fn retry_ms)
+                | Ok (o, _) ->
                     failwith
                       (Printf.sprintf "service refused %s: %s" fn
                          (Service.Broker.outcome_label o))
@@ -195,11 +228,24 @@ let run_client ~sock ~config ~file svc =
           in
           List.iter (fun ir -> Format.printf "%s@." ir) results);
       if svc.svc_stats then begin
-        match Service.Client.stats c with
-        | Ok (broker_line, store_line, counts) ->
-            Format.printf "=== service ===@.%s@.%s@.counts: %s@." broker_line
+        match
+          Service.Client.roundtrip c
+            { Service.Protocol.verb = "stats"; fields = [] }
+        with
+        | Ok reply ->
+            let fld k =
+              Option.value ~default:"" (Service.Protocol.field reply k)
+            in
+            let store_line = fld "store" in
+            Format.printf "=== service ===@.%s@.%s@.counts: %s@."
+              (fld "broker")
               (if store_line = "none" then "store: none" else store_line)
-              counts
+              (fld "counts");
+            (* Only the front door reports admission/lane/tenant-histogram
+               counters; a classic server's reply lacks the field. *)
+            (match Service.Protocol.field reply "frontdoor" with
+            | Some fd -> Format.printf "=== frontdoor ===@.%s@." fd
+            | None -> ())
         | Error msg -> failwith ("service stats: " ^ msg)
       end;
       if svc.svc_shutdown then
@@ -368,6 +414,10 @@ type sim_opts = {
   sim_node_faults : string option;
       (** explicit node events, comma-separated [kill:N@T] /
           [rejoin:N@T] / [part:N@T1-T2] *)
+  sim_frontdoor : bool;
+      (** serve through the async front door (tenant/lane/binary-diverse
+          clients plus protocol-chaos fibers) instead of the classic
+          server *)
 }
 
 exception Sim_violations
@@ -404,6 +454,7 @@ let run_sim sim =
         |> H.with_nodes sim.sim_nodes
         |> H.with_replicas sim.sim_replicas
         |> H.with_node_chaos sim.sim_node_chaos
+        |> H.with_frontdoor sim.sim_frontdoor
       in
       let spec =
         match sim.sim_node_faults with
@@ -1094,10 +1145,71 @@ let service_workers_arg =
     & info [ "service-workers" ] ~docv:"N"
         ~doc:"With $(b,--serve): number of compile worker domains.")
 
+let frontdoor_arg =
+  Arg.(
+    value & flag
+    & info [ "frontdoor" ]
+        ~doc:
+          "With $(b,--serve): serve through the async multi-tenant front \
+           door — a single-threaded poll-based event loop with per-tenant \
+           token-bucket quotas, interactive/batch priority lanes \
+           (weighted-deficit round-robin) and optional compact binary \
+           framing.  $(b,--service-workers) sizes its dispatcher pool, \
+           $(b,--service-queue-limit) bounds each lane, and overload is \
+           answered with a structured shed carrying a retry-after-ms \
+           hint.  Not combinable with $(b,--fleet-join).")
+
+let tenant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tenant" ] ~docv:"ID"
+        ~doc:
+          "With $(b,--connect): present this tenant id in the hello — \
+           the front door's quota account.  Ignored (gracefully) by a \
+           classic server.")
+
+let lane_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lane" ] ~docv:"LANE"
+        ~doc:
+          "With $(b,--connect): ride this priority lane \
+           ($(b,interactive) or $(b,batch), default batch) through a \
+           front door's admission queue.")
+
+let binary_arg =
+  Arg.(
+    value & flag
+    & info [ "binary" ]
+        ~doc:
+          "With $(b,--connect): negotiate the compact binary framing in \
+           the hello; the connection switches only when the server \
+           confirms, so against a classic server the client degrades to \
+           text and keeps working.")
+
+let tenant_rate_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "tenant-rate" ] ~docv:"RPS"
+        ~doc:
+          "With $(b,--frontdoor): per-tenant token refill rate (tokens \
+           per second).")
+
+let tenant_burst_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "tenant-burst" ] ~docv:"N"
+        ~doc:
+          "With $(b,--frontdoor): per-tenant token-bucket depth (burst \
+           allowance).")
+
 let service_opts_term =
   let make serve connect fleet_coord fleet_join fleet_connect node_id
       fleet_replicas fleet_beat_ms cache_dir cache_capacity canon deadline_ms
-      delay_ms svc_stats svc_shutdown queue_limit workers =
+      delay_ms svc_stats svc_shutdown queue_limit workers frontdoor tenant
+      lane binary tenant_rate tenant_burst =
     {
       serve;
       connect;
@@ -1116,6 +1228,12 @@ let service_opts_term =
       svc_shutdown;
       queue_limit;
       workers;
+      frontdoor;
+      tenant;
+      lane;
+      binary;
+      tenant_rate;
+      tenant_burst;
     }
   in
   Term.(
@@ -1123,7 +1241,8 @@ let service_opts_term =
     $ fleet_connect_arg $ node_id_arg $ fleet_replicas_arg $ fleet_beat_ms_arg
     $ cache_dir_arg $ cache_capacity_arg $ canon_arg $ deadline_ms_arg
     $ service_delay_ms_arg $ service_stats_arg $ service_shutdown_arg
-    $ service_queue_limit_arg $ service_workers_arg)
+    $ service_queue_limit_arg $ service_workers_arg $ frontdoor_arg
+    $ tenant_arg $ lane_arg $ binary_arg $ tenant_rate_arg $ tenant_burst_arg)
 
 let sim_arg =
   Arg.(
@@ -1245,10 +1364,23 @@ let sim_node_faults_arg =
            the surviving disk), $(b,part:N\\@T1-T2) (two-way partition \
            from T1 to T2).")
 
+let sim_frontdoor_arg =
+  Arg.(
+    value & flag
+    & info [ "sim-frontdoor" ]
+        ~doc:
+          "With $(b,--sim): serve the simulated service through the \
+           async front door instead of the classic server.  Clients \
+           spread across tenants, lanes and framings, and two \
+           protocol-chaos fibers (a garbage sender and a slow-loris \
+           half-request) join the schedule; a garbage line accepted as \
+           a request, or a shed without its retry-after hint, is a \
+           violation.")
+
 let sim_opts_term =
   let make sim sim_seed sim_seeds sim_shrink sim_clients sim_chaos sim_vm_warm
       sim_faults sim_replay sim_bundle_dir sim_nodes sim_replicas
-      sim_node_chaos sim_node_faults =
+      sim_node_chaos sim_node_faults sim_frontdoor =
     {
       sim;
       sim_seed;
@@ -1264,13 +1396,14 @@ let sim_opts_term =
       sim_replicas;
       sim_node_chaos;
       sim_node_faults;
+      sim_frontdoor;
     }
   in
   Term.(
     const make $ sim_arg $ sim_seed_arg $ sim_seeds_arg $ sim_shrink_arg
     $ sim_clients_arg $ sim_chaos_arg $ sim_vm_warm_arg $ sim_faults_arg
     $ sim_replay_arg $ sim_bundle_dir_arg $ sim_nodes_arg $ sim_replicas_arg
-    $ sim_node_chaos_arg $ sim_node_faults_arg)
+    $ sim_node_chaos_arg $ sim_node_faults_arg $ sim_frontdoor_arg)
 
 let cmd =
   let doc = "SSA compiler with dominance-based duplication simulation" in

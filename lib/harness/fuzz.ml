@@ -453,3 +453,155 @@ let run_tiered ?(graph_seeds = List.init 12 Fun.id) ?(plans_per_graph = 2)
     t_compile_failures = !compile_failures;
     t_violations = List.rev !violations;
   }
+
+(* ---- frontdoor framing-decoder hardening ----------------------------- *)
+
+type frontdoor_result = {
+  f_decoder_cases : int;  (** byte strings fed to the pure decoders *)
+  f_server_runs : int;  (** simulated garbage-client server runs *)
+  f_rejected : int;  (** structured rejections observed end-to-end *)
+  f_violations : string list;  (** hardening breaches; [[]] = pass *)
+}
+
+let run_frontdoor ?(decoder_cases = 400) ?(server_seeds = 8) () =
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let rng = Random.State.make [| 0xf4d0; decoder_cases; server_seeds |] in
+  (* 1. The pure decoders on adversarial bytes: random garbage, valid
+     messages with one byte flipped, and every truncation of a valid
+     message.  Any outcome is fine — raising is the bug. *)
+  let random_message () =
+    let rand_string n =
+      String.init (Random.State.int rng (n + 1)) (fun _ ->
+          Char.chr (Random.State.int rng 256))
+    in
+    let verbs =
+      [| "compile"; "reply"; "ping"; "stats"; "hello"; "lookup"; "a-verb" |]
+    in
+    {
+      Service.Protocol.verb =
+        verbs.(Random.State.int rng (Array.length verbs));
+      fields =
+        List.init (Random.State.int rng 4) (fun i ->
+            (Printf.sprintf "f%d" i, rand_string 64));
+    }
+  in
+  let feed tag decode bytes =
+    match decode bytes with
+    | Service.Protocol.Msg _ | Service.Protocol.More
+    | Service.Protocol.Err _ ->
+        ()
+    | exception e ->
+        violate "%s decoder raised %s on %d bytes" tag (Printexc.to_string e)
+          (String.length bytes)
+  in
+  let cases = ref 0 in
+  let feed_both bytes =
+    incr cases;
+    feed "text" Service.Protocol.decode bytes;
+    feed "binary" Service.Protocol.decode_binary bytes
+  in
+  for _ = 1 to decoder_cases / 4 do
+    (* Pure noise, binary-magic-prefixed noise, and mutations /
+       truncations of well-formed renders in both framings. *)
+    feed_both
+      (String.init (Random.State.int rng 200) (fun _ ->
+           Char.chr (Random.State.int rng 256)));
+    feed_both
+      ("\xBF"
+      ^ String.init (Random.State.int rng 64) (fun _ ->
+            Char.chr (Random.State.int rng 256)));
+    let m = random_message () in
+    let wire =
+      if Random.State.bool rng then Service.Protocol.render m
+      else Service.Protocol.render_binary m
+    in
+    let mutated =
+      if wire = "" then wire
+      else
+        String.mapi
+          (fun i c ->
+            if i = Random.State.int rng (String.length wire) then
+              Char.chr (Random.State.int rng 256)
+            else c)
+          wire
+    in
+    feed_both mutated;
+    feed_both (String.sub wire 0 (Random.State.int rng (String.length wire + 1)))
+  done;
+  (* 2. End-to-end: a garbage client against a simulated frontdoor must
+     get a structured rejection (or a clean close — never a crash or a
+     wedged loop), and a fresh well-formed connection must still be
+     served afterwards. *)
+  let rejected = ref 0 in
+  for k = 1 to server_seeds do
+    (* Half the junk is line-terminated so the text decoder actually
+       sees a complete (garbage) header; the rest stays newline-free —
+       the server must cull the silent half-open connection instead. *)
+    let junk =
+      String.init
+        (1 + Random.State.int rng 80)
+        (fun _ -> Char.chr (Random.State.int rng 256))
+      ^ if k mod 2 = 0 then "\n" else ""
+    in
+    let sched = Simtest.Sched.create ~seed:(77000 + k) () in
+    let io = Simtest.Simio.create sched in
+    let env = Simtest.Simio.env io in
+    let out =
+      Simtest.Sched.run sched (fun () ->
+          let broker =
+            Service.Broker.create ~env ~workers:1 ~store:None ()
+          in
+          let srv =
+            env.Service.Env.spawn "frontdoor" (fun () ->
+                Service.Frontdoor.serve ~env ~sock:"/fd" ~broker ())
+          in
+          env.Service.Env.sleep 0.01;
+          (match env.Service.Env.connect "/fd" with
+          | exception Service.Env.Net _ -> ()
+          | conn ->
+              (try
+                 conn.Service.Env.send junk;
+                 match
+                   Service.Protocol.read_conn
+                     ~deadline:(env.Service.Env.mono () +. 30.)
+                     conn
+                 with
+                 | Ok r
+                   when Service.Protocol.field r "status" = Some "rejected"
+                   ->
+                     incr rejected
+                 | Ok r ->
+                     (* Random bytes can parse as a harmless verb —
+                        only a served artifact would be alarming. *)
+                     if Service.Protocol.field r "ir" <> None then
+                       violate "seed %d: garbage earned an artifact" k
+                 | Error _ -> ()
+               with Service.Env.Net _ -> ());
+              (try conn.Service.Env.close_conn () with Service.Env.Net _ -> ()));
+          (match
+             Service.Client.connect ~env ~deadline_s:5.0 ~io_deadline_s:30.
+               ~sock:"/fd" ()
+           with
+          | exception _ -> violate "seed %d: server unreachable after garbage" k
+          | c ->
+              if not (Service.Client.ping c) then
+                violate "seed %d: ping failed after garbage" k;
+              ignore (Service.Client.shutdown_server c);
+              Service.Client.close c);
+          srv.Service.Env.join ())
+    in
+    if not out.Simtest.Sched.ok then
+      violate "seed %d: garbage run left an unclean schedule (%d hung, %d crashed)"
+        k
+        (List.length out.Simtest.Sched.hung)
+        (List.length out.Simtest.Sched.crashed)
+  done;
+  {
+    f_decoder_cases = !cases;
+    f_server_runs = server_seeds;
+    f_rejected = !rejected;
+    f_violations = List.rev !violations;
+  }

@@ -67,3 +67,23 @@ val run_tiered :
   ?runs_per_pair:int ->
   unit ->
   tiered_result
+
+type frontdoor_result = {
+  f_decoder_cases : int;  (** byte strings fed to the pure decoders *)
+  f_server_runs : int;  (** simulated garbage-client server runs *)
+  f_rejected : int;  (** structured rejections observed end-to-end *)
+  f_violations : string list;  (** hardening breaches; [[]] = pass *)
+}
+
+(** Fuzz the frontdoor's framing decoders.  Two layers: the pure
+    incremental decoders ({!Service.Protocol.decode} /
+    [decode_binary]) on random garbage, magic-prefixed garbage, and
+    mutations/truncations of well-formed messages in both framings —
+    any structured outcome is acceptable, raising is the bug; then
+    [server_seeds] simulated garbage-client runs against a live
+    {!Service.Frontdoor} — junk must earn a structured rejection or a
+    clean close (never an escaping exception or a wedged event loop),
+    and a fresh well-formed connection must still be served
+    afterwards.  Everything is seeded; violations reproduce. *)
+val run_frontdoor :
+  ?decoder_cases:int -> ?server_seeds:int -> unit -> frontdoor_result

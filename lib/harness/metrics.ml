@@ -148,6 +148,35 @@ let fleet_scaling_at r n =
   | Some p -> p.fp_scaling
   | None -> 0.0
 
+(** One offered-load point of the frontdoor overload sweep (simulated;
+    latencies are interactive-lane client-observed virtual time). *)
+type frontdoor_point = {
+  fd_mult : float;  (** offered load as a multiple of capacity *)
+  fd_offered_rps : float;
+  fd_sent : int;
+  fd_done : int;
+  fd_shed : int;
+  fd_failed : int;
+  fd_goodput_rps : float;
+  fd_p50_ms : float;
+  fd_p95_ms : float;
+  fd_p99_ms : float;
+  fd_retry_after_ok : bool;
+}
+
+(** The frontdoor load-sweep row. *)
+type frontdoor_row = {
+  fd_capacity_rps : float;
+  fd_tenants : int;
+  fd_requests : int;
+  fd_points : frontdoor_point list;
+  fd_identical : bool;
+  fd_clean : bool;
+}
+
+let frontdoor_point_at r mult =
+  List.find_opt (fun p -> p.fd_mult = mult) r.fd_points
+
 (** Geometric mean of percentage deltas: geomean of the ratios (1 + d/100)
     minus one, as the paper's tables report. *)
 let geomean_pct deltas =

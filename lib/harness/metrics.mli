@@ -128,6 +128,40 @@ type fleet_row = {
 (** Modeled scaling at fleet size [n]; 0 when the size was not swept. *)
 val fleet_scaling_at : fleet_row -> int -> float
 
+(** One offered-load point of the frontdoor overload sweep, measured
+    under the deterministic simulator: open-loop arrivals at
+    [fd_mult] times the broker's service capacity, split over an
+    interactive and a batch tenant with mixed text/binary framing.
+    Latencies are client-observed virtual time on the {e interactive}
+    lane — the lane the acceptance gate holds to its p99 bound. *)
+type frontdoor_point = {
+  fd_mult : float;  (** offered load as a multiple of capacity *)
+  fd_offered_rps : float;
+  fd_sent : int;  (** requests fired at this point *)
+  fd_done : int;  (** answered with an artifact *)
+  fd_shed : int;  (** refused by admission control *)
+  fd_failed : int;  (** anything else (transport, timeout, ...) *)
+  fd_goodput_rps : float;  (** completed artifacts per virtual second *)
+  fd_p50_ms : float;  (** interactive-lane client-observed latency *)
+  fd_p95_ms : float;
+  fd_p99_ms : float;
+  fd_retry_after_ok : bool;  (** every shed carried a retry-after hint *)
+}
+
+(** The frontdoor load-sweep row.  Plain data so the report and the
+    bench JSON writer need no [service] dependency. *)
+type frontdoor_row = {
+  fd_capacity_rps : float;  (** broker service capacity (workers/delay) *)
+  fd_tenants : int;
+  fd_requests : int;  (** requests fired per point *)
+  fd_points : frontdoor_point list;  (** ascending by [fd_mult] *)
+  fd_identical : bool;  (** every served IR matched the offline oracle *)
+  fd_clean : bool;  (** every point's simulated schedule ran clean *)
+}
+
+(** The point swept at [mult] times capacity, if any. *)
+val frontdoor_point_at : frontdoor_row -> float -> frontdoor_point option
+
 (** Geometric mean of percentage deltas: geomean of the ratios
     (1 + d/100) minus one, as the paper's tables report. *)
 val geomean_pct : float list -> float

@@ -283,6 +283,41 @@ let pp_fleet ppf (rows : fleet_row list) =
         agg.fb_requests
   | _ -> ()
 
+let pp_frontdoor ppf (r : frontdoor_row) =
+  Fmt.pf ppf
+    "frontdoor load sweep (capacity %.0f rps, %d tenants, %d requests/point, \
+     simulated):@\n"
+    r.fd_capacity_rps r.fd_tenants r.fd_requests;
+  Fmt.pf ppf "%-6s | %8s | %5s %5s %5s | %9s | %8s %8s %8s | %s@\n" "load"
+    "offered" "done" "shed" "fail" "goodput" "p50 ms" "p95 ms" "p99 ms"
+    "retry-after";
+  let width = 85 in
+  Fmt.pf ppf "%s@\n" (String.make width '-');
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%5.2gx | %8.1f | %5d %5d %5d | %9.1f | %8.1f %8.1f %8.1f | %s@\n"
+        p.fd_mult p.fd_offered_rps p.fd_done p.fd_shed p.fd_failed
+        p.fd_goodput_rps p.fd_p50_ms p.fd_p95_ms p.fd_p99_ms
+        (if p.fd_retry_after_ok then "ok" else "MISSING"))
+    r.fd_points;
+  Fmt.pf ppf "%s@\n" (String.make width '-');
+  let peak =
+    List.fold_left (fun acc p -> Float.max acc p.fd_goodput_rps) 0.0 r.fd_points
+  in
+  (match (frontdoor_point_at r 2.0, frontdoor_point_at r 0.5) with
+  | Some over, Some calm when peak > 0.0 && calm.fd_p99_ms > 0.0 ->
+      Fmt.pf ppf
+        "goodput at 2x: %.1f rps (%.0f%% of peak) — interactive p99 at 2x: \
+         %.1f ms (%.2fx uncontended)@\n"
+        over.fd_goodput_rps
+        (100.0 *. over.fd_goodput_rps /. peak)
+        over.fd_p99_ms
+        (over.fd_p99_ms /. calm.fd_p99_ms)
+  | _ -> ());
+  Fmt.pf ppf "artifacts byte-identical to oracle: %s — schedules clean: %s@\n"
+    (if r.fd_identical then "yes" else "NO")
+    (if r.fd_clean then "yes" else "NO")
+
 let pp_headline ppf h =
   Fmt.pf ppf
     "headline (DBDS vs baseline over all suites):@\n\

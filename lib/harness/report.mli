@@ -56,3 +56,11 @@ val pp_service : Format.formatter -> Metrics.service_row list -> unit
     node's request share — plus a footer quoting the aggregate row's
     scaling at the largest size (the acceptance headline). *)
 val pp_fleet : Format.formatter -> Metrics.fleet_row list -> unit
+
+(** The frontdoor load-sweep row ({!Metrics.frontdoor_row}): one line
+    per offered-load multiple — completions, sheds, goodput,
+    interactive-lane latency percentiles, retry-after coverage — with
+    a footer quoting the acceptance gates (goodput at 2x vs peak,
+    interactive p99 at 2x vs uncontended) and the byte-identity and
+    clean-schedule verdicts. *)
+val pp_frontdoor : Format.formatter -> Metrics.frontdoor_row -> unit

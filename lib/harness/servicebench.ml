@@ -102,3 +102,183 @@ let measure_suite (suite : Workloads.Suite.t) =
   }
 
 let run ?(suites = Workloads.Registry.all) () = List.map measure_suite suites
+
+(* ---- the frontdoor overload sweep ----------------------------------- *)
+
+(* Distinct single-function requests (their own generator seeds, away
+   from the sim harness's pool) so neither broker coalescing nor the
+   artifact store can flatter the measured capacity — plus the offline
+   oracle each served artifact must match byte-for-byte. *)
+let sweep_config = { Dbds.Config.dbds with bundle_dir = None }
+
+let sweep_pool =
+  lazy
+    (let progs =
+       List.init 16 (fun p ->
+           Workloads.Progen.generate ~n_helpers:3 ~seed:(3000 + p) ())
+     in
+     let reqs =
+       List.concat_map
+         (fun src ->
+           List.map
+             (fun p ->
+               let g =
+                 Option.get
+                   (Ir.Program.find_function p p.Ir.Program.main)
+               in
+               let fn = Ir.Graph.name g in
+               let ir = Ir.Printer.graph_to_string g in
+               (* The oracle mirrors the broker byte-for-byte: parse
+                  the wire text (print -> parse normalizes ids), then
+                  the same lone-graph pipeline. *)
+               let parsed = Ir.Parse.parse_graph ir in
+               let program = Ir.Program.of_graph parsed in
+               ignore
+                 (Dbds.Driver.optimize_program_report ~config:sweep_config
+                    ~inline:false ~jobs:1 program);
+               let expected =
+                 Service.Digest.canonical_of_graph
+                   (Option.value
+                      (Ir.Program.find_function program fn)
+                      ~default:parsed)
+               in
+               (fn, ir, expected))
+             (requests_of [ src ]))
+         progs
+     in
+     Array.of_list reqs)
+
+(* Exact client-observed percentile (the stats verb's histogram is the
+   operational view; the bench reports the precise one). *)
+let percentile q samples =
+  match List.sort compare samples with
+  | [] -> 0.0
+  | l ->
+      let arr = Array.of_list l in
+      let n = Array.length arr in
+      arr.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let load_point ~capacity_rps ~workers ~delay_s ~queue_limit ~requests ~seed
+    ~idx mult =
+  let offered = mult *. capacity_rps in
+  let pool = Lazy.force sweep_pool in
+  let npool = Array.length pool in
+  let sched = Simtest.Sched.create ~seed:(seed + idx) () in
+  let io = Simtest.Simio.create sched in
+  let env = Simtest.Simio.env io in
+  let lat_interactive = ref [] in
+  let n_done = ref 0 and n_shed = ref 0 and n_failed = ref 0 in
+  let hints_ok = ref true and identical = ref true in
+  let finish_t = ref 0.0 in
+  let out =
+    Simtest.Sched.run sched (fun () ->
+        let broker =
+          Service.Broker.create ~env ~workers ~delay_s ~store:None ()
+        in
+        let fd_config =
+          {
+            Service.Frontdoor.default_config with
+            fd_dispatchers = workers;
+            fd_queue_limit = queue_limit;
+            (* The sweep measures lane scheduling and queue shed; the
+               per-tenant quota is neutralized (it has its own tests). *)
+            fd_tenant_rate = 1e9;
+            fd_tenant_burst = 1e9;
+          }
+        in
+        let srv =
+          env.Service.Env.spawn "frontdoor" (fun () ->
+              Service.Frontdoor.serve ~env ~config:fd_config ~sock:"/fd"
+                ~broker ())
+        in
+        (* Open-loop arrivals: request [j] fires at j/offered seconds
+           regardless of how its predecessors fared — overload does not
+           self-throttle.  Even requests ride the interactive lane, odd
+           ones batch; framing is mixed across both. *)
+        let fibers =
+          List.init requests (fun j ->
+              env.Service.Env.spawn (Printf.sprintf "load-%d" j) (fun () ->
+                  let at = float_of_int j /. offered in
+                  let now = env.Service.Env.mono () in
+                  if at > now then env.Service.Env.sleep (at -. now);
+                  let interactive = j mod 2 = 0 in
+                  let lane = if interactive then "interactive" else "batch" in
+                  let binary = j mod 4 = 1 || j mod 4 = 2 in
+                  let fn, ir, expected = pool.(j mod npool) in
+                  match
+                    Service.Client.connect ~env ~deadline_s:5.0
+                      ~io_deadline_s:600. ~tenant:lane ~lane ~binary
+                      ~sock:"/fd" ()
+                  with
+                  | exception _ -> incr n_failed
+                  | c ->
+                      let t0 = env.Service.Env.mono () in
+                      (match
+                         Service.Client.compile_ex ~config:sweep_config ~fn
+                           ~ir c
+                       with
+                      | Ok (Service.Broker.Done { ir = got; _ }, _) ->
+                          incr n_done;
+                          if got <> expected then identical := false;
+                          let t1 = env.Service.Env.mono () in
+                          if t1 > !finish_t then finish_t := t1;
+                          if interactive then
+                            lat_interactive :=
+                              ((t1 -. t0) *. 1000.) :: !lat_interactive
+                      | Ok (Service.Broker.Shed, hint) ->
+                          incr n_shed;
+                          if hint = None then hints_ok := false
+                      | Ok _ -> incr n_failed
+                      | Error _ -> incr n_failed);
+                      Service.Client.close c))
+        in
+        List.iter
+          (fun (t : Service.Env.thread) -> t.Service.Env.join ())
+          fibers;
+        (match
+           Service.Client.connect ~env ~deadline_s:5.0 ~io_deadline_s:60.
+             ~sock:"/fd" ()
+         with
+        | c ->
+            ignore (Service.Client.shutdown_server c);
+            Service.Client.close c
+        | exception _ -> ());
+        srv.Service.Env.join ())
+  in
+  let goodput =
+    if !finish_t > 0.0 then float_of_int !n_done /. !finish_t else 0.0
+  in
+  ( {
+      Metrics.fd_mult = mult;
+      fd_offered_rps = offered;
+      fd_sent = requests;
+      fd_done = !n_done;
+      fd_shed = !n_shed;
+      fd_failed = !n_failed;
+      fd_goodput_rps = goodput;
+      fd_p50_ms = percentile 0.50 !lat_interactive;
+      fd_p95_ms = percentile 0.95 !lat_interactive;
+      fd_p99_ms = percentile 0.99 !lat_interactive;
+      fd_retry_after_ok = !hints_ok;
+    },
+    !identical,
+    out.Simtest.Sched.ok )
+
+let load_sweep ?(capacity_rps = 50.0) ?(workers = 2) ?(queue_limit = 2)
+    ?(requests = 48) ?(mults = [ 0.5; 1.0; 2.0; 4.0 ]) ?(seed = 9000) () =
+  let delay_s = float_of_int workers /. capacity_rps in
+  let results =
+    List.mapi
+      (fun idx mult ->
+        load_point ~capacity_rps ~workers ~delay_s ~queue_limit ~requests
+          ~seed ~idx mult)
+      mults
+  in
+  {
+    Metrics.fd_capacity_rps = capacity_rps;
+    fd_tenants = 2;
+    fd_requests = requests;
+    fd_points = List.map (fun (p, _, _) -> p) results;
+    fd_identical = List.for_all (fun (_, i, _) -> i) results;
+    fd_clean = List.for_all (fun (_, _, ok) -> ok) results;
+  }

@@ -1,6 +1,11 @@
 (** Client side of the service protocol. *)
 
-type t = { env : Env.t; conn : Env.conn; io_deadline_s : float }
+type t = {
+  env : Env.t;
+  conn : Env.conn;
+  io_deadline_s : float;
+  mutable binary : bool;  (** negotiated via [hello framing=binary] *)
+}
 
 exception
   Connect_failed of {
@@ -25,13 +30,57 @@ let () =
    environment, so a simulated run replays the same waits.  Retries
    stop once the next attempt could not start before [deadline_s] has
    elapsed. *)
+let roundtrip t (m : Protocol.message) =
+  let deadline =
+    if t.io_deadline_s = Float.infinity then Float.infinity
+    else t.env.Env.mono () +. t.io_deadline_s
+  in
+  match
+    if t.binary then begin
+      Protocol.write_conn_binary t.conn m;
+      Protocol.read_conn_binary ~deadline t.conn
+    end
+    else begin
+      Protocol.write_conn t.conn m;
+      Protocol.read_conn ~deadline t.conn
+    end
+  with
+  | Ok r -> Ok r
+  | Error "eof" -> Error "transport: connection closed"
+  | Error e -> Error e
+  | exception Env.Net (err, _) ->
+      Error ("transport: " ^ Env.net_err_to_string err)
+
+(* Introduce this connection to a frontdoor: tenant id, default lane,
+   and optionally the binary framing (switched only once the server
+   confirms it).  A classic server answers [rejected] — the client
+   degrades to anonymous text, so old servers keep working. *)
+let hello ?tenant ?lane ~binary t =
+  let opt name v = Option.to_list (Option.map (fun x -> (name, x)) v) in
+  let fields =
+    opt "tenant" tenant @ opt "lane" lane
+    @ if binary then [ ("framing", "binary") ] else []
+  in
+  match roundtrip t { Protocol.verb = "hello"; fields } with
+  | Ok m when Protocol.field m "status" = Some "ok" ->
+      if binary && Protocol.field m "framing" = Some "binary" then
+        t.binary <- true;
+      true
+  | Ok _ | Error _ -> false
+
 let connect ?(env = Env.real) ?(deadline_s = 0.) ?(base_backoff_s = 0.02)
-    ?(max_backoff_s = 1.0) ?(io_deadline_s = Float.infinity) ~sock () =
+    ?(max_backoff_s = 1.0) ?(io_deadline_s = Float.infinity) ?tenant ?lane
+    ?(binary = false) ~sock () =
   let start = env.Env.mono () in
   let give_up = start +. deadline_s in
   let rec attempt k =
     match env.Env.connect sock with
-    | conn -> { env; conn; io_deadline_s }
+    | conn ->
+        let t = { env; conn; io_deadline_s; binary = false } in
+        (match (tenant, lane, binary) with
+        | None, None, false -> ()
+        | _ -> ignore (hello ?tenant ?lane ~binary t));
+        t
     | exception Env.Net (((Env.Not_found | Env.Refused) as last), _) ->
         let backoff =
           let cap = Float.min max_backoff_s (base_backoff_s *. (2. ** float_of_int k)) in
@@ -56,45 +105,53 @@ let connect ?(env = Env.real) ?(deadline_s = 0.) ?(base_backoff_s = 0.02)
 
 let close t = t.conn.Env.close_conn ()
 
-let roundtrip t (m : Protocol.message) =
-  let deadline =
-    if t.io_deadline_s = Float.infinity then Float.infinity
-    else t.env.Env.mono () +. t.io_deadline_s
-  in
-  match
-    Protocol.write_conn t.conn m;
-    Protocol.read_conn ~deadline t.conn
-  with
-  | Ok r -> Ok r
-  | Error "eof" -> Error "transport: connection closed"
-  | Error e -> Error e
-  | exception Env.Net (err, _) ->
-      Error ("transport: " ^ Env.net_err_to_string err)
-
 let ping t =
   match roundtrip t { Protocol.verb = "ping"; fields = [] } with
   | Ok m -> Protocol.field m "status" = Some "ok"
   | Error _ -> false
 
-let compile ?deadline_ms ?delay_ms ~config ~fn ~ir t =
+let compile_msg ?deadline_ms ?delay_ms ?lane ~config ~fn ~ir () =
   let opt name v =
     Option.to_list (Option.map (fun n -> (name, string_of_int n)) v)
   in
-  let m =
-    {
-      Protocol.verb = "compile";
-      fields =
-        [ ("config", Dbds.Config.to_line config); ("fn", fn); ("ir", ir) ]
-        @ opt "deadline-ms" deadline_ms @ opt "delay-ms" delay_ms
-        (* [Config.to_line] deliberately drops the fault plan (it must
-           not split the artifact digest), so injection travels as its
-           own test-hook header, like [delay-ms]. *)
-        @ (match config.Dbds.Config.fault_plan with
-          | None -> []
-          | Some p -> [ ("inject", Dbds.Faults.to_string p) ]);
-    }
-  in
-  Result.bind (roundtrip t m) Protocol.outcome_of_reply
+  {
+    Protocol.verb = "compile";
+    fields =
+      [ ("config", Dbds.Config.to_line config); ("fn", fn); ("ir", ir) ]
+      @ opt "deadline-ms" deadline_ms @ opt "delay-ms" delay_ms
+      @ Option.to_list (Option.map (fun l -> ("lane", l)) lane)
+      (* [Config.to_line] deliberately drops the fault plan (it must
+         not split the artifact digest), so injection travels as its
+         own test-hook header, like [delay-ms]. *)
+      @ (match config.Dbds.Config.fault_plan with
+        | None -> []
+        | Some p -> [ ("inject", Dbds.Faults.to_string p) ]);
+  }
+
+let compile ?deadline_ms ?delay_ms ~config ~fn ~ir t =
+  Result.bind
+    (roundtrip t (compile_msg ?deadline_ms ?delay_ms ~config ~fn ~ir ()))
+    Protocol.outcome_of_reply
+
+let compile_ex ?deadline_ms ?delay_ms ?lane ~config ~fn ~ir t =
+  Result.bind
+    (roundtrip t (compile_msg ?deadline_ms ?delay_ms ?lane ~config ~fn ~ir ()))
+    (fun reply ->
+      Result.map
+        (fun o -> (o, Protocol.retry_after_of_reply reply))
+        (Protocol.outcome_of_reply reply))
+
+let lookup ~digest t =
+  Result.bind
+    (roundtrip t { Protocol.verb = "lookup"; fields = [ ("digest", digest) ] })
+    (fun m ->
+      match Protocol.field m "status" with
+      | Some "hit" -> (
+          match Protocol.field m "ir" with
+          | Some ir -> Ok (Some ir)
+          | None -> Error "malformed hit reply")
+      | Some "miss" -> Ok None
+      | _ -> Error ("lookup refused: " ^ Protocol.field_or m "message" ""))
 
 let stats t =
   Result.bind

@@ -21,13 +21,24 @@ exception
     whole dance (default 0 — a single attempt, no waiting);
     {!Connect_failed} reports exhaustion.  [io_deadline_s] bounds each
     later request/reply round-trip (default: none).  [env] defaults to
-    {!Env.real}. *)
+    {!Env.real}.
+
+    [tenant], [lane] and [binary] introduce the connection to a
+    frontdoor with a [hello] once connected: [tenant] names the quota
+    account, [lane] ("interactive"/"batch") sets the default priority
+    lane, and [binary] requests the compact framing — switched only
+    when the server confirms it, so against a classic server (which
+    rejects the unknown verb) the client degrades to anonymous text
+    and keeps working. *)
 val connect :
   ?env:Env.t ->
   ?deadline_s:float ->
   ?base_backoff_s:float ->
   ?max_backoff_s:float ->
   ?io_deadline_s:float ->
+  ?tenant:string ->
+  ?lane:string ->
+  ?binary:bool ->
   sock:string ->
   unit ->
   t
@@ -55,6 +66,35 @@ val compile :
   ir:string ->
   t ->
   (Broker.outcome, string) result
+
+(** The request message {!compile} sends — exposed for callers that
+    pipeline raw messages over an {!Env.conn} (load generators, tests). *)
+val compile_msg :
+  ?deadline_ms:int ->
+  ?delay_ms:int ->
+  ?lane:string ->
+  config:Dbds.Config.t ->
+  fn:string ->
+  ir:string ->
+  unit ->
+  Protocol.message
+
+(** {!compile}, also surfacing the structured backoff hint a frontdoor
+    shed carries ([retry-after-ms]) and an optional per-request [lane]
+    override. *)
+val compile_ex :
+  ?deadline_ms:int ->
+  ?delay_ms:int ->
+  ?lane:string ->
+  config:Dbds.Config.t ->
+  fn:string ->
+  ir:string ->
+  t ->
+  (Broker.outcome * int option, string) result
+
+(** Digest-keyed artifact fetch through the frontdoor's [lookup] verb:
+    [Ok (Some ir)] on a hit, [Ok None] on a miss. *)
+val lookup : digest:string -> t -> (string option, string) result
 
 (** Fetch the server's stats: [(broker_line, store_line, counts_line)] —
     see {!Server} for the counts grammar. *)

@@ -28,14 +28,33 @@ let () =
         Some (Printf.sprintf "Env.Net(%s, %s)" (net_err_to_string err) ctx)
     | _ -> None)
 
+let fresh_id =
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1
+
 type conn = {
+  id : int;
   send : string -> unit;
   recv_exact : float -> int -> string;
   recv_line : float -> string;
+  try_recv : int -> string;
+  try_send : string -> int;
   close_conn : unit -> unit;
 }
 
-type listener = { accept : unit -> conn; close_listener : unit -> unit }
+type listener = {
+  lid : int;
+  accept : unit -> conn;
+  try_accept : unit -> conn option;
+  close_listener : unit -> unit;
+}
+
+type poller = {
+  poll : conns:conn list -> listeners:listener list -> float -> unit;
+  wake : unit -> unit;
+  close_poller : unit -> unit;
+}
+
 type cond = { wait : unit -> unit; broadcast : unit -> unit }
 
 type mutex = {
@@ -56,6 +75,7 @@ type t = {
   mutex : unit -> mutex;
   listen : string -> listener;
   connect : string -> conn;
+  poller : unit -> poller;
   file_exists : string -> bool;
   mkdir : string -> unit;
   readdir : string -> string array;
@@ -103,12 +123,38 @@ let real_rand =
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* The poller finds descriptors by conn/listener id through this
+   registry.  [fde_ready] reports bytes already buffered in userland —
+   they would never wake a [select], so poll checks them first. *)
+type fd_entry = { fde_fd : Unix.file_descr; fde_ready : unit -> bool }
+
+let fd_registry : (int, fd_entry) Hashtbl.t = Hashtbl.create 64
+let fd_registry_mx = Mutex.create ()
+
+let register_fd id entry =
+  Mutex.lock fd_registry_mx;
+  Hashtbl.replace fd_registry id entry;
+  Mutex.unlock fd_registry_mx
+
+let unregister_fd id =
+  Mutex.lock fd_registry_mx;
+  Hashtbl.remove fd_registry id;
+  Mutex.unlock fd_registry_mx
+
+let find_fd id =
+  Mutex.lock fd_registry_mx;
+  let r = Hashtbl.find_opt fd_registry id in
+  Mutex.unlock fd_registry_mx;
+  r
+
 (* A buffered byte-stream over a connected descriptor.  Receives honor
    an absolute deadline on [real_mono] via [select]. *)
 let real_conn fd =
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 65536 in
   let closed = ref false in
+  let eof = ref false in
+  let id = fresh_id () in
   let fill deadline =
     (* Block (up to [deadline]) for at least one more byte. *)
     let rec wait () =
@@ -158,6 +204,31 @@ let real_conn fd =
     let line = take (i + 1) in
     String.sub line 0 i
   in
+  (* Pull whatever the kernel has ready into [buf] without blocking. *)
+  let try_fill () =
+    if not !eof then
+      match Unix.select [ fd ] [] [] 0.0 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> eof := true
+          | n -> Buffer.add_subbytes buf chunk 0 n
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              ()
+          | exception Unix.Unix_error (e, _, _) ->
+              raise (Net (net_of_unix e, "recv")))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let try_recv n =
+    if !closed then raise (Net (Closed, "recv on closed connection"));
+    if Buffer.length buf = 0 then try_fill ();
+    let k = min n (Buffer.length buf) in
+    if k > 0 then take k
+    else if !eof then raise (Net (Eof, "recv"))
+    else ""
+  in
   let send s =
     if !closed then raise (Net (Closed, "send on closed connection"));
     let len = String.length s in
@@ -171,13 +242,34 @@ let real_conn fd =
     in
     push 0
   in
+  let try_send s =
+    if !closed then raise (Net (Closed, "send on closed connection"));
+    let len = String.length s in
+    if len = 0 then 0
+    else
+      match Unix.select [] [ fd ] [] 0.0 with
+      | _, [], _ -> 0
+      | _ -> (
+          match Unix.write_substring fd s 0 len with
+          | n -> n
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              0
+          | exception Unix.Unix_error (e, _, _) ->
+              raise (Net (net_of_unix e, "send")))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  in
   let close_conn () =
     if not !closed then begin
       closed := true;
+      unregister_fd id;
       close_quiet fd
     end
   in
-  { send; recv_exact; recv_line; close_conn }
+  register_fd id
+    { fde_fd = fd; fde_ready = (fun () -> Buffer.length buf > 0 || !eof) };
+  { id; send; recv_exact; recv_line; try_recv; try_send; close_conn }
 
 let real_connect sock =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -202,6 +294,7 @@ let real_listen sock =
       raise (Net (net_of_unix e, "listen " ^ sock))
   in
   let closed = ref false in
+  let lid = fresh_id () in
   let rec accept () =
     if !closed then raise (Net (Closed, "accept on closed listener"));
     match Unix.accept fd with
@@ -212,13 +305,84 @@ let real_listen sock =
         if !closed then raise (Net (Closed, "accept on closed listener"))
         else raise (Net (net_of_unix e, "accept"))
   in
+  let try_accept () =
+    if !closed then raise (Net (Closed, "accept on closed listener"));
+    Unix.set_nonblock fd;
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.clear_nonblock fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.accept fd with
+        | cfd, _ -> Some (real_conn cfd)
+        | exception
+            Unix.Unix_error
+              ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED),
+                _,
+                _ ) ->
+            None
+        | exception Unix.Unix_error (e, _, _) ->
+            if !closed then raise (Net (Closed, "accept on closed listener"))
+            else raise (Net (net_of_unix e, "accept")))
+  in
   let close_listener () =
     if not !closed then begin
       closed := true;
+      unregister_fd lid;
       close_quiet fd
     end
   in
-  { accept; close_listener }
+  register_fd lid { fde_fd = fd; fde_ready = (fun () -> false) };
+  { lid; accept; try_accept; close_listener }
+
+(* Readiness via [select] over the registered descriptors, plus a
+   self-pipe so a dispatcher thread can interrupt a sleeping loop.
+   Bytes already buffered in a conn's userland buffer count as ready
+   before the [select] — the kernel has forgotten about them. *)
+let real_poller () =
+  let rfd, wfd = Unix.pipe () in
+  Unix.set_nonblock rfd;
+  Unix.set_nonblock wfd;
+  let closed = ref false in
+  let scratch = Bytes.create 256 in
+  let drain () =
+    let rec go () =
+      match Unix.read rfd scratch 0 (Bytes.length scratch) with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  let poll ~conns ~listeners deadline =
+    if !closed then raise (Net (Closed, "poll on closed poller"));
+    let entries =
+      List.filter_map (fun (c : conn) -> find_fd c.id) conns
+      @ List.filter_map (fun (l : listener) -> find_fd l.lid) listeners
+    in
+    if List.exists (fun e -> e.fde_ready ()) entries then drain ()
+    else begin
+      let fds = rfd :: List.map (fun e -> e.fde_fd) entries in
+      let timeout =
+        if deadline = Float.infinity then -1.0
+        else Float.max 0. (deadline -. real_mono ())
+      in
+      match Unix.select fds [] [] timeout with
+      | _ -> drain ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+    end
+  in
+  let wake () =
+    try ignore (Unix.write_substring wfd "w" 0 1) with Unix.Unix_error _ -> ()
+  in
+  let close_poller () =
+    if not !closed then begin
+      closed := true;
+      close_quiet rfd;
+      close_quiet wfd
+    end
+  in
+  { poll; wake; close_poller }
 
 let real_mutex () =
   let m = Mutex.create () in
@@ -253,6 +417,7 @@ let real =
     mutex = real_mutex;
     listen = real_listen;
     connect = real_connect;
+    poller = (fun () -> real_poller ());
     file_exists = Sys.file_exists;
     mkdir =
       (fun path ->

@@ -25,24 +25,55 @@ exception Net of net_err * string
 
 val net_err_to_string : net_err -> string
 
+(** Environment-unique ids for connections and listeners — the handle a
+    {!poller} uses to find the underlying descriptor/endpoint. *)
+val fresh_id : unit -> int
+
 (** A bidirectional byte-stream connection.  Receive operations take an
     absolute deadline on the {e monotonic} clock ([Float.infinity] =
-    wait forever) and raise [Net (Timeout, _)] past it. *)
+    wait forever) and raise [Net (Timeout, _)] past it.  The [try_]
+    variants never block — they are the event-loop half of the API and
+    must only be mixed with the blocking half by one owner at a time. *)
 type conn = {
+  id : int;
   send : string -> unit;
   recv_exact : float -> int -> string;
       (** [recv_exact deadline n] blocks for exactly [n] bytes. *)
   recv_line : float -> string;
       (** [recv_line deadline] reads up to a ['\n'] (consumed, not
           returned). *)
+  try_recv : int -> string;
+      (** Up to [n] bytes already available, [""] when none are — never
+          blocks.  Raises [Net (Eof, _)] at clean stream end,
+          [Net (Reset, _)] on a vanished peer. *)
+  try_send : string -> int;
+      (** Write what fits without blocking; returns the count (possibly
+          0).  Raises like [send] on a dead peer. *)
   close_conn : unit -> unit;
 }
 
 type listener = {
+  lid : int;
   accept : unit -> conn;
       (** Blocks for the next connection; raises [Net (Closed, _)] once
           the listener is closed. *)
+  try_accept : unit -> conn option;
+      (** The pending connection if one is queued, [None] otherwise —
+          never blocks.  Raises [Net (Closed, _)] once closed. *)
   close_listener : unit -> unit;
+}
+
+(** A readiness multiplexer over connections and listeners — the
+    primitive under the frontdoor's event loop.  [poll] blocks until at
+    least one of the given conns has readable input (or EOF/reset), a
+    listener has a pending connection, [wake] is called, or the
+    absolute monotonic deadline passes; the caller then re-checks each
+    endpoint with the [try_] operations.  Spurious returns are allowed.
+    [wake] is safe from any thread (a dispatcher completing a job). *)
+type poller = {
+  poll : conns:conn list -> listeners:listener list -> float -> unit;
+  wake : unit -> unit;
+  close_poller : unit -> unit;
 }
 
 (** A condition variable bound to the mutex that created it. *)
@@ -71,6 +102,7 @@ type t = {
   mutex : unit -> mutex;
   listen : string -> listener;  (** bind + listen on a socket path *)
   connect : string -> conn;
+  poller : unit -> poller;
   file_exists : string -> bool;
   mkdir : string -> unit;  (** create-if-missing; existing dir is fine *)
   readdir : string -> string array;  (** sorted, for determinism *)
@@ -85,5 +117,6 @@ type t = {
     filesystem, [Domain]-based threads.  [mono] is the wall clock
     clamped to never decrease (the toolchain here lacks
     [Unix.clock_gettime]); that is enough to keep an NTP step from
-    expiring or immortalizing queued jobs. *)
+    expiring or immortalizing queued jobs.  The poller is a [select]
+    over the registered descriptors plus a self-pipe for [wake]. *)
 val real : t

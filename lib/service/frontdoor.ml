@@ -1,0 +1,737 @@
+(** The async multi-tenant front door — see the interface. *)
+
+(* ---- latency histograms ---------------------------------------------- *)
+
+module Hist = struct
+  let nbuckets = 32
+
+  type t = { counts : int array; mutable total : int }
+
+  let create () = { counts = Array.make nbuckets 0; total = 0 }
+
+  (* Bucket 0 is [0, 1) ms; bucket i >= 1 is [2^(i-1), 2^i) ms. *)
+  let bucket_of_ms ms =
+    if Float.is_nan ms || ms < 1.0 then 0
+    else
+      let rec go i v = if i >= nbuckets - 1 || v < 2.0 then i else go (i + 1) (v /. 2.0) in
+      go 1 ms
+
+  let upper_ms i = if i = 0 then 1.0 else Float.of_int (1 lsl min i 30)
+
+  let add t ms =
+    let b = bucket_of_ms ms in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  (* The q-quantile as the upper bound of the first bucket whose
+     cumulative count reaches it — a <= 2x overestimate, stable and
+     mergeable, which is all an admission dashboard needs. *)
+  let quantile t q =
+    if t.total = 0 then 0.0
+    else
+      let target = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+      let rec go i acc =
+        let acc = acc + t.counts.(i) in
+        if acc >= target || i = nbuckets - 1 then upper_ms i else go (i + 1) acc
+      in
+      go 0 0
+end
+
+(* ---- per-tenant token buckets ---------------------------------------- *)
+
+module Quota = struct
+  type t = {
+    rate : float;  (** tokens per second *)
+    burst : float;
+    mutable tokens : float;
+    mutable last : float;  (** mono time of the last refill *)
+  }
+
+  let create ~rate ~burst =
+    let burst = Float.max 1.0 burst in
+    { rate = Float.max 0.001 rate; burst; tokens = burst; last = Float.neg_infinity }
+
+  let refill t ~now =
+    if now > t.last then begin
+      t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+      t.last <- now
+    end
+
+  let try_take t ~now =
+    refill t ~now;
+    if t.tokens >= 1.0 then begin
+      t.tokens <- t.tokens -. 1.0;
+      true
+    end
+    else false
+
+  (* How long until one full token accrues — the structured backoff
+     hint a quota shed carries. *)
+  let retry_after_ms t =
+    max 1 (int_of_float (ceil ((1.0 -. t.tokens) /. t.rate *. 1000.0)))
+end
+
+(* ---- priority lanes with weighted-deficit dequeue -------------------- *)
+
+module Lanes = struct
+  type lane = Interactive | Batch
+
+  let lane_of_string = function "interactive" -> Interactive | _ -> Batch
+  let lane_to_string = function Interactive -> "interactive" | Batch -> "batch"
+
+  type 'a t = {
+    q_int : 'a Queue.t;
+    q_bat : 'a Queue.t;
+    w_int : float;
+    w_bat : float;
+    mutable def_int : float;
+    mutable def_bat : float;
+  }
+
+  let create ?(w_interactive = 3.0) ?(w_batch = 1.0) () =
+    {
+      q_int = Queue.create ();
+      q_bat = Queue.create ();
+      w_int = Float.max 1.0 w_interactive;
+      w_bat = Float.max 1.0 w_batch;
+      def_int = 0.0;
+      def_bat = 0.0;
+    }
+
+  let queue t = function Interactive -> t.q_int | Batch -> t.q_bat
+  let push t lane x = Queue.push x (queue t lane)
+  let length t lane = Queue.length (queue t lane)
+  let is_empty t = Queue.is_empty t.q_int && Queue.is_empty t.q_bat
+
+  (* Deficit round-robin: each round credits every backlogged lane its
+     weight and drains in priority order, so interactive wins the head
+     of every round but batch is guaranteed w_bat dequeues per round —
+     starvation-free by construction.  An idle lane's deficit resets:
+     priority cannot be hoarded while there is nothing to send. *)
+  let rec pop t =
+    if is_empty t then None
+    else if (not (Queue.is_empty t.q_int)) && t.def_int >= 1.0 then begin
+      t.def_int <- t.def_int -. 1.0;
+      Some (Queue.pop t.q_int)
+    end
+    else if (not (Queue.is_empty t.q_bat)) && t.def_bat >= 1.0 then begin
+      t.def_bat <- t.def_bat -. 1.0;
+      Some (Queue.pop t.q_bat)
+    end
+    else begin
+      if Queue.is_empty t.q_int then t.def_int <- 0.0
+      else t.def_int <- t.def_int +. t.w_int;
+      if Queue.is_empty t.q_bat then t.def_bat <- 0.0
+      else t.def_bat <- t.def_bat +. t.w_bat;
+      pop t
+    end
+end
+
+(* ---- configuration and state ----------------------------------------- *)
+
+type config = {
+  fd_dispatchers : int;
+  fd_queue_limit : int;
+  fd_tenant_rate : float;
+  fd_tenant_burst : float;
+  fd_w_interactive : float;
+  fd_w_batch : float;
+  fd_shed_retry_ms : int;
+}
+
+let default_config =
+  {
+    fd_dispatchers = 2;
+    fd_queue_limit = 64;
+    fd_tenant_rate = 50.0;
+    fd_tenant_burst = 100.0;
+    fd_w_interactive = 3.0;
+    fd_w_batch = 1.0;
+    fd_shed_retry_ms = 250;
+  }
+
+type stats = {
+  mutable fd_accepted : int;
+  mutable fd_admitted : int;
+  mutable fd_completed : int;
+  mutable fd_shed_quota : int;
+  mutable fd_shed_queue : int;
+  mutable fd_proto_errors : int;
+}
+
+type tenant = {
+  tn_id : string;
+  tn_quota : Quota.t;
+  tn_hist : Hist.t;
+  mutable tn_admitted : int;
+  mutable tn_done : int;
+  mutable tn_shed : int;
+}
+
+type codec = Text | Binary
+
+(* One connection's state machine: incremental read buffer (unparsed
+   inbound bytes), pending out-bytes, and the count of admitted
+   requests whose replies are still owed.  Only the event loop touches
+   a cstate; dispatchers reference one solely as a completion
+   address. *)
+type cstate = {
+  c_conn : Env.conn;
+  c_rbuf : Buffer.t;
+  mutable c_out : string;
+  mutable c_codec : codec;
+  mutable c_tenant : tenant;
+  mutable c_lane : Lanes.lane;
+  mutable c_inflight : int;
+  mutable c_closing : bool;  (** no more input; close once drained *)
+  mutable c_err : bool;  (** stream desynchronized; stop parsing *)
+  mutable c_dead : bool;
+}
+
+type kind = Compile | Lookup
+
+type job = {
+  jb_cs : cstate;
+  jb_kind : kind;
+  jb_msg : Protocol.message;
+  jb_tenant : tenant;
+  jb_admit : float;  (** mono time of admission — queue wait counts *)
+  jb_deadline : float option;  (** absolute, mono *)
+}
+
+type t = {
+  env : Env.t;
+  broker : Broker.t;
+  cfg : config;
+  sock : string;
+  listener : Env.listener;
+  poller : Env.poller;
+  log : string -> unit;
+  mx : Env.mutex;
+  job_cond : Env.cond;
+  lanes : job Lanes.t;
+  comps : (cstate * Protocol.message) Queue.t;
+  tenants : (string, tenant) Hashtbl.t;
+  stats : stats;
+  mutable conns : cstate list;
+  mutable stopping : bool;
+  mutable killed : bool;
+}
+
+let locked fd f =
+  fd.mx.Env.lock ();
+  Fun.protect ~finally:(fun () -> fd.mx.Env.unlock ()) f
+
+let tenant fd id =
+  match Hashtbl.find_opt fd.tenants id with
+  | Some tn -> tn
+  | None ->
+      let tn =
+        {
+          tn_id = id;
+          tn_quota =
+            Quota.create ~rate:fd.cfg.fd_tenant_rate
+              ~burst:fd.cfg.fd_tenant_burst;
+          tn_hist = Hist.create ();
+          tn_admitted = 0;
+          tn_done = 0;
+          tn_shed = 0;
+        }
+      in
+      Hashtbl.replace fd.tenants id tn;
+      tn
+
+(* ---- replies ---------------------------------------------------------- *)
+
+let ok_reply = { Protocol.verb = "reply"; fields = [ ("status", "ok") ] }
+
+let rejected msg =
+  {
+    Protocol.verb = "reply";
+    fields = [ ("status", "rejected"); ("message", msg) ];
+  }
+
+let shed_reply retry_ms =
+  {
+    Protocol.verb = "reply";
+    fields = [ ("status", "shed"); ("retry-after-ms", string_of_int retry_ms) ];
+  }
+
+(* ---- connection I/O --------------------------------------------------- *)
+
+let mark_dead cs =
+  if not cs.c_dead then begin
+    cs.c_dead <- true;
+    cs.c_out <- "";
+    try cs.c_conn.Env.close_conn () with _ -> ()
+  end
+
+let flush_out cs =
+  if (not cs.c_dead) && cs.c_out <> "" then
+    match cs.c_conn.Env.try_send cs.c_out with
+    | 0 -> ()
+    | n -> cs.c_out <- String.sub cs.c_out n (String.length cs.c_out - n)
+    | exception Env.Net _ -> mark_dead cs
+
+let enqueue_out cs m =
+  if not cs.c_dead then begin
+    let s =
+      match cs.c_codec with
+      | Text -> Protocol.render m
+      | Binary -> Protocol.render_binary m
+    in
+    cs.c_out <- cs.c_out ^ s;
+    flush_out cs
+  end
+
+(* ---- request handling ------------------------------------------------- *)
+
+let stats_reply fd =
+  let b = Broker.stats fd.broker in
+  let counts = Buffer.create 256 in
+  Printf.bprintf counts
+    "requests=%d compiles=%d cache_hits=%d coalesced=%d shed=%d timeouts=%d \
+     failures=%d"
+    b.Broker.requests b.Broker.compiles b.Broker.cache_hits b.Broker.coalesced
+    b.Broker.shed b.Broker.timeouts b.Broker.failures;
+  let store_line =
+    match Broker.store fd.broker with
+    | None -> "none"
+    | Some s ->
+        let ss = Store.stats s in
+        Printf.bprintf counts
+          " store_hits=%d store_misses=%d store_writes=%d store_evictions=%d \
+           store_corrupt=%d store_peer_hits=%d store_peer_misses=%d \
+           store_replicated=%d"
+          ss.Store.hits ss.Store.misses ss.Store.writes ss.Store.evictions
+          ss.Store.corrupt ss.Store.peer_hits ss.Store.peer_misses
+          ss.Store.replicated;
+        Format.asprintf "%a" Store.pp_stats ss
+  in
+  let fdline = Buffer.create 256 in
+  locked fd (fun () ->
+      Printf.bprintf fdline
+        "accepted=%d admitted=%d completed=%d shed_quota=%d shed_queue=%d \
+         proto_errors=%d queue_interactive=%d queue_batch=%d"
+        fd.stats.fd_accepted fd.stats.fd_admitted fd.stats.fd_completed
+        fd.stats.fd_shed_quota fd.stats.fd_shed_queue fd.stats.fd_proto_errors
+        (Lanes.length fd.lanes Lanes.Interactive)
+        (Lanes.length fd.lanes Lanes.Batch);
+      let ids = Hashtbl.fold (fun id _ acc -> id :: acc) fd.tenants [] in
+      List.iter
+        (fun id ->
+          let tn = Hashtbl.find fd.tenants id in
+          Printf.bprintf fdline
+            "\ntenant=%s admitted=%d done=%d shed=%d p50_ms=%g p95_ms=%g \
+             p99_ms=%g"
+            tn.tn_id tn.tn_admitted tn.tn_done tn.tn_shed
+            (Hist.quantile tn.tn_hist 0.50)
+            (Hist.quantile tn.tn_hist 0.95)
+            (Hist.quantile tn.tn_hist 0.99))
+        (List.sort compare ids));
+  {
+    Protocol.verb = "reply";
+    fields =
+      [
+        ("status", "ok");
+        ("broker", Format.asprintf "%a" Broker.pp_stats b);
+        ("store", store_line);
+        ("counts", Buffer.contents counts);
+        ("frontdoor", Buffer.contents fdline);
+      ];
+  }
+
+let handle_hello fd cs m =
+  let tenant_id = Protocol.field_or m "tenant" "default" in
+  cs.c_tenant <- locked fd (fun () -> tenant fd tenant_id);
+  cs.c_lane <- Lanes.lane_of_string (Protocol.field_or m "lane" "batch");
+  let binary = Protocol.field m "framing" = Some "binary" in
+  (* The confirmation travels in the codec the hello arrived in; only
+     messages after it switch. *)
+  enqueue_out cs
+    {
+      Protocol.verb = "reply";
+      fields =
+        [
+          ("status", "ok");
+          ("framing", (if binary then "binary" else "text"));
+          ("tenant", tenant_id);
+          ("lane", Lanes.lane_to_string cs.c_lane);
+        ];
+    };
+  if binary then cs.c_codec <- Binary
+
+let admit fd cs kind m =
+  let now = fd.env.Env.mono () in
+  let tn = cs.c_tenant in
+  let lane =
+    match Protocol.field m "lane" with
+    | Some s -> Lanes.lane_of_string s
+    | None -> cs.c_lane
+  in
+  let decision =
+    locked fd (fun () ->
+        if fd.stopping then `Reject "server is shutting down"
+        else if not (Quota.try_take tn.tn_quota ~now) then begin
+          tn.tn_shed <- tn.tn_shed + 1;
+          fd.stats.fd_shed_quota <- fd.stats.fd_shed_quota + 1;
+          `Shed (Quota.retry_after_ms tn.tn_quota)
+        end
+        else if Lanes.length fd.lanes lane >= fd.cfg.fd_queue_limit then begin
+          tn.tn_shed <- tn.tn_shed + 1;
+          fd.stats.fd_shed_queue <- fd.stats.fd_shed_queue + 1;
+          `Shed fd.cfg.fd_shed_retry_ms
+        end
+        else begin
+          tn.tn_admitted <- tn.tn_admitted + 1;
+          fd.stats.fd_admitted <- fd.stats.fd_admitted + 1;
+          cs.c_inflight <- cs.c_inflight + 1;
+          let deadline =
+            Option.bind (Protocol.field m "deadline-ms") int_of_string_opt
+            |> Option.map (fun ms -> now +. (float_of_int ms /. 1000.0))
+          in
+          Lanes.push fd.lanes lane
+            {
+              jb_cs = cs;
+              jb_kind = kind;
+              jb_msg = m;
+              jb_tenant = tn;
+              jb_admit = now;
+              jb_deadline = deadline;
+            };
+          fd.job_cond.Env.broadcast ();
+          `Admitted
+        end)
+  in
+  match decision with
+  | `Admitted -> ()
+  | `Reject msg -> enqueue_out cs (rejected msg)
+  | `Shed retry_ms -> enqueue_out cs (shed_reply retry_ms)
+
+let initiate_stop ?(kill = false) fd =
+  locked fd (fun () ->
+      if not fd.stopping then begin
+        fd.stopping <- true;
+        fd.job_cond.Env.broadcast ()
+      end;
+      if kill then fd.killed <- true);
+  (try fd.listener.Env.close_listener () with _ -> ());
+  fd.poller.Env.wake ()
+
+let handle_msg fd cs m =
+  match m.Protocol.verb with
+  | "ping" -> enqueue_out cs ok_reply
+  | "hello" -> handle_hello fd cs m
+  | "stats" -> enqueue_out cs (stats_reply fd)
+  | "shutdown" ->
+      fd.log "shutdown requested";
+      enqueue_out cs ok_reply;
+      initiate_stop fd
+  | "compile" -> admit fd cs Compile m
+  | "lookup" -> admit fd cs Lookup m
+  | verb -> enqueue_out cs (rejected ("unknown verb: " ^ verb))
+
+let consume cs n =
+  let data = Buffer.contents cs.c_rbuf in
+  Buffer.clear cs.c_rbuf;
+  Buffer.add_substring cs.c_rbuf data n (String.length data - n)
+
+let rec parse_loop fd cs =
+  if (not cs.c_dead) && (not cs.c_err) && Buffer.length cs.c_rbuf > 0 then begin
+    let data = Buffer.contents cs.c_rbuf in
+    let progress =
+      match cs.c_codec with
+      | Text -> Protocol.decode data
+      | Binary -> Protocol.decode_binary data
+    in
+    match progress with
+    | Protocol.More -> ()
+    | Protocol.Err e ->
+        (* The stream is desynchronized: answer with a structured
+           protocol error, stop reading, close once drained. *)
+        locked fd (fun () ->
+            fd.stats.fd_proto_errors <- fd.stats.fd_proto_errors + 1);
+        Buffer.clear cs.c_rbuf;
+        cs.c_err <- true;
+        cs.c_closing <- true;
+        enqueue_out cs (rejected ("protocol error: " ^ e))
+    | Protocol.Msg (m, used) ->
+        consume cs used;
+        handle_msg fd cs m;
+        parse_loop fd cs
+  end
+
+let pump_in fd cs =
+  if (not cs.c_dead) && not cs.c_closing then begin
+    (try
+       let rec rd () =
+         match cs.c_conn.Env.try_recv 65536 with
+         | "" -> ()
+         | s ->
+             Buffer.add_string cs.c_rbuf s;
+             rd ()
+       in
+       rd ()
+     with
+    | Env.Net (Env.Eof, _) -> cs.c_closing <- true
+    | Env.Net _ -> mark_dead cs);
+    ignore fd
+  end
+
+let service_conn fd cs =
+  if not cs.c_dead then begin
+    flush_out cs;
+    pump_in fd cs;
+    (* Bytes buffered before an EOF may still hold complete requests
+       (send + shutdown-write is a legal client). *)
+    parse_loop fd cs;
+    flush_out cs;
+    if cs.c_closing && cs.c_out = "" && cs.c_inflight = 0 then mark_dead cs
+  end
+
+(* ---- dispatchers ------------------------------------------------------ *)
+
+let ms_field m name =
+  Option.bind (Protocol.field m name) int_of_string_opt
+  |> Option.map (fun ms -> float_of_int ms /. 1000.)
+
+let process fd j =
+  let m = j.jb_msg in
+  match j.jb_kind with
+  | Compile -> (
+      match (Protocol.field m "fn", Protocol.field m "ir") with
+      | Some fn, Some ir ->
+          let expired =
+            match j.jb_deadline with
+            | Some d -> fd.env.Env.mono () >= d
+            | None -> false
+          in
+          if expired then Protocol.reply_of_outcome Broker.Timed_out
+          else begin
+            let config = Dbds.Config.of_line (Protocol.field_or m "config" "") in
+            let config =
+              match
+                Option.bind (Protocol.field m "inject") (fun s ->
+                    Result.to_option (Dbds.Faults.of_string s))
+              with
+              | Some p -> { config with Dbds.Config.fault_plan = Some p }
+              | None -> config
+            in
+            (* The remaining budget, not the original: queue wait has
+               already been charged against the deadline — all on the
+               monotonic clock, so a wall step changes nothing. *)
+            let deadline_s =
+              Option.map (fun d -> d -. fd.env.Env.mono ()) j.jb_deadline
+            in
+            let outcome =
+              Broker.submit ?deadline_s ?delay_s:(ms_field m "delay-ms")
+                ~config ~fn ~ir fd.broker
+            in
+            fd.log
+              (Printf.sprintf "compile %s [%s] -> %s" fn j.jb_tenant.tn_id
+                 (Broker.outcome_label outcome));
+            Protocol.reply_of_outcome outcome
+          end
+      | _ -> rejected "compile needs fn and ir fields")
+  | Lookup -> (
+      match Protocol.field m "digest" with
+      | None -> rejected "lookup needs a digest field"
+      | Some digest -> (
+          match Broker.store fd.broker with
+          | None -> rejected "this node has no artifact store"
+          | Some s -> (
+              match Store.fetch s ~digest with
+              | Some e ->
+                  {
+                    Protocol.verb = "reply";
+                    fields =
+                      [
+                        ("status", "hit");
+                        ("fn", e.Store.ar_fn);
+                        ("ir", e.Store.ar_ir);
+                        ("work", string_of_int e.Store.ar_work);
+                      ];
+                  }
+              | None ->
+                  { Protocol.verb = "reply"; fields = [ ("status", "miss") ] })))
+
+let dispatcher fd () =
+  let next () =
+    fd.mx.Env.lock ();
+    let rec wait () =
+      match Lanes.pop fd.lanes with
+      | Some j ->
+          fd.mx.Env.unlock ();
+          Some j
+      | None ->
+          if fd.stopping then begin
+            fd.mx.Env.unlock ();
+            None
+          end
+          else begin
+            fd.job_cond.Env.wait ();
+            wait ()
+          end
+    in
+    wait ()
+  in
+  let rec run () =
+    match next () with
+    | None -> ()
+    | Some j ->
+        let reply =
+          try process fd j
+          with e ->
+            rejected ("internal error: " ^ Printexc.to_string e)
+        in
+        let lat_ms = (fd.env.Env.mono () -. j.jb_admit) *. 1000. in
+        locked fd (fun () ->
+            Hist.add j.jb_tenant.tn_hist lat_ms;
+            j.jb_tenant.tn_done <- j.jb_tenant.tn_done + 1;
+            fd.stats.fd_completed <- fd.stats.fd_completed + 1;
+            Queue.push (j.jb_cs, reply) fd.comps);
+        fd.poller.Env.wake ();
+        run ()
+  in
+  run ()
+
+(* ---- the event loop --------------------------------------------------- *)
+
+let accept_all fd =
+  if not (locked fd (fun () -> fd.stopping)) then
+    let rec go () =
+      match fd.listener.Env.try_accept () with
+      | None -> ()
+      | Some conn ->
+          locked fd (fun () -> fd.stats.fd_accepted <- fd.stats.fd_accepted + 1);
+          let cs =
+            {
+              c_conn = conn;
+              c_rbuf = Buffer.create 256;
+              c_out = "";
+              c_codec = Text;
+              c_tenant = locked fd (fun () -> tenant fd "default");
+              c_lane = Lanes.Batch;
+              c_inflight = 0;
+              c_closing = false;
+              c_err = false;
+              c_dead = false;
+            }
+          in
+          fd.conns <- cs :: fd.conns;
+          go ()
+      | exception Env.Net _ -> ()
+    in
+    go ()
+
+let rec loop fd =
+  (* Replies completed by the dispatchers since the last pass. *)
+  let comps =
+    locked fd (fun () ->
+        let l = Queue.fold (fun acc c -> c :: acc) [] fd.comps in
+        Queue.clear fd.comps;
+        List.rev l)
+  in
+  List.iter
+    (fun (cs, reply) ->
+      cs.c_inflight <- cs.c_inflight - 1;
+      enqueue_out cs reply)
+    comps;
+  accept_all fd;
+  List.iter (service_conn fd) fd.conns;
+  fd.conns <- List.filter (fun cs -> not cs.c_dead) fd.conns;
+  let inflight = List.fold_left (fun a cs -> a + cs.c_inflight) 0 fd.conns in
+  let out_pending = List.exists (fun cs -> cs.c_out <> "") fd.conns in
+  let stopping, killed, comps_empty =
+    locked fd (fun () -> (fd.stopping, fd.killed, Queue.is_empty fd.comps))
+  in
+  if killed || (stopping && inflight = 0 && (not out_pending) && comps_empty)
+  then ()
+  else begin
+    (* Readable conns and the listener wake the poll; dispatchers wake
+       it through the poller.  A non-empty out-buffer (real env only —
+       the simulated link never short-writes) polls on a short tick to
+       retry the write. *)
+    let pollable =
+      List.filter (fun cs -> (not cs.c_closing) && not cs.c_dead) fd.conns
+    in
+    let deadline =
+      if out_pending then fd.env.Env.mono () +. 0.05 else Float.infinity
+    in
+    fd.poller.Env.poll
+      ~conns:(List.map (fun cs -> cs.c_conn) pollable)
+      ~listeners:(if stopping then [] else [ fd.listener ])
+      deadline;
+    loop fd
+  end
+
+(* A socket path that already exists is either a live server or the
+   debris of a crashed one — same probe as [Server.claim_socket]. *)
+let claim_socket env sock =
+  if env.Env.file_exists sock then begin
+    (match env.Env.connect sock with
+    | conn ->
+        conn.Env.close_conn ();
+        invalid_arg
+          (Printf.sprintf "Frontdoor.serve: %s already has a live server" sock)
+    | exception Env.Net ((Env.Refused | Env.Denied | Env.Not_found), _) -> ());
+    try env.Env.remove sock with Sys_error _ -> ()
+  end
+
+let serve ?(env = Env.real) ?(log = fun _ -> ()) ?(config = default_config)
+    ?on_control ~sock ~broker () =
+  claim_socket env sock;
+  let listener = env.Env.listen sock in
+  let poller = env.Env.poller () in
+  let mx = env.Env.mutex () in
+  let fd =
+    {
+      env;
+      broker;
+      cfg = config;
+      sock;
+      listener;
+      poller;
+      log;
+      mx;
+      job_cond = mx.Env.new_cond ();
+      lanes =
+        Lanes.create ~w_interactive:config.fd_w_interactive
+          ~w_batch:config.fd_w_batch ();
+      comps = Queue.create ();
+      tenants = Hashtbl.create 8;
+      stats =
+        {
+          fd_accepted = 0;
+          fd_admitted = 0;
+          fd_completed = 0;
+          fd_shed_quota = 0;
+          fd_shed_queue = 0;
+          fd_proto_errors = 0;
+        };
+      conns = [];
+      stopping = false;
+      killed = false;
+    }
+  in
+  (match on_control with
+  | None -> ()
+  | Some f -> f { Server.stop = (fun () -> initiate_stop ~kill:true fd) });
+  log (Printf.sprintf "frontdoor listening on %s" sock);
+  let dispatchers =
+    List.init config.fd_dispatchers (fun i ->
+        env.Env.spawn
+          (Printf.sprintf "frontdoor-dispatch-%d" i)
+          (dispatcher fd))
+  in
+  loop fd;
+  (try fd.listener.Env.close_listener () with _ -> ());
+  locked fd (fun () -> fd.job_cond.Env.broadcast ());
+  List.iter (fun (t : Env.thread) -> t.Env.join ()) dispatchers;
+  List.iter mark_dead fd.conns;
+  fd.poller.Env.close_poller ();
+  Broker.shutdown broker;
+  (try env.Env.remove sock with Sys_error _ -> ());
+  log "frontdoor stopped"

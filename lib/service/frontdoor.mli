@@ -1,0 +1,109 @@
+(** The async multi-tenant front door: a single-threaded, poll-based,
+    non-blocking event loop serving the compile protocol in front of a
+    {!Broker}.
+
+    Where {!Server} spawns one thread per connection and blocks on
+    reads, the front door owns every connection from one loop built on
+    {!Env.poller} and the non-blocking [try_*] connection operations —
+    so it runs unchanged (and fully deterministically) under the
+    whole-system simulator.  Three responsibilities:
+
+    - {e connection state machines}: per-connection incremental read
+      and write buffers for the length-prefixed text protocol, plus the
+      compact binary framing (see {!Protocol.render_binary}) negotiated
+      per connection with [hello framing=binary] — text stays the
+      default and wire-compatible with old clients.  Garbage on a
+      connection yields a structured [rejected] protocol-error reply
+      and a drained close, never an exception out of the loop.
+    - {e tenant-aware admission}: clients present a tenant id via
+      [hello tenant=...]; each tenant holds a token-bucket quota, and
+      every request rides one of two priority lanes ([interactive] —
+      tiered-VM promotions — preempting [batch] AOT) drained by
+      weighted-deficit round-robin, so interactive wins the head of
+      each round but batch never starves.  Overload (quota exhausted or
+      lane queue full) is answered with a structured [shed] reply
+      carrying a [retry-after-ms] hint instead of a dropped connection.
+    - {e per-tenant observability}: log2-bucket latency histograms
+      (p50/p95/p99), queue depths, shed and protocol-error counters,
+      all surfaced in the [stats] reply's [frontdoor] field.
+
+    Admitted requests are queued to a small pool of dispatcher threads
+    that call the blocking {!Broker.submit} and the store, so the loop
+    itself never blocks on a compile.  An admitted request is always
+    answered — shutdown drains the lanes before the loop exits.
+
+    Verbs: [ping], [hello], [stats], [shutdown], [compile], and
+    [lookup] (digest-keyed artifact fetch through the store's federated
+    chain).  Fleet membership verbs stay with {!Server} — a fleet
+    worker node keeps the classic front end. *)
+
+(** Log2-bucket latency histogram: bucket 0 is [\[0, 1)] ms, bucket
+    [i >= 1] is [\[2^(i-1), 2^i)] ms.  Quantiles come back as the upper
+    bound of the covering bucket (a <= 2x overestimate — stable and
+    cheap, which is what an admission dashboard needs). *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_of_ms : float -> int
+  val quantile : t -> float -> float
+end
+
+(** Token-bucket quota, refilled lazily on the monotonic clock. *)
+module Quota : sig
+  type t
+
+  val create : rate:float -> burst:float -> t
+  val try_take : t -> now:float -> bool
+
+  (** Milliseconds until one full token accrues — the hint a quota
+      shed carries. *)
+  val retry_after_ms : t -> int
+end
+
+(** Two priority lanes with weighted-deficit round-robin dequeue. *)
+module Lanes : sig
+  type lane = Interactive | Batch
+
+  val lane_of_string : string -> lane
+
+  (** ["interactive"] or ["batch"]. *)
+  val lane_to_string : lane -> string
+
+  type 'a t
+
+  (** Weights clamp to [>= 1]; defaults 3 (interactive) : 1 (batch). *)
+  val create : ?w_interactive:float -> ?w_batch:float -> unit -> 'a t
+
+  val push : 'a t -> lane -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val length : 'a t -> lane -> int
+  val is_empty : 'a t -> bool
+end
+
+type config = {
+  fd_dispatchers : int;  (** broker-facing worker threads (default 2) *)
+  fd_queue_limit : int;  (** per-lane admission bound (default 64) *)
+  fd_tenant_rate : float;  (** tokens per second per tenant (default 50) *)
+  fd_tenant_burst : float;  (** bucket depth (default 100) *)
+  fd_w_interactive : float;
+  fd_w_batch : float;
+  fd_shed_retry_ms : int;  (** hint on a queue-full shed (default 250) *)
+}
+
+val default_config : config
+
+(** Serve until a [shutdown] request arrives; same socket-claiming,
+    logging and control semantics as {!Server.serve} (the control
+    handle type is shared).  [Broker.shutdown] runs on exit. *)
+val serve :
+  ?env:Env.t ->
+  ?log:(string -> unit) ->
+  ?config:config ->
+  ?on_control:(Server.control -> unit) ->
+  sock:string ->
+  broker:Broker.t ->
+  unit ->
+  unit

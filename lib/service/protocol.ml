@@ -116,8 +116,223 @@ let read_conn ?(deadline = Float.infinity) (c : Env.conn) =
   | exception Env.Net (err, _) ->
       Error ("transport: " ^ Env.net_err_to_string err)
 
+(* ---- binary framing -------------------------------------------------- *)
+
+(* The compact frame negotiated by [hello framing=binary]:
+
+     frame = 0xBF vcode:u8 nfields:u8 field* ;
+     field = namelen:u8 name payloadlen:u32be payload ;
+
+   Verb codes below; code 0 is the extension escape — the verb string
+   travels as a leading "!verb" field, so the framing never constrains
+   the verb set. *)
+
+let binary_magic = '\xBF'
+
+let verb_codes =
+  [
+    ("compile", 1);
+    ("reply", 2);
+    ("ping", 3);
+    ("stats", 4);
+    ("shutdown", 5);
+    ("hello", 6);
+    ("lookup", 7);
+    ("fetch", 8);
+    ("push", 9);
+    ("join", 10);
+    ("beat", 11);
+    ("leave", 12);
+    ("view", 13);
+    ("rebalance", 14);
+  ]
+
+let code_of_verb v = List.assoc_opt v verb_codes
+
+let verb_of_code c =
+  List.find_map (fun (v, k) -> if k = c then Some v else None) verb_codes
+
+let render_binary m =
+  let code, fields =
+    match code_of_verb m.verb with
+    | Some c -> (c, m.fields)
+    | None -> (0, ("!verb", m.verb) :: m.fields)
+  in
+  if List.length fields > max_fields then
+    invalid_arg "Protocol.render_binary: too many fields";
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf binary_magic;
+  Buffer.add_char buf (Char.chr code);
+  Buffer.add_char buf (Char.chr (List.length fields));
+  List.iter
+    (fun (name, payload) ->
+      if String.length name > 255 then
+        invalid_arg "Protocol.render_binary: field name too long";
+      if String.length payload > max_field_bytes then
+        invalid_arg "Protocol.render_binary: field too large";
+      Buffer.add_char buf (Char.chr (String.length name));
+      Buffer.add_string buf name;
+      let l = String.length payload in
+      Buffer.add_char buf (Char.chr ((l lsr 24) land 0xff));
+      Buffer.add_char buf (Char.chr ((l lsr 16) land 0xff));
+      Buffer.add_char buf (Char.chr ((l lsr 8) land 0xff));
+      Buffer.add_char buf (Char.chr (l land 0xff));
+      Buffer.add_string buf payload)
+    fields;
+  Buffer.contents buf
+
+(* Resolve the verb of a decoded binary frame; code 0 pops "!verb". *)
+let resolve_binary_verb code fields =
+  if code = 0 then
+    match fields with
+    | ("!verb", v) :: rest when v <> "" -> Ok { verb = v; fields = rest }
+    | _ -> Error "extended frame missing verb"
+  else
+    match verb_of_code code with
+    | Some verb -> Ok { verb; fields }
+    | None -> Error (Printf.sprintf "unknown verb code %d" code)
+
+let write_conn_binary (c : Env.conn) m = c.Env.send (render_binary m)
+
+let read_conn_binary ?(deadline = Float.infinity) (c : Env.conn) =
+  match
+    let hdr = c.Env.recv_exact deadline 3 in
+    if hdr.[0] <> binary_magic then Error "bad binary magic"
+    else
+      let code = Char.code hdr.[1] and nf = Char.code hdr.[2] in
+      if nf > max_fields then Error "too many fields"
+      else
+        let rec fields acc k =
+          if k = 0 then Ok (List.rev acc)
+          else
+            let nlen = Char.code (c.Env.recv_exact deadline 1).[0] in
+            let name = c.Env.recv_exact deadline nlen in
+            let l4 = c.Env.recv_exact deadline 4 in
+            let plen =
+              (Char.code l4.[0] lsl 24)
+              lor (Char.code l4.[1] lsl 16)
+              lor (Char.code l4.[2] lsl 8)
+              lor Char.code l4.[3]
+            in
+            if plen > max_field_bytes then Error "field too large"
+            else
+              let payload = c.Env.recv_exact deadline plen in
+              fields ((name, payload) :: acc) (k - 1)
+        in
+        Result.bind (fields [] nf) (resolve_binary_verb code)
+  with
+  | r -> r
+  | exception Env.Net (Env.Eof, _) -> Error "eof"
+  | exception Env.Net (Env.Timeout, _) -> Error "timeout"
+  | exception Env.Net (err, _) ->
+      Error ("transport: " ^ Env.net_err_to_string err)
+
+(* ---- incremental decoders -------------------------------------------- *)
+
+type progress = Msg of message * int | More | Err of string
+
+(* A header or field-header line must fit in this many bytes — the
+   bound that keeps an attacker from growing the unparsed buffer with
+   a newline-free stream. *)
+let max_line_bytes = 4096
+
+let decode buf =
+  let len = String.length buf in
+  let line_at pos =
+    let limit = min len (pos + max_line_bytes) in
+    let rec find i =
+      if i < limit then
+        if buf.[i] = '\n' then `Line (String.sub buf pos (i - pos), i + 1)
+        else find (i + 1)
+      else if limit < pos + max_line_bytes then `More
+      else `Err "header line too long"
+    in
+    find pos
+  in
+  if len > 0 && buf.[0] = binary_magic then
+    (* A binary frame can sit newline-free inside the text decoder's
+       line bound forever — fail it fast; binary must be negotiated. *)
+    Err "binary frame without negotiation"
+  else
+    match line_at 0 with
+    | `More -> More
+    | `Err e -> Err e
+  | `Line (header, pos) -> (
+      match String.split_on_char ' ' header with
+      | [ m; verb; n ] when m = magic -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 && n <= max_fields ->
+              let rec fields acc pos = function
+                | 0 -> Msg ({ verb; fields = List.rev acc }, pos)
+                | k -> (
+                    match line_at pos with
+                    | `More -> More
+                    | `Err e -> Err e
+                    | `Line (fheader, pos) -> (
+                        match String.split_on_char ' ' fheader with
+                        | [ name; l ] -> (
+                            match int_of_string_opt l with
+                            | Some l when l >= 0 && l <= max_field_bytes ->
+                                if pos + l + 1 > len then More
+                                else if buf.[pos + l] <> '\n' then
+                                  Err "missing payload terminator"
+                                else
+                                  fields
+                                    ((name, String.sub buf pos l) :: acc)
+                                    (pos + l + 1) (k - 1)
+                            | _ -> Err ("bad field length: " ^ fheader))
+                        | _ -> Err ("bad field header: " ^ fheader)))
+              in
+              fields [] pos n
+          | _ -> Err ("bad field count: " ^ header))
+      | _ -> Err ("bad header: " ^ header))
+
+let decode_binary buf =
+  let len = String.length buf in
+  if len = 0 then More
+  else if buf.[0] <> binary_magic then Err "bad binary magic"
+  else if len < 3 then More
+  else
+    let code = Char.code buf.[1] in
+    let nf = Char.code buf.[2] in
+    (* Reject an unknown verb code at the header — don't buffer its
+       fields first (code 0 is the extension escape, always valid). *)
+    if code <> 0 && verb_of_code code = None then
+      Err (Printf.sprintf "unknown verb code %d" code)
+    else if nf > max_fields then Err "too many fields"
+    else
+      let rec fields acc pos k =
+        if k = 0 then
+          match resolve_binary_verb code (List.rev acc) with
+          | Ok m -> Msg (m, pos)
+          | Error e -> Err e
+        else if pos >= len then More
+        else
+          let nlen = Char.code buf.[pos] in
+          if pos + 1 + nlen + 4 > len then More
+          else
+            let name = String.sub buf (pos + 1) nlen in
+            let lp = pos + 1 + nlen in
+            let plen =
+              (Char.code buf.[lp] lsl 24)
+              lor (Char.code buf.[lp + 1] lsl 16)
+              lor (Char.code buf.[lp + 2] lsl 8)
+              lor Char.code buf.[lp + 3]
+            in
+            if plen > max_field_bytes then Err "field too large"
+            else if lp + 4 + plen > len then More
+            else
+              fields
+                ((name, String.sub buf (lp + 4) plen) :: acc)
+                (lp + 4 + plen) (k - 1)
+      in
+      fields [] 3 nf
+
 let field m name = List.assoc_opt name m.fields
 let field_or m name default = Option.value (field m name) ~default
+
+let retry_after_of_reply m =
+  Option.bind (field m "retry-after-ms") int_of_string_opt
 
 let reply_of_outcome (o : Broker.outcome) =
   let fields =

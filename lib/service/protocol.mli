@@ -37,6 +37,10 @@ val write : out_channel -> message -> unit
     (rendered ["eof"]), truncation, bad magic, and limit violations. *)
 val read : in_channel -> (message, string) result
 
+(** Render one message as its text wire form — what {!write_conn}
+    sends as one chunk. *)
+val render : message -> string
+
 (** {!write} over an {!Env.conn}: the whole message is rendered and
     sent as one chunk (so simulated chunk faults act on whole
     messages).  May raise {!Env.Net}. *)
@@ -49,6 +53,56 @@ val write_conn : Env.conn -> message -> unit
     never an exception. *)
 val read_conn : ?deadline:float -> Env.conn -> (message, string) result
 
+(** {1 Binary framing}
+
+    The compact frame negotiated per connection by
+    [hello framing=binary] (the text protocol stays the default):
+
+    {v
+    frame = 0xBF vcode:u8 nfields:u8 field* ;
+    field = namelen:u8 name payloadlen:u32be payload ;
+    v}
+
+    Verbs map to one-byte codes; code [0] is the extension escape —
+    the verb string travels as a leading ["!verb"] field, so new verbs
+    never need a framing bump. *)
+
+(** The frame magic byte, [0xBF]. *)
+val binary_magic : char
+
+val code_of_verb : string -> int option
+val verb_of_code : int -> string option
+
+(** Render one message as one binary frame (one send → one simulated
+    chunk, like {!render}'s text form). *)
+val render_binary : message -> string
+
+val write_conn_binary : Env.conn -> message -> unit
+
+(** Blocking binary read over an {!Env.conn}; same error discipline as
+    {!read_conn}. *)
+val read_conn_binary : ?deadline:float -> Env.conn -> (message, string) result
+
+(** {1 Incremental decoding}
+
+    The event-loop half of the protocol: feed the unparsed head of a
+    connection's receive buffer, get back a complete message plus how
+    many bytes it consumed, a request for more bytes, or a protocol
+    error (the frontdoor answers it and closes the connection).  Pure
+    functions — they never raise on any input. *)
+
+type progress = Msg of message * int | More | Err of string
+
+(** A header/field-header line must terminate within this many bytes —
+    bounds buffer growth against newline-free garbage. *)
+val max_line_bytes : int
+
+(** Incremental text-protocol decoder. *)
+val decode : string -> progress
+
+(** Incremental binary-frame decoder. *)
+val decode_binary : string -> progress
+
 (** First payload under [name], if present. *)
 val field : message -> string -> string option
 
@@ -60,6 +114,10 @@ val reply_of_outcome : Broker.outcome -> message
 
 (** Parse a [reply] back into a {!Broker.outcome}. *)
 val outcome_of_reply : message -> (Broker.outcome, string) result
+
+(** The structured backoff hint a shed reply carries
+    ([retry-after-ms]), when present and well-formed. *)
+val retry_after_of_reply : message -> int option
 
 (** Protocol fields of a membership view ([epoch], [nodes]); used by
     the fleet verbs [join] (reply), [view] (reply) and [rebalance]

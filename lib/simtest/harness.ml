@@ -48,6 +48,14 @@ type spec = {
   compile_delay_s : float;  (** broker's artificial compile stretch *)
   deadline_ms : int option;  (** per-request deadline *)
   store_capacity : int;
+  frontdoor : bool;
+      (** serve the single-server topology through the event-loop
+          {!Service.Frontdoor} instead of the thread-per-connection
+          server: clients carry tenants/lanes, half of them negotiate
+          the binary framing, and two protocol-chaos fibers (a
+          garbage client, a slow half-open client) join the load.
+          Ignored in fleet mode (the fleet verbs stay with
+          {!Service.Server}). *)
   nodes : int;  (** 0 = the classic single server; K >= 1 = a fleet of
                     K workers plus a coordinator *)
   replicas : int;  (** successor copies pushed on publish (fleet mode) *)
@@ -68,6 +76,7 @@ let builder ?(seed = 0) () =
     compile_delay_s = 0.02;
     deadline_ms = None;
     store_capacity = 256 * 1024;
+    frontdoor = false;
     nodes = 0;
     replicas = 1;
     node_chaos = 0;
@@ -88,6 +97,7 @@ let with_faults faults b = { b with faults = b.faults @ faults }
 let with_vm_warm vm_warm b = { b with vm_warm }
 let with_compile_delay compile_delay_s b = { b with compile_delay_s }
 let with_deadline_ms deadline_ms b = { b with deadline_ms }
+let with_frontdoor frontdoor b = { b with frontdoor }
 let with_nodes nodes b = { b with nodes = max 0 nodes }
 let with_replicas replicas b = { b with replicas = max 0 replicas }
 let with_node_chaos node_chaos b = { b with node_chaos = max 0 node_chaos }
@@ -287,20 +297,30 @@ let run spec =
       | [] -> Service.Client.close conn
       | ((_, rq) as item) :: rest -> (
           match
-            Service.Client.compile ?deadline_ms:spec.deadline_ms ~config
+            Service.Client.compile_ex ?deadline_ms:spec.deadline_ms ~config
               ~fn:rq.pr_fn ~ir:rq.pr_ir conn
           with
-          | Ok (Service.Broker.Done { ir; from_cache; _ }) ->
+          | Ok (Service.Broker.Done { ir; from_cache; _ }, _) ->
               check_done ~client:i rq ir;
               record_label item (if from_cache then "done-cache" else "done") "";
               serve_requests conn rest
-          | Ok (Service.Broker.Failed msg) ->
+          | Ok (Service.Broker.Failed msg, _) ->
               if not failures_expected then
                 violate "unexpected-failure"
                   (Printf.sprintf "client-%d %s: %s" i rq.pr_fn msg);
               record_label item "failed" msg;
               serve_requests conn rest
-          | Ok o ->
+          | Ok (Service.Broker.Shed, retry_after) ->
+              (* The frontdoor's admission contract: every shed names
+                 its backoff.  (The classic server's sheds predate the
+                 hint — only the frontdoor is held to it.) *)
+              if spec.frontdoor && retry_after = None then
+                violate "shed-without-retry-after"
+                  (Printf.sprintf "client-%d %s: shed with no backoff hint" i
+                     rq.pr_fn);
+              record_label item "shed" "";
+              serve_requests conn rest
+          | Ok (o, _) ->
               record_label item (Service.Broker.outcome_label o) "";
               serve_requests conn rest
           | Error msg ->
@@ -312,9 +332,19 @@ let run spec =
     and reconnect = function
       | [] -> ()
       | remaining -> (
+          (* Frontdoor mode exercises the multi-tenant surface: each
+             client is a tenant, odd clients ride the batch lane, and
+             every other client negotiates the binary framing. *)
+          let tenant, lane, binary =
+            if spec.frontdoor then
+              ( Some (Printf.sprintf "tenant-%d" i),
+                Some (if i mod 2 = 0 then "interactive" else "batch"),
+                i land 1 = 1 )
+            else (None, None, false)
+          in
           match
             Service.Client.connect ~env ~deadline_s:10. ~io_deadline_s:120.
-              ~sock ()
+              ?tenant ?lane ~binary ~sock ()
           with
           | conn -> serve_requests conn remaining
           | exception Service.Client.Connect_failed _ ->
@@ -424,15 +454,71 @@ let run spec =
     in
     let server =
       env.Env.spawn "server" (fun () ->
-          Service.Server.serve ~env ~sock ~broker ())
+          if spec.frontdoor then
+            let config =
+              {
+                Service.Frontdoor.default_config with
+                fd_queue_limit = spec.queue_limit;
+              }
+            in
+            Service.Frontdoor.serve ~env ~config ~sock ~broker ()
+          else Service.Server.serve ~env ~sock ~broker ())
     in
     if spec.vm_warm then vm_warm_step store;
     Sched.sleep sched 0.01;
+    (* Protocol-chaos fibers against the frontdoor: a garbage client
+       (junk bytes must earn a structured rejection, never an escaping
+       exception or a wedged loop) and a slow-loris half-open client
+       (one byte of a message at a time, then gone — the loop must
+       cull it).  Both are best-effort under net chaos. *)
+    let protocol_chaos =
+      if not spec.frontdoor then []
+      else
+        [
+          env.Env.spawn "garbage-client" (fun () ->
+              match env.Env.connect sock with
+              | exception Env.Net _ -> ()
+              | conn ->
+                  (try
+                     conn.Env.send "\xBFgarbage, not a negotiated frame\n";
+                     match
+                       Service.Protocol.read_conn
+                         ~deadline:(env.Env.mono () +. 60.)
+                         conn
+                     with
+                     | Ok r
+                       when Service.Protocol.field r "status" = Some "rejected"
+                       ->
+                         ()
+                     | Ok r ->
+                         violate "garbage-accepted"
+                           (Printf.sprintf
+                              "garbage bytes got a %s reply instead of a \
+                               rejection"
+                              (Service.Protocol.field_or r "status" r.verb))
+                     | Error _ -> ()
+                   with Env.Net _ -> ());
+                  (try conn.Env.close_conn () with Env.Net _ -> ()));
+          env.Env.spawn "slow-loris" (fun () ->
+              match env.Env.connect sock with
+              | exception Env.Net _ -> ()
+              | conn ->
+                  (try
+                     String.iter
+                       (fun c ->
+                         conn.Env.send (String.make 1 c);
+                         env.Env.sleep 0.004)
+                       "dbds/1 compile 3\nfn 4\nmai"
+                   with Env.Net _ -> ());
+                  (try conn.Env.close_conn () with Env.Net _ -> ()));
+        ]
+    in
     let clients =
       List.init spec.clients (fun i ->
           env.Env.spawn (Printf.sprintf "client-%d" i) (client_fiber i))
     in
     List.iter (fun (c : Env.thread) -> c.Env.join ()) clients;
+    List.iter (fun (c : Env.thread) -> c.Env.join ()) protocol_chaos;
     shutdown_at ~required:true sock;
     server.Env.join ();
     (* Model a process restart: a fresh store over the surviving disk
@@ -711,6 +797,7 @@ let shrink ?(max_runs = 200) spec =
              [ { s with replicas = s.replicas - 1 } ]
            else [])
         @ (if s.vm_warm then [ { s with vm_warm = false } ] else [])
+        @ (if s.frontdoor then [ { s with frontdoor = false } ] else [])
         @
         if s.compile_delay_s > 0. then [ { s with compile_delay_s = 0. } ]
         else []
@@ -745,8 +832,9 @@ let render_bundle (r : result) =
     (match s.faults with
     | [] -> "none"
     | fs -> String.concat "," (List.map F.to_string fs));
-  (* Fleet fields appear only for fleet topologies, so classic bundles
-     stay byte-compatible with v1 readers. *)
+  (* The frontdoor and fleet fields appear only when set, so classic
+     bundles stay byte-compatible with v1 readers. *)
+  if s.frontdoor then line "frontdoor: true";
   if s.nodes > 0 then begin
     line "nodes: %d" s.nodes;
     line "replicas: %d" s.replicas;
@@ -835,6 +923,7 @@ let parse_bundle text =
       | None | Some "none" -> None
       | Some s -> int_of_string_opt s);
     store_capacity = (builder ()).store_capacity;
+    frontdoor = field "frontdoor" = Some "true";
     nodes = int_field_or "nodes" 0;
     replicas = int_field_or "replicas" 1;
     node_chaos = int_field_or "node-chaos" 0;

@@ -65,6 +65,9 @@ type t = {
   conns : (string, conn_rec list ref) Hashtbl.t;
       (** live connections by the listener addr they were accepted on,
           so {!sever} / {!isolate} can reset a whole node's traffic *)
+  eps : (int, ep) Hashtbl.t;
+      (** conn-id → endpoint, the poller's readiness lookup *)
+  lrecs : (int, listener_rec) Hashtbl.t;  (** listener-id → record *)
   arms : arm list;
   mutable partition_until : float;
   mutable conn_count : int;
@@ -72,6 +75,7 @@ type t = {
 
 and listener_rec = {
   laddr : string;
+  l_id : int;
   backlog : Env.conn Queue.t;
   mutable lwaiter : (unit -> unit) option;
   mutable lclosed : bool;
@@ -92,6 +96,8 @@ let create ?(net_latency = 0.001) ?(disk_latency = 0.002)
       denied = Hashtbl.create 4;
       unreachable = Hashtbl.create 4;
       conns = Hashtbl.create 4;
+      eps = Hashtbl.create 16;
+      lrecs = Hashtbl.create 4;
       arms = List.map (fun plan -> { plan; count = 0 }) faults;
       partition_until = 0.;
       conn_count = 0;
@@ -272,12 +278,40 @@ let close_ep io self peer =
         wake_reader peer)
   end
 
+(* The non-blocking read: drain delivered chunks into the read buffer
+   and hand back what is there.  EOF/reset only surface once the buffer
+   is empty — bytes that arrived before the failure are still valid. *)
+let try_recv io self n =
+  ignore io;
+  if self.closed then raise (Env.Net (Env.Closed, "recv on closed connection"));
+  while not (Queue.is_empty self.inq) do
+    Buffer.add_string self.rbuf (Queue.pop self.inq)
+  done;
+  let k = min n (Buffer.length self.rbuf) in
+  if k > 0 then take self k
+  else if self.reset then raise (Env.Net (Env.Reset, self.edge))
+  else if self.peer_closed then raise (Env.Net (Env.Eof, self.edge))
+  else ""
+
 let conn_of_ep io self peer =
+  let id = Env.fresh_id () in
+  Hashtbl.replace io.eps id self;
   {
-    Env.send = (fun chunk -> send io self peer chunk);
+    Env.id;
+    send = (fun chunk -> send io self peer chunk);
     recv_exact = (fun deadline n -> recv_exact io self deadline n);
     recv_line = (fun deadline -> recv_line io self deadline);
-    close_conn = (fun () -> close_ep io self peer);
+    try_recv = (fun n -> try_recv io self n);
+    try_send =
+      (* The simulated link never short-writes: one send is one chunk,
+         which keeps message-per-chunk fault targeting intact. *)
+      (fun chunk ->
+        send io self peer chunk;
+        String.length chunk);
+    close_conn =
+      (fun () ->
+        Hashtbl.remove io.eps id;
+        close_ep io self peer);
   }
 
 let register_conn io addr cr =
@@ -312,10 +346,18 @@ let listen io addr =
   if Hashtbl.mem io.files addr || Hashtbl.mem io.listeners addr then
     raise (Env.Net (Env.Other "address already in use", "listen " ^ addr));
   Hashtbl.replace io.files addr "";
+  let lid = Env.fresh_id () in
   let l =
-    { laddr = addr; backlog = Queue.create (); lwaiter = None; lclosed = false }
+    {
+      laddr = addr;
+      l_id = lid;
+      backlog = Queue.create ();
+      lwaiter = None;
+      lclosed = false;
+    }
   in
   Hashtbl.replace io.listeners addr l;
+  Hashtbl.replace io.lrecs lid l;
   let rec accept () =
     if l.lclosed then raise (Env.Net (Env.Closed, "accept " ^ addr));
     match Queue.pop l.backlog with
@@ -324,10 +366,17 @@ let listen io addr =
         Sched.suspend io.sched (fun resume -> l.lwaiter <- Some resume);
         accept ()
   in
+  let try_accept () =
+    if l.lclosed then raise (Env.Net (Env.Closed, "accept " ^ addr));
+    match Queue.pop l.backlog with
+    | conn -> Some conn
+    | exception Queue.Empty -> None
+  in
   let close_listener () =
     if not l.lclosed then begin
       l.lclosed <- true;
       Hashtbl.remove io.listeners addr;
+      Hashtbl.remove io.lrecs lid;
       (match l.lwaiter with
       | None -> ()
       | Some wake ->
@@ -335,7 +384,7 @@ let listen io addr =
           wake ())
     end
   in
-  { Env.accept; close_listener }
+  { Env.lid; accept; try_accept; close_listener }
 
 (* ---- node-level faults ----------------------------------------------- *)
 
@@ -362,6 +411,7 @@ let close_listener_at io addr =
   | Some l ->
       l.lclosed <- true;
       Hashtbl.remove io.listeners addr;
+      Hashtbl.remove io.lrecs l.l_id;
       (match l.lwaiter with
       | None -> ()
       | Some wake ->
@@ -388,6 +438,79 @@ let isolate io addr =
 
 (** Undo {!isolate}: connects to [addr] reach the listener again. *)
 let heal io addr = Hashtbl.remove io.unreachable addr
+
+(* ---- poller ---------------------------------------------------------- *)
+
+(* The simulated readiness multiplexer.  Readiness is a pure state
+   check; when nothing is ready the fiber parks one one-shot resume in
+   every watched endpoint's waiter slot (plus a deadline timer).  The
+   resume is idempotent, so N slots firing is fine, and stale resumes
+   left in unwoken slots are no-ops that the next poll overwrites —
+   polled endpoints must never also have a blocking reader, which is
+   exactly the Env contract. *)
+let sim_poller io =
+  let pending = ref false in
+  let closed = ref false in
+  let waiter = ref None in
+  let conn_ready (c : Env.conn) =
+    match Hashtbl.find_opt io.eps c.Env.id with
+    | None -> true (* closed under the poller's feet: let the loop see *)
+    | Some ep ->
+        Buffer.length ep.rbuf > 0
+        || (not (Queue.is_empty ep.inq))
+        || ep.reset || ep.peer_closed
+  in
+  let listener_ready (l : Env.listener) =
+    match Hashtbl.find_opt io.lrecs l.Env.lid with
+    | None -> true
+    | Some lr -> lr.lclosed || not (Queue.is_empty lr.backlog)
+  in
+  let poll ~conns ~listeners deadline =
+    if !closed then raise (Env.Net (Env.Closed, "poll on closed poller"));
+    if
+      !pending
+      || List.exists conn_ready conns
+      || List.exists listener_ready listeners
+      || Sched.now io.sched >= deadline
+    then pending := false
+    else begin
+      Sched.suspend io.sched (fun resume ->
+          waiter := Some resume;
+          List.iter
+            (fun (c : Env.conn) ->
+              match Hashtbl.find_opt io.eps c.Env.id with
+              | Some ep -> ep.rwaiter <- Some resume
+              | None -> ())
+            conns;
+          List.iter
+            (fun (l : Env.listener) ->
+              match Hashtbl.find_opt io.lrecs l.Env.lid with
+              | Some lr -> lr.lwaiter <- Some resume
+              | None -> ())
+            listeners;
+          if deadline < Float.infinity then
+            Sched.schedule
+              ~delay:(deadline -. Sched.now io.sched)
+              ~desc:"poll-deadline" io.sched resume);
+      pending := false;
+      waiter := None
+    end
+  in
+  let wake () =
+    pending := true;
+    match !waiter with
+    | None -> ()
+    | Some resume ->
+        waiter := None;
+        resume ()
+  in
+  let close_poller () =
+    if not !closed then begin
+      closed := true;
+      wake ()
+    end
+  in
+  { Env.poll; wake; close_poller }
 
 (* ---- disk ----------------------------------------------------------- *)
 
@@ -468,6 +591,7 @@ let env io =
         });
     listen = (fun addr -> listen io addr);
     connect = (fun addr -> connect io addr);
+    poller = (fun () -> sim_poller io);
     file_exists =
       (fun path -> Hashtbl.mem io.files path || Hashtbl.mem io.dirs path);
     mkdir = (fun path -> Hashtbl.replace io.dirs path ());

@@ -49,3 +49,20 @@ let () =
       List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) vs;
       Printf.eprintf "%d tiered violation(s)\n" (List.length vs);
       exit 1
+;;
+(* Frontdoor framing hardening (satellite): adversarial bytes through
+   the pure decoders and garbage clients against a live simulated
+   frontdoor — junk earns a structured rejection or a clean close,
+   never an escaping exception or a wedged event loop. *)
+let f = Harness.Fuzz.run_frontdoor () in
+Printf.printf
+  "fuzz frontdoor: %d decoder cases, %d server runs, %d structured \
+   rejections\n"
+  f.Harness.Fuzz.f_decoder_cases f.Harness.Fuzz.f_server_runs
+  f.Harness.Fuzz.f_rejected;
+match f.Harness.Fuzz.f_violations with
+| [] -> ()
+| vs ->
+    List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) vs;
+    Printf.eprintf "%d frontdoor violation(s)\n" (List.length vs);
+    exit 1

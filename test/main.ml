@@ -28,4 +28,5 @@ let () =
       ("service", Test_service.suite);
       ("fleet", Test_fleet.suite);
       ("sim", Test_sim.suite);
+      ("frontdoor", Test_frontdoor.suite);
     ]

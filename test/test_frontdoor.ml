@@ -1,0 +1,585 @@
+(** The async multi-tenant front door: histogram bucket math, token
+    buckets with retry-after, weighted-deficit lane dequeue (preemption
+    ordering + starvation freedom), the binary framing codec, the
+    incremental decoders, and end-to-end event-loop serving under the
+    whole-system simulator — byte-identity against the classic
+    threaded server, quota sheds with structured retry-after, queue
+    backpressure, deadline unification across the lane queue on the
+    monotonic clock (clock.jump chaos), and garbage-frame hardening. *)
+
+open Helpers
+module F = Dbds.Faults
+module Sim = Simtest.Sched
+module Simio = Simtest.Simio
+module Env = Service.Env
+module SB = Service.Broker
+module SS = Service.Store
+module SC = Service.Client
+module SD = Service.Digest
+module SP = Service.Protocol
+module FD = Service.Frontdoor
+
+let config = Dbds.Config.default
+
+let trio =
+  {|
+  int f(int x) { int a; if (x > 0) { a = x; } else { a = 1; } return a * 2; }
+  int g(int x) { int b; if (x > 3) { b = x + 1; } else { b = 2; } return b + b; }
+  int main(int x) { return f(x) + g(x); }
+|}
+
+let main_ir () =
+  let prog = compile trio in
+  Ir.Printer.graph_to_string (Option.get (Ir.Program.find_function prog "main"))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_buckets () =
+  Alcotest.(check int) "sub-ms is bucket 0" 0 (FD.Hist.bucket_of_ms 0.4);
+  Alcotest.(check int) "1ms starts bucket 1" 1 (FD.Hist.bucket_of_ms 1.0);
+  Alcotest.(check int) "1.9ms stays bucket 1" 1 (FD.Hist.bucket_of_ms 1.9);
+  Alcotest.(check int) "2ms starts bucket 2" 2 (FD.Hist.bucket_of_ms 2.0);
+  Alcotest.(check int) "3ms in [2,4)" 2 (FD.Hist.bucket_of_ms 3.0);
+  Alcotest.(check int) "1024ms in [1024,2048)" 11 (FD.Hist.bucket_of_ms 1024.);
+  Alcotest.(check int) "huge latencies clamp to the top" 31
+    (FD.Hist.bucket_of_ms 1e18)
+
+let test_hist_quantiles () =
+  let h = FD.Hist.create () in
+  Alcotest.(check (float 0.)) "empty histogram reads 0" 0. (FD.Hist.quantile h 0.99);
+  (* 90 fast (bucket 1: upper 2ms), 10 slow (bucket 7: [64,128)). *)
+  for _ = 1 to 90 do
+    FD.Hist.add h 1.5
+  done;
+  for _ = 1 to 10 do
+    FD.Hist.add h 100.
+  done;
+  Alcotest.(check int) "count" 100 (FD.Hist.count h);
+  Alcotest.(check (float 0.)) "p50 from the fast bucket" 2. (FD.Hist.quantile h 0.50);
+  Alcotest.(check (float 0.)) "p90 still fast" 2. (FD.Hist.quantile h 0.90);
+  Alcotest.(check (float 0.)) "p95 lands in the slow bucket" 128.
+    (FD.Hist.quantile h 0.95);
+  Alcotest.(check (float 0.)) "p99 too" 128. (FD.Hist.quantile h 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Token buckets                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_quota_exhaustion_and_refill () =
+  let q = FD.Quota.create ~rate:2.0 ~burst:3.0 in
+  Alcotest.(check bool) "burst 1" true (FD.Quota.try_take q ~now:10.0);
+  Alcotest.(check bool) "burst 2" true (FD.Quota.try_take q ~now:10.0);
+  Alcotest.(check bool) "burst 3" true (FD.Quota.try_take q ~now:10.0);
+  Alcotest.(check bool) "empty bucket sheds" false (FD.Quota.try_take q ~now:10.0);
+  let hint = FD.Quota.retry_after_ms q in
+  Alcotest.(check bool)
+    (Printf.sprintf "hint %dms covers one token at 2/s" hint)
+    true
+    (hint > 0 && hint <= 500);
+  (* 0.25s later half a token has accrued — still shed, smaller hint. *)
+  Alcotest.(check bool) "half refilled still sheds" false
+    (FD.Quota.try_take q ~now:10.25);
+  Alcotest.(check bool) "hint shrank" true (FD.Quota.retry_after_ms q <= 250);
+  (* One full second refills two tokens. *)
+  Alcotest.(check bool) "refilled" true (FD.Quota.try_take q ~now:11.25);
+  Alcotest.(check bool) "refilled twice" true (FD.Quota.try_take q ~now:11.25);
+  Alcotest.(check bool) "but not past burst accounting" false
+    (FD.Quota.try_take q ~now:11.25)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted-deficit lanes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lanes_preemption_and_starvation_freedom () =
+  let l = FD.Lanes.create () in
+  for i = 1 to 4 do
+    FD.Lanes.push l FD.Lanes.Batch (Printf.sprintf "b%d" i)
+  done;
+  for i = 1 to 4 do
+    FD.Lanes.push l FD.Lanes.Interactive (Printf.sprintf "i%d" i)
+  done;
+  let rec drain acc =
+    match FD.Lanes.pop l with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  let order = drain [] in
+  Alcotest.(check (list string))
+    "interactive preempts, batch never starves"
+    [ "i1"; "i2"; "i3"; "b1"; "i4"; "b2"; "b3"; "b4" ]
+    order;
+  (* Sustained interactive load: batch still progresses 1-in-4. *)
+  let l = FD.Lanes.create () in
+  FD.Lanes.push l FD.Lanes.Batch "b";
+  let batch_served = ref false in
+  for i = 1 to 12 do
+    FD.Lanes.push l FD.Lanes.Interactive (Printf.sprintf "i%d" i);
+    match FD.Lanes.pop l with
+    | Some "b" -> batch_served := true
+    | Some _ -> ()
+    | None -> Alcotest.fail "pop on non-empty lanes"
+  done;
+  Alcotest.(check bool) "batch served under sustained interactive load" true
+    !batch_served;
+  (* An idle lane's deficit resets: it cannot hoard priority. *)
+  let l = FD.Lanes.create () in
+  FD.Lanes.push l FD.Lanes.Interactive "i";
+  Alcotest.(check (option string)) "pops" (Some "i") (FD.Lanes.pop l);
+  Alcotest.(check (option string)) "empty" None (FD.Lanes.pop l);
+  Alcotest.(check bool) "is_empty" true (FD.Lanes.is_empty l)
+
+(* ------------------------------------------------------------------ *)
+(* Binary framing + incremental decoders                               *)
+(* ------------------------------------------------------------------ *)
+
+let msg verb fields = { SP.verb; fields }
+
+let test_binary_roundtrip () =
+  let m =
+    msg "compile"
+      [ ("config", "dbds"); ("fn", "main"); ("ir", "line1\nline2\x00\xff") ]
+  in
+  (match SP.decode_binary (SP.render_binary m) with
+  | SP.Msg (m', used) ->
+      Alcotest.(check bool) "message survives" true (m' = m);
+      Alcotest.(check int) "consumes the frame"
+        (String.length (SP.render_binary m))
+        used
+  | _ -> Alcotest.fail "binary roundtrip failed");
+  (* An unknown verb rides the extension escape (code 0). *)
+  let w = msg "weird-verb" [ ("k", "v") ] in
+  (match SP.decode_binary (SP.render_binary w) with
+  | SP.Msg (w', _) -> Alcotest.(check bool) "extended verb survives" true (w' = w)
+  | _ -> Alcotest.fail "extended roundtrip failed");
+  Alcotest.(check (option int)) "verb code table" (Some 1)
+    (SP.code_of_verb "compile");
+  Alcotest.(check (option string)) "code back to verb" (Some "compile")
+    (SP.verb_of_code 1)
+
+let test_binary_decoder_hardening () =
+  (* Truncation at every prefix must ask for more, never raise. *)
+  let frame = SP.render_binary (msg "ping" [ ("pad", String.make 40 'x') ]) in
+  for i = 0 to String.length frame - 1 do
+    match SP.decode_binary (String.sub frame 0 i) with
+    | SP.More -> ()
+    | SP.Msg _ -> Alcotest.failf "prefix %d parsed as a whole message" i
+    | SP.Err e -> Alcotest.failf "prefix %d errored: %s" i e
+  done;
+  (* Garbage magic / verb codes are structured errors. *)
+  (match SP.decode_binary "junk" with
+  | SP.Err _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (match SP.decode_binary "\xBF\x63\x01" with
+  | SP.Err _ -> ()
+  | _ -> Alcotest.fail "unknown verb code accepted");
+  (* An oversized length prefix is refused before any allocation. *)
+  let big = "\xBF\x03\x01\x02hi\xff\xff\xff\xff" in
+  (match SP.decode_binary big with
+  | SP.Err _ -> ()
+  | _ -> Alcotest.fail "oversized field accepted");
+  (* A binary frame fed to the text decoder fails fast (it could
+     otherwise sit newline-free under the line bound forever). *)
+  match SP.decode frame with
+  | SP.Err _ -> ()
+  | _ -> Alcotest.fail "binary frame not rejected by the text decoder"
+
+let test_text_decoder_incremental () =
+  let m =
+    msg "compile" [ ("fn", "main"); ("ir", "a\nb\nc") ]
+  in
+  let wire = SP.render m ^ SP.render (msg "ping" []) in
+  (* Byte-at-a-time: every strict prefix of the first message is More. *)
+  let first_len = String.length (SP.render m) in
+  for i = 0 to first_len - 1 do
+    match SP.decode (String.sub wire 0 i) with
+    | SP.More -> ()
+    | SP.Msg _ -> Alcotest.failf "prefix %d parsed early" i
+    | SP.Err e -> Alcotest.failf "prefix %d errored: %s" i e
+  done;
+  (match SP.decode wire with
+  | SP.Msg (m', used) ->
+      Alcotest.(check bool) "first message" true (m' = m);
+      Alcotest.(check int) "consumed exactly the first" first_len used;
+      let rest = String.sub wire used (String.length wire - used) in
+      (match SP.decode rest with
+      | SP.Msg (p, used') ->
+          Alcotest.(check string) "second message" "ping" p.SP.verb;
+          Alcotest.(check int) "consumed the rest" (String.length rest) used'
+      | _ -> Alcotest.fail "second message lost")
+  | _ -> Alcotest.fail "pipelined messages not decoded");
+  (* Unbounded newline-free garbage is an error, not unbounded More. *)
+  match SP.decode (String.make (SP.max_line_bytes + 1) 'a') with
+  | SP.Err _ -> ()
+  | _ -> Alcotest.fail "newline-free garbage not bounded
+
+"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end under the simulator                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f env] as the client fiber of a simulated frontdoor (and
+   optionally assert on the schedule outcome).  [f] must end by
+   shutting the server down. *)
+let run_sim ?(seed = 11) ?(fd_config = FD.default_config) ?(faults = []) f =
+  let sched = Sim.create ~seed () in
+  let io = Simio.create ~faults sched in
+  let env = Simio.env io in
+  let out =
+    Sim.run sched (fun () ->
+        let store = SS.create ~env ~dir:"/store" () in
+        let broker = SB.create ~env ~workers:2 ~store:(Some store) () in
+        let srv =
+          env.Env.spawn "frontdoor" (fun () ->
+              FD.serve ~env ~config:fd_config ~sock:"/fd" ~broker ())
+        in
+        f env;
+        srv.Env.join ())
+  in
+  if not out.Sim.ok then
+    Alcotest.failf "simulated schedule not clean: %d hung, crashes: %s"
+      (List.length out.Sim.hung)
+      (String.concat "; " (List.map snd out.Sim.crashed))
+
+let connect ?tenant ?lane ?binary env sock =
+  SC.connect ~env ~deadline_s:2.0 ~io_deadline_s:30.0 ?tenant ?lane ?binary
+    ~sock ()
+
+(* A raw [Env.conn] to a server that may still be binding its socket
+   (the {!SC.connect} retry loop, without the client on top). *)
+let rec raw_connect ?(tries = 200) env sock =
+  match env.Env.connect sock with
+  | conn -> conn
+  | exception Env.Net ((Env.Not_found | Env.Refused), _) when tries > 0 ->
+      env.Env.sleep 0.01;
+      raw_connect ~tries:(tries - 1) env sock
+
+let shutdown env =
+  let c = connect env "/fd" in
+  (match SC.shutdown_server c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "shutdown: %s" e);
+  SC.close c
+
+let compile_ok c ~ir =
+  match SC.compile ~config ~fn:"main" ~ir c with
+  | Ok (SB.Done { ir = out; _ }) -> out
+  | Ok o -> Alcotest.failf "compile outcome: %s" (SB.outcome_label o)
+  | Error e -> Alcotest.failf "compile: %s" e
+
+(* The tentpole invariant: the event-loop front end (text and binary,
+   tenants and lanes) serves byte-identical artifacts to the classic
+   thread-per-connection server, and the digest-keyed [lookup] verb
+   finds the published artifact. *)
+let test_end_to_end_matches_classic_server () =
+  let ir = main_ir () in
+  let via_fd_text = ref "" and via_fd_bin = ref "" and via_classic = ref "" in
+  let looked_up = ref None in
+  (* Frontdoor, one text + one binary client. *)
+  run_sim (fun env ->
+      let c = connect ~tenant:"alice" ~lane:"interactive" env "/fd" in
+      via_fd_text := compile_ok c ~ir;
+      SC.close c;
+      let cb = connect ~tenant:"bob" ~binary:true env "/fd" in
+      Alcotest.(check bool) "binary ping" true (SC.ping cb);
+      via_fd_bin := compile_ok cb ~ir;
+      let digest =
+        SD.of_request (SD.request_of_text ~config ~fn:"main" ir)
+      in
+      (match SC.lookup ~digest cb with
+      | Ok r -> looked_up := r
+      | Error e -> Alcotest.failf "lookup: %s" e);
+      (match SC.stats cb with
+      | Ok (broker_line, _, _) ->
+          Alcotest.(check bool) "broker stats over binary" true
+            (String.length broker_line > 0)
+      | Error e -> Alcotest.failf "stats: %s" e);
+      SC.close cb;
+      shutdown env);
+  (* The classic server, same request. *)
+  let sched = Sim.create ~seed:12 () in
+  let io = Simio.create sched in
+  let env = Simio.env io in
+  let out =
+    Sim.run sched (fun () ->
+        let store = SS.create ~env ~dir:"/store" () in
+        let broker = SB.create ~env ~workers:2 ~store:(Some store) () in
+        let srv =
+          env.Env.spawn "server" (fun () ->
+              Service.Server.serve ~env ~sock:"/srv" ~broker ())
+        in
+        let c = SC.connect ~env ~deadline_s:2.0 ~sock:"/srv" () in
+        via_classic := compile_ok c ~ir;
+        (match SC.shutdown_server c with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "shutdown: %s" e);
+        SC.close c;
+        srv.Env.join ())
+  in
+  Alcotest.(check bool) "classic schedule clean" true out.Sim.ok;
+  Alcotest.(check bool) "frontdoor produced IR" true (!via_fd_text <> "");
+  Alcotest.(check string) "binary framing returns the same bytes" !via_fd_text
+    !via_fd_bin;
+  Alcotest.(check string) "byte-identical to the classic server" !via_fd_text
+    !via_classic;
+  Alcotest.(check (option string)) "lookup finds the published artifact"
+    (Some !via_fd_text) !looked_up
+
+(* Quota exhaustion: the second request inside the same bucket window
+   is shed with a positive structured retry-after hint — and the
+   shed request was never admitted (no silent loss: the reply says
+   exactly what happened). *)
+let test_quota_shed_carries_retry_after () =
+  let ir = main_ir () in
+  run_sim
+    ~fd_config:
+      { FD.default_config with fd_tenant_rate = 1.0; fd_tenant_burst = 1.0 }
+    (fun env ->
+      let c = connect ~tenant:"hammer" env "/fd" in
+      (match SC.compile_ex ~config ~fn:"main" ~ir c with
+      | Ok (SB.Done _, _) -> ()
+      | Ok (o, _) -> Alcotest.failf "first request: %s" (SB.outcome_label o)
+      | Error e -> Alcotest.failf "first request: %s" e);
+      (match SC.compile_ex ~config ~fn:"main" ~ir c with
+      | Ok (SB.Shed, Some retry_ms) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "retry-after %dms positive" retry_ms)
+            true (retry_ms > 0)
+      | Ok (SB.Shed, None) -> Alcotest.fail "shed without retry-after"
+      | Ok (o, _) -> Alcotest.failf "expected shed, got %s" (SB.outcome_label o)
+      | Error e -> Alcotest.failf "second request: %s" e);
+      SC.close c;
+      shutdown env)
+
+(* Queue backpressure: with one dispatcher busy and the lane bounded,
+   a pipelined burst sheds the overflow with retry-after while every
+   admitted request is still answered. *)
+let test_queue_shed_under_pipelined_burst () =
+  let ir = main_ir () in
+  run_sim
+    ~fd_config:
+      { FD.default_config with fd_dispatchers = 1; fd_queue_limit = 2 }
+    (fun env ->
+      let conn = raw_connect env "/fd" in
+      let m =
+        SC.compile_msg ~delay_ms:200 ~config ~fn:"main" ~ir ()
+      in
+      (* Three requests land before the dispatcher can drain: the
+         first two are admitted (slots: dispatcher + queue), the
+         overflow is shed immediately. *)
+      SP.write_conn conn m;
+      SP.write_conn conn m;
+      SP.write_conn conn m;
+      let deadline = env.Env.mono () +. 30.0 in
+      let read () =
+        match SP.read_conn ~deadline conn with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "reply: %s" e
+      in
+      let replies = [ read (); read (); read () ] in
+      let statuses =
+        List.filter_map (fun r -> SP.field r "status") replies
+      in
+      let shed = List.filter (( = ) "shed") statuses in
+      let done_ = List.filter (fun s -> s = "done" || s = "done-cache") statuses in
+      Alcotest.(check int) "one overflow shed" 1 (List.length shed);
+      Alcotest.(check int) "both admitted requests answered" 2
+        (List.length done_);
+      Alcotest.(check bool) "shed reply carries retry-after" true
+        (List.exists
+           (fun r ->
+             SP.field r "status" = Some "shed"
+             && SP.retry_after_of_reply r <> None)
+           replies);
+      conn.Env.close_conn ();
+      shutdown env)
+
+(* Deadline unification on the monotonic clock: time spent waiting in
+   the lane queue counts against --deadline-ms (the request behind a
+   slow one times out)... *)
+let test_deadline_counts_queue_wait () =
+  let ir = main_ir () in
+  run_sim
+    ~fd_config:{ FD.default_config with fd_dispatchers = 1 }
+    (fun env ->
+      let conn = raw_connect env "/fd" in
+      let slow = SC.compile_msg ~delay_ms:3000 ~config ~fn:"main" ~ir () in
+      let hurried =
+        SC.compile_msg ~deadline_ms:1000 ~config ~fn:"main" ~ir ()
+      in
+      SP.write_conn conn slow;
+      SP.write_conn conn hurried;
+      let deadline = env.Env.mono () +. 30.0 in
+      let read () =
+        match SP.read_conn ~deadline conn with
+        | Ok r -> Option.value (SP.field r "status") ~default:"?"
+        | Error e -> Alcotest.failf "reply: %s" e
+      in
+      let statuses = List.sort compare [ read (); read () ] in
+      Alcotest.(check (list string))
+        "queue wait expires the hurried request" [ "done"; "timed-out" ]
+        statuses;
+      conn.Env.close_conn ();
+      shutdown env)
+
+(* ... and a wall-clock jump (NTP step) mid-run neither expires nor
+   immortalizes a deadline — the regression test for clock.jump chaos
+   against the frontdoor's admission deadlines. *)
+let test_clock_jump_does_not_expire_deadlines () =
+  let ir = main_ir () in
+  run_sim
+    ~faults:[ { F.seed = 0; site = F.Clock_jump; hit = 1; fn = None } ]
+    (fun env ->
+      let c = connect ~tenant:"t" env "/fd" in
+      (* Spans the +1h wall step at virtual second 1: on a wall-clock
+         deadline this would expire instantly; on mono it completes. *)
+      match
+        SC.compile ~deadline_ms:8000 ~delay_ms:2500 ~config ~fn:"main" ~ir c
+      with
+      | Ok (SB.Done _) ->
+          SC.close c;
+          shutdown env
+      | Ok o -> Alcotest.failf "clock jump: %s" (SB.outcome_label o)
+      | Error e -> Alcotest.failf "clock jump: %s" e)
+
+(* Garbage hardening at the event loop: junk bytes get a structured
+   protocol-error reply and a connection close — and the server keeps
+   serving fresh connections afterwards. *)
+let test_garbage_gets_structured_error () =
+  run_sim (fun env ->
+      (* Text garbage. *)
+      let conn = raw_connect env "/fd" in
+      conn.Env.send "total garbage\n";
+      let deadline = env.Env.mono () +. 10.0 in
+      (match SP.read_conn ~deadline conn with
+      | Ok r ->
+          Alcotest.(check (option string)) "structured rejection"
+            (Some "rejected") (SP.field r "status");
+          Alcotest.(check bool) "names the protocol error" true
+            (match SP.field r "message" with
+            | Some m ->
+                String.length m >= 14 && String.sub m 0 14 = "protocol error"
+            | None -> false)
+      | Error e -> Alcotest.failf "garbage reply: %s" e);
+      (* The server hangs up after answering. *)
+      (match SP.read_conn ~deadline conn with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "connection survived a desynchronized stream");
+      conn.Env.close_conn ();
+      (* A half-open client (partial message, then close) is culled
+         silently without wedging the loop. *)
+      let half = raw_connect env "/fd" in
+      half.Env.send "dbds/1 compile 2\nfn 4\nmai";
+      half.Env.close_conn ();
+      (* Fresh connections still served. *)
+      let c = connect env "/fd" in
+      Alcotest.(check bool) "server still alive" true (SC.ping c);
+      SC.close c;
+      shutdown env)
+
+(* ------------------------------------------------------------------ *)
+(* Harness integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module H = Simtest.Harness
+
+(* Frontdoor serving is as deterministic as the classic server: same
+   seed, same trace — and the bundle records the topology. *)
+let test_harness_frontdoor_deterministic () =
+  let spec = H.builder ~seed:77 () |> H.with_frontdoor true in
+  let a = H.run spec in
+  let b = H.run spec in
+  Alcotest.(check string) "same trace hash" a.H.r_trace_hash b.H.r_trace_hash;
+  Alcotest.(check bool) "same outcomes" true (a.H.r_outcomes = b.H.r_outcomes);
+  let reparsed = H.parse_bundle (H.render_bundle a) in
+  Alcotest.(check bool) "bundle keeps the frontdoor flag" true
+    reparsed.H.frontdoor;
+  (* The flag is new-field-only: a classic bundle never mentions it. *)
+  let classic = H.render_bundle (H.run (H.builder ~seed:77 ())) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "classic bundles unchanged" false
+    (contains classic "frontdoor")
+
+(* Chaos sweep with the frontdoor in front: tenants, lanes, mixed
+   framing, garbage + slow-loris fibers, seeded net/disk/clock faults —
+   and still zero invariant violations, every request accounted for. *)
+let test_harness_frontdoor_chaos_sweep () =
+  let results =
+    H.run_seeds ~seeds:3 (H.builder ~seed:500 () |> H.with_frontdoor true)
+  in
+  List.iter
+    (fun (r : H.result) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d clean" r.H.r_spec.H.seed)
+        []
+        (List.map
+           (fun v -> v.H.vio_kind ^ ": " ^ v.H.vio_detail)
+           r.H.r_violations);
+      Alcotest.(check bool) "every request accounted for" true
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 r.H.r_counts
+        = r.H.r_spec.H.clients * r.H.r_spec.H.requests_per_client))
+    results
+
+(* A reduced load sweep (the full one runs in the bench): every
+   request accounted for, sheds hinted, artifacts identical to the
+   oracle, schedules clean — and overload degrades gracefully
+   (goodput at 2x within 20% of the uncontended point's). *)
+let test_load_sweep_reduced () =
+  let row =
+    Harness.Servicebench.load_sweep ~capacity_rps:100. ~requests:24
+      ~mults:[ 0.5; 2.0 ] ()
+  in
+  Alcotest.(check int) "two points" 2 (List.length row.Harness.Metrics.fd_points);
+  Alcotest.(check bool) "schedules clean" true row.Harness.Metrics.fd_clean;
+  Alcotest.(check bool) "artifacts identical" true
+    row.Harness.Metrics.fd_identical;
+  List.iter
+    (fun (p : Harness.Metrics.frontdoor_point) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%.1fx: every request accounted for"
+           p.Harness.Metrics.fd_mult)
+        p.Harness.Metrics.fd_sent
+        (p.Harness.Metrics.fd_done + p.Harness.Metrics.fd_shed
+       + p.Harness.Metrics.fd_failed);
+      Alcotest.(check bool) "sheds hinted" true
+        p.Harness.Metrics.fd_retry_after_ok)
+    row.Harness.Metrics.fd_points;
+  match row.Harness.Metrics.fd_points with
+  | [ uncontended; overloaded ] ->
+      Alcotest.(check bool) "overload still completes work" true
+        (overloaded.Harness.Metrics.fd_done > 0);
+      Alcotest.(check bool) "goodput degrades gracefully" true
+        (overloaded.Harness.Metrics.fd_goodput_rps
+        >= 0.8 *. uncontended.Harness.Metrics.fd_goodput_rps)
+  | _ -> Alcotest.fail "unexpected point count"
+
+let suite =
+  [
+    test "hist: log2 bucket math" test_hist_buckets;
+    test "hist: quantiles" test_hist_quantiles;
+    test "quota: exhaustion, hints, refill" test_quota_exhaustion_and_refill;
+    test "lanes: preemption + starvation freedom"
+      test_lanes_preemption_and_starvation_freedom;
+    test "binary framing roundtrips" test_binary_roundtrip;
+    test "binary decoder hardening" test_binary_decoder_hardening;
+    test "text decoder is incremental" test_text_decoder_incremental;
+    test "frontdoor matches the classic server byte-for-byte"
+      test_end_to_end_matches_classic_server;
+    test "quota shed carries retry-after" test_quota_shed_carries_retry_after;
+    test "queue shed under a pipelined burst"
+      test_queue_shed_under_pipelined_burst;
+    test "deadlines count lane-queue wait" test_deadline_counts_queue_wait;
+    test "clock.jump cannot expire a deadline"
+      test_clock_jump_does_not_expire_deadlines;
+    test "garbage frames get structured errors"
+      test_garbage_gets_structured_error;
+    test "harness: frontdoor runs are deterministic"
+      test_harness_frontdoor_deterministic;
+    test "harness: frontdoor chaos sweep stays clean"
+      test_harness_frontdoor_chaos_sweep;
+    test "bench: reduced load sweep" test_load_sweep_reduced;
+  ]
