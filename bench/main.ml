@@ -37,7 +37,7 @@ let compile_test ~suite_tag ~jobs (b : Workloads.Suite.benchmark) config label
   Test.make
     ~name:(Printf.sprintf "%s/%s/%s" suite_tag b.Workloads.Suite.name label)
     (Staged.stage (fun () ->
-         let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+         let prog = Workloads.Suite.compile b in
          ignore (Dbds.Driver.optimize_program ~config ~jobs prog)))
 
 let representative (s : Workloads.Suite.t) =
@@ -143,7 +143,7 @@ type perf_row = {
 let perf_rows () =
   let config = Dbds.Config.dbds in
   let compile_one (b : Workloads.Suite.benchmark) =
-    let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+    let prog = Workloads.Suite.compile b in
     ignore (Dbds.Driver.optimize_program ~config ~jobs:1 prog);
     prog
   in
@@ -196,7 +196,7 @@ let perf_rows () =
         let buf = Buffer.create 4096 in
         List.iter
           (fun (b : Workloads.Suite.benchmark) ->
-            let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+            let prog = Workloads.Suite.compile b in
             ignore (Dbds.Driver.optimize_program ~config ~jobs prog);
             Ir.Program.iter_functions prog (fun g ->
                 Buffer.add_string buf (Ir.Printer.graph_to_string g)))
@@ -289,6 +289,23 @@ let print_tiered rows =
   section "Tiered execution: steady state vs tier-0 interpretation";
   Format.printf "%a@." Harness.Report.pp_tiered
     (List.map (fun (_, _, r) -> r) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial workload lab: tier comparison                           *)
+(* ------------------------------------------------------------------ *)
+
+let tier_rows () = Harness.Tiercompare.run ~jobs:1 ()
+
+let print_tier_compare rows =
+  section "Workload lab: adversarial suites under every tier";
+  Format.printf "%a@." Harness.Tiercompare.pp rows
+
+(* The lab's determinism probe: the optimized IR of every benchmark
+   under every tier, digested, at three jobs values. *)
+let tier_fingerprints () =
+  ( Harness.Tiercompare.fingerprint ~jobs:1 (),
+    Harness.Tiercompare.fingerprint ~jobs:2 (),
+    Harness.Tiercompare.fingerprint ~jobs:4 () )
 
 (* ------------------------------------------------------------------ *)
 (* Compilation service: cold vs warm artifact store                    *)
@@ -385,7 +402,7 @@ let pea_cap_rows () =
     let wall =
       let best = ref infinity in
       for _ = 1 to 5 do
-        let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+        let prog = Workloads.Suite.compile b in
         let t0 = Unix.gettimeofday () in
         ignore (Dbds.Driver.optimize_program ~config ~jobs:1 prog);
         let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
@@ -474,7 +491,7 @@ let json_escape s =
   Buffer.contents buf
 
 let write_results_json path rows cache_rows tiered service perf fleet
-    frontdoor (pea_bench, pea_variants) =
+    frontdoor (pea_bench, pea_variants) tier_rows (fp1, fp2, fp4) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -724,6 +741,50 @@ let write_results_json path rows cache_rows tiered service perf fleet
   in
   Buffer.add_string buf (String.concat ",\n" pea_entries);
   Buffer.add_string buf "\n    ]\n  },\n";
+  (* Adversarial workload lab: every benchmark under every tier. *)
+  Buffer.add_string buf "  \"adversarial\": [\n";
+  let tier_entries =
+    List.map
+      (fun (r : Harness.Metrics.tier_row) ->
+        let cells =
+          String.concat ",\n"
+            (List.map
+               (fun (c : Harness.Metrics.tier_cell) ->
+                 Printf.sprintf
+                   "        { \"tier\": \"%s\", \"peak_cycles\": %.1f, \
+                    \"code_size\": %d, \"compile_work\": %d, \"decisions\": \
+                    %d }"
+                   (json_escape c.Harness.Metrics.tc_tier)
+                   c.Harness.Metrics.tc_peak_cycles
+                   c.Harness.Metrics.tc_code_size
+                   c.Harness.Metrics.tc_compile_work
+                   c.Harness.Metrics.tc_decisions)
+               r.Harness.Metrics.tc_cells)
+        in
+        Printf.sprintf
+          "    {\n\
+          \      \"suite\": \"%s\",\n\
+          \      \"benchmark\": \"%s\",\n\
+          \      \"tiers\": [\n%s\n      ]\n\
+          \    }"
+          (json_escape r.Harness.Metrics.tc_suite)
+          (json_escape r.Harness.Metrics.tc_benchmark)
+          cells)
+      tier_rows
+  in
+  Buffer.add_string buf (String.concat ",\n" tier_entries);
+  Buffer.add_string buf "\n  ],\n";
+  (* Cross-jobs byte-determinism of the whole lab table. *)
+  Buffer.add_string buf "  \"tier_compare\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"fingerprint_jobs1\": \"%s\",\n\
+       \    \"fingerprint_jobs2\": \"%s\",\n\
+       \    \"fingerprint_jobs4\": \"%s\",\n\
+       \    \"byte_identical\": %b\n"
+       fp1 fp2 fp4
+       (String.equal fp1 fp2 && String.equal fp1 fp4));
+  Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"perf\": [\n";
   let perf_entries =
     List.map
@@ -809,8 +870,11 @@ let () =
   print_frontdoor frontdoor;
   let pea_cap = pea_cap_rows () in
   print_pea_cap pea_cap;
+  let lab = tier_rows () in
+  print_tier_compare lab;
+  let fps = tier_fingerprints () in
   let perf = perf_rows () in
   print_perf perf;
   let rows = run_bechamel () in
   write_results_json "BENCH_results.json" rows cache_rows tiered service perf
-    fleet frontdoor pea_cap
+    fleet frontdoor pea_cap lab fps

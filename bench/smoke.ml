@@ -26,7 +26,7 @@ let () =
   in
   let config = Dbds.Config.dbds in
   let compile_one (b : Workloads.Suite.benchmark) ~jobs =
-    let prog = Lang.Frontend.compile b.Workloads.Suite.source in
+    let prog = Workloads.Suite.compile b in
     ignore (Dbds.Driver.optimize_program ~config ~jobs prog);
     prog
   in
@@ -97,6 +97,38 @@ let () =
      peak and the interactive lane's p99 within 3x of uncontended —
      shedding the surplus (with retry-after hints) instead of queueing
      it into latency. *)
+  (* Workload-lab gates.  (a) The adversarial suites run under every
+     tier with agreeing results (Tiercompare raises otherwise) and the
+     giant-switch suite shows a positive duplication win — at least one
+     duplication tier beats the classic pipeline on total peak cycles.
+     (b) The whole lab table is byte-deterministic across jobs. *)
+  let lab = Harness.Tiercompare.run ~jobs:1 () in
+  let disp_off =
+    Harness.Tiercompare.suite_peak lab ~suite:"adv-dispatch" ~tier:"off"
+  in
+  let winners =
+    List.filter
+      (fun tier ->
+        Harness.Tiercompare.suite_peak lab ~suite:"adv-dispatch" ~tier
+        < disp_off)
+      Harness.Tiercompare.duplication_tiers
+  in
+  Printf.printf
+    "bench-smoke: lab table %d rows; adv-dispatch duplication winners: %s\n"
+    (List.length lab)
+    (if winners = [] then "none" else String.concat ", " winners);
+  if winners = [] then
+    die
+      "no duplication tier beats off on the giant-switch suite (off total \
+       %.0f cycles)"
+      disp_off;
+  let fp1 = Harness.Tiercompare.fingerprint ~jobs:1 () in
+  let fp2 = Harness.Tiercompare.fingerprint ~jobs:2 () in
+  let fp4 = Harness.Tiercompare.fingerprint ~jobs:4 () in
+  if not (String.equal fp1 fp2 && String.equal fp1 fp4) then
+    die "lab tier_compare fingerprint differs across jobs 1/2/4";
+  Printf.printf "bench-smoke: lab tier_compare byte-identical at jobs 1/2/4 \
+                 (%s)\n" fp1;
   let fd =
     Harness.Servicebench.load_sweep ~capacity_rps:100.0 ~requests:32
       ~mults:[ 0.5; 1.0; 2.0 ] ()

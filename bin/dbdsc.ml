@@ -61,6 +61,7 @@ let mode_conv =
       ("dbds", Dbds.Config.Dbds);
       ("dupalot", Dbds.Config.Dupalot);
       ("backtracking", Dbds.Config.Backtracking);
+      ("condelim-dup", Dbds.Config.Condelim_dup);
     ]
 
 (* Contained failures are reported, never silent: the compilation is
@@ -574,9 +575,24 @@ let run_compiler file mode passes licm pea_max_rounds print_passes dump dot
     | Ok () -> ()
     | Error msg -> failwith ("--passes: " ^ msg));
     if print_passes then begin
-      (* Canonical form: parseable back through --passes (CI round-trips
-         this). *)
+      (* First line: the canonical form, parseable back through
+         --passes (CI round-trips `head -1` of this output).  Then the
+         contract table: what each per-function pass preserves and which
+         passes its changes can enable. *)
       Format.printf "%s@." (Opt.Spec.to_string spec);
+      List.iter
+        (fun (name, preserves, enables) ->
+          Format.printf "# %-14s preserves=%s enables=%s@." name
+            (match preserves with
+            | [] -> "-"
+            | ks ->
+                String.concat ","
+                  (List.map Ir.Analyses.kind_to_string ks))
+            (match enables with
+            | None -> "*"
+            | Some [] -> "-"
+            | Some ps -> String.concat "," ps))
+        (Dbds.Driver.describe_spec config spec);
       raise Exit
     end;
     (match svc.fleet_coord with
@@ -801,8 +817,11 @@ let mode_arg =
   Arg.(
     value
     & opt mode_conv Dbds.Config.Dbds
-    & info [ "m"; "mode" ] ~docv:"MODE"
-        ~doc:"Optimization mode: baseline, dbds, dupalot or backtracking.")
+    & info [ "m"; "mode"; "tier" ] ~docv:"MODE"
+        ~doc:
+          "Optimization mode (tier): baseline, dbds, dupalot, backtracking \
+           or condelim-dup (greedy conditional elimination through \
+           duplication, no trade-off).")
 
 let passes_arg =
   Arg.(
@@ -814,10 +833,12 @@ let passes_arg =
            a comma-separated list of pass names; $(b,fix(...)) iterates its \
            body to a fixpoint; options attach in braces, e.g. \
            $(b,inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),dbds{iters=3}). \
-           Passes: the classic names above plus $(b,licm), the duplication \
-           tiers $(b,dbds)/$(b,dupalot) (options $(i,iters), \
-           $(i,threshold)) and $(b,backtracking) (option $(i,iters)), and \
-           program-level $(b,inline) (top level only).")
+           Passes: the classic names above plus $(b,licm), the opt-in \
+           upgrades $(b,copyprop) (optimistic copy propagation) and \
+           $(b,lospre) (speculative PRE), the duplication tiers \
+           $(b,dbds)/$(b,dupalot) (options $(i,iters), $(i,threshold)), \
+           $(b,backtracking) and $(b,condelim_dup) (option $(i,iters)), \
+           and program-level $(b,inline) (top level only).")
 
 let licm_arg =
   Arg.(

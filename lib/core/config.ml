@@ -10,6 +10,11 @@ type mode =
   | Backtracking
       (** Algorithm 1: tentatively duplicate, optimize, keep on progress,
           restore otherwise — the expensive strategy DBDS replaces *)
+  | Condelim_dup
+      (** conditional elimination through duplication (arXiv 1106.3478):
+          duplicate every (merge, predecessor) pair where the duplicate's
+          branch or a compare would fold, with no trade-off — the greedy
+          single-optimization comparator of the workload lab *)
 
 type t = {
   mode : mode;
@@ -80,6 +85,7 @@ let dbds = default
 let off = { default with mode = Off }
 let dupalot = { default with mode = Dupalot }
 let backtracking = { default with mode = Backtracking }
+let condelim_dup = { default with mode = Condelim_dup }
 
 (** DBDS with the §8 path extension enabled. *)
 let dbds_paths = { default with path_duplication = true }
@@ -92,12 +98,14 @@ let mode_to_string = function
   | Dbds -> "dbds"
   | Dupalot -> "dupalot"
   | Backtracking -> "backtracking"
+  | Condelim_dup -> "condelim-dup"
 
 let mode_of_string = function
   | "baseline" | "off" -> Some Off
   | "dbds" -> Some Dbds
   | "dupalot" -> Some Dupalot
   | "backtracking" -> Some Backtracking
+  | "condelim-dup" | "condelim_dup" -> Some Condelim_dup
   | _ -> None
 
 (* ------------------------------------------------------------------ *)

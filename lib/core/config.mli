@@ -10,6 +10,11 @@ type mode =
   | Backtracking
       (** Algorithm 1: tentatively duplicate, optimize, keep on progress,
           restore otherwise — the expensive strategy DBDS replaces *)
+  | Condelim_dup
+      (** conditional elimination through duplication (arXiv 1106.3478):
+          duplicate every (merge, predecessor) pair where the duplicate's
+          branch or a compare would fold, with no trade-off — the greedy
+          single-optimization comparator of the workload lab *)
 
 type t = {
   mode : mode;
@@ -62,6 +67,7 @@ val dbds : t
 val off : t
 val dupalot : t
 val backtracking : t
+val condelim_dup : t
 
 (** DBDS with the §8 path extension enabled. *)
 val dbds_paths : t

@@ -198,7 +198,12 @@ let default_spec (config : Config.t) : Opt.Spec.t =
       | Config.Off -> [ inline; fix () ]
       | Config.Dbds -> [ inline; fix (); tier "dbds" ]
       | Config.Dupalot -> [ inline; fix (); tier "dupalot" ]
-      | Config.Backtracking -> [ inline; fix (); tier "backtracking"; fix () ])
+      | Config.Backtracking -> [ inline; fix (); tier "backtracking"; fix () ]
+      (* The greedy tier performs no embedded action steps (unlike the
+         simulation tiers, which optimize after each round), so the
+         opportunities it opens need a trailing fixpoint group. *)
+      | Config.Condelim_dup ->
+          [ inline; fix (); tier "condelim_dup"; fix () ])
 
 let is_inline_item = function
   | Opt.Spec.Pass { name = "inline"; _ } -> true
@@ -283,6 +288,22 @@ let resolve (config : Config.t) stats : Opt.Manager.resolver =
              let kept0 = stats.backtrack_kept in
              run_backtracking config ctx stats g;
              stats.backtrack_kept > kept0))
+  | "condelim_dup" ->
+      let* () = Opt.Spec.check_opts ~pass:name [ "iters" ] opts in
+      let* iters =
+        Opt.Spec.int_opt opts "iters" ~default:config.Config.max_iterations
+      in
+      (* The analysis lives below the core library; inject the
+         duplication transform (and the staleness signal) here, counting
+         applications into the driver's historical stats. *)
+      let duplicate g ~merge ~pred =
+        match Transform.duplicate g ~merge ~pred with
+        | bm' ->
+            stats.duplications_performed <- stats.duplications_performed + 1;
+            Some bm'
+        | exception Transform.Not_applicable _ -> None
+      in
+      Ok (Opt.Condelim_dup.phase_with ~duplicate ~iters)
   | "inline" ->
       Error
         "inline is program-level: it may only appear at the top level of \
@@ -307,6 +328,36 @@ let validate_spec (config : Config.t) spec =
       Opt.Manager.validate
         (resolve config (fresh_stats ()))
         (per_function_items spec)
+
+(** Contract table of a spec's per-function passes in pipeline order
+    (fix bodies flattened, repeated passes collapsed to their first
+    occurrence): [(pass_name, preserves, enables)].  What
+    [dbdsc --print-passes] renders under the canonical spec line. *)
+let describe_spec (config : Config.t) spec =
+  let resolver = resolve config (fresh_stats ()) in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec walk items =
+    List.iter
+      (function
+        | Opt.Spec.Fix { body; _ } -> walk body
+        | Opt.Spec.Pass { name = "inline"; _ } -> ()
+        | Opt.Spec.Pass { name; opts } -> (
+            match resolver name opts with
+            | Error _ -> ()
+            | Ok (p : Opt.Phase.t) ->
+                if not (Hashtbl.mem seen p.Opt.Phase.pass_name) then begin
+                  Hashtbl.replace seen p.Opt.Phase.pass_name ();
+                  out :=
+                    ( p.Opt.Phase.pass_name,
+                      p.Opt.Phase.preserves,
+                      p.Opt.Phase.enables )
+                    :: !out
+                end))
+      items
+  in
+  walk (per_function_items spec);
+  List.rev !out
 
 (** Optimize one graph under the given configuration: execute the
     configured pipeline (minus program-level items) through the pass

@@ -58,6 +58,15 @@ val default_spec : Config.t -> Opt.Spec.t
     and program-level [inline] at the top level only. *)
 val validate_spec : Config.t -> Opt.Spec.t -> (unit, string) result
 
+(** Contract table of a spec's per-function passes in pipeline order
+    (fix bodies flattened, repeats collapsed): [(pass_name, preserves,
+    enables)].  Rendered by [dbdsc --print-passes] under the canonical
+    spec line. *)
+val describe_spec :
+  Config.t ->
+  Opt.Spec.t ->
+  (string * Ir.Analyses.kind list * string list option) list
+
 (** Optimize one graph under the given configuration: execute the
     configured pipeline (minus program-level items) through the pass
     manager. *)

@@ -23,7 +23,11 @@ let budget_for g =
 let should_duplicate (config : Config.t) budget (c : Candidate.t) =
   let cost = float_of_int (max c.Candidate.size_delta 0) in
   match config.Config.mode with
-  | Config.Off -> false
+  (* Condelim-dup never reaches this predicate (its tier pass does not
+     run the simulation), but a hand-written spec could combine a
+     condelim-dup mode with a simulation tier pass; duplicate nothing
+     extra there. *)
+  | Config.Off | Config.Condelim_dup -> false
   | Config.Dupalot ->
       c.Candidate.benefit > 0.0
       && budget.current_size < config.Config.max_unit_size

@@ -605,3 +605,173 @@ let run_frontdoor ?(decoder_cases = 400) ?(server_seeds = 8) () =
     f_rejected = !rejected;
     f_violations = List.rev !violations;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Workload-lab property                                               *)
+(* ------------------------------------------------------------------ *)
+
+type lab_result = {
+  l_pairs_run : int;
+  l_paranoid_runs : int;
+  l_enables_checked : int;
+  l_violations : string list;
+}
+
+(* The lab corpus: every adversarial benchmark plus a few progen
+   programs with the irreducible-region flag on.  Builders return a
+   fresh program per call — optimization mutates graphs in place. *)
+let lab_corpus ~progen_seeds =
+  List.concat_map
+    (fun (s : Workloads.Suite.t) ->
+      List.map
+        (fun (b : Workloads.Suite.benchmark) ->
+          ( s.Workloads.Suite.suite_name ^ "/" ^ b.Workloads.Suite.name,
+            fun () -> Workloads.Suite.compile b ))
+        s.Workloads.Suite.benchmarks)
+    Workloads.Registry.adversarial
+  @ List.map
+      (fun seed ->
+        ( Printf.sprintf "progen-irr/%d" seed,
+          fun () ->
+            Workloads.Progen.generate_program ~irreducible:true ~seed () ))
+      progen_seeds
+
+(* The tiers under fuzz: the three new passes, plus dbds as the control.
+   The legacy tiers ride through [run] above. *)
+let lab_tiers () =
+  List.filter
+    (fun (name, _) ->
+      List.mem name [ "copyprop-canon"; "lospre"; "condelim_dup"; "dbds" ])
+    Tiercompare.tiers
+
+let run_lab ?(progen_seeds = [ 0; 1; 2; 3 ]) ?(plans_per_pair = 2) () =
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let pairs = ref 0 and paranoid = ref 0 and enables_checked = ref 0 in
+  let corpus = lab_corpus ~progen_seeds in
+  let tiers = lab_tiers () in
+  (* (1) jobs 1-vs-4 byte identity of the whole run — printed IR,
+     stats, failures, counters — with and without fault plans. *)
+  List.iter
+    (fun (name, fresh) ->
+      List.iter
+        (fun (tier, tconfig) ->
+          for k = 0 to plans_per_pair - 1 do
+            let plan =
+              if k = 0 then None
+              else Some (Dbds.Faults.of_seed ((Hashtbl.hash name * 31) + k))
+            in
+            let config =
+              {
+                tconfig with
+                Dbds.Config.fault_plan = plan;
+                containment = true;
+                bundle_dir = None;
+              }
+            in
+            incr pairs;
+            let one jobs =
+              let prog = fresh () in
+              match Dbds.Driver.optimize_program_report ~config ~jobs prog with
+              | r -> Ok (fingerprint prog r)
+              | exception e -> Error (Printexc.to_string e)
+            in
+            match (one 1, one 4) with
+            | Ok f1, Ok f4 ->
+                if f1 <> f4 then
+                  violate "%s tier=%s plan=%d: jobs=4 diverges from jobs=1"
+                    name tier k
+            | Error msg, _ | _, Error msg ->
+                violate "%s tier=%s plan=%d: escaped exception: %s" name tier
+                  k msg
+          done)
+        tiers)
+    corpus;
+  (* (2) preserves contracts: the paranoid driver (IR verifier plus
+     recompute-and-compare audit of every declared-preserved analysis
+     after each fired pass) must contain nothing on the clean corpus. *)
+  List.iter
+    (fun (name, fresh) ->
+      List.iter
+        (fun (tier, tconfig) ->
+          let config =
+            { tconfig with Dbds.Config.verify_between_phases = true }
+          in
+          incr paranoid;
+          let prog = fresh () in
+          match Dbds.Driver.optimize_program_report ~config ~jobs:1 prog with
+          | r -> (
+              match r.Dbds.Driver.rep_failures with
+              | [] -> ()
+              | f :: _ ->
+                  violate "%s tier=%s: paranoid run contained %s at %s: %s"
+                    name tier f.Dbds.Driver.fail_fn f.Dbds.Driver.fail_site
+                    f.Dbds.Driver.fail_exn)
+          | exception e ->
+              violate "%s tier=%s: paranoid run raised %s" name tier
+                (Printexc.to_string e))
+        tiers)
+    corpus;
+  (* (3) enables completeness: once the classic fixpoint has settled,
+     each firing of copyprop/lospre is chased through only its declared
+     [enables] passes back to a fixpoint; the full classic group must
+     then have nothing left to do.  An [enables] list that hides a
+     consumer is a lie the incremental pass manager would act on. *)
+  let resolve n =
+    match Opt.Pipeline.resolve_classic n [] with
+    | Ok p -> p
+    | Error msg -> invalid_arg msg
+  in
+  let classic = List.map resolve Opt.Pipeline.classic_names in
+  List.iter
+    (fun (name, fresh) ->
+      List.iter
+        (fun pass_name ->
+          let pass = resolve pass_name in
+          let enabled =
+            match pass.Opt.Phase.enables with
+            | Some names -> List.map resolve names
+            | None -> classic
+          in
+          let prog = fresh () in
+          let ctx = Opt.Phase.create ~program:prog () in
+          incr enables_checked;
+          List.iter
+            (fun fn ->
+              match Ir.Program.find_function prog fn with
+              | None -> ()
+              | Some g -> (
+                  try
+                    ignore (Opt.Phase.fixpoint classic ctx g);
+                    let fired = ref false and budget = ref 8 in
+                    let converged = ref false in
+                    while (not !converged) && !budget > 0 do
+                      if Opt.Phase.run_pass ctx pass g then begin
+                        fired := true;
+                        decr budget;
+                        ignore (Opt.Phase.fixpoint enabled ctx g)
+                      end
+                      else converged := true
+                    done;
+                    if
+                      !fired && !converged
+                      && Opt.Phase.fixpoint classic ctx g
+                    then
+                      violate
+                        "%s/%s: %s's enables list misses a consumer (classic \
+                         group still fired)"
+                        name fn pass_name
+                  with e ->
+                    violate "%s/%s: enables check for %s raised %s" name fn
+                      pass_name (Printexc.to_string e)))
+            (Ir.Program.function_names prog))
+        [ "copyprop"; "lospre" ])
+    corpus;
+  {
+    l_pairs_run = !pairs;
+    l_paranoid_runs = !paranoid;
+    l_enables_checked = !enables_checked;
+    l_violations = List.rev !violations;
+  }

@@ -98,6 +98,26 @@ let tiered_warmup r =
   if r.t_steady_cycles <= 0.0 then 0.0
   else (r.t_first_cycles /. r.t_steady_cycles -. 1.0) *. 100.0
 
+(** One benchmark × tier cell of the adversarial workload-lab
+    comparison ({!Tiercompare}). *)
+type tier_cell = {
+  tc_tier : string;
+  tc_peak_cycles : float;
+  tc_code_size : int;
+  tc_compile_work : int;
+  tc_decisions : int;
+      (** duplication tiers: duplications performed; upgrade-pass tiers:
+          times the tier's pass fired; off: 0 *)
+}
+
+(** One adversarial benchmark's row: a cell per tier, in
+    {!Tiercompare.tiers} order. *)
+type tier_row = {
+  tc_suite : string;
+  tc_benchmark : string;
+  tc_cells : tier_cell list;
+}
+
 (** One suite's compilation-service comparison: mean wall-clock per
     program compile against a cold (empty) artifact store vs a warm
     (populated) one, with the warm pass's store hit rate and the

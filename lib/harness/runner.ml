@@ -3,9 +3,11 @@
 exception Benchmark_failed of string * string
 
 let compile_benchmark (b : Workloads.Suite.benchmark) =
-  try Lang.Frontend.compile b.Workloads.Suite.source
-  with Lang.Frontend.Error msg ->
-    raise (Benchmark_failed (b.Workloads.Suite.name, msg))
+  try Workloads.Suite.compile b with
+  | Lang.Frontend.Error msg ->
+      raise (Benchmark_failed (b.Workloads.Suite.name, msg))
+  | Ir.Parse.Parse_error msg ->
+      raise (Benchmark_failed (b.Workloads.Suite.name, msg))
 
 let program_code_size prog =
   let total = ref 0 in

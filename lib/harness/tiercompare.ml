@@ -1,0 +1,170 @@
+(** Tier comparison over the adversarial workload lab ({!Workloads.Advgen}).
+
+    Every lab benchmark is compiled and run under seven tiers:
+
+    - [off] — the classic pipeline, no duplication, no upgrades;
+    - [copyprop-canon] — classic fixpoint plus optimistic copy
+      propagation (arXiv 2207.03894) as a canonicalization upgrade;
+    - [lospre] — classic fixpoint plus linear-time speculative PRE
+      (arXiv 2011.10789);
+    - [condelim_dup] — greedy conditional elimination through
+      duplication (arXiv 1106.3478), no trade-off;
+    - [dbds] / [dupalot] / [backtracking] — the paper's tiers.
+
+    Per cell we record peak cycles, code size, compile work and the
+    tier's decision count (duplications for duplication tiers, pass
+    firings for the upgrade passes).  All tiers must agree on every
+    benchmark's result — the lab's differential invariant — and the
+    whole table must be byte-deterministic at any [jobs] value, which
+    {!fingerprint} lets CI check cheaply. *)
+
+let spec_of s =
+  match Opt.Spec.of_string s with
+  | Ok spec -> spec
+  | Error msg -> invalid_arg ("Tiercompare.spec_of: " ^ msg)
+
+(* The baseline fixpoint group with one extra pass folded in.  The
+   upgrade passes stay out of the calibrated default group (digest
+   stability), so the lab opts in per tier via an explicit spec. *)
+let upgraded pass =
+  {
+    Dbds.Config.off with
+    Dbds.Config.passes =
+      Some
+        (spec_of
+           ("inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce,"
+          ^ pass ^ ")"));
+  }
+
+let tiers : (string * Dbds.Config.t) list =
+  [
+    ("off", Dbds.Config.off);
+    ("copyprop-canon", upgraded "copyprop");
+    ("lospre", upgraded "lospre");
+    ("condelim_dup", Dbds.Config.condelim_dup);
+    ("dbds", Dbds.Config.dbds);
+    ("dupalot", Dbds.Config.dupalot);
+    ("backtracking", Dbds.Config.backtracking);
+  ]
+
+(** The tiers that duplicate code (candidates for the lab's
+    giant-switch win gate). *)
+let duplication_tiers = [ "condelim_dup"; "dbds"; "dupalot"; "backtracking" ]
+
+let fired pass stats =
+  match List.assoc_opt pass stats with
+  | Some (s : Opt.Phase.pass_stat) -> s.Opt.Phase.fired
+  | None -> 0
+
+let decisions ~tier (m : Metrics.measurement) =
+  match tier with
+  | "off" -> 0
+  | "copyprop-canon" -> fired "copyprop" m.Metrics.passes
+  | "lospre" -> fired "lospre" m.Metrics.passes
+  | _ -> m.Metrics.duplications
+
+let measure_benchmark ?jobs ~suite (b : Workloads.Suite.benchmark) =
+  let measured =
+    List.map (fun (tier, config) -> (tier, Runner.measure ?jobs ~config b)) tiers
+  in
+  (match measured with
+  | (_, first) :: rest ->
+      List.iter
+        (fun (tier, (m : Metrics.measurement)) ->
+          if m.Metrics.result_value <> first.Metrics.result_value then
+            raise
+              (Runner.Benchmark_failed
+                 ( b.Workloads.Suite.name,
+                   Printf.sprintf "tier %s computes %s, off computes %s" tier
+                     m.Metrics.result_value first.Metrics.result_value )))
+        rest
+  | [] -> ());
+  {
+    Metrics.tc_suite = suite;
+    tc_benchmark = b.Workloads.Suite.name;
+    tc_cells =
+      List.map
+        (fun (tier, (m : Metrics.measurement)) ->
+          {
+            Metrics.tc_tier = tier;
+            tc_peak_cycles = m.Metrics.peak_cycles;
+            tc_code_size = m.Metrics.code_size;
+            tc_compile_work = m.Metrics.compile_work;
+            tc_decisions = decisions ~tier m;
+          })
+        measured;
+  }
+
+(** The full lab table: every adversarial benchmark under every tier. *)
+let run ?jobs () =
+  List.concat_map
+    (fun (s : Workloads.Suite.t) ->
+      List.map
+        (measure_benchmark ?jobs ~suite:s.Workloads.Suite.suite_name)
+        s.Workloads.Suite.benchmarks)
+    Workloads.Registry.adversarial
+
+(** Hex digest of the optimized IR of every lab benchmark under every
+    tier — the cheap cross-[jobs] byte-identity probe for CI. *)
+let fingerprint ?jobs () =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun (s : Workloads.Suite.t) ->
+      List.iter
+        (fun (b : Workloads.Suite.benchmark) ->
+          List.iter
+            (fun (tier, config) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s/%s/%s\n" s.Workloads.Suite.suite_name
+                   b.Workloads.Suite.name tier);
+              let prog = Workloads.Suite.compile b in
+              ignore (Dbds.Driver.optimize_program ~config ?jobs prog);
+              Ir.Program.iter_functions prog (fun g ->
+                  Buffer.add_string buf (Ir.Printer.graph_to_string g)))
+            tiers)
+        s.Workloads.Suite.benchmarks)
+    Workloads.Registry.adversarial;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** Peak-cycle total of one tier over one suite's rows. *)
+let suite_peak rows ~suite ~tier =
+  List.fold_left
+    (fun acc (r : Metrics.tier_row) ->
+      if r.Metrics.tc_suite <> suite then acc
+      else
+        List.fold_left
+          (fun acc (c : Metrics.tier_cell) ->
+            if c.Metrics.tc_tier = tier then acc +. c.Metrics.tc_peak_cycles
+            else acc)
+          acc r.Metrics.tc_cells)
+    0.0 rows
+
+let pp ppf rows =
+  let current = ref "" in
+  List.iter
+    (fun (r : Metrics.tier_row) ->
+      if r.Metrics.tc_suite <> !current then begin
+        current := r.Metrics.tc_suite;
+        Fmt.pf ppf "@.[%s]@." r.Metrics.tc_suite
+      end;
+      Fmt.pf ppf "  %-10s" r.Metrics.tc_benchmark;
+      let off =
+        List.find
+          (fun (c : Metrics.tier_cell) -> c.Metrics.tc_tier = "off")
+          r.Metrics.tc_cells
+      in
+      List.iter
+        (fun (c : Metrics.tier_cell) ->
+          if c.Metrics.tc_tier <> "off" then
+            Fmt.pf ppf " %s:%+.1f%%/%+d"
+              c.Metrics.tc_tier
+              (Metrics.pct_change
+                 ~base:(max off.Metrics.tc_peak_cycles 1.0)
+                 c.Metrics.tc_peak_cycles)
+              (c.Metrics.tc_code_size - off.Metrics.tc_code_size))
+        r.Metrics.tc_cells;
+      Fmt.pf ppf "@.")
+    rows;
+  Fmt.pf ppf
+    "@.(per tier: peak-cycle delta vs off — negative = faster — and code-size \
+     delta)@."

@@ -1,0 +1,31 @@
+(** Tier comparison over the adversarial workload lab: every
+    {!Workloads.Registry.adversarial} benchmark compiled and run under
+    the seven tiers (off, copyprop-canon, lospre, condelim_dup, dbds,
+    dupalot, backtracking), with a cross-[jobs] determinism
+    fingerprint.  See DESIGN.md §16. *)
+
+(** The tier labels and configurations, in report/JSON column order. *)
+val tiers : (string * Dbds.Config.t) list
+
+(** Labels of tiers that duplicate code. *)
+val duplication_tiers : string list
+
+(** Measure one benchmark under every tier.
+    @raise Runner.Benchmark_failed when any tier's result disagrees. *)
+val measure_benchmark :
+  ?jobs:int ->
+  suite:string ->
+  Workloads.Suite.benchmark ->
+  Metrics.tier_row
+
+(** The full lab table, suite by suite. *)
+val run : ?jobs:int -> unit -> Metrics.tier_row list
+
+(** Hex digest of every lab benchmark's optimized IR under every tier —
+    must be identical for any [jobs]. *)
+val fingerprint : ?jobs:int -> unit -> string
+
+(** Total peak cycles of [tier] over [suite]'s rows. *)
+val suite_peak : Metrics.tier_row list -> suite:string -> tier:string -> float
+
+val pp : Format.formatter -> Metrics.tier_row list -> unit

@@ -25,7 +25,7 @@ let fuel = 50_000_000
 let measure_benchmark ?(warmup = default_warmup) ?(config = Vm.Engine.config ())
     (b : Workloads.Suite.benchmark) =
   let args = b.Workloads.Suite.args in
-  let fresh () = Lang.Frontend.compile b.Workloads.Suite.source in
+  let fresh () = Workloads.Suite.compile b in
   (* Tier-0-only control: same engine machinery, promotion disabled. *)
   let tier0_cfg =
     Vm.Engine.config ~policy:Vm.Policy.never ~icache:config.Vm.Engine.icache

@@ -1,0 +1,152 @@
+(** Optimistic copy propagation over SSA, subsuming constant
+    propagation through phis (after Braun et al., arXiv 2207.03894).
+
+    The canonicalizer folds a phi whose inputs it can already see
+    through pessimistically; what it cannot do is collapse a {e cycle}
+    of phis that all forward the same underlying value (the classic
+    [x1 = phi(v, x2); x2 = phi(x1, x1)] shape left behind by loop
+    constructs and duplication), nor unify a phi over {e distinct}
+    constant instructions that hold the same integer.  Both need the
+    optimistic treatment: start every phi at Top, transfer with a meet
+    that skips Top inputs and self-references, and iterate to the
+    (two-level, hence linear-round) fixpoint.
+
+    Replacements are restricted to representatives that are provably
+    integer-valued ([Const]/[Binop]/[Cmp]/[Neg]/[Not]) or decided
+    constants.  Object-typed values ([New]/[Null]/params/calls/loads
+    that might carry references) are never propagated, so the memory
+    passes ([readelim], [pea]) provably cannot gain opportunities from
+    a fire — the basis of the [enables] contract below. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+(* The lattice: Top (unvisited optimism) > Cst n | Rep v > bottom.
+   Bottom for a phi p is represented as [Rep p] — "p is its own
+   representative" — which makes bottom per-phi and the meet total. *)
+type lat = Top | Cst of int | Rep of value
+
+let lat_equal a b =
+  match (a, b) with
+  | Top, Top -> true
+  | Cst x, Cst y -> x = y
+  | Rep x, Rep y -> x = y
+  | _ -> false
+
+(* Only these representative kinds are propagated (see above). *)
+let int_valued = function
+  | Const _ | Binop _ | Cmp _ | Neg _ | Not _ -> true
+  | Null | Param _ | Phi _ | New _ | Load _ | Store _ | Load_global _
+  | Store_global _ | Call _ ->
+      false
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let n = G.n_instrs g in
+  let lat = Array.make n Top in
+  (* Fixed lattice values for non-phi instructions. *)
+  let base_lat id =
+    match G.kind g id with Const c -> Cst c | _ -> Rep id
+  in
+  let reach = G.reachable g in
+  let phis_rpo =
+    List.concat_map
+      (fun b -> List.filter (fun id -> G.is_phi g id) (G.phis g b))
+      (G.rpo g)
+  in
+  List.iter (fun id -> lat.(id) <- Top) phis_rpo;
+  let value_of v = if G.is_phi g v then lat.(v) else base_lat v in
+  (* One transfer: the meet over resolved inputs, skipping Top inputs
+     and self-references (the optimistic part). *)
+  let transfer p =
+    match G.kind g p with
+    | Phi inputs ->
+        let acc = ref Top in
+        Array.iter
+          (fun v ->
+            if v >= 0 then
+              match value_of v with
+              | Top -> ()
+              | Rep r when r = p -> ()
+              | l -> (
+                  match !acc with
+                  | Top -> acc := l
+                  | cur -> if not (lat_equal cur l) then acc := Rep p))
+          inputs;
+        !acc
+    | _ -> base_lat p
+  in
+  (* Round-robin sweeps in RPO until stable: each phi only descends
+     (Top -> value -> bottom), so this terminates in O(phis) updates. *)
+  let changed_lat = ref true in
+  while !changed_lat do
+    changed_lat := false;
+    List.iter
+      (fun p ->
+        Phase.charge ctx 1;
+        let nv = transfer p in
+        if not (lat_equal nv lat.(p)) then begin
+          lat.(p) <- nv;
+          changed_lat := true
+        end)
+      phis_rpo
+  done;
+  (* Apply: collapse phis whose representative is a decided constant or
+     a provably integer-valued dominating value.  (A phi left at Top
+     has no reachable non-self input — dead or degenerate; leave it for
+     DCE/unreachable-code removal.) *)
+  let changed = ref false in
+  let mk_const = Canonicalize.materialize_const g in
+  (* The replacement value is an {e existing} value (or a cached entry
+     const), so rewriting a memory access base through it could create
+     a base congruence {!Readelim} keys on — which would break the
+     enables contract.  Well-typed programs never use an integer as a
+     base, but the IR does not forbid it; skip those phis. *)
+  let used_as_base p =
+    let bad = ref false in
+    G.iter_uses g p (fun u ->
+        match u with
+        | G.U_instr i -> (
+            match G.kind g i with
+            | Load (b, _) | Store (b, _, _) -> if b = p then bad := true
+            | _ -> ())
+        | G.U_term _ -> ());
+    !bad
+  in
+  List.iter
+    (fun p ->
+      if
+        G.instr_exists g p && G.is_phi g p
+        && reach.(G.block_of g p)
+        && G.has_uses g p
+        && not (used_as_base p)
+      then
+        match lat.(p) with
+        | Cst c ->
+            (* Constant-keyed representative: distinct Const instrs
+               holding the same integer unify here, which is the
+               constant-propagation subsumption.  A phi cannot change
+               kind in place (it lives in the phi list); redirect its
+               uses to a materialized constant and let DCE collect
+               it. *)
+            G.replace_uses g p ~by:(mk_const c);
+            changed := true
+        | Rep r
+          when r <> p && G.instr_exists g r && int_valued (G.kind g r) ->
+            (* [r] reaches the phi along every predecessor edge, so its
+               single definition dominates every predecessor and hence
+               the phi's block: the replacement is dominance-safe. *)
+            G.replace_uses g p ~by:r;
+            changed := true
+        | _ -> ())
+    phis_rpo;
+  !changed
+
+(* Copy propagation replaces uses and deletes phis; the CFG, branch
+   probabilities and loop structure are untouched. *)
+let phase =
+  Phase.make ~preserves:Ir.Analyses.all_kinds
+    ~enables:
+      [ "canonicalize"; "simplify-cfg"; "sccp"; "gvn"; "condelim"; "dce";
+        "licm" ]
+    "copyprop" run

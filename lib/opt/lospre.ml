@@ -1,0 +1,118 @@
+(** Lifetime-optimal speculative partial redundancy elimination in the
+    spirit of lospre (arXiv 2011.10789), specialized to this IR: every
+    arithmetic instruction is speculatable ([Div]/[Rem] by zero yield 0
+    rather than trapping — see {!Ir.Types.eval_binop}), so the
+    placement question loses its safety side and becomes a pure
+    redundancy question, answerable in one dominator-indexed sweep.
+
+    For each merge block and each pure computation in its body, the
+    pass resolves the computation's operands through the merge's phis
+    along every incoming edge.  When the resolved expression is already
+    {e available} along at least one edge (an instruction with the same
+    GVN key defined in a block dominating that predecessor), the
+    computation is partially redundant: a copy is placed at the end of
+    every predecessor, a phi over the copies replaces the original, and
+    the later [gvn] run in the same fixpoint group deduplicates the
+    copies on the already-computing paths — eliminating the redundancy
+    while merely moving (speculating) the computation on the others.
+
+    The CFG is untouched, so all analyses are preserved; the fire
+    introduces only pure scalar computations and phis, so the memory
+    passes ([readelim]/[pea]) provably cannot gain opportunities. *)
+
+open Ir.Types
+module G = Ir.Graph
+
+(* Speculatable, hoistable computations: pure scalar arithmetic.
+   Constants/params are never worth hoisting; phis are positional. *)
+let candidate = function
+  | Binop _ | Cmp _ | Neg _ | Not _ -> true
+  | Const _ | Null | Param _ | Phi _ | New _ | Load _ | Store _
+  | Load_global _ | Store_global _ | Call _ ->
+      false
+
+let run ctx g =
+  Phase.charge_graph ctx g;
+  let dom = Ir.Analyses.dom g in
+  (* Availability index: GVN key -> blocks defining that expression.
+     An expression is available at the end of predecessor [p] iff some
+     defining block dominates [p]. *)
+  let index : (instr_kind, block_id list) Hashtbl.t = Hashtbl.create 64 in
+  let note_def k b =
+    let key = Gvn.key_of_kind k in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt index key) in
+    if not (List.mem b prev) then Hashtbl.replace index key (b :: prev)
+  in
+  G.iter_instrs g (fun id ->
+      let k = G.kind g id in
+      if candidate k then note_def k (G.block_of g id));
+  let available_at key p =
+    match Hashtbl.find_opt index (Gvn.key_of_kind key) with
+    | None -> false
+    | Some defs -> List.exists (fun d -> Ir.Dom.dominates dom d p) defs
+  in
+  let changed = ref false in
+  let hoist_from m =
+    let preds = Array.of_list (G.preds g m) in
+    if Array.length preds >= 2 then
+      List.iter
+        (fun e ->
+          Phase.charge ctx 1;
+          if G.instr_exists g e && G.has_uses g e then
+            let kind = G.kind g e in
+            if candidate kind then begin
+              (* Resolve operands through this merge's phis, per edge. *)
+              let resolve i v =
+                match G.kind g v with
+                | Phi inputs when G.block_of g v = m -> inputs.(i)
+                | _ -> v
+              in
+              let resolved =
+                Array.mapi (fun i _ -> map_inputs (resolve i) kind) preds
+              in
+              (* Every resolved operand must be computable at the end of
+                 its predecessor (its definition dominates the pred; phi
+                 inputs satisfy this by SSA construction). *)
+              let placeable =
+                Array.for_all2
+                  (fun p k ->
+                    let ok = ref true in
+                    iter_inputs
+                      (fun o ->
+                        if not (Ir.Dom.dominates dom (G.block_of g o) p)
+                        then ok := false)
+                      k;
+                    !ok)
+                  preds resolved
+              in
+              let redundant_somewhere =
+                placeable
+                && Array.exists2 (fun p k -> available_at k p) preds resolved
+              in
+              if redundant_somewhere then begin
+                let copies =
+                  Array.map2
+                    (fun p k ->
+                      note_def k p;
+                      G.append g p k)
+                    preds resolved
+                in
+                let ph = G.append g m (Phi copies) in
+                G.replace_uses g e ~by:ph;
+                G.remove_instr g e;
+                changed := true
+              end
+            end)
+        (G.body g m)
+  in
+  (* RPO: forward predecessors are processed before their merges, so
+     copies placed this sweep never cascade within the same run. *)
+  List.iter hoist_from (G.rpo g);
+  !changed
+
+let phase =
+  Phase.make ~preserves:Ir.Analyses.all_kinds
+    ~enables:
+      [ "canonicalize"; "simplify-cfg"; "sccp"; "gvn"; "condelim"; "dce";
+        "licm" ]
+    "lospre" run

@@ -33,13 +33,19 @@ let classic =
     ("pea", Pea.phase);
     ("dce", Dce.phase);
     ("licm", Licm.phase);
+    (* Opt-in upgrades (not in the calibrated default group): the
+       canonicalization-level copy/constant propagation and speculative
+       PRE passes of the workload-lab tiers. *)
+    ("copyprop", Copyprop.phase);
+    ("lospre", Lospre.phase);
   ]
 
 (** Resolve the classic pass names ([canon], [simplify], [sccp], [gvn],
-    [condelim], [readelim], [pea], [dce], [licm] and long-form
-    aliases).  Only [pea] takes an option — [max_rounds], bounding its
-    internal scalar-replacement sweeps (0 = fixpoint).  The driver's
-    resolver layers the duplication tiers on top of this one. *)
+    [condelim], [readelim], [pea], [dce], [licm], plus the opt-in
+    [copyprop] and [lospre], and long-form aliases).  Only [pea] takes
+    an option — [max_rounds], bounding its internal scalar-replacement
+    sweeps (0 = fixpoint).  The driver's resolver layers the
+    duplication tiers on top of this one. *)
 let resolve_classic name opts =
   match name with
   | "pea" ->

@@ -204,6 +204,22 @@ let pool =
        List.init 2 (fun p ->
            Workloads.Progen.generate ~n_helpers:2 ~seed:(1000 + p) ())
      in
+     (* Adversarial clients: the first benchmark of each workload-lab
+        suite joins the pool, so the service is exercised with
+        irreducible rings, giant switches, nested diamonds and
+        cold-exit-heavy CFGs — not just progen's reducible shapes. *)
+     let adversarial =
+       List.concat_map
+         (fun (s : Workloads.Suite.t) ->
+           match s.Workloads.Suite.benchmarks with
+           | b :: _ ->
+               let prog = Workloads.Suite.compile b in
+               List.filter_map
+                 (Ir.Program.find_function prog)
+                 (Ir.Program.function_names prog)
+           | [] -> [])
+         Workloads.Registry.adversarial
+     in
      let fns =
        List.concat_map
          (fun src ->
@@ -212,6 +228,7 @@ let pool =
              (Ir.Program.find_function prog)
              (Ir.Program.function_names prog))
          sources
+       @ adversarial
      in
      List.map
        (fun g ->

@@ -1,0 +1,418 @@
+(** Adversarial workload lab: CFG shapes engineered to stress specific
+    tiers rather than to mirror a paper suite.
+
+    Four families (one suite each):
+
+    - {b adv-irreducible} — multi-entry rings authored directly in the
+      textual IR format (the structured mini-language cannot express
+      irreducible control flow).  Two entries from the dispatch block
+      into a cycle of ring nodes means no node dominates the whole
+      cycle: natural-loop detection sees {e no} loop, yet the region is
+      hot and carries duplication candidates (per-node diamonds whose
+      merges the simulation tier can still split).
+    - {b adv-dispatch} — interpreter-style giant-switch loops: a first
+      if/else-if chain decodes an opcode into a tag, a second chain
+      dispatches on the tag.  Duplicating the merge between the chains
+      into each decode predecessor makes the tag a per-path constant and
+      folds the entire second chain — the canonical DBDS win.
+    - {b adv-diamonds} — deeply nested diamond ladders with repeated
+      tests (conditional-elimination fodder), repeated pure
+      subexpressions across merges (speculative-PRE fodder), and a tail
+      of tiny-benefit merges that stresses trade-off ranking.
+    - {b adv-abnormal} — exception-ish shapes: guard helpers with cold
+      early returns (@0.01 edges), a loop that can abandon iteration
+      from its body, and one direct-IR benchmark whose cold path ends in
+      [unreachable].
+
+    Everything is deterministic in the seed (a local LCG; no global
+    [Random] state), so tier comparisons and fuzzing reproduce. *)
+
+let buf_add = Buffer.add_string
+
+(* Deterministic per-generator constant stream. *)
+let lcg seed =
+  let state = ref (seed land max_int) in
+  fun () ->
+    state := (!state * 25214903917) + 11;
+    !state land 0x3FFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* adv-irreducible: multi-entry rings, authored as textual IR          *)
+(* ------------------------------------------------------------------ *)
+
+(** Textual IR for a [nodes]-node ring with entries at node 0 and node
+    [nodes/2].  Block ids: node [j]'s main block is [b(10*(j+1))]; its
+    diamond blocks (odd [j]) are [+1]/[+2]/[+3]; exit is [b9999].
+    Value ids are namespaced per node at [100*(j+1)].  The parser
+    remaps both, and the [; preds:] comments pin phi-input order. *)
+let irr_ring_text ~nodes ~seed =
+  if nodes < 2 then invalid_arg "irr_ring_text: need at least 2 nodes";
+  let next = lcg seed in
+  let const_of = Array.init nodes (fun _ -> 1 + (next () land 1023)) in
+  let mid = nodes / 2 in
+  let has_diamond j = j land 1 = 1 in
+  let main j = 10 * (j + 1) in
+  (* the block a node's successor edge leaves from *)
+  let exit_of j = if has_diamond j then main j + 3 else main j in
+  let b = Buffer.create 1024 in
+  buf_add b "fn irr(2 params) entry=b0\n";
+  buf_add b "b0:\n";
+  buf_add b "v0 = param 0\n";
+  (* count *)
+  buf_add b "v1 = param 1\n";
+  (* entry selector *)
+  buf_add b "v4 = const 0\n";
+  buf_add b (Printf.sprintf "v5 = const %d\n" (next () land 255));
+  (* acc init *)
+  buf_add b "v6 = const 1\n";
+  for j = 0 to nodes - 1 do
+    buf_add b (Printf.sprintf "v%d = const %d\n" (10 + j) const_of.(j))
+  done;
+  buf_add b "v2 = cmp.gt v1, v4\n";
+  buf_add b (Printf.sprintf "branch v2 ? b%d : b%d  @0.50\n" (main mid) (main 0));
+  (* count_in/acc_in/count_out/acc_out value ids per node *)
+  let base j = 100 * (j + 1) in
+  let count_in = Array.make nodes 0 and acc_in = Array.make nodes 0 in
+  let count_out = Array.make nodes 0 and acc_out = Array.make nodes 0 in
+  (* Pre-resolve dataflow so phis can reference later nodes' values
+     (the textual format allows forward references). *)
+  for j = 0 to nodes - 1 do
+    count_in.(j) <- (if j = 0 || j = mid then base j else count_out.(j - 1));
+    (* count only changes at the last node *)
+    count_out.(j) <- (if j = nodes - 1 then base j + 10 else count_in.(j));
+    acc_in.(j) <- (if j = 0 || j = mid then base j + 1 else acc_out.(j - 1));
+    acc_out.(j) <- (if has_diamond j then base j + 5 else base j + 2)
+  done;
+  for j = 0 to nodes - 1 do
+    let bid = main j in
+    if j = 0 then begin
+      buf_add b
+        (Printf.sprintf "b%d:  ; preds: b0, b%d\n" bid (exit_of (nodes - 1)));
+      buf_add b
+        (Printf.sprintf "v%d = phi [v0, v%d]\n" (base j) count_out.(nodes - 1));
+      buf_add b
+        (Printf.sprintf "v%d = phi [v5, v%d]\n" (base j + 1) acc_out.(nodes - 1))
+    end
+    else if j = mid then begin
+      buf_add b (Printf.sprintf "b%d:  ; preds: b%d, b0\n" bid (exit_of (j - 1)));
+      buf_add b
+        (Printf.sprintf "v%d = phi [v%d, v0]\n" (base j) count_out.(j - 1));
+      buf_add b
+        (Printf.sprintf "v%d = phi [v%d, v5]\n" (base j + 1) acc_out.(j - 1))
+    end
+    else buf_add b (Printf.sprintf "b%d:\n" bid);
+    (* body: either a straight update or an inner diamond *)
+    if has_diamond j then begin
+      buf_add b
+        (Printf.sprintf "v%d = cmp.gt v%d, v%d\n" (base j + 2) acc_in.(j)
+           (10 + j));
+      buf_add b
+        (Printf.sprintf "branch v%d ? b%d : b%d  @0.50\n" (base j + 2) (bid + 1)
+           (bid + 2));
+      buf_add b (Printf.sprintf "b%d:\n" (bid + 1));
+      buf_add b
+        (Printf.sprintf "v%d = add v%d, v%d\n" (base j + 3) acc_in.(j) (10 + j));
+      buf_add b (Printf.sprintf "jump b%d\n" (bid + 3));
+      buf_add b (Printf.sprintf "b%d:\n" (bid + 2));
+      buf_add b
+        (Printf.sprintf "v%d = xor v%d, v%d\n" (base j + 4) acc_in.(j) (10 + j));
+      buf_add b (Printf.sprintf "jump b%d\n" (bid + 3));
+      buf_add b
+        (Printf.sprintf "b%d:  ; preds: b%d, b%d\n" (bid + 3) (bid + 1) (bid + 2));
+      buf_add b
+        (Printf.sprintf "v%d = phi [v%d, v%d]\n" (base j + 5) (base j + 3)
+           (base j + 4))
+    end
+    else
+      buf_add b
+        (Printf.sprintf "v%d = %s v%d, v%d\n" (base j + 2)
+           (if j land 3 = 0 then "add" else "xor")
+           acc_in.(j) (10 + j));
+    if j = nodes - 1 then begin
+      buf_add b
+        (Printf.sprintf "v%d = sub v%d, v6\n" (base j + 10) count_in.(j));
+      buf_add b
+        (Printf.sprintf "v%d = cmp.gt v%d, v4\n" (base j + 11) (base j + 10));
+      buf_add b
+        (Printf.sprintf "branch v%d ? b%d : b9999  @0.90\n" (base j + 11)
+           (main 0))
+    end
+    else buf_add b (Printf.sprintf "jump b%d\n" (main (j + 1)))
+  done;
+  buf_add b "b9999:\n";
+  buf_add b (Printf.sprintf "return v%d\n" acc_out.(nodes - 1));
+  Buffer.contents b
+
+(** Parse one ring into a single-function program named [irr]. *)
+let irr_ring_program ~nodes ~seed () =
+  Ir.Program.of_graph (Ir.Parse.parse_graph (irr_ring_text ~nodes ~seed))
+
+let irr_bench ~name ~nodes ~seed ~count =
+  Suite.bench_ir ~name
+    ~description:
+      (Printf.sprintf
+         "%d-node irreducible ring (entries at node 0 and %d), per-node \
+          diamonds inside the cycle"
+         nodes (nodes / 2))
+    ~args:[| count; seed land 1 |]
+    (irr_ring_program ~nodes ~seed)
+
+let irreducible =
+  {
+    Suite.suite_name = "adv-irreducible";
+    figure = "workload lab";
+    benchmarks =
+      [
+        irr_bench ~name:"irr-ring3" ~nodes:3 ~seed:11 ~count:400;
+        irr_bench ~name:"irr-ring5" ~nodes:5 ~seed:23 ~count:400;
+        irr_bench ~name:"irr-ring8" ~nodes:8 ~seed:47 ~count:300;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* adv-dispatch: interpreter-style giant-switch loops                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [handlers] must be a power of two (the opcode is masked, not
+    modulo'd, so it never goes negative). *)
+let dispatch_src ~handlers ~seed =
+  if handlers land (handlers - 1) <> 0 || handlers < 2 then
+    invalid_arg "dispatch_src: handlers must be a power of two >= 2";
+  let next = lcg seed in
+  let b = Buffer.create 2048 in
+  buf_add b "int main(int n, int seed) {\n";
+  buf_add b "  int s = seed;\n  int i = 0;\n  int acc = 0;\n";
+  buf_add b "  while (i < n) @0.999 {\n";
+  buf_add b "    s = ((s * 1103515245) + 12345) & 1073741823;\n";
+  buf_add b (Printf.sprintf "    int op = (s >> 5) & %d;\n" (handlers - 1));
+  buf_add b "    int t = 0;\n";
+  (* chain 1: decode op -> tag (t becomes a phi at the chain's merge) *)
+  let tag k = (2 * k) + 3 in
+  for k = 0 to handlers - 2 do
+    let p = 1.0 /. float_of_int (handlers - k) in
+    buf_add b
+      (Printf.sprintf "%sif (op == %d) @%.2f { t = %d; } else {\n"
+         (String.make (4 + (2 * k)) ' ')
+         k
+         (max 0.01 (min 0.99 p))
+         (tag k))
+  done;
+  buf_add b
+    (Printf.sprintf "%st = %d;\n"
+       (String.make (4 + (2 * (handlers - 1))) ' ')
+       (tag (handlers - 1)));
+  for k = handlers - 2 downto 0 do
+    buf_add b (Printf.sprintf "%s}\n" (String.make (4 + (2 * k)) ' '))
+  done;
+  (* chain 2: dispatch on the tag — folds away once the merge between
+     the chains is duplicated into each decode predecessor *)
+  let body k =
+    let m = 1 + (next () land 511) in
+    match k land 3 with
+    | 0 -> Printf.sprintf "acc = acc + (s & %d);" m
+    | 1 -> Printf.sprintf "acc = acc ^ (s & %d);" m
+    | 2 -> Printf.sprintf "acc = (acc + %d) & 65535;" m
+    | _ -> Printf.sprintf "acc = acc + ((s >> 3) & %d);" m
+  in
+  for k = 0 to handlers - 2 do
+    buf_add b
+      (Printf.sprintf "%sif (t == %d) @%.2f { %s } else {\n"
+         (String.make (4 + (2 * k)) ' ')
+         (tag k)
+         (max 0.01 (min 0.99 (1.0 /. float_of_int (handlers - k))))
+         (body k))
+  done;
+  buf_add b
+    (Printf.sprintf "%s%s\n"
+       (String.make (4 + (2 * (handlers - 1))) ' ')
+       (body (handlers - 1)));
+  for k = handlers - 2 downto 0 do
+    buf_add b (Printf.sprintf "%s}\n" (String.make (4 + (2 * k)) ' '))
+  done;
+  buf_add b "    i = i + 1;\n  }\n  return acc;\n}\n";
+  Buffer.contents b
+
+let dispatch_bench ~handlers ~seed ~count =
+  Suite.bench ~name:(Printf.sprintf "disp%d" handlers)
+    ~description:
+      (Printf.sprintf
+         "interpreter loop, %d-way decode + dispatch chains; duplication \
+          folds the dispatch chain per opcode"
+         handlers)
+    ~args:[| count; seed |]
+    (dispatch_src ~handlers ~seed)
+
+let dispatch =
+  {
+    Suite.suite_name = "adv-dispatch";
+    figure = "workload lab";
+    benchmarks =
+      [
+        dispatch_bench ~handlers:4 ~seed:3 ~count:700;
+        dispatch_bench ~handlers:8 ~seed:5 ~count:500;
+        dispatch_bench ~handlers:16 ~seed:9 ~count:400;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* adv-diamonds: nested diamond ladders                                *)
+(* ------------------------------------------------------------------ *)
+
+let diamonds_src ~depth ~seed =
+  let next = lcg seed in
+  let b = Buffer.create 2048 in
+  buf_add b "int work(int x, int y) {\n  int a = 0;\n";
+  for _ = 0 to depth - 1 do
+    let c = 1 + (next () land 255) in
+    (* a diamond whose arms both compute with the same subexpression... *)
+    buf_add b
+      (Printf.sprintf
+         "  if (x > y) @0.50 { a = a + ((x * 3) + y + %d); } else { a = a - \
+          ((y * 3) + x + %d); }\n"
+         c c);
+    (* ...a repeated test of the same predicate (conditional-elimination
+       fodder once the merge above is duplicated)... *)
+    buf_add b
+      (Printf.sprintf
+         "  if (x > y) @0.50 { a = a ^ %d; } else { a = a + %d; }\n" c (c + 1));
+    (* ...and the subexpression again after the merges (speculative-PRE
+       fodder: partially redundant along the taken arm). *)
+    buf_add b
+      (Printf.sprintf "  a = a + (((x * 3) + y + %d) & 1023);\n" c);
+    buf_add b "  x = (x + a) & 8191;\n  y = (y + 7) & 8191;\n"
+  done;
+  (* tail of tiny-benefit merges: lots of candidates, little to gain *)
+  for _ = 0 to 5 do
+    let c = 1 + (next () land 7) in
+    buf_add b
+      (Printf.sprintf
+         "  if ((a & %d) == 0) @0.50 { a = a + 1; } else { a = a + 2; }\n" c)
+  done;
+  buf_add b "  return a;\n}\n";
+  buf_add b "int rec(int n, int acc) {\n";
+  buf_add b "  if (n < 1) @0.05 { return acc; }\n";
+  buf_add b "  int r = 0;\n";
+  buf_add b
+    "  if ((n & 1) == 0) @0.50 { r = rec(n - 1, acc + n); } else { r = rec(n \
+     - 1, acc ^ n); }\n";
+  buf_add b "  return r;\n}\n";
+  buf_add b "int main(int n) {\n";
+  buf_add b "  int i = 0;\n  int acc = 0;\n";
+  buf_add b "  while (i < n) @0.999 {\n";
+  buf_add b "    acc = acc + work(i, acc & 255);\n";
+  buf_add b "    i = i + 1;\n  }\n";
+  buf_add b "  return (acc & 1048575) + rec(40, 0);\n}\n";
+  Buffer.contents b
+
+let diamonds_bench ~depth ~seed ~count =
+  Suite.bench ~name:(Printf.sprintf "diamond%d" depth)
+    ~description:
+      (Printf.sprintf
+         "%d-level diamond ladder: repeated tests, partially redundant \
+          subexpressions, tiny-benefit merge tail, recursion in one arm"
+         depth)
+    ~args:[| count |]
+    (diamonds_src ~depth ~seed)
+
+let diamonds =
+  {
+    Suite.suite_name = "adv-diamonds";
+    figure = "workload lab";
+    benchmarks =
+      [
+        diamonds_bench ~depth:2 ~seed:13 ~count:600;
+        diamonds_bench ~depth:4 ~seed:17 ~count:400;
+        diamonds_bench ~depth:6 ~seed:29 ~count:300;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* adv-abnormal: cold early exits and an unreachable tail              *)
+(* ------------------------------------------------------------------ *)
+
+let abnormal_src ~guards ~seed =
+  let next = lcg seed in
+  let b = Buffer.create 2048 in
+  buf_add b "int check(int v, int lim) {\n";
+  for _ = 1 to guards do
+    buf_add b
+      (Printf.sprintf "  if (v < (0 - %d)) @0.01 { return 0 - 1; }\n"
+         (next () land 3))
+  done;
+  buf_add b "  if (v >= lim) @0.01 { return 0 - 1; }\n";
+  buf_add b "  return v & (lim - 1);\n}\n";
+  buf_add b "int main(int n) {\n";
+  buf_add b "  int i = 0;\n  int acc = 0;\n";
+  buf_add b "  while (i < n) @0.999 {\n";
+  buf_add b "    int c = check((acc & 2047) + i, 4096);\n";
+  buf_add b "    if (c < 0) @0.01 { return acc; }\n";
+  buf_add b "    acc = (acc + c) & 1048575;\n";
+  buf_add b "    i = i + 1;\n  }\n";
+  buf_add b "  return acc;\n}\n";
+  Buffer.contents b
+
+(** Direct-IR benchmark whose cold path ends in [unreachable]: with a
+    non-negative argument the guard never fires, and canonicalization
+    can even prove the [unreachable] arm dead. *)
+let unreachable_text =
+  "fn abn(1 params) entry=b0\n\
+   b0:\n\
+   v0 = param 0\n\
+   v1 = const 0\n\
+   v2 = cmp.lt v0, v1\n\
+   branch v2 ? b1 : b2  @0.01\n\
+   b1:\n\
+   v3 = sub v1, v0\n\
+   jump b3\n\
+   b2:\n\
+   v4 = add v0, v0\n\
+   jump b3\n\
+   b3:  ; preds: b1, b2\n\
+   v5 = phi [v3, v4]\n\
+   v6 = cmp.ge v5, v5\n\
+   branch v6 ? b4 : b5  @0.99\n\
+   b4:\n\
+   return v5\n\
+   b5:\n\
+   unreachable\n"
+
+let unreachable_program () =
+  Ir.Program.of_graph (Ir.Parse.parse_graph unreachable_text)
+
+let abnormal =
+  {
+    Suite.suite_name = "adv-abnormal";
+    figure = "workload lab";
+    benchmarks =
+      [
+        Suite.bench
+          ~name:"guard3"
+          ~description:"guard helper with 3 cold early returns + abandoning loop"
+          ~args:[| 800 |]
+          (abnormal_src ~guards:3 ~seed:31);
+        Suite.bench
+          ~name:"guard6"
+          ~description:"guard helper with 6 cold early returns + abandoning loop"
+          ~args:[| 600 |]
+          (abnormal_src ~guards:6 ~seed:37);
+        Suite.bench_ir ~name:"unreach"
+          ~description:"cold branch into an unreachable terminator"
+          ~args:[| 21 |] unreachable_program;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let suites = [ irreducible; dispatch; diamonds; abnormal ]
+
+(** Fresh programs for every adversarial benchmark, for harnesses that
+    want raw client programs (e.g. the simulation front door) rather
+    than suite records.  Names are [suite/benchmark]. *)
+let programs () =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun (b : Suite.benchmark) ->
+          (s.Suite.suite_name ^ "/" ^ b.Suite.name, Suite.compile b))
+        s.Suite.benchmarks)
+    suites

@@ -199,3 +199,18 @@ let generate ?(n_helpers = 2) ?(depth = 3) ~seed () =
   done;
   gen_function { ctx with helpers = !helpers } ~name:"main" ~depth;
   Buffer.contents ctx.buf
+
+(** Compile a generated program, optionally grafting an irreducible
+    multi-entry ring (a shape the structured source language cannot
+    express) as an extra function.  The ring's blocks exercise dominance
+    and SSA repair on entry-into-loop-body edges during optimization,
+    while [main]'s behaviour — what differential tests execute — is
+    untouched. *)
+let generate_program ?(irreducible = false) ?n_helpers ?depth ~seed () =
+  let prog = Lang.Frontend.compile (generate ?n_helpers ?depth ~seed ()) in
+  if irreducible then begin
+    let nodes = 2 + (seed land 3) in
+    let g = Ir.Parse.parse_graph (Advgen.irr_ring_text ~nodes ~seed) in
+    Ir.Program.add_function prog g
+  end;
+  prog

@@ -15,3 +15,15 @@
     callable helper functions (default 2) precede [main(int x, int y)];
     [depth] bounds control-flow nesting (default 3). *)
 val generate : ?n_helpers:int -> ?depth:int -> seed:int -> unit -> string
+
+(** [generate] compiled to IR; with [~irreducible:true] an {!Advgen}
+    multi-entry ring is grafted in as an extra (uncalled) function, so
+    optimizing the program exercises irreducible control flow while
+    [main]'s observable behaviour is unchanged. *)
+val generate_program :
+  ?irreducible:bool ->
+  ?n_helpers:int ->
+  ?depth:int ->
+  seed:int ->
+  unit ->
+  Ir.Program.t

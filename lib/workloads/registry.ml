@@ -1,10 +1,14 @@
-(** All benchmark suites, in paper order. *)
+(** All benchmark suites, in paper order, plus the adversarial lab. *)
 
 let all : Suite.t list =
   [ Dacapo.suite; Scala_dacapo.suite; Micro.suite; Octane.suite ]
 
+(** The workload-lab suites (not part of [all]: the paper-figure
+    harnesses iterate [all], the lab has its own tier harness). *)
+let adversarial : Suite.t list = Advgen.suites
+
 let find_suite name =
-  List.find_opt (fun s -> s.Suite.suite_name = name) all
+  List.find_opt (fun s -> s.Suite.suite_name = name) (all @ adversarial)
 
 let total_benchmarks () =
   List.fold_left (fun n s -> n + List.length s.Suite.benchmarks) 0 all

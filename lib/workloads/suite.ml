@@ -13,6 +13,10 @@ type benchmark = {
   description : string;
   source : string;
   args : int array;
+  builder : (unit -> Ir.Program.t) option;
+      (** direct-IR benchmarks (the adversarial workload lab): shapes the
+          structured mini-language cannot express, e.g. irreducible
+          regions.  [None] = compile [source] through the frontend. *)
 }
 
 type t = {
@@ -24,4 +28,16 @@ type t = {
 let find_benchmark suite name =
   List.find_opt (fun b -> b.name = name) suite.benchmarks
 
-let bench ~name ~description ~args source = { name; description; source; args }
+let bench ~name ~description ~args source =
+  { name; description; source; args; builder = None }
+
+let bench_ir ~name ~description ~args builder =
+  { name; description; source = ""; args; builder = Some builder }
+
+(** The one compilation entry point for benchmarks: the frontend for
+    source programs, the registered builder (a fresh program per call —
+    optimization mutates graphs in place) for direct-IR ones. *)
+let compile b =
+  match b.builder with
+  | Some build -> build ()
+  | None -> Lang.Frontend.compile b.source

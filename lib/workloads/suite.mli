@@ -13,6 +13,10 @@ type benchmark = {
   description : string;
   source : string;
   args : int array;
+  builder : (unit -> Ir.Program.t) option;
+      (** direct-IR benchmarks (the adversarial workload lab): shapes the
+          structured mini-language cannot express, e.g. irreducible
+          regions.  [None] = compile [source] through the frontend. *)
 }
 
 type t = {
@@ -25,3 +29,16 @@ val find_benchmark : t -> string -> benchmark option
 
 val bench :
   name:string -> description:string -> args:int array -> string -> benchmark
+
+(** A direct-IR benchmark.  The builder must return a {e fresh} program
+    per call: optimization mutates graphs in place. *)
+val bench_ir :
+  name:string ->
+  description:string ->
+  args:int array ->
+  (unit -> Ir.Program.t) ->
+  benchmark
+
+(** Compile a benchmark: the frontend for source programs, the builder
+    for direct-IR ones. *)
+val compile : benchmark -> Ir.Program.t

@@ -50,6 +50,23 @@ let () =
       Printf.eprintf "%d tiered violation(s)\n" (List.length vs);
       exit 1
 ;;
+(* Workload-lab property (reduced progen count for runtest): the new
+   tiers (copyprop-canon, lospre, condelim_dup; dbds as control) over
+   the adversarial corpus — jobs 1-vs-4 byte identity with and without
+   fault plans, paranoid preserves audits contain nothing, and the
+   enables contracts of copyprop/lospre hide no consumer. *)
+let l = Harness.Fuzz.run_lab ~progen_seeds:[ 0; 1 ] () in
+Printf.printf
+  "fuzz lab: %d identity pairs, %d paranoid runs, %d enables checks\n"
+  l.Harness.Fuzz.l_pairs_run l.Harness.Fuzz.l_paranoid_runs
+  l.Harness.Fuzz.l_enables_checked;
+(match l.Harness.Fuzz.l_violations with
+| [] -> ()
+| vs ->
+    List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) vs;
+    Printf.eprintf "%d lab violation(s)\n" (List.length vs);
+    exit 1)
+;;
 (* Frontdoor framing hardening (satellite): adversarial bytes through
    the pure decoders and garbage clients against a live simulated
    frontdoor — junk earns a structured rejection or a clean close,

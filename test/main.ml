@@ -23,6 +23,7 @@ let () =
       ("passes", Test_passes.suite);
       ("properties", Test_properties.suite);
       ("workloads", Test_workloads.suite);
+      ("lab", Test_lab.suite);
       ("harness", Test_harness.suite);
       ("vm", Test_vm.suite);
       ("service", Test_service.suite);

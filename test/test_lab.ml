@@ -1,0 +1,291 @@
+(** Workload-lab tests: the adversarial suites compile/verify/run
+    deterministically, the irreducible rings really are irreducible, and
+    the three new tier passes (copyprop, lospre, condelim_dup) do what
+    their contracts claim on targeted shapes. *)
+
+open Ir.Types
+module G = Ir.Graph
+open Helpers
+
+let all_adversarial () =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun b -> (s.Workloads.Suite.suite_name, b))
+        s.Workloads.Suite.benchmarks)
+    Workloads.Registry.adversarial
+
+(* ------------------------------------------------------------------ *)
+(* Suites                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_suites_compile_and_verify () =
+  Alcotest.(check int)
+    "four adversarial suites" 4
+    (List.length Workloads.Registry.adversarial);
+  List.iter
+    (fun (suite, b) ->
+      match Workloads.Suite.compile b with
+      | prog -> check_program_verifies prog
+      | exception e ->
+          Alcotest.failf "%s/%s does not build: %s" suite
+            b.Workloads.Suite.name (Printexc.to_string e))
+    (all_adversarial ())
+
+let test_suites_run_deterministically () =
+  List.iter
+    (fun (suite, b) ->
+      let run () =
+        let prog = Workloads.Suite.compile b in
+        let r, _ =
+          Interp.Machine.run ~fuel:50_000_000 prog ~args:b.Workloads.Suite.args
+        in
+        Interp.Machine.result_to_string r
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s deterministic" suite b.Workloads.Suite.name)
+        (run ()) (run ()))
+    (all_adversarial ())
+
+let test_registry_finds_lab_suites () =
+  List.iter
+    (fun name ->
+      match Workloads.Registry.find_suite name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "find_suite misses %s" name)
+    [ "adv-irreducible"; "adv-dispatch"; "adv-diamonds"; "adv-abnormal" ];
+  (* ...without disturbing the paper registry. *)
+  Alcotest.(check int) "paper suites unchanged" 4
+    (List.length Workloads.Registry.all)
+
+(* The ring really is irreducible: it has a cycle, yet natural-loop
+   detection (back edge = edge to a dominator) finds nothing. *)
+let test_ring_is_irreducible () =
+  List.iter
+    (fun nodes ->
+      let g =
+        Ir.Parse.parse_graph (Workloads.Advgen.irr_ring_text ~nodes ~seed:23)
+      in
+      check_verifies g;
+      let dom = Ir.Dom.compute g in
+      let loops = Ir.Loops.loops (Ir.Loops.compute dom) in
+      Alcotest.(check int)
+        (Printf.sprintf "%d-node ring: no natural loops" nodes)
+        0 (List.length loops);
+      (* ...but a cycle exists: some edge targets a non-dominating block
+         already seen on the path — cheap check: some block has an
+         in-edge from a block with a higher RPO index. *)
+      let rpo = G.rpo g in
+      let index = Hashtbl.create 16 in
+      List.iteri (fun i b -> Hashtbl.replace index b i) rpo;
+      let retreating = ref 0 in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun s ->
+              if Hashtbl.find index s <= Hashtbl.find index b then
+                incr retreating)
+            (G.succs g b))
+        rpo;
+      if !retreating = 0 then
+        Alcotest.failf "%d-node ring has no retreating edge (no cycle?)" nodes)
+    [ 2; 3; 5; 8 ]
+
+(* Every tier computes the same result on every adversarial benchmark —
+   the lab's differential-correctness invariant. *)
+let test_tiers_agree () =
+  let spec_of s =
+    match Opt.Spec.of_string s with
+    | Ok spec -> spec
+    | Error msg -> Alcotest.failf "%S: %s" s msg
+  in
+  let upgraded pass =
+    {
+      Dbds.Config.off with
+      Dbds.Config.passes =
+        Some
+          (spec_of
+             ("inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce,"
+            ^ pass ^ ")"));
+    }
+  in
+  let tiers =
+    [
+      ("off", Dbds.Config.off);
+      ("copyprop", upgraded "copyprop");
+      ("lospre", upgraded "lospre");
+      ("condelim_dup", Dbds.Config.condelim_dup);
+      ("dbds", Dbds.Config.dbds);
+      ("dupalot", Dbds.Config.dupalot);
+      ("backtracking", Dbds.Config.backtracking);
+    ]
+  in
+  List.iter
+    (fun (suite, b) ->
+      let result (tier, config) =
+        let prog = Workloads.Suite.compile b in
+        let _ = Dbds.Driver.optimize_program ~config prog in
+        check_program_verifies prog;
+        let r, _ =
+          Interp.Machine.run ~fuel:50_000_000 prog ~args:b.Workloads.Suite.args
+        in
+        (tier, Interp.Machine.result_to_string r)
+      in
+      match List.map result tiers with
+      | [] -> assert false
+      | (_, expect) :: rest ->
+          List.iter
+            (fun (tier, got) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s: %s agrees with off" suite
+                   b.Workloads.Suite.name tier)
+                expect got)
+            rest)
+    (all_adversarial ())
+
+(* ------------------------------------------------------------------ *)
+(* copyprop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A loop-carried phi cycle that only ever sees one constant: optimistic
+   copy propagation collapses it (pessimistic per-instruction
+   canonicalization cannot: phi(7, phi(...)) is cyclic). *)
+let test_copyprop_phi_cycle () =
+  let g =
+    Ir.Parse.parse_graph
+      "fn f(1 params) entry=b0\n\
+       b0:\n\
+       v0 = param 0\n\
+       v1 = const 7\n\
+       v2 = const 0\n\
+       jump b1\n\
+       b1:  ; preds: b0, b1\n\
+       v3 = phi [v1, v3]\n\
+       v4 = phi [v2, v5]\n\
+       v5 = add v4, v3\n\
+       v6 = cmp.lt v5, v0\n\
+       branch v6 ? b1 : b2  @0.90\n\
+       b2:\n\
+       return v5\n"
+  in
+  check_verifies g;
+  let prog = Ir.Program.of_graph g in
+  let ctx = Opt.Phase.create ~program:prog () in
+  Alcotest.(check bool) "copyprop fires" true (Opt.Copyprop.run ctx g);
+  ignore (Opt.Dce.run ctx g);
+  check_verifies g;
+  (* The add now reads the constant directly, not through the phi. *)
+  let adds_through_phi =
+    G.fold_instrs g
+      (fun n id ->
+        match G.kind g id with
+        | Binop (Add, _, b) when G.is_phi g b -> n + 1
+        | _ -> n)
+      0
+  in
+  Alcotest.(check int) "add's rhs is no longer a phi" 0 adds_through_phi;
+  Alcotest.(check int) "semantics kept" 28 (run_int prog [ 25 ])
+
+(* ------------------------------------------------------------------ *)
+(* lospre                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The expression is computed in one predecessor and again after the
+   merge: partial redundancy.  lospre hoists a copy into the other
+   predecessor and phis the two, leaving the merge block free of it. *)
+let test_lospre_hoists_partial_redundancy () =
+  let g =
+    Ir.Parse.parse_graph
+      "fn f(2 params) entry=b0\n\
+       b0:\n\
+       v0 = param 0\n\
+       v1 = param 1\n\
+       v2 = cmp.gt v0, v1\n\
+       branch v2 ? b1 : b2  @0.50\n\
+       b1:\n\
+       v3 = add v0, v1\n\
+       jump b3\n\
+       b2:\n\
+       jump b3\n\
+       b3:  ; preds: b1, b2\n\
+       v4 = phi [v3, v1]\n\
+       v5 = add v0, v1\n\
+       v6 = add v4, v5\n\
+       return v6\n"
+  in
+  check_verifies g;
+  let prog = Ir.Program.of_graph g in
+  let merge_block () =
+    (* the only block with two predecessors *)
+    let r = ref (-1) in
+    G.iter_blocks g (fun b -> if G.pred_count g b = 2 then r := b);
+    !r
+  in
+  let adds_in b =
+    let n = ref 0 in
+    G.iter_block_instrs g b (fun id ->
+        match G.kind g id with Binop (Add, _, _) -> incr n | _ -> ());
+    !n
+  in
+  let phis_in b =
+    let n = ref 0 in
+    G.iter_phis g b (fun _ -> incr n);
+    !n
+  in
+  let before = run_int prog [ 9; 4 ] in
+  Alcotest.(check int) "merge computes two adds before" 2
+    (adds_in (merge_block ()));
+  let ctx = Opt.Phase.create ~program:prog () in
+  Alcotest.(check bool) "lospre fires" true (Opt.Lospre.run ctx g);
+  check_verifies g;
+  (* The redundant add left the merge (only the consumer add remains)
+     and arrives through a fresh phi instead. *)
+  Alcotest.(check int) "merge computes one add after" 1
+    (adds_in (merge_block ()));
+  Alcotest.(check int) "merge gained a phi" 2 (phis_in (merge_block ()));
+  Alcotest.(check int) "semantics kept" before (run_int prog [ 9; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* condelim_dup tier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical decode/dispatch shape: the tier must find the merge
+   between the chains, duplicate it, and the repeated test folds. *)
+let test_condelim_dup_duplicates () =
+  let src =
+    {|
+    int main(int n) {
+      int i = 0;
+      int acc = 0;
+      while (i < n) @0.999 {
+        int t = 0;
+        if ((i & 1) == 0) @0.50 { t = 1; } else { t = 2; }
+        if (t == 1) @0.50 { acc = acc + 3; } else { acc = acc + 5; }
+        i = i + 1;
+      }
+      return acc;
+    }
+    |}
+  in
+  let expect = run_int (compile src) [ 100 ] in
+  let prog = compile src in
+  let _ctx, stats =
+    Dbds.Driver.optimize_program ~config:Dbds.Config.condelim_dup prog
+  in
+  check_program_verifies prog;
+  let totals = Dbds.Driver.total_stats stats in
+  if totals.Dbds.Driver.duplications_performed = 0 then
+    Alcotest.fail "condelim_dup tier performed no duplication";
+  Alcotest.(check int) "semantics kept" expect (run_int prog [ 100 ])
+
+let suite =
+  [
+    test "lab: suites compile and verify" test_suites_compile_and_verify;
+    test "lab: suites run deterministically" test_suites_run_deterministically;
+    test "lab: registry finds lab suites" test_registry_finds_lab_suites;
+    test "lab: rings are irreducible" test_ring_is_irreducible;
+    test "lab: all tiers agree on all benchmarks" test_tiers_agree;
+    test "copyprop: collapses constant phi cycle" test_copyprop_phi_cycle;
+    test "lospre: hoists partial redundancy" test_lospre_hoists_partial_redundancy;
+    test "condelim_dup: duplicates the dispatch merge" test_condelim_dup_duplicates;
+  ]

@@ -31,6 +31,11 @@ let test_spec_roundtrip () =
       "fix{rounds=2}(canon,dce)";
       "dbds{iters=5,threshold=0.5}";
       "fix(canon,fix(gvn,dce))";
+      "copyprop";
+      "lospre";
+      "condelim_dup";
+      "condelim_dup{iters=3}";
+      "fix(canon,copyprop,lospre,dce),condelim_dup{iters=2}";
     ]
   in
   List.iter
@@ -80,13 +85,17 @@ let test_default_specs () =
     "licm joins the fixpoint group"
     "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce,licm)"
     (printed { Dbds.Config.off with Dbds.Config.licm = true });
+  Alcotest.(check string)
+    "condelim_dup reruns the classic group after the tier"
+    "inline,fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce),condelim_dup{iters=3},fix(canon,simplify,sccp,gvn,condelim,readelim,pea,dce)"
+    (printed Dbds.Config.condelim_dup);
   (* Every default spec validates against the driver's own registry. *)
   List.iter
     (fun config ->
       match Dbds.Driver.validate_spec config (Dbds.Driver.default_spec config) with
       | Ok () -> ()
       | Error msg -> Alcotest.failf "default spec rejected: %s" msg)
-    Dbds.Config.[ default; off; dupalot; backtracking; paranoid ]
+    Dbds.Config.[ default; off; dupalot; backtracking; condelim_dup; paranoid ]
 
 let test_validate_spec () =
   let config = Dbds.Config.default in
@@ -104,13 +113,49 @@ let test_validate_spec () =
   ok "inline,canonicalize,simplify-cfg,licm";
   ok "dupalot{iters=2,threshold=0.1},backtracking{iters=1}";
   ok "fix(canon,pea{max_rounds=2},dce)";
+  ok "fix(canon,copyprop,lospre,dce)";
+  ok "condelim_dup{iters=2}";
   rejected "bogus";
   rejected "canon{x=1}";
   rejected "dbds{iters=nope}";
   rejected "dbds{depth=3}";
   rejected "pea{rounds=2}";
   rejected "pea{max_rounds=nope}";
+  rejected "copyprop{iters=2}";
+  rejected "condelim_dup{threshold=0.5}";
   rejected "fix(inline,canon)"
+
+(* [describe_spec] backs `dbdsc --print-passes`: every per-function
+   pass of the spec appears once, in order, with its declared
+   contracts. *)
+let test_describe_spec () =
+  let config = Dbds.Config.default in
+  let described s =
+    Dbds.Driver.describe_spec config (spec_of s)
+  in
+  let names rows = List.map (fun (n, _, _) -> n) rows in
+  Alcotest.(check (list string))
+    "pipeline order, inline skipped, fix flattened, repeats collapsed"
+    [ "canonicalize"; "dce"; "dbds" ]
+    (names (described "inline,fix(canon,dce),dbds,canon"));
+  let rows = described "fix(canon,copyprop,lospre,dce),condelim_dup" in
+  Alcotest.(check (list string))
+    "upgrade passes and the tier are described"
+    [ "canonicalize"; "copyprop"; "lospre"; "dce"; "condelim_dup" ]
+    (names rows);
+  List.iter
+    (fun name ->
+      let _, preserves, enables =
+        List.find (fun (n, _, _) -> n = name) rows
+      in
+      Alcotest.(check bool)
+        (name ^ " declares all analyses preserved")
+        true
+        (List.length preserves = List.length Ir.Analyses.all_kinds);
+      Alcotest.(check bool)
+        (name ^ " declares an enables list")
+        true (enables <> None))
+    [ "copyprop"; "lospre" ]
 
 (* The pea cap flows from the config into the resolved default spec —
    and only when non-default, so historical spec renderings (and the
@@ -318,6 +363,7 @@ let suite =
     test "spec errors" test_spec_errors;
     test "default specs" test_default_specs;
     test "validate spec" test_validate_spec;
+    test "describe spec" test_describe_spec;
     test "pea cap flows into the default spec" test_pea_cap_in_default_spec;
     test "pass table determinism (jobs 1 vs 4)" test_pass_table_determinism;
     test "pass table contents" test_pass_table_contents;

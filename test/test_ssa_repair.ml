@@ -131,9 +131,86 @@ let test_repair_through_loop () =
   Alcotest.(check int) "positive path" 40 (run_int prog [ 5 ]);
   Alcotest.(check int) "negative path" 24 (run_int prog [ -5 ])
 
+(* Entry-into-loop-body edge (the irreducible shape the adversarial lab
+   generates): a side entry jumps into the middle of a loop, so the
+   header no longer dominates the body and its definitions need repair.
+   Dominance must place the body's idom above the loop, natural-loop
+   detection must see no loop, and repair must phi both broken values. *)
+let test_repair_entry_into_loop_body () =
+  let g =
+    Ir.Parse.parse_graph
+      "fn f(2 params) entry=b0\n\
+       b0:\n\
+       v0 = param 0\n\
+       v1 = param 1\n\
+       v2 = const 0\n\
+       v3 = const 1\n\
+       v4 = cmp.gt v1, v2\n\
+       branch v4 ? b4 : b1  @0.50\n\
+       b4:\n\
+       v10 = const 5\n\
+       v11 = add v0, v0\n\
+       jump b2\n\
+       b1:  ; preds: b0, b3\n\
+       v5 = phi [v2, v9]\n\
+       v6 = add v0, v3\n\
+       jump b2\n\
+       b2:\n\
+       v7 = mul v6, v6\n\
+       jump b3\n\
+       b3:\n\
+       v9 = add v5, v3\n\
+       v12 = cmp.lt v9, v1\n\
+       branch v12 ? b1 : b5  @0.50\n\
+       b5:\n\
+       v13 = add v9, v7\n\
+       return v13\n"
+  in
+  (* Resolve textual ids to arena ids via kinds (the parser remaps). *)
+  let find pred =
+    G.fold_instrs g (fun acc id -> if pred (G.kind g id) then Some id else acc)
+      None
+    |> Option.get
+  in
+  let v5 = find (function Phi _ -> true | _ -> false) in
+  (* Identify blocks structurally: the side entry holds the const 5, the
+     header holds the (only) phi. *)
+  let side = ref (-1) and header = ref (-1) in
+  G.iter_blocks g (fun b ->
+      G.iter_block_instrs g b (fun id ->
+          match G.kind g id with
+          | Const 5 -> side := b
+          | _ -> ());
+      G.iter_phis g b (fun _ -> header := b));
+  let alt_counter = ref (-1) and alt_x = ref (-1) and hdr_x = ref (-1) in
+  G.iter_block_instrs g !side (fun id ->
+      match G.kind g id with
+      | Const 5 -> alt_counter := id
+      | Binop (Add, _, _) -> alt_x := id
+      | _ -> ());
+  G.iter_block_instrs g !header (fun id ->
+      match G.kind g id with Binop (Add, _, _) -> hdr_x := id | _ -> ());
+  let dom = Ir.Dom.compute g in
+  Alcotest.(check int) "no natural loops despite the cycle" 0
+    (List.length (Ir.Loops.loops (Ir.Loops.compute dom)));
+  let inserted =
+    Ir.Ssa_repair.repair g
+      ~classes:
+        [
+          (v5, [ (!side, !alt_counter) ]); (!hdr_x, [ (!side, !alt_x) ]);
+        ]
+  in
+  check_verifies g;
+  Alcotest.(check bool) "phis inserted at the side-entry join" true
+    (List.length inserted >= 2);
+  let prog = Ir.Program.of_graph g in
+  Alcotest.(check int) "side-entry path" 25 (run_int prog [ 3; 9 ]);
+  Alcotest.(check int) "header path" 17 (run_int prog [ 3; 0 ])
+
 let suite =
   [
     test "repair inserts phi at join" test_repair_inserts_phi;
+    test "entry into loop body" test_repair_entry_into_loop_body;
     test "use in def block untouched" test_repair_use_dominated_by_original_untouched;
     test "trivial phi collapsed" test_repair_trivial_phi_collapsed;
     test "repair through loop" test_repair_through_loop;
